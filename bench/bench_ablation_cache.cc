@@ -1,0 +1,140 @@
+// Ablation — cache policy (DESIGN.md §3.2).
+//
+// The paper's recency policy splits the N slots across levels with
+// (alpha, beta, gamma, theta) = (.4, .35, .2, .05). This ablation compares
+// it against (a) an all-daily recency cache (alpha = 1, the degenerate
+// setting Section VII-B warns about), (b) classic query-driven LRU, and
+// (c) no cache, across short and long query windows.
+
+#include "bench_common.h"
+
+using namespace rased;
+using namespace rased::bench;
+
+namespace {
+
+QueryLoadResult Run(TemporalIndex* index, CubeCache* cache,
+                    const BenchEnv& env, const WorldMap& world,
+                    uint64_t seed_salt, int span_days, int n) {
+  QueryExecutor executor(index, cache, const_cast<WorldMap*>(&world));
+  Rng rng(env.seed + seed_salt);
+  return RunQueryLoad(&executor, env, world, rng, n, span_days);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::FromArgs(argc, argv);
+  auto index = OpenOrBuildIndex(env, /*num_levels=*/4);
+  auto world = MakeWorld(env);
+  size_t slots = static_cast<size_t>(env.config.GetInt("cache_slots", 256));
+
+  struct Policy {
+    const char* name;
+    CacheOptions options;
+    bool enabled = true;
+  };
+  std::vector<Policy> policies;
+  {
+    Policy recency{"recency(a,b,g,t)", CacheOptions{}};
+    recency.options.num_slots = slots;
+    policies.push_back(recency);
+
+    Policy all_daily{"all-daily", CacheOptions{}};
+    all_daily.options.num_slots = slots;
+    all_daily.options.policy = CachePolicy::kAllDaily;
+    policies.push_back(all_daily);
+
+    Policy lru{"LRU", CacheOptions{}};
+    lru.options.num_slots = slots;
+    lru.options.policy = CachePolicy::kLru;
+    policies.push_back(lru);
+  }
+
+  PrintHeader("Ablation: cache policy",
+              StrFormat("%zu slots; spans of 1 and 12 months; LRU numbers "
+                        "are steady-state (after one warm-up pass)",
+                        slots));
+  PrintRow({"policy", "1 month", "(hits)", "12 months", "(hits)"});
+
+  for (const Policy& policy : policies) {
+    CubeCache cache(policy.options);
+    Status s = cache.Warm(index.get());
+    RASED_CHECK(s.ok()) << s.ToString();
+    index->pager()->ResetStats();
+
+    std::vector<std::string> row = {policy.name};
+    for (int months : {1, 12}) {
+      if (policy.options.policy == CachePolicy::kLru) {
+        // Warm-up pass so LRU reaches steady state — drawn from the same
+        // distribution but with a different seed, so the measured pass
+        // benefits only from distribution-level locality, not from
+        // replaying identical queries.
+        Run(index.get(), &cache, env, *world, 1500 + months, months * 30,
+            env.queries_per_point);
+      }
+      QueryLoadResult r = Run(index.get(), &cache, env, *world,
+                              500 + months, months * 30,
+                              env.queries_per_point);
+      row.push_back(FmtMillis(r.mean_millis));
+      row.push_back(FmtCount(r.mean_cache_hits));
+    }
+    PrintRow(row);
+  }
+
+  // The (alpha, beta, gamma, theta) trade-off of Section VII-A: more
+  // daily slots = finer granularity but shorter covered period; more
+  // monthly/yearly slots = longer periods at coarse granularity.
+  std::printf("\n(alpha, beta, gamma, theta) sweep, same %zu slots:\n",
+              slots);
+  struct Split {
+    const char* name;
+    double a, b, g, t;
+  };
+  for (const Split& split : std::initializer_list<Split>{
+           {"(.8,.1,.1,.0) daily-heavy", .8, .1, .1, .0},
+           {"(.4,.35,.2,.05) deployed", .4, .35, .2, .05},
+           {"(.1,.2,.5,.2) coarse-heavy", .1, .2, .5, .2}}) {
+    CacheOptions sweep_options;
+    sweep_options.num_slots = slots;
+    sweep_options.alpha = split.a;
+    sweep_options.beta = split.b;
+    sweep_options.gamma = split.g;
+    sweep_options.theta = split.t;
+    CubeCache cache(sweep_options);
+    Status s = cache.Warm(index.get());
+    RASED_CHECK(s.ok()) << s.ToString();
+    std::vector<std::string> row = {split.name};
+    for (int months : {1, 12}) {
+      QueryLoadResult r = Run(index.get(), &cache, env, *world,
+                              500 + months, months * 30,
+                              env.queries_per_point);
+      row.push_back(FmtMillis(r.mean_millis));
+      row.push_back(FmtCount(r.mean_cache_hits));
+    }
+    PrintRow(row);
+  }
+
+  // No cache at all, for reference.
+  {
+    std::vector<std::string> row = {"none"};
+    for (int months : {1, 12}) {
+      QueryExecutor executor(index.get(), nullptr, world.get());
+      Rng rng(env.seed + 600 + static_cast<uint64_t>(months));
+      QueryLoadResult r = RunQueryLoad(&executor, env, *world, rng,
+                                       env.queries_per_point, months * 30);
+      row.push_back(FmtMillis(r.mean_millis));
+      row.push_back("0.0");
+    }
+    PrintRow(row);
+  }
+
+  std::printf(
+      "\nExpected: the trade-off of Section VII-A. All-daily covers only\n"
+      "the most recent N days, so it wins very short recent windows and\n"
+      "collapses on long ones; the mixed (alpha,beta,gamma,theta) split\n"
+      "stays strong across window lengths because cached coarse cubes\n"
+      "cover months and years; LRU depends entirely on repeated access\n"
+      "patterns the static policies get for free.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figures 2 & 3 — the Country Analysis example (Section IV-A, Example 1).
+//
+//   SELECT U.Country, U.ElementType, COUNT(*)
+//   FROM UpdateList U
+//   WHERE U.Date BETWEEN 2021-01-01 AND 2021-12-31
+//     AND U.UpdateType IN [New, Update]
+//   GROUP BY U.Country, U.ElementType
+//
+// Regenerates the paper's bar-chart (Figure 2) and pivot-table (Figure 3)
+// renderings from the synthetic 16-year history and reports the query's
+// execution statistics.
+
+#include "bench_common.h"
+#include "dashboard/render.h"
+#include "osm/road_types.h"
+
+using namespace rased;
+using namespace rased::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::FromArgs(argc, argv);
+  auto index = OpenOrBuildIndex(env, /*num_levels=*/4);
+  auto world = MakeWorld(env);
+  RoadTypeTable roads(env.schema.num_road_types);
+
+  CacheOptions cache_options;
+  cache_options.num_slots = 512;
+  CubeCache cache(cache_options);
+  Status s = cache.Warm(index.get());
+  RASED_CHECK(s.ok()) << s.ToString();
+  index->pager()->ResetStats();
+  QueryExecutor executor(index.get(), &cache, world.get());
+
+  AnalysisQuery q;
+  q.range = DateRange(Date::FromYmd(2021, 1, 1), Date::FromYmd(2021, 12, 31));
+  // "newly created or modified": every type except deletions.
+  q.update_types = {UpdateType::kNew, UpdateType::kGeometry,
+                    UpdateType::kMetadata};
+  q.group_country = true;
+  q.group_element_type = true;
+  q.group_update_type = true;  // needed for the Created/Modified pivot
+
+  auto result = executor.Execute(q);
+  RASED_CHECK(result.ok()) << result.status().ToString();
+
+  RenderContext ctx{world.get(), &roads};
+
+  PrintHeader("Figure 3: Country Analysis, table format",
+              "synthetic history; top countries by 2021 road-network "
+              "updates");
+  std::printf("%s\n",
+              RenderCountryElementPivot(result.value(), ctx, 12).c_str());
+
+  PrintHeader("Figure 2: Country Analysis, bar chart format", "");
+  // The bar chart shows per-country totals.
+  AnalysisQuery bars = q;
+  bars.group_element_type = false;
+  bars.group_update_type = false;
+  auto bar_result = executor.Execute(bars);
+  RASED_CHECK(bar_result.ok());
+  std::printf("%s\n",
+              RenderBarChart(bar_result.value(), bars, ctx, 50, 12).c_str());
+
+  std::printf("query stats: %llu cubes (%llu cached, %llu disk), %s\n",
+              static_cast<unsigned long long>(
+                  result.value().stats.cubes_total),
+              static_cast<unsigned long long>(
+                  result.value().stats.cubes_from_cache),
+              static_cast<unsigned long long>(
+                  result.value().stats.cubes_from_disk),
+              FmtMillis(result.value().stats.total_micros() / 1000.0)
+                  .c_str());
+  std::printf(
+      "\nExpected shape (paper): way edits dominate (Fig 3 shows ways\n"
+      "outnumbering nodes ~100x and relations ~10000x), and the most\n"
+      "actively mapped countries (US, India, Germany, ...) lead.\n");
+  return 0;
+}

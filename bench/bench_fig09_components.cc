@@ -1,0 +1,77 @@
+// Figure 9 — Effect of each component in RASED.
+//
+// Three system variants over query windows of 1..16 years:
+//   RASED-F : flat one-level index, no level optimizer, no cache
+//   RASED-O : full hierarchy + level optimizer, no cache
+//   RASED   : hierarchy + optimizer + recency cache (the full system)
+//
+// The paper reports >2 orders of magnitude from F to O (the hierarchy +
+// optimizer) and another order from O to RASED (the cache).
+
+#include <algorithm>
+
+#include "bench_common.h"
+
+using namespace rased;
+using namespace rased::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::FromArgs(argc, argv);
+  auto flat_index = OpenOrBuildIndex(env, /*num_levels=*/1);
+  auto full_index = OpenOrBuildIndex(env, /*num_levels=*/4);
+  auto world = MakeWorld(env);
+
+  // RASED-F.
+  QueryExecutor rased_f(flat_index.get(), nullptr, world.get(),
+                        PlanMode::kFlat);
+  // RASED-O.
+  QueryExecutor rased_o(full_index.get(), nullptr, world.get(),
+                        PlanMode::kOptimized);
+  // Full RASED: 512-slot cache (the paper's 2 GB at 4.4 MB/cube).
+  CacheOptions cache_options;
+  cache_options.num_slots =
+      static_cast<size_t>(env.config.GetInt("cache_slots", 512));
+  CubeCache cache(cache_options);
+  Status s = cache.Warm(full_index.get());
+  RASED_CHECK(s.ok()) << s.ToString();
+  full_index->pager()->ResetStats();
+  QueryExecutor rased_full(full_index.get(), &cache, world.get(),
+                           PlanMode::kOptimized);
+
+  // Flat 16-year queries read thousands of cube pages each; cap their
+  // count so the bench stays interactive.
+  int flat_queries = std::min(env.queries_per_point,
+                              static_cast<int>(env.config.GetInt(
+                                  "flat_queries_per_point", 5)));
+
+  const int kYears[] = {1, 2, 4, 8, 16};
+  PrintHeader("Figure 9: effect of each RASED component",
+              "mean response time (device model) per single-cell query; "
+              "columns also report mean cube-page reads");
+  PrintRow({"window", "RASED-F", "(reads)", "RASED-O", "(reads)", "RASED",
+            "(reads)"});
+
+  for (int years : kYears) {
+    int span_days = years * 365;
+    Rng rng_f(env.seed + 1000 + static_cast<uint64_t>(years));
+    Rng rng_o(env.seed + 1000 + static_cast<uint64_t>(years));
+    Rng rng_r(env.seed + 1000 + static_cast<uint64_t>(years));
+    QueryLoadResult f = RunQueryLoad(&rased_f, env, *world, rng_f,
+                                     flat_queries, span_days);
+    QueryLoadResult o = RunQueryLoad(&rased_o, env, *world, rng_o,
+                                     env.queries_per_point, span_days);
+    QueryLoadResult r = RunQueryLoad(&rased_full, env, *world, rng_r,
+                                     env.queries_per_point, span_days);
+    PrintRow({StrFormat("%d year%s", years, years > 1 ? "s" : ""),
+              FmtMillis(f.mean_millis), FmtCount(f.mean_page_reads),
+              FmtMillis(o.mean_millis), FmtCount(o.mean_page_reads),
+              FmtMillis(r.mean_millis), FmtCount(r.mean_page_reads)});
+  }
+
+  std::printf(
+      "\nExpected shape (paper): RASED-F grows linearly with the window\n"
+      "(one daily cube per day); RASED-O is >2 orders of magnitude better\n"
+      "and nearly flat (coarse cubes); the cache buys another order, with\n"
+      "RASED staying in single-digit milliseconds even at 16 years.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 10 — RASED vs a traditional DBMS.
+//
+// The same single-cell analysis queries executed by full RASED and by the
+// baseline row-store (full scan + hash aggregation through a buffer pool —
+// the plan PostgreSQL runs for the paper's multi-attribute GROUP BY
+// signature). The paper's PostgreSQL sits at ~1000 s regardless of the
+// window because it always scans all 12 B rows; RASED answers from a
+// handful of cubes. At our scaled row count the gap is smaller in absolute
+// terms but the shape is identical: scan cost flat in the window and
+// orders of magnitude above RASED.
+
+#include <algorithm>
+
+#include "bench_common.h"
+
+using namespace rased;
+using namespace rased::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::FromArgs(argc, argv);
+  auto index = OpenOrBuildIndex(env, /*num_levels=*/4);
+  uint64_t rows = 0;
+  auto dbms = OpenOrBuildDbms(env, &rows);
+  auto world = MakeWorld(env);
+
+  CacheOptions cache_options;
+  cache_options.num_slots =
+      static_cast<size_t>(env.config.GetInt("cache_slots", 512));
+  CubeCache cache(cache_options);
+  Status s = cache.Warm(index.get());
+  RASED_CHECK(s.ok()) << s.ToString();
+  index->pager()->ResetStats();
+  QueryExecutor rased_full(index.get(), &cache, world.get());
+
+  int dbms_queries = static_cast<int>(env.config.GetInt(
+      "dbms_queries_per_point", 3));
+
+  const int kYears[] = {1, 2, 4, 8, 16};
+  PrintHeader(
+      "Figure 10: RASED vs traditional DBMS",
+      StrFormat("baseline heap: %llu rows, %llu pages; both systems share "
+                "the same %lld us/page device model",
+                static_cast<unsigned long long>(rows),
+                static_cast<unsigned long long>(dbms->num_pages()),
+                static_cast<long long>(env.device.read_latency_us)));
+  PrintRow({"window", "DBMS", "(reads)", "RASED", "(reads)", "speedup"});
+
+  for (int years : kYears) {
+    int span_days = years * 365;
+    // DBMS side.
+    Rng rng_d(env.seed + 7000 + static_cast<uint64_t>(years));
+    int64_t dbms_micros = 0;
+    uint64_t dbms_reads = 0;
+    for (int i = 0; i < dbms_queries; ++i) {
+      AnalysisQuery q = RandomCellQuery(env, *world, rng_d, span_days);
+      auto result = dbms->Execute(q);
+      RASED_CHECK(result.ok()) << result.status().ToString();
+      dbms_micros += result.value().stats.total_micros();
+      dbms_reads += result.value().stats.io.page_reads;
+    }
+    double dbms_ms = static_cast<double>(dbms_micros) / dbms_queries / 1000.0;
+
+    // RASED side.
+    Rng rng_r(env.seed + 7000 + static_cast<uint64_t>(years));
+    QueryLoadResult r = RunQueryLoad(&rased_full, env, *world, rng_r,
+                                     env.queries_per_point, span_days);
+
+    PrintRow({StrFormat("%d year%s", years, years > 1 ? "s" : ""),
+              FmtMillis(dbms_ms),
+              FmtCount(static_cast<double>(dbms_reads) / dbms_queries),
+              FmtMillis(r.mean_millis), FmtCount(r.mean_page_reads),
+              StrFormat("x%.0f", dbms_ms / std::max(r.mean_millis, 1e-6))});
+  }
+
+  std::printf(
+      "\nExpected shape (paper): the DBMS is flat in the window (it always\n"
+      "scans the whole heap) while RASED stays in milliseconds; at the\n"
+      "paper's 12-billion-row scale the same architecture gap is 5-6\n"
+      "orders of magnitude (~1000 s vs ~10 ms).\n");
+  return 0;
+}

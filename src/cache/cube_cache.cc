@@ -1,0 +1,106 @@
+#include "cache/cube_cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rased {
+
+CubeCache::CubeCache(const CacheOptions& options) : options_(options) {}
+
+void CubeCache::Preload(TemporalIndex* index, Level level, size_t slots) {
+  if (slots == 0) return;
+  for (const CubeKey& key : index->LatestKeys(level, slots)) {
+    auto cube = index->ReadCube(key);
+    if (!cube.ok()) {
+      RASED_LOG(Warning) << "cache preload of " << key.ToString()
+                         << " failed: " << cube.status().ToString();
+      continue;
+    }
+    Entry entry{std::move(cube).value(), lru_list_.end(), false};
+    entries_.insert_or_assign(key, std::move(entry));
+    ++stats_.preloaded;
+  }
+}
+
+Status CubeCache::Warm(TemporalIndex* index) {
+  if (options_.policy == CachePolicy::kLru) return Status::OK();
+  Clear();
+  size_t n = options_.num_slots;
+  if (options_.policy == CachePolicy::kAllDaily) {
+    Preload(index, Level::kDaily, n);
+    return Status::OK();
+  }
+  // kRasedRecency: split N by (alpha, beta, gamma, theta); leftover slots
+  // from rounding (or from levels with fewer cubes than their share) fall
+  // back to daily, the level with the most nodes.
+  size_t weekly = static_cast<size_t>(std::floor(options_.beta * n));
+  size_t monthly = static_cast<size_t>(std::floor(options_.gamma * n));
+  size_t yearly = static_cast<size_t>(std::floor(options_.theta * n));
+  Preload(index, Level::kWeekly, weekly);
+  Preload(index, Level::kMonthly, monthly);
+  Preload(index, Level::kYearly, yearly);
+  // Daily receives its alpha share plus whatever the coarser levels could
+  // not fill (an index may simply have fewer than theta*N yearly cubes).
+  size_t remaining = entries_.size() < n ? n - entries_.size() : 0;
+  Preload(index, Level::kDaily, remaining);
+  return Status::OK();
+}
+
+const DataCube* CubeCache::Find(const CubeKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  if (options_.policy == CachePolicy::kLru && it->second.in_lru) {
+    lru_list_.splice(lru_list_.begin(), lru_list_, it->second.lru_it);
+  }
+  return &it->second.cube;
+}
+
+void CubeCache::Insert(const CubeKey& key, const DataCube& cube) {
+  if (options_.policy != CachePolicy::kLru) return;
+  AdmitLru(key, cube);
+}
+
+void CubeCache::AdmitLru(const CubeKey& key, const DataCube& cube) {
+  if (options_.num_slots == 0) return;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.cube = cube;
+    if (it->second.in_lru) {
+      lru_list_.splice(lru_list_.begin(), lru_list_, it->second.lru_it);
+    }
+    return;
+  }
+  while (entries_.size() >= options_.num_slots && !lru_list_.empty()) {
+    CubeKey victim = lru_list_.back();
+    lru_list_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_list_.push_front(key);
+  Entry entry{cube, lru_list_.begin(), true};
+  entries_.emplace(key, std::move(entry));
+}
+
+void CubeCache::InvalidateRange(const DateRange& range) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.range().Overlaps(range)) {
+      if (it->second.in_lru) lru_list_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CubeCache::Clear() {
+  entries_.clear();
+  lru_list_.clear();
+}
+
+}  // namespace rased

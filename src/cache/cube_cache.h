@@ -1,0 +1,114 @@
+#ifndef RASED_CACHE_CUBE_CACHE_H_
+#define RASED_CACHE_CUBE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "cube/data_cube.h"
+#include "index/temporal_index.h"
+#include "index/temporal_key.h"
+#include "util/result.h"
+
+namespace rased {
+
+/// How the cache decides what lives in its N slots.
+enum class CachePolicy {
+  /// The paper's strategy (Section VII-A): statically preload the most
+  /// recent alpha*N daily, beta*N weekly, gamma*N monthly and theta*N
+  /// yearly cubes. Nothing is admitted or evicted at query time.
+  kRasedRecency = 0,
+  /// Classic LRU admission/eviction on the query path (ablation baseline).
+  kLru = 1,
+  /// Recency preload of daily cubes only (alpha = 1), the degenerate
+  /// configuration Section VII-B's example warns about.
+  kAllDaily = 2,
+};
+
+struct CacheOptions {
+  /// N — number of cube slots. The paper expresses cache size in bytes
+  /// (e.g. 2 GB); slots = bytes / schema.cube_bytes().
+  size_t num_slots = 512;
+
+  /// Per-level slot shares for kRasedRecency; must sum to ~1. Defaults are
+  /// the deployment values of Section VIII.
+  double alpha = 0.4;   // daily
+  double beta = 0.35;   // weekly
+  double gamma = 0.2;   // monthly
+  double theta = 0.05;  // yearly
+
+  CachePolicy policy = CachePolicy::kRasedRecency;
+
+  /// Slots for a byte budget given the cube size.
+  static size_t SlotsForBytes(uint64_t bytes, const CubeSchema& schema) {
+    return static_cast<size_t>(bytes / schema.cube_bytes());
+  }
+};
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t preloaded = 0;
+  uint64_t evictions = 0;
+};
+
+/// In-memory cube cache standing between the query executor and the index
+/// pager (Section VII-A). Lookups are zero-I/O; the executor charges disk
+/// cost only for misses.
+class CubeCache {
+ public:
+  explicit CubeCache(const CacheOptions& options);
+
+  /// Preloads cubes from the index per the configured policy. For
+  /// kRasedRecency/kAllDaily this performs the full static prefetch; for
+  /// kLru it is a no-op (the cache fills on demand). Warm reads go through
+  /// the index pager but are an offline cost — callers typically reset
+  /// pager stats afterwards.
+  Status Warm(TemporalIndex* index);
+
+  /// Returns the cached cube or nullptr; counts a hit/miss. For kLru the
+  /// entry is refreshed.
+  const DataCube* Find(const CubeKey& key);
+
+  /// Hands a cube fetched from disk to the cache. Only the kLru policy
+  /// admits it (the paper's static policy never changes at query time).
+  void Insert(const CubeKey& key, const DataCube& cube);
+
+  bool Contains(const CubeKey& key) const {
+    return entries_.find(key) != entries_.end();
+  }
+
+  /// Drops every cached cube whose window overlaps `range`. Called when
+  /// the monthly rebuild rewrites a month's cubes (and its month/year
+  /// ancestors) underneath the cache; callers re-Warm afterwards to refill
+  /// the freed slots.
+  void InvalidateRange(const DateRange& range);
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return options_.num_slots; }
+  const CacheOptions& options() const { return options_; }
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats{}; }
+  void Clear();
+
+ private:
+  void AdmitLru(const CubeKey& key, const DataCube& cube);
+  void Preload(TemporalIndex* index, Level level, size_t slots);
+
+  CacheOptions options_;
+  CacheStats stats_;
+
+  // Entry storage. lru_list_ is maintained only under the kLru policy.
+  struct Entry {
+    DataCube cube;
+    std::list<CubeKey>::iterator lru_it;
+    bool in_lru = false;
+  };
+  std::unordered_map<CubeKey, Entry, CubeKeyHash> entries_;
+  std::list<CubeKey> lru_list_;  // front = most recent
+};
+
+}  // namespace rased
+
+#endif  // RASED_CACHE_CUBE_CACHE_H_

@@ -1,0 +1,417 @@
+#include "cli/cli.h"
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/rased.h"
+#include "core/replication_ingestor.h"
+#include "dashboard/dashboard_service.h"
+#include "dashboard/render.h"
+#include "io/env.h"
+#include "query/sql_parser.h"
+#include "synth/update_generator.h"
+#include "util/config.h"
+#include "util/str_util.h"
+
+namespace rased {
+
+namespace {
+
+constexpr char kUsage[] = R"(rased — road-network update monitoring for OSM
+
+usage: rased <command> key=value...
+
+commands:
+  init          create a RASED instance
+                  dir=DIR [schema=paper|bench] [levels=1..4] [no_warehouse=1]
+  synth         generate synthetic OSM crawler input files
+                  dir=OUT from=YYYY-MM-DD to=YYYY-MM-DD [seed=N] [rate=X]
+                  [schema=paper|bench]  (must match the consuming instance)
+                  [publish=FEEDDIR]     (emit a replication feed instead)
+  ingest-day    crawl one day's diff + changesets into the instance
+                  dir=DIR date=YYYY-MM-DD osc=FILE changesets=FILE
+  ingest-month  apply a monthly full-history pass
+                  dir=DIR month=YYYY-MM-01 history=FILE changesets=FILE
+  query         run an analysis query
+                  dir=DIR [from=.. to=..] [countries=Germany,Qatar]
+                  [element_types=way,node] [road_types=residential]
+                  [update_types=new,delete,geometry,metadata]
+                  [group=country,date,element_type,road_type,update_type]
+                  [percentage=1] [format=table|bar|json|csv|timeseries|pivot]
+                  or the paper's SQL directly:
+                  sql="SELECT Country, COUNT(*) FROM UpdateList
+                       WHERE Date BETWEEN 2021-01-01 AND 2021-12-31
+                       GROUP BY Country"
+  sample        sample concrete updates (Section IV-B)
+                  dir=DIR changeset=ID | box=minlat,minlon,maxlat,maxlon [n=N]
+  sync          catch up from a replication feed directory
+                  dir=DIR feed=FEEDDIR [finalize=1]
+                  (a feed is published by `synth publish=FEEDDIR` or any
+                   OSM-style sequence of NNNNNNNNN.osc + state files)
+  stats         print index/cache/storage statistics
+                  dir=DIR
+  serve         start the web dashboard
+                  dir=DIR [port=N] [serve_seconds=N (0 = forever)]
+  help          show this message
+)";
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int FailUsage(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n\n%s", message.c_str(), kUsage);
+  return 2;
+}
+
+Result<std::unique_ptr<Rased>> OpenInstance(const Config& config,
+                                            bool warm_cache) {
+  std::string dir = config.GetString("dir", "");
+  if (dir.empty()) return Status::InvalidArgument("dir= is required");
+  RASED_ASSIGN_OR_RETURN(RasedOptions options, Rased::LoadOptions(dir));
+  options.cache.num_slots =
+      static_cast<size_t>(config.GetInt("cache_slots", 512));
+  options.device.read_latency_us = config.GetInt("device_us", 0);
+  options.device.write_latency_us = options.device.read_latency_us;
+  RASED_ASSIGN_OR_RETURN(std::unique_ptr<Rased> rased,
+                         Rased::Open(options));
+  if (warm_cache) {
+    RASED_RETURN_IF_ERROR(rased->WarmCache());
+  }
+  return rased;
+}
+
+int CmdInit(const Config& config) {
+  RasedOptions options;
+  options.dir = config.GetString("dir", "");
+  if (options.dir.empty()) return FailUsage("init needs dir=");
+  std::string schema = config.GetString("schema", "paper");
+  if (schema == "paper") {
+    options.schema = CubeSchema::PaperScale();
+  } else if (schema == "bench") {
+    options.schema = CubeSchema::BenchScale();
+  } else {
+    return FailUsage("schema must be 'paper' or 'bench'");
+  }
+  options.num_levels = static_cast<int>(config.GetInt("levels", 4));
+  options.enable_warehouse = !config.GetBool("no_warehouse", false);
+  auto rased = Rased::Create(options);
+  if (!rased.ok()) return Fail(rased.status());
+  if (auto s = rased.value()->Sync(); !s.ok()) return Fail(s);
+  std::printf("initialized RASED in %s\n  %s\n  %d levels, warehouse %s\n",
+              options.dir.c_str(), options.schema.ToString().c_str(),
+              options.num_levels,
+              options.enable_warehouse ? "enabled" : "disabled");
+  return 0;
+}
+
+int CmdSynth(const Config& config) {
+  std::string dir = config.GetString("dir", "");
+  if (dir.empty() && !config.Has("publish")) {
+    return FailUsage("synth needs dir= (or publish=FEEDDIR)");
+  }
+  auto from = Date::Parse(config.GetString("from", ""));
+  auto to = Date::Parse(config.GetString("to", ""));
+  if (!from.ok() || !to.ok()) {
+    return FailUsage("synth needs from=YYYY-MM-DD to=YYYY-MM-DD");
+  }
+  if (!dir.empty()) {
+    if (auto s = env::CreateDirs(dir); !s.ok()) return Fail(s);
+  }
+
+  SynthOptions synth;
+  synth.seed = static_cast<uint64_t>(config.GetInt("seed", 42));
+  synth.base_updates_per_day = config.GetDouble("rate", 500.0);
+  synth.period = DateRange(from.value(), to.value());
+  // The generator's world must match the consuming instance's schema —
+  // zone grids differ between scales, so a mismatch scrambles locations.
+  std::string schema_name = config.GetString("schema", "paper");
+  CubeSchema schema = schema_name == "bench" ? CubeSchema::BenchScale()
+                                             : CubeSchema::PaperScale();
+  if (schema_name != "paper" && schema_name != "bench") {
+    return FailUsage("schema must be 'paper' or 'bench'");
+  }
+  WorldMap world(schema.num_countries);
+  RoadTypeTable roads(schema.num_road_types);
+  UpdateGenerator generator(synth, &world, &roads);
+
+  // publish=FEEDDIR emits a replication feed (state.txt + sequences)
+  // instead of loose per-day files, for consumption by `rased sync`.
+  if (config.Has("publish")) {
+    ReplicationDirectory feed(config.GetString("publish", ""));
+    uint64_t seq = 0;
+    if (auto latest = feed.LatestState(); latest.ok()) {
+      seq = latest.value().sequence;
+    }
+    for (Date d = from.value(); d <= to.value(); d = d.next()) {
+      DayArtifacts files = generator.GenerateDayArtifacts(d);
+      Status s = feed.Publish(++seq, files.osc_xml,
+                              OsmTimestamp{d, 86399}, files.changesets_xml);
+      if (!s.ok()) return Fail(s);
+    }
+    std::printf("published %s as sequences up to %llu in %s\n",
+                synth.period.ToString().c_str(),
+                static_cast<unsigned long long>(seq),
+                feed.dir().c_str());
+    return 0;
+  }
+
+  for (Date d = from.value(); d <= to.value(); d = d.next()) {
+    DayArtifacts files = generator.GenerateDayArtifacts(d);
+    Status s = env::WriteFile(env::JoinPath(dir, d.ToString() + ".osc"),
+                              files.osc_xml);
+    if (s.ok()) {
+      s = env::WriteFile(
+          env::JoinPath(dir, d.ToString() + ".changesets.xml"),
+          files.changesets_xml);
+    }
+    if (!s.ok()) return Fail(s);
+    // Month artifacts once per completed month inside the range.
+    if (d.is_month_end() && d.month_start() >= from.value()) {
+      MonthArtifacts month = generator.GenerateMonthArtifacts(d.month_start());
+      std::string stem = d.month_start().ToString().substr(0, 7);
+      s = env::WriteFile(env::JoinPath(dir, stem + ".history.xml"),
+                         month.history_xml);
+      if (s.ok()) {
+        s = env::WriteFile(
+            env::JoinPath(dir, stem + ".history-changesets.xml"),
+            month.changesets_xml);
+      }
+      if (!s.ok()) return Fail(s);
+    }
+  }
+  std::printf("wrote synthetic crawler input for %s to %s\n",
+              synth.period.ToString().c_str(), dir.c_str());
+  return 0;
+}
+
+int CmdIngestDay(const Config& config) {
+  auto date = Date::Parse(config.GetString("date", ""));
+  if (!date.ok()) return FailUsage("ingest-day needs date=YYYY-MM-DD");
+  auto osc = env::ReadFile(config.GetString("osc", ""));
+  if (!osc.ok()) return Fail(osc.status());
+  auto changesets = env::ReadFile(config.GetString("changesets", ""));
+  if (!changesets.ok()) return Fail(changesets.status());
+
+  auto rased = OpenInstance(config, /*warm_cache=*/false);
+  if (!rased.ok()) return Fail(rased.status());
+  Status s = rased.value()->IngestDailyArtifacts(date.value(), osc.value(),
+                                                 changesets.value());
+  if (!s.ok()) return Fail(s);
+  if (s = rased.value()->Sync(); !s.ok()) return Fail(s);
+  std::printf("ingested %s (coverage now %s)\n",
+              date.value().ToString().c_str(),
+              rased.value()->index()->coverage().ToString().c_str());
+  return 0;
+}
+
+int CmdIngestMonth(const Config& config) {
+  auto month = Date::Parse(config.GetString("month", ""));
+  if (!month.ok() || !month.value().is_month_start()) {
+    return FailUsage("ingest-month needs month=YYYY-MM-01");
+  }
+  auto history = env::ReadFile(config.GetString("history", ""));
+  if (!history.ok()) return Fail(history.status());
+  auto changesets = env::ReadFile(config.GetString("changesets", ""));
+  if (!changesets.ok()) return Fail(changesets.status());
+
+  auto rased = OpenInstance(config, /*warm_cache=*/false);
+  if (!rased.ok()) return Fail(rased.status());
+  Status s = rased.value()->ApplyMonthlyArtifacts(
+      month.value(), history.value(), changesets.value());
+  if (!s.ok()) return Fail(s);
+  if (s = rased.value()->Sync(); !s.ok()) return Fail(s);
+  std::printf("rebuilt %.7s from the monthly full-history pass\n",
+              month.value().ToString().c_str());
+  return 0;
+}
+
+/// Bridges CLI key=value arguments onto the dashboard's query-parameter
+/// parser, so `rased query` and GET /api/query accept the same names.
+HttpRequest RequestFromConfig(const Config& config) {
+  HttpRequest request;
+  for (const char* key :
+       {"from", "to", "countries", "element_types", "road_types",
+        "update_types", "group", "percentage"}) {
+    if (config.Has(key)) {
+      std::string value = config.GetString(key, "");
+      request.params[key] = value;
+    }
+  }
+  return request;
+}
+
+int CmdQuery(const Config& config) {
+  auto rased = OpenInstance(config, /*warm_cache=*/true);
+  if (!rased.ok()) return Fail(rased.status());
+  DashboardService service(rased.value().get());  // parser reuse; not started
+
+  // Queries may be given as key=value filters or as the paper's SQL.
+  Result<AnalysisQuery> query = AnalysisQuery{};
+  if (config.Has("sql")) {
+    SqlParser parser(&rased.value()->world(), rased.value()->road_types());
+    query = parser.Parse(config.GetString("sql", ""));
+  } else {
+    query = service.ParseQueryParams(RequestFromConfig(config));
+  }
+  if (!query.ok()) return Fail(query.status());
+  auto result = rased.value()->Query(query.value());
+  if (!result.ok()) return Fail(result.status());
+
+  RenderContext ctx{&rased.value()->world(), rased.value()->road_types()};
+  std::string format = config.GetString("format", "table");
+  if (format == "table") {
+    std::printf("%s", RenderTable(result.value(), query.value(), ctx).c_str());
+  } else if (format == "bar") {
+    std::printf("%s",
+                RenderBarChart(result.value(), query.value(), ctx).c_str());
+  } else if (format == "json") {
+    std::printf("%s\n",
+                RenderJson(result.value(), query.value(), ctx).c_str());
+  } else if (format == "timeseries") {
+    std::printf("%s",
+                RenderTimeSeries(result.value(), query.value(), ctx).c_str());
+  } else if (format == "pivot") {
+    std::printf("%s",
+                RenderCountryElementPivot(result.value(), ctx).c_str());
+  } else if (format == "csv") {
+    std::printf("%s", RenderCsv(result.value(), query.value(), ctx).c_str());
+  } else {
+    return FailUsage("unknown format '" + format + "'");
+  }
+  std::fprintf(stderr, "-- %llu cubes (%llu cached), %.3f ms\n",
+               static_cast<unsigned long long>(
+                   result.value().stats.cubes_total),
+               static_cast<unsigned long long>(
+                   result.value().stats.cubes_from_cache),
+               result.value().stats.total_micros() / 1000.0);
+  return 0;
+}
+
+int CmdSample(const Config& config) {
+  auto rased = OpenInstance(config, /*warm_cache=*/false);
+  if (!rased.ok()) return Fail(rased.status());
+  size_t n = static_cast<size_t>(config.GetInt("n", 100));
+
+  Result<std::vector<UpdateRecord>> samples = std::vector<UpdateRecord>{};
+  if (config.Has("changeset")) {
+    auto id = ParseUint(config.GetString("changeset", ""));
+    if (!id.ok()) return Fail(id.status());
+    samples = rased.value()->SampleByChangeset(id.value());
+  } else if (config.Has("box")) {
+    std::vector<std::string> parts = Split(config.GetString("box", ""), ',');
+    if (parts.size() != 4) {
+      return FailUsage("box needs minlat,minlon,maxlat,maxlon");
+    }
+    BoundingBox box;
+    auto a = ParseDouble(parts[0]), b = ParseDouble(parts[1]),
+         c = ParseDouble(parts[2]), d = ParseDouble(parts[3]);
+    if (!a.ok() || !b.ok() || !c.ok() || !d.ok()) {
+      return FailUsage("box needs four numbers");
+    }
+    box = BoundingBox{a.value(), b.value(), c.value(), d.value()};
+    samples = rased.value()->SampleInBox(box, n);
+  } else {
+    return FailUsage("sample needs changeset= or box=");
+  }
+  if (!samples.ok()) return Fail(samples.status());
+  for (const UpdateRecord& r : samples.value()) {
+    std::printf("%s\n", r.ToString().c_str());
+  }
+  std::fprintf(stderr, "-- %zu sample(s)\n", samples.value().size());
+  return 0;
+}
+
+int CmdSync(const Config& config) {
+  std::string feed = config.GetString("feed", "");
+  if (feed.empty()) return FailUsage("sync needs feed=FEEDDIR");
+  auto rased = OpenInstance(config, /*warm_cache=*/false);
+  if (!rased.ok()) return Fail(rased.status());
+  ReplicationIngestor ingestor(rased.value().get(), feed);
+  auto stats = ingestor.CatchUp(config.GetBool("finalize", false));
+  if (!stats.ok()) return Fail(stats.status());
+  if (auto s = rased.value()->Sync(); !s.ok()) return Fail(s);
+  std::printf("applied %llu sequence(s): %llu day(s), %llu update(s); "
+              "coverage now %s\n",
+              static_cast<unsigned long long>(
+                  stats.value().sequences_applied),
+              static_cast<unsigned long long>(stats.value().days_ingested),
+              static_cast<unsigned long long>(
+                  stats.value().records_ingested),
+              rased.value()->index()->coverage().ToString().c_str());
+  return 0;
+}
+
+int CmdStats(const Config& config) {
+  auto rased = OpenInstance(config, /*warm_cache=*/false);
+  if (!rased.ok()) return Fail(rased.status());
+  IndexStorageStats stats = rased.value()->index()->StorageStats();
+  std::printf("coverage:   %s\n",
+              rased.value()->index()->coverage().ToString().c_str());
+  std::printf("schema:     %s\n",
+              rased.value()->options().schema.ToString().c_str());
+  std::printf("cubes:      %llu daily, %llu weekly, %llu monthly, "
+              "%llu yearly (%llu total)\n",
+              static_cast<unsigned long long>(stats.cubes_per_level[0]),
+              static_cast<unsigned long long>(stats.cubes_per_level[1]),
+              static_cast<unsigned long long>(stats.cubes_per_level[2]),
+              static_cast<unsigned long long>(stats.cubes_per_level[3]),
+              static_cast<unsigned long long>(stats.total_cubes));
+  std::printf("index file: %.1f MB\n", stats.file_bytes / 1048576.0);
+  if (rased.value()->warehouse() != nullptr) {
+    std::printf("warehouse:  %llu update records\n",
+                static_cast<unsigned long long>(
+                    rased.value()->warehouse()->num_records()));
+  }
+  return 0;
+}
+
+int CmdServe(const Config& config) {
+  auto rased = OpenInstance(config, /*warm_cache=*/true);
+  if (!rased.ok()) return Fail(rased.status());
+  DashboardService service(rased.value().get());
+  Status s = service.Start(static_cast<int>(config.GetInt("port", 0)));
+  if (!s.ok()) return Fail(s);
+  std::printf("RASED dashboard: http://127.0.0.1:%d/\n", service.port());
+  int64_t serve_seconds = config.GetInt("serve_seconds", 0);
+  if (serve_seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+  } else {
+    for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+  }
+  service.Stop();
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(int argc, const char* const* argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  Config config;
+  if (Status s = config.ParseArgs(argc - 1, argv + 1); !s.ok()) {
+    return FailUsage(s.ToString());
+  }
+  if (command == "init") return CmdInit(config);
+  if (command == "synth") return CmdSynth(config);
+  if (command == "ingest-day") return CmdIngestDay(config);
+  if (command == "ingest-month") return CmdIngestMonth(config);
+  if (command == "query") return CmdQuery(config);
+  if (command == "sample") return CmdSample(config);
+  if (command == "sync") return CmdSync(config);
+  if (command == "stats") return CmdStats(config);
+  if (command == "serve") return CmdServe(config);
+  return FailUsage("unknown command '" + command + "'");
+}
+
+}  // namespace rased

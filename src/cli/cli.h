@@ -1,0 +1,28 @@
+#ifndef RASED_CLI_CLI_H_
+#define RASED_CLI_CLI_H_
+
+namespace rased {
+
+/// Entry point of the `rased` command-line tool (tools/rased_cli.cc is a
+/// trivial main() around this). Exposed as a library function so the
+/// command dispatch, argument handling, and every subcommand are unit
+/// testable.
+///
+/// Usage:
+///   rased init dir=DIR [schema=paper|bench] [levels=1..4] [no_warehouse=1]
+///   rased synth dir=OUT from=YYYY-MM-DD to=YYYY-MM-DD [seed=N] [rate=X]
+///   rased ingest-day dir=DIR date=YYYY-MM-DD osc=FILE changesets=FILE
+///   rased ingest-month dir=DIR month=YYYY-MM-01 history=FILE changesets=FILE
+///   rased query dir=DIR [from=.. to=.. countries=a,b group=country,..]
+///               [percentage=1] [format=table|bar|json|csv|timeseries|pivot]
+///   rased sample dir=DIR changeset=ID | box=minlat,minlon,maxlat,maxlon [n=N]
+///   rased stats dir=DIR
+///   rased serve dir=DIR [port=N] [serve_seconds=N]
+///   rased help
+///
+/// Returns the process exit code (0 on success).
+int RunCli(int argc, const char* const* argv);
+
+}  // namespace rased
+
+#endif  // RASED_CLI_CLI_H_

@@ -1,0 +1,21 @@
+#include "collect/changeset_store.h"
+
+namespace rased {
+
+Status ChangesetStore::AddFromXml(std::string_view xml) {
+  return ChangesetReader::Parse(xml, [this](const Changeset& cs) {
+    Add(cs);
+    return Status::OK();
+  });
+}
+
+void ChangesetStore::Add(const Changeset& changeset) {
+  by_id_[changeset.id] = changeset;
+}
+
+const Changeset* ChangesetStore::Find(uint64_t id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &it->second;
+}
+
+}  // namespace rased

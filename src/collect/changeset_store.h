@@ -1,0 +1,39 @@
+#ifndef RASED_COLLECT_CHANGESET_STORE_H_
+#define RASED_COLLECT_CHANGESET_STORE_H_
+
+#include <string_view>
+#include <unordered_map>
+
+#include "osm/changeset.h"
+#include "util/result.h"
+
+namespace rased {
+
+/// In-memory lookup table of changeset metadata, populated from one or
+/// more changeset XML files. The crawlers use it to resolve the bounding
+/// box (and hence the country and representative coordinates) of way and
+/// relation updates, which carry no coordinates of their own (Section V).
+class ChangesetStore {
+ public:
+  ChangesetStore() = default;
+
+  /// Parses a changeset XML document and adds every changeset. A changeset
+  /// id seen again replaces the previous entry (re-crawl of an updated
+  /// file).
+  Status AddFromXml(std::string_view xml);
+
+  void Add(const Changeset& changeset);
+
+  /// nullptr when unknown.
+  const Changeset* Find(uint64_t id) const;
+
+  size_t size() const { return by_id_.size(); }
+  void Clear() { by_id_.clear(); }
+
+ private:
+  std::unordered_map<uint64_t, Changeset> by_id_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_COLLECT_CHANGESET_STORE_H_

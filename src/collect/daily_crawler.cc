@@ -1,0 +1,50 @@
+#include "collect/daily_crawler.h"
+
+namespace rased {
+
+Status DailyCrawler::CrawlDiff(std::string_view osc_xml,
+                               const ChangesetStore& changesets,
+                               std::vector<UpdateRecord>* out) {
+  return OscReader::Parse(osc_xml, [this, &changesets,
+                                    out](const OsmChange& change) {
+    const Element& e = change.element;
+    ++stats_.elements_seen;
+
+    UpdateRecord r;
+    r.element_type = e.type;
+    r.date = e.meta.timestamp.date;
+    r.changeset_id = e.meta.changeset;
+    const std::string* highway = e.FindTag("highway");
+    r.road_type =
+        highway != nullptr ? road_types_->Intern(*highway) : kRoadTypeNone;
+    r.update_type = change.action == ChangeAction::kCreate
+                        ? UpdateType::kNew
+                        : kProvisionalUpdate;
+
+    // Locate the update. Nodes carry coordinates; ways and relations are
+    // resolved through their changeset's bounding box centre (Section V).
+    if (e.type == ElementType::kNode && e.meta.visible) {
+      r.lat = e.lat;
+      r.lon = e.lon;
+      r.country = world_->CountryAt(LatLon{e.lat, e.lon});
+      ++stats_.located_by_coordinates;
+    } else {
+      const Changeset* cs = changesets.Find(e.meta.changeset);
+      if (cs != nullptr && cs->has_bbox) {
+        r.lat = cs->center_lat();
+        r.lon = cs->center_lon();
+        r.country = world_->CountryAt(LatLon{r.lat, r.lon});
+        ++stats_.located_by_changeset;
+      } else {
+        r.country = kZoneUnknown;
+        ++stats_.unlocated;
+      }
+    }
+
+    out->push_back(r);
+    ++stats_.records_emitted;
+    return Status::OK();
+  });
+}
+
+}  // namespace rased

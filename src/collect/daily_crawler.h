@@ -1,0 +1,46 @@
+#ifndef RASED_COLLECT_DAILY_CRAWLER_H_
+#define RASED_COLLECT_DAILY_CRAWLER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "collect/changeset_store.h"
+#include "collect/crawl_stats.h"
+#include "collect/update_record.h"
+#include "geo/world_map.h"
+#include "osm/osc.h"
+#include "osm/road_types.h"
+
+namespace rased {
+
+/// The daily crawler (Section V): consumes one day's diff (.osc) file plus
+/// the day's changeset metadata and produces UpdateList tuples.
+///
+/// Seven of the eight attributes are filled directly; the UpdateType is
+/// provisional — only "new" vs "updated" is inferable from diffs, so
+/// updated tuples land in the kProvisionalUpdate slot until the monthly
+/// crawler reclassifies (see UpdateType documentation).
+class DailyCrawler {
+ public:
+  /// The map and road-type table must outlive the crawler. The table is
+  /// shared and mutated (new highway values are interned).
+  DailyCrawler(const WorldMap* world, RoadTypeTable* road_types)
+      : world_(world), road_types_(road_types) {}
+
+  /// Crawls one diff document against the given changeset metadata,
+  /// appending tuples to `out`.
+  Status CrawlDiff(std::string_view osc_xml, const ChangesetStore& changesets,
+                   std::vector<UpdateRecord>* out);
+
+  const CrawlStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CrawlStats{}; }
+
+ private:
+  const WorldMap* world_;
+  RoadTypeTable* road_types_;
+  CrawlStats stats_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_COLLECT_DAILY_CRAWLER_H_

@@ -1,0 +1,92 @@
+#include "collect/monthly_crawler.h"
+
+#include "osm/history.h"
+
+namespace rased {
+
+Status MonthlyCrawler::CrawlHistory(std::string_view history_xml,
+                                    const ChangesetStore& changesets,
+                                    const DateRange& window,
+                                    std::vector<UpdateRecord>* out) {
+  // Consecutive versions of one element are adjacent in the file; keep the
+  // previous version to classify the current one.
+  std::optional<Element> previous;
+  Status s = HistoryReader::Parse(
+      history_xml, [this, &changesets, &window, out,
+                    &previous](const Element& e) {
+        ++stats_.elements_seen;
+        const Element* prev = nullptr;
+        if (previous.has_value() && previous->type == e.type &&
+            previous->meta.id == e.meta.id) {
+          prev = &previous.value();
+        }
+        Emit(e, prev, changesets, window, out);
+        previous = e;
+        return Status::OK();
+      });
+  return s;
+}
+
+void MonthlyCrawler::Emit(const Element& current, const Element* previous,
+                          const ChangesetStore& changesets,
+                          const DateRange& window,
+                          std::vector<UpdateRecord>* out) {
+  Date date = current.meta.timestamp.date;
+  if (!window.empty() && !window.Contains(date)) return;
+
+  UpdateRecord r;
+  r.element_type = current.type;
+  r.date = date;
+  r.changeset_id = current.meta.changeset;
+
+  // Road type: from the current version's tags; a deleted version has no
+  // tags, so fall back to the previous version's.
+  const std::string* highway = current.FindTag("highway");
+  if (highway == nullptr && previous != nullptr) {
+    highway = previous->FindTag("highway");
+  }
+  r.road_type =
+      highway != nullptr ? road_types_->Intern(*highway) : kRoadTypeNone;
+
+  // Four-way classification (Section V, monthly crawler).
+  if (!current.meta.visible) {
+    r.update_type = UpdateType::kDelete;
+  } else if (current.meta.version == 1 || previous == nullptr) {
+    r.update_type = UpdateType::kNew;
+  } else if (Element::GeometryDiffers(current, *previous)) {
+    r.update_type = UpdateType::kGeometry;
+  } else {
+    r.update_type = UpdateType::kMetadata;
+  }
+
+  // Location: node coordinates (previous version's for deletes, which may
+  // have none of their own), else the changeset bbox centre.
+  const Element* located = &current;
+  if (current.type == ElementType::kNode && !current.meta.visible &&
+      previous != nullptr) {
+    located = previous;
+  }
+  if (located->type == ElementType::kNode &&
+      (located->meta.visible || located == previous)) {
+    r.lat = located->lat;
+    r.lon = located->lon;
+    r.country = world_->CountryAt(LatLon{r.lat, r.lon});
+    ++stats_.located_by_coordinates;
+  } else {
+    const Changeset* cs = changesets.Find(current.meta.changeset);
+    if (cs != nullptr && cs->has_bbox) {
+      r.lat = cs->center_lat();
+      r.lon = cs->center_lon();
+      r.country = world_->CountryAt(LatLon{r.lat, r.lon});
+      ++stats_.located_by_changeset;
+    } else {
+      r.country = kZoneUnknown;
+      ++stats_.unlocated;
+    }
+  }
+
+  out->push_back(r);
+  ++stats_.records_emitted;
+}
+
+}  // namespace rased

@@ -1,0 +1,153 @@
+#include "collect/replication.h"
+
+#include "io/env.h"
+#include "util/str_util.h"
+
+namespace rased {
+
+Result<ReplicationState> ReplicationState::Parse(std::string_view contents) {
+  ReplicationState state;
+  bool have_sequence = false;
+  for (const std::string& raw_line : Split(contents, '\n')) {
+    std::string_view line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::Corruption("bad state line: " + std::string(line));
+    }
+    std::string key(Trim(line.substr(0, eq)));
+    std::string value(Trim(line.substr(eq + 1)));
+    if (key == "sequenceNumber") {
+      RASED_ASSIGN_OR_RETURN(state.sequence, ParseUint(value));
+      have_sequence = true;
+    } else if (key == "timestamp") {
+      // The real files escape colons: 2021-09-01T00\:00\:00Z.
+      std::string unescaped;
+      for (size_t i = 0; i < value.size(); ++i) {
+        if (value[i] == '\\' && i + 1 < value.size()) continue;
+        unescaped.push_back(value[i]);
+      }
+      RASED_ASSIGN_OR_RETURN(state.timestamp, OsmTimestamp::Parse(unescaped));
+    }
+    // Unknown keys (txnMax etc.) are ignored, like osmosis does.
+  }
+  if (!have_sequence) {
+    return Status::Corruption("state file missing sequenceNumber");
+  }
+  return state;
+}
+
+std::string ReplicationState::Format() const {
+  // Colons escaped as in the planet server's files.
+  std::string ts = timestamp.ToString();
+  std::string escaped;
+  for (char c : ts) {
+    if (c == ':') escaped.push_back('\\');
+    escaped.push_back(c);
+  }
+  return StrFormat("sequenceNumber=%llu\ntimestamp=%s\n",
+                   static_cast<unsigned long long>(sequence),
+                   escaped.c_str());
+}
+
+std::string ReplicationDirectory::DiffPath(uint64_t sequence) const {
+  return env::JoinPath(dir_, StrFormat("%09llu.osc",
+                                       static_cast<unsigned long long>(
+                                           sequence)));
+}
+
+std::string ReplicationDirectory::StatePath(uint64_t sequence) const {
+  return env::JoinPath(dir_, StrFormat("%09llu.state.txt",
+                                       static_cast<unsigned long long>(
+                                           sequence)));
+}
+
+Result<ReplicationState> ReplicationDirectory::LatestState() const {
+  RASED_ASSIGN_OR_RETURN(std::string contents,
+                         env::ReadFile(env::JoinPath(dir_, "state.txt")));
+  return ReplicationState::Parse(contents);
+}
+
+Result<ReplicationState> ReplicationDirectory::StateOf(
+    uint64_t sequence) const {
+  RASED_ASSIGN_OR_RETURN(std::string contents,
+                         env::ReadFile(StatePath(sequence)));
+  return ReplicationState::Parse(contents);
+}
+
+std::string ReplicationDirectory::ChangesetsPath(uint64_t sequence) const {
+  return env::JoinPath(dir_, StrFormat("%09llu.changesets.xml",
+                                       static_cast<unsigned long long>(
+                                           sequence)));
+}
+
+Result<std::string> ReplicationDirectory::ReadDiff(uint64_t sequence) const {
+  return env::ReadFile(DiffPath(sequence));
+}
+
+Result<std::string> ReplicationDirectory::ReadChangesets(
+    uint64_t sequence) const {
+  if (!env::FileExists(ChangesetsPath(sequence))) {
+    return std::string("<osm version=\"0.6\"/>");
+  }
+  return env::ReadFile(ChangesetsPath(sequence));
+}
+
+Status ReplicationDirectory::Publish(uint64_t sequence,
+                                     std::string_view osc_xml,
+                                     const OsmTimestamp& timestamp,
+                                     std::string_view changesets_xml) {
+  RASED_RETURN_IF_ERROR(env::CreateDirs(dir_));
+  auto latest = LatestState();
+  if (latest.ok() && latest.value().sequence >= sequence) {
+    return Status::InvalidArgument(
+        StrFormat("sequence %llu already published (feed is at %llu)",
+                  static_cast<unsigned long long>(sequence),
+                  static_cast<unsigned long long>(latest.value().sequence)));
+  }
+  ReplicationState state;
+  state.sequence = sequence;
+  state.timestamp = timestamp;
+  RASED_RETURN_IF_ERROR(env::WriteFile(DiffPath(sequence), osc_xml));
+  if (!changesets_xml.empty()) {
+    RASED_RETURN_IF_ERROR(
+        env::WriteFile(ChangesetsPath(sequence), changesets_xml));
+  }
+  RASED_RETURN_IF_ERROR(
+      env::WriteFile(StatePath(sequence), state.Format()));
+  // The top-level state advances last, atomically: consumers never see a
+  // sequence they cannot fetch.
+  return env::WriteFileAtomic(env::JoinPath(dir_, "state.txt"),
+                              state.Format());
+}
+
+Result<uint64_t> ReplicationCursor::LastApplied() const {
+  if (!env::FileExists(cursor_path_)) return static_cast<uint64_t>(0);
+  RASED_ASSIGN_OR_RETURN(std::string contents, env::ReadFile(cursor_path_));
+  return ParseUint(Trim(contents));
+}
+
+Status ReplicationCursor::Store(uint64_t sequence) const {
+  return env::WriteFileAtomic(cursor_path_, std::to_string(sequence));
+}
+
+Result<uint64_t> ReplicationCursor::CatchUp(const ReplicationDirectory& feed,
+                                            const ApplyFn& apply) {
+  RASED_ASSIGN_OR_RETURN(uint64_t applied, LastApplied());
+  auto latest = feed.LatestState();
+  if (!latest.ok()) {
+    if (latest.status().IsIOError()) return static_cast<uint64_t>(0);  // empty feed
+    return latest.status();
+  }
+  uint64_t count = 0;
+  for (uint64_t seq = applied + 1; seq <= latest.value().sequence; ++seq) {
+    auto diff = feed.ReadDiff(seq);
+    if (!diff.ok()) return diff.status();
+    RASED_RETURN_IF_ERROR(apply(seq, diff.value()));
+    RASED_RETURN_IF_ERROR(Store(seq));
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace rased

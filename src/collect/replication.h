@@ -1,0 +1,96 @@
+#ifndef RASED_COLLECT_REPLICATION_H_
+#define RASED_COLLECT_REPLICATION_H_
+
+#include <functional>
+#include <string>
+
+#include "osm/element.h"
+#include "util/result.h"
+
+namespace rased {
+
+/// State descriptor of a replication feed, mirroring OSM's state.txt
+/// (sequenceNumber + timestamp). Both the real format's escaped colons
+/// ("2021-09-01T00\:00\:00Z") and plain timestamps are accepted.
+struct ReplicationState {
+  uint64_t sequence = 0;
+  OsmTimestamp timestamp;
+
+  static Result<ReplicationState> Parse(std::string_view contents);
+  std::string Format() const;
+};
+
+/// A directory laid out like an OSM replication feed: one `NNNNNNNNN.osc`
+/// diff plus `NNNNNNNNN.state.txt` per sequence number, and a top-level
+/// `state.txt` describing the newest sequence. (The real planet server
+/// nests sequences three directories deep and gzips the diffs; this
+/// implementation keeps a flat, uncompressed layout with the same
+/// semantics.)
+class ReplicationDirectory {
+ public:
+  explicit ReplicationDirectory(std::string dir) : dir_(std::move(dir)) {}
+
+  /// The newest published state (from the top-level state.txt).
+  Result<ReplicationState> LatestState() const;
+
+  /// State of one specific sequence.
+  Result<ReplicationState> StateOf(uint64_t sequence) const;
+
+  /// Contents of one sequence's diff.
+  Result<std::string> ReadDiff(uint64_t sequence) const;
+
+  /// Changeset metadata published alongside a diff (empty <osm/> document
+  /// when the publisher provided none).
+  Result<std::string> ReadChangesets(uint64_t sequence) const;
+
+  /// Publisher side: writes the diff (+ optional changeset metadata) and
+  /// its state file, then atomically advances the top-level state.txt.
+  /// Sequences must be published in increasing order.
+  Status Publish(uint64_t sequence, std::string_view osc_xml,
+                 const OsmTimestamp& timestamp,
+                 std::string_view changesets_xml = {});
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string DiffPath(uint64_t sequence) const;
+  std::string StatePath(uint64_t sequence) const;
+  std::string ChangesetsPath(uint64_t sequence) const;
+
+  std::string dir_;
+};
+
+/// Resumable consumer: remembers the last applied sequence in a cursor
+/// file and replays every newer diff through a callback. Crash-safe — the
+/// cursor advances (atomically) only after the callback succeeded, so a
+/// failed application is retried on the next CatchUp.
+class ReplicationCursor {
+ public:
+  /// `cursor_path` is the file holding the last applied sequence.
+  explicit ReplicationCursor(std::string cursor_path)
+      : cursor_path_(std::move(cursor_path)) {}
+
+  /// Last applied sequence; 0 when nothing was applied yet.
+  Result<uint64_t> LastApplied() const;
+
+  using ApplyFn =
+      std::function<Status(uint64_t sequence, const std::string& osc_xml)>;
+
+  /// Applies every sequence in (last applied, feed latest], advancing the
+  /// cursor after each success. Returns the number of diffs applied.
+  Result<uint64_t> CatchUp(const ReplicationDirectory& feed,
+                           const ApplyFn& apply);
+
+  /// Explicitly advances the cursor (for consumers with their own batch
+  /// semantics, e.g. ReplicationIngestor's day finalization).
+  Status Advance(uint64_t sequence) const { return Store(sequence); }
+
+ private:
+  Status Store(uint64_t sequence) const;
+
+  std::string cursor_path_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_COLLECT_REPLICATION_H_

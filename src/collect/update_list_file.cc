@@ -1,0 +1,164 @@
+#include "collect/update_list_file.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "io/env.h"
+#include "util/str_util.h"
+
+namespace rased {
+namespace update_list_file {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x5544554c;  // "UDUL"
+constexpr size_t kHeaderBytes = 16;      // magic, record size, count
+
+struct Header {
+  uint32_t magic = kMagic;
+  uint32_t record_bytes = UpdateRecord::kEncodedBytes;
+  uint64_t count = 0;
+};
+
+void EncodeHeader(const Header& h, unsigned char* out) {
+  std::memcpy(out, &h.magic, 4);
+  std::memcpy(out + 4, &h.record_bytes, 4);
+  std::memcpy(out + 8, &h.count, 8);
+}
+
+Result<Header> DecodeHeader(const unsigned char* in) {
+  Header h;
+  std::memcpy(&h.magic, in, 4);
+  std::memcpy(&h.record_bytes, in + 4, 4);
+  std::memcpy(&h.count, in + 8, 8);
+  if (h.magic != kMagic) {
+    return Status::Corruption("bad UpdateList file magic");
+  }
+  if (h.record_bytes != UpdateRecord::kEncodedBytes) {
+    return Status::Corruption(
+        StrFormat("UpdateList record size %u, expected %zu", h.record_bytes,
+                  UpdateRecord::kEncodedBytes));
+  }
+  return h;
+}
+
+Status WriteImpl(const std::string& path,
+                 const std::vector<UpdateRecord>& records, bool append) {
+  uint64_t existing = 0;
+  if (append && env::FileExists(path)) {
+    auto count = Count(path);
+    if (!count.ok()) return count.status();
+    existing = count.value();
+  }
+  std::ofstream out;
+  if (append && existing > 0) {
+    out.open(path, std::ios::binary | std::ios::in | std::ios::out);
+    out.seekp(0, std::ios::end);
+  } else {
+    out.open(path, std::ios::binary | std::ios::trunc);
+  }
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+
+  if (existing == 0) {
+    unsigned char header[kHeaderBytes] = {0};
+    Header h;
+    h.count = records.size();
+    EncodeHeader(h, header);
+    out.write(reinterpret_cast<const char*>(header), kHeaderBytes);
+  }
+
+  std::vector<unsigned char> buf;
+  constexpr size_t kBatch = 4096;
+  buf.resize(kBatch * UpdateRecord::kEncodedBytes);
+  size_t in_buf = 0;
+  for (const UpdateRecord& r : records) {
+    r.EncodeTo(buf.data() + in_buf * UpdateRecord::kEncodedBytes);
+    if (++in_buf == kBatch) {
+      out.write(reinterpret_cast<const char*>(buf.data()),
+                static_cast<std::streamsize>(in_buf *
+                                             UpdateRecord::kEncodedBytes));
+      in_buf = 0;
+    }
+  }
+  if (in_buf > 0) {
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(in_buf *
+                                           UpdateRecord::kEncodedBytes));
+  }
+
+  if (existing > 0) {
+    // Update the header count in place.
+    unsigned char header[kHeaderBytes] = {0};
+    Header h;
+    h.count = existing + records.size();
+    EncodeHeader(h, header);
+    out.seekp(0);
+    out.write(reinterpret_cast<const char*>(header), kHeaderBytes);
+  }
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Write(const std::string& path,
+             const std::vector<UpdateRecord>& records) {
+  return WriteImpl(path, records, /*append=*/false);
+}
+
+Status Append(const std::string& path,
+              const std::vector<UpdateRecord>& records) {
+  return WriteImpl(path, records, /*append=*/true);
+}
+
+Result<uint64_t> Count(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  unsigned char header[kHeaderBytes];
+  in.read(reinterpret_cast<char*>(header), kHeaderBytes);
+  if (!in) return Status::Corruption("truncated UpdateList header in " + path);
+  auto h = DecodeHeader(header);
+  if (!h.ok()) return h.status();
+  return h.value().count;
+}
+
+Status ForEach(const std::string& path,
+               const std::function<Status(const UpdateRecord&)>& cb) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  unsigned char header[kHeaderBytes];
+  in.read(reinterpret_cast<char*>(header), kHeaderBytes);
+  if (!in) return Status::Corruption("truncated UpdateList header in " + path);
+  RASED_ASSIGN_OR_RETURN(Header h, DecodeHeader(header));
+
+  constexpr size_t kBatch = 4096;
+  std::vector<unsigned char> buf(kBatch * UpdateRecord::kEncodedBytes);
+  uint64_t remaining = h.count;
+  while (remaining > 0) {
+    size_t n = static_cast<size_t>(
+        std::min<uint64_t>(remaining, kBatch));
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(n * UpdateRecord::kEncodedBytes));
+    if (!in) return Status::Corruption("truncated UpdateList body in " + path);
+    for (size_t i = 0; i < n; ++i) {
+      RASED_RETURN_IF_ERROR(cb(UpdateRecord::DecodeFrom(
+          buf.data() + i * UpdateRecord::kEncodedBytes)));
+    }
+    remaining -= n;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<UpdateRecord>> Read(const std::string& path) {
+  std::vector<UpdateRecord> out;
+  Status s = ForEach(path, [&out](const UpdateRecord& r) {
+    out.push_back(r);
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+}  // namespace update_list_file
+}  // namespace rased

@@ -1,0 +1,38 @@
+#ifndef RASED_COLLECT_UPDATE_LIST_FILE_H_
+#define RASED_COLLECT_UPDATE_LIST_FILE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "collect/update_record.h"
+#include "util/result.h"
+
+namespace rased {
+
+/// Binary on-disk UpdateList: the hand-off format between the crawlers
+/// (Section V) and the Storage & Indexing module (Section VI). A file is a
+/// small header followed by fixed-width encoded UpdateRecords.
+namespace update_list_file {
+
+/// Writes all records to `path`, replacing any existing file.
+Status Write(const std::string& path, const std::vector<UpdateRecord>& records);
+
+/// Appends records to an existing file (or creates it).
+Status Append(const std::string& path, const std::vector<UpdateRecord>& records);
+
+/// Reads the whole file.
+Result<std::vector<UpdateRecord>> Read(const std::string& path);
+
+/// Streams records one at a time without materializing the vector; the
+/// callback returns a non-OK status to stop.
+Status ForEach(const std::string& path,
+               const std::function<Status(const UpdateRecord&)>& cb);
+
+/// Number of records in the file without reading the payload.
+Result<uint64_t> Count(const std::string& path);
+
+}  // namespace update_list_file
+}  // namespace rased
+
+#endif  // RASED_COLLECT_UPDATE_LIST_FILE_H_

@@ -1,0 +1,83 @@
+#include "collect/update_record.h"
+
+#include <cstring>
+
+#include "util/str_util.h"
+
+namespace rased {
+
+std::string_view UpdateTypeName(UpdateType type) {
+  switch (type) {
+    case UpdateType::kNew:
+      return "new";
+    case UpdateType::kDelete:
+      return "delete";
+    case UpdateType::kGeometry:
+      return "geometry";
+    case UpdateType::kMetadata:
+      return "metadata";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+void Put(unsigned char*& p, T value) {
+  std::memcpy(p, &value, sizeof(T));
+  p += sizeof(T);
+}
+
+template <typename T>
+T Get(const unsigned char*& p) {
+  T value;
+  std::memcpy(&value, p, sizeof(T));
+  p += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+void UpdateRecord::EncodeTo(unsigned char* out) const {
+  unsigned char* p = out;
+  Put<uint8_t>(p, static_cast<uint8_t>(element_type));
+  Put<int32_t>(p, date.days_since_epoch());
+  Put<uint16_t>(p, country);
+  Put<double>(p, lat);
+  Put<double>(p, lon);
+  Put<uint16_t>(p, road_type);
+  Put<uint8_t>(p, static_cast<uint8_t>(update_type));
+  Put<uint64_t>(p, changeset_id);
+}
+
+UpdateRecord UpdateRecord::DecodeFrom(const unsigned char* in) {
+  const unsigned char* p = in;
+  UpdateRecord r;
+  r.element_type = static_cast<ElementType>(Get<uint8_t>(p));
+  r.date = Date::FromDays(Get<int32_t>(p));
+  r.country = Get<uint16_t>(p);
+  r.lat = Get<double>(p);
+  r.lon = Get<double>(p);
+  r.road_type = Get<uint16_t>(p);
+  r.update_type = static_cast<UpdateType>(Get<uint8_t>(p));
+  r.changeset_id = Get<uint64_t>(p);
+  return r;
+}
+
+std::string UpdateRecord::ToString() const {
+  return StrFormat(
+      "<%s %s country=%u (%.5f,%.5f) road=%u %s cs=%llu>",
+      std::string(ElementTypeName(element_type)).c_str(),
+      date.ToString().c_str(), country, lat, lon, road_type,
+      std::string(UpdateTypeName(update_type)).c_str(),
+      static_cast<unsigned long long>(changeset_id));
+}
+
+bool operator==(const UpdateRecord& a, const UpdateRecord& b) {
+  return a.element_type == b.element_type && a.date == b.date &&
+         a.country == b.country && a.lat == b.lat && a.lon == b.lon &&
+         a.road_type == b.road_type && a.update_type == b.update_type &&
+         a.changeset_id == b.changeset_id;
+}
+
+}  // namespace rased

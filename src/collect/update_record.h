@@ -1,0 +1,64 @@
+#ifndef RASED_COLLECT_UPDATE_RECORD_H_
+#define RASED_COLLECT_UPDATE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geo/world_map.h"
+#include "osm/element.h"
+#include "osm/road_types.h"
+#include "util/date.h"
+
+namespace rased {
+
+/// The UpdateType dimension of the data cubes (Section VI-A): newly
+/// created, deleted, geometry update, and metadata update.
+///
+/// The daily crawler can only distinguish "new" from "some update"
+/// (Section V); following the paper it records provisional updates in the
+/// kGeometry slot and leaves the other cells zero — that is the "270,000 of
+/// 540,000 values" the paper computes daily — until the monthly crawler
+/// rebuilds the month's cubes with the full four-way classification.
+enum class UpdateType : uint8_t {
+  kNew = 0,
+  kDelete = 1,
+  kGeometry = 2,
+  kMetadata = 3,
+};
+inline constexpr int kNumUpdateTypes = 4;
+
+std::string_view UpdateTypeName(UpdateType type);
+
+/// The slot used for the daily crawler's provisional "updated" records.
+inline constexpr UpdateType kProvisionalUpdate = UpdateType::kGeometry;
+
+/// One tuple of the UpdateList relation (Section III):
+/// <ElementType, Date, Country, Latitude, Longitude, RoadType, UpdateType,
+/// ChangesetID>.
+struct UpdateRecord {
+  ElementType element_type = ElementType::kNode;
+  Date date;
+  ZoneId country = kZoneUnknown;
+  double lat = 0.0;
+  double lon = 0.0;
+  RoadTypeId road_type = kRoadTypeNone;
+  UpdateType update_type = UpdateType::kNew;
+  uint64_t changeset_id = 0;
+
+  /// Fixed serialized footprint (little-endian packed encoding).
+  static constexpr size_t kEncodedBytes = 1 + 4 + 2 + 8 + 8 + 2 + 1 + 8;
+
+  /// Encodes into exactly kEncodedBytes at `out`.
+  void EncodeTo(unsigned char* out) const;
+
+  /// Decodes from exactly kEncodedBytes at `in`.
+  static UpdateRecord DecodeFrom(const unsigned char* in);
+
+  std::string ToString() const;
+
+  friend bool operator==(const UpdateRecord& a, const UpdateRecord& b);
+};
+
+}  // namespace rased
+
+#endif  // RASED_COLLECT_UPDATE_RECORD_H_

@@ -1,0 +1,290 @@
+#include "core/rased.h"
+
+#include "io/env.h"
+#include "util/logging.h"
+#include "util/str_util.h"
+
+namespace rased {
+
+Rased::Rased(const RasedOptions& options) : options_(options) {}
+
+std::string Rased::MetaPath(const std::string& dir) {
+  return env::JoinPath(dir, "rased.meta");
+}
+
+Status Rased::SaveMeta() const {
+  std::string out = "rased-meta v1\n";
+  out += StrFormat("schema %u %u %u %u\n", options_.schema.num_element_types,
+                   options_.schema.num_countries,
+                   options_.schema.num_road_types,
+                   options_.schema.num_update_types);
+  out += StrFormat("levels %d\n", options_.num_levels);
+  out += StrFormat("warehouse %d\n", options_.enable_warehouse ? 1 : 0);
+  // Interned road types are cube coordinates; restarts must reproduce the
+  // id assignment exactly.
+  for (size_t i = 0; i < road_types_->size(); ++i) {
+    out += StrFormat("roadtype %zu %s\n", i,
+                     road_types_->Name(static_cast<RoadTypeId>(i)).c_str());
+  }
+  // Country road-network sizes (Percentage(*) denominators); aggregates
+  // are derived on load.
+  for (ZoneId id : world_->country_ids()) {
+    uint64_t size = world_->zone(id).road_network_size;
+    if (size > 0) {
+      out += StrFormat("zonesize %u %llu\n", id,
+                       static_cast<unsigned long long>(size));
+    }
+  }
+  return env::WriteFileAtomic(MetaPath(options_.dir), out);
+}
+
+Status Rased::LoadMeta() {
+  RASED_ASSIGN_OR_RETURN(std::string contents,
+                         env::ReadFile(MetaPath(options_.dir)));
+  std::vector<std::string> lines = Split(contents, '\n');
+  if (lines.empty() || lines[0] != "rased-meta v1") {
+    return Status::Corruption("bad rased.meta header in " + options_.dir);
+  }
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string_view line = Trim(lines[i]);
+    if (line.empty()) continue;
+    // roadtype values may contain no spaces (highway tag values), so a
+    // plain split is safe.
+    std::vector<std::string> f = Split(line, ' ');
+    if (f[0] == "schema" && f.size() == 5) {
+      CubeSchema s;
+      RASED_ASSIGN_OR_RETURN(int64_t et, ParseInt(f[1]));
+      RASED_ASSIGN_OR_RETURN(int64_t co, ParseInt(f[2]));
+      RASED_ASSIGN_OR_RETURN(int64_t rt, ParseInt(f[3]));
+      RASED_ASSIGN_OR_RETURN(int64_t ut, ParseInt(f[4]));
+      s.num_element_types = static_cast<uint32_t>(et);
+      s.num_countries = static_cast<uint32_t>(co);
+      s.num_road_types = static_cast<uint32_t>(rt);
+      s.num_update_types = static_cast<uint32_t>(ut);
+      if (!(s == options_.schema)) {
+        return Status::InvalidArgument("rased.meta schema " + s.ToString() +
+                                       " does not match requested " +
+                                       options_.schema.ToString());
+      }
+    } else if (f[0] == "levels" && f.size() == 2) {
+      RASED_ASSIGN_OR_RETURN(int64_t levels, ParseInt(f[1]));
+      if (levels != options_.num_levels) {
+        return Status::InvalidArgument(
+            StrFormat("rased.meta has %d levels, requested %d",
+                      static_cast<int>(levels), options_.num_levels));
+      }
+    } else if (f[0] == "warehouse" && f.size() == 2) {
+      // Informational; the index/warehouse files themselves decide.
+    } else if (f[0] == "roadtype" && f.size() == 3) {
+      RASED_ASSIGN_OR_RETURN(uint64_t id, ParseUint(f[1]));
+      RoadTypeId got = road_types_->Intern(f[2]);
+      if (id <= 1) continue;  // "(none)"/"other" are structural
+      if (got != static_cast<RoadTypeId>(id)) {
+        return Status::Corruption(
+            StrFormat("road type '%s' restored as id %u, expected %llu",
+                      f[2].c_str(), got,
+                      static_cast<unsigned long long>(id)));
+      }
+    } else if (f[0] == "zonesize" && f.size() == 3) {
+      RASED_ASSIGN_OR_RETURN(uint64_t id, ParseUint(f[1]));
+      RASED_ASSIGN_OR_RETURN(uint64_t size, ParseUint(f[2]));
+      if (id < world_->num_zones() &&
+          world_->zone(static_cast<ZoneId>(id)).kind == ZoneKind::kCountry) {
+        world_->SetRoadNetworkSize(static_cast<ZoneId>(id), size);
+      }
+    } else {
+      return Status::Corruption("bad rased.meta line: " + std::string(line));
+    }
+  }
+  return Status::OK();
+}
+
+Result<RasedOptions> Rased::LoadOptions(const std::string& dir) {
+  RASED_ASSIGN_OR_RETURN(std::string contents, env::ReadFile(MetaPath(dir)));
+  std::vector<std::string> lines = Split(contents, '\n');
+  if (lines.empty() || lines[0] != "rased-meta v1") {
+    return Status::Corruption("bad rased.meta header in " + dir);
+  }
+  RasedOptions options;
+  options.dir = dir;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::vector<std::string> f = Split(Trim(lines[i]), ' ');
+    if (f.empty()) continue;
+    if (f[0] == "schema" && f.size() == 5) {
+      RASED_ASSIGN_OR_RETURN(int64_t et, ParseInt(f[1]));
+      RASED_ASSIGN_OR_RETURN(int64_t co, ParseInt(f[2]));
+      RASED_ASSIGN_OR_RETURN(int64_t rt, ParseInt(f[3]));
+      RASED_ASSIGN_OR_RETURN(int64_t ut, ParseInt(f[4]));
+      options.schema.num_element_types = static_cast<uint32_t>(et);
+      options.schema.num_countries = static_cast<uint32_t>(co);
+      options.schema.num_road_types = static_cast<uint32_t>(rt);
+      options.schema.num_update_types = static_cast<uint32_t>(ut);
+    } else if (f[0] == "levels" && f.size() == 2) {
+      RASED_ASSIGN_OR_RETURN(int64_t levels, ParseInt(f[1]));
+      options.num_levels = static_cast<int>(levels);
+    } else if (f[0] == "warehouse" && f.size() == 2) {
+      options.enable_warehouse = f[1] == "1";
+    }
+  }
+  return options;
+}
+
+Result<std::unique_ptr<Rased>> Rased::Create(const RasedOptions& options) {
+  auto rased = std::unique_ptr<Rased>(new Rased(options));
+  RASED_RETURN_IF_ERROR(rased->InitComponents(/*create=*/true));
+  RASED_RETURN_IF_ERROR(rased->SaveMeta());
+  return rased;
+}
+
+Result<std::unique_ptr<Rased>> Rased::Open(const RasedOptions& options) {
+  auto rased = std::unique_ptr<Rased>(new Rased(options));
+  RASED_RETURN_IF_ERROR(rased->InitComponents(/*create=*/false));
+  RASED_RETURN_IF_ERROR(rased->LoadMeta());
+  return rased;
+}
+
+Status Rased::InitComponents(bool create) {
+  world_ = std::make_unique<WorldMap>(options_.schema.num_countries);
+  road_types_ =
+      std::make_unique<RoadTypeTable>(options_.schema.num_road_types);
+
+  TemporalIndexOptions index_options;
+  index_options.schema = options_.schema;
+  index_options.num_levels = options_.num_levels;
+  index_options.dir = env::JoinPath(options_.dir, "index");
+  index_options.device = options_.device;
+  if (create) {
+    RASED_ASSIGN_OR_RETURN(index_, TemporalIndex::Create(index_options));
+  } else {
+    RASED_ASSIGN_OR_RETURN(index_, TemporalIndex::Open(index_options));
+  }
+
+  builder_ = std::make_unique<CubeBuilder>(options_.schema, world_.get());
+  cache_ = std::make_unique<CubeCache>(options_.cache);
+  executor_ = std::make_unique<QueryExecutor>(index_.get(), cache_.get(),
+                                              world_.get(),
+                                              options_.plan_mode);
+
+  if (options_.enable_warehouse) {
+    WarehouseOptions wh_options;
+    wh_options.dir = env::JoinPath(options_.dir, "warehouse");
+    wh_options.device = options_.device;
+    if (create) {
+      RASED_ASSIGN_OR_RETURN(warehouse_, Warehouse::Create(wh_options));
+    } else {
+      RASED_ASSIGN_OR_RETURN(warehouse_, Warehouse::Open(wh_options));
+    }
+  }
+  return Status::OK();
+}
+
+Status Rased::IngestDailyArtifacts(Date day, std::string_view osc_xml,
+                                   std::string_view changesets_xml) {
+  ChangesetStore changesets;
+  RASED_RETURN_IF_ERROR(changesets.AddFromXml(changesets_xml));
+  DailyCrawler crawler(world_.get(), road_types_.get());
+  std::vector<UpdateRecord> records;
+  RASED_RETURN_IF_ERROR(crawler.CrawlDiff(osc_xml, changesets, &records));
+  return IngestDayRecords(day, records);
+}
+
+Status Rased::IngestDayRecords(Date day,
+                               const std::vector<UpdateRecord>& records) {
+  DataCube cube(options_.schema);
+  for (const UpdateRecord& r : records) {
+    if (r.date != day) {
+      return Status::InvalidArgument(
+          "record dated " + r.date.ToString() +
+          " in ingest for " + day.ToString());
+    }
+    builder_->AddRecord(r, &cube);
+  }
+  RASED_RETURN_IF_ERROR(index_->AppendDay(day, cube));
+  if (warehouse_ != nullptr) {
+    RASED_RETURN_IF_ERROR(warehouse_->Append(records));
+  }
+  return Status::OK();
+}
+
+Status Rased::IngestDayCube(Date day, const DataCube& cube) {
+  return index_->AppendDay(day, cube);
+}
+
+Status Rased::ApplyMonthlyArtifacts(Date month_start,
+                                    std::string_view history_xml,
+                                    std::string_view changesets_xml) {
+  ChangesetStore changesets;
+  RASED_RETURN_IF_ERROR(changesets.AddFromXml(changesets_xml));
+  MonthlyCrawler crawler(world_.get(), road_types_.get());
+  std::vector<UpdateRecord> records;
+  DateRange month(month_start, month_start.month_end());
+  RASED_RETURN_IF_ERROR(
+      crawler.CrawlHistory(history_xml, changesets, month, &records));
+
+  // One cube per day of the month (empty cubes for quiet days).
+  std::map<Date, DataCube> by_day = builder_->BuildDailyCubes(records);
+  std::vector<DataCube> cubes;
+  cubes.reserve(static_cast<size_t>(month.num_days()));
+  for (Date d = month.first; d <= month.last; d = d.next()) {
+    auto it = by_day.find(d);
+    cubes.push_back(it != by_day.end() ? std::move(it->second)
+                                       : DataCube(options_.schema));
+  }
+  RASED_RETURN_IF_ERROR(index_->RebuildMonth(month_start, cubes));
+
+  // The rebuild rewrote this month's cubes and their month/year ancestors
+  // underneath the cache; evict the stale copies. The containing year's
+  // range covers every affected ancestor. Statically-warmed policies are
+  // refilled from the fresh index (another offline cost).
+  cache_->InvalidateRange(
+      DateRange(month_start.year_start(), month_start.year_end()));
+  if (cache_->options().policy != CachePolicy::kLru &&
+      cache_->stats().preloaded > 0) {
+    RASED_RETURN_IF_ERROR(WarmCache());
+  }
+  return Status::OK();
+}
+
+Status Rased::WarmCache() {
+  RASED_RETURN_IF_ERROR(cache_->Warm(index_.get()));
+  // Warm-up reads are offline cost; keep query-time I/O accounting clean.
+  index_->pager()->ResetStats();
+  return Status::OK();
+}
+
+Result<QueryResult> Rased::Query(const AnalysisQuery& query) {
+  return executor_->Execute(query);
+}
+
+Result<std::vector<UpdateRecord>> Rased::SampleInBox(const BoundingBox& box,
+                                                     size_t n) {
+  if (warehouse_ == nullptr) {
+    return Status::NotSupported("warehouse disabled in this instance");
+  }
+  return warehouse_->SampleInBox(box, n);
+}
+
+Result<std::vector<UpdateRecord>> Rased::SampleByChangeset(
+    uint64_t changeset_id) {
+  if (warehouse_ == nullptr) {
+    return Status::NotSupported("warehouse disabled in this instance");
+  }
+  return warehouse_->FindByChangeset(changeset_id);
+}
+
+Result<std::vector<UpdateRecord>> Rased::Sample(const SampleFilter& filter,
+                                                size_t n) {
+  if (warehouse_ == nullptr) {
+    return Status::NotSupported("warehouse disabled in this instance");
+  }
+  return warehouse_->Sample(filter, /*box=*/nullptr, n);
+}
+
+Status Rased::Sync() {
+  RASED_RETURN_IF_ERROR(SaveMeta());
+  RASED_RETURN_IF_ERROR(index_->Sync());
+  if (warehouse_ != nullptr) RASED_RETURN_IF_ERROR(warehouse_->Sync());
+  return Status::OK();
+}
+
+}  // namespace rased

@@ -1,0 +1,159 @@
+#ifndef RASED_CORE_RASED_H_
+#define RASED_CORE_RASED_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cube_cache.h"
+#include "collect/changeset_store.h"
+#include "collect/daily_crawler.h"
+#include "collect/monthly_crawler.h"
+#include "cube/data_cube.h"
+#include "geo/world_map.h"
+#include "index/cube_builder.h"
+#include "index/temporal_index.h"
+#include "osm/road_types.h"
+#include "query/analysis_query.h"
+#include "query/query_executor.h"
+#include "util/result.h"
+#include "warehouse/warehouse.h"
+
+namespace rased {
+
+/// Top-level configuration for a RASED instance.
+struct RasedOptions {
+  /// Root directory; the index and warehouse live in subdirectories.
+  std::string dir;
+
+  /// Cube shape. The Country dimension also fixes the world-map zone
+  /// count; RoadType fixes the road-type table capacity.
+  CubeSchema schema = CubeSchema::PaperScale();
+
+  /// Index hierarchy depth (1 = flat; 4 = full RASED).
+  int num_levels = 4;
+
+  /// Storage device cost model shared by index and warehouse.
+  DeviceModel device;
+
+  /// Cube cache configuration (Section VII-A defaults).
+  CacheOptions cache;
+
+  /// Query planning mode (flat vs. level-optimized).
+  PlanMode plan_mode = PlanMode::kOptimized;
+
+  /// Whether to maintain the sample-update warehouse (Section VI-B). Bulk
+  /// cube loads at benchmark scale typically disable it.
+  bool enable_warehouse = true;
+};
+
+/// The RASED system facade: owns the world map, road-type table, temporal
+/// index, cube cache, query executor, and (optionally) the sample-update
+/// warehouse, and exposes the two ingestion paths (daily crawl, monthly
+/// rebuild) plus the two query families (analysis, sample).
+///
+/// Typical lifecycle:
+///
+///   RasedOptions options;
+///   options.dir = "/data/rased";
+///   auto rased = Rased::Create(options);
+///   for (each day) rased->IngestDailyArtifacts(day, osc_xml, changesets_xml);
+///   rased->WarmCache();
+///   AnalysisQuery q = ...;
+///   auto result = rased->Query(q);
+class Rased {
+ public:
+  static Result<std::unique_ptr<Rased>> Create(const RasedOptions& options);
+  static Result<std::unique_ptr<Rased>> Open(const RasedOptions& options);
+
+  /// Reads the structural options (schema, levels, warehouse flag) a
+  /// directory was created with, so tools can Open() a RASED instance
+  /// without knowing its configuration out of band. Cache/device settings
+  /// are runtime choices and come back defaulted.
+  static Result<RasedOptions> LoadOptions(const std::string& dir);
+
+  Rased(const Rased&) = delete;
+  Rased& operator=(const Rased&) = delete;
+
+  // ---- ingestion (Section V + VI) ----
+
+  /// Daily pipeline: crawl the day's diff + changeset files, build the
+  /// day's cube, append it to the index (with rollups), and stock the
+  /// warehouse.
+  Status IngestDailyArtifacts(Date day, std::string_view osc_xml,
+                              std::string_view changesets_xml);
+
+  /// Same pipeline when the UpdateList tuples are already in hand.
+  Status IngestDayRecords(Date day, const std::vector<UpdateRecord>& records);
+
+  /// Fast path: append a prebuilt day cube (no warehouse, no crawl).
+  Status IngestDayCube(Date day, const DataCube& cube);
+
+  /// Monthly pipeline: crawl the month's full-history fragment (full
+  /// four-way UpdateType classification) and rebuild the month's cubes.
+  Status ApplyMonthlyArtifacts(Date month_start, std::string_view history_xml,
+                               std::string_view changesets_xml);
+
+  /// Preloads the cube cache per the configured policy.
+  Status WarmCache();
+
+  // ---- queries (Section IV) ----
+
+  Result<QueryResult> Query(const AnalysisQuery& query);
+
+  /// Sample update queries (Section IV-B); n defaults to the paper's 100.
+  Result<std::vector<UpdateRecord>> SampleInBox(const BoundingBox& box,
+                                                size_t n = 100);
+  Result<std::vector<UpdateRecord>> SampleByChangeset(uint64_t changeset_id);
+  Result<std::vector<UpdateRecord>> Sample(const SampleFilter& filter,
+                                           size_t n = 100);
+
+  // ---- component access ----
+
+  const WorldMap& world() const { return *world_; }
+  WorldMap* mutable_world() { return world_.get(); }
+  RoadTypeTable* road_types() { return road_types_.get(); }
+  TemporalIndex* index() { return index_.get(); }
+  CubeCache* cache() { return cache_.get(); }
+  QueryExecutor* executor() { return executor_.get(); }
+  Warehouse* warehouse() { return warehouse_.get(); }
+  const RasedOptions& options() const { return options_; }
+
+  /// Resolves a zone by name ("Germany", "North America", "Minnesota").
+  Result<ZoneId> CountryId(std::string_view name) const {
+    return world_->FindByName(name);
+  }
+
+  /// Resolves a road type by highway value ("residential").
+  RoadTypeId RoadTypeIdFor(std::string_view highway) {
+    return road_types_->Intern(highway);
+  }
+
+  Status Sync();
+
+ private:
+  explicit Rased(const RasedOptions& options);
+
+  Status InitComponents(bool create);
+
+  /// rased.meta persistence: structural options plus the mutable lookup
+  /// state that must survive restarts — interned road types (cube
+  /// coordinates!) and per-country road-network sizes (Percentage
+  /// denominators). Saved on Create and Sync, loaded on Open.
+  Status SaveMeta() const;
+  Status LoadMeta();
+  static std::string MetaPath(const std::string& dir);
+
+  RasedOptions options_;
+  std::unique_ptr<WorldMap> world_;
+  std::unique_ptr<RoadTypeTable> road_types_;
+  std::unique_ptr<TemporalIndex> index_;
+  std::unique_ptr<CubeBuilder> builder_;
+  std::unique_ptr<CubeCache> cache_;
+  std::unique_ptr<QueryExecutor> executor_;
+  std::unique_ptr<Warehouse> warehouse_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_CORE_RASED_H_

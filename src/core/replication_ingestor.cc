@@ -1,0 +1,86 @@
+#include "core/replication_ingestor.h"
+
+#include <map>
+
+#include "collect/daily_crawler.h"
+#include "io/env.h"
+#include "util/str_util.h"
+
+namespace rased {
+
+ReplicationIngestor::ReplicationIngestor(Rased* rased, std::string feed_dir)
+    : rased_(rased),
+      feed_(std::move(feed_dir)),
+      cursor_(env::JoinPath(rased->options().dir, "replication.cursor")) {}
+
+Result<ReplicationIngestor::CatchUpStats> ReplicationIngestor::CatchUp(
+    bool finalize_all) {
+  CatchUpStats stats;
+  RASED_ASSIGN_OR_RETURN(uint64_t applied, cursor_.LastApplied());
+  auto latest = feed_.LatestState();
+  if (!latest.ok()) {
+    if (latest.status().IsIOError()) return stats;  // empty feed
+    return latest.status();
+  }
+  if (latest.value().sequence <= applied) return stats;
+
+  // The trailing day may still be receiving sequences; unless finalizing,
+  // it stays unapplied.
+  Date last_day = latest.value().timestamp.date;
+
+  // Appends must be day-consecutive; quiet days between the index's
+  // coverage and an incoming day are filled with empty cubes.
+  auto ingest_day = [this, &stats](Date day,
+                                   const std::vector<UpdateRecord>& records)
+      -> Status {
+    DateRange coverage = rased_->index()->coverage();
+    if (!coverage.empty()) {
+      for (Date gap = coverage.last.next(); gap < day; gap = gap.next()) {
+        RASED_RETURN_IF_ERROR(rased_->IngestDayRecords(gap, {}));
+        ++stats.days_ingested;
+      }
+    }
+    RASED_RETURN_IF_ERROR(rased_->IngestDayRecords(day, records));
+    ++stats.days_ingested;
+    stats.records_ingested += records.size();
+    return Status::OK();
+  };
+
+  DailyCrawler crawler(&rased_->world(), rased_->road_types());
+  std::vector<UpdateRecord> pending;
+  Date pending_day;
+  bool have_pending = false;
+  uint64_t pending_last_seq = applied;
+
+  for (uint64_t seq = applied + 1; seq <= latest.value().sequence; ++seq) {
+    RASED_ASSIGN_OR_RETURN(ReplicationState state, feed_.StateOf(seq));
+    Date day = state.timestamp.date;
+    if (have_pending && day != pending_day) {
+      RASED_RETURN_IF_ERROR(ingest_day(pending_day, pending));
+      RASED_RETURN_IF_ERROR(cursor_.Advance(pending_last_seq));
+      stats.sequences_applied = pending_last_seq - applied;
+      pending.clear();
+      have_pending = false;
+    }
+    if (day == last_day && !finalize_all) break;
+
+    RASED_ASSIGN_OR_RETURN(std::string osc, feed_.ReadDiff(seq));
+    RASED_ASSIGN_OR_RETURN(std::string changesets_xml,
+                           feed_.ReadChangesets(seq));
+    ChangesetStore changesets;
+    RASED_RETURN_IF_ERROR(changesets.AddFromXml(changesets_xml));
+    RASED_RETURN_IF_ERROR(crawler.CrawlDiff(osc, changesets, &pending));
+    pending_day = day;
+    have_pending = true;
+    pending_last_seq = seq;
+  }
+
+  if (have_pending) {
+    RASED_RETURN_IF_ERROR(ingest_day(pending_day, pending));
+    RASED_RETURN_IF_ERROR(cursor_.Advance(pending_last_seq));
+    stats.sequences_applied = pending_last_seq - applied;
+  }
+  return stats;
+}
+
+}  // namespace rased

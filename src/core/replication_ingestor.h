@@ -1,0 +1,50 @@
+#ifndef RASED_CORE_REPLICATION_INGESTOR_H_
+#define RASED_CORE_REPLICATION_INGESTOR_H_
+
+#include <string>
+
+#include "collect/replication.h"
+#include "core/rased.h"
+
+namespace rased {
+
+/// Connects a RASED instance to a replication feed: each CatchUp crawls
+/// every unapplied diff, groups the resulting UpdateList tuples by day,
+/// and ingests complete days through the normal daily pipeline.
+///
+/// Day finalization: the temporal index appends one cube per day, once —
+/// so a day is ingested only when the feed has moved past it (a newer
+/// day's sequence exists). The trailing, possibly-still-growing day stays
+/// unapplied (the cursor does not advance past it) and is re-crawled on
+/// the next CatchUp; pass finalize_all=true to force it in (end of feed).
+///
+/// Diffs must not span days (true of the planet's daily diffs and of
+/// UpdateGenerator's artifacts); a mixed-day diff fails the ingest.
+class ReplicationIngestor {
+ public:
+  /// The cursor lives inside the instance directory, so an instance
+  /// tracks its own position in the feed. `rased` must outlive this.
+  ReplicationIngestor(Rased* rased, std::string feed_dir);
+
+  struct CatchUpStats {
+    uint64_t sequences_applied = 0;
+    uint64_t days_ingested = 0;
+    uint64_t records_ingested = 0;
+  };
+
+  /// Applies all complete days newer than the cursor. With finalize_all,
+  /// the trailing day is ingested too.
+  Result<CatchUpStats> CatchUp(bool finalize_all = false);
+
+  /// Last fully ingested sequence.
+  Result<uint64_t> LastApplied() const { return cursor_.LastApplied(); }
+
+ private:
+  Rased* rased_;
+  ReplicationDirectory feed_;
+  ReplicationCursor cursor_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_CORE_REPLICATION_INGESTOR_H_

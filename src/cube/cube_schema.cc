@@ -1,0 +1,13 @@
+#include "cube/cube_schema.h"
+
+#include "util/str_util.h"
+
+namespace rased {
+
+std::string CubeSchema::ToString() const {
+  return StrFormat("CubeSchema(%u x %u x %u x %u = %zu cells, %zu bytes)",
+                   num_element_types, num_countries, num_road_types,
+                   num_update_types, num_cells(), cube_bytes());
+}
+
+}  // namespace rased

@@ -1,0 +1,84 @@
+#ifndef RASED_CUBE_CUBE_SCHEMA_H_
+#define RASED_CUBE_CUBE_SCHEMA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rased {
+
+/// Shape of RASED's four-dimensional data cubes (Section VI-A). Every index
+/// node at every temporal level shares one schema; a cube cell is the count
+/// of updates in the node's time window matching one value of each
+/// dimension:
+///   ElementType x Country x RoadType x UpdateType.
+///
+/// The paper's deployment uses 3 x 305 x 150 x 4 = 549,000 cells (~4.4 MB
+/// per cube, "one disk page"); benchmarks may run a scaled schema — every
+/// experiment varies the number of cubes touched, never the cube width.
+struct CubeSchema {
+  uint32_t num_element_types = 3;
+  uint32_t num_countries = 305;
+  uint32_t num_road_types = 150;
+  uint32_t num_update_types = 4;
+
+  /// The paper-scale schema (549,000 cells, ~4.4 MB cubes).
+  static CubeSchema PaperScale() { return CubeSchema{}; }
+
+  /// Scaled-down schema used by default in benchmarks on small machines:
+  /// 3 x 64 x 32 x 4 = 24,576 cells (192 KiB cubes).
+  static CubeSchema BenchScale() { return CubeSchema{3, 64, 32, 4}; }
+
+  size_t num_cells() const {
+    return static_cast<size_t>(num_element_types) * num_countries *
+           num_road_types * num_update_types;
+  }
+
+  /// Bytes of one serialized cube (8-byte counters, no header).
+  size_t cube_bytes() const { return num_cells() * sizeof(uint64_t); }
+
+  /// Row-major cell index; callers must pass in-range coordinates.
+  size_t CellIndex(uint32_t element_type, uint32_t country,
+                   uint32_t road_type, uint32_t update_type) const {
+    return ((static_cast<size_t>(element_type) * num_countries + country) *
+                num_road_types +
+            road_type) *
+               num_update_types +
+           update_type;
+  }
+
+  bool InRange(uint32_t element_type, uint32_t country, uint32_t road_type,
+               uint32_t update_type) const {
+    return element_type < num_element_types && country < num_countries &&
+           road_type < num_road_types && update_type < num_update_types;
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const CubeSchema& a, const CubeSchema& b) {
+    return a.num_element_types == b.num_element_types &&
+           a.num_countries == b.num_countries &&
+           a.num_road_types == b.num_road_types &&
+           a.num_update_types == b.num_update_types;
+  }
+};
+
+/// Per-dimension value selection for slicing/aggregating a cube. An empty
+/// list selects every value of that dimension (no filter), mirroring the
+/// optional IN-lists of the paper's SQL query signature (Section IV-A).
+struct CubeSlice {
+  std::vector<uint32_t> element_types;
+  std::vector<uint32_t> countries;
+  std::vector<uint32_t> road_types;
+  std::vector<uint32_t> update_types;
+
+  bool IsUnconstrained() const {
+    return element_types.empty() && countries.empty() && road_types.empty() &&
+           update_types.empty();
+  }
+};
+
+}  // namespace rased
+
+#endif  // RASED_CUBE_CUBE_SCHEMA_H_

@@ -1,0 +1,120 @@
+#include "cube/data_cube.h"
+
+#include <cstring>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/str_util.h"
+
+namespace rased {
+
+DataCube::DataCube(const CubeSchema& schema)
+    : schema_(schema), cells_(schema.num_cells(), 0) {}
+
+void DataCube::Add(uint32_t element_type, uint32_t country,
+                   uint32_t road_type, uint32_t update_type, uint64_t count) {
+  RASED_DCHECK(schema_.InRange(element_type, country, road_type, update_type))
+      << "cube coordinate out of range";
+  cells_[schema_.CellIndex(element_type, country, road_type, update_type)] +=
+      count;
+}
+
+uint64_t DataCube::Get(uint32_t element_type, uint32_t country,
+                       uint32_t road_type, uint32_t update_type) const {
+  RASED_DCHECK(schema_.InRange(element_type, country, road_type, update_type))
+      << "cube coordinate out of range";
+  return cells_[schema_.CellIndex(element_type, country, road_type,
+                                  update_type)];
+}
+
+Status DataCube::Merge(const DataCube& other) {
+  if (!(schema_ == other.schema_)) {
+    return Status::InvalidArgument("merging cubes with different schemas: " +
+                                   schema_.ToString() + " vs " +
+                                   other.schema_.ToString());
+  }
+  const uint64_t* src = other.cells_.data();
+  uint64_t* dst = cells_.data();
+  size_t n = cells_.size();
+  for (size_t i = 0; i < n; ++i) dst[i] += src[i];
+  return Status::OK();
+}
+
+void DataCube::Clear() { std::fill(cells_.begin(), cells_.end(), 0); }
+
+uint64_t DataCube::Total() const {
+  return std::accumulate(cells_.begin(), cells_.end(), uint64_t{0});
+}
+
+namespace {
+
+/// Expands a possibly-empty selection to an iteration universe.
+struct DimIter {
+  const std::vector<uint32_t>* selected;  // nullptr-like when empty
+  uint32_t size;                          // dimension size when unselected
+
+  uint32_t count() const {
+    return selected->empty() ? size
+                             : static_cast<uint32_t>(selected->size());
+  }
+  uint32_t value(uint32_t i) const {
+    return selected->empty() ? i : (*selected)[i];
+  }
+};
+
+}  // namespace
+
+uint64_t DataCube::SumSlice(const CubeSlice& slice) const {
+  if (slice.IsUnconstrained()) return Total();
+  uint64_t sum = 0;
+  ForEachCell(slice, [&sum](uint32_t, uint32_t, uint32_t, uint32_t,
+                            uint64_t count) { sum += count; });
+  return sum;
+}
+
+void DataCube::ForEachCell(const CubeSlice& slice,
+                           const CellVisitor& visit) const {
+  DimIter et{&slice.element_types, schema_.num_element_types};
+  DimIter co{&slice.countries, schema_.num_countries};
+  DimIter rt{&slice.road_types, schema_.num_road_types};
+  DimIter ut{&slice.update_types, schema_.num_update_types};
+
+  for (uint32_t a = 0; a < et.count(); ++a) {
+    uint32_t ev = et.value(a);
+    if (ev >= schema_.num_element_types) continue;
+    for (uint32_t b = 0; b < co.count(); ++b) {
+      uint32_t cv = co.value(b);
+      if (cv >= schema_.num_countries) continue;
+      for (uint32_t c = 0; c < rt.count(); ++c) {
+        uint32_t rv = rt.value(c);
+        if (rv >= schema_.num_road_types) continue;
+        // Innermost dimension: cells are contiguous when unconstrained.
+        size_t base = schema_.CellIndex(ev, cv, rv, 0);
+        for (uint32_t d = 0; d < ut.count(); ++d) {
+          uint32_t uv = ut.value(d);
+          if (uv >= schema_.num_update_types) continue;
+          uint64_t count = cells_[base + uv];
+          if (count != 0) visit(ev, cv, rv, uv, count);
+        }
+      }
+    }
+  }
+}
+
+void DataCube::SerializeTo(unsigned char* out) const {
+  std::memcpy(out, cells_.data(), schema_.cube_bytes());
+}
+
+Result<DataCube> DataCube::Deserialize(const CubeSchema& schema,
+                                       const unsigned char* data, size_t n) {
+  if (n < schema.cube_bytes()) {
+    return Status::Corruption(
+        StrFormat("cube payload %zu bytes, schema needs %zu", n,
+                  schema.cube_bytes()));
+  }
+  DataCube cube(schema);
+  std::memcpy(cube.cells_.data(), data, schema.cube_bytes());
+  return cube;
+}
+
+}  // namespace rased

@@ -1,0 +1,83 @@
+#ifndef RASED_CUBE_DATA_CUBE_H_
+#define RASED_CUBE_DATA_CUBE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cube/cube_schema.h"
+#include "util/result.h"
+
+namespace rased {
+
+/// A dense 4-D array of update counters — one index node's precomputed
+/// statistics (Section VI-A). The dense layout makes the two operations the
+/// index performs constantly trivial and fast: per-update increments during
+/// daily maintenance and whole-cube vector adds during weekly/monthly/
+/// yearly rollups.
+class DataCube {
+ public:
+  /// A zero-filled cube.
+  explicit DataCube(const CubeSchema& schema);
+
+  DataCube(const DataCube&) = default;
+  DataCube& operator=(const DataCube&) = default;
+  DataCube(DataCube&&) = default;
+  DataCube& operator=(DataCube&&) = default;
+
+  const CubeSchema& schema() const { return schema_; }
+
+  /// Increments one cell. Coordinates must be in range (DCHECKed).
+  void Add(uint32_t element_type, uint32_t country, uint32_t road_type,
+           uint32_t update_type, uint64_t count = 1);
+
+  uint64_t Get(uint32_t element_type, uint32_t country, uint32_t road_type,
+               uint32_t update_type) const;
+
+  /// Element-wise sum with another cube of the same schema — the rollup
+  /// operation building weekly/monthly/yearly cubes from their children.
+  Status Merge(const DataCube& other);
+
+  void Clear();
+
+  /// Sum of every cell.
+  uint64_t Total() const;
+
+  /// Sum of the cells selected by `slice` (empty dimension list = all).
+  uint64_t SumSlice(const CubeSlice& slice) const;
+
+  /// Visits every *non-zero* cell selected by `slice`. This is the
+  /// in-memory phase-2 aggregation primitive of the query executor.
+  using CellVisitor =
+      std::function<void(uint32_t element_type, uint32_t country,
+                         uint32_t road_type, uint32_t update_type,
+                         uint64_t count)>;
+  void ForEachCell(const CubeSlice& slice, const CellVisitor& visit) const;
+
+  /// Raw counters in schema cell order.
+  const std::vector<uint64_t>& cells() const { return cells_; }
+
+  // --- serialization (page payload format: raw little-endian counters) ---
+
+  size_t SerializedBytes() const { return schema_.cube_bytes(); }
+
+  /// Writes SerializedBytes() bytes to `out`.
+  void SerializeTo(unsigned char* out) const;
+
+  /// Reads a cube previously serialized with the same schema. `n` must be
+  /// at least schema.cube_bytes().
+  static Result<DataCube> Deserialize(const CubeSchema& schema,
+                                      const unsigned char* data, size_t n);
+
+  friend bool operator==(const DataCube& a, const DataCube& b) {
+    return a.schema_ == b.schema_ && a.cells_ == b.cells_;
+  }
+
+ private:
+  CubeSchema schema_;
+  std::vector<uint64_t> cells_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_CUBE_DATA_CUBE_H_

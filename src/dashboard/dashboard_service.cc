@@ -1,0 +1,355 @@
+#include "dashboard/dashboard_service.h"
+
+#include "dashboard/json_writer.h"
+#include "query/sql_parser.h"
+#include "util/str_util.h"
+
+namespace rased {
+
+namespace {
+
+const char kIndexHtml[] = R"html(<!doctype html>
+<html><head><meta charset="utf-8"><title>RASED</title>
+<style>
+ body{font-family:system-ui,sans-serif;margin:2rem;max-width:70rem}
+ h1{font-size:1.4rem} label{margin-right:.75rem}
+ input,select{margin:.15rem .5rem .15rem 0}
+ pre{background:#f4f4f4;padding:1rem;overflow:auto}
+ table{border-collapse:collapse} td,th{border:1px solid #999;padding:.2rem .6rem;text-align:right}
+ th:first-child,td:first-child{text-align:left}
+</style></head>
+<body>
+<h1>RASED &mdash; Road network updates in OSM</h1>
+<p>Aggregate analysis over the hierarchical temporal cube index.</p>
+<form id="f">
+ <label>from <input name="from" value="2021-01-01"></label>
+ <label>to <input name="to" value="2021-12-31"></label>
+ <label>countries <input name="countries" placeholder="Germany,Qatar"></label>
+ <label>group <input name="group" value="country"></label>
+ <label>update types <input name="update_types" placeholder="new,geometry"></label>
+ <label><input type="checkbox" name="percentage">percentage</label>
+ <button>Run</button>
+</form>
+<h2>Rows</h2><div id="rows"></div>
+<h2>Stats</h2><pre id="stats"></pre>
+<script>
+const f=document.getElementById('f');
+f.addEventListener('submit',async e=>{
+  e.preventDefault();
+  const p=new URLSearchParams();
+  for(const el of f.elements){
+    if(!el.name)continue;
+    if(el.type==='checkbox'){if(el.checked)p.set(el.name,'1');}
+    else if(el.value)p.set(el.name,el.value);
+  }
+  const r=await fetch('/api/query?'+p.toString());
+  const j=await r.json();
+  const rows=j.rows||[];
+  let html='<table><tr>';
+  const cols=rows.length?Object.keys(rows[0]):[];
+  for(const c of cols)html+='<th>'+c+'</th>';
+  html+='</tr>';
+  for(const row of rows.slice(0,200)){
+    html+='<tr>';
+    for(const c of cols)html+='<td>'+row[c]+'</td>';
+    html+='</tr>';
+  }
+  html+='</table>';
+  document.getElementById('rows').innerHTML=html;
+  document.getElementById('stats').textContent=JSON.stringify(j.stats,null,2);
+});
+</script>
+</body></html>
+)html";
+
+std::vector<std::string> SplitParam(const std::string& value) {
+  std::vector<std::string> out;
+  if (value.empty()) return out;
+  for (const std::string& part : Split(value, ',')) {
+    std::string_view trimmed = Trim(part);
+    if (!trimmed.empty()) out.emplace_back(trimmed);
+  }
+  return out;
+}
+
+void WriteError(const Status& status, HttpResponse* response) {
+  // Client mistakes (bad parameter values, unknown names) are 400s.
+  response->status =
+      status.IsInvalidArgument() || status.IsNotFound() ? 400 : 500;
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("error", std::string_view(status.ToString()));
+  w.EndObject();
+  response->body = std::move(w).Finish();
+}
+
+}  // namespace
+
+DashboardService::DashboardService(Rased* rased) : rased_(rased) {
+  ctx_.world = &rased_->world();
+  ctx_.road_types = rased_->road_types();
+  server_.Route("/", [this](const HttpRequest& q, HttpResponse* r) {
+    HandleIndex(q, r);
+  });
+  server_.Route("/api/query", [this](const HttpRequest& q, HttpResponse* r) {
+    HandleQuery(q, r);
+  });
+  server_.Route("/api/sql", [this](const HttpRequest& q, HttpResponse* r) {
+    HandleSql(q, r);
+  });
+  server_.Route("/api/sample", [this](const HttpRequest& q, HttpResponse* r) {
+    HandleSample(q, r);
+  });
+  server_.Route("/api/zones", [this](const HttpRequest& q, HttpResponse* r) {
+    HandleZones(q, r);
+  });
+  server_.Route("/api/stats", [this](const HttpRequest& q, HttpResponse* r) {
+    HandleStats(q, r);
+  });
+}
+
+Status DashboardService::Start(int port) { return server_.Start(port); }
+
+Result<AnalysisQuery> DashboardService::ParseQueryParams(
+    const HttpRequest& request) const {
+  AnalysisQuery query;
+
+  // Dates; default to the whole index coverage.
+  DateRange coverage = rased_->index()->coverage();
+  query.range = coverage;
+  if (request.HasParam("from")) {
+    RASED_ASSIGN_OR_RETURN(query.range.first,
+                           Date::Parse(request.Param("from")));
+  }
+  if (request.HasParam("to")) {
+    RASED_ASSIGN_OR_RETURN(query.range.last, Date::Parse(request.Param("to")));
+  }
+
+  for (const std::string& name : SplitParam(request.Param("countries"))) {
+    RASED_ASSIGN_OR_RETURN(ZoneId id, rased_->CountryId(name));
+    query.countries.push_back(id);
+  }
+  for (const std::string& name : SplitParam(request.Param("element_types"))) {
+    RASED_ASSIGN_OR_RETURN(ElementType t, ParseElementType(name));
+    query.element_types.push_back(t);
+  }
+  for (const std::string& name : SplitParam(request.Param("road_types"))) {
+    query.road_types.push_back(rased_->road_types()->Lookup(name));
+  }
+  for (const std::string& name : SplitParam(request.Param("update_types"))) {
+    if (name == "new") {
+      query.update_types.push_back(UpdateType::kNew);
+    } else if (name == "delete") {
+      query.update_types.push_back(UpdateType::kDelete);
+    } else if (name == "geometry") {
+      query.update_types.push_back(UpdateType::kGeometry);
+    } else if (name == "metadata") {
+      query.update_types.push_back(UpdateType::kMetadata);
+    } else {
+      return Status::InvalidArgument("unknown update type '" + name + "'");
+    }
+  }
+  for (const std::string& name : SplitParam(request.Param("group"))) {
+    if (name == "country") {
+      query.group_country = true;
+    } else if (name == "date") {
+      query.group_date = true;
+    } else if (name == "element_type") {
+      query.group_element_type = true;
+    } else if (name == "road_type") {
+      query.group_road_type = true;
+    } else if (name == "update_type") {
+      query.group_update_type = true;
+    } else {
+      return Status::InvalidArgument("unknown group dimension '" + name + "'");
+    }
+  }
+  query.percentage = request.Param("percentage") == "1";
+  if (query.percentage) query.group_country = true;
+  return query;
+}
+
+void DashboardService::HandleIndex(const HttpRequest&,
+                                   HttpResponse* response) {
+  response->content_type = "text/html; charset=utf-8";
+  response->body = kIndexHtml;
+}
+
+void DashboardService::HandleQuery(const HttpRequest& request,
+                                   HttpResponse* response) {
+  std::lock_guard<std::mutex> lock(rased_mu_);
+  auto query = ParseQueryParams(request);
+  if (!query.ok()) {
+    WriteError(query.status(), response);
+    return;
+  }
+  ExecuteAndRender(query.value(), request, response);
+}
+
+void DashboardService::HandleSql(const HttpRequest& request,
+                                 HttpResponse* response) {
+  std::lock_guard<std::mutex> lock(rased_mu_);
+  std::string sql = request.Param("q");
+  if (sql.empty()) {
+    WriteError(Status::InvalidArgument("missing ?q=<SQL>"), response);
+    return;
+  }
+  SqlParser parser(&rased_->world(), rased_->road_types());
+  auto query = parser.Parse(sql);
+  if (!query.ok()) {
+    WriteError(query.status(), response);
+    return;
+  }
+  ExecuteAndRender(query.value(), request, response);
+}
+
+void DashboardService::ExecuteAndRender(const AnalysisQuery& query,
+                                        const HttpRequest& request,
+                                        HttpResponse* response) {
+  auto result = rased_->Query(query);
+  if (!result.ok()) {
+    WriteError(result.status(), response);
+    return;
+  }
+  std::string format = request.Param("format");
+  if (format.empty() || format == "json") {
+    response->body = RenderJson(result.value(), query, ctx_);
+    return;
+  }
+  if (format == "csv") {
+    response->content_type = "text/csv; charset=utf-8";
+    response->body = RenderCsv(result.value(), query, ctx_);
+    return;
+  }
+  response->content_type = "text/plain; charset=utf-8";
+  if (format == "table") {
+    response->body = RenderTable(result.value(), query, ctx_);
+  } else if (format == "bar") {
+    response->body = RenderBarChart(result.value(), query, ctx_);
+  } else if (format == "timeseries") {
+    response->body = RenderTimeSeries(result.value(), query, ctx_);
+  } else if (format == "choropleth") {
+    response->body = RenderChoropleth(result.value(), ctx_);
+  } else if (format == "pivot") {
+    response->body = RenderCountryElementPivot(result.value(), ctx_);
+  } else {
+    WriteError(Status::InvalidArgument("unknown format '" + format + "'"),
+               response);
+  }
+}
+
+void DashboardService::HandleSample(const HttpRequest& request,
+                                    HttpResponse* response) {
+  std::lock_guard<std::mutex> lock(rased_mu_);
+  Result<std::vector<UpdateRecord>> samples =
+      std::vector<UpdateRecord>{};
+  if (request.HasParam("changeset")) {
+    auto id = ParseUint(request.Param("changeset"));
+    if (!id.ok()) {
+      WriteError(id.status(), response);
+      return;
+    }
+    samples = rased_->SampleByChangeset(id.value());
+  } else if (request.HasParam("min_lat")) {
+    BoundingBox box;
+    auto parse = [&request](const char* key) {
+      return ParseDouble(request.Param(key));
+    };
+    auto min_lat = parse("min_lat"), min_lon = parse("min_lon"),
+         max_lat = parse("max_lat"), max_lon = parse("max_lon");
+    if (!min_lat.ok() || !min_lon.ok() || !max_lat.ok() || !max_lon.ok()) {
+      WriteError(Status::InvalidArgument("bad bounding box"), response);
+      return;
+    }
+    box = BoundingBox{min_lat.value(), min_lon.value(), max_lat.value(),
+                      max_lon.value()};
+    size_t n = 100;
+    if (request.HasParam("n")) {
+      auto parsed = ParseUint(request.Param("n"));
+      if (parsed.ok()) n = static_cast<size_t>(parsed.value());
+    }
+    samples = rased_->SampleInBox(box, n);
+  } else {
+    WriteError(Status::InvalidArgument(
+                   "expected ?changeset=<id> or a bounding box"),
+               response);
+    return;
+  }
+  if (!samples.ok()) {
+    WriteError(samples.status(), response);
+    return;
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("samples");
+  w.BeginArray();
+  for (const UpdateRecord& r : samples.value()) {
+    w.BeginObject();
+    w.KV("element_type", ElementTypeName(r.element_type));
+    w.KV("date", std::string_view(r.date.ToString()));
+    w.KV("country", std::string_view(ctx_.CountryName(r.country)));
+    w.KV("lat", r.lat);
+    w.KV("lon", r.lon);
+    w.KV("road_type", std::string_view(ctx_.RoadTypeName(r.road_type)));
+    w.KV("update_type", UpdateTypeName(r.update_type));
+    w.KV("changeset", r.changeset_id);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  response->body = std::move(w).Finish();
+}
+
+void DashboardService::HandleZones(const HttpRequest&,
+                                   HttpResponse* response) {
+  std::lock_guard<std::mutex> lock(rased_mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("zones");
+  w.BeginArray();
+  for (const Zone& z : rased_->world().zones()) {
+    w.BeginObject();
+    w.KV("id", static_cast<uint64_t>(z.id));
+    w.KV("name", std::string_view(z.name));
+    const char* kind = z.kind == ZoneKind::kCountry     ? "country"
+                       : z.kind == ZoneKind::kContinent ? "continent"
+                       : z.kind == ZoneKind::kState     ? "state"
+                                                        : "unknown";
+    w.KV("kind", kind);
+    w.KV("road_network_size", z.road_network_size);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  response->body = std::move(w).Finish();
+}
+
+void DashboardService::HandleStats(const HttpRequest&,
+                                   HttpResponse* response) {
+  std::lock_guard<std::mutex> lock(rased_mu_);
+  IndexStorageStats storage = rased_->index()->StorageStats();
+  const CacheStats& cache = rased_->cache()->stats();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("index");
+  w.BeginObject();
+  w.KV("coverage", std::string_view(rased_->index()->coverage().ToString()));
+  w.KV("daily_cubes", storage.cubes_per_level[0]);
+  w.KV("weekly_cubes", storage.cubes_per_level[1]);
+  w.KV("monthly_cubes", storage.cubes_per_level[2]);
+  w.KV("yearly_cubes", storage.cubes_per_level[3]);
+  w.KV("total_cubes", storage.total_cubes);
+  w.KV("file_bytes", storage.file_bytes);
+  w.EndObject();
+  w.Key("cache");
+  w.BeginObject();
+  w.KV("slots", static_cast<uint64_t>(rased_->cache()->capacity()));
+  w.KV("resident", static_cast<uint64_t>(rased_->cache()->size()));
+  w.KV("hits", cache.hits);
+  w.KV("misses", cache.misses);
+  w.EndObject();
+  w.EndObject();
+  response->body = std::move(w).Finish();
+}
+
+}  // namespace rased

@@ -1,0 +1,71 @@
+#ifndef RASED_DASHBOARD_DASHBOARD_SERVICE_H_
+#define RASED_DASHBOARD_DASHBOARD_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/rased.h"
+#include "dashboard/http_server.h"
+#include "dashboard/render.h"
+
+namespace rased {
+
+/// The RASED web dashboard: a REST API plus a self-contained HTML page,
+/// backed by one Rased instance. Endpoints:
+///
+///   GET /                  interactive HTML dashboard
+///   GET /api/query         analysis query
+///       ?from=2021-01-01&to=2021-12-31
+///       &countries=Germany,Qatar          (names; empty = all)
+///       &element_types=node,way,relation
+///       &road_types=residential,service
+///       &update_types=new,delete,geometry,metadata
+///       &group=country,element_type,date,road_type,update_type
+///       &percentage=1
+///       &format=json|table|bar|timeseries|choropleth|pivot
+///   GET /api/sql           the same analysis queries in the paper's SQL
+///       ?q=SELECT Country, COUNT(*) FROM UpdateList ... GROUP BY Country
+///       &format=...        (same formats as /api/query)
+///   GET /api/sample        sample update queries (Section IV-B)
+///       ?changeset=<id>  |  ?min_lat=..&min_lon=..&max_lat=..&max_lon=..&n=100
+///   GET /api/zones         the Country dimension (id, name, kind, size)
+///   GET /api/stats         index/cache/storage statistics
+class DashboardService {
+ public:
+  /// `rased` must outlive the service.
+  explicit DashboardService(Rased* rased);
+
+  /// Starts serving on 127.0.0.1:`port` (0 = ephemeral).
+  Status Start(int port);
+  void Stop() { server_.Stop(); }
+  int port() const { return server_.port(); }
+
+  /// Parses /api/query parameters into an AnalysisQuery (exposed for
+  /// tests). Unknown names return InvalidArgument.
+  Result<AnalysisQuery> ParseQueryParams(const HttpRequest& request) const;
+
+ private:
+  void HandleIndex(const HttpRequest& request, HttpResponse* response);
+  void HandleQuery(const HttpRequest& request, HttpResponse* response);
+  void HandleSql(const HttpRequest& request, HttpResponse* response);
+  /// Executes a parsed query and renders it per the `format` param;
+  /// callers hold rased_mu_.
+  void ExecuteAndRender(const AnalysisQuery& query,
+                        const HttpRequest& request, HttpResponse* response);
+  void HandleSample(const HttpRequest& request, HttpResponse* response);
+  void HandleZones(const HttpRequest& request, HttpResponse* response);
+  void HandleStats(const HttpRequest& request, HttpResponse* response);
+
+  Rased* rased_;
+  RenderContext ctx_;
+  HttpServer server_;
+  /// The HTTP workers run handlers concurrently, but a Rased instance is
+  /// single-threaded (queries mutate cache and pager statistics); this
+  /// serializes all access to it.
+  std::mutex rased_mu_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_DASHBOARD_DASHBOARD_SERVICE_H_

@@ -1,0 +1,196 @@
+#include "dashboard/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/str_util.h"
+
+namespace rased {
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Route(const std::string& path, Handler handler) {
+  RASED_CHECK(!running_.load()) << "Route() after Start()";
+  routes_[path] = std::move(handler);
+}
+
+Status HttpServer::Start(int port, int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int on = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError(StrFormat("bind(%d): %s", port,
+                                     std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  running_.store(true);
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { AcceptLoop(); });
+  }
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (running_.exchange(false)) {
+    // Shutting the listen socket down unblocks every accept().
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void HttpServer::AcceptLoop() {
+  // Several workers accept() on the same listening socket; the kernel
+  // hands each incoming connection to exactly one of them.
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      if (errno == EINTR) continue;
+      RASED_LOG(Warning) << "accept: " << std::strerror(errno);
+      break;
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+std::string HttpServer::UrlDecode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%' && i + 2 < text.size() &&
+               std::isxdigit(static_cast<unsigned char>(text[i + 1])) &&
+               std::isxdigit(static_cast<unsigned char>(text[i + 2]))) {
+      auto hex = [](char h) -> int {
+        if (h >= '0' && h <= '9') return h - '0';
+        if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+        return h - 'A' + 10;
+      };
+      out.push_back(static_cast<char>(hex(text[i + 1]) * 16 +
+                                      hex(text[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::string> HttpServer::ParseQuery(
+    std::string_view qs) {
+  std::map<std::string, std::string> params;
+  size_t start = 0;
+  while (start <= qs.size()) {
+    size_t amp = qs.find('&', start);
+    if (amp == std::string_view::npos) amp = qs.size();
+    std::string_view pair = qs.substr(start, amp - start);
+    if (!pair.empty()) {
+      size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        params[UrlDecode(pair)] = "";
+      } else {
+        params[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+      }
+    }
+    start = amp + 1;
+  }
+  return params;
+}
+
+void HttpServer::HandleConnection(int fd) {
+  // Read until the end of the header block (requests here are GETs with no
+  // body) or a sanity cap.
+  std::string request;
+  char buf[4096];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 64 * 1024) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  HttpResponse response;
+  HttpRequest parsed;
+  size_t line_end = request.find("\r\n");
+  std::string first_line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  std::vector<std::string> parts = Split(first_line, ' ');
+  if (parts.size() < 2) {
+    response.status = 400;
+    response.content_type = "text/plain";
+    response.body = "bad request";
+  } else {
+    parsed.method = parts[0];
+    std::string target = parts[1];
+    size_t qmark = target.find('?');
+    if (qmark != std::string::npos) {
+      parsed.params = ParseQuery(std::string_view(target).substr(qmark + 1));
+      parsed.path = target.substr(0, qmark);
+    } else {
+      parsed.path = target;
+    }
+    auto it = routes_.find(parsed.path);
+    if (it == routes_.end()) {
+      response.status = 404;
+      response.content_type = "text/plain";
+      response.body = "not found: " + parsed.path;
+    } else {
+      it->second(parsed, &response);
+    }
+  }
+
+  const char* status_text = response.status == 200   ? "OK"
+                            : response.status == 400 ? "Bad Request"
+                            : response.status == 404 ? "Not Found"
+                                                     : "Error";
+  std::string out = StrFormat(
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      response.status, status_text, response.content_type.c_str(),
+      response.body.size());
+  out += response.body;
+  size_t sent = 0;
+  while (sent < out.size()) {
+    ssize_t n = ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace rased

@@ -1,0 +1,86 @@
+#ifndef RASED_DASHBOARD_HTTP_SERVER_H_
+#define RASED_DASHBOARD_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/result.h"
+
+namespace rased {
+
+/// A parsed HTTP request (method, path, decoded query parameters).
+struct HttpRequest {
+  std::string method;
+  std::string path;  // without the query string
+  std::map<std::string, std::string> params;
+
+  /// Parameter value or empty string.
+  std::string Param(const std::string& key) const {
+    auto it = params.find(key);
+    return it == params.end() ? std::string() : it->second;
+  }
+  bool HasParam(const std::string& key) const {
+    return params.find(key) != params.end();
+  }
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Minimal blocking HTTP/1.1 server for the RASED dashboard: an accept
+/// loop on a background thread, one short-lived connection per request
+/// (Connection: close). Localhost tooling, not an internet-facing server.
+class HttpServer {
+ public:
+  using Handler = std::function<void(const HttpRequest&, HttpResponse*)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler for an exact path. Must be called before Start.
+  void Route(const std::string& path, Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts
+  /// `num_threads` accept workers; each handles one connection at a time,
+  /// so handlers run concurrently and must synchronize shared state
+  /// themselves (DashboardService serializes access to its Rased
+  /// instance).
+  Status Start(int port, int num_threads = 4);
+
+  /// Stops the accept loop and joins the thread. Safe to call twice.
+  void Stop();
+
+  /// The bound port (valid after Start succeeds).
+  int port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+  /// Percent-decodes a URL component (exposed for tests).
+  static std::string UrlDecode(std::string_view text);
+
+  /// Parses "k1=v1&k2=v2" into decoded pairs (exposed for tests).
+  static std::map<std::string, std::string> ParseQuery(std::string_view qs);
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  std::map<std::string, Handler> routes_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_DASHBOARD_HTTP_SERVER_H_

@@ -1,0 +1,65 @@
+#ifndef RASED_DASHBOARD_JSON_WRITER_H_
+#define RASED_DASHBOARD_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rased {
+
+/// Minimal streaming JSON writer for the dashboard's REST responses.
+/// Handles escaping and comma placement; nesting is tracked with a stack.
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("rows");
+///   w.BeginArray();
+///   ...
+///   w.EndArray();
+///   w.EndObject();
+///   std::string body = std::move(w).Finish();
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Object key; must be followed by a value or container.
+  void Key(std::string_view key);
+
+  void Value(std::string_view value);
+  void Value(const char* value) { Value(std::string_view(value)); }
+  void Value(int64_t value);
+  void Value(uint64_t value);
+  void Value(int value) { Value(static_cast<int64_t>(value)); }
+  void Value(double value);
+  void Value(bool value);
+  void Null();
+
+  /// Shorthand for Key + Value.
+  template <typename T>
+  void KV(std::string_view key, T value) {
+    Key(key);
+    Value(value);
+  }
+
+  /// Returns the completed document; the writer must be balanced.
+  std::string Finish() &&;
+
+ private:
+  void MaybeComma();
+  void AppendEscaped(std::string_view text);
+
+  std::string out_;
+  /// true = a value was already emitted at this nesting level.
+  std::vector<bool> has_value_;
+  bool pending_key_ = false;
+};
+
+}  // namespace rased
+
+#endif  // RASED_DASHBOARD_JSON_WRITER_H_

@@ -1,0 +1,177 @@
+#include "dbms/baseline_dbms.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <tuple>
+
+#include "io/env.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace rased {
+
+BaselineDbms::BaselineDbms(DbmsOptions options, std::unique_ptr<Pager> pager)
+    : options_(std::move(options)), pager_(std::move(pager)) {
+  size_t frames = static_cast<size_t>(options_.buffer_pool_bytes /
+                                      options_.page_size);
+  pool_ = std::make_unique<BufferPool>(pager_.get(), frames);
+  tail_.assign(pager_->payload_size(), 0);
+}
+
+BaselineDbms::~BaselineDbms() {
+  Status s = Sync();
+  if (!s.ok()) RASED_LOG(Warning) << "BaselineDbms close: " << s.ToString();
+}
+
+Result<std::unique_ptr<BaselineDbms>> BaselineDbms::Create(
+    const DbmsOptions& options) {
+  RASED_RETURN_IF_ERROR(env::CreateDirs(options.dir));
+  std::string path = env::JoinPath(options.dir, "heap.pages");
+  if (env::FileExists(path)) {
+    return Status::AlreadyExists("dbms heap already exists in " + options.dir);
+  }
+  auto pager = Pager::Create(path, options.page_size, options.device);
+  if (!pager.ok()) return pager.status();
+  return std::unique_ptr<BaselineDbms>(
+      new BaselineDbms(options, std::move(pager).value()));
+}
+
+Result<std::unique_ptr<BaselineDbms>> BaselineDbms::Open(
+    const DbmsOptions& options) {
+  std::string path = env::JoinPath(options.dir, "heap.pages");
+  auto pager = Pager::Open(path, options.device);
+  if (!pager.ok()) return pager.status();
+  auto dbms = std::unique_ptr<BaselineDbms>(
+      new BaselineDbms(options, std::move(pager).value()));
+  // Recover the row count from the page slot headers.
+  std::vector<unsigned char> buf(dbms->pager_->payload_size());
+  for (PageId page = 1; page <= dbms->pager_->num_pages(); ++page) {
+    RASED_RETURN_IF_ERROR(dbms->pager_->ReadPage(page, buf.data()));
+    uint32_t count;
+    std::memcpy(&count, buf.data(), 4);
+    dbms->num_records_ += count;
+  }
+  return dbms;
+}
+
+Status BaselineDbms::Append(const std::vector<UpdateRecord>& records) {
+  const size_t per_page = RecordsPerPage();
+  for (const UpdateRecord& r : records) {
+    if (tail_page_ == kInvalidPageId) {
+      RASED_ASSIGN_OR_RETURN(tail_page_, pager_->AllocatePage());
+      std::fill(tail_.begin(), tail_.end(), 0);
+      tail_count_ = 0;
+    }
+    r.EncodeTo(tail_.data() + 4 + tail_count_ * UpdateRecord::kEncodedBytes);
+    ++tail_count_;
+    ++num_records_;
+    tail_dirty_ = true;
+    if (tail_count_ == per_page) {
+      RASED_RETURN_IF_ERROR(FlushTail());
+      tail_page_ = kInvalidPageId;
+    }
+  }
+  return Status::OK();
+}
+
+Status BaselineDbms::FlushTail() {
+  if (tail_page_ == kInvalidPageId || !tail_dirty_) return Status::OK();
+  std::memcpy(tail_.data(), &tail_count_, 4);
+  RASED_RETURN_IF_ERROR(
+      pager_->WritePage(tail_page_, tail_.data(), tail_.size()));
+  pool_->Invalidate(tail_page_);
+  tail_dirty_ = false;
+  return Status::OK();
+}
+
+Status BaselineDbms::Sync() {
+  RASED_RETURN_IF_ERROR(FlushTail());
+  return pager_->Sync();
+}
+
+Result<QueryResult> BaselineDbms::Execute(const AnalysisQuery& query) {
+  if (query.percentage) {
+    return Status::NotSupported(
+        "the baseline engine reports raw counts only");
+  }
+  StopWatch watch;
+  IoStats io_before = pager_->stats();
+  QueryResult result;
+
+  // Pre-expand filters into dense lookup tables (what a real executor's
+  // expression compilation would do).
+  auto allow = [](auto&& list, size_t domain) {
+    std::vector<char> allowed(domain, list.empty() ? 1 : 0);
+    for (auto v : list) {
+      size_t idx = static_cast<size_t>(v);
+      if (idx < domain) allowed[idx] = 1;
+    }
+    return allowed;
+  };
+  std::vector<char> et_ok = allow(query.element_types, kNumElementTypes);
+  std::vector<char> co_ok = allow(query.countries, 1 << 16);
+  std::vector<char> rt_ok = allow(query.road_types, 1 << 16);
+  std::vector<char> ut_ok = allow(query.update_types, kNumUpdateTypes);
+
+  using GroupKey = std::tuple<int32_t, int32_t, int32_t, int32_t, int32_t>;
+  std::map<GroupKey, uint64_t> groups;
+
+  // Make the heap self-contained before scanning (a real engine's dirty
+  // tail page would be visible through its buffer pool).
+  RASED_RETURN_IF_ERROR(FlushTail());
+
+  auto scan_record = [&](const UpdateRecord& r) {
+    if (!query.range.empty() && !query.range.Contains(r.date)) return;
+    if (!et_ok[static_cast<size_t>(r.element_type)]) return;
+    if (!co_ok[r.country]) return;
+    if (!rt_ok[r.road_type]) return;
+    if (!ut_ok[static_cast<size_t>(r.update_type)]) return;
+    GroupKey gk{
+          query.group_element_type
+              ? static_cast<int32_t>(r.element_type)
+              : ResultRow::kNoGroup,
+          query.group_date ? r.date.days_since_epoch() : ResultRow::kNoGroup,
+          query.group_country ? static_cast<int32_t>(r.country)
+                              : ResultRow::kNoGroup,
+          query.group_road_type ? static_cast<int32_t>(r.road_type)
+                                : ResultRow::kNoGroup,
+          query.group_update_type ? static_cast<int32_t>(r.update_type)
+                                  : ResultRow::kNoGroup};
+    groups[gk] += 1;
+  };
+
+  // Full scan: the GROUP BY touches attributes no single index covers, so
+  // the whole heap streams through the buffer pool.
+  for (PageId page = 1; page <= pager_->num_pages(); ++page) {
+    auto data = pool_->Fetch(page);
+    if (!data.ok()) return data.status();
+    uint32_t count;
+    std::memcpy(&count, data.value(), 4);
+    for (uint32_t slot = 0; slot < count; ++slot) {
+      scan_record(UpdateRecord::DecodeFrom(
+          data.value() + 4 + slot * UpdateRecord::kEncodedBytes));
+    }
+  }
+
+  result.rows.reserve(groups.size());
+  for (const auto& [gk, count] : groups) {
+    ResultRow row;
+    row.element_type = std::get<0>(gk);
+    if (query.group_date) {
+      row.date = Date::FromDays(std::get<1>(gk));
+      row.has_date = true;
+    }
+    row.country = std::get<2>(gk);
+    row.road_type = std::get<3>(gk);
+    row.update_type = std::get<4>(gk);
+    row.count = count;
+    result.rows.push_back(row);
+  }
+
+  result.stats.io = pager_->stats() - io_before;
+  result.stats.cpu_micros = watch.ElapsedMicros();
+  return result;
+}
+
+}  // namespace rased

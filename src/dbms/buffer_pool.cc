@@ -1,0 +1,49 @@
+#include "dbms/buffer_pool.h"
+
+namespace rased {
+
+BufferPool::BufferPool(Pager* pager, size_t capacity_pages)
+    : pager_(pager), capacity_(capacity_pages) {}
+
+Result<const unsigned char*> BufferPool::Fetch(PageId page) {
+  if (capacity_ == 0) {
+    uncached_.resize(pager_->payload_size());
+    RASED_RETURN_IF_ERROR(pager_->ReadPage(page, uncached_.data()));
+    ++stats_.misses;
+    return const_cast<const unsigned char*>(uncached_.data());
+  }
+  auto it = frames_.find(page);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return const_cast<const unsigned char*>(it->second.data.data());
+  }
+  ++stats_.misses;
+  while (frames_.size() >= capacity_ && !lru_.empty()) {
+    PageId victim = lru_.back();
+    lru_.pop_back();
+    frames_.erase(victim);
+    ++stats_.evictions;
+  }
+  Frame frame;
+  frame.data.resize(pager_->payload_size());
+  RASED_RETURN_IF_ERROR(pager_->ReadPage(page, frame.data.data()));
+  lru_.push_front(page);
+  frame.lru_it = lru_.begin();
+  auto [inserted, ok] = frames_.emplace(page, std::move(frame));
+  return const_cast<const unsigned char*>(inserted->second.data.data());
+}
+
+void BufferPool::Invalidate(PageId page) {
+  auto it = frames_.find(page);
+  if (it == frames_.end()) return;
+  lru_.erase(it->second.lru_it);
+  frames_.erase(it);
+}
+
+void BufferPool::Clear() {
+  frames_.clear();
+  lru_.clear();
+}
+
+}  // namespace rased

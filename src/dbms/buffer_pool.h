@@ -1,0 +1,61 @@
+#ifndef RASED_DBMS_BUFFER_POOL_H_
+#define RASED_DBMS_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "io/pager.h"
+#include "util/result.h"
+
+namespace rased {
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+/// LRU page buffer pool in front of a Pager — the PostgreSQL-shared-buffers
+/// stand-in of the baseline DBMS (Figure 10 sets it to the same 2 GB as
+/// RASED's cube cache). Read-only: the baseline engine never dirties pages
+/// on the query path.
+class BufferPool {
+ public:
+  /// `capacity_pages` frames; 0 disables caching entirely.
+  BufferPool(Pager* pager, size_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a pointer to the page's payload (valid until the next Fetch).
+  /// Misses read through the pager and may evict the LRU frame.
+  Result<const unsigned char*> Fetch(PageId page);
+
+  /// Drops a cached frame (after the owner rewrote the page on disk).
+  void Invalidate(PageId page);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return frames_.size(); }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+  void Clear();
+
+ private:
+  struct Frame {
+    std::vector<unsigned char> data;
+    std::list<PageId>::iterator lru_it;
+  };
+
+  Pager* pager_;
+  size_t capacity_;
+  BufferPoolStats stats_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  // front = most recent
+  std::vector<unsigned char> uncached_;  // scratch when capacity == 0
+};
+
+}  // namespace rased
+
+#endif  // RASED_DBMS_BUFFER_POOL_H_

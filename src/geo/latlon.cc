@@ -1,0 +1,38 @@
+#include "geo/latlon.h"
+
+#include <algorithm>
+
+#include "util/str_util.h"
+
+namespace rased {
+
+std::string LatLon::ToString() const {
+  return StrFormat("(%.7f, %.7f)", lat, lon);
+}
+
+BoundingBox BoundingBox::Union(const BoundingBox& other) const {
+  if (!IsValid()) return other;
+  if (!other.IsValid()) return *this;
+  return BoundingBox{std::min(min_lat, other.min_lat),
+                     std::min(min_lon, other.min_lon),
+                     std::max(max_lat, other.max_lat),
+                     std::max(max_lon, other.max_lon)};
+}
+
+void BoundingBox::Extend(const LatLon& p) {
+  if (!IsValid()) {
+    *this = FromPoint(p);
+    return;
+  }
+  min_lat = std::min(min_lat, p.lat);
+  max_lat = std::max(max_lat, p.lat);
+  min_lon = std::min(min_lon, p.lon);
+  max_lon = std::max(max_lon, p.lon);
+}
+
+std::string BoundingBox::ToString() const {
+  return StrFormat("[%.5f,%.5f .. %.5f,%.5f]", min_lat, min_lon, max_lat,
+                   max_lon);
+}
+
+}  // namespace rased

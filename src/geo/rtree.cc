@@ -1,0 +1,259 @@
+#include "geo/rtree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace rased {
+
+struct RTree::Entry {
+  BoundingBox box;
+  uint64_t id = 0;                // leaf entries
+  std::unique_ptr<Node> child;    // internal entries
+};
+
+struct RTree::Node {
+  bool leaf = true;
+  std::vector<Entry> entries;
+
+  BoundingBox Bounds() const {
+    BoundingBox b = BoundingBox::Empty();
+    for (const Entry& e : entries) b = b.Union(e.box);
+    return b;
+  }
+};
+
+RTree::RTree(size_t max_entries) : max_entries_(max_entries) {
+  RASED_CHECK(max_entries_ >= 4) << "R-tree fan-out must be at least 4";
+  root_ = std::make_unique<Node>();
+}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+namespace {
+
+double Enlargement(const BoundingBox& box, const BoundingBox& add) {
+  return box.Union(add).Area() - box.Area();
+}
+
+}  // namespace
+
+void RTree::Insert(const BoundingBox& box, uint64_t id) {
+  RASED_CHECK(box.IsValid()) << "inserting invalid box";
+  Entry entry;
+  entry.box = box;
+  entry.id = id;
+  std::unique_ptr<Node> sibling = InsertRec(root_.get(), std::move(entry));
+  if (sibling != nullptr) {
+    // Root split: grow the tree by one level.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    Entry left;
+    left.box = root_->Bounds();
+    left.child = std::move(root_);
+    Entry right;
+    right.box = sibling->Bounds();
+    right.child = std::move(sibling);
+    new_root->entries.push_back(std::move(left));
+    new_root->entries.push_back(std::move(right));
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+std::unique_ptr<RTree::Node> RTree::InsertRec(Node* node, Entry&& entry) {
+  if (node->leaf) {
+    node->entries.push_back(std::move(entry));
+    if (node->entries.size() > max_entries_) return SplitNode(node);
+    return nullptr;
+  }
+  // Choose the subtree needing the least enlargement (ties: smaller area).
+  size_t best = 0;
+  double best_enlargement = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node->entries.size(); ++i) {
+    double enl = Enlargement(node->entries[i].box, entry.box);
+    double area = node->entries[i].box.Area();
+    if (enl < best_enlargement ||
+        (enl == best_enlargement && area < best_area)) {
+      best = i;
+      best_enlargement = enl;
+      best_area = area;
+    }
+  }
+  Node* child = node->entries[best].child.get();
+  std::unique_ptr<Node> split = InsertRec(child, std::move(entry));
+  node->entries[best].box = child->Bounds();
+  if (split != nullptr) {
+    Entry e;
+    e.box = split->Bounds();
+    e.child = std::move(split);
+    node->entries.push_back(std::move(e));
+    if (node->entries.size() > max_entries_) return SplitNode(node);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<RTree::Node> RTree::SplitNode(Node* node) {
+  // Quadratic split: pick the two entries that would waste the most area
+  // together as seeds, then assign the rest greedily.
+  std::vector<Entry> entries = std::move(node->entries);
+  node->entries.clear();
+
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      double waste = entries[i].box.Union(entries[j].box).Area() -
+                     entries[i].box.Area() - entries[j].box.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+
+  BoundingBox box_a = entries[seed_a].box;
+  BoundingBox box_b = entries[seed_b].box;
+  node->entries.push_back(std::move(entries[seed_a]));
+  sibling->entries.push_back(std::move(entries[seed_b]));
+
+  size_t min_fill = max_entries_ / 2;
+  size_t remaining = 0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i != seed_a && i != seed_b) ++remaining;
+  }
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i == seed_a || i == seed_b) continue;
+    Entry& e = entries[i];
+    // Force assignment when one side must take all remaining entries to
+    // reach minimum fill.
+    if (node->entries.size() + remaining <= min_fill) {
+      box_a = box_a.Union(e.box);
+      node->entries.push_back(std::move(e));
+    } else if (sibling->entries.size() + remaining <= min_fill) {
+      box_b = box_b.Union(e.box);
+      sibling->entries.push_back(std::move(e));
+    } else {
+      double enl_a = Enlargement(box_a, e.box);
+      double enl_b = Enlargement(box_b, e.box);
+      if (enl_a < enl_b || (enl_a == enl_b && box_a.Area() <= box_b.Area())) {
+        box_a = box_a.Union(e.box);
+        node->entries.push_back(std::move(e));
+      } else {
+        box_b = box_b.Union(e.box);
+        sibling->entries.push_back(std::move(e));
+      }
+    }
+    --remaining;
+  }
+  return sibling;
+}
+
+void RTree::Search(
+    const BoundingBox& query,
+    const std::function<bool(uint64_t, const BoundingBox&)>& visit) const {
+  // Iterative DFS; a stack avoids deep recursion on degenerate data.
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const Entry& e : node->entries) {
+      if (!query.Intersects(e.box)) continue;
+      if (node->leaf) {
+        if (!visit(e.id, e.box)) return;
+      } else {
+        stack.push_back(e.child.get());
+      }
+    }
+  }
+}
+
+std::vector<uint64_t> RTree::SearchIds(const BoundingBox& query,
+                                       size_t limit) const {
+  std::vector<uint64_t> out;
+  Search(query, [&out, limit](uint64_t id, const BoundingBox&) {
+    out.push_back(id);
+    return limit == 0 || out.size() < limit;
+  });
+  return out;
+}
+
+int RTree::height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    ++h;
+    node = node->entries.front().child.get();
+  }
+  return h;
+}
+
+BoundingBox RTree::bounds() const { return root_->Bounds(); }
+
+namespace {
+
+struct CheckResult {
+  bool ok = true;
+  int depth = 0;
+  size_t count = 0;
+};
+
+}  // namespace
+
+bool RTree::CheckInvariants() const {
+  // Recursive check of: parent boxes contain children, uniform leaf depth,
+  // node occupancy (root exempt), and total entry count.
+  struct Checker {
+    size_t max_entries;
+    CheckResult Run(const Node* node, bool is_root) {
+      CheckResult r;
+      if (!is_root && node->entries.empty()) {
+        r.ok = false;
+        return r;
+      }
+      if (node->entries.size() > max_entries) {
+        r.ok = false;
+        return r;
+      }
+      if (node->leaf) {
+        r.depth = 1;
+        r.count = node->entries.size();
+        return r;
+      }
+      int child_depth = -1;
+      for (const Entry& e : node->entries) {
+        if (e.child == nullptr) {
+          r.ok = false;
+          return r;
+        }
+        if (!(e.box == e.child->Bounds())) {
+          r.ok = false;
+          return r;
+        }
+        CheckResult cr = Run(e.child.get(), false);
+        if (!cr.ok) return cr;
+        if (child_depth == -1) child_depth = cr.depth;
+        if (cr.depth != child_depth) {
+          r.ok = false;
+          return r;
+        }
+        r.count += cr.count;
+      }
+      r.depth = child_depth + 1;
+      return r;
+    }
+  };
+  Checker checker{max_entries_};
+  CheckResult r = checker.Run(root_.get(), /*is_root=*/true);
+  return r.ok && r.count == size_;
+}
+
+}  // namespace rased

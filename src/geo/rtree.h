@@ -1,0 +1,69 @@
+#ifndef RASED_GEO_RTREE_H_
+#define RASED_GEO_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "geo/latlon.h"
+
+namespace rased {
+
+/// Dynamic R-tree over bounding boxes with quadratic split (Guttman 1984).
+///
+/// The warehouse uses it as the spatial index over the (Latitude,
+/// Longitude) of every UpdateList row (Section VI-B) to answer sample
+/// update queries for a map viewport. Entries are (box, opaque 64-bit id);
+/// point data is stored as degenerate boxes.
+class RTree {
+ public:
+  /// `max_entries` is the node fan-out M; min fill is M/2.
+  explicit RTree(size_t max_entries = 16);
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+
+  void Insert(const BoundingBox& box, uint64_t id);
+  void Insert(const LatLon& point, uint64_t id) {
+    Insert(BoundingBox::FromPoint(point), id);
+  }
+
+  /// Visits every entry whose box intersects `query`. The visitor returns
+  /// false to stop early (e.g. after collecting N samples).
+  void Search(const BoundingBox& query,
+              const std::function<bool(uint64_t id, const BoundingBox& box)>&
+                  visit) const;
+
+  /// Collects up to `limit` intersecting ids (0 = unlimited).
+  std::vector<uint64_t> SearchIds(const BoundingBox& query,
+                                  size_t limit = 0) const;
+
+  size_t size() const { return size_; }
+  int height() const;
+  BoundingBox bounds() const;
+
+  /// Validates structural invariants (entry counts, tight parent boxes,
+  /// uniform leaf depth). Exposed for property-based tests.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Entry;
+
+  /// Recursive insert; returns a freshly split-off sibling of `node` when
+  /// the insertion overflowed it, nullptr otherwise.
+  std::unique_ptr<Node> InsertRec(Node* node, Entry&& entry);
+  std::unique_ptr<Node> SplitNode(Node* node);
+
+  std::unique_ptr<Node> root_;
+  size_t max_entries_;
+  size_t size_ = 0;
+};
+
+}  // namespace rased
+
+#endif  // RASED_GEO_RTREE_H_

@@ -1,0 +1,346 @@
+#include "geo/world_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/str_util.h"
+
+namespace rased {
+
+namespace {
+
+// Synthetic continental rectangles. They are deliberately disjoint so that
+// every point maps to at most one continent; the gaps are "ocean".
+struct ContinentSpec {
+  const char* name;
+  BoundingBox bounds;
+  std::vector<std::string> countries;
+};
+
+std::vector<ContinentSpec> MakeContinentSpecs() {
+  std::vector<ContinentSpec> specs;
+  specs.push_back(ContinentSpec{
+      "North America",
+      BoundingBox{15.0, -170.0, 75.0, -50.0},
+      {"United States", "Canada", "Mexico", "Guatemala", "Cuba", "Haiti",
+       "Dominican Republic", "Honduras", "Nicaragua", "El Salvador",
+       "Costa Rica", "Panama", "Jamaica", "Trinidad and Tobago", "Bahamas",
+       "Belize", "Barbados", "Saint Lucia", "Grenada", "Dominica",
+       "Antigua and Barbuda", "Saint Vincent", "Saint Kitts and Nevis",
+       "Greenland", "Puerto Rico", "Bermuda", "Cayman Islands", "Aruba",
+       "Curacao"}});
+  specs.push_back(ContinentSpec{
+      "South America",
+      BoundingBox{-56.0, -82.0, 13.0, -34.0},
+      {"Brazil", "Colombia", "Argentina", "Peru", "Venezuela", "Chile",
+       "Ecuador", "Bolivia", "Paraguay", "Uruguay", "Guyana", "Suriname",
+       "French Guiana", "Falkland Islands"}});
+  specs.push_back(ContinentSpec{
+      "Europe",
+      BoundingBox{36.0, -25.0, 71.0, 40.0},
+      {"Germany", "France", "United Kingdom", "Italy", "Spain", "Poland",
+       "Ukraine", "Romania", "Netherlands", "Belgium", "Czech Republic",
+       "Greece", "Portugal", "Sweden", "Hungary", "Belarus", "Austria",
+       "Serbia", "Switzerland", "Bulgaria", "Denmark", "Finland", "Slovakia",
+       "Norway", "Ireland", "Croatia", "Moldova", "Bosnia and Herzegovina",
+       "Albania", "Lithuania", "North Macedonia", "Slovenia", "Latvia",
+       "Estonia", "Montenegro", "Luxembourg", "Malta", "Iceland", "Andorra",
+       "Monaco", "Liechtenstein", "San Marino", "Vatican City", "Kosovo",
+       "Faroe Islands", "Gibraltar", "Isle of Man", "Jersey", "Guernsey"}});
+  specs.push_back(ContinentSpec{
+      "Africa",
+      BoundingBox{-35.0, -18.0, 35.9, 40.0},
+      {"Nigeria", "Ethiopia", "Egypt", "DR Congo", "Tanzania", "South Africa",
+       "Kenya", "Uganda", "Algeria", "Sudan", "Morocco", "Angola",
+       "Mozambique", "Ghana", "Madagascar", "Cameroon", "Ivory Coast",
+       "Niger", "Burkina Faso", "Mali", "Malawi", "Zambia", "Senegal",
+       "Chad", "Somalia", "Zimbabwe", "Guinea", "Rwanda", "Benin", "Burundi",
+       "Tunisia", "South Sudan", "Togo", "Sierra Leone", "Libya", "Congo",
+       "Liberia", "Central African Republic", "Mauritania", "Eritrea",
+       "Namibia", "Gambia", "Botswana", "Gabon", "Lesotho", "Guinea-Bissau",
+       "Equatorial Guinea", "Mauritius", "Eswatini", "Djibouti", "Comoros",
+       "Cape Verde", "Sao Tome and Principe", "Seychelles", "Western Sahara",
+       "Reunion", "Mayotte"}});
+  specs.push_back(ContinentSpec{
+      "Asia",
+      BoundingBox{0.0, 40.1, 75.0, 180.0},
+      {"China", "India", "Indonesia", "Pakistan", "Bangladesh", "Japan",
+       "Philippines", "Vietnam", "Turkey", "Iran", "Thailand", "Myanmar",
+       "South Korea", "Iraq", "Afghanistan", "Saudi Arabia", "Uzbekistan",
+       "Malaysia", "Yemen", "Nepal", "North Korea", "Sri Lanka",
+       "Kazakhstan", "Syria", "Cambodia", "Jordan", "Azerbaijan",
+       "United Arab Emirates", "Tajikistan", "Israel", "Laos", "Lebanon",
+       "Kyrgyzstan", "Turkmenistan", "Singapore", "Oman", "Palestine",
+       "Kuwait", "Georgia", "Mongolia", "Armenia", "Qatar", "Bahrain",
+       "Timor-Leste", "Cyprus", "Bhutan", "Maldives", "Brunei", "Taiwan",
+       "Hong Kong", "Macau"}});
+  specs.push_back(ContinentSpec{
+      "Oceania",
+      BoundingBox{-48.0, 110.0, -1.0, 180.0},
+      {"Australia", "Papua New Guinea", "New Zealand", "Fiji",
+       "Solomon Islands", "Vanuatu", "Samoa", "Kiribati", "Micronesia",
+       "Tonga", "Marshall Islands", "Palau", "Nauru", "Tuvalu",
+       "New Caledonia", "French Polynesia", "Guam", "Cook Islands"}});
+  return specs;
+}
+
+const char* const kUsStates[50] = {
+    "Alabama",        "Alaska",       "Arizona",       "Arkansas",
+    "California",     "Colorado",     "Connecticut",   "Delaware",
+    "Florida",        "Georgia (US)", "Hawaii",        "Idaho",
+    "Illinois",       "Indiana",      "Iowa",          "Kansas",
+    "Kentucky",       "Louisiana",    "Maine",         "Maryland",
+    "Massachusetts",  "Michigan",     "Minnesota",     "Mississippi",
+    "Missouri",       "Montana",      "Nebraska",      "Nevada",
+    "New Hampshire",  "New Jersey",   "New Mexico",    "New York",
+    "North Carolina", "North Dakota", "Ohio",          "Oklahoma",
+    "Oregon",         "Pennsylvania", "Rhode Island",  "South Carolina",
+    "South Dakota",   "Tennessee",    "Texas",         "Utah",
+    "Vermont",        "Virginia",     "Washington",    "West Virginia",
+    "Wisconsin",      "Wyoming"};
+
+// The padded synthetic regions live in an Antarctic band disjoint from all
+// continents.
+const BoundingBox kPaddingBand{-89.0, -180.0, -60.0, 180.0};
+
+}  // namespace
+
+WorldMap::WorldMap(size_t target_zone_count) {
+  // Zone 0 is the unknown bucket.
+  AddZone("(unknown)", ZoneKind::kUnknown, BoundingBox::Empty(),
+          kZoneUnknown);
+
+  std::vector<ContinentSpec> specs = MakeContinentSpecs();
+  size_t total_countries = 0;
+  for (const ContinentSpec& spec : specs) {
+    total_countries += spec.countries.size();
+  }
+  const size_t reserved = 1 + specs.size();  // unknown + continent zones
+  RASED_CHECK(target_zone_count >= reserved + specs.size())
+      << "zone target " << target_zone_count << " too small";
+
+  // Decide whether the 50 US-state zones of interest fit.
+  bool with_states =
+      target_zone_count >= reserved + total_countries + 50;
+  size_t country_budget =
+      target_zone_count - reserved - (with_states ? 50 : 0);
+
+  if (country_budget < total_countries) {
+    // Scaled-down map: keep a proportional prefix of every continent's
+    // country list (largest-remainder apportionment, at least one each).
+    size_t assigned = 0;
+    std::vector<size_t> take(specs.size());
+    std::vector<std::pair<double, size_t>> remainders;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      double exact = static_cast<double>(country_budget) *
+                     specs[i].countries.size() / total_countries;
+      take[i] = std::max<size_t>(1, static_cast<size_t>(exact));
+      take[i] = std::min(take[i], specs[i].countries.size());
+      assigned += take[i];
+      remainders.emplace_back(exact - static_cast<double>(take[i]), i);
+    }
+    std::sort(remainders.rbegin(), remainders.rend());
+    for (auto& [frac, i] : remainders) {
+      if (assigned >= country_budget) break;
+      if (take[i] < specs[i].countries.size()) {
+        ++take[i];
+        ++assigned;
+      }
+    }
+    // If still over budget (due to the at-least-one floors), trim from the
+    // largest allocations.
+    while (assigned > country_budget) {
+      size_t largest = 0;
+      for (size_t i = 1; i < specs.size(); ++i) {
+        if (take[i] > take[largest]) largest = i;
+      }
+      RASED_CHECK(take[largest] > 1) << "cannot satisfy zone budget";
+      --take[largest];
+      --assigned;
+    }
+    for (size_t i = 0; i < specs.size(); ++i) {
+      specs[i].countries.resize(take[i]);
+    }
+  }
+
+  for (const ContinentSpec& spec : specs) {
+    LayoutContinent(spec.name, spec.bounds, spec.countries);
+  }
+  if (with_states) LayoutStates();
+
+  // Pad with synthetic regions until the requested dimension size.
+  if (zones_.size() < target_zone_count) {
+    size_t missing = target_zone_count - zones_.size();
+    // The band counts as one continent zone, so lay out missing-1 regions.
+    std::vector<std::string> names;
+    names.reserve(missing - 1);
+    for (size_t i = 0; i + 1 < missing; ++i) {
+      names.push_back(StrFormat("Region %03zu", i + 1));
+    }
+    LayoutContinent("Antarctic Regions", kPaddingBand, names);
+  }
+  RASED_CHECK(zones_.size() == target_zone_count)
+      << "built " << zones_.size() << " zones, wanted " << target_zone_count;
+}
+
+ZoneId WorldMap::AddZone(std::string name, ZoneKind kind, BoundingBox bounds,
+                         ZoneId parent) {
+  RASED_CHECK(zones_.size() < 65535) << "zone id space exhausted";
+  ZoneId id = static_cast<ZoneId>(zones_.size());
+  Zone z;
+  z.id = id;
+  z.name = std::move(name);
+  z.kind = kind;
+  z.bounds = bounds;
+  z.parent = parent;
+  by_name_.emplace(z.name, id);
+  zones_.push_back(std::move(z));
+  return id;
+}
+
+void WorldMap::LayoutContinent(const std::string& name,
+                               const BoundingBox& bounds,
+                               const std::vector<std::string>& countries) {
+  ZoneId continent = AddZone(name, ZoneKind::kContinent, bounds,
+                             kZoneUnknown);
+  ContinentLayout layout;
+  layout.continent_id = continent;
+  layout.bounds = bounds;
+  int n = static_cast<int>(countries.size());
+  if (n == 0) {
+    layouts_.push_back(std::move(layout));
+    return;
+  }
+  layout.cols = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+  layout.rows = (n + layout.cols - 1) / layout.cols;
+  double lat_step = (bounds.max_lat - bounds.min_lat) / layout.rows;
+  double lon_step = (bounds.max_lon - bounds.min_lon) / layout.cols;
+  for (int i = 0; i < n; ++i) {
+    int r = i / layout.cols;
+    int c = i % layout.cols;
+    BoundingBox cell{bounds.min_lat + r * lat_step,
+                     bounds.min_lon + c * lon_step,
+                     bounds.min_lat + (r + 1) * lat_step,
+                     bounds.min_lon + (c + 1) * lon_step};
+    ZoneId id = AddZone(countries[i], ZoneKind::kCountry, cell, continent);
+    layout.cells.push_back(id);
+    country_ids_.push_back(id);
+    if (countries[i] == "United States") usa_id_ = id;
+  }
+  layouts_.push_back(std::move(layout));
+}
+
+void WorldMap::LayoutStates() {
+  RASED_CHECK(usa_id_ != kZoneUnknown) << "United States zone missing";
+  const BoundingBox& usa = zones_[usa_id_].bounds;
+  state_cols_ = 10;
+  state_rows_ = 5;
+  double lat_step = (usa.max_lat - usa.min_lat) / state_rows_;
+  double lon_step = (usa.max_lon - usa.min_lon) / state_cols_;
+  for (int i = 0; i < 50; ++i) {
+    int r = i / state_cols_;
+    int c = i % state_cols_;
+    BoundingBox cell{usa.min_lat + r * lat_step, usa.min_lon + c * lon_step,
+                     usa.min_lat + (r + 1) * lat_step,
+                     usa.min_lon + (c + 1) * lon_step};
+    state_cells_.push_back(AddZone(kUsStates[i], ZoneKind::kState, cell,
+                                   usa_id_));
+  }
+}
+
+const Zone& WorldMap::zone(ZoneId id) const {
+  RASED_CHECK(id < zones_.size()) << "zone id " << id << " out of range";
+  return zones_[id];
+}
+
+Result<ZoneId> WorldMap::FindByName(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("no zone named '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+const WorldMap::ContinentLayout* WorldMap::LayoutContaining(
+    const LatLon& point) const {
+  for (const ContinentLayout& layout : layouts_) {
+    if (layout.bounds.Contains(point)) return &layout;
+  }
+  return nullptr;
+}
+
+ZoneId WorldMap::CountryAt(const LatLon& point) const {
+  const ContinentLayout* layout = LayoutContaining(point);
+  if (layout == nullptr || layout->cells.empty()) return kZoneUnknown;
+  const BoundingBox& b = layout->bounds;
+  double lat_step = (b.max_lat - b.min_lat) / layout->rows;
+  double lon_step = (b.max_lon - b.min_lon) / layout->cols;
+  int r = std::min(layout->rows - 1,
+                   static_cast<int>((point.lat - b.min_lat) / lat_step));
+  int c = std::min(layout->cols - 1,
+                   static_cast<int>((point.lon - b.min_lon) / lon_step));
+  size_t idx = static_cast<size_t>(r) * layout->cols + c;
+  if (idx >= layout->cells.size()) return kZoneUnknown;  // empty grid tail
+  return layout->cells[idx];
+}
+
+WorldMap::ZoneSet WorldMap::ZonesAt(const LatLon& point) const {
+  return ZonesForCountry(CountryAt(point), point);
+}
+
+WorldMap::ZoneSet WorldMap::ZonesForCountry(ZoneId country,
+                                            const LatLon& point) const {
+  ZoneSet set;
+  if (country == kZoneUnknown || country >= zones_.size()) return set;
+  set.ids[set.count++] = country;
+  ZoneId continent = zones_[country].parent;
+  if (continent != kZoneUnknown) set.ids[set.count++] = continent;
+  if (country == usa_id_ && !state_cells_.empty() &&
+      zones_[usa_id_].bounds.Contains(point)) {
+    const BoundingBox& usa = zones_[usa_id_].bounds;
+    double lat_step = (usa.max_lat - usa.min_lat) / state_rows_;
+    double lon_step = (usa.max_lon - usa.min_lon) / state_cols_;
+    int r = std::min(state_rows_ - 1,
+                     static_cast<int>((point.lat - usa.min_lat) / lat_step));
+    int c = std::min(state_cols_ - 1,
+                     static_cast<int>((point.lon - usa.min_lon) / lon_step));
+    set.ids[set.count++] =
+        state_cells_[static_cast<size_t>(r) * state_cols_ + c];
+  }
+  return set;
+}
+
+LatLon WorldMap::RandomPointIn(ZoneId id, Rng& rng) const {
+  const Zone& z = zone(id);
+  RASED_CHECK(z.bounds.IsValid()) << "zone " << z.name << " has no bounds";
+  // Shrink marginally so points never land exactly on a cell edge shared
+  // with a neighbour.
+  double lat_span = z.bounds.max_lat - z.bounds.min_lat;
+  double lon_span = z.bounds.max_lon - z.bounds.min_lon;
+  LatLon p;
+  p.lat = z.bounds.min_lat + (0.001 + 0.998 * rng.NextDouble()) * lat_span;
+  p.lon = z.bounds.min_lon + (0.001 + 0.998 * rng.NextDouble()) * lon_span;
+  return p;
+}
+
+void WorldMap::SetRoadNetworkSize(ZoneId id, uint64_t size) {
+  Zone& z = zones_[id];
+  RASED_CHECK(z.kind == ZoneKind::kCountry)
+      << "road sizes are set on countries; " << z.name << " is not one";
+  uint64_t old = z.road_network_size;
+  z.road_network_size = size;
+  // Continent aggregates track their members.
+  if (z.parent != kZoneUnknown) {
+    Zone& parent = zones_[z.parent];
+    parent.road_network_size = parent.road_network_size - old + size;
+  }
+  // US states share the national network evenly (synthetic approximation).
+  if (id == usa_id_) {
+    for (ZoneId s : state_cells_) {
+      zones_[s].road_network_size = size / state_cells_.size();
+    }
+  }
+}
+
+}  // namespace rased

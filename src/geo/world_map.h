@@ -1,0 +1,136 @@
+#ifndef RASED_GEO_WORLD_MAP_H_
+#define RASED_GEO_WORLD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/latlon.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace rased {
+
+/// Dense id of one value of the cube's Country dimension. Id 0 is the
+/// "(unknown)" bucket for updates that cannot be located.
+using ZoneId = uint16_t;
+inline constexpr ZoneId kZoneUnknown = 0;
+
+enum class ZoneKind : uint8_t {
+  kUnknown = 0,
+  kCountry = 1,    ///< countries and country-level territories
+  kContinent = 2,  ///< zone-of-interest aggregates
+  kState = 3,      ///< US states (zones of interest per Section VI-A)
+};
+
+/// One value of the Country dimension.
+struct Zone {
+  ZoneId id = kZoneUnknown;
+  std::string name;
+  ZoneKind kind = ZoneKind::kUnknown;
+  /// Rectangular footprint on the synthetic world grid.
+  BoundingBox bounds;
+  /// Containing zone: continent for countries, country for states.
+  ZoneId parent = kZoneUnknown;
+  /// Total road segments of the zone's network; the denominator of the
+  /// paper's Percentage(*) analysis queries. Set by the planet model.
+  uint64_t road_network_size = 0;
+};
+
+/// WorldMap is the substitute for real-world country polygons (see
+/// DESIGN.md): 300+ zones — countries with real names, the six populated
+/// continents, and the 50 US states — laid out as rectangles on a world
+/// grid. Countries tile their continent's rectangle; states tile the United
+/// States' rectangle; padded synthetic regions tile an Antarctic band when
+/// `target_zone_count` exceeds the named inventory.
+///
+/// Point-to-zone lookup is O(1) grid arithmetic, which matters because the
+/// crawlers locate every one of millions of daily updates.
+class WorldMap {
+ public:
+  /// Builds the map with exactly this many zones; the default matches the
+  /// paper's "300+ values" Country dimension. Larger targets pad with
+  /// synthetic Antarctic regions; smaller targets (scaled benchmark
+  /// schemas) keep a proportional prefix of each continent's country list
+  /// and drop the US states when the budget is too tight for them. The
+  /// zone count must equal the cube schema's num_countries so zone ids are
+  /// valid cube coordinates.
+  explicit WorldMap(size_t target_zone_count = 305);
+
+  size_t num_zones() const { return zones_.size(); }
+  const Zone& zone(ZoneId id) const;
+  const std::vector<Zone>& zones() const { return zones_; }
+
+  /// Looks a zone up by exact name. NotFound when absent.
+  Result<ZoneId> FindByName(std::string_view name) const;
+
+  /// Country (or padded region) containing the point, kZoneUnknown if the
+  /// point falls in open ocean / gaps between continents.
+  ZoneId CountryAt(const LatLon& point) const;
+
+  /// All Country-dimension values an update at `point` contributes to:
+  /// the country, its continent, and — inside the United States — the
+  /// state. A cube ingest increments every returned cell, which is how the
+  /// zone-of-interest aggregates stay consistent with their members.
+  struct ZoneSet {
+    ZoneId ids[3];
+    int count = 0;
+  };
+  ZoneSet ZonesAt(const LatLon& point) const;
+
+  /// Like ZonesAt, but trusts an already-resolved country (the crawler
+  /// stored it in the UpdateRecord) and only uses `point` to pick the US
+  /// state. Returns an empty set for kZoneUnknown. This is the cube-ingest
+  /// path: records whose location could not be resolved must not be
+  /// re-guessed from their (0,0) placeholder coordinates.
+  ZoneSet ZonesForCountry(ZoneId country, const LatLon& point) const;
+
+  /// Country for a changeset bounding box: the paper maps the box to the
+  /// country containing its centre point.
+  ZoneId CountryForBBox(const BoundingBox& box) const {
+    return CountryAt(box.Center());
+  }
+
+  /// Uniform random point inside the zone's rectangle. Used by the
+  /// synthetic planet to place updates.
+  LatLon RandomPointIn(ZoneId id, Rng& rng) const;
+
+  /// Sets a country's road-network size; continent sizes are the sum of
+  /// their member countries and are updated incrementally.
+  void SetRoadNetworkSize(ZoneId id, uint64_t size);
+
+  /// All country-kind zone ids (excludes unknown/continents/states).
+  const std::vector<ZoneId>& country_ids() const { return country_ids_; }
+
+ private:
+  struct ContinentLayout {
+    ZoneId continent_id;
+    BoundingBox bounds;
+    int rows = 0;
+    int cols = 0;
+    std::vector<ZoneId> cells;  // row-major country ids; may trail empty
+  };
+
+  ZoneId AddZone(std::string name, ZoneKind kind, BoundingBox bounds,
+                 ZoneId parent);
+  void LayoutContinent(const std::string& name, const BoundingBox& bounds,
+                       const std::vector<std::string>& countries);
+  void LayoutStates();
+  const ContinentLayout* LayoutContaining(const LatLon& point) const;
+
+  std::vector<Zone> zones_;
+  std::vector<ContinentLayout> layouts_;
+  std::vector<ZoneId> country_ids_;
+  std::unordered_map<std::string, ZoneId> by_name_;
+  ZoneId usa_id_ = kZoneUnknown;
+  // State grid inside the USA cell.
+  int state_rows_ = 0;
+  int state_cols_ = 0;
+  std::vector<ZoneId> state_cells_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_GEO_WORLD_MAP_H_

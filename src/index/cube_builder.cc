@@ -1,0 +1,54 @@
+#include "index/cube_builder.h"
+
+#include "util/logging.h"
+
+namespace rased {
+
+CubeBuilder::CubeBuilder(const CubeSchema& schema, const WorldMap* world)
+    : schema_(schema), world_(world) {
+  RASED_CHECK(world_->num_zones() == schema_.num_countries)
+      << "world map has " << world_->num_zones() << " zones but schema's "
+      << "Country dimension is " << schema_.num_countries;
+}
+
+void CubeBuilder::AddRecord(const UpdateRecord& record,
+                            DataCube* cube) const {
+  uint32_t et = static_cast<uint32_t>(record.element_type);
+  uint32_t ut = static_cast<uint32_t>(record.update_type);
+  // Road types beyond the schema's dimension collapse into the "other"
+  // bucket (id 1), mirroring RoadTypeTable's capacity behaviour.
+  uint32_t rt = record.road_type < schema_.num_road_types ? record.road_type
+                                                          : 1u;
+  WorldMap::ZoneSet zones = world_->ZonesForCountry(
+      record.country, LatLon{record.lat, record.lon});
+  if (zones.count == 0) {
+    // Unlocatable update: counted under the (unknown) zone.
+    cube->Add(et, kZoneUnknown, rt, ut);
+    return;
+  }
+  for (int i = 0; i < zones.count; ++i) {
+    cube->Add(et, zones.ids[i], rt, ut);
+  }
+}
+
+DataCube CubeBuilder::BuildCube(
+    const std::vector<UpdateRecord>& records) const {
+  DataCube cube(schema_);
+  for (const UpdateRecord& r : records) AddRecord(r, &cube);
+  return cube;
+}
+
+std::map<Date, DataCube> CubeBuilder::BuildDailyCubes(
+    const std::vector<UpdateRecord>& records) const {
+  std::map<Date, DataCube> cubes;
+  for (const UpdateRecord& r : records) {
+    auto it = cubes.find(r.date);
+    if (it == cubes.end()) {
+      it = cubes.emplace(r.date, DataCube(schema_)).first;
+    }
+    AddRecord(r, &it->second);
+  }
+  return cubes;
+}
+
+}  // namespace rased

@@ -1,0 +1,46 @@
+#ifndef RASED_INDEX_CUBE_BUILDER_H_
+#define RASED_INDEX_CUBE_BUILDER_H_
+
+#include <map>
+#include <vector>
+
+#include "collect/update_record.h"
+#include "cube/data_cube.h"
+#include "geo/world_map.h"
+#include "util/date.h"
+#include "util/result.h"
+
+namespace rased {
+
+/// Turns UpdateList tuples into data-cube increments. One update increments
+/// the cell of its country *and* of every zone of interest containing it
+/// (continent, US state), so the aggregate zones the paper exposes in the
+/// Country dimension stay consistent with their members.
+class CubeBuilder {
+ public:
+  /// The world map's zone count must equal schema.num_countries (zone ids
+  /// are used directly as Country-dimension coordinates).
+  CubeBuilder(const CubeSchema& schema, const WorldMap* world);
+
+  const CubeSchema& schema() const { return schema_; }
+
+  /// Adds one record to `cube`. The record's date is not checked — callers
+  /// route records to the cube of the right day.
+  void AddRecord(const UpdateRecord& record, DataCube* cube) const;
+
+  /// Builds one cube from all records (regardless of date) — the daily
+  /// maintenance path, where the input is one day's UpdateList.
+  DataCube BuildCube(const std::vector<UpdateRecord>& records) const;
+
+  /// Groups records by date into per-day cubes (missing days absent).
+  std::map<Date, DataCube> BuildDailyCubes(
+      const std::vector<UpdateRecord>& records) const;
+
+ private:
+  CubeSchema schema_;
+  const WorldMap* world_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_INDEX_CUBE_BUILDER_H_

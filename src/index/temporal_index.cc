@@ -1,0 +1,338 @@
+#include "index/temporal_index.h"
+
+#include <algorithm>
+
+#include "io/env.h"
+#include "util/logging.h"
+#include "util/str_util.h"
+
+namespace rased {
+
+namespace {
+
+constexpr char kCatalogMagic[] = "rased-catalog v1";
+
+}  // namespace
+
+TemporalIndex::TemporalIndex(TemporalIndexOptions options,
+                             std::unique_ptr<Pager> pager)
+    : options_(std::move(options)), pager_(std::move(pager)) {}
+
+TemporalIndex::~TemporalIndex() {
+  Status s = Sync();
+  if (!s.ok()) RASED_LOG(Warning) << "TemporalIndex close: " << s.ToString();
+}
+
+std::string TemporalIndex::CatalogPath(const std::string& dir) {
+  return env::JoinPath(dir, "catalog");
+}
+
+std::string TemporalIndex::PagesPath(const std::string& dir) {
+  return env::JoinPath(dir, "cubes.pages");
+}
+
+Result<std::unique_ptr<TemporalIndex>> TemporalIndex::Create(
+    const TemporalIndexOptions& options) {
+  if (options.num_levels < 1 || options.num_levels > kNumLevels) {
+    return Status::InvalidArgument(
+        StrFormat("num_levels must be 1..%d, got %d", kNumLevels,
+                  options.num_levels));
+  }
+  RASED_RETURN_IF_ERROR(env::CreateDirs(options.dir));
+  if (env::FileExists(PagesPath(options.dir))) {
+    return Status::AlreadyExists("index already exists in " + options.dir);
+  }
+  size_t page_size =
+      options.schema.cube_bytes() + PageFile::kChecksumBytes;
+  auto pager = Pager::Create(PagesPath(options.dir), page_size,
+                             options.device);
+  if (!pager.ok()) return pager.status();
+  auto index = std::unique_ptr<TemporalIndex>(
+      new TemporalIndex(options, std::move(pager).value()));
+  RASED_RETURN_IF_ERROR(index->SaveCatalog());
+  return index;
+}
+
+Result<std::unique_ptr<TemporalIndex>> TemporalIndex::Open(
+    const TemporalIndexOptions& options) {
+  auto contents = env::ReadFile(CatalogPath(options.dir));
+  if (!contents.ok()) return contents.status();
+
+  auto pager = Pager::Open(PagesPath(options.dir), options.device);
+  if (!pager.ok()) return pager.status();
+  auto index = std::unique_ptr<TemporalIndex>(
+      new TemporalIndex(options, std::move(pager).value()));
+
+  // Parse the catalog.
+  std::vector<std::string> lines = Split(contents.value(), '\n');
+  if (lines.empty() || lines[0] != kCatalogMagic) {
+    return Status::Corruption("bad catalog header in " + options.dir);
+  }
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string_view line = Trim(lines[i]);
+    if (line.empty()) continue;
+    std::vector<std::string> f = Split(line, ' ');
+    if (f[0] == "schema" && f.size() == 5) {
+      CubeSchema s;
+      RASED_ASSIGN_OR_RETURN(int64_t et, ParseInt(f[1]));
+      RASED_ASSIGN_OR_RETURN(int64_t co, ParseInt(f[2]));
+      RASED_ASSIGN_OR_RETURN(int64_t rt, ParseInt(f[3]));
+      RASED_ASSIGN_OR_RETURN(int64_t ut, ParseInt(f[4]));
+      s.num_element_types = static_cast<uint32_t>(et);
+      s.num_countries = static_cast<uint32_t>(co);
+      s.num_road_types = static_cast<uint32_t>(rt);
+      s.num_update_types = static_cast<uint32_t>(ut);
+      if (!(s == options.schema)) {
+        return Status::InvalidArgument(
+            "catalog schema " + s.ToString() +
+            " does not match requested " + options.schema.ToString());
+      }
+    } else if (f[0] == "levels" && f.size() == 2) {
+      RASED_ASSIGN_OR_RETURN(int64_t levels, ParseInt(f[1]));
+      if (levels != options.num_levels) {
+        return Status::InvalidArgument(
+            StrFormat("catalog has %d levels, requested %d",
+                      static_cast<int>(levels), options.num_levels));
+      }
+    } else if (f[0] == "first_day" && f.size() == 2) {
+      RASED_ASSIGN_OR_RETURN(int64_t days, ParseInt(f[1]));
+      index->first_day_ = Date::FromDays(static_cast<int32_t>(days));
+    } else if (f[0] == "last_day" && f.size() == 2) {
+      RASED_ASSIGN_OR_RETURN(int64_t days, ParseInt(f[1]));
+      index->last_day_ = Date::FromDays(static_cast<int32_t>(days));
+    } else if (f[0] == "cube" && f.size() == 4) {
+      RASED_ASSIGN_OR_RETURN(int64_t level, ParseInt(f[1]));
+      RASED_ASSIGN_OR_RETURN(int64_t days, ParseInt(f[2]));
+      RASED_ASSIGN_OR_RETURN(uint64_t page, ParseUint(f[3]));
+      if (level < 0 || level >= kNumLevels) {
+        return Status::Corruption("bad catalog level " + f[1]);
+      }
+      CubeKey key{static_cast<Level>(level),
+                  Date::FromDays(static_cast<int32_t>(days))};
+      index->catalog_[key] = page;
+    } else {
+      return Status::Corruption("bad catalog line: " + std::string(line));
+    }
+  }
+  return index;
+}
+
+Status TemporalIndex::SaveCatalog() {
+  std::string out = kCatalogMagic;
+  out += "\n";
+  out += StrFormat("schema %u %u %u %u\n", options_.schema.num_element_types,
+                   options_.schema.num_countries,
+                   options_.schema.num_road_types,
+                   options_.schema.num_update_types);
+  out += StrFormat("levels %d\n", options_.num_levels);
+  if (first_day_.has_value()) {
+    out += StrFormat("first_day %d\n", first_day_->days_since_epoch());
+  }
+  if (last_day_.has_value()) {
+    out += StrFormat("last_day %d\n", last_day_->days_since_epoch());
+  }
+  for (const auto& [key, page] : catalog_) {
+    out += StrFormat("cube %d %d %llu\n", static_cast<int>(key.level),
+                     key.start.days_since_epoch(),
+                     static_cast<unsigned long long>(page));
+  }
+  // Atomic replace: a crash mid-save must never leave a torn catalog.
+  return env::WriteFileAtomic(CatalogPath(options_.dir), out);
+}
+
+Status TemporalIndex::Sync() {
+  RASED_RETURN_IF_ERROR(SaveCatalog());
+  return pager_->Sync();
+}
+
+Status TemporalIndex::WriteCube(const CubeKey& key, const DataCube& cube) {
+  std::vector<unsigned char> buf(cube.SerializedBytes());
+  cube.SerializeTo(buf.data());
+  auto it = catalog_.find(key);
+  PageId page;
+  if (it != catalog_.end()) {
+    page = it->second;
+  } else {
+    RASED_ASSIGN_OR_RETURN(page, pager_->AllocatePage());
+    catalog_[key] = page;
+  }
+  return pager_->WritePage(page, buf.data(), buf.size());
+}
+
+Result<DataCube> TemporalIndex::ReadCube(const CubeKey& key) {
+  auto it = catalog_.find(key);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no cube for " + key.ToString());
+  }
+  std::vector<unsigned char> buf(pager_->payload_size());
+  RASED_RETURN_IF_ERROR(pager_->ReadPage(it->second, buf.data()));
+  return DataCube::Deserialize(options_.schema, buf.data(), buf.size());
+}
+
+bool TemporalIndex::Contains(const CubeKey& key) const {
+  return catalog_.find(key) != catalog_.end();
+}
+
+Result<DataCube> TemporalIndex::BuildFromChildren(
+    const CubeKey& parent, const CubeKey* in_memory_key,
+    const DataCube* in_memory_cube) {
+  DataCube sum(options_.schema);
+  for (const CubeKey& child : parent.Children()) {
+    if (in_memory_key != nullptr && child == *in_memory_key) {
+      RASED_RETURN_IF_ERROR(sum.Merge(*in_memory_cube));
+      continue;
+    }
+    if (!Contains(child)) continue;  // index may start mid-window
+    auto cube = ReadCube(child);
+    if (!cube.ok()) return cube.status();
+    RASED_RETURN_IF_ERROR(sum.Merge(cube.value()));
+  }
+  return sum;
+}
+
+Status TemporalIndex::AppendDay(Date day, const DataCube& cube) {
+  if (!(cube.schema() == options_.schema)) {
+    return Status::InvalidArgument("cube schema mismatch");
+  }
+  if (last_day_.has_value() && day != last_day_->next()) {
+    return Status::InvalidArgument(
+        StrFormat("AppendDay(%s) out of order; expected %s",
+                  day.ToString().c_str(),
+                  last_day_->next().ToString().c_str()));
+  }
+  RASED_RETURN_IF_ERROR(WriteCube(CubeKey::Daily(day), cube));
+  if (!first_day_.has_value()) first_day_ = day;
+  last_day_ = day;
+
+  // Rollups at boundaries. `latest` tracks the most recently built cube so
+  // each parent reads only the children it does not already hold in
+  // memory, matching the paper's I/O counts (Section VI-A).
+  CubeKey latest_key = CubeKey::Daily(day);
+  DataCube latest = cube;
+
+  if (day.is_week_end() && LevelEnabled(Level::kWeekly)) {
+    CubeKey key = CubeKey::Weekly(day);
+    RASED_ASSIGN_OR_RETURN(DataCube weekly,
+                           BuildFromChildren(key, &latest_key, &latest));
+    RASED_RETURN_IF_ERROR(WriteCube(key, weekly));
+    latest_key = key;
+    latest = std::move(weekly);
+  }
+  if (day.is_month_end() && LevelEnabled(Level::kMonthly)) {
+    CubeKey key = CubeKey::Monthly(day);
+    RASED_ASSIGN_OR_RETURN(DataCube monthly,
+                           BuildFromChildren(key, &latest_key, &latest));
+    RASED_RETURN_IF_ERROR(WriteCube(key, monthly));
+    latest_key = key;
+    latest = std::move(monthly);
+  }
+  if (day.is_year_end() && LevelEnabled(Level::kYearly)) {
+    CubeKey key = CubeKey::Yearly(day);
+    RASED_ASSIGN_OR_RETURN(DataCube yearly,
+                           BuildFromChildren(key, &latest_key, &latest));
+    RASED_RETURN_IF_ERROR(WriteCube(key, yearly));
+  }
+  return Status::OK();
+}
+
+Status TemporalIndex::RebuildMonth(Date month_start,
+                                   const std::vector<DataCube>& cubes) {
+  if (!month_start.is_month_start()) {
+    return Status::InvalidArgument("RebuildMonth expects the month's first day");
+  }
+  int dim = month_start.days_in_month();
+  if (static_cast<int>(cubes.size()) != dim) {
+    return Status::InvalidArgument(
+        StrFormat("month %s has %d days; got %zu cubes",
+                  month_start.ToString().c_str(), dim, cubes.size()));
+  }
+  // The month must already be covered by daily maintenance.
+  Date month_end = month_start.month_end();
+  if (!coverage().Contains(DateRange(month_start, month_end))) {
+    return Status::InvalidArgument("month not covered by the index yet");
+  }
+
+  // Overwrite daily cubes. The monthly UpdateList was scanned upstream;
+  // here only the write I/O shows up, as in the paper's offline rebuild.
+  for (int d = 0; d < dim; ++d) {
+    if (!(cubes[d].schema() == options_.schema)) {
+      return Status::InvalidArgument("cube schema mismatch");
+    }
+    RASED_RETURN_IF_ERROR(
+        WriteCube(CubeKey::Daily(month_start.AddDays(d)), cubes[d]));
+  }
+
+  // Rebuild weekly cubes in memory from the supplied dailies.
+  DataCube monthly(options_.schema);
+  if (LevelEnabled(Level::kWeekly)) {
+    for (int w = 0; w < 4; ++w) {
+      DataCube weekly(options_.schema);
+      for (int i = 0; i < 7; ++i) {
+        RASED_RETURN_IF_ERROR(weekly.Merge(cubes[7 * w + i]));
+      }
+      RASED_RETURN_IF_ERROR(
+          WriteCube(CubeKey{Level::kWeekly, month_start.AddDays(7 * w)},
+                    weekly));
+      RASED_RETURN_IF_ERROR(monthly.Merge(weekly));
+    }
+  } else {
+    for (int d = 0; d < 28; ++d) {
+      RASED_RETURN_IF_ERROR(monthly.Merge(cubes[d]));
+    }
+  }
+  for (int d = 28; d < dim; ++d) {
+    RASED_RETURN_IF_ERROR(monthly.Merge(cubes[d]));
+  }
+  if (LevelEnabled(Level::kMonthly) &&
+      Contains(CubeKey::Monthly(month_start))) {
+    RASED_RETURN_IF_ERROR(WriteCube(CubeKey::Monthly(month_start), monthly));
+  }
+
+  // If the containing year is closed, refresh the yearly cube from its
+  // twelve monthlies.
+  CubeKey yearly = CubeKey::Yearly(month_start);
+  if (LevelEnabled(Level::kYearly) && Contains(yearly)) {
+    RASED_ASSIGN_OR_RETURN(
+        DataCube year_cube,
+        BuildFromChildren(yearly, nullptr, nullptr));
+    RASED_RETURN_IF_ERROR(WriteCube(yearly, year_cube));
+  }
+  return Status::OK();
+}
+
+std::vector<CubeKey> TemporalIndex::ExistingKeys(
+    Level level, const DateRange& range) const {
+  std::vector<CubeKey> keys;
+  for (const CubeKey& key : KeysCoveredBy(level, range)) {
+    if (Contains(key)) keys.push_back(key);
+  }
+  return keys;
+}
+
+std::vector<CubeKey> TemporalIndex::LatestKeys(Level level, size_t n) const {
+  std::vector<CubeKey> keys;
+  for (auto it = catalog_.rbegin(); it != catalog_.rend() && keys.size() < n;
+       ++it) {
+    if (it->first.level == level) keys.push_back(it->first);
+  }
+  std::reverse(keys.begin(), keys.end());
+  return keys;
+}
+
+DateRange TemporalIndex::coverage() const {
+  if (!first_day_.has_value()) return DateRange();
+  return DateRange(*first_day_, *last_day_);
+}
+
+IndexStorageStats TemporalIndex::StorageStats() const {
+  IndexStorageStats stats;
+  for (const auto& [key, page] : catalog_) {
+    ++stats.cubes_per_level[static_cast<int>(key.level)];
+    ++stats.total_cubes;
+  }
+  stats.file_bytes =
+      (pager_->num_pages() + 1) * pager_->page_size();  // +1 header page
+  return stats;
+}
+
+}  // namespace rased

@@ -1,0 +1,138 @@
+#ifndef RASED_INDEX_TEMPORAL_INDEX_H_
+#define RASED_INDEX_TEMPORAL_INDEX_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cube/data_cube.h"
+#include "index/temporal_key.h"
+#include "io/pager.h"
+#include "util/result.h"
+
+namespace rased {
+
+/// Configuration of a TemporalIndex.
+struct TemporalIndexOptions {
+  CubeSchema schema;
+
+  /// Number of hierarchy levels kept: 1 = flat daily-only index (the
+  /// RASED-F baseline of Figure 9), 2 = +weekly, 3 = +monthly,
+  /// 4 = +yearly (full RASED, Figure 8's chosen configuration).
+  int num_levels = 4;
+
+  /// Directory holding the page file and catalog; created if missing.
+  std::string dir;
+
+  /// Device cost model applied to every cube page transfer.
+  DeviceModel device;
+};
+
+/// Per-level node counts and storage, for the paper's Section VI-A index
+/// size accounting and Figure 8.
+struct IndexStorageStats {
+  uint64_t cubes_per_level[kNumLevels] = {0, 0, 0, 0};
+  uint64_t total_cubes = 0;
+  uint64_t file_bytes = 0;
+};
+
+/// The hierarchical temporal index (Section VI-A, Figure 6): daily cubes
+/// chained under weekly, monthly, and yearly aggregate cubes, all stored as
+/// fixed-size pages behind a Pager. The index stores *precomputed
+/// statistics* (data cubes), never raw updates.
+///
+/// Maintenance follows the paper:
+///  * AppendDay writes the day's cube; on week/month/year boundaries the
+///    parent cubes are built by reading the children back from disk and
+///    summing them (their I/O cost is therefore visible in pager stats).
+///  * RebuildMonth re-derives a whole month's daily/weekly/monthly (and,
+///    if closed, yearly) cubes from monthly-crawler data that carries the
+///    full four-way UpdateType classification.
+class TemporalIndex {
+ public:
+  /// Creates a fresh index in options.dir (fails if one already exists).
+  static Result<std::unique_ptr<TemporalIndex>> Create(
+      const TemporalIndexOptions& options);
+
+  /// Opens an existing index; options.schema/num_levels must match what
+  /// the catalog records.
+  static Result<std::unique_ptr<TemporalIndex>> Open(
+      const TemporalIndexOptions& options);
+
+  TemporalIndex(const TemporalIndex&) = delete;
+  TemporalIndex& operator=(const TemporalIndex&) = delete;
+
+  ~TemporalIndex();
+
+  // ---- maintenance ----
+
+  /// Appends one day's cube. Days must arrive in strictly increasing
+  /// consecutive order starting from the first day ever appended; gaps are
+  /// InvalidArgument (RASED crawls every day).
+  Status AppendDay(Date day, const DataCube& cube);
+
+  /// Replaces the daily cubes of `month` (the cubes vector holds one cube
+  /// per day of the month, in order) and rebuilds every affected ancestor,
+  /// mirroring the monthly-crawler maintenance path (Section VI-A).
+  Status RebuildMonth(Date month_start, const std::vector<DataCube>& cubes);
+
+  // ---- lookup ----
+
+  bool Contains(const CubeKey& key) const;
+
+  /// Reads one cube from disk (through the pager; cost is charged).
+  Result<DataCube> ReadCube(const CubeKey& key);
+
+  /// Keys of `level` fully inside `range` that actually exist.
+  std::vector<CubeKey> ExistingKeys(Level level, const DateRange& range) const;
+
+  /// The most recent `n` keys of a level (newest last), for cache warmup.
+  std::vector<CubeKey> LatestKeys(Level level, size_t n) const;
+
+  // ---- accounting ----
+
+  /// Days covered so far ([first appended, last appended]).
+  DateRange coverage() const;
+
+  IndexStorageStats StorageStats() const;
+
+  const TemporalIndexOptions& options() const { return options_; }
+  Pager* pager() { return pager_.get(); }
+
+  /// Persists the catalog; called automatically on destruction.
+  Status Sync();
+
+ private:
+  TemporalIndex(TemporalIndexOptions options, std::unique_ptr<Pager> pager);
+
+  bool LevelEnabled(Level level) const {
+    return static_cast<int>(level) < options_.num_levels;
+  }
+
+  Status WriteCube(const CubeKey& key, const DataCube& cube);
+
+  /// Builds a parent cube by reading each existing child from disk and
+  /// merging. `skip` (optional) supplies one child already in memory so the
+  /// paper's "read the six previous cubes" I/O pattern is preserved.
+  Result<DataCube> BuildFromChildren(const CubeKey& parent,
+                                     const CubeKey* in_memory_key,
+                                     const DataCube* in_memory_cube);
+
+  Status SaveCatalog();
+  static std::string CatalogPath(const std::string& dir);
+  static std::string PagesPath(const std::string& dir);
+
+  TemporalIndexOptions options_;
+  std::unique_ptr<Pager> pager_;
+  // Catalog: node -> page. std::map keeps keys chronologically ordered,
+  // which ExistingKeys/LatestKeys rely on.
+  std::map<CubeKey, PageId> catalog_;
+  std::optional<Date> first_day_;
+  std::optional<Date> last_day_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_INDEX_TEMPORAL_INDEX_H_

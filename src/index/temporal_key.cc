@@ -1,0 +1,119 @@
+#include "index/temporal_key.h"
+
+#include "util/logging.h"
+#include "util/str_util.h"
+
+namespace rased {
+
+std::string_view LevelName(Level level) {
+  switch (level) {
+    case Level::kDaily:
+      return "daily";
+    case Level::kWeekly:
+      return "weekly";
+    case Level::kMonthly:
+      return "monthly";
+    case Level::kYearly:
+      return "yearly";
+  }
+  return "?";
+}
+
+CubeKey CubeKey::Weekly(Date day) {
+  RASED_CHECK(day.week_of_month() >= 0)
+      << "straggler day " << day.ToString() << " belongs to no week";
+  return CubeKey{Level::kWeekly, day.week_start()};
+}
+
+DateRange CubeKey::range() const {
+  switch (level) {
+    case Level::kDaily:
+      return DateRange(start, start);
+    case Level::kWeekly:
+      return DateRange(start, start.AddDays(6));
+    case Level::kMonthly:
+      return DateRange(start, start.month_end());
+    case Level::kYearly:
+      return DateRange(start, start.year_end());
+  }
+  return DateRange();
+}
+
+std::vector<CubeKey> CubeKey::Children() const {
+  std::vector<CubeKey> children;
+  switch (level) {
+    case Level::kDaily:
+      break;
+    case Level::kWeekly:
+      for (int i = 0; i < 7; ++i) {
+        children.push_back(Daily(start.AddDays(i)));
+      }
+      break;
+    case Level::kMonthly: {
+      for (int w = 0; w < 4; ++w) {
+        children.push_back(CubeKey{Level::kWeekly, start.AddDays(7 * w)});
+      }
+      int dim = start.days_in_month();
+      for (int d = 29; d <= dim; ++d) {
+        children.push_back(Daily(start.AddDays(d - 1)));
+      }
+      break;
+    }
+    case Level::kYearly:
+      for (int m = 0; m < 12; ++m) {
+        children.push_back(CubeKey{Level::kMonthly, start.AddMonths(m)});
+      }
+      break;
+  }
+  return children;
+}
+
+std::string CubeKey::ToString() const {
+  return StrFormat("%s:%s", std::string(LevelName(level)).c_str(),
+                   start.ToString().c_str());
+}
+
+std::vector<CubeKey> KeysCoveredBy(Level level, const DateRange& range) {
+  std::vector<CubeKey> keys;
+  if (range.empty()) return keys;
+  switch (level) {
+    case Level::kDaily:
+      for (Date d = range.first; d <= range.last; d = d.next()) {
+        keys.push_back(CubeKey::Daily(d));
+      }
+      break;
+    case Level::kWeekly: {
+      // Walk week starts: days 1, 8, 15, 22 of each month.
+      Date d = range.first.month_start();
+      while (d <= range.last) {
+        for (int w = 0; w < 4; ++w) {
+          CubeKey key{Level::kWeekly, d.AddDays(7 * w)};
+          if (range.Contains(key.range())) keys.push_back(key);
+        }
+        d = d.AddMonths(1);
+      }
+      break;
+    }
+    case Level::kMonthly: {
+      Date d = range.first.month_start();
+      while (d <= range.last) {
+        CubeKey key{Level::kMonthly, d};
+        if (range.Contains(key.range())) keys.push_back(key);
+        d = d.AddMonths(1);
+      }
+      break;
+    }
+    case Level::kYearly: {
+      Date d = range.first.year_start();
+      while (d <= range.last) {
+        CubeKey key{Level::kYearly, d};
+        if (range.Contains(key.range())) keys.push_back(key);
+        d = d.AddYears(1);
+      }
+      break;
+    }
+  }
+  return keys;
+}
+
+}  // namespace rased

@@ -1,0 +1,80 @@
+#ifndef RASED_INDEX_TEMPORAL_KEY_H_
+#define RASED_INDEX_TEMPORAL_KEY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/date.h"
+
+namespace rased {
+
+/// The four levels of RASED's hierarchical temporal index (Figure 6).
+/// Values are ordered from finest to coarsest.
+enum class Level : uint8_t {
+  kDaily = 0,
+  kWeekly = 1,
+  kMonthly = 2,
+  kYearly = 3,
+};
+inline constexpr int kNumLevels = 4;
+
+std::string_view LevelName(Level level);
+
+/// Identity of one index node: a level plus the canonical first day of its
+/// window. Weeks follow the paper's month-clipped structure (see
+/// util/date.h): week w covers days 7w+1..7w+7 of its month, and the
+/// straggler days 29..31 exist only at the daily level.
+struct CubeKey {
+  Level level = Level::kDaily;
+  Date start;
+
+  static CubeKey Daily(Date day) { return CubeKey{Level::kDaily, day}; }
+  /// Any non-straggler day selects its containing week.
+  static CubeKey Weekly(Date day);
+  static CubeKey Monthly(Date day) {
+    return CubeKey{Level::kMonthly, day.month_start()};
+  }
+  static CubeKey Yearly(Date day) {
+    return CubeKey{Level::kYearly, day.year_start()};
+  }
+
+  /// Closed date window covered by this node.
+  DateRange range() const;
+
+  /// Child keys whose windows exactly partition this node's window:
+  /// weekly -> 7 dailies; monthly -> 4 weeklies + 0-3 straggler dailies;
+  /// yearly -> 12 monthlies. A daily key has no children.
+  std::vector<CubeKey> Children() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const CubeKey& a, const CubeKey& b) {
+    return a.level == b.level && a.start == b.start;
+  }
+  friend bool operator<(const CubeKey& a, const CubeKey& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return static_cast<int>(a.level) < static_cast<int>(b.level);
+  }
+};
+
+struct CubeKeyHash {
+  size_t operator()(const CubeKey& key) const {
+    uint64_t v = (static_cast<uint64_t>(key.start.days_since_epoch()) << 2) |
+                 static_cast<uint64_t>(key.level);
+    // SplitMix64 finalizer.
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<size_t>(v ^ (v >> 31));
+  }
+};
+
+/// Enumerates all keys of `level` whose windows lie entirely inside
+/// `range`, in chronological order. This is the building block of the
+/// level optimizer's cover computation.
+std::vector<CubeKey> KeysCoveredBy(Level level, const DateRange& range);
+
+}  // namespace rased
+
+#endif  // RASED_INDEX_TEMPORAL_KEY_H_

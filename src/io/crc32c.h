@@ -1,0 +1,16 @@
+#ifndef RASED_IO_CRC32C_H_
+#define RASED_IO_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rased {
+
+/// Software CRC-32C (Castagnoli) used as the page checksum in PageFile.
+/// Table-driven, one byte per step — plenty for 4 KiB..4 MiB pages off the
+/// hot path.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace rased
+
+#endif  // RASED_IO_CRC32C_H_

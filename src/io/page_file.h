@@ -1,0 +1,80 @@
+#ifndef RASED_IO_PAGE_FILE_H_
+#define RASED_IO_PAGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace rased {
+
+/// Identifier of a page inside a PageFile. Page 0 is the file header; user
+/// pages start at 1. kInvalidPageId marks "no page".
+using PageId = uint64_t;
+inline constexpr PageId kInvalidPageId = 0;
+
+/// PageFile stores fixed-size pages in a single on-disk file, the substrate
+/// beneath both the cube index and the warehouse/baseline heap files.
+///
+/// Layout: page 0 holds the header (magic, version, page size, page count);
+/// every subsequent page is <payload..., crc32c (4 bytes)>. Page payload
+/// capacity is therefore page_size - 4. The checksum is validated on every
+/// read, surfacing torn or corrupted pages as Status::Corruption.
+///
+/// Not thread-safe; callers (the Pager) serialize access.
+class PageFile {
+ public:
+  static constexpr uint32_t kMagic = 0x52415345;  // "RASE"
+  static constexpr uint32_t kVersion = 1;
+  static constexpr size_t kChecksumBytes = 4;
+
+  /// Creates a new page file (fails if it already exists).
+  static Result<std::unique_ptr<PageFile>> Create(const std::string& path,
+                                                  size_t page_size);
+
+  /// Opens an existing page file; the stored page size is recovered from
+  /// the header.
+  static Result<std::unique_ptr<PageFile>> Open(const std::string& path);
+
+  ~PageFile();
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Appends a zeroed page and returns its id (>= 1).
+  Result<PageId> AllocatePage();
+
+  /// Writes `payload` (must be <= payload_size()) into the page; the rest
+  /// of the page is zero-filled and the checksum updated.
+  Status WritePage(PageId id, const void* payload, size_t n);
+
+  /// Reads and checksum-validates the page payload (payload_size() bytes).
+  Status ReadPage(PageId id, void* payload) const;
+
+  size_t page_size() const { return page_size_; }
+  /// Usable bytes per page (page_size minus the checksum trailer).
+  size_t payload_size() const { return page_size_ - kChecksumBytes; }
+  /// Number of allocated user pages.
+  uint64_t num_pages() const { return num_pages_; }
+  const std::string& path() const { return path_; }
+
+  /// Flushes and persists the header. Called automatically on destruction.
+  Status Sync();
+
+ private:
+  PageFile(std::string path, int fd, size_t page_size, uint64_t num_pages);
+
+  Status WriteHeader();
+
+  std::string path_;
+  int fd_;
+  size_t page_size_;
+  uint64_t num_pages_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_IO_PAGE_FILE_H_

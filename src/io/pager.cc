@@ -1,0 +1,54 @@
+#include "io/pager.h"
+
+namespace rased {
+
+Result<std::unique_ptr<Pager>> Pager::Create(const std::string& path,
+                                             size_t page_size,
+                                             const DeviceModel& device) {
+  auto file = PageFile::Create(path, page_size);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<Pager>(new Pager(std::move(file).value(), device));
+}
+
+Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
+                                           const DeviceModel& device) {
+  auto file = PageFile::Open(path);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<Pager>(new Pager(std::move(file).value(), device));
+}
+
+Result<PageId> Pager::AllocatePage() {
+  auto id = file_->AllocatePage();
+  if (id.ok()) ChargeWrite(page_size());
+  return id;
+}
+
+Status Pager::WritePage(PageId id, const void* payload, size_t n) {
+  RASED_RETURN_IF_ERROR(file_->WritePage(id, payload, n));
+  ChargeWrite(page_size());
+  return Status::OK();
+}
+
+Status Pager::ReadPage(PageId id, void* payload) {
+  RASED_RETURN_IF_ERROR(file_->ReadPage(id, payload));
+  ChargeRead(page_size());
+  return Status::OK();
+}
+
+void Pager::ChargeRead(size_t bytes) {
+  ++stats_.page_reads;
+  stats_.bytes_read += bytes;
+  stats_.simulated_device_micros +=
+      device_.read_latency_us +
+      static_cast<int64_t>(device_.per_byte_us * static_cast<double>(bytes));
+}
+
+void Pager::ChargeWrite(size_t bytes) {
+  ++stats_.page_writes;
+  stats_.bytes_written += bytes;
+  stats_.simulated_device_micros +=
+      device_.write_latency_us +
+      static_cast<int64_t>(device_.per_byte_us * static_cast<double>(bytes));
+}
+
+}  // namespace rased

@@ -1,0 +1,112 @@
+#ifndef RASED_IO_PAGER_H_
+#define RASED_IO_PAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "io/page_file.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace rased {
+
+/// Cost model for the storage device beneath a Pager.
+///
+/// RASED's experiments (Figures 7, 9, 10 of the paper) are fundamentally
+/// I/O-count stories: the hierarchy + optimizer shrink the number of cube
+/// pages fetched, and the cache turns the survivors into memory hits. To
+/// make the reproduced curves deterministic and independent of whatever SSD
+/// or page cache this host has, the Pager *counts* real page transfers and
+/// charges each one a fixed virtual device cost. Wall-clock numbers reported
+/// by QueryStats are cpu time + simulated device time.
+///
+/// Setting all fields to zero gives a pure pass-through pager.
+struct DeviceModel {
+  /// Charged per page read (default models a ~2 ms random read).
+  int64_t read_latency_us = 2000;
+  /// Charged per page write.
+  int64_t write_latency_us = 2000;
+  /// Additional throughput term, charged per byte transferred.
+  /// Default models ~500 MB/s sequential bandwidth.
+  double per_byte_us = 1.0 / 500.0 / 1.048576;  // us per byte at 500 MiB/s
+
+  static DeviceModel None() { return DeviceModel{0, 0, 0.0}; }
+};
+
+/// Running I/O statistics for a Pager.
+struct IoStats {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  /// Total virtual device time charged by the DeviceModel.
+  int64_t simulated_device_micros = 0;
+
+  IoStats& operator+=(const IoStats& o) {
+    page_reads += o.page_reads;
+    page_writes += o.page_writes;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    simulated_device_micros += o.simulated_device_micros;
+    return *this;
+  }
+  friend IoStats operator-(IoStats a, const IoStats& b) {
+    a.page_reads -= b.page_reads;
+    a.page_writes -= b.page_writes;
+    a.bytes_read -= b.bytes_read;
+    a.bytes_written -= b.bytes_written;
+    a.simulated_device_micros -= b.simulated_device_micros;
+    return a;
+  }
+};
+
+/// Pager mediates all page traffic to one PageFile, accounting every
+/// transfer against the DeviceModel. Higher layers (index storage, the
+/// warehouse heap, the baseline DBMS buffer pool) never touch PageFile
+/// directly, so every experiment's I/O counts come from one place.
+class Pager {
+ public:
+  /// Creates a new page file at `path`.
+  static Result<std::unique_ptr<Pager>> Create(const std::string& path,
+                                               size_t page_size,
+                                               const DeviceModel& device);
+
+  /// Opens an existing page file.
+  static Result<std::unique_ptr<Pager>> Open(const std::string& path,
+                                             const DeviceModel& device);
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  Result<PageId> AllocatePage();
+  Status WritePage(PageId id, const void* payload, size_t n);
+  Status ReadPage(PageId id, void* payload);
+
+  size_t page_size() const { return file_->page_size(); }
+  size_t payload_size() const { return file_->payload_size(); }
+  uint64_t num_pages() const { return file_->num_pages(); }
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+
+  const DeviceModel& device() const { return device_; }
+  void set_device(const DeviceModel& device) { device_ = device; }
+
+  Status Sync() { return file_->Sync(); }
+
+ private:
+  Pager(std::unique_ptr<PageFile> file, const DeviceModel& device)
+      : file_(std::move(file)), device_(device) {}
+
+  void ChargeRead(size_t bytes);
+  void ChargeWrite(size_t bytes);
+
+  std::unique_ptr<PageFile> file_;
+  DeviceModel device_;
+  IoStats stats_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_IO_PAGER_H_

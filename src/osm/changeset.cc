@@ -1,0 +1,145 @@
+#include "osm/changeset.h"
+
+#include "osm/element_xml.h"
+#include "util/str_util.h"
+#include "xml/xml_reader.h"
+
+namespace rased {
+
+namespace {
+
+Status ParseOneChangeset(XmlReader& reader, Changeset* out) {
+  *out = Changeset();
+  const std::string* id = reader.FindAttr("id");
+  if (id == nullptr) {
+    return Status::Corruption(
+        StrFormat("<changeset> missing id (line %d)", reader.line()));
+  }
+  RASED_ASSIGN_OR_RETURN(out->id, ParseUint(*id));
+  if (const std::string* v = reader.FindAttr("created_at")) {
+    RASED_ASSIGN_OR_RETURN(out->created_at, OsmTimestamp::Parse(*v));
+  }
+  if (const std::string* v = reader.FindAttr("closed_at")) {
+    RASED_ASSIGN_OR_RETURN(out->closed_at, OsmTimestamp::Parse(*v));
+  }
+  if (const std::string* v = reader.FindAttr("open")) {
+    out->open = (*v == "true");
+  }
+  if (const std::string* v = reader.FindAttr("uid")) {
+    RASED_ASSIGN_OR_RETURN(out->uid, ParseUint(*v));
+  }
+  if (const std::string* v = reader.FindAttr("user")) {
+    out->user = *v;
+  }
+  if (const std::string* v = reader.FindAttr("num_changes")) {
+    RASED_ASSIGN_OR_RETURN(uint64_t n, ParseUint(*v));
+    out->num_changes = static_cast<uint32_t>(n);
+  }
+  const std::string* min_lat = reader.FindAttr("min_lat");
+  const std::string* min_lon = reader.FindAttr("min_lon");
+  const std::string* max_lat = reader.FindAttr("max_lat");
+  const std::string* max_lon = reader.FindAttr("max_lon");
+  if (min_lat != nullptr && min_lon != nullptr && max_lat != nullptr &&
+      max_lon != nullptr) {
+    out->has_bbox = true;
+    RASED_ASSIGN_OR_RETURN(out->min_lat, ParseDouble(*min_lat));
+    RASED_ASSIGN_OR_RETURN(out->min_lon, ParseDouble(*min_lon));
+    RASED_ASSIGN_OR_RETURN(out->max_lat, ParseDouble(*max_lat));
+    RASED_ASSIGN_OR_RETURN(out->max_lon, ParseDouble(*max_lon));
+  }
+
+  // Children: <tag k v/> and (ignored) discussion elements.
+  for (;;) {
+    RASED_ASSIGN_OR_RETURN(XmlEvent ev, reader.Next());
+    if (ev == XmlEvent::kEndElement) break;
+    if (ev == XmlEvent::kEof) {
+      return Status::Corruption("EOF inside <changeset>");
+    }
+    if (ev != XmlEvent::kStartElement) continue;
+    if (reader.name() == "tag") {
+      const std::string* k = reader.FindAttr("k");
+      const std::string* v = reader.FindAttr("v");
+      if (k != nullptr && v != nullptr) out->tags.push_back(Tag{*k, *v});
+    }
+    RASED_RETURN_IF_ERROR(reader.SkipElement());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ChangesetReader::Parse(std::string_view xml, const Callback& cb) {
+  XmlReader reader(xml);
+  for (;;) {
+    RASED_ASSIGN_OR_RETURN(XmlEvent ev, reader.Next());
+    if (ev == XmlEvent::kEof) return Status::OK();
+    if (ev == XmlEvent::kStartElement) break;
+  }
+  if (reader.name() != "osm") {
+    return Status::Corruption("expected <osm> root, got <" + reader.name() +
+                              ">");
+  }
+  for (;;) {
+    RASED_ASSIGN_OR_RETURN(XmlEvent ev, reader.Next());
+    if (ev == XmlEvent::kEndElement || ev == XmlEvent::kEof) break;
+    if (ev != XmlEvent::kStartElement) continue;
+    if (reader.name() != "changeset") {
+      RASED_RETURN_IF_ERROR(reader.SkipElement());
+      continue;
+    }
+    Changeset cs;
+    RASED_RETURN_IF_ERROR(ParseOneChangeset(reader, &cs));
+    RASED_RETURN_IF_ERROR(cb(cs));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Changeset>> ChangesetReader::ParseAll(
+    std::string_view xml) {
+  std::vector<Changeset> out;
+  Status s = Parse(xml, [&out](const Changeset& cs) {
+    out.push_back(cs);
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+ChangesetWriter::ChangesetWriter() : writer_(&buffer_) {
+  writer_.WriteDeclaration();
+  writer_.StartElement("osm");
+  writer_.Attribute("version", "0.6");
+  writer_.Attribute("generator", "rased-synth");
+}
+
+void ChangesetWriter::Add(const Changeset& changeset) {
+  writer_.StartElement("changeset");
+  writer_.Attribute("id", changeset.id);
+  writer_.Attribute("created_at", changeset.created_at.ToString());
+  if (!changeset.open) {
+    writer_.Attribute("closed_at", changeset.closed_at.ToString());
+  }
+  writer_.Attribute("open", changeset.open ? "true" : "false");
+  writer_.Attribute("uid", changeset.uid);
+  if (!changeset.user.empty()) writer_.Attribute("user", changeset.user);
+  writer_.Attribute("num_changes",
+                    static_cast<uint64_t>(changeset.num_changes));
+  if (changeset.has_bbox) {
+    writer_.AttributeCoord("min_lat", changeset.min_lat);
+    writer_.AttributeCoord("min_lon", changeset.min_lon);
+    writer_.AttributeCoord("max_lat", changeset.max_lat);
+    writer_.AttributeCoord("max_lon", changeset.max_lon);
+  }
+  internal_osm::WriteTags(writer_, changeset.tags);
+  writer_.EndElement();
+}
+
+std::string ChangesetWriter::Finish() {
+  if (!finished_) {
+    writer_.EndElement();  // osm
+    finished_ = true;
+  }
+  return std::move(buffer_);
+}
+
+}  // namespace rased

@@ -1,0 +1,69 @@
+#ifndef RASED_OSM_CHANGESET_H_
+#define RASED_OSM_CHANGESET_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "osm/element.h"
+#include "util/result.h"
+#include "xml/xml_writer.h"
+
+namespace rased {
+
+/// Metadata describing one OSM changeset (Section II-B): all updates
+/// submitted by one user in one session, with a bounding box covering the
+/// edits. RASED's daily crawler joins diff entries against this table to
+/// locate way/relation updates geographically.
+struct Changeset {
+  uint64_t id = 0;
+  OsmTimestamp created_at;
+  OsmTimestamp closed_at;
+  bool open = false;
+  uint64_t uid = 0;
+  std::string user;
+  uint32_t num_changes = 0;
+
+  /// Bounding box of the session's edits. Empty changesets (e.g. tag-only
+  /// uploads) have no box.
+  bool has_bbox = false;
+  double min_lat = 0.0;
+  double min_lon = 0.0;
+  double max_lat = 0.0;
+  double max_lon = 0.0;
+
+  std::vector<Tag> tags;
+
+  /// Centre point of the bounding box (the paper assigns each way/relation
+  /// update the centre of its changeset's box). Requires has_bbox.
+  double center_lat() const { return (min_lat + max_lat) / 2.0; }
+  double center_lon() const { return (min_lon + max_lon) / 2.0; }
+};
+
+/// Reader for changeset metadata files (<osm><changeset .../>...</osm>).
+class ChangesetReader {
+ public:
+  using Callback = std::function<Status(const Changeset&)>;
+
+  static Status Parse(std::string_view xml, const Callback& cb);
+  static Result<std::vector<Changeset>> ParseAll(std::string_view xml);
+};
+
+/// Writer emitting the same format.
+class ChangesetWriter {
+ public:
+  ChangesetWriter();
+
+  void Add(const Changeset& changeset);
+  std::string Finish();
+
+ private:
+  std::string buffer_;
+  XmlWriter writer_;
+  bool finished_ = false;
+};
+
+}  // namespace rased
+
+#endif  // RASED_OSM_CHANGESET_H_

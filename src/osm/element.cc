@@ -1,0 +1,90 @@
+#include "osm/element.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/str_util.h"
+
+namespace rased {
+
+std::string_view ElementTypeName(ElementType type) {
+  switch (type) {
+    case ElementType::kNode:
+      return "node";
+    case ElementType::kWay:
+      return "way";
+    case ElementType::kRelation:
+      return "relation";
+  }
+  return "?";
+}
+
+Result<ElementType> ParseElementType(std::string_view name) {
+  if (name == "node") return ElementType::kNode;
+  if (name == "way") return ElementType::kWay;
+  if (name == "relation") return ElementType::kRelation;
+  return Status::InvalidArgument("unknown element type '" + std::string(name) +
+                                 "'");
+}
+
+Result<OsmTimestamp> OsmTimestamp::Parse(std::string_view text) {
+  // "YYYY-MM-DDTHH:MM:SSZ"
+  if (text.size() < 20 || text[10] != 'T' || text.back() != 'Z') {
+    return Status::InvalidArgument("bad OSM timestamp '" + std::string(text) +
+                                   "'");
+  }
+  auto date = Date::Parse(text.substr(0, 10));
+  if (!date.ok()) return date.status();
+  int h = 0, m = 0, s = 0;
+  std::string hms(text.substr(11, 8));
+  if (std::sscanf(hms.c_str(), "%d:%d:%d", &h, &m, &s) != 3 || h < 0 ||
+      h > 23 || m < 0 || m > 59 || s < 0 || s > 60) {
+    return Status::InvalidArgument("bad OSM time '" + std::string(text) + "'");
+  }
+  OsmTimestamp ts;
+  ts.date = date.value();
+  ts.sec_of_day = h * 3600 + m * 60 + s;
+  return ts;
+}
+
+std::string OsmTimestamp::ToString() const {
+  int h = sec_of_day / 3600;
+  int m = (sec_of_day / 60) % 60;
+  int s = sec_of_day % 60;
+  return StrFormat("%sT%02d:%02d:%02dZ", date.ToString().c_str(), h, m, s);
+}
+
+const std::string* Element::FindTag(std::string_view key) const {
+  for (const Tag& t : tags) {
+    if (t.key == key) return &t.value;
+  }
+  return nullptr;
+}
+
+bool Element::GeometryDiffers(const Element& a, const Element& b) {
+  if (a.type != b.type) return true;
+  switch (a.type) {
+    case ElementType::kNode:
+      return a.lat != b.lat || a.lon != b.lon;
+    case ElementType::kWay:
+      return a.node_refs != b.node_refs;
+    case ElementType::kRelation:
+      return !(a.members == b.members);
+  }
+  return false;
+}
+
+bool Element::TagsDiffer(const Element& a, const Element& b) {
+  if (a.tags.size() != b.tags.size()) return true;
+  // Tag order is not semantically meaningful; compare as sorted sets.
+  auto sorted = [](const std::vector<Tag>& tags) {
+    std::vector<Tag> copy = tags;
+    std::sort(copy.begin(), copy.end(), [](const Tag& x, const Tag& y) {
+      return x.key != y.key ? x.key < y.key : x.value < y.value;
+    });
+    return copy;
+  };
+  return !(sorted(a.tags) == sorted(b.tags));
+}
+
+}  // namespace rased

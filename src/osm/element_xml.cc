@@ -1,0 +1,148 @@
+#include "osm/element_xml.h"
+
+#include "util/str_util.h"
+
+namespace rased {
+namespace internal_osm {
+
+namespace {
+
+Status MissingAttr(const XmlReader& reader, const char* attr) {
+  return Status::Corruption(StrFormat("<%s> missing attribute '%s' (line %d)",
+                                      reader.name().c_str(), attr,
+                                      reader.line()));
+}
+
+Status ParseMeta(XmlReader& reader, ElementMeta* meta) {
+  const std::string* id = reader.FindAttr("id");
+  if (id == nullptr) return MissingAttr(reader, "id");
+  RASED_ASSIGN_OR_RETURN(meta->id, ParseInt(*id));
+
+  if (const std::string* v = reader.FindAttr("version")) {
+    RASED_ASSIGN_OR_RETURN(int64_t ver, ParseInt(*v));
+    meta->version = static_cast<int32_t>(ver);
+  }
+  if (const std::string* ts = reader.FindAttr("timestamp")) {
+    RASED_ASSIGN_OR_RETURN(meta->timestamp, OsmTimestamp::Parse(*ts));
+  }
+  if (const std::string* cs = reader.FindAttr("changeset")) {
+    RASED_ASSIGN_OR_RETURN(meta->changeset, ParseUint(*cs));
+  }
+  if (const std::string* uid = reader.FindAttr("uid")) {
+    RASED_ASSIGN_OR_RETURN(meta->uid, ParseUint(*uid));
+  }
+  if (const std::string* user = reader.FindAttr("user")) {
+    meta->user = *user;
+  }
+  if (const std::string* visible = reader.FindAttr("visible")) {
+    meta->visible = (*visible != "false");
+  } else {
+    meta->visible = true;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParseElement(XmlReader& reader, Element* out) {
+  *out = Element();
+  RASED_ASSIGN_OR_RETURN(out->type, ParseElementType(reader.name()));
+  RASED_RETURN_IF_ERROR(ParseMeta(reader, &out->meta));
+
+  if (out->type == ElementType::kNode) {
+    // Deleted node versions in full-history files may omit coordinates.
+    const std::string* lat = reader.FindAttr("lat");
+    const std::string* lon = reader.FindAttr("lon");
+    if (lat != nullptr && lon != nullptr) {
+      RASED_ASSIGN_OR_RETURN(out->lat, ParseDouble(*lat));
+      RASED_ASSIGN_OR_RETURN(out->lon, ParseDouble(*lon));
+    } else if (out->meta.visible) {
+      return MissingAttr(reader, "lat/lon");
+    }
+  }
+
+  // Children: <tag/>, <nd/>, <member/> until the element's end tag.
+  for (;;) {
+    auto ev = reader.Next();
+    if (!ev.ok()) return ev.status();
+    if (ev.value() == XmlEvent::kEndElement) break;
+    if (ev.value() == XmlEvent::kEof) {
+      return Status::Corruption("EOF inside element");
+    }
+    if (ev.value() == XmlEvent::kText) continue;
+    // kStartElement
+    const std::string& child = reader.name();
+    if (child == "tag") {
+      const std::string* k = reader.FindAttr("k");
+      const std::string* v = reader.FindAttr("v");
+      if (k == nullptr || v == nullptr) return MissingAttr(reader, "k/v");
+      out->tags.push_back(Tag{*k, *v});
+      RASED_RETURN_IF_ERROR(reader.SkipElement());
+    } else if (child == "nd") {
+      const std::string* ref = reader.FindAttr("ref");
+      if (ref == nullptr) return MissingAttr(reader, "ref");
+      RASED_ASSIGN_OR_RETURN(int64_t r, ParseInt(*ref));
+      out->node_refs.push_back(r);
+      RASED_RETURN_IF_ERROR(reader.SkipElement());
+    } else if (child == "member") {
+      RelationMember member;
+      const std::string* type = reader.FindAttr("type");
+      const std::string* ref = reader.FindAttr("ref");
+      if (type == nullptr || ref == nullptr) {
+        return MissingAttr(reader, "type/ref");
+      }
+      RASED_ASSIGN_OR_RETURN(member.type, ParseElementType(*type));
+      RASED_ASSIGN_OR_RETURN(member.ref, ParseInt(*ref));
+      if (const std::string* role = reader.FindAttr("role")) {
+        member.role = *role;
+      }
+      out->members.push_back(std::move(member));
+      RASED_RETURN_IF_ERROR(reader.SkipElement());
+    } else {
+      // Unknown child element; tolerated and skipped.
+      RASED_RETURN_IF_ERROR(reader.SkipElement());
+    }
+  }
+  return Status::OK();
+}
+
+void WriteTags(XmlWriter& writer, const std::vector<Tag>& tags) {
+  for (const Tag& t : tags) {
+    writer.StartElement("tag");
+    writer.Attribute("k", t.key);
+    writer.Attribute("v", t.value);
+    writer.EndElement();
+  }
+}
+
+void WriteElement(XmlWriter& writer, const Element& element) {
+  writer.StartElement(ElementTypeName(element.type));
+  writer.Attribute("id", element.meta.id);
+  writer.Attribute("version", static_cast<int64_t>(element.meta.version));
+  writer.Attribute("timestamp", element.meta.timestamp.ToString());
+  writer.Attribute("changeset", element.meta.changeset);
+  writer.Attribute("uid", element.meta.uid);
+  if (!element.meta.user.empty()) writer.Attribute("user", element.meta.user);
+  if (!element.meta.visible) writer.Attribute("visible", "false");
+  if (element.type == ElementType::kNode && element.meta.visible) {
+    writer.AttributeCoord("lat", element.lat);
+    writer.AttributeCoord("lon", element.lon);
+  }
+  for (int64_t ref : element.node_refs) {
+    writer.StartElement("nd");
+    writer.Attribute("ref", ref);
+    writer.EndElement();
+  }
+  for (const RelationMember& m : element.members) {
+    writer.StartElement("member");
+    writer.Attribute("type", ElementTypeName(m.type));
+    writer.Attribute("ref", m.ref);
+    writer.Attribute("role", m.role);
+    writer.EndElement();
+  }
+  WriteTags(writer, element.tags);
+  writer.EndElement();
+}
+
+}  // namespace internal_osm
+}  // namespace rased

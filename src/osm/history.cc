@@ -1,0 +1,64 @@
+#include "osm/history.h"
+
+#include "osm/element_xml.h"
+#include "xml/xml_reader.h"
+
+namespace rased {
+
+Status HistoryReader::Parse(std::string_view xml, const Callback& cb) {
+  XmlReader reader(xml);
+  for (;;) {
+    RASED_ASSIGN_OR_RETURN(XmlEvent ev, reader.Next());
+    if (ev == XmlEvent::kEof) return Status::OK();
+    if (ev == XmlEvent::kStartElement) break;
+  }
+  if (reader.name() != "osm") {
+    return Status::Corruption("expected <osm> root, got <" + reader.name() +
+                              ">");
+  }
+  for (;;) {
+    RASED_ASSIGN_OR_RETURN(XmlEvent ev, reader.Next());
+    if (ev == XmlEvent::kEndElement || ev == XmlEvent::kEof) break;
+    if (ev != XmlEvent::kStartElement) continue;
+    const std::string& name = reader.name();
+    if (name != "node" && name != "way" && name != "relation") {
+      RASED_RETURN_IF_ERROR(reader.SkipElement());
+      continue;
+    }
+    Element element;
+    RASED_RETURN_IF_ERROR(internal_osm::ParseElement(reader, &element));
+    RASED_RETURN_IF_ERROR(cb(element));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Element>> HistoryReader::ParseAll(std::string_view xml) {
+  std::vector<Element> out;
+  Status s = Parse(xml, [&out](const Element& e) {
+    out.push_back(e);
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+HistoryWriter::HistoryWriter() : writer_(&buffer_) {
+  writer_.WriteDeclaration();
+  writer_.StartElement("osm");
+  writer_.Attribute("version", "0.6");
+  writer_.Attribute("generator", "rased-synth");
+}
+
+void HistoryWriter::Add(const Element& element) {
+  internal_osm::WriteElement(writer_, element);
+}
+
+std::string HistoryWriter::Finish() {
+  if (!finished_) {
+    writer_.EndElement();  // osm
+    finished_ = true;
+  }
+  return std::move(buffer_);
+}
+
+}  // namespace rased

@@ -1,0 +1,44 @@
+#ifndef RASED_OSM_HISTORY_H_
+#define RASED_OSM_HISTORY_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "osm/element.h"
+#include "util/result.h"
+#include "xml/xml_writer.h"
+
+namespace rased {
+
+/// Reader for OSM full-history planet files (Section II-B): a single <osm>
+/// document containing *every version* of every element, with
+/// visible="false" marking deletion versions. Versions of one element are
+/// stored consecutively in ascending version order, which is what the
+/// monthly crawler relies on to compare consecutive versions.
+class HistoryReader {
+ public:
+  using Callback = std::function<Status(const Element&)>;
+
+  static Status Parse(std::string_view xml, const Callback& cb);
+  static Result<std::vector<Element>> ParseAll(std::string_view xml);
+};
+
+/// Writer emitting full-history documents in the same layout.
+class HistoryWriter {
+ public:
+  HistoryWriter();
+
+  void Add(const Element& element);
+  std::string Finish();
+
+ private:
+  std::string buffer_;
+  XmlWriter writer_;
+  bool finished_ = false;
+};
+
+}  // namespace rased
+
+#endif  // RASED_OSM_HISTORY_H_

@@ -1,0 +1,111 @@
+#include "osm/osc.h"
+
+#include "osm/element_xml.h"
+#include "util/str_util.h"
+#include "xml/xml_reader.h"
+
+namespace rased {
+
+std::string_view ChangeActionName(ChangeAction action) {
+  switch (action) {
+    case ChangeAction::kCreate:
+      return "create";
+    case ChangeAction::kModify:
+      return "modify";
+    case ChangeAction::kDelete:
+      return "delete";
+  }
+  return "?";
+}
+
+namespace {
+
+Result<ChangeAction> ParseChangeAction(std::string_view name) {
+  if (name == "create") return ChangeAction::kCreate;
+  if (name == "modify") return ChangeAction::kModify;
+  if (name == "delete") return ChangeAction::kDelete;
+  return Status::Corruption("unknown osmChange block <" + std::string(name) +
+                            ">");
+}
+
+}  // namespace
+
+Status OscReader::Parse(std::string_view xml, const Callback& cb) {
+  XmlReader reader(xml);
+
+  // Expect the <osmChange> root.
+  for (;;) {
+    RASED_ASSIGN_OR_RETURN(XmlEvent ev, reader.Next());
+    if (ev == XmlEvent::kEof) return Status::OK();  // empty document
+    if (ev == XmlEvent::kStartElement) break;
+  }
+  if (reader.name() != "osmChange") {
+    return Status::Corruption("expected <osmChange> root, got <" +
+                              reader.name() + ">");
+  }
+
+  // Walk <create>/<modify>/<delete> blocks.
+  for (;;) {
+    RASED_ASSIGN_OR_RETURN(XmlEvent ev, reader.Next());
+    if (ev == XmlEvent::kEndElement || ev == XmlEvent::kEof) break;
+    if (ev != XmlEvent::kStartElement) continue;
+    RASED_ASSIGN_OR_RETURN(ChangeAction action,
+                           ParseChangeAction(reader.name()));
+    // Elements inside the block.
+    for (;;) {
+      RASED_ASSIGN_OR_RETURN(XmlEvent block_ev, reader.Next());
+      if (block_ev == XmlEvent::kEndElement) break;
+      if (block_ev == XmlEvent::kEof) {
+        return Status::Corruption("EOF inside osmChange block");
+      }
+      if (block_ev != XmlEvent::kStartElement) continue;
+      OsmChange change;
+      change.action = action;
+      RASED_RETURN_IF_ERROR(
+          internal_osm::ParseElement(reader, &change.element));
+      RASED_RETURN_IF_ERROR(cb(change));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<OsmChange>> OscReader::ParseAll(std::string_view xml) {
+  std::vector<OsmChange> out;
+  Status s = Parse(xml, [&out](const OsmChange& change) {
+    out.push_back(change);
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+OscWriter::OscWriter() : writer_(&buffer_) {
+  writer_.WriteDeclaration();
+  writer_.StartElement("osmChange");
+  writer_.Attribute("version", "0.6");
+  writer_.Attribute("generator", "rased-synth");
+}
+
+void OscWriter::EnsureBlock(ChangeAction action) {
+  if (block_open_ && block_action_ == action) return;
+  if (block_open_) writer_.EndElement();
+  writer_.StartElement(ChangeActionName(action));
+  block_open_ = true;
+  block_action_ = action;
+}
+
+void OscWriter::Add(ChangeAction action, const Element& element) {
+  EnsureBlock(action);
+  internal_osm::WriteElement(writer_, element);
+}
+
+std::string OscWriter::Finish() {
+  if (!finished_) {
+    if (block_open_) writer_.EndElement();
+    writer_.EndElement();  // osmChange
+    finished_ = true;
+  }
+  return std::move(buffer_);
+}
+
+}  // namespace rased

@@ -1,0 +1,61 @@
+#ifndef RASED_OSM_ROAD_TYPES_H_
+#define RASED_OSM_ROAD_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rased {
+
+/// Integer id of a road type (a value of OSM's highway=* tag). Id 0 is
+/// reserved for "(none)": elements that are not part of the road network
+/// (e.g. a POI node) still produce UpdateList tuples but carry no road type.
+using RoadTypeId = uint16_t;
+inline constexpr RoadTypeId kRoadTypeNone = 0;
+
+/// RoadTypeTable maps highway=* tag values to the dense RoadType dimension
+/// of the data cubes (Section VI-A lists 150 possible road types).
+///
+/// The table is pre-seeded with the canonical OSM highway taxonomy
+/// (motorway .. bus_stop) and grows on demand: an unseen highway value is
+/// assigned the next id until `capacity` is reached, after which it falls
+/// into the catch-all "other" bucket. This mirrors how a production RASED
+/// would pin the cube dimension while the OSM folksonomy keeps inventing
+/// values.
+class RoadTypeTable {
+ public:
+  /// `capacity` is the cube dimension size, including slot 0 ("(none)")
+  /// and the "other" bucket. The paper uses 150.
+  explicit RoadTypeTable(size_t capacity = 150);
+
+  /// Id for a highway tag value, interning it if there is room.
+  RoadTypeId Intern(std::string_view highway_value);
+
+  /// Id for a value without interning; returns the "other" bucket when the
+  /// value is unknown.
+  RoadTypeId Lookup(std::string_view highway_value) const;
+
+  /// Name for an id ("(none)", "residential", "other", ...).
+  const std::string& Name(RoadTypeId id) const;
+
+  /// Number of assigned ids (including "(none)" and "other").
+  size_t size() const { return names_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  RoadTypeId other_id() const { return other_id_; }
+
+  /// The canonical seed taxonomy (without "(none)"/"other"), in seed order.
+  static const std::vector<std::string>& CanonicalHighwayValues();
+
+ private:
+  size_t capacity_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, RoadTypeId> index_;
+  RoadTypeId other_id_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_OSM_ROAD_TYPES_H_

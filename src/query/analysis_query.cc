@@ -1,0 +1,36 @@
+#include "query/analysis_query.h"
+
+#include "util/str_util.h"
+
+namespace rased {
+
+std::string AnalysisQuery::ToString() const {
+  std::string groups;
+  auto add_group = [&groups](bool flag, const char* name) {
+    if (!flag) return;
+    if (!groups.empty()) groups += ",";
+    groups += name;
+  };
+  add_group(group_element_type, "ElementType");
+  add_group(group_date, "Date");
+  add_group(group_country, "Country");
+  add_group(group_road_type, "RoadType");
+  add_group(group_update_type, "UpdateType");
+  return StrFormat(
+      "AnalysisQuery{%s, filters: et=%zu co=%zu rt=%zu ut=%zu, group by [%s]%s}",
+      range.ToString().c_str(), element_types.size(), countries.size(),
+      road_types.size(), update_types.size(), groups.c_str(),
+      percentage ? ", percentage" : "");
+}
+
+QueryStats& QueryStats::operator+=(const QueryStats& o) {
+  cubes_total += o.cubes_total;
+  cubes_from_cache += o.cubes_from_cache;
+  cubes_from_disk += o.cubes_from_disk;
+  for (int i = 0; i < 4; ++i) cubes_per_level[i] += o.cubes_per_level[i];
+  io += o.io;
+  cpu_micros += o.cpu_micros;
+  return *this;
+}
+
+}  // namespace rased

@@ -1,0 +1,102 @@
+#include "query/level_optimizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace rased {
+
+namespace {
+
+/// Lexicographic plan cost: (disk fetches, total cubes).
+using Cost = std::pair<uint32_t, uint32_t>;
+
+constexpr Cost kInfinity{std::numeric_limits<uint32_t>::max(),
+                         std::numeric_limits<uint32_t>::max()};
+
+}  // namespace
+
+QueryPlan LevelOptimizer::PlanFlat(const DateRange& range) const {
+  QueryPlan plan;
+  plan.cubes = index_->ExistingKeys(Level::kDaily, range);
+  for (const CubeKey& key : plan.cubes) {
+    if (IsCached(key)) ++plan.expected_cached;
+  }
+  return plan;
+}
+
+QueryPlan LevelOptimizer::Plan(const DateRange& range) const {
+  QueryPlan plan;
+  if (range.empty()) return plan;
+  const int n = range.num_days();
+
+  // cost[i] covers the first i days of the window; choice[i] records the
+  // cube (or day skip) whose window ends at day i-1 on the optimal path.
+  struct Choice {
+    CubeKey key;
+    int from = 0;
+    bool skip = false;  // day with no cube anywhere (outside coverage)
+  };
+  std::vector<Cost> cost(static_cast<size_t>(n) + 1, kInfinity);
+  std::vector<Choice> choice(static_cast<size_t>(n) + 1);
+  cost[0] = {0, 0};
+
+  for (int i = 1; i <= n; ++i) {
+    Date day = range.first.AddDays(i - 1);
+    auto consider = [&](const CubeKey& key, int from, bool skip) {
+      if (cost[from] == kInfinity) return;
+      Cost c = cost[from];
+      if (!skip) {
+        c.first += IsCached(key) ? 0 : 1;
+        c.second += 1;
+      }
+      if (c < cost[i]) {
+        cost[i] = c;
+        choice[i] = Choice{key, from, skip};
+      }
+    };
+
+    CubeKey daily = CubeKey::Daily(day);
+    if (index_->Contains(daily)) {
+      consider(daily, i - 1, /*skip=*/false);
+    } else {
+      // No data exists for this day at any level; covering it is free.
+      consider(daily, i - 1, /*skip=*/true);
+    }
+
+    if (day.is_week_end() && i >= 7) {
+      CubeKey weekly = CubeKey::Weekly(day);
+      if (index_->Contains(weekly)) consider(weekly, i - 7, false);
+    }
+    if (day.is_month_end()) {
+      int dim = day.days_in_month();
+      if (i >= dim) {
+        CubeKey monthly = CubeKey::Monthly(day);
+        if (index_->Contains(monthly)) consider(monthly, i - dim, false);
+      }
+    }
+    if (day.is_year_end()) {
+      int diy = (day - day.year_start()) + 1;  // 365 or 366
+      if (i >= diy) {
+        CubeKey yearly = CubeKey::Yearly(day);
+        if (index_->Contains(yearly)) consider(yearly, i - diy, false);
+      }
+    }
+  }
+
+  // Walk the choices back and emit cubes in chronological order.
+  std::vector<CubeKey> reversed;
+  int i = n;
+  while (i > 0) {
+    const Choice& c = choice[i];
+    if (!c.skip) reversed.push_back(c.key);
+    i = c.from;
+  }
+  plan.cubes.assign(reversed.rbegin(), reversed.rend());
+  for (const CubeKey& key : plan.cubes) {
+    if (IsCached(key)) ++plan.expected_cached;
+  }
+  return plan;
+}
+
+}  // namespace rased

@@ -1,0 +1,52 @@
+#ifndef RASED_QUERY_LEVEL_OPTIMIZER_H_
+#define RASED_QUERY_LEVEL_OPTIMIZER_H_
+
+#include <vector>
+
+#include "cache/cube_cache.h"
+#include "index/temporal_index.h"
+#include "index/temporal_key.h"
+#include "util/date.h"
+
+namespace rased {
+
+/// The set of cubes a query will aggregate.
+struct QueryPlan {
+  std::vector<CubeKey> cubes;
+  /// Of those, how many the optimizer expects to find in cache.
+  size_t expected_cached = 0;
+  size_t expected_disk() const { return cubes.size() - expected_cached; }
+};
+
+/// The level optimizer (Section VII-B): given a query window, choose the
+/// mix of daily/weekly/monthly/yearly cubes that covers it exactly while
+/// fetching the fewest cubes from disk — cached cubes are free. Section
+/// VII-B's worked example (Jan 1 – Feb 15) is reproduced verbatim in the
+/// unit tests.
+class LevelOptimizer {
+ public:
+  /// `cache` may be null (no caching, the RASED-O variant of Figure 9).
+  LevelOptimizer(const TemporalIndex* index, const CubeCache* cache)
+      : index_(index), cache_(cache) {}
+
+  /// Exact minimum-cost cover via dynamic programming over the window's
+  /// days. Cost is lexicographic (disk fetches, total cubes): plans with
+  /// fewer disk reads win; among those, fewer cubes overall.
+  QueryPlan Plan(const DateRange& range) const;
+
+  /// The flat plan: daily cubes only (the RASED-F variant of Figure 9 and
+  /// the forced plan for date-grouped queries).
+  QueryPlan PlanFlat(const DateRange& range) const;
+
+ private:
+  bool IsCached(const CubeKey& key) const {
+    return cache_ != nullptr && cache_->Contains(key);
+  }
+
+  const TemporalIndex* index_;
+  const CubeCache* cache_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_QUERY_LEVEL_OPTIMIZER_H_

@@ -1,0 +1,51 @@
+#ifndef RASED_QUERY_QUERY_EXECUTOR_H_
+#define RASED_QUERY_QUERY_EXECUTOR_H_
+
+#include <memory>
+
+#include "cache/cube_cache.h"
+#include "geo/world_map.h"
+#include "index/temporal_index.h"
+#include "query/analysis_query.h"
+#include "query/level_optimizer.h"
+#include "util/result.h"
+
+namespace rased {
+
+/// Planning mode, matching the three system variants of Figure 9.
+enum class PlanMode {
+  kFlat = 0,       ///< RASED-F: daily cubes only, no optimizer
+  kOptimized = 1,  ///< RASED-O / full RASED: level-optimized cover
+};
+
+/// The Query Execution module (Section VII). Phase 1 gathers the plan's
+/// cubes — from the cache when possible, from disk through the index pager
+/// otherwise. Phase 2 is pure in-memory aggregation over cube cells,
+/// folding them into the query's GROUP BY buckets.
+class QueryExecutor {
+ public:
+  /// `cache` may be null (uncached variants). `world` supplies zone names
+  /// and road-network sizes for Percentage(*) queries.
+  QueryExecutor(TemporalIndex* index, CubeCache* cache, const WorldMap* world,
+                PlanMode mode = PlanMode::kOptimized);
+
+  /// Runs one analysis query.
+  Result<QueryResult> Execute(const AnalysisQuery& query);
+
+  /// Plans without executing (exposed for tests and the plan-inspection
+  /// dashboard endpoint).
+  QueryPlan PlanFor(const AnalysisQuery& query) const;
+
+  PlanMode mode() const { return mode_; }
+
+ private:
+  TemporalIndex* index_;
+  CubeCache* cache_;
+  const WorldMap* world_;
+  PlanMode mode_;
+  LevelOptimizer optimizer_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_QUERY_QUERY_EXECUTOR_H_

@@ -1,0 +1,407 @@
+#include "query/sql_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+#include "util/str_util.h"
+
+namespace rased {
+
+namespace {
+
+enum class TokenKind {
+  kWord,    // identifier or keyword (possibly dotted: U.Country)
+  kString,  // quoted literal
+  kNumber,
+  kPunct,  // ( ) [ ] , = *
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // normalized: keywords/idents keep original case
+  size_t position;    // byte offset, for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      size_t start = pos_;
+      if (c == '\'' || c == '"') {
+        ++pos_;
+        std::string value;
+        while (pos_ < input_.size() && input_[pos_] != c) {
+          value.push_back(input_[pos_++]);
+        }
+        if (pos_ >= input_.size()) {
+          return Status::InvalidArgument(
+              StrFormat("unterminated string literal at offset %zu", start));
+        }
+        ++pos_;  // closing quote
+        tokens.push_back(Token{TokenKind::kString, value, start});
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string word;
+        while (pos_ < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '_' || input_[pos_] == '.')) {
+          word.push_back(input_[pos_++]);
+        }
+        tokens.push_back(Token{TokenKind::kWord, word, start});
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::string number;
+        while (pos_ < input_.size() &&
+               (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '-' || input_[pos_] == '.')) {
+          number.push_back(input_[pos_++]);
+        }
+        tokens.push_back(Token{TokenKind::kNumber, number, start});
+      } else if (c == '(' || c == ')' || c == '[' || c == ']' || c == ',' ||
+                 c == '=' || c == '*') {
+        ++pos_;
+        tokens.push_back(Token{TokenKind::kPunct, std::string(1, c), start});
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("unexpected character '%c' at offset %zu", c, start));
+      }
+    }
+    tokens.push_back(Token{TokenKind::kEnd, "", input_.size()});
+    return tokens;
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+enum class Attr {
+  kElementType,
+  kDate,
+  kCountry,
+  kRoadType,
+  kUpdateType,
+  kCount,       // COUNT(*)
+  kPercentage,  // Percentage(*)
+};
+
+/// The dimension attributes by lowercase name, with any "u." prefix
+/// stripped.
+Result<Attr> AttrFromWord(const std::string& raw, size_t position) {
+  std::string word = AsciiLower(raw);
+  size_t dot = word.find('.');
+  if (dot != std::string::npos) word = word.substr(dot + 1);
+  if (word == "elementtype" || word == "element_type") {
+    return Attr::kElementType;
+  }
+  if (word == "date") return Attr::kDate;
+  if (word == "country") return Attr::kCountry;
+  if (word == "roadtype" || word == "road_type") return Attr::kRoadType;
+  if (word == "updatetype" || word == "update_type") return Attr::kUpdateType;
+  if (word == "count") return Attr::kCount;
+  if (word == "percentage") return Attr::kPercentage;
+  return Status::InvalidArgument(
+      StrFormat("unknown column '%s' at offset %zu", raw.c_str(), position));
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const WorldMap* world,
+         const RoadTypeTable* road_types)
+      : tokens_(std::move(tokens)), world_(world), road_types_(road_types) {}
+
+  Result<AnalysisQuery> Run() {
+    AnalysisQuery query;
+    bool wants_percentage = false;
+    std::vector<Attr> select_columns;
+
+    RASED_RETURN_IF_ERROR(ExpectKeyword("select"));
+    // SELECT column list.
+    for (;;) {
+      RASED_ASSIGN_OR_RETURN(Attr attr, ParseSelectColumn());
+      if (attr == Attr::kPercentage) {
+        wants_percentage = true;
+      } else if (attr != Attr::kCount) {
+        select_columns.push_back(attr);
+      }
+      if (!ConsumePunct(",")) break;
+    }
+
+    RASED_RETURN_IF_ERROR(ExpectKeyword("from"));
+    if (!ConsumeKeyword("updatelist")) {
+      return Error("expected table UpdateList");
+    }
+    // Optional alias.
+    if (Peek().kind == TokenKind::kWord && !PeekIsKeyword("where") &&
+        !PeekIsKeyword("group")) {
+      ++pos_;
+    }
+
+    if (ConsumeKeyword("where")) {
+      do {
+        RASED_RETURN_IF_ERROR(ParsePredicate(&query));
+      } while (ConsumeKeyword("and"));
+    }
+
+    std::vector<Attr> group_columns = select_columns;
+    if (ConsumeKeyword("group")) {
+      RASED_RETURN_IF_ERROR(ExpectKeyword("by"));
+      group_columns.clear();
+      for (;;) {
+        RASED_ASSIGN_OR_RETURN(Attr attr, ParseSelectColumn());
+        if (attr == Attr::kCount || attr == Attr::kPercentage) {
+          return Error("aggregates cannot appear in GROUP BY");
+        }
+        group_columns.push_back(attr);
+        if (!ConsumePunct(",")) break;
+      }
+      // Standard SQL: every non-aggregate SELECT column must be grouped.
+      for (Attr attr : select_columns) {
+        if (std::find(group_columns.begin(), group_columns.end(), attr) ==
+            group_columns.end()) {
+          return Error("SELECT column missing from GROUP BY");
+        }
+      }
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+
+    for (Attr attr : group_columns) {
+      switch (attr) {
+        case Attr::kElementType:
+          query.group_element_type = true;
+          break;
+        case Attr::kDate:
+          query.group_date = true;
+          break;
+        case Attr::kCountry:
+          query.group_country = true;
+          break;
+        case Attr::kRoadType:
+          query.group_road_type = true;
+          break;
+        case Attr::kUpdateType:
+          query.group_update_type = true;
+          break;
+        default:
+          break;
+      }
+    }
+    query.percentage = wants_percentage;
+    if (wants_percentage && !query.group_country) {
+      return Error("Percentage(*) requires Country in GROUP BY");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("%s at offset %zu", what.c_str(), Peek().position));
+  }
+
+  bool PeekIsKeyword(const char* keyword) const {
+    return Peek().kind == TokenKind::kWord &&
+           AsciiLower(Peek().text) == keyword;
+  }
+
+  bool ConsumeKeyword(const char* keyword) {
+    if (!PeekIsKeyword(keyword)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status ExpectKeyword(const char* keyword) {
+    if (!ConsumeKeyword(keyword)) {
+      return Error(StrFormat("expected '%s'", keyword));
+    }
+    return Status::OK();
+  }
+
+  bool ConsumePunct(const char* punct) {
+    if (Peek().kind == TokenKind::kPunct && Peek().text == punct) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// A SELECT/GROUP BY column: attribute name or COUNT(*) / Percentage(*).
+  Result<Attr> ParseSelectColumn() {
+    if (Peek().kind != TokenKind::kWord) return Error("expected column");
+    RASED_ASSIGN_OR_RETURN(Attr attr,
+                           AttrFromWord(Peek().text, Peek().position));
+    ++pos_;
+    if (attr == Attr::kCount || attr == Attr::kPercentage) {
+      if (!(ConsumePunct("(") && ConsumePunct("*") && ConsumePunct(")"))) {
+        return Error("expected (*) after aggregate");
+      }
+    }
+    return attr;
+  }
+
+  /// A literal value token (word, string, or number).
+  Result<std::string> ParseValue() {
+    const Token& token = Peek();
+    if (token.kind != TokenKind::kWord && token.kind != TokenKind::kString &&
+        token.kind != TokenKind::kNumber) {
+      return Error("expected a value");
+    }
+    ++pos_;
+    return token.text;
+  }
+
+  Result<Date> ParseDateValue() {
+    RASED_ASSIGN_OR_RETURN(std::string text, ParseValue());
+    return Date::Parse(text);
+  }
+
+  Status ParsePredicate(AnalysisQuery* query) {
+    if (Peek().kind != TokenKind::kWord) return Error("expected attribute");
+    RASED_ASSIGN_OR_RETURN(Attr attr,
+                           AttrFromWord(Peek().text, Peek().position));
+    ++pos_;
+
+    if (attr == Attr::kDate) {
+      if (ConsumeKeyword("between")) {
+        RASED_ASSIGN_OR_RETURN(Date first, ParseDateValue());
+        RASED_RETURN_IF_ERROR(ExpectKeyword("and"));
+        RASED_ASSIGN_OR_RETURN(Date last, ParseDateValue());
+        query->range = DateRange(first, last);
+        return Status::OK();
+      }
+      if (ConsumeKeyword("after")) {
+        RASED_ASSIGN_OR_RETURN(Date first, ParseDateValue());
+        Date last = query->range.empty() ? Date::FromYmd(9999, 12, 31)
+                                         : query->range.last;
+        query->range = DateRange(first, last);
+        return Status::OK();
+      }
+      if (ConsumeKeyword("before")) {
+        RASED_ASSIGN_OR_RETURN(Date last, ParseDateValue());
+        Date first = query->range.empty() ? Date::FromYmd(1, 1, 1)
+                                          : query->range.first;
+        query->range = DateRange(first, last);
+        return Status::OK();
+      }
+      if (ConsumePunct("=")) {
+        RASED_ASSIGN_OR_RETURN(Date day, ParseDateValue());
+        query->range = DateRange(day, day);
+        return Status::OK();
+      }
+      return Error("Date supports BETWEEN/AFTER/BEFORE/=");
+    }
+
+    // Non-date attributes: IN [list] / IN (list) / = value.
+    std::vector<std::string> values;
+    if (ConsumeKeyword("in")) {
+      bool bracket = ConsumePunct("[");
+      if (!bracket && !ConsumePunct("(")) {
+        return Error("expected '[' or '(' after IN");
+      }
+      for (;;) {
+        RASED_ASSIGN_OR_RETURN(std::string value, ParseValue());
+        values.push_back(value);
+        if (!ConsumePunct(",")) break;
+      }
+      if (!(bracket ? ConsumePunct("]") : ConsumePunct(")"))) {
+        return Error(bracket ? "expected ']'" : "expected ')'");
+      }
+    } else if (ConsumePunct("=")) {
+      RASED_ASSIGN_OR_RETURN(std::string value, ParseValue());
+      values.push_back(value);
+    } else {
+      return Error("expected IN or =");
+    }
+    return ApplyValues(attr, values, query);
+  }
+
+  Status ApplyValues(Attr attr, const std::vector<std::string>& values,
+                     AnalysisQuery* query) {
+    for (const std::string& raw : values) {
+      std::string value = AsciiLower(raw);
+      switch (attr) {
+        case Attr::kElementType: {
+          auto parsed = ParseElementType(value);
+          if (!parsed.ok()) {
+            return Error("unknown element type '" + raw + "'");
+          }
+          query->element_types.push_back(parsed.value());
+          break;
+        }
+        case Attr::kUpdateType:
+          if (value == "new" || value == "create" || value == "created") {
+            query->update_types.push_back(UpdateType::kNew);
+          } else if (value == "delete" || value == "deleted") {
+            query->update_types.push_back(UpdateType::kDelete);
+          } else if (value == "geometry") {
+            query->update_types.push_back(UpdateType::kGeometry);
+          } else if (value == "metadata") {
+            query->update_types.push_back(UpdateType::kMetadata);
+          } else if (value == "update" || value == "updated" ||
+                     value == "modified") {
+            // The paper's generic "Update" covers both concrete
+            // modification kinds.
+            query->update_types.push_back(UpdateType::kGeometry);
+            query->update_types.push_back(UpdateType::kMetadata);
+          } else {
+            return Error("unknown update type '" + raw + "'");
+          }
+          break;
+        case Attr::kCountry: {
+          auto zone = world_->FindByName(raw);
+          if (!zone.ok()) {
+            // Common aliases used in the paper's examples.
+            if (value == "usa" || value == "us") {
+              zone = world_->FindByName("United States");
+            } else if (value == "uk") {
+              zone = world_->FindByName("United Kingdom");
+            }
+          }
+          if (!zone.ok()) return Error("unknown country '" + raw + "'");
+          query->countries.push_back(zone.value());
+          break;
+        }
+        case Attr::kRoadType: {
+          RoadTypeId id = road_types_->Lookup(value);
+          if (id == road_types_->other_id() && value != "other") {
+            return Error("unknown road type '" + raw + "'");
+          }
+          query->road_types.push_back(id);
+          break;
+        }
+        default:
+          return Error("attribute does not accept value filters");
+      }
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  const WorldMap* world_;
+  const RoadTypeTable* road_types_;
+};
+
+}  // namespace
+
+Result<AnalysisQuery> SqlParser::Parse(std::string_view sql) const {
+  Lexer lexer(sql);
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value(), world_, road_types_);
+  return parser.Run();
+}
+
+}  // namespace rased

@@ -1,0 +1,54 @@
+#ifndef RASED_QUERY_SQL_PARSER_H_
+#define RASED_QUERY_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "geo/world_map.h"
+#include "osm/road_types.h"
+#include "query/analysis_query.h"
+#include "util/result.h"
+
+namespace rased {
+
+/// Parser for the SQL dialect the paper uses to present analysis queries
+/// (Section IV-A). The accepted grammar is exactly the paper's query
+/// signature:
+///
+///   SELECT <columns> FROM UpdateList [U]
+///   [WHERE <predicate> [AND <predicate>]...]
+///   [GROUP BY <columns>]
+///
+///   columns:    [U.]ElementType | [U.]Date | [U.]Country | [U.]RoadType
+///             | [U.]UpdateType | COUNT(*) | Percentage(*)
+///   predicate:  U.Date BETWEEN <date> AND <date>
+///             | U.Date AFTER <date> | U.Date BEFORE <date>
+///             | U.<attr> IN [v1, v2, ...]    (parentheses also accepted)
+///             | U.<attr> = <value>
+///
+/// Keywords are case-insensitive; values may be bare words or
+/// single/double-quoted strings ('United States'). The paper's generic
+/// "Update" update-type expands to {geometry, metadata} — the two concrete
+/// modification kinds.
+///
+/// As in standard SQL, every non-aggregate SELECT column must be grouped;
+/// listing it in SELECT implies GROUP BY when the clause is omitted.
+class SqlParser {
+ public:
+  /// `world` resolves country names; `road_types` resolves highway values.
+  /// Both must outlive the parser.
+  SqlParser(const WorldMap* world, const RoadTypeTable* road_types)
+      : world_(world), road_types_(road_types) {}
+
+  /// Parses one statement into an executable AnalysisQuery.
+  /// InvalidArgument with a position-annotated message on syntax errors or
+  /// unresolvable names.
+  Result<AnalysisQuery> Parse(std::string_view sql) const;
+
+ private:
+  const WorldMap* world_;
+  const RoadTypeTable* road_types_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_QUERY_SQL_PARSER_H_

@@ -1,0 +1,146 @@
+#include "synth/activity_model.h"
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "osm/road_types.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace rased {
+
+namespace {
+
+/// Countries leading the synthetic activity ranking, mirroring the country
+/// ordering visible in the paper's Figure 3 (United States, India, Germany,
+/// Brazil, Mexico, France, Vietnam, ...).
+const char* const kCuratedRanking[] = {
+    "United States", "India",          "Germany", "Brazil",
+    "Mexico",        "France",         "Vietnam", "Canada",
+    "United Kingdom","Italy",          "Spain",   "Poland",
+    "Indonesia",     "China",          "Japan",   "Netherlands",
+    "Australia",     "Philippines",    "Turkey",  "Ukraine",
+};
+
+/// Deterministic per-(seed, zone, day) coin for mapathon bursts; a fresh
+/// tiny RNG keeps burst decisions independent of generation order.
+bool BurstOn(uint64_t seed, ZoneId zone, Date day, double rate) {
+  uint64_t mix = seed;
+  mix = mix * 0x9e3779b97f4a7c15ull + zone;
+  mix = mix * 0x9e3779b97f4a7c15ull +
+        static_cast<uint64_t>(static_cast<int64_t>(day.days_since_epoch()));
+  Rng rng(mix);
+  return rng.Bernoulli(rate);
+}
+
+}  // namespace
+
+ActivityModel::ActivityModel(const SynthOptions& options,
+                             const WorldMap* world, uint32_t num_road_types)
+    : options_(options), world_(world) {
+  // --- country weights: curated leaders first, then map order ---
+  std::unordered_map<std::string, size_t> curated;
+  for (size_t i = 0; i < std::size(kCuratedRanking); ++i) {
+    curated.emplace(kCuratedRanking[i], i);
+  }
+  const auto& ids = world->country_ids();
+  // rank[i] -> zone: curated countries get their curated position (when
+  // present in this map); the rest follow in inventory order.
+  std::vector<ZoneId> by_rank;
+  by_rank.reserve(ids.size());
+  std::vector<ZoneId> leaders(std::size(kCuratedRanking), kZoneUnknown);
+  std::vector<ZoneId> rest;
+  for (ZoneId id : ids) {
+    auto it = curated.find(world->zone(id).name);
+    if (it != curated.end()) {
+      leaders[it->second] = id;
+    } else {
+      rest.push_back(id);
+    }
+  }
+  for (ZoneId id : leaders) {
+    if (id != kZoneUnknown) by_rank.push_back(id);
+  }
+  for (ZoneId id : rest) by_rank.push_back(id);
+
+  weights_.assign(world->num_zones(), 0.0);
+  double total = 0.0;
+  for (size_t rank = 0; rank < by_rank.size(); ++rank) {
+    double w = 1.0 / std::pow(static_cast<double>(rank + 1),
+                              options_.zipf_theta);
+    weights_[by_rank[rank]] = w;
+    total += w;
+  }
+  for (double& w : weights_) w /= total;
+
+  // --- per-zone seasonal phase ---
+  phases_.assign(world->num_zones(), 0.0);
+  Rng rng(options_.seed ^ 0x5ea50a11ull);
+  for (ZoneId id : ids) phases_[id] = rng.NextDouble() * 6.283185307179586;
+
+  // --- element mix ---
+  element_mix_ = {options_.p_node, options_.p_way, options_.p_relation};
+  double esum = element_mix_[0] + element_mix_[1] + element_mix_[2];
+  for (double& p : element_mix_) p /= esum;
+
+  // --- update mix ---
+  update_mix_ = {options_.p_new, options_.p_delete, options_.p_geometry,
+                 options_.p_metadata};
+  double usum = 0.0;
+  for (double p : update_mix_) usum += p;
+  for (double& p : update_mix_) p /= usum;
+
+  // --- road-type mix ---
+  // Build over the canonical table layout: slot 0 "(none)", slot 1
+  // "other", then the canonical highway taxonomy. A handful of frequent
+  // classes get boosted to resemble real OSM edit volumes.
+  RoadTypeTable table(num_road_types);
+  road_mix_.assign(num_road_types, 0.0);
+  const std::unordered_map<std::string, double> boosts = {
+      {"residential", 8.0}, {"service", 5.0}, {"footway", 3.0},
+      {"path", 2.0},        {"track", 2.5},   {"unclassified", 2.0},
+      {"primary", 1.8},     {"secondary", 1.8}, {"tertiary", 1.8},
+      {"crossing", 1.5},    {"bus_stop", 1.5},
+  };
+  road_mix_[kRoadTypeNone] = 6.0;  // POI/intersection node updates
+  double rsum = road_mix_[kRoadTypeNone];
+  for (uint32_t i = 1; i < table.size() && i < num_road_types; ++i) {
+    double w = 1.0 / (i + 2.0);
+    auto it = boosts.find(table.Name(static_cast<RoadTypeId>(i)));
+    if (it != boosts.end()) w *= it->second * 10.0;
+    road_mix_[i] = w;
+    rsum += w;
+  }
+  for (double& p : road_mix_) p /= rsum;
+}
+
+double ActivityModel::CountryWeight(ZoneId country) const {
+  RASED_CHECK(country < weights_.size());
+  return weights_[country];
+}
+
+double ActivityModel::CountryIntensity(ZoneId country, Date day) const {
+  RASED_CHECK(country < weights_.size());
+  double w = weights_[country];
+  if (w == 0.0) return 0.0;
+  double years = static_cast<double>(day - options_.period.first) / 365.25;
+  double growth = std::pow(1.0 + options_.growth_per_year, years);
+  double doy_angle = 6.283185307179586 *
+                     static_cast<double>(day - day.year_start()) / 365.25;
+  double season =
+      1.0 + options_.seasonality * std::sin(doy_angle + phases_[country]);
+  double burst = BurstOn(options_.seed, country, day, options_.mapathon_rate)
+                     ? options_.mapathon_multiplier
+                     : 1.0;
+  return options_.base_updates_per_day * w * growth * season * burst;
+}
+
+void ActivityModel::InitRoadNetworkSizes(WorldMap* world) const {
+  for (ZoneId id : world->country_ids()) {
+    world->SetRoadNetworkSize(
+        id, static_cast<uint64_t>(options_.road_network_total * weights_[id]));
+  }
+}
+
+}  // namespace rased

@@ -1,0 +1,53 @@
+#ifndef RASED_SYNTH_ACTIVITY_MODEL_H_
+#define RASED_SYNTH_ACTIVITY_MODEL_H_
+
+#include <vector>
+
+#include "geo/world_map.h"
+#include "synth/synth_options.h"
+#include "util/date.h"
+
+namespace rased {
+
+/// Deterministic per-country, per-day editing intensity plus the categorical
+/// mixes shared by the record generator and the cube synthesizer. Both
+/// generation paths draw from the same means, so bulk-loading cubes directly
+/// is statistically indistinguishable from crawling generated files.
+class ActivityModel {
+ public:
+  /// `num_road_types` is the RoadType dimension size (schema and road-type
+  /// table capacity must agree with it).
+  ActivityModel(const SynthOptions& options, const WorldMap* world,
+                uint32_t num_road_types);
+
+  /// Mean number of updates for one country on one day, including growth,
+  /// seasonality, and any mapathon burst.
+  double CountryIntensity(ZoneId country, Date day) const;
+
+  /// Normalized activity weight of a country (sums to 1 over countries).
+  double CountryWeight(ZoneId country) const;
+
+  /// Probability vectors over the cube dimensions (each sums to 1).
+  const std::vector<double>& element_mix() const { return element_mix_; }
+  const std::vector<double>& road_mix() const { return road_mix_; }
+  const std::vector<double>& update_mix() const { return update_mix_; }
+
+  /// Writes road-network sizes into the world map: country size =
+  /// road_network_total x weight.
+  void InitRoadNetworkSizes(WorldMap* world) const;
+
+  const SynthOptions& options() const { return options_; }
+
+ private:
+  SynthOptions options_;
+  const WorldMap* world_;
+  std::vector<double> weights_;  // indexed by ZoneId; 0 for non-countries
+  std::vector<double> phases_;   // per-zone seasonal phase
+  std::vector<double> element_mix_;
+  std::vector<double> road_mix_;
+  std::vector<double> update_mix_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_SYNTH_ACTIVITY_MODEL_H_

@@ -1,0 +1,96 @@
+#include "synth/cube_synthesizer.h"
+
+#include <tuple>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace rased {
+
+CubeSynthesizer::CubeSynthesizer(const SynthOptions& options,
+                                 const WorldMap* world,
+                                 const CubeSchema& schema)
+    : options_(options),
+      world_(world),
+      schema_(schema),
+      activity_(options, world, schema.num_road_types) {
+  RASED_CHECK(world_->num_zones() == schema_.num_countries)
+      << "world zones (" << world_->num_zones()
+      << ") must match schema countries (" << schema_.num_countries << ")";
+}
+
+DataCube CubeSynthesizer::DayCube(Date day) const {
+  uint64_t mix = options_.seed * 0x9e3779b97f4a7c15ull +
+                 static_cast<uint64_t>(
+                     static_cast<int64_t>(day.days_since_epoch()));
+  Rng rng(mix ^ (mix >> 29) ^ 0xc0bef00dull);
+
+  DataCube cube(schema_);
+  const auto& emix = activity_.element_mix();
+  const auto& rmix = activity_.road_mix();
+  const auto& umix = activity_.update_mix();
+
+  for (ZoneId country : world_->country_ids()) {
+    double intensity = activity_.CountryIntensity(country, day);
+    if (intensity <= 0.0) continue;
+    const Zone& zone = world_->zone(country);
+    for (uint32_t et = 0; et < schema_.num_element_types && et < emix.size();
+         ++et) {
+      double e_mean = intensity * emix[et];
+      if (e_mean <= 0.0) continue;
+      for (uint32_t rt = 0; rt < schema_.num_road_types && rt < rmix.size();
+           ++rt) {
+        double r_mean = e_mean * rmix[rt];
+        if (r_mean <= 0.0) continue;
+        for (uint32_t ut = 0;
+             ut < schema_.num_update_types && ut < umix.size(); ++ut) {
+          uint64_t n = rng.Poisson(r_mean * umix[ut]);
+          if (n == 0) continue;
+          cube.Add(et, country, rt, ut, n);
+          if (zone.parent != kZoneUnknown) {
+            cube.Add(et, zone.parent, rt, ut, n);
+          }
+        }
+      }
+    }
+  }
+
+  // Split the United States' counts across its state zones (points are
+  // uniform over the USA rectangle, so states are an even 50-way split).
+  auto usa = world_->FindByName("United States");
+  if (usa.ok()) {
+    std::vector<ZoneId> states;
+    for (const Zone& z : world_->zones()) {
+      if (z.kind == ZoneKind::kState) states.push_back(z.id);
+    }
+    if (!states.empty()) {
+      CubeSlice usa_only;
+      usa_only.countries.push_back(usa.value());
+      std::vector<std::tuple<uint32_t, uint32_t, uint32_t, uint64_t>> cells;
+      cube.ForEachCell(usa_only,
+                       [&cells](uint32_t et, uint32_t, uint32_t rt,
+                                uint32_t ut, uint64_t count) {
+                         cells.emplace_back(et, rt, ut, count);
+                       });
+      for (const auto& [et, rt, ut, count] : cells) {
+        // Multinomial split via sequential binomial-ish sampling; for the
+        // synthetic workload a simple uniform assignment of the remainder
+        // is statistically adequate.
+        uint64_t base = count / states.size();
+        uint64_t rem = count % states.size();
+        for (size_t s = 0; s < states.size(); ++s) {
+          uint64_t n = base;
+          if (rem > 0 && rng.Uniform(states.size() - s) < rem) {
+            ++n;
+            --rem;
+          }
+          if (n > 0) cube.Add(et, states[s], rt, ut, n);
+        }
+      }
+    }
+  }
+  return cube;
+}
+
+}  // namespace rased

@@ -1,0 +1,43 @@
+#ifndef RASED_SYNTH_CUBE_SYNTHESIZER_H_
+#define RASED_SYNTH_CUBE_SYNTHESIZER_H_
+
+#include "cube/data_cube.h"
+#include "geo/world_map.h"
+#include "synth/activity_model.h"
+#include "synth/synth_options.h"
+
+namespace rased {
+
+/// Fast path for building multi-year indexes: synthesizes a day's data cube
+/// directly from the activity model, skipping record materialization and
+/// XML entirely.
+///
+/// Statistically this is the same process as generating records and
+/// ingesting them with CubeBuilder: a country's day total is Poisson, and a
+/// Poisson total split multinomially over (ElementType, RoadType,
+/// UpdateType) cells is exactly a set of independent per-cell Poissons
+/// (Poisson thinning). Continent cells are the sums of their member
+/// countries' draws, and the US states partition the United States' draw,
+/// preserving the zone-of-interest consistency invariant.
+class CubeSynthesizer {
+ public:
+  /// schema.num_countries must equal world->num_zones().
+  CubeSynthesizer(const SynthOptions& options, const WorldMap* world,
+                  const CubeSchema& schema);
+
+  /// Deterministic in (options.seed, day).
+  DataCube DayCube(Date day) const;
+
+  const ActivityModel& activity() const { return activity_; }
+  const CubeSchema& schema() const { return schema_; }
+
+ private:
+  SynthOptions options_;
+  const WorldMap* world_;
+  CubeSchema schema_;
+  ActivityModel activity_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_SYNTH_CUBE_SYNTHESIZER_H_

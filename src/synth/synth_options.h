@@ -1,0 +1,63 @@
+#ifndef RASED_SYNTH_SYNTH_OPTIONS_H_
+#define RASED_SYNTH_SYNTH_OPTIONS_H_
+
+#include <cstdint>
+
+#include "util/date.h"
+
+namespace rased {
+
+/// Parameters of the synthetic OSM editing-activity model (the stand-in
+/// for the real planet history; see DESIGN.md). Every stochastic choice is
+/// derived deterministically from `seed`, so two runs with the same options
+/// produce bit-identical histories.
+struct SynthOptions {
+  uint64_t seed = 42;
+
+  /// Covered history; the default matches the paper's ~16 years of OSM
+  /// updates evaluated in Section VIII.
+  DateRange period{Date::FromYmd(2006, 1, 1), Date::FromYmd(2021, 12, 31)};
+
+  /// World mean updates per day at the period start. Activity grows
+  /// exponentially (OSM's community growth) and is skewed across countries
+  /// by a Zipf law over a curated activity ranking (US, India, Germany, …
+  /// lead, matching the ordering of the paper's Figure 3).
+  double base_updates_per_day = 1000.0;
+  double growth_per_year = 0.22;
+  double zipf_theta = 0.85;
+
+  /// Yearly seasonality amplitude (mapping activity peaks in summer) with
+  /// a per-country phase.
+  double seasonality = 0.3;
+
+  /// Mapathon / corporate-editing bursts: each country-day has this
+  /// probability of a burst multiplying its intensity.
+  double mapathon_rate = 0.005;
+  double mapathon_multiplier = 15.0;
+
+  /// Element-type mix. Road-network editing is way-dominated (the paper's
+  /// Figure 3 shows ways outnumbering nodes by ~100x and relations by
+  /// ~10000x among road updates).
+  double p_node = 0.035;
+  double p_way = 0.9645;
+  double p_relation = 0.0005;
+
+  /// UpdateType mix of the *final* (monthly-crawler) classification.
+  double p_new = 0.35;
+  double p_delete = 0.04;
+  double p_geometry = 0.37;
+  double p_metadata = 0.24;
+
+  /// Total road segments worldwide, apportioned to countries by activity
+  /// weight; the denominator pool of Percentage(*) queries. The paper
+  /// quotes 180M+ road segments in OSM.
+  double road_network_total = 1.8e8;
+
+  /// Mean updates per changeset when grouping a day's records into
+  /// synthetic changesets.
+  double changeset_mean_size = 8.0;
+};
+
+}  // namespace rased
+
+#endif  // RASED_SYNTH_SYNTH_OPTIONS_H_

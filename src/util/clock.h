@@ -1,0 +1,40 @@
+#ifndef RASED_UTIL_CLOCK_H_
+#define RASED_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace rased {
+
+/// Monotonic wall-clock stopwatch used by query statistics and benchmarks.
+class StopWatch {
+ public:
+  StopWatch() : start_(Now()) {}
+
+  void Reset() { start_ = Now(); }
+
+  /// Elapsed time since construction/Reset in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Now() -
+                                                                 start_)
+        .count();
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static Clock::time_point Now() { return Clock::now(); }
+
+  Clock::time_point start_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_UTIL_CLOCK_H_

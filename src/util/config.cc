@@ -1,0 +1,88 @@
+#include "util/config.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/str_util.h"
+
+namespace rased {
+
+Status Config::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open config file " + path);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    size_t eq = sv.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("config line missing '=': " + line);
+    }
+    Set(Trim(sv.substr(0, eq)), Trim(sv.substr(eq + 1)));
+  }
+  return Status::OK();
+}
+
+Status Config::ParseArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    size_t eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("expected key=value, got '" +
+                                     std::string(arg) + "'");
+    }
+    Set(Trim(arg.substr(0, eq)), Trim(arg.substr(eq + 1)));
+  }
+  return Status::OK();
+}
+
+void Config::Set(std::string_view key, std::string_view value) {
+  values_[std::string(key)] = std::string(value);
+}
+
+const char* Config::EnvFor(std::string_view key, std::string& storage) {
+  storage = "RASED_";
+  for (char c : key) {
+    storage.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  return std::getenv(storage.c_str());
+}
+
+bool Config::Has(std::string_view key) const {
+  std::string scratch;
+  if (EnvFor(key, scratch) != nullptr) return true;
+  return values_.find(key) != values_.end();
+}
+
+std::string Config::GetString(std::string_view key,
+                              std::string_view dflt) const {
+  auto it = values_.find(key);
+  if (it != values_.end()) return it->second;
+  std::string scratch;
+  if (const char* env = EnvFor(key, scratch)) return env;
+  return std::string(dflt);
+}
+
+int64_t Config::GetInt(std::string_view key, int64_t dflt) const {
+  std::string v = GetString(key, "");
+  if (v.empty()) return dflt;
+  auto parsed = ParseInt(v);
+  return parsed.ok() ? parsed.value() : dflt;
+}
+
+double Config::GetDouble(std::string_view key, double dflt) const {
+  std::string v = GetString(key, "");
+  if (v.empty()) return dflt;
+  auto parsed = ParseDouble(v);
+  return parsed.ok() ? parsed.value() : dflt;
+}
+
+bool Config::GetBool(std::string_view key, bool dflt) const {
+  std::string v = AsciiLower(GetString(key, ""));
+  if (v.empty()) return dflt;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace rased

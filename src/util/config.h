@@ -1,0 +1,44 @@
+#ifndef RASED_UTIL_CONFIG_H_
+#define RASED_UTIL_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace rased {
+
+/// Flat key=value configuration used by examples and benchmark harnesses.
+/// Values come from (highest precedence first): explicit Set() calls,
+/// process environment variables named RASED_<UPPERCASED_KEY>, and a
+/// `key=value`-per-line config file.
+class Config {
+ public:
+  Config() = default;
+
+  /// Loads `key=value` lines; '#' starts a comment. Unknown keys are kept.
+  Status LoadFile(const std::string& path);
+
+  /// Parses command-line style overrides of the form key=value.
+  Status ParseArgs(int argc, const char* const* argv);
+
+  void Set(std::string_view key, std::string_view value);
+  bool Has(std::string_view key) const;
+
+  std::string GetString(std::string_view key, std::string_view dflt) const;
+  int64_t GetInt(std::string_view key, int64_t dflt) const;
+  double GetDouble(std::string_view key, double dflt) const;
+  bool GetBool(std::string_view key, bool dflt) const;
+
+ private:
+  /// Env var override lookup, RASED_MY_KEY for key "my_key".
+  static const char* EnvFor(std::string_view key, std::string& storage);
+
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_UTIL_CONFIG_H_

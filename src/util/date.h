@@ -1,0 +1,137 @@
+#ifndef RASED_UTIL_DATE_H_
+#define RASED_UTIL_DATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace rased {
+
+/// A civil (proleptic Gregorian) calendar date, stored as days since the
+/// Unix epoch 1970-01-01. Dates are the unit of RASED's temporal index:
+/// every daily cube is keyed by one Date, and the week/month/year rollup
+/// boundaries are derived from it.
+///
+/// RASED's "weeks" follow the paper's structure (Section VI-A): a month is
+/// the aggregate of exactly four weekly cubes plus zero to three daily
+/// stragglers. Week w (0..3) of a month covers days 7w+1 .. 7w+7; days
+/// 29..31 belong to the month directly and never to a week.
+class Date {
+ public:
+  /// Constructs the epoch date 1970-01-01.
+  Date() : days_(0) {}
+
+  /// Constructs from a days-since-epoch count (may be negative).
+  static Date FromDays(int32_t days) { return Date(days); }
+
+  /// Constructs from civil year/month/day. Aborts if the field values do
+  /// not form a valid date; use Parse() for untrusted input.
+  static Date FromYmd(int year, int month, int day);
+
+  /// Parses "YYYY-MM-DD". Returns InvalidArgument on malformed input.
+  static Result<Date> Parse(std::string_view text);
+
+  int32_t days_since_epoch() const { return days_; }
+
+  int year() const;
+  int month() const;  // 1..12
+  int day() const;    // 1..31
+
+  /// Day of week, 0 = Monday .. 6 = Sunday.
+  int weekday() const;
+
+  /// Number of days in this date's month (28..31).
+  int days_in_month() const;
+
+  bool is_month_start() const { return day() == 1; }
+  bool is_month_end() const { return day() == days_in_month(); }
+  bool is_year_start() const { return month() == 1 && day() == 1; }
+  bool is_year_end() const { return month() == 12 && day() == 31; }
+
+  /// Index of this date's week within its month: 0..3 for days 1..28,
+  /// or -1 for the straggler days 29..31 which belong to no week.
+  int week_of_month() const {
+    int d = day();
+    return d <= 28 ? (d - 1) / 7 : -1;
+  }
+
+  /// True when this is the last day of a paper-style week (day 7/14/21/28).
+  bool is_week_end() const {
+    int d = day();
+    return d == 7 || d == 14 || d == 21 || d == 28;
+  }
+
+  /// First/last day of the week containing this date. Aborts if this date
+  /// is a straggler day (week_of_month() == -1).
+  Date week_start() const;
+  Date week_end() const;
+
+  Date month_start() const { return FromYmd(year(), month(), 1); }
+  Date month_end() const { return FromYmd(year(), month(), days_in_month()); }
+  Date year_start() const { return FromYmd(year(), 1, 1); }
+  Date year_end() const { return FromYmd(year(), 12, 31); }
+
+  /// Date shifted by `n` days (n may be negative).
+  Date AddDays(int n) const { return Date(days_ + n); }
+  Date AddMonths(int n) const;
+  Date AddYears(int n) const;
+
+  Date next() const { return AddDays(1); }
+  Date prev() const { return AddDays(-1); }
+
+  /// "YYYY-MM-DD".
+  std::string ToString() const;
+
+  friend bool operator==(Date a, Date b) { return a.days_ == b.days_; }
+  friend bool operator!=(Date a, Date b) { return a.days_ != b.days_; }
+  friend bool operator<(Date a, Date b) { return a.days_ < b.days_; }
+  friend bool operator<=(Date a, Date b) { return a.days_ <= b.days_; }
+  friend bool operator>(Date a, Date b) { return a.days_ > b.days_; }
+  friend bool operator>=(Date a, Date b) { return a.days_ >= b.days_; }
+
+  /// Days from a to b (positive when b is later).
+  friend int32_t operator-(Date b, Date a) { return b.days_ - a.days_; }
+
+ private:
+  explicit Date(int32_t days) : days_(days) {}
+
+  int32_t days_;
+};
+
+/// Closed date interval [first, last]. Empty ranges are represented with
+/// first > last.
+struct DateRange {
+  Date first;
+  Date last;
+
+  DateRange() : first(Date::FromDays(1)), last(Date::FromDays(0)) {}
+  DateRange(Date f, Date l) : first(f), last(l) {}
+
+  bool empty() const { return first > last; }
+  int32_t num_days() const { return empty() ? 0 : (last - first) + 1; }
+  bool Contains(Date d) const { return first <= d && d <= last; }
+  bool Contains(const DateRange& other) const {
+    return other.empty() || (first <= other.first && other.last <= last);
+  }
+  bool Overlaps(const DateRange& other) const {
+    return !empty() && !other.empty() && first <= other.last &&
+           other.first <= last;
+  }
+
+  /// Intersection of the two ranges (possibly empty).
+  DateRange Intersect(const DateRange& other) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const DateRange& a, const DateRange& b) {
+    return (a.empty() && b.empty()) ||
+           (a.first == b.first && a.last == b.last);
+  }
+};
+
+}  // namespace rased
+
+#endif  // RASED_UTIL_DATE_H_

@@ -1,0 +1,76 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace rased {
+
+namespace {
+
+std::atomic<int> g_log_level{[] {
+  const char* env = std::getenv("RASED_LOG_LEVEL");
+  if (env != nullptr && *env != '\0') {
+    int v = std::atoi(env);
+    if (v >= 0 && v <= 3) return v;
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}()};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= GetLogLevel()) {
+  if (enabled_) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+  }
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line) {
+  stream_ << "[FATAL " << Basename(file) << ":" << line << "] ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace rased

@@ -1,0 +1,98 @@
+#ifndef RASED_UTIL_LOGGING_H_
+#define RASED_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace rased {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are suppressed.
+/// Default is kInfo; override with environment variable RASED_LOG_LEVEL
+/// (0=debug .. 3=error) or SetLogLevel().
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style log sink that emits one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+  bool enabled() const { return enabled_; }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process after emitting the message.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Swallows a stream expression in the ternary log macros below, making
+/// them expression-shaped (no dangling-else hazard at call sites).
+struct Voidify {
+  template <typename T>
+  void operator&(T&&) {}
+};
+
+}  // namespace internal_logging
+
+#define RASED_LOG(level)                                                 \
+  (::rased::LogLevel::k##level < ::rased::GetLogLevel())                 \
+      ? (void)0                                                          \
+      : ::rased::internal_logging::Voidify() &                           \
+            ::rased::internal_logging::LogMessage(                       \
+                ::rased::LogLevel::k##level, __FILE__, __LINE__)         \
+                .stream()
+
+/// RASED_CHECK(cond) aborts with a diagnostic when `cond` is false.
+/// Used for programmer-error invariants, never for recoverable conditions.
+#define RASED_CHECK(cond)                                                \
+  (cond) ? (void)0                                                       \
+         : ::rased::internal_logging::Voidify() &                        \
+               ::rased::internal_logging::FatalLogMessage(__FILE__,      \
+                                                          __LINE__)      \
+                       .stream()                                         \
+                   << "Check failed: " #cond " "
+
+#ifndef NDEBUG
+#define RASED_DCHECK(cond) RASED_CHECK(cond)
+#else
+#define RASED_DCHECK(cond)                          \
+  true ? (void)0                                    \
+       : ::rased::internal_logging::Voidify() &     \
+             ::rased::internal_logging::NullStream() << !(cond)
+#endif
+
+}  // namespace rased
+
+#endif  // RASED_UTIL_LOGGING_H_

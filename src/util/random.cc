@@ -1,0 +1,113 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rased {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  RASED_DCHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  RASED_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+uint64_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth: multiply uniforms until falling below e^-mean.
+    double l = std::exp(-mean);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation, adequate for workload volumes.
+  double v = mean + std::sqrt(mean) * Gaussian();
+  return v <= 0.0 ? 0 : static_cast<uint64_t>(v + 0.5);
+}
+
+double Rng::Gaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = 0.0;
+  while (u1 == 0.0) u1 = NextDouble();
+  double u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  constexpr double kTwoPi = 6.283185307179586;
+  spare_gaussian_ = mag * std::sin(kTwoPi * u2);
+  has_spare_gaussian_ = true;
+  return mag * std::cos(kTwoPi * u2);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  RASED_DCHECK(n > 0);
+  if (n == 1) return 0;
+  // Inverse-CDF on the harmonic-like weights via bisection over a cached-free
+  // closed-form approximation: draw u, solve sum_{r<k} 1/(r+1)^theta ~ u*H_n.
+  // For workload generation precision is unimportant; we use the standard
+  // approximation with the continuous integral of x^-theta.
+  double u = NextDouble();
+  if (theta == 1.0) theta = 1.0001;  // avoid the log special case
+  double one_minus = 1.0 - theta;
+  double hn = (std::pow(static_cast<double>(n), one_minus) - 1.0) / one_minus;
+  // x lands in [1, n]; item ranks are 0-based.
+  double x = std::pow(u * hn * one_minus + 1.0, 1.0 / one_minus);
+  if (x < 1.0) x = 1.0;
+  uint64_t r = static_cast<uint64_t>(x - 1.0);
+  if (r >= n) r = n - 1;
+  return r;
+}
+
+}  // namespace rased

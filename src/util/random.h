@@ -1,0 +1,64 @@
+#ifndef RASED_UTIL_RANDOM_H_
+#define RASED_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rased {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via
+/// SplitMix64). All stochastic behaviour in RASED — the synthetic planet,
+/// workload generators, and benchmark query mixes — flows through this class
+/// so that every experiment is reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedu);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Poisson-distributed count with the given mean (mean >= 0).
+  /// Uses Knuth's method for small means and a normal approximation above
+  /// 64 to stay O(1) for the large per-day update volumes.
+  uint64_t Poisson(double mean);
+
+  /// Standard normal variate (Box–Muller).
+  double Gaussian();
+
+  /// Zipf-like rank in [0, n): rank r is drawn with probability
+  /// proportional to 1/(r+1)^theta. Used to skew update volume toward a few
+  /// very active countries, matching the shape of OSM editing activity.
+  uint64_t Zipf(uint64_t n, double theta);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = Uniform(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace rased
+
+#endif  // RASED_UTIL_RANDOM_H_

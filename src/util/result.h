@@ -1,0 +1,82 @@
+#ifndef RASED_UTIL_RESULT_H_
+#define RASED_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace rased {
+
+/// Result<T> carries either a value of type T or a non-OK Status.
+///
+/// Usage:
+///   Result<DataCube> r = LoadCube(id);
+///   if (!r.ok()) return r.status();
+///   DataCube cube = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK Status (failure). Constructing a
+  /// Result from an OK status is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` if this Result is an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of an expression returning Result<T> to `lhs`, or
+/// returns the error Status from the enclosing function. `lhs` may be a
+/// declaration (RASED_ASSIGN_OR_RETURN(int64_t v, ParseInt(s))), so the
+/// macro expands to a statement sequence rather than a do/while block.
+#define RASED_ASSIGN_OR_RETURN(lhs, expr) \
+  RASED_ASSIGN_OR_RETURN_IMPL_(           \
+      RASED_MACRO_CONCAT_(_rased_result_, __LINE__), lhs, expr)
+
+#define RASED_ASSIGN_OR_RETURN_IMPL_(res, lhs, expr) \
+  auto res = (expr);                                 \
+  if (!res.ok()) return res.status();                \
+  lhs = std::move(res).value()
+
+#define RASED_MACRO_CONCAT_(a, b) RASED_MACRO_CONCAT_INNER_(a, b)
+#define RASED_MACRO_CONCAT_INNER_(a, b) a##b
+
+}  // namespace rased
+
+#endif  // RASED_UTIL_RESULT_H_

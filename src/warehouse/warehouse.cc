@@ -1,0 +1,218 @@
+#include "warehouse/warehouse.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "io/env.h"
+#include "util/logging.h"
+#include "util/str_util.h"
+
+namespace rased {
+
+namespace {
+
+template <typename T>
+bool InListOrEmpty(const std::vector<T>& list, T value) {
+  return list.empty() || std::find(list.begin(), list.end(), value) != list.end();
+}
+
+}  // namespace
+
+bool SampleFilter::Matches(const UpdateRecord& r) const {
+  if (!range.empty() && !range.Contains(r.date)) return false;
+  if (!InListOrEmpty(element_types, r.element_type)) return false;
+  if (!InListOrEmpty(countries, r.country)) return false;
+  if (!InListOrEmpty(road_types, r.road_type)) return false;
+  if (!InListOrEmpty(update_types, r.update_type)) return false;
+  return true;
+}
+
+Warehouse::Warehouse(WarehouseOptions options, std::unique_ptr<Pager> pager)
+    : options_(std::move(options)), pager_(std::move(pager)) {
+  tail_.assign(pager_->payload_size(), 0);
+}
+
+Warehouse::~Warehouse() {
+  Status s = Sync();
+  if (!s.ok()) RASED_LOG(Warning) << "Warehouse close: " << s.ToString();
+}
+
+Result<std::unique_ptr<Warehouse>> Warehouse::Create(
+    const WarehouseOptions& options) {
+  RASED_RETURN_IF_ERROR(env::CreateDirs(options.dir));
+  std::string path = env::JoinPath(options.dir, "warehouse.pages");
+  if (env::FileExists(path)) {
+    return Status::AlreadyExists("warehouse already exists in " + options.dir);
+  }
+  auto pager = Pager::Create(path, options.page_size, options.device);
+  if (!pager.ok()) return pager.status();
+  return std::unique_ptr<Warehouse>(
+      new Warehouse(options, std::move(pager).value()));
+}
+
+Result<std::unique_ptr<Warehouse>> Warehouse::Open(
+    const WarehouseOptions& options) {
+  std::string path = env::JoinPath(options.dir, "warehouse.pages");
+  auto pager = Pager::Open(path, options.device);
+  if (!pager.ok()) return pager.status();
+  auto wh = std::unique_ptr<Warehouse>(
+      new Warehouse(options, std::move(pager).value()));
+  RASED_RETURN_IF_ERROR(wh->RebuildIndexes());
+  return wh;
+}
+
+Status Warehouse::RebuildIndexes() {
+  // Scan every heap page; slot counts are stored in the first 4 payload
+  // bytes of each page.
+  std::vector<unsigned char> buf(pager_->payload_size());
+  for (PageId page = 1; page <= pager_->num_pages(); ++page) {
+    RASED_RETURN_IF_ERROR(pager_->ReadPage(page, buf.data()));
+    uint32_t count;
+    std::memcpy(&count, buf.data(), 4);
+    for (uint32_t slot = 0; slot < count; ++slot) {
+      UpdateRecord r = UpdateRecord::DecodeFrom(
+          buf.data() + 4 + slot * UpdateRecord::kEncodedBytes);
+      IndexRecord(r, Locator(page, slot));
+      ++num_records_;
+    }
+  }
+  return Status::OK();
+}
+
+void Warehouse::IndexRecord(const UpdateRecord& record, uint64_t locator) {
+  by_changeset_[record.changeset_id].push_back(locator);
+  spatial_.Insert(LatLon{record.lat, record.lon}, locator);
+}
+
+Status Warehouse::Append(const std::vector<UpdateRecord>& records) {
+  const size_t per_page = RecordsPerPage();
+  for (const UpdateRecord& r : records) {
+    if (tail_page_ == kInvalidPageId) {
+      RASED_ASSIGN_OR_RETURN(tail_page_, pager_->AllocatePage());
+      std::fill(tail_.begin(), tail_.end(), 0);
+      tail_count_ = 0;
+    }
+    r.EncodeTo(tail_.data() + 4 + tail_count_ * UpdateRecord::kEncodedBytes);
+    IndexRecord(r, Locator(tail_page_, tail_count_));
+    ++tail_count_;
+    ++num_records_;
+    if (tail_count_ == per_page) {
+      RASED_RETURN_IF_ERROR(FlushTail());
+      tail_page_ = kInvalidPageId;
+    }
+  }
+  return Status::OK();
+}
+
+Status Warehouse::FlushTail() {
+  if (tail_page_ == kInvalidPageId) return Status::OK();
+  std::memcpy(tail_.data(), &tail_count_, 4);
+  RASED_RETURN_IF_ERROR(
+      pager_->WritePage(tail_page_, tail_.data(), tail_.size()));
+  // Invalidate the read cache if it holds this page.
+  if (cached_page_ == tail_page_) cached_page_ = kInvalidPageId;
+  return Status::OK();
+}
+
+Status Warehouse::Sync() {
+  RASED_RETURN_IF_ERROR(FlushTail());
+  return pager_->Sync();
+}
+
+Result<UpdateRecord> Warehouse::ReadAt(uint64_t locator) {
+  PageId page = locator >> 16;
+  uint32_t slot = static_cast<uint32_t>(locator & 0xffff);
+  // Unflushed tail page: serve from memory.
+  if (page == tail_page_) {
+    if (slot >= tail_count_) return Status::OutOfRange("bad tail slot");
+    return UpdateRecord::DecodeFrom(tail_.data() + 4 +
+                                    slot * UpdateRecord::kEncodedBytes);
+  }
+  if (page != cached_page_) {
+    cached_buf_.resize(pager_->payload_size());
+    RASED_RETURN_IF_ERROR(pager_->ReadPage(page, cached_buf_.data()));
+    cached_page_ = page;
+  }
+  uint32_t count;
+  std::memcpy(&count, cached_buf_.data(), 4);
+  if (slot >= count) {
+    return Status::OutOfRange(StrFormat("slot %u >= page count %u", slot,
+                                        count));
+  }
+  return UpdateRecord::DecodeFrom(cached_buf_.data() + 4 +
+                                  slot * UpdateRecord::kEncodedBytes);
+}
+
+Result<std::vector<UpdateRecord>> Warehouse::SampleInBox(
+    const BoundingBox& box, size_t n) {
+  std::vector<uint64_t> locators = spatial_.SearchIds(box, n);
+  // Sort by page to serve all slots of one page from one I/O.
+  std::sort(locators.begin(), locators.end());
+  std::vector<UpdateRecord> out;
+  out.reserve(locators.size());
+  for (uint64_t loc : locators) {
+    RASED_ASSIGN_OR_RETURN(UpdateRecord r, ReadAt(loc));
+    out.push_back(r);
+  }
+  return out;
+}
+
+Result<std::vector<UpdateRecord>> Warehouse::FindByChangeset(
+    uint64_t changeset_id) {
+  std::vector<UpdateRecord> out;
+  auto it = by_changeset_.find(changeset_id);
+  if (it == by_changeset_.end()) return out;
+  std::vector<uint64_t> locators = it->second;
+  std::sort(locators.begin(), locators.end());
+  out.reserve(locators.size());
+  for (uint64_t loc : locators) {
+    RASED_ASSIGN_OR_RETURN(UpdateRecord r, ReadAt(loc));
+    out.push_back(r);
+  }
+  return out;
+}
+
+Result<std::vector<UpdateRecord>> Warehouse::Sample(
+    const SampleFilter& filter, const BoundingBox* box, size_t n) {
+  std::vector<UpdateRecord> out;
+  if (box != nullptr) {
+    // Spatial narrowing through the R-tree, then residual filtering.
+    std::vector<uint64_t> locators;
+    spatial_.Search(*box, [&locators](uint64_t id, const BoundingBox&) {
+      locators.push_back(id);
+      return true;
+    });
+    std::sort(locators.begin(), locators.end());
+    for (uint64_t loc : locators) {
+      auto r = ReadAt(loc);
+      if (!r.ok()) return r.status();
+      if (filter.Matches(r.value())) {
+        out.push_back(r.value());
+        if (out.size() >= n) break;
+      }
+    }
+    return out;
+  }
+  // Heap scan until n matches.
+  std::vector<unsigned char> buf(pager_->payload_size());
+  for (PageId page = 1; page <= pager_->num_pages() && out.size() < n;
+       ++page) {
+    RASED_RETURN_IF_ERROR(pager_->ReadPage(page, buf.data()));
+    uint32_t count;
+    std::memcpy(&count, buf.data(), 4);
+    for (uint32_t slot = 0; slot < count && out.size() < n; ++slot) {
+      UpdateRecord r = UpdateRecord::DecodeFrom(
+          buf.data() + 4 + slot * UpdateRecord::kEncodedBytes);
+      if (filter.Matches(r)) out.push_back(r);
+    }
+  }
+  // Tail page.
+  for (uint32_t slot = 0; slot < tail_count_ && out.size() < n; ++slot) {
+    UpdateRecord r = UpdateRecord::DecodeFrom(
+        tail_.data() + 4 + slot * UpdateRecord::kEncodedBytes);
+    if (filter.Matches(r)) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace rased

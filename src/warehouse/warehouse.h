@@ -1,0 +1,114 @@
+#ifndef RASED_WAREHOUSE_WAREHOUSE_H_
+#define RASED_WAREHOUSE_WAREHOUSE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "collect/update_record.h"
+#include "geo/rtree.h"
+#include "io/pager.h"
+#include "util/date.h"
+#include "util/result.h"
+
+namespace rased {
+
+struct WarehouseOptions {
+  std::string dir;
+  DeviceModel device;
+  /// Heap page size. 8 KiB holds ~240 records.
+  size_t page_size = 8192;
+};
+
+/// Filter for sample update queries — the WHERE clause of Section IV-B's
+/// sample interface (the same optional IN-lists as analysis queries, plus
+/// an optional spatial box). Empty lists/invalid box mean unconstrained.
+struct SampleFilter {
+  DateRange range;
+  std::vector<ElementType> element_types;
+  std::vector<ZoneId> countries;
+  std::vector<RoadTypeId> road_types;
+  std::vector<UpdateType> update_types;
+
+  bool Matches(const UpdateRecord& record) const;
+};
+
+/// The UpdateList warehouse (Section VI-B): every tuple dumped into a heap
+/// file, indexed by a hash index on ChangesetID and a spatial index on
+/// (Latitude, Longitude). It serves the sample update queries that let a
+/// RASED user inspect concrete updates behind an aggregate.
+///
+/// The heap pages live on disk behind a Pager; both indexes are in-memory
+/// and rebuilt by scanning the heap on Open (their maintenance cost is
+/// part of offline ingestion, not the query path).
+class Warehouse {
+ public:
+  static Result<std::unique_ptr<Warehouse>> Create(
+      const WarehouseOptions& options);
+  static Result<std::unique_ptr<Warehouse>> Open(
+      const WarehouseOptions& options);
+
+  Warehouse(const Warehouse&) = delete;
+  Warehouse& operator=(const Warehouse&) = delete;
+  ~Warehouse();
+
+  /// Appends records to the heap and indexes them.
+  Status Append(const std::vector<UpdateRecord>& records);
+
+  /// Up to `n` updates inside the box (via the R-tree).
+  Result<std::vector<UpdateRecord>> SampleInBox(const BoundingBox& box,
+                                                size_t n);
+
+  /// All updates of one changeset (via the hash index).
+  Result<std::vector<UpdateRecord>> FindByChangeset(uint64_t changeset_id);
+
+  /// Up to `n` (default 100, the paper's default sample size) updates
+  /// matching the filter. Uses the R-tree when the filter is spatial,
+  /// otherwise samples the heap.
+  Result<std::vector<UpdateRecord>> Sample(const SampleFilter& filter,
+                                           const BoundingBox* box, size_t n);
+
+  uint64_t num_records() const { return num_records_; }
+  Pager* pager() { return pager_.get(); }
+
+  /// Flushes the tail page and heap metadata.
+  Status Sync();
+
+ private:
+  Warehouse(WarehouseOptions options, std::unique_ptr<Pager> pager);
+
+  /// Records per heap page; 4 payload bytes hold the page's slot count.
+  size_t RecordsPerPage() const {
+    return (pager_->payload_size() - 4) / UpdateRecord::kEncodedBytes;
+  }
+  static uint64_t Locator(PageId page, uint32_t slot) {
+    return (page << 16) | slot;
+  }
+  Result<UpdateRecord> ReadAt(uint64_t locator);
+  Status FlushTail();
+  Status RebuildIndexes();
+  void IndexRecord(const UpdateRecord& record, uint64_t locator);
+
+  WarehouseOptions options_;
+  std::unique_ptr<Pager> pager_;
+  uint64_t num_records_ = 0;
+
+  // Tail page under construction (not yet on disk).
+  std::vector<unsigned char> tail_;
+  uint32_t tail_count_ = 0;
+  PageId tail_page_ = kInvalidPageId;
+
+  // In-memory indexes.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> by_changeset_;
+  RTree spatial_;
+
+  // One-page read cache to make locator bursts touching the same heap
+  // page cost one I/O.
+  PageId cached_page_ = kInvalidPageId;
+  std::vector<unsigned char> cached_buf_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_WAREHOUSE_WAREHOUSE_H_

@@ -1,0 +1,279 @@
+#include "xml/xml_reader.h"
+
+#include <cctype>
+
+#include "util/str_util.h"
+
+namespace rased {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+bool IsAllWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+XmlReader::XmlReader(std::string_view input) : input_(input) {}
+
+Status XmlReader::ParseError(const std::string& what) const {
+  return Status::Corruption(StrFormat("XML parse error at line %d: %s", line_,
+                                      what.c_str()));
+}
+
+void XmlReader::Advance() {
+  if (pos_ < input_.size()) {
+    if (input_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+}
+
+void XmlReader::SkipWhitespace() {
+  while (pos_ < input_.size() &&
+         std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+    Advance();
+  }
+}
+
+bool XmlReader::ConsumePrefix(std::string_view prefix) {
+  if (input_.substr(pos_, prefix.size()) != prefix) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) Advance();
+  return true;
+}
+
+Status XmlReader::SkipUntil(std::string_view terminator) {
+  while (pos_ < input_.size()) {
+    if (input_.substr(pos_, terminator.size()) == terminator) {
+      for (size_t i = 0; i < terminator.size(); ++i) Advance();
+      return Status::OK();
+    }
+    Advance();
+  }
+  return ParseError("unexpected end of input while scanning for '" +
+                    std::string(terminator) + "'");
+}
+
+Result<std::string> XmlReader::ParseName() {
+  if (pos_ >= input_.size() || !IsNameStart(input_[pos_])) {
+    return ParseError("expected name");
+  }
+  size_t start = pos_;
+  while (pos_ < input_.size() && IsNameChar(input_[pos_])) Advance();
+  return std::string(input_.substr(start, pos_ - start));
+}
+
+Status XmlReader::DecodeEntities(std::string_view raw, std::string* out) {
+  out->clear();
+  out->reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '&') {
+      out->push_back(raw[i]);
+      continue;
+    }
+    size_t semi = raw.find(';', i + 1);
+    if (semi == std::string_view::npos) {
+      return ParseError("unterminated entity reference");
+    }
+    std::string_view ent = raw.substr(i + 1, semi - i - 1);
+    if (ent == "amp") {
+      out->push_back('&');
+    } else if (ent == "lt") {
+      out->push_back('<');
+    } else if (ent == "gt") {
+      out->push_back('>');
+    } else if (ent == "quot") {
+      out->push_back('"');
+    } else if (ent == "apos") {
+      out->push_back('\'');
+    } else if (!ent.empty() && ent[0] == '#') {
+      // Numeric character reference; emit UTF-8.
+      uint32_t cp = 0;
+      bool hex = ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X');
+      std::string_view digits = ent.substr(hex ? 2 : 1);
+      if (digits.empty()) return ParseError("empty character reference");
+      for (char c : digits) {
+        uint32_t d;
+        if (c >= '0' && c <= '9') {
+          d = static_cast<uint32_t>(c - '0');
+        } else if (hex && c >= 'a' && c <= 'f') {
+          d = static_cast<uint32_t>(c - 'a' + 10);
+        } else if (hex && c >= 'A' && c <= 'F') {
+          d = static_cast<uint32_t>(c - 'A' + 10);
+        } else {
+          return ParseError("bad character reference '&" + std::string(ent) +
+                            ";'");
+        }
+        cp = cp * (hex ? 16 : 10) + d;
+        if (cp > 0x10FFFF) return ParseError("character reference out of range");
+      }
+      if (cp < 0x80) {
+        out->push_back(static_cast<char>(cp));
+      } else if (cp < 0x800) {
+        out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else if (cp < 0x10000) {
+        out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else {
+        out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      }
+    } else {
+      return ParseError("unknown entity '&" + std::string(ent) + ";'");
+    }
+    i = semi;
+  }
+  return Status::OK();
+}
+
+Status XmlReader::ParseAttributes(bool* self_closing) {
+  attrs_.clear();
+  *self_closing = false;
+  for (;;) {
+    SkipWhitespace();
+    if (pos_ >= input_.size()) return ParseError("unterminated start tag");
+    char c = input_[pos_];
+    if (c == '>') {
+      Advance();
+      return Status::OK();
+    }
+    if (c == '/') {
+      Advance();
+      if (Peek() != '>') return ParseError("expected '>' after '/'");
+      Advance();
+      *self_closing = true;
+      return Status::OK();
+    }
+    auto name = ParseName();
+    if (!name.ok()) return name.status();
+    SkipWhitespace();
+    if (Peek() != '=') return ParseError("expected '=' after attribute name");
+    Advance();
+    SkipWhitespace();
+    char quote = Peek();
+    if (quote != '"' && quote != '\'') {
+      return ParseError("expected quoted attribute value");
+    }
+    Advance();
+    size_t start = pos_;
+    while (pos_ < input_.size() && input_[pos_] != quote) {
+      if (input_[pos_] == '<') return ParseError("'<' in attribute value");
+      Advance();
+    }
+    if (pos_ >= input_.size()) return ParseError("unterminated attribute value");
+    std::string_view raw = input_.substr(start, pos_ - start);
+    Advance();  // closing quote
+    XmlAttr attr;
+    attr.name = std::move(name).value();
+    RASED_RETURN_IF_ERROR(DecodeEntities(raw, &attr.value));
+    attrs_.push_back(std::move(attr));
+  }
+}
+
+Result<XmlEvent> XmlReader::Next() {
+  if (pending_end_) {
+    pending_end_ = false;
+    --depth_;
+    name_ = open_elements_.back();
+    open_elements_.pop_back();
+    return XmlEvent::kEndElement;
+  }
+  for (;;) {
+    if (pos_ >= input_.size()) {
+      at_eof_ = true;
+      if (depth_ != 0) return ParseError("unexpected end of input");
+      return XmlEvent::kEof;
+    }
+    if (input_[pos_] != '<') {
+      // Character data up to the next '<'.
+      size_t start = pos_;
+      while (pos_ < input_.size() && input_[pos_] != '<') Advance();
+      std::string_view raw = input_.substr(start, pos_ - start);
+      if (IsAllWhitespace(raw)) continue;  // ignorable whitespace
+      RASED_RETURN_IF_ERROR(DecodeEntities(raw, &text_));
+      return XmlEvent::kText;
+    }
+    // Some markup.
+    if (ConsumePrefix("<!--")) {
+      RASED_RETURN_IF_ERROR(SkipUntil("-->"));
+      continue;
+    }
+    if (ConsumePrefix("<?")) {
+      RASED_RETURN_IF_ERROR(SkipUntil("?>"));
+      continue;
+    }
+    if (ConsumePrefix("<!")) {  // DOCTYPE etc.; no internal-subset support
+      RASED_RETURN_IF_ERROR(SkipUntil(">"));
+      continue;
+    }
+    if (ConsumePrefix("</")) {
+      auto name = ParseName();
+      if (!name.ok()) return name.status();
+      SkipWhitespace();
+      if (Peek() != '>') return ParseError("malformed end tag");
+      Advance();
+      if (depth_ == 0) return ParseError("end tag without matching start");
+      if (open_elements_.back() != name.value()) {
+        return ParseError("mismatched end tag </" + name.value() +
+                          ">, expected </" + open_elements_.back() + ">");
+      }
+      open_elements_.pop_back();
+      --depth_;
+      name_ = std::move(name).value();
+      return XmlEvent::kEndElement;
+    }
+    // Start tag.
+    Advance();  // '<'
+    auto name = ParseName();
+    if (!name.ok()) return name.status();
+    name_ = std::move(name).value();
+    bool self_closing = false;
+    RASED_RETURN_IF_ERROR(ParseAttributes(&self_closing));
+    ++depth_;
+    open_elements_.push_back(name_);
+    pending_end_ = self_closing;
+    return XmlEvent::kStartElement;
+  }
+}
+
+const std::string* XmlReader::FindAttr(std::string_view attr_name) const {
+  for (const XmlAttr& a : attrs_) {
+    if (a.name == attr_name) return &a.value;
+  }
+  return nullptr;
+}
+
+Status XmlReader::SkipElement() {
+  if (pending_end_) {
+    pending_end_ = false;
+    --depth_;
+    open_elements_.pop_back();
+    return Status::OK();
+  }
+  int target = depth_ - 1;
+  while (depth_ > target) {
+    auto ev = Next();
+    if (!ev.ok()) return ev.status();
+    if (ev.value() == XmlEvent::kEof) {
+      return ParseError("EOF inside element");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rased

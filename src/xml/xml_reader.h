@@ -1,0 +1,92 @@
+#ifndef RASED_XML_XML_READER_H_
+#define RASED_XML_XML_READER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace rased {
+
+/// One element attribute. Values are entity-decoded.
+struct XmlAttr {
+  std::string name;
+  std::string value;
+};
+
+/// Pull-parser events produced by XmlReader::Next().
+enum class XmlEvent {
+  kStartElement,  ///< <name attr="v" ...> or <name .../> (see note below)
+  kEndElement,    ///< </name>, also synthesized for self-closing elements
+  kText,          ///< non-whitespace character data
+  kEof,           ///< end of input
+};
+
+/// Minimal non-validating XML pull parser.
+///
+/// Scope: exactly what the OSM planet formats need — elements, attributes,
+/// character data, comments, XML declarations/processing instructions and
+/// DOCTYPE (all skipped), and the five predefined entities plus numeric
+/// character references. No namespaces, CDATA, or DTD expansion.
+///
+/// A self-closing element <tag/> is reported as kStartElement followed
+/// immediately by a synthetic kEndElement, so client code can treat both
+/// element forms uniformly.
+///
+/// The reader borrows the input buffer; it must outlive the reader.
+class XmlReader {
+ public:
+  explicit XmlReader(std::string_view input);
+
+  /// Advances to the next event. After kEof, keeps returning kEof.
+  Result<XmlEvent> Next();
+
+  /// Element name for the current kStartElement/kEndElement event.
+  const std::string& name() const { return name_; }
+
+  /// Attributes of the current kStartElement event.
+  const std::vector<XmlAttr>& attributes() const { return attrs_; }
+
+  /// Entity-decoded character data for the current kText event.
+  const std::string& text() const { return text_; }
+
+  /// Returns the value of the named attribute, or nullptr when absent.
+  const std::string* FindAttr(std::string_view attr_name) const;
+
+  /// 1-based line of the current parse position (for error messages).
+  int line() const { return line_; }
+
+  /// Convenience: skips events until the matching kEndElement of the
+  /// element whose kStartElement was just returned. No-op after a
+  /// self-closing element's synthetic end was already consumed.
+  Status SkipElement();
+
+ private:
+  Status ParseError(const std::string& what) const;
+  void SkipWhitespace();
+  bool ConsumePrefix(std::string_view prefix);
+  Status SkipUntil(std::string_view terminator);
+  Result<std::string> ParseName();
+  Status ParseAttributes(bool* self_closing);
+  Status DecodeEntities(std::string_view raw, std::string* out);
+  char Peek() const { return pos_ < input_.size() ? input_[pos_] : '\0'; }
+  void Advance();
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+
+  std::string name_;
+  std::vector<XmlAttr> attrs_;
+  std::string text_;
+  bool pending_end_ = false;  // synthetic end for self-closing element
+  bool at_eof_ = false;
+  int depth_ = 0;
+  std::vector<std::string> open_elements_;  // for end-tag name checking
+};
+
+}  // namespace rased
+
+#endif  // RASED_XML_XML_READER_H_

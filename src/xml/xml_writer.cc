@@ -1,0 +1,109 @@
+#include "xml/xml_writer.h"
+
+#include "util/logging.h"
+#include "util/str_util.h"
+
+namespace rased {
+
+XmlWriter::XmlWriter(std::string* out, bool pretty)
+    : out_(out), pretty_(pretty) {}
+
+void XmlWriter::WriteDeclaration() {
+  out_->append("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+  if (pretty_) out_->push_back('\n');
+}
+
+void XmlWriter::Indent() {
+  if (!pretty_) return;
+  out_->append(2 * stack_.size(), ' ');
+}
+
+void XmlWriter::CloseStartTag() {
+  if (tag_open_) {
+    out_->push_back('>');
+    if (pretty_) out_->push_back('\n');
+    tag_open_ = false;
+  }
+}
+
+void XmlWriter::StartElement(std::string_view name) {
+  CloseStartTag();
+  Indent();
+  out_->push_back('<');
+  out_->append(name);
+  stack_.emplace_back(name);
+  tag_open_ = true;
+  had_children_ = false;
+}
+
+void XmlWriter::Attribute(std::string_view name, std::string_view value) {
+  RASED_DCHECK(tag_open_) << "Attribute() outside an open start tag";
+  out_->push_back(' ');
+  out_->append(name);
+  out_->append("=\"");
+  AppendEscaped(value, /*in_attribute=*/true);
+  out_->push_back('"');
+}
+
+void XmlWriter::Attribute(std::string_view name, int64_t value) {
+  Attribute(name, std::string_view(std::to_string(value)));
+}
+
+void XmlWriter::Attribute(std::string_view name, uint64_t value) {
+  Attribute(name, std::string_view(std::to_string(value)));
+}
+
+void XmlWriter::AttributeCoord(std::string_view name, double value) {
+  Attribute(name, std::string_view(StrFormat("%.7f", value)));
+}
+
+void XmlWriter::Text(std::string_view text) {
+  CloseStartTag();
+  had_children_ = true;
+  AppendEscaped(text, /*in_attribute=*/false);
+}
+
+void XmlWriter::EndElement() {
+  RASED_CHECK(!stack_.empty()) << "EndElement() with no open element";
+  std::string name = stack_.back();
+  stack_.pop_back();
+  if (tag_open_) {
+    out_->append("/>");
+    if (pretty_) out_->push_back('\n');
+    tag_open_ = false;
+  } else {
+    Indent();
+    out_->append("</");
+    out_->append(name);
+    out_->push_back('>');
+    if (pretty_) out_->push_back('\n');
+  }
+  had_children_ = true;  // the parent now has at least one child
+}
+
+void XmlWriter::AppendEscaped(std::string_view text, bool in_attribute) {
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out_->append("&amp;");
+        break;
+      case '<':
+        out_->append("&lt;");
+        break;
+      case '>':
+        out_->append("&gt;");
+        break;
+      case '"':
+        if (in_attribute) {
+          out_->append("&quot;");
+        } else {
+          out_->push_back(c);
+        }
+        break;
+      default:
+        out_->push_back(c);
+    }
+  }
+}
+
+}  // namespace rased

@@ -1,0 +1,65 @@
+#ifndef RASED_XML_XML_WRITER_H_
+#define RASED_XML_XML_WRITER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rased {
+
+/// Streaming XML writer with automatic escaping and indentation, used by
+/// the synthetic planet generator to emit OSC diff, changeset, and
+/// full-history files in the real OSM formats.
+///
+/// Usage:
+///   std::string out;
+///   XmlWriter w(&out);
+///   w.WriteDeclaration();
+///   w.StartElement("osmChange");
+///   w.Attribute("version", "0.6");
+///   ...
+///   w.EndElement();
+class XmlWriter {
+ public:
+  /// Appends output to `*out`; the pointer must outlive the writer.
+  explicit XmlWriter(std::string* out, bool pretty = true);
+
+  /// Emits <?xml version="1.0" encoding="UTF-8"?>.
+  void WriteDeclaration();
+
+  /// Opens an element. Attributes may be added until the next child or
+  /// text is written.
+  void StartElement(std::string_view name);
+
+  /// Adds an attribute to the most recently opened element.
+  void Attribute(std::string_view name, std::string_view value);
+  void Attribute(std::string_view name, int64_t value);
+  void Attribute(std::string_view name, uint64_t value);
+  /// Fixed 7-decimal rendering matching OSM's coordinate precision.
+  void AttributeCoord(std::string_view name, double value);
+
+  /// Writes escaped character data inside the current element.
+  void Text(std::string_view text);
+
+  /// Closes the most recently opened element (self-closing form when the
+  /// element had no children or text).
+  void EndElement();
+
+  /// Number of currently open elements.
+  int depth() const { return static_cast<int>(stack_.size()); }
+
+ private:
+  void CloseStartTag();
+  void Indent();
+  void AppendEscaped(std::string_view text, bool in_attribute);
+
+  std::string* out_;
+  bool pretty_;
+  std::vector<std::string> stack_;
+  bool tag_open_ = false;      // start tag not yet closed with '>'
+  bool had_children_ = false;  // current element has children/text
+};
+
+}  // namespace rased
+
+#endif  // RASED_XML_XML_WRITER_H_

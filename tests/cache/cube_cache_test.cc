@@ -1,0 +1,159 @@
+#include "cache/cube_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "io/env.h"
+
+namespace rased {
+namespace {
+
+CubeSchema TinySchema() { return CubeSchema{3, 8, 4, 4}; }
+
+class CubeCacheTest : public ::testing::Test {
+ protected:
+  // Builds an index covering `days` days from 2021-01-01.
+  std::unique_ptr<TemporalIndex> BuildIndex(int days) {
+    TemporalIndexOptions options;
+    options.schema = TinySchema();
+    options.num_levels = 4;
+    options.dir =
+        env::JoinPath(dir_.path(), "index-" + std::to_string(counter_++));
+    options.device = DeviceModel::None();
+    auto index = TemporalIndex::Create(options);
+    EXPECT_TRUE(index.ok());
+    Date d = Date::FromYmd(2021, 1, 1);
+    for (int i = 0; i < days; ++i) {
+      DataCube cube(TinySchema());
+      cube.Add(0, 0, 0, 0, static_cast<uint64_t>(i + 1));
+      EXPECT_TRUE(index.value()->AppendDay(d, cube).ok());
+      d = d.next();
+    }
+    return std::move(index).value();
+  }
+
+  TempDir dir_{"cache-test"};
+  int counter_ = 0;
+};
+
+TEST_F(CubeCacheTest, RecencyPreloadSplitsByLevel) {
+  auto index = BuildIndex(90);  // 90 daily, 12 weekly, 2 monthly (Jan, Feb)
+  CacheOptions options;
+  options.num_slots = 40;
+  options.policy = CachePolicy::kRasedRecency;
+  // alpha .4 beta .35 gamma .2 theta .05
+  CubeCache cache(options);
+  ASSERT_TRUE(cache.Warm(index.get()).ok());
+  EXPECT_EQ(cache.size(), 40u);
+
+  // The most recent daily/weekly/monthly cubes must be resident.
+  EXPECT_TRUE(cache.Contains(CubeKey::Daily(Date::FromYmd(2021, 3, 31))));
+  EXPECT_TRUE(cache.Contains(CubeKey::Weekly(Date::FromYmd(2021, 3, 22))));
+  EXPECT_TRUE(cache.Contains(CubeKey::Monthly(Date::FromYmd(2021, 2, 1))));
+}
+
+TEST_F(CubeCacheTest, LeftoverSlotsFallToDaily) {
+  auto index = BuildIndex(60);
+  CacheOptions options;
+  options.num_slots = 30;
+  options.theta = 0.5;  // wants 15 yearly cubes; none exist
+  options.alpha = 0.2;
+  options.beta = 0.2;
+  options.gamma = 0.1;
+  CubeCache cache(options);
+  ASSERT_TRUE(cache.Warm(index.get()).ok());
+  EXPECT_EQ(cache.size(), 30u);  // filled from daily instead
+}
+
+TEST_F(CubeCacheTest, FindCountsHitsAndMisses) {
+  auto index = BuildIndex(30);
+  CacheOptions options;
+  options.num_slots = 10;
+  options.policy = CachePolicy::kAllDaily;
+  CubeCache cache(options);
+  ASSERT_TRUE(cache.Warm(index.get()).ok());
+
+  EXPECT_NE(cache.Find(CubeKey::Daily(Date::FromYmd(2021, 1, 30))), nullptr);
+  EXPECT_EQ(cache.Find(CubeKey::Daily(Date::FromYmd(2021, 1, 1))), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST_F(CubeCacheTest, CachedCubesHaveCorrectContents) {
+  auto index = BuildIndex(30);
+  CacheOptions options;
+  options.num_slots = 5;
+  options.policy = CachePolicy::kAllDaily;
+  CubeCache cache(options);
+  ASSERT_TRUE(cache.Warm(index.get()).ok());
+  const DataCube* cube =
+      cache.Find(CubeKey::Daily(Date::FromYmd(2021, 1, 30)));
+  ASSERT_NE(cube, nullptr);
+  EXPECT_EQ(cube->Total(), 30u);  // day 30's cube value
+}
+
+TEST_F(CubeCacheTest, StaticPolicyIgnoresInsert) {
+  auto index = BuildIndex(10);
+  CacheOptions options;
+  options.num_slots = 2;
+  options.policy = CachePolicy::kRasedRecency;
+  CubeCache cache(options);
+  ASSERT_TRUE(cache.Warm(index.get()).ok());
+  size_t before = cache.size();
+  DataCube cube(TinySchema());
+  cache.Insert(CubeKey::Daily(Date::FromYmd(2021, 1, 1)), cube);
+  EXPECT_EQ(cache.size(), before);
+}
+
+TEST_F(CubeCacheTest, LruAdmitsAndEvicts) {
+  CacheOptions options;
+  options.num_slots = 2;
+  options.policy = CachePolicy::kLru;
+  CubeCache cache(options);
+  DataCube cube(TinySchema());
+
+  CubeKey k1 = CubeKey::Daily(Date::FromYmd(2021, 1, 1));
+  CubeKey k2 = CubeKey::Daily(Date::FromYmd(2021, 1, 2));
+  CubeKey k3 = CubeKey::Daily(Date::FromYmd(2021, 1, 3));
+  cache.Insert(k1, cube);
+  cache.Insert(k2, cube);
+  EXPECT_EQ(cache.size(), 2u);
+  // Touch k1 so k2 is the LRU victim.
+  EXPECT_NE(cache.Find(k1), nullptr);
+  cache.Insert(k3, cube);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Contains(k1));
+  EXPECT_FALSE(cache.Contains(k2));
+  EXPECT_TRUE(cache.Contains(k3));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST_F(CubeCacheTest, LruWarmIsNoOp) {
+  auto index = BuildIndex(10);
+  CacheOptions options;
+  options.num_slots = 5;
+  options.policy = CachePolicy::kLru;
+  CubeCache cache(options);
+  ASSERT_TRUE(cache.Warm(index.get()).ok());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(CubeCacheTest, SlotsForBytes) {
+  CubeSchema schema = TinySchema();
+  EXPECT_EQ(CacheOptions::SlotsForBytes(10 * schema.cube_bytes(), schema),
+            10u);
+  EXPECT_EQ(CacheOptions::SlotsForBytes(schema.cube_bytes() - 1, schema), 0u);
+}
+
+TEST_F(CubeCacheTest, ClearEmptiesEverything) {
+  auto index = BuildIndex(10);
+  CacheOptions options;
+  options.num_slots = 5;
+  CubeCache cache(options);
+  ASSERT_TRUE(cache.Warm(index.get()).ok());
+  EXPECT_GT(cache.size(), 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace rased

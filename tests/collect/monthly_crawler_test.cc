@@ -1,0 +1,189 @@
+#include "collect/monthly_crawler.h"
+
+#include <gtest/gtest.h>
+
+#include "osm/history.h"
+
+namespace rased {
+namespace {
+
+class MonthlyCrawlerTest : public ::testing::Test {
+ protected:
+  MonthlyCrawlerTest() : world_(305), road_types_(150) {}
+
+  LatLon PointIn(const char* country) {
+    return world_.zone(world_.FindByName(country).value()).bounds.Center();
+  }
+
+  Element NodeVersion(int64_t id, int32_t version, const char* country,
+                      Date date, bool visible = true) {
+    LatLon p = PointIn(country);
+    Element e;
+    e.type = ElementType::kNode;
+    e.meta.id = id;
+    e.meta.version = version;
+    e.meta.visible = visible;
+    e.meta.timestamp = OsmTimestamp{date, 0};
+    e.meta.changeset = 500 + static_cast<uint64_t>(version);
+    e.lat = p.lat;
+    e.lon = p.lon;
+    return e;
+  }
+
+  WorldMap world_;
+  RoadTypeTable road_types_;
+  ChangesetStore changesets_;
+  DateRange april_{Date::FromYmd(2021, 4, 1), Date::FromYmd(2021, 4, 30)};
+};
+
+TEST_F(MonthlyCrawlerTest, FirstVersionIsCreate) {
+  HistoryWriter history;
+  history.Add(NodeVersion(1, 1, "Italy", Date::FromYmd(2021, 4, 5)));
+  MonthlyCrawler crawler(&world_, &road_types_);
+  std::vector<UpdateRecord> out;
+  ASSERT_TRUE(
+      crawler.CrawlHistory(history.Finish(), changesets_, april_, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].update_type, UpdateType::kNew);
+  EXPECT_EQ(out[0].country, world_.FindByName("Italy").value());
+}
+
+TEST_F(MonthlyCrawlerTest, GeometryChangeClassified) {
+  HistoryWriter history;
+  Element v1 = NodeVersion(2, 1, "Spain", Date::FromYmd(2021, 3, 20));
+  Element v2 = NodeVersion(2, 2, "Spain", Date::FromYmd(2021, 4, 10));
+  v2.lat += 0.001;
+  history.Add(v1);
+  history.Add(v2);
+  MonthlyCrawler crawler(&world_, &road_types_);
+  std::vector<UpdateRecord> out;
+  ASSERT_TRUE(
+      crawler.CrawlHistory(history.Finish(), changesets_, april_, &out).ok());
+  // Only v2 is inside the window.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].update_type, UpdateType::kGeometry);
+}
+
+TEST_F(MonthlyCrawlerTest, MetadataChangeClassified) {
+  HistoryWriter history;
+  Element v1 = NodeVersion(3, 1, "Poland", Date::FromYmd(2021, 3, 20));
+  Element v2 = NodeVersion(3, 2, "Poland", Date::FromYmd(2021, 4, 10));
+  v2.tags.push_back(Tag{"name", "ulica"});
+  history.Add(v1);
+  history.Add(v2);
+  MonthlyCrawler crawler(&world_, &road_types_);
+  std::vector<UpdateRecord> out;
+  ASSERT_TRUE(
+      crawler.CrawlHistory(history.Finish(), changesets_, april_, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].update_type, UpdateType::kMetadata);
+}
+
+TEST_F(MonthlyCrawlerTest, GeometryWinsWhenBothChange) {
+  // Section V: geometry takes precedence in classification.
+  HistoryWriter history;
+  Element v1 = NodeVersion(4, 1, "Chile", Date::FromYmd(2021, 3, 20));
+  Element v2 = NodeVersion(4, 2, "Chile", Date::FromYmd(2021, 4, 10));
+  v2.lat += 0.001;
+  v2.tags.push_back(Tag{"name", "calle"});
+  history.Add(v1);
+  history.Add(v2);
+  MonthlyCrawler crawler(&world_, &road_types_);
+  std::vector<UpdateRecord> out;
+  ASSERT_TRUE(
+      crawler.CrawlHistory(history.Finish(), changesets_, april_, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].update_type, UpdateType::kGeometry);
+}
+
+TEST_F(MonthlyCrawlerTest, InvisibleVersionIsDelete) {
+  HistoryWriter history;
+  history.Add(NodeVersion(5, 1, "Egypt", Date::FromYmd(2021, 3, 1)));
+  history.Add(
+      NodeVersion(5, 2, "Egypt", Date::FromYmd(2021, 4, 2), /*visible=*/false));
+  MonthlyCrawler crawler(&world_, &road_types_);
+  std::vector<UpdateRecord> out;
+  ASSERT_TRUE(
+      crawler.CrawlHistory(history.Finish(), changesets_, april_, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].update_type, UpdateType::kDelete);
+  // Located from the previous version's coordinates.
+  EXPECT_EQ(out[0].country, world_.FindByName("Egypt").value());
+}
+
+TEST_F(MonthlyCrawlerTest, WayLocatedThroughChangeset) {
+  LatLon c = PointIn("Vietnam");
+  Changeset cs;
+  cs.id = 777;
+  cs.has_bbox = true;
+  cs.min_lat = c.lat - 0.01;
+  cs.max_lat = c.lat + 0.01;
+  cs.min_lon = c.lon - 0.01;
+  cs.max_lon = c.lon + 0.01;
+  changesets_.Add(cs);
+
+  Element way;
+  way.type = ElementType::kWay;
+  way.meta.id = 6;
+  way.meta.version = 1;
+  way.meta.timestamp = OsmTimestamp{Date::FromYmd(2021, 4, 15), 0};
+  way.meta.changeset = 777;
+  way.node_refs = {1, 2, 3};
+  way.tags.push_back(Tag{"highway", "primary"});
+  HistoryWriter history;
+  history.Add(way);
+
+  MonthlyCrawler crawler(&world_, &road_types_);
+  std::vector<UpdateRecord> out;
+  ASSERT_TRUE(
+      crawler.CrawlHistory(history.Finish(), changesets_, april_, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].country, world_.FindByName("Vietnam").value());
+  EXPECT_EQ(out[0].road_type, road_types_.Lookup("primary"));
+}
+
+TEST_F(MonthlyCrawlerTest, DeletedRoadFallsBackToPreviousTags) {
+  Element v1;
+  v1.type = ElementType::kWay;
+  v1.meta.id = 7;
+  v1.meta.version = 1;
+  v1.meta.timestamp = OsmTimestamp{Date::FromYmd(2021, 3, 1), 0};
+  v1.meta.changeset = 801;
+  v1.node_refs = {1, 2};
+  v1.tags.push_back(Tag{"highway", "footway"});
+
+  Element v2 = v1;
+  v2.meta.version = 2;
+  v2.meta.visible = false;
+  v2.meta.timestamp = OsmTimestamp{Date::FromYmd(2021, 4, 20), 0};
+  v2.tags.clear();
+  v2.node_refs.clear();
+
+  HistoryWriter history;
+  history.Add(v1);
+  history.Add(v2);
+  MonthlyCrawler crawler(&world_, &road_types_);
+  std::vector<UpdateRecord> out;
+  ASSERT_TRUE(
+      crawler.CrawlHistory(history.Finish(), changesets_, april_, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].update_type, UpdateType::kDelete);
+  EXPECT_EQ(out[0].road_type, road_types_.Lookup("footway"));
+}
+
+TEST_F(MonthlyCrawlerTest, UnboundedWindowTakesEverything) {
+  HistoryWriter history;
+  history.Add(NodeVersion(8, 1, "Ghana", Date::FromYmd(2019, 1, 1)));
+  history.Add(NodeVersion(9, 1, "Ghana", Date::FromYmd(2021, 4, 1)));
+  MonthlyCrawler crawler(&world_, &road_types_);
+  std::vector<UpdateRecord> out;
+  DateRange everything(Date::FromYmd(2000, 1, 1), Date::FromYmd(2030, 1, 1));
+  ASSERT_TRUE(crawler
+                  .CrawlHistory(history.Finish(), changesets_, everything,
+                                &out)
+                  .ok());
+  EXPECT_EQ(out.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rased

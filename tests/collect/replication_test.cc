@@ -1,0 +1,146 @@
+#include "collect/replication.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/env.h"
+
+namespace rased {
+namespace {
+
+OsmTimestamp Ts(int day, int sec = 0) {
+  return OsmTimestamp{Date::FromYmd(2021, 9, day), sec};
+}
+
+TEST(ReplicationStateTest, ParseRealWorldFormat) {
+  // The planet server's state.txt escapes colons and carries extra keys.
+  auto state = ReplicationState::Parse(
+      "#Sat Sep 04 10:30:00 UTC 2021\n"
+      "txnMaxQueried=4182406\n"
+      "sequenceNumber=4698\n"
+      "timestamp=2021-09-04T10\\:30\\:00Z\n");
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_EQ(state.value().sequence, 4698u);
+  EXPECT_EQ(state.value().timestamp.ToString(), "2021-09-04T10:30:00Z");
+}
+
+TEST(ReplicationStateTest, FormatRoundTrips) {
+  ReplicationState state;
+  state.sequence = 42;
+  state.timestamp = Ts(4, 3600);
+  auto back = ReplicationState::Parse(state.Format());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().sequence, 42u);
+  EXPECT_EQ(back.value().timestamp, state.timestamp);
+}
+
+TEST(ReplicationStateTest, RejectsGarbage) {
+  EXPECT_FALSE(ReplicationState::Parse("no equals here\n").ok());
+  EXPECT_FALSE(ReplicationState::Parse("timestamp=2021-09-04T10:30:00Z\n")
+                   .ok());  // missing sequenceNumber
+}
+
+class ReplicationDirTest : public ::testing::Test {
+ protected:
+  TempDir dir_{"replication-test"};
+};
+
+TEST_F(ReplicationDirTest, PublishAndConsume) {
+  ReplicationDirectory feed(env::JoinPath(dir_.path(), "feed"));
+  ASSERT_TRUE(feed.Publish(1, "<osmChange/>", Ts(1)).ok());
+  ASSERT_TRUE(feed.Publish(2, "<osmChange version=\"0.6\"/>", Ts(2)).ok());
+
+  auto latest = feed.LatestState();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest.value().sequence, 2u);
+
+  auto diff = feed.ReadDiff(1);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff.value(), "<osmChange/>");
+
+  auto state1 = feed.StateOf(1);
+  ASSERT_TRUE(state1.ok());
+  EXPECT_EQ(state1.value().timestamp.date, Date::FromYmd(2021, 9, 1));
+}
+
+TEST_F(ReplicationDirTest, PublishRejectsRegression) {
+  ReplicationDirectory feed(env::JoinPath(dir_.path(), "feed"));
+  ASSERT_TRUE(feed.Publish(5, "a", Ts(1)).ok());
+  EXPECT_TRUE(feed.Publish(5, "b", Ts(2)).IsInvalidArgument());
+  EXPECT_TRUE(feed.Publish(4, "c", Ts(2)).IsInvalidArgument());
+  ASSERT_TRUE(feed.Publish(6, "d", Ts(2)).ok());
+}
+
+TEST_F(ReplicationDirTest, CursorCatchesUpIncrementally) {
+  ReplicationDirectory feed(env::JoinPath(dir_.path(), "feed"));
+  ReplicationCursor cursor(env::JoinPath(dir_.path(), "cursor"));
+  EXPECT_EQ(cursor.LastApplied().value_or(99), 0u);
+
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    ASSERT_TRUE(feed.Publish(seq, "diff-" + std::to_string(seq),
+                             Ts(static_cast<int>(seq)))
+                    .ok());
+  }
+
+  std::vector<uint64_t> applied;
+  auto apply = [&applied](uint64_t seq, const std::string& osc) {
+    EXPECT_EQ(osc, "diff-" + std::to_string(seq));
+    applied.push_back(seq);
+    return Status::OK();
+  };
+  auto count = cursor.CatchUp(feed, apply);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 3u);
+  EXPECT_EQ(applied, (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(cursor.LastApplied().value_or(0), 3u);
+
+  // Nothing new: no work.
+  applied.clear();
+  count = cursor.CatchUp(feed, apply);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 0u);
+  EXPECT_TRUE(applied.empty());
+
+  // New sequences resume from the cursor.
+  ASSERT_TRUE(feed.Publish(4, "diff-4", Ts(4)).ok());
+  count = cursor.CatchUp(feed, apply);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 1u);
+  EXPECT_EQ(applied, (std::vector<uint64_t>{4}));
+}
+
+TEST_F(ReplicationDirTest, FailedApplyDoesNotAdvanceCursor) {
+  ReplicationDirectory feed(env::JoinPath(dir_.path(), "feed"));
+  ReplicationCursor cursor(env::JoinPath(dir_.path(), "cursor"));
+  ASSERT_TRUE(feed.Publish(1, "one", Ts(1)).ok());
+  ASSERT_TRUE(feed.Publish(2, "two", Ts(2)).ok());
+
+  int calls = 0;
+  auto flaky = [&calls](uint64_t seq, const std::string&) {
+    ++calls;
+    if (seq == 2) return Status::IOError("transient");
+    return Status::OK();
+  };
+  EXPECT_FALSE(cursor.CatchUp(feed, flaky).ok());
+  EXPECT_EQ(cursor.LastApplied().value_or(0), 1u);  // seq 1 stuck
+
+  // Retry succeeds and replays only the failed sequence.
+  auto ok = [](uint64_t, const std::string&) { return Status::OK(); };
+  auto count = cursor.CatchUp(feed, ok);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 1u);
+  EXPECT_EQ(cursor.LastApplied().value_or(0), 2u);
+}
+
+TEST_F(ReplicationDirTest, EmptyFeedIsZeroWork) {
+  ReplicationDirectory feed(env::JoinPath(dir_.path(), "nothing"));
+  ReplicationCursor cursor(env::JoinPath(dir_.path(), "cursor2"));
+  auto count = cursor.CatchUp(
+      feed, [](uint64_t, const std::string&) { return Status::OK(); });
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 0u);
+}
+
+}  // namespace
+}  // namespace rased

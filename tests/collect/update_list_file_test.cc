@@ -1,0 +1,116 @@
+#include "collect/update_list_file.h"
+
+#include <gtest/gtest.h>
+
+#include "io/env.h"
+#include "util/random.h"
+
+namespace rased {
+namespace {
+
+std::vector<UpdateRecord> MakeRecords(size_t n, uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<UpdateRecord> records;
+  for (size_t i = 0; i < n; ++i) {
+    UpdateRecord r;
+    r.element_type = static_cast<ElementType>(rng.Uniform(3));
+    r.date = Date::FromYmd(2021, 1, 1).AddDays(static_cast<int>(i % 28));
+    r.country = static_cast<ZoneId>(rng.Uniform(300));
+    r.lat = rng.NextDouble() * 90;
+    r.lon = rng.NextDouble() * 180;
+    r.road_type = static_cast<RoadTypeId>(rng.Uniform(150));
+    r.update_type = static_cast<UpdateType>(rng.Uniform(4));
+    r.changeset_id = rng.Next();
+    records.push_back(r);
+  }
+  return records;
+}
+
+class UpdateListFileTest : public ::testing::Test {
+ protected:
+  std::string Path() { return env::JoinPath(dir_.path(), "updates.bin"); }
+  TempDir dir_{"ulf-test"};
+};
+
+TEST_F(UpdateListFileTest, WriteReadRoundTrip) {
+  auto records = MakeRecords(1000);
+  ASSERT_TRUE(update_list_file::Write(Path(), records).ok());
+  auto back = update_list_file::Read(Path());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), records);
+}
+
+TEST_F(UpdateListFileTest, EmptyList) {
+  ASSERT_TRUE(update_list_file::Write(Path(), {}).ok());
+  EXPECT_EQ(update_list_file::Count(Path()).value_or(99), 0u);
+  auto back = update_list_file::Read(Path());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().empty());
+}
+
+TEST_F(UpdateListFileTest, CountWithoutReadingBody) {
+  ASSERT_TRUE(update_list_file::Write(Path(), MakeRecords(4321)).ok());
+  EXPECT_EQ(update_list_file::Count(Path()).value_or(0), 4321u);
+}
+
+TEST_F(UpdateListFileTest, AppendExtends) {
+  ASSERT_TRUE(update_list_file::Write(Path(), MakeRecords(10, 1)).ok());
+  ASSERT_TRUE(update_list_file::Append(Path(), MakeRecords(5, 2)).ok());
+  EXPECT_EQ(update_list_file::Count(Path()).value_or(0), 15u);
+  auto back = update_list_file::Read(Path());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), 15u);
+  EXPECT_EQ(std::vector<UpdateRecord>(back.value().begin(),
+                                      back.value().begin() + 10),
+            MakeRecords(10, 1));
+}
+
+TEST_F(UpdateListFileTest, AppendCreatesWhenAbsent) {
+  ASSERT_TRUE(update_list_file::Append(Path(), MakeRecords(3)).ok());
+  EXPECT_EQ(update_list_file::Count(Path()).value_or(0), 3u);
+}
+
+TEST_F(UpdateListFileTest, ForEachStreamsInOrder) {
+  auto records = MakeRecords(100);
+  ASSERT_TRUE(update_list_file::Write(Path(), records).ok());
+  size_t i = 0;
+  Status s = update_list_file::ForEach(Path(), [&](const UpdateRecord& r) {
+    EXPECT_EQ(r, records[i]);
+    ++i;
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(i, records.size());
+}
+
+TEST_F(UpdateListFileTest, ForEachStopsOnCallbackError) {
+  ASSERT_TRUE(update_list_file::Write(Path(), MakeRecords(100)).ok());
+  int seen = 0;
+  Status s = update_list_file::ForEach(Path(), [&](const UpdateRecord&) {
+    return ++seen < 10 ? Status::OK() : Status::Internal("enough");
+  });
+  EXPECT_TRUE(s.IsInternal());
+  EXPECT_EQ(seen, 10);
+}
+
+TEST_F(UpdateListFileTest, MissingFileFails) {
+  EXPECT_FALSE(update_list_file::Read(Path()).ok());
+  EXPECT_FALSE(update_list_file::Count(Path()).ok());
+}
+
+TEST_F(UpdateListFileTest, RejectsCorruptMagic) {
+  ASSERT_TRUE(env::WriteFile(Path(), "this is not an update list file").ok());
+  EXPECT_TRUE(update_list_file::Read(Path()).status().IsCorruption());
+}
+
+TEST_F(UpdateListFileTest, RejectsTruncatedBody) {
+  ASSERT_TRUE(update_list_file::Write(Path(), MakeRecords(100)).ok());
+  auto contents = env::ReadFile(Path());
+  ASSERT_TRUE(contents.ok());
+  std::string truncated = contents.value().substr(0, 50);
+  ASSERT_TRUE(env::WriteFile(Path(), truncated).ok());
+  EXPECT_TRUE(update_list_file::Read(Path()).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace rased

@@ -1,0 +1,74 @@
+#include "collect/update_record.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rased {
+namespace {
+
+UpdateRecord Sample() {
+  UpdateRecord r;
+  r.element_type = ElementType::kWay;
+  r.date = Date::FromYmd(2021, 6, 15);
+  r.country = 123;
+  r.lat = 44.97;
+  r.lon = -93.26;
+  r.road_type = 8;
+  r.update_type = UpdateType::kGeometry;
+  r.changeset_id = 9876543210ull;
+  return r;
+}
+
+TEST(UpdateRecordTest, EncodeDecodeRoundTrip) {
+  UpdateRecord r = Sample();
+  unsigned char buf[UpdateRecord::kEncodedBytes];
+  r.EncodeTo(buf);
+  UpdateRecord back = UpdateRecord::DecodeFrom(buf);
+  EXPECT_EQ(back, r);
+}
+
+TEST(UpdateRecordTest, EncodedSizeIsFixed) {
+  EXPECT_EQ(UpdateRecord::kEncodedBytes, 34u);
+}
+
+TEST(UpdateRecordTest, RandomizedRoundTripProperty) {
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    UpdateRecord r;
+    r.element_type = static_cast<ElementType>(rng.Uniform(3));
+    r.date = Date::FromDays(static_cast<int32_t>(rng.UniformInt(0, 30000)));
+    r.country = static_cast<ZoneId>(rng.Uniform(65536));
+    r.lat = rng.NextDouble() * 180 - 90;
+    r.lon = rng.NextDouble() * 360 - 180;
+    r.road_type = static_cast<RoadTypeId>(rng.Uniform(65536));
+    r.update_type = static_cast<UpdateType>(rng.Uniform(4));
+    r.changeset_id = rng.Next();
+    unsigned char buf[UpdateRecord::kEncodedBytes];
+    r.EncodeTo(buf);
+    ASSERT_EQ(UpdateRecord::DecodeFrom(buf), r);
+  }
+}
+
+TEST(UpdateRecordTest, UpdateTypeNames) {
+  EXPECT_EQ(UpdateTypeName(UpdateType::kNew), "new");
+  EXPECT_EQ(UpdateTypeName(UpdateType::kDelete), "delete");
+  EXPECT_EQ(UpdateTypeName(UpdateType::kGeometry), "geometry");
+  EXPECT_EQ(UpdateTypeName(UpdateType::kMetadata), "metadata");
+}
+
+TEST(UpdateRecordTest, ProvisionalSlotIsGeometry) {
+  // The daily crawler's "updated" records land in the geometry slot until
+  // the monthly rebuild (see UpdateType documentation).
+  EXPECT_EQ(kProvisionalUpdate, UpdateType::kGeometry);
+}
+
+TEST(UpdateRecordTest, ToStringMentionsKeyFields) {
+  std::string s = Sample().ToString();
+  EXPECT_NE(s.find("way"), std::string::npos);
+  EXPECT_NE(s.find("2021-06-15"), std::string::npos);
+  EXPECT_NE(s.find("9876543210"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rased

@@ -1,0 +1,76 @@
+#include "cube/cube_schema.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+TEST(CubeSchemaTest, PaperScaleMatchesSectionVIA) {
+  CubeSchema s = CubeSchema::PaperScale();
+  // 3 x 305 x 150 x 4 — "540,000 precomputed values" per cube, ~4 MB.
+  EXPECT_EQ(s.num_cells(), 549000u);
+  EXPECT_EQ(s.cube_bytes(), 549000u * 8);
+  EXPECT_GT(s.cube_bytes(), 4u << 20);
+  EXPECT_LT(s.cube_bytes(), 5u << 20);
+}
+
+TEST(CubeSchemaTest, BenchScale) {
+  CubeSchema s = CubeSchema::BenchScale();
+  EXPECT_EQ(s.num_cells(), 3u * 64 * 32 * 4);
+}
+
+TEST(CubeSchemaTest, CellIndexIsBijective) {
+  CubeSchema s{2, 3, 4, 2};
+  std::set<size_t> seen;
+  for (uint32_t e = 0; e < s.num_element_types; ++e) {
+    for (uint32_t c = 0; c < s.num_countries; ++c) {
+      for (uint32_t r = 0; r < s.num_road_types; ++r) {
+        for (uint32_t u = 0; u < s.num_update_types; ++u) {
+          size_t idx = s.CellIndex(e, c, r, u);
+          EXPECT_LT(idx, s.num_cells());
+          EXPECT_TRUE(seen.insert(idx).second) << "collision at " << idx;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), s.num_cells());
+}
+
+TEST(CubeSchemaTest, InnermostDimensionIsContiguous) {
+  CubeSchema s = CubeSchema::BenchScale();
+  size_t base = s.CellIndex(1, 2, 3, 0);
+  EXPECT_EQ(s.CellIndex(1, 2, 3, 1), base + 1);
+  EXPECT_EQ(s.CellIndex(1, 2, 3, 3), base + 3);
+}
+
+TEST(CubeSchemaTest, InRange) {
+  CubeSchema s{2, 3, 4, 2};
+  EXPECT_TRUE(s.InRange(1, 2, 3, 1));
+  EXPECT_FALSE(s.InRange(2, 0, 0, 0));
+  EXPECT_FALSE(s.InRange(0, 3, 0, 0));
+  EXPECT_FALSE(s.InRange(0, 0, 4, 0));
+  EXPECT_FALSE(s.InRange(0, 0, 0, 2));
+}
+
+TEST(CubeSchemaTest, Equality) {
+  EXPECT_EQ(CubeSchema::PaperScale(), CubeSchema::PaperScale());
+  EXPECT_FALSE(CubeSchema::PaperScale() == CubeSchema::BenchScale());
+}
+
+TEST(CubeSchemaTest, ToStringIsInformative) {
+  std::string s = CubeSchema::BenchScale().ToString();
+  EXPECT_NE(s.find("64"), std::string::npos);
+  EXPECT_NE(s.find("24576"), std::string::npos);
+}
+
+TEST(CubeSliceTest, Unconstrained) {
+  CubeSlice slice;
+  EXPECT_TRUE(slice.IsUnconstrained());
+  slice.countries.push_back(5);
+  EXPECT_FALSE(slice.IsUnconstrained());
+}
+
+}  // namespace
+}  // namespace rased

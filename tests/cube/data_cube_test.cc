@@ -1,0 +1,190 @@
+#include "cube/data_cube.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rased {
+namespace {
+
+CubeSchema TinySchema() { return CubeSchema{3, 5, 4, 4}; }
+
+TEST(DataCubeTest, StartsZeroed) {
+  DataCube cube(TinySchema());
+  EXPECT_EQ(cube.Total(), 0u);
+  EXPECT_EQ(cube.Get(0, 0, 0, 0), 0u);
+  EXPECT_EQ(cube.cells().size(), TinySchema().num_cells());
+}
+
+TEST(DataCubeTest, AddAndGet) {
+  DataCube cube(TinySchema());
+  cube.Add(1, 2, 3, 0);
+  cube.Add(1, 2, 3, 0, 4);
+  EXPECT_EQ(cube.Get(1, 2, 3, 0), 5u);
+  EXPECT_EQ(cube.Get(1, 2, 3, 1), 0u);
+  EXPECT_EQ(cube.Total(), 5u);
+}
+
+TEST(DataCubeTest, MergeIsElementwiseSum) {
+  DataCube a(TinySchema()), b(TinySchema());
+  a.Add(0, 0, 0, 0, 10);
+  a.Add(2, 4, 3, 3, 1);
+  b.Add(0, 0, 0, 0, 5);
+  b.Add(1, 1, 1, 1, 7);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.Get(0, 0, 0, 0), 15u);
+  EXPECT_EQ(a.Get(1, 1, 1, 1), 7u);
+  EXPECT_EQ(a.Get(2, 4, 3, 3), 1u);
+  EXPECT_EQ(a.Total(), 23u);
+}
+
+TEST(DataCubeTest, MergeRejectsSchemaMismatch) {
+  DataCube a(TinySchema());
+  DataCube b(CubeSchema{3, 6, 4, 4});
+  EXPECT_TRUE(a.Merge(b).IsInvalidArgument());
+}
+
+TEST(DataCubeTest, MergeIsCommutativeProperty) {
+  Rng rng(5);
+  DataCube a(TinySchema()), b(TinySchema());
+  for (int i = 0; i < 200; ++i) {
+    a.Add(rng.Uniform(3), rng.Uniform(5), rng.Uniform(4), rng.Uniform(4),
+          rng.Uniform(10));
+    b.Add(rng.Uniform(3), rng.Uniform(5), rng.Uniform(4), rng.Uniform(4),
+          rng.Uniform(10));
+  }
+  DataCube ab = a;
+  ASSERT_TRUE(ab.Merge(b).ok());
+  DataCube ba = b;
+  ASSERT_TRUE(ba.Merge(a).ok());
+  EXPECT_EQ(ab, ba);
+}
+
+TEST(DataCubeTest, Clear) {
+  DataCube cube(TinySchema());
+  cube.Add(1, 1, 1, 1, 9);
+  cube.Clear();
+  EXPECT_EQ(cube.Total(), 0u);
+}
+
+TEST(DataCubeTest, SumSliceUnconstrainedEqualsTotal) {
+  DataCube cube(TinySchema());
+  cube.Add(0, 1, 2, 3, 11);
+  cube.Add(2, 0, 0, 0, 22);
+  EXPECT_EQ(cube.SumSlice(CubeSlice{}), cube.Total());
+}
+
+TEST(DataCubeTest, SumSliceFiltersEachDimension) {
+  DataCube cube(TinySchema());
+  cube.Add(0, 1, 2, 3, 1);
+  cube.Add(1, 1, 2, 3, 2);
+  cube.Add(1, 2, 2, 3, 4);
+  cube.Add(1, 2, 3, 3, 8);
+  cube.Add(1, 2, 3, 0, 16);
+
+  CubeSlice et_only;
+  et_only.element_types = {1};
+  EXPECT_EQ(cube.SumSlice(et_only), 2u + 4 + 8 + 16);
+
+  CubeSlice multi;
+  multi.element_types = {1};
+  multi.countries = {2};
+  EXPECT_EQ(cube.SumSlice(multi), 4u + 8 + 16);
+
+  multi.road_types = {3};
+  EXPECT_EQ(cube.SumSlice(multi), 8u + 16);
+
+  multi.update_types = {0};
+  EXPECT_EQ(cube.SumSlice(multi), 16u);
+}
+
+TEST(DataCubeTest, SumSliceWithMultipleValuesPerDimension) {
+  DataCube cube(TinySchema());
+  cube.Add(0, 0, 0, 0, 1);
+  cube.Add(1, 1, 0, 0, 2);
+  cube.Add(2, 2, 0, 0, 4);
+  CubeSlice slice;
+  slice.element_types = {0, 2};
+  EXPECT_EQ(cube.SumSlice(slice), 5u);
+}
+
+TEST(DataCubeTest, SumSliceIgnoresOutOfRangeSelections) {
+  DataCube cube(TinySchema());
+  cube.Add(0, 0, 0, 0, 3);
+  CubeSlice slice;
+  slice.countries = {0, 99};  // 99 is outside the dimension
+  EXPECT_EQ(cube.SumSlice(slice), 3u);
+}
+
+TEST(DataCubeTest, ForEachCellSkipsZeros) {
+  DataCube cube(TinySchema());
+  cube.Add(1, 2, 3, 1, 7);
+  int visits = 0;
+  cube.ForEachCell(CubeSlice{}, [&](uint32_t et, uint32_t co, uint32_t rt,
+                                    uint32_t ut, uint64_t count) {
+    ++visits;
+    EXPECT_EQ(et, 1u);
+    EXPECT_EQ(co, 2u);
+    EXPECT_EQ(rt, 3u);
+    EXPECT_EQ(ut, 1u);
+    EXPECT_EQ(count, 7u);
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(DataCubeTest, SerializeDeserializeRoundTrip) {
+  Rng rng(9);
+  DataCube cube(TinySchema());
+  for (int i = 0; i < 100; ++i) {
+    cube.Add(rng.Uniform(3), rng.Uniform(5), rng.Uniform(4), rng.Uniform(4),
+             rng.Uniform(1000));
+  }
+  std::vector<unsigned char> buf(cube.SerializedBytes());
+  cube.SerializeTo(buf.data());
+  auto back = DataCube::Deserialize(TinySchema(), buf.data(), buf.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), cube);
+}
+
+TEST(DataCubeTest, DeserializeRejectsShortBuffer) {
+  std::vector<unsigned char> buf(16);
+  EXPECT_TRUE(DataCube::Deserialize(TinySchema(), buf.data(), buf.size())
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(DataCubeTest, RollupEqualsSumOfChildrenProperty) {
+  // Property: merging N random cubes gives a cube whose every slice equals
+  // the sum of the children's slices — the invariant behind weekly/monthly/
+  // yearly rollups.
+  Rng rng(11);
+  CubeSchema schema = TinySchema();
+  std::vector<DataCube> children;
+  for (int c = 0; c < 7; ++c) {
+    DataCube cube(schema);
+    for (int i = 0; i < 50; ++i) {
+      cube.Add(rng.Uniform(3), rng.Uniform(5), rng.Uniform(4),
+               rng.Uniform(4), rng.Uniform(20));
+    }
+    children.push_back(std::move(cube));
+  }
+  DataCube parent(schema);
+  for (const DataCube& child : children) {
+    ASSERT_TRUE(parent.Merge(child).ok());
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    CubeSlice slice;
+    if (rng.Bernoulli(0.5)) slice.element_types = {static_cast<uint32_t>(rng.Uniform(3))};
+    if (rng.Bernoulli(0.5)) slice.countries = {static_cast<uint32_t>(rng.Uniform(5))};
+    if (rng.Bernoulli(0.5)) slice.road_types = {static_cast<uint32_t>(rng.Uniform(4))};
+    if (rng.Bernoulli(0.5)) slice.update_types = {static_cast<uint32_t>(rng.Uniform(4))};
+    uint64_t sum = 0;
+    for (const DataCube& child : children) sum += child.SumSlice(slice);
+    EXPECT_EQ(parent.SumSlice(slice), sum);
+  }
+}
+
+}  // namespace
+}  // namespace rased

@@ -1,0 +1,97 @@
+#include "dashboard/json_writer.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+TEST(JsonWriterTest, EmptyObject) {
+  JsonWriter w;
+  w.BeginObject();
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Finish(), "{}");
+}
+
+TEST(JsonWriterTest, EmptyArray) {
+  JsonWriter w;
+  w.BeginArray();
+  w.EndArray();
+  EXPECT_EQ(std::move(w).Finish(), "[]");
+}
+
+TEST(JsonWriterTest, ScalarValues) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value("text");
+  w.Value(static_cast<int64_t>(-5));
+  w.Value(static_cast<uint64_t>(18446744073709551615ull));
+  w.Value(1.5);
+  w.Value(true);
+  w.Value(false);
+  w.Null();
+  w.EndArray();
+  EXPECT_EQ(std::move(w).Finish(),
+            "[\"text\",-5,18446744073709551615,1.5,true,false,null]");
+}
+
+TEST(JsonWriterTest, ObjectWithKeys) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("name", "RASED");
+  w.KV("cubes", static_cast<uint64_t>(6887));
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Finish(), "{\"name\":\"RASED\",\"cubes\":6887}");
+}
+
+TEST(JsonWriterTest, Nesting) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("rows");
+  w.BeginArray();
+  w.BeginObject();
+  w.KV("a", 1);
+  w.EndObject();
+  w.BeginObject();
+  w.KV("b", 2);
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Finish(), "{\"rows\":[{\"a\":1},{\"b\":2}]}");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("weird", "quote\" slash\\ newline\n tab\t");
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Finish(),
+            "{\"weird\":\"quote\\\" slash\\\\ newline\\n tab\\t\"}");
+}
+
+TEST(JsonWriterTest, ControlCharactersEscapedAsUnicode) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value(std::string_view("\x01", 1));
+  w.EndArray();
+  EXPECT_EQ(std::move(w).Finish(), "[\"\\u0001\"]");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value(std::numeric_limits<double>::infinity());
+  w.Value(std::numeric_limits<double>::quiet_NaN());
+  w.EndArray();
+  EXPECT_EQ(std::move(w).Finish(), "[null,null]");
+}
+
+TEST(JsonWriterTest, TopLevelScalar) {
+  JsonWriter w;
+  w.Value(static_cast<int64_t>(7));
+  EXPECT_EQ(std::move(w).Finish(), "7");
+}
+
+}  // namespace
+}  // namespace rased

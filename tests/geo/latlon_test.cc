@@ -1,0 +1,87 @@
+#include "geo/latlon.h"
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+TEST(LatLonTest, Validity) {
+  EXPECT_TRUE((LatLon{0, 0}).IsValid());
+  EXPECT_TRUE((LatLon{90, 180}).IsValid());
+  EXPECT_TRUE((LatLon{-90, -180}).IsValid());
+  EXPECT_FALSE((LatLon{91, 0}).IsValid());
+  EXPECT_FALSE((LatLon{0, 181}).IsValid());
+  EXPECT_FALSE((LatLon{-90.5, 0}).IsValid());
+}
+
+TEST(BoundingBoxTest, ContainsPoint) {
+  BoundingBox box{10, 20, 30, 40};
+  EXPECT_TRUE(box.Contains(LatLon{20, 30}));
+  EXPECT_TRUE(box.Contains(LatLon{10, 20}));  // closed edges
+  EXPECT_TRUE(box.Contains(LatLon{30, 40}));
+  EXPECT_FALSE(box.Contains(LatLon{9.99, 30}));
+  EXPECT_FALSE(box.Contains(LatLon{20, 40.01}));
+}
+
+TEST(BoundingBoxTest, ContainsBox) {
+  BoundingBox outer{0, 0, 10, 10};
+  BoundingBox inner{2, 2, 8, 8};
+  EXPECT_TRUE(outer.Contains(inner));
+  EXPECT_FALSE(inner.Contains(outer));
+  EXPECT_TRUE(outer.Contains(outer));
+}
+
+TEST(BoundingBoxTest, Intersects) {
+  BoundingBox a{0, 0, 10, 10};
+  BoundingBox b{5, 5, 15, 15};
+  BoundingBox c{11, 11, 12, 12};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  // Touching edges count as intersecting (closed boxes).
+  BoundingBox d{10, 0, 20, 10};
+  EXPECT_TRUE(a.Intersects(d));
+}
+
+TEST(BoundingBoxTest, CenterAndArea) {
+  BoundingBox box{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(box.Center().lat, 20);
+  EXPECT_DOUBLE_EQ(box.Center().lon, 30);
+  EXPECT_DOUBLE_EQ(box.Area(), 400);
+  EXPECT_DOUBLE_EQ(BoundingBox::FromPoint(LatLon{1, 2}).Area(), 0);
+}
+
+TEST(BoundingBoxTest, EmptyBox) {
+  BoundingBox empty = BoundingBox::Empty();
+  EXPECT_FALSE(empty.IsValid());
+  EXPECT_DOUBLE_EQ(empty.Area(), 0);
+}
+
+TEST(BoundingBoxTest, UnionWithEmptyIsIdentity) {
+  BoundingBox box{1, 2, 3, 4};
+  EXPECT_EQ(box.Union(BoundingBox::Empty()), box);
+  EXPECT_EQ(BoundingBox::Empty().Union(box), box);
+}
+
+TEST(BoundingBoxTest, UnionCoversBoth) {
+  BoundingBox a{0, 0, 1, 1};
+  BoundingBox b{5, 5, 6, 6};
+  BoundingBox u = a.Union(b);
+  EXPECT_TRUE(u.Contains(a));
+  EXPECT_TRUE(u.Contains(b));
+  EXPECT_EQ(u, (BoundingBox{0, 0, 6, 6}));
+}
+
+TEST(BoundingBoxTest, ExtendGrowsToPoint) {
+  BoundingBox box = BoundingBox::Empty();
+  box.Extend(LatLon{5, 5});
+  EXPECT_TRUE(box.IsValid());
+  EXPECT_EQ(box, BoundingBox::FromPoint(LatLon{5, 5}));
+  box.Extend(LatLon{-1, 7});
+  EXPECT_TRUE(box.Contains(LatLon{5, 5}));
+  EXPECT_TRUE(box.Contains(LatLon{-1, 7}));
+  EXPECT_EQ(box, (BoundingBox{-1, 5, 5, 7}));
+}
+
+}  // namespace
+}  // namespace rased

@@ -1,0 +1,160 @@
+#include "geo/rtree.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rased {
+namespace {
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.SearchIds(BoundingBox{-90, -180, 90, 180}).empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, SingleInsertAndHit) {
+  RTree tree;
+  tree.Insert(LatLon{10, 20}, 42);
+  EXPECT_EQ(tree.size(), 1u);
+  auto hits = tree.SearchIds(BoundingBox{9, 19, 11, 21});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 42u);
+  EXPECT_TRUE(tree.SearchIds(BoundingBox{50, 50, 60, 60}).empty());
+}
+
+TEST(RTreeTest, SplitsGrowHeight) {
+  RTree tree(4);
+  for (int i = 0; i < 100; ++i) {
+    tree.Insert(LatLon{static_cast<double>(i % 10),
+                       static_cast<double>(i / 10)},
+                static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_GT(tree.height(), 1);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, BoxEntries) {
+  RTree tree;
+  tree.Insert(BoundingBox{0, 0, 10, 10}, 1);
+  tree.Insert(BoundingBox{20, 20, 30, 30}, 2);
+  // A query overlapping only the edge of box 1.
+  auto hits = tree.SearchIds(BoundingBox{10, 10, 15, 15});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);
+}
+
+TEST(RTreeTest, SearchLimitStopsEarly) {
+  RTree tree;
+  for (int i = 0; i < 50; ++i) {
+    tree.Insert(LatLon{1.0, 1.0}, static_cast<uint64_t>(i));
+  }
+  auto hits = tree.SearchIds(BoundingBox{0, 0, 2, 2}, 7);
+  EXPECT_EQ(hits.size(), 7u);
+}
+
+TEST(RTreeTest, VisitorEarlyTermination) {
+  RTree tree;
+  for (int i = 0; i < 20; ++i) {
+    tree.Insert(LatLon{1.0, 1.0}, static_cast<uint64_t>(i));
+  }
+  int visits = 0;
+  tree.Search(BoundingBox{0, 0, 2, 2},
+              [&visits](uint64_t, const BoundingBox&) {
+                ++visits;
+                return visits < 5;
+              });
+  EXPECT_EQ(visits, 5);
+}
+
+TEST(RTreeTest, BoundsCoverEverything) {
+  RTree tree;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    tree.Insert(LatLon{rng.NextDouble() * 180 - 90,
+                       rng.NextDouble() * 360 - 180},
+                static_cast<uint64_t>(i));
+  }
+  BoundingBox bounds = tree.bounds();
+  auto all = tree.SearchIds(bounds);
+  EXPECT_EQ(all.size(), 200u);
+}
+
+class RTreeFanoutTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RTreeFanoutTest, RandomizedSearchMatchesBruteForce) {
+  // Property: for random points and random query boxes, the R-tree returns
+  // exactly the brute-force result set, at every fan-out.
+  size_t fanout = GetParam();
+  RTree tree(fanout);
+  Rng rng(1234 + fanout);
+  struct Pt {
+    LatLon p;
+    uint64_t id;
+  };
+  std::vector<Pt> points;
+  for (uint64_t i = 0; i < 500; ++i) {
+    LatLon p{rng.NextDouble() * 100, rng.NextDouble() * 100};
+    points.push_back({p, i});
+    tree.Insert(p, i);
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+
+  for (int q = 0; q < 50; ++q) {
+    double lat0 = rng.NextDouble() * 100, lon0 = rng.NextDouble() * 100;
+    double lat1 = lat0 + rng.NextDouble() * 30;
+    double lon1 = lon0 + rng.NextDouble() * 30;
+    BoundingBox query{lat0, lon0, lat1, lon1};
+
+    std::set<uint64_t> expected;
+    for (const Pt& pt : points) {
+      if (query.Contains(pt.p)) expected.insert(pt.id);
+    }
+    auto hits = tree.SearchIds(query);
+    std::set<uint64_t> actual(hits.begin(), hits.end());
+    EXPECT_EQ(actual, expected) << "query " << query.ToString();
+    EXPECT_EQ(hits.size(), actual.size()) << "duplicate results";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, RTreeFanoutTest,
+                         ::testing::Values(4, 8, 16, 64));
+
+TEST(RTreeTest, InvariantsHoldDuringIncrementalInserts) {
+  RTree tree(6);
+  Rng rng(77);
+  for (int i = 0; i < 300; ++i) {
+    tree.Insert(LatLon{rng.NextDouble() * 10, rng.NextDouble() * 10},
+                static_cast<uint64_t>(i));
+    if (i % 37 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "after insert " << i;
+    }
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), 300u);
+}
+
+TEST(RTreeTest, DuplicatePointsAllRetained) {
+  RTree tree(4);
+  for (uint64_t i = 0; i < 30; ++i) tree.Insert(LatLon{5, 5}, i);
+  auto hits = tree.SearchIds(BoundingBox{5, 5, 5, 5});
+  EXPECT_EQ(hits.size(), 30u);
+}
+
+TEST(RTreeTest, MoveSemantics) {
+  RTree a(4);
+  a.Insert(LatLon{1, 1}, 9);
+  RTree b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.SearchIds(BoundingBox{0, 0, 2, 2}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace rased

@@ -1,0 +1,156 @@
+#include "geo/world_map.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+TEST(WorldMapTest, DefaultHasPaperScaleZoneCount) {
+  WorldMap world(305);
+  EXPECT_EQ(world.num_zones(), 305u);
+  EXPECT_EQ(world.zone(kZoneUnknown).name, "(unknown)");
+}
+
+TEST(WorldMapTest, ContainsPaperExampleCountries) {
+  WorldMap world(305);
+  // Every country the paper's figures mention must resolve by name.
+  for (const char* name :
+       {"United States", "India", "Germany", "Brazil", "Mexico", "France",
+        "Vietnam", "Singapore", "Qatar"}) {
+    EXPECT_TRUE(world.FindByName(name).ok()) << name;
+  }
+  EXPECT_FALSE(world.FindByName("Atlantis").ok());
+}
+
+TEST(WorldMapTest, HasContinentsAndStates) {
+  WorldMap world(305);
+  int continents = 0, states = 0, countries = 0;
+  for (const Zone& z : world.zones()) {
+    if (z.kind == ZoneKind::kContinent) ++continents;
+    if (z.kind == ZoneKind::kState) ++states;
+    if (z.kind == ZoneKind::kCountry) ++countries;
+  }
+  EXPECT_GE(continents, 6);
+  EXPECT_EQ(states, 50);
+  EXPECT_GT(countries, 200);
+  EXPECT_TRUE(world.FindByName("Minnesota").ok());
+  EXPECT_TRUE(world.FindByName("Europe").ok());
+}
+
+TEST(WorldMapTest, CountryAtFindsTheRightZone) {
+  WorldMap world(305);
+  for (const ZoneId id : world.country_ids()) {
+    const Zone& z = world.zone(id);
+    ZoneId found = world.CountryAt(z.bounds.Center());
+    EXPECT_EQ(found, id) << z.name;
+  }
+}
+
+TEST(WorldMapTest, OceanIsUnknown) {
+  WorldMap world(305);
+  // Middle of the synthetic Atlantic gap.
+  EXPECT_EQ(world.CountryAt(LatLon{40.0, -30.0}), kZoneUnknown);
+}
+
+TEST(WorldMapTest, ZonesAtIncludesContinent) {
+  WorldMap world(305);
+  ZoneId germany = world.FindByName("Germany").value();
+  LatLon p = world.zone(germany).bounds.Center();
+  WorldMap::ZoneSet zones = world.ZonesAt(p);
+  ASSERT_GE(zones.count, 2);
+  EXPECT_EQ(zones.ids[0], germany);
+  EXPECT_EQ(world.zone(zones.ids[1]).name, "Europe");
+}
+
+TEST(WorldMapTest, ZonesAtInsideUsaIncludesState) {
+  WorldMap world(305);
+  ZoneId usa = world.FindByName("United States").value();
+  LatLon p = world.zone(usa).bounds.Center();
+  WorldMap::ZoneSet zones = world.ZonesAt(p);
+  ASSERT_EQ(zones.count, 3);
+  EXPECT_EQ(zones.ids[0], usa);
+  EXPECT_EQ(world.zone(zones.ids[1]).name, "North America");
+  EXPECT_EQ(world.zone(zones.ids[2]).kind, ZoneKind::kState);
+}
+
+TEST(WorldMapTest, ZonesForCountryIgnoresBogusPoint) {
+  WorldMap world(305);
+  ZoneId germany = world.FindByName("Germany").value();
+  // A (0,0) sentinel point must not change the country assignment.
+  WorldMap::ZoneSet zones = world.ZonesForCountry(germany, LatLon{0, 0});
+  ASSERT_GE(zones.count, 1);
+  EXPECT_EQ(zones.ids[0], germany);
+  // Unknown stays empty.
+  EXPECT_EQ(world.ZonesForCountry(kZoneUnknown, LatLon{0, 0}).count, 0);
+}
+
+TEST(WorldMapTest, RandomPointsLandInTheirZone) {
+  WorldMap world(305);
+  Rng rng(5);
+  for (ZoneId id : world.country_ids()) {
+    for (int i = 0; i < 3; ++i) {
+      LatLon p = world.RandomPointIn(id, rng);
+      EXPECT_EQ(world.CountryAt(p), id) << world.zone(id).name;
+    }
+  }
+}
+
+TEST(WorldMapTest, CountryForBBoxUsesCenter) {
+  WorldMap world(305);
+  ZoneId france = world.FindByName("France").value();
+  const BoundingBox& b = world.zone(france).bounds;
+  LatLon c = b.Center();
+  BoundingBox small{c.lat - 0.01, c.lon - 0.01, c.lat + 0.01, c.lon + 0.01};
+  EXPECT_EQ(world.CountryForBBox(small), france);
+}
+
+TEST(WorldMapTest, RoadNetworkSizesAggregateToContinent) {
+  WorldMap world(305);
+  ZoneId germany = world.FindByName("Germany").value();
+  ZoneId france = world.FindByName("France").value();
+  ZoneId europe = world.FindByName("Europe").value();
+  world.SetRoadNetworkSize(germany, 1000);
+  world.SetRoadNetworkSize(france, 500);
+  EXPECT_EQ(world.zone(europe).road_network_size, 1500u);
+  // Updating replaces, not adds.
+  world.SetRoadNetworkSize(germany, 2000);
+  EXPECT_EQ(world.zone(europe).road_network_size, 2500u);
+}
+
+TEST(WorldMapTest, UsaRoadSizeSplitsAcrossStates) {
+  WorldMap world(305);
+  ZoneId usa = world.FindByName("United States").value();
+  world.SetRoadNetworkSize(usa, 5000);
+  ZoneId minnesota = world.FindByName("Minnesota").value();
+  EXPECT_EQ(world.zone(minnesota).road_network_size, 100u);
+}
+
+class ScaledWorldMapTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ScaledWorldMapTest, ExactZoneCountAndDisjointCountries) {
+  // Property: any requested zone count is hit exactly, country cells keep
+  // a one-to-one point->zone mapping, and the United States survives every
+  // scaling (the activity model leans on it).
+  size_t target = GetParam();
+  WorldMap world(target);
+  EXPECT_EQ(world.num_zones(), target);
+  EXPECT_TRUE(world.FindByName("United States").ok());
+
+  std::set<std::string> names;
+  for (const Zone& z : world.zones()) {
+    EXPECT_TRUE(names.insert(z.name).second) << "duplicate " << z.name;
+  }
+  Rng rng(17);
+  for (ZoneId id : world.country_ids()) {
+    LatLon p = world.RandomPointIn(id, rng);
+    EXPECT_EQ(world.CountryAt(p), id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, ScaledWorldMapTest,
+                         ::testing::Values(16, 32, 64, 128, 305, 400));
+
+}  // namespace
+}  // namespace rased

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "index/temporal_index.h"
+#include "io/env.h"
+#include "util/random.h"
+
+namespace rased {
+namespace {
+
+// Whole-index consistency property: after months of randomized daily
+// maintenance (and randomized monthly rebuilds), every rollup cube read
+// back from disk equals the sum of its children read back from disk, and
+// every level's grand total equals the daily grand total.
+
+CubeSchema TinySchema() { return CubeSchema{3, 8, 4, 4}; }
+
+DataCube RandomCube(Rng& rng, double density = 0.2) {
+  DataCube cube(TinySchema());
+  int cells = static_cast<int>(TinySchema().num_cells() * density);
+  for (int i = 0; i < cells; ++i) {
+    cube.Add(rng.Uniform(3), rng.Uniform(8), rng.Uniform(4), rng.Uniform(4),
+             1 + rng.Uniform(50));
+  }
+  return cube;
+}
+
+class IndexConsistencyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  TempDir dir_{"index-consistency"};
+};
+
+TEST_P(IndexConsistencyTest, RollupsEqualChildSumsAfterRandomHistory) {
+  Rng rng(GetParam());
+  TemporalIndexOptions options;
+  options.schema = TinySchema();
+  options.num_levels = 4;
+  options.dir = env::JoinPath(dir_.path(), "idx");
+  options.device = DeviceModel::None();
+  auto index = TemporalIndex::Create(options);
+  ASSERT_TRUE(index.ok());
+
+  // Four months of daily maintenance.
+  Date start = Date::FromYmd(2021, 1, 1);
+  Date end = Date::FromYmd(2021, 4, 30);
+  for (Date d = start; d <= end; d = d.next()) {
+    ASSERT_TRUE(index.value()->AppendDay(d, RandomCube(rng)).ok());
+  }
+
+  // One or two random monthly rebuilds on top.
+  for (int month : {1 + static_cast<int>(rng.Uniform(4)),
+                    1 + static_cast<int>(rng.Uniform(4))}) {
+    Date month_start = Date::FromYmd(2021, month, 1);
+    std::vector<DataCube> cubes;
+    for (int i = 0; i < month_start.days_in_month(); ++i) {
+      cubes.push_back(RandomCube(rng, 0.1));
+    }
+    ASSERT_TRUE(index.value()->RebuildMonth(month_start, cubes).ok());
+  }
+
+  // Verify: every non-daily cube equals the sum of its children on disk.
+  DateRange covered(start, end);
+  for (Level level : {Level::kWeekly, Level::kMonthly}) {
+    for (const CubeKey& key : index.value()->ExistingKeys(level, covered)) {
+      auto parent = index.value()->ReadCube(key);
+      ASSERT_TRUE(parent.ok()) << key.ToString();
+      DataCube sum(TinySchema());
+      for (const CubeKey& child : key.Children()) {
+        auto cube = index.value()->ReadCube(child);
+        ASSERT_TRUE(cube.ok()) << child.ToString();
+        ASSERT_TRUE(sum.Merge(cube.value()).ok());
+      }
+      EXPECT_EQ(parent.value(), sum) << key.ToString();
+    }
+  }
+
+  // Grand totals agree across levels for a fully covered span.
+  DateRange q1(Date::FromYmd(2021, 1, 1), Date::FromYmd(2021, 3, 31));
+  uint64_t daily_total = 0, weekly_total = 0, monthly_total = 0;
+  for (const CubeKey& key : index.value()->ExistingKeys(Level::kDaily, q1)) {
+    daily_total += index.value()->ReadCube(key).value().Total();
+  }
+  for (const CubeKey& key :
+       index.value()->ExistingKeys(Level::kMonthly, q1)) {
+    monthly_total += index.value()->ReadCube(key).value().Total();
+  }
+  // Weekly cubes cover only days 1..28 of each month; add the stragglers.
+  for (const CubeKey& key : index.value()->ExistingKeys(Level::kWeekly, q1)) {
+    weekly_total += index.value()->ReadCube(key).value().Total();
+  }
+  for (Date d = q1.first; d <= q1.last; d = d.next()) {
+    if (d.week_of_month() < 0) {
+      weekly_total += index.value()->ReadCube(CubeKey::Daily(d)).value().Total();
+    }
+  }
+  EXPECT_EQ(monthly_total, daily_total);
+  EXPECT_EQ(weekly_total, daily_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexConsistencyTest,
+                         ::testing::Values(1, 99, 2026));
+
+}  // namespace
+}  // namespace rased

@@ -1,0 +1,136 @@
+#include "index/temporal_key.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+TEST(CubeKeyTest, DailyRange) {
+  CubeKey key = CubeKey::Daily(Date::FromYmd(2021, 5, 10));
+  EXPECT_EQ(key.range(), DateRange(Date::FromYmd(2021, 5, 10),
+                                   Date::FromYmd(2021, 5, 10)));
+  EXPECT_TRUE(key.Children().empty());
+}
+
+TEST(CubeKeyTest, WeeklyCanonicalizesToWeekStart) {
+  CubeKey key = CubeKey::Weekly(Date::FromYmd(2021, 5, 10));  // week 1: 8-14
+  EXPECT_EQ(key.start, Date::FromYmd(2021, 5, 8));
+  EXPECT_EQ(key.range(), DateRange(Date::FromYmd(2021, 5, 8),
+                                   Date::FromYmd(2021, 5, 14)));
+  auto children = key.Children();
+  ASSERT_EQ(children.size(), 7u);
+  EXPECT_EQ(children.front(), CubeKey::Daily(Date::FromYmd(2021, 5, 8)));
+  EXPECT_EQ(children.back(), CubeKey::Daily(Date::FromYmd(2021, 5, 14)));
+}
+
+TEST(CubeKeyTest, MonthlyChildrenAreFourWeeksPlusStragglers) {
+  CubeKey may = CubeKey::Monthly(Date::FromYmd(2021, 5, 20));
+  auto children = may.Children();
+  // May has 31 days: 4 weeks + 3 straggler dailies.
+  ASSERT_EQ(children.size(), 7u);
+  int weekly = 0, daily = 0;
+  for (const CubeKey& c : children) {
+    if (c.level == Level::kWeekly) ++weekly;
+    if (c.level == Level::kDaily) ++daily;
+  }
+  EXPECT_EQ(weekly, 4);
+  EXPECT_EQ(daily, 3);
+
+  CubeKey feb = CubeKey::Monthly(Date::FromYmd(2021, 2, 10));
+  EXPECT_EQ(feb.Children().size(), 4u);  // 28 days: exactly 4 weeks
+
+  CubeKey feb_leap = CubeKey::Monthly(Date::FromYmd(2020, 2, 10));
+  EXPECT_EQ(feb_leap.Children().size(), 5u);  // 29 days: 4 weeks + 1 day
+}
+
+TEST(CubeKeyTest, YearlyChildrenAreTwelveMonths) {
+  CubeKey year = CubeKey::Yearly(Date::FromYmd(2021, 7, 4));
+  EXPECT_EQ(year.start, Date::FromYmd(2021, 1, 1));
+  auto children = year.Children();
+  ASSERT_EQ(children.size(), 12u);
+  for (int m = 0; m < 12; ++m) {
+    EXPECT_EQ(children[m].level, Level::kMonthly);
+    EXPECT_EQ(children[m].start, Date::FromYmd(2021, m + 1, 1));
+  }
+}
+
+TEST(CubeKeyTest, ChildrenPartitionParentRangeProperty) {
+  // Property: for every level, the children's ranges tile the parent's
+  // range exactly (no gaps, no overlaps).
+  for (int month = 1; month <= 12; ++month) {
+    for (Level level : {Level::kWeekly, Level::kMonthly, Level::kYearly}) {
+      CubeKey parent{level, level == Level::kWeekly
+                                ? Date::FromYmd(2021, month, 8)
+                                : level == Level::kMonthly
+                                      ? Date::FromYmd(2021, month, 1)
+                                      : Date::FromYmd(2021, 1, 1)};
+      std::set<int32_t> covered;
+      for (const CubeKey& child : parent.Children()) {
+        DateRange r = child.range();
+        for (Date d = r.first; d <= r.last; d = d.next()) {
+          EXPECT_TRUE(covered.insert(d.days_since_epoch()).second)
+              << "overlap at " << d.ToString();
+        }
+      }
+      DateRange pr = parent.range();
+      EXPECT_EQ(covered.size(), static_cast<size_t>(pr.num_days()));
+      EXPECT_EQ(*covered.begin(), pr.first.days_since_epoch());
+      EXPECT_EQ(*covered.rbegin(), pr.last.days_since_epoch());
+      if (level == Level::kYearly) break;  // month loop irrelevant
+    }
+  }
+}
+
+TEST(CubeKeyTest, OrderingAndHash) {
+  CubeKey a = CubeKey::Daily(Date::FromYmd(2021, 1, 1));
+  CubeKey b = CubeKey::Weekly(Date::FromYmd(2021, 1, 1));
+  CubeKey c = CubeKey::Daily(Date::FromYmd(2021, 1, 2));
+  EXPECT_TRUE(a < b);  // same start, finer level first
+  EXPECT_TRUE(b < c);
+  CubeKeyHash hash;
+  EXPECT_NE(hash(a), hash(b));
+  EXPECT_NE(hash(a), hash(c));
+  EXPECT_EQ(hash(a), hash(CubeKey::Daily(Date::FromYmd(2021, 1, 1))));
+}
+
+TEST(KeysCoveredByTest, DailyEnumeratesEveryDay) {
+  DateRange r(Date::FromYmd(2021, 1, 30), Date::FromYmd(2021, 2, 2));
+  auto keys = KeysCoveredBy(Level::kDaily, r);
+  ASSERT_EQ(keys.size(), 4u);
+  EXPECT_EQ(keys[0].start, Date::FromYmd(2021, 1, 30));
+  EXPECT_EQ(keys[3].start, Date::FromYmd(2021, 2, 2));
+}
+
+TEST(KeysCoveredByTest, WeeklyOnlyFullyContainedWeeks) {
+  // Jan 5 .. Jan 20 contains weeks 8-14 and nothing else fully.
+  DateRange r(Date::FromYmd(2021, 1, 5), Date::FromYmd(2021, 1, 20));
+  auto keys = KeysCoveredBy(Level::kWeekly, r);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].start, Date::FromYmd(2021, 1, 8));
+}
+
+TEST(KeysCoveredByTest, MonthlyAndYearly) {
+  DateRange r(Date::FromYmd(2020, 12, 15), Date::FromYmd(2022, 2, 15));
+  auto months = KeysCoveredBy(Level::kMonthly, r);
+  EXPECT_EQ(months.size(), 13u);  // Jan 2021 .. Jan 2022
+  auto years = KeysCoveredBy(Level::kYearly, r);
+  ASSERT_EQ(years.size(), 1u);
+  EXPECT_EQ(years[0].start, Date::FromYmd(2021, 1, 1));
+}
+
+TEST(KeysCoveredByTest, EmptyRange) {
+  EXPECT_TRUE(KeysCoveredBy(Level::kDaily, DateRange()).empty());
+  EXPECT_TRUE(KeysCoveredBy(Level::kYearly, DateRange()).empty());
+}
+
+TEST(LevelTest, Names) {
+  EXPECT_EQ(LevelName(Level::kDaily), "daily");
+  EXPECT_EQ(LevelName(Level::kWeekly), "weekly");
+  EXPECT_EQ(LevelName(Level::kMonthly), "monthly");
+  EXPECT_EQ(LevelName(Level::kYearly), "yearly");
+}
+
+}  // namespace
+}  // namespace rased

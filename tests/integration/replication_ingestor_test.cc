@@ -1,0 +1,139 @@
+#include "core/replication_ingestor.h"
+
+#include <gtest/gtest.h>
+
+#include "io/env.h"
+#include "synth/update_generator.h"
+
+namespace rased {
+namespace {
+
+// End-to-end replication: a synthetic publisher fills a feed, a RASED
+// instance consumes it incrementally with day finalization.
+class ReplicationIngestorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RasedOptions options;
+    options.dir = env::JoinPath(dir_.path(), "rased");
+    options.schema = CubeSchema::BenchScale();
+    options.cache.num_slots = 8;
+    auto rased = Rased::Create(options);
+    ASSERT_TRUE(rased.ok());
+    rased_ = std::move(rased).value();
+
+    synth_.seed = 51;
+    synth_.base_updates_per_day = 30.0;
+    synth_.period = DateRange(Date::FromYmd(2021, 7, 1),
+                              Date::FromYmd(2021, 7, 31));
+    generator_ = std::make_unique<UpdateGenerator>(
+        synth_, &rased_->world(), rased_->road_types());
+    feed_ = std::make_unique<ReplicationDirectory>(
+        env::JoinPath(dir_.path(), "feed"));
+  }
+
+  void PublishDays(Date first, Date last) {
+    for (Date d = first; d <= last; d = d.next()) {
+      DayArtifacts files = generator_->GenerateDayArtifacts(d);
+      ++sequence_;
+      ASSERT_TRUE(feed_->Publish(sequence_, files.osc_xml,
+                                 OsmTimestamp{d, 86399},
+                                 files.changesets_xml)
+                      .ok());
+    }
+  }
+
+  uint64_t TotalOn(Date day) {
+    AnalysisQuery q;
+    q.range = DateRange(day, day);
+    auto result = rased_->Query(q);
+    EXPECT_TRUE(result.ok());
+    if (!result.ok() || result.value().rows.empty()) return 0;
+    return result.value().rows[0].count;
+  }
+
+  TempDir dir_{"repl-ingestor"};
+  std::unique_ptr<Rased> rased_;
+  SynthOptions synth_;
+  std::unique_ptr<UpdateGenerator> generator_;
+  std::unique_ptr<ReplicationDirectory> feed_;
+  uint64_t sequence_ = 0;
+};
+
+TEST_F(ReplicationIngestorTest, HoldsBackTheTrailingDay) {
+  PublishDays(Date::FromYmd(2021, 7, 1), Date::FromYmd(2021, 7, 3));
+  ReplicationIngestor ingestor(rased_.get(), feed_->dir());
+  auto stats = ingestor.CatchUp();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // July 3 is the feed's trailing day: held back.
+  EXPECT_EQ(stats.value().days_ingested, 2u);
+  EXPECT_EQ(stats.value().sequences_applied, 2u);
+  EXPECT_EQ(rased_->index()->coverage(),
+            DateRange(Date::FromYmd(2021, 7, 1), Date::FromYmd(2021, 7, 2)));
+  EXPECT_GT(stats.value().records_ingested, 0u);
+}
+
+TEST_F(ReplicationIngestorTest, FinalizeIngestsEverything) {
+  PublishDays(Date::FromYmd(2021, 7, 1), Date::FromYmd(2021, 7, 3));
+  ReplicationIngestor ingestor(rased_.get(), feed_->dir());
+  auto stats = ingestor.CatchUp(/*finalize_all=*/true);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().days_ingested, 3u);
+  EXPECT_EQ(ingestor.LastApplied().value_or(0), 3u);
+}
+
+TEST_F(ReplicationIngestorTest, IncrementalCatchUpMatchesDirectIngestion) {
+  PublishDays(Date::FromYmd(2021, 7, 1), Date::FromYmd(2021, 7, 5));
+  ReplicationIngestor ingestor(rased_.get(), feed_->dir());
+  ASSERT_TRUE(ingestor.CatchUp().ok());  // days 1-4
+
+  // More days arrive; the previously trailing day is now complete.
+  PublishDays(Date::FromYmd(2021, 7, 6), Date::FromYmd(2021, 7, 8));
+  auto stats = ingestor.CatchUp();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(rased_->index()->coverage().last, Date::FromYmd(2021, 7, 7));
+
+  // Every ingested day's totals match the generator's record counts
+  // (modulo the provisional classification, which doesn't change counts).
+  for (Date d = Date::FromYmd(2021, 7, 1); d <= Date::FromYmd(2021, 7, 7);
+       d = d.next()) {
+    EXPECT_EQ(TotalOn(d), generator_->GenerateDayRecords(d).size()) << d.ToString();
+  }
+}
+
+TEST_F(ReplicationIngestorTest, SecondCatchUpIsIdempotent) {
+  PublishDays(Date::FromYmd(2021, 7, 1), Date::FromYmd(2021, 7, 4));
+  ReplicationIngestor ingestor(rased_.get(), feed_->dir());
+  ASSERT_TRUE(ingestor.CatchUp().ok());
+  auto again = ingestor.CatchUp();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().days_ingested, 0u);
+  EXPECT_EQ(again.value().sequences_applied, 0u);
+}
+
+TEST_F(ReplicationIngestorTest, EmptyFeedIsNoWork) {
+  ReplicationIngestor ingestor(rased_.get(),
+                               env::JoinPath(dir_.path(), "missing-feed"));
+  auto stats = ingestor.CatchUp();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().days_ingested, 0u);
+}
+
+TEST_F(ReplicationIngestorTest, GapDaysAreFilledWithEmptyCubes) {
+  PublishDays(Date::FromYmd(2021, 7, 1), Date::FromYmd(2021, 7, 2));
+  // Skip July 3-4 entirely, then resume.
+  generator_ = std::make_unique<UpdateGenerator>(synth_, &rased_->world(),
+                                                 rased_->road_types());
+  PublishDays(Date::FromYmd(2021, 7, 5), Date::FromYmd(2021, 7, 7));
+
+  ReplicationIngestor ingestor(rased_.get(), feed_->dir());
+  auto stats = ingestor.CatchUp(/*finalize_all=*/true);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(rased_->index()->coverage(),
+            DateRange(Date::FromYmd(2021, 7, 1), Date::FromYmd(2021, 7, 7)));
+  EXPECT_EQ(TotalOn(Date::FromYmd(2021, 7, 3)), 0u);
+  EXPECT_EQ(TotalOn(Date::FromYmd(2021, 7, 4)), 0u);
+  EXPECT_GT(TotalOn(Date::FromYmd(2021, 7, 5)), 0u);
+}
+
+}  // namespace
+}  // namespace rased

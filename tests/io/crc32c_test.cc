@@ -1,0 +1,53 @@
+#include "io/crc32c.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 (iSCSI) CRC32C test vectors.
+  unsigned char zeros[32] = {0};
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8a9136aau);
+
+  unsigned char ones[32];
+  for (auto& b : ones) b = 0xff;
+  EXPECT_EQ(Crc32c(ones, sizeof(ones)), 0x62a8ab43u);
+
+  unsigned char ascending[32];
+  for (int i = 0; i < 32; ++i) ascending[i] = static_cast<unsigned char>(i);
+  EXPECT_EQ(Crc32c(ascending, sizeof(ascending)), 0x46dd794eu);
+}
+
+TEST(Crc32cTest, EmptyInput) {
+  EXPECT_EQ(Crc32c(nullptr, 0), 0u);
+}
+
+TEST(Crc32cTest, SensitiveToSingleBitFlip) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t base = Crc32c(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string mutated = data;
+    mutated[i] ^= 1;
+    EXPECT_NE(Crc32c(mutated.data(), mutated.size()), base) << "byte " << i;
+  }
+}
+
+TEST(Crc32cTest, SeedChaining) {
+  // CRC over "ab" equals CRC over "b" seeded with CRC("a").
+  uint32_t a = Crc32c("a", 1);
+  uint32_t ab_direct = Crc32c("ab", 2);
+  uint32_t ab_chained = Crc32c("b", 1, a);
+  EXPECT_EQ(ab_direct, ab_chained);
+}
+
+TEST(Crc32cTest, Deterministic) {
+  std::string data(4096, 'x');
+  EXPECT_EQ(Crc32c(data.data(), data.size()),
+            Crc32c(data.data(), data.size()));
+}
+
+}  // namespace
+}  // namespace rased

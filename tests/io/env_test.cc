@@ -1,0 +1,111 @@
+#include "io/env.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  TempDir dir_{"env-test"};
+};
+
+TEST_F(EnvTest, WriteReadRoundTrip) {
+  std::string path = env::JoinPath(dir_.path(), "f.txt");
+  ASSERT_TRUE(env::WriteFile(path, "hello world").ok());
+  auto contents = env::ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), "hello world");
+}
+
+TEST_F(EnvTest, WriteTruncatesExisting) {
+  std::string path = env::JoinPath(dir_.path(), "f.txt");
+  ASSERT_TRUE(env::WriteFile(path, "long old contents").ok());
+  ASSERT_TRUE(env::WriteFile(path, "new").ok());
+  EXPECT_EQ(env::ReadFile(path).value_or(""), "new");
+}
+
+TEST_F(EnvTest, AppendConcatenates) {
+  std::string path = env::JoinPath(dir_.path(), "log.txt");
+  ASSERT_TRUE(env::AppendFile(path, "a").ok());
+  ASSERT_TRUE(env::AppendFile(path, "b").ok());
+  EXPECT_EQ(env::ReadFile(path).value_or(""), "ab");
+}
+
+TEST_F(EnvTest, BinaryContentsSurvive) {
+  std::string path = env::JoinPath(dir_.path(), "bin");
+  std::string data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<char>(i));
+  ASSERT_TRUE(env::WriteFile(path, data).ok());
+  EXPECT_EQ(env::ReadFile(path).value_or(""), data);
+}
+
+TEST_F(EnvTest, ReadMissingFileFails) {
+  EXPECT_FALSE(env::ReadFile(env::JoinPath(dir_.path(), "no")).ok());
+}
+
+TEST_F(EnvTest, FileExistsAndSize) {
+  std::string path = env::JoinPath(dir_.path(), "sized");
+  EXPECT_FALSE(env::FileExists(path));
+  ASSERT_TRUE(env::WriteFile(path, "12345").ok());
+  EXPECT_TRUE(env::FileExists(path));
+  EXPECT_EQ(env::FileSize(path).value_or(0), 5u);
+  EXPECT_FALSE(env::FileSize(env::JoinPath(dir_.path(), "no")).ok());
+}
+
+TEST_F(EnvTest, CreateDirsNested) {
+  std::string nested = env::JoinPath(dir_.path(), "a/b/c");
+  ASSERT_TRUE(env::CreateDirs(nested).ok());
+  EXPECT_TRUE(env::FileExists(nested));
+  // Idempotent.
+  EXPECT_TRUE(env::CreateDirs(nested).ok());
+}
+
+TEST_F(EnvTest, ListDirSorted) {
+  ASSERT_TRUE(env::WriteFile(env::JoinPath(dir_.path(), "b.txt"), "").ok());
+  ASSERT_TRUE(env::WriteFile(env::JoinPath(dir_.path(), "a.txt"), "").ok());
+  ASSERT_TRUE(env::CreateDirs(env::JoinPath(dir_.path(), "c")).ok());
+  auto names = env::ListDir(dir_.path());
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(), (std::vector<std::string>{"a.txt", "b.txt", "c"}));
+}
+
+TEST_F(EnvTest, RemoveAllIsRecursiveAndIdempotent) {
+  std::string sub = env::JoinPath(dir_.path(), "sub");
+  ASSERT_TRUE(env::CreateDirs(env::JoinPath(sub, "deep")).ok());
+  ASSERT_TRUE(env::WriteFile(env::JoinPath(sub, "deep/f"), "x").ok());
+  ASSERT_TRUE(env::RemoveAll(sub).ok());
+  EXPECT_FALSE(env::FileExists(sub));
+  EXPECT_TRUE(env::RemoveAll(sub).ok());  // no-op
+}
+
+TEST_F(EnvTest, JoinPathHandlesSlashes) {
+  EXPECT_EQ(env::JoinPath("a", "b"), "a/b");
+  EXPECT_EQ(env::JoinPath("a/", "b"), "a/b");
+  EXPECT_EQ(env::JoinPath("a", "/b"), "a/b");
+  EXPECT_EQ(env::JoinPath("a/", "/b"), "a/b");
+  EXPECT_EQ(env::JoinPath("", "b"), "b");
+  EXPECT_EQ(env::JoinPath("a", ""), "a");
+}
+
+TEST(TempDirTest, CreatesAndCleansUp) {
+  std::string path;
+  {
+    TempDir t("scoped");
+    ASSERT_TRUE(t.valid());
+    path = t.path();
+    EXPECT_TRUE(env::FileExists(path));
+    ASSERT_TRUE(env::WriteFile(env::JoinPath(path, "x"), "1").ok());
+  }
+  EXPECT_FALSE(env::FileExists(path));
+}
+
+TEST(TempDirTest, DistinctDirectories) {
+  TempDir a("dup"), b("dup");
+  EXPECT_NE(a.path(), b.path());
+}
+
+}  // namespace
+}  // namespace rased

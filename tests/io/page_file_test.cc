@@ -1,0 +1,150 @@
+#include "io/page_file.h"
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/env.h"
+
+namespace rased {
+namespace {
+
+class PageFileTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name = "pages") {
+    return env::JoinPath(dir_.path(), name);
+  }
+
+  TempDir dir_{"pagefile-test"};
+};
+
+TEST_F(PageFileTest, CreateWriteReadRoundTrip) {
+  auto file = PageFile::Create(Path(), 256);
+  ASSERT_TRUE(file.ok());
+  auto& pf = *file.value();
+  EXPECT_EQ(pf.page_size(), 256u);
+  EXPECT_EQ(pf.payload_size(), 252u);
+  EXPECT_EQ(pf.num_pages(), 0u);
+
+  auto page = pf.AllocatePage();
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page.value(), 1u);
+
+  std::string payload = "cube payload";
+  ASSERT_TRUE(pf.WritePage(page.value(), payload.data(), payload.size()).ok());
+
+  std::vector<char> buf(pf.payload_size());
+  ASSERT_TRUE(pf.ReadPage(page.value(), buf.data()).ok());
+  EXPECT_EQ(std::string(buf.data(), payload.size()), payload);
+  // The rest is zero-filled.
+  for (size_t i = payload.size(); i < buf.size(); ++i) {
+    EXPECT_EQ(buf[i], 0) << i;
+  }
+}
+
+TEST_F(PageFileTest, CreateFailsIfExists) {
+  ASSERT_TRUE(PageFile::Create(Path(), 256).ok());
+  EXPECT_FALSE(PageFile::Create(Path(), 256).ok());
+}
+
+TEST_F(PageFileTest, OpenMissingFails) {
+  EXPECT_FALSE(PageFile::Open(Path("absent")).ok());
+}
+
+TEST_F(PageFileTest, RejectsTinyPageSize) {
+  auto file = PageFile::Create(Path(), 16);
+  EXPECT_FALSE(file.ok());
+  EXPECT_TRUE(file.status().IsInvalidArgument());
+}
+
+TEST_F(PageFileTest, PersistsAcrossReopen) {
+  {
+    auto file = PageFile::Create(Path(), 128);
+    ASSERT_TRUE(file.ok());
+    for (int i = 0; i < 5; ++i) {
+      auto page = file.value()->AllocatePage();
+      ASSERT_TRUE(page.ok());
+      std::string payload = "page-" + std::to_string(i);
+      ASSERT_TRUE(file.value()
+                      ->WritePage(page.value(), payload.data(), payload.size())
+                      .ok());
+    }
+  }  // destructor syncs
+  auto reopened = PageFile::Open(Path());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->page_size(), 128u);
+  EXPECT_EQ(reopened.value()->num_pages(), 5u);
+  std::vector<char> buf(reopened.value()->payload_size());
+  ASSERT_TRUE(reopened.value()->ReadPage(3, buf.data()).ok());
+  EXPECT_EQ(std::string(buf.data(), 6), "page-2");
+}
+
+TEST_F(PageFileTest, OutOfRangePageRejected) {
+  auto file = PageFile::Create(Path(), 128);
+  ASSERT_TRUE(file.ok());
+  std::vector<char> buf(file.value()->payload_size());
+  EXPECT_TRUE(file.value()->ReadPage(1, buf.data()).IsOutOfRange());
+  EXPECT_TRUE(file.value()->ReadPage(kInvalidPageId, buf.data()).IsOutOfRange());
+  EXPECT_TRUE(file.value()->WritePage(7, "x", 1).IsOutOfRange());
+}
+
+TEST_F(PageFileTest, OversizedPayloadRejected) {
+  auto file = PageFile::Create(Path(), 128);
+  ASSERT_TRUE(file.ok());
+  auto page = file.value()->AllocatePage();
+  ASSERT_TRUE(page.ok());
+  std::string big(file.value()->payload_size() + 1, 'x');
+  EXPECT_TRUE(file.value()
+                  ->WritePage(page.value(), big.data(), big.size())
+                  .IsInvalidArgument());
+}
+
+TEST_F(PageFileTest, DetectsCorruptedPage) {
+  PageId page;
+  {
+    auto file = PageFile::Create(Path(), 128);
+    ASSERT_TRUE(file.ok());
+    auto p = file.value()->AllocatePage();
+    ASSERT_TRUE(p.ok());
+    page = p.value();
+    ASSERT_TRUE(file.value()->WritePage(page, "good data", 9).ok());
+  }
+  // Flip a byte in the page body on disk.
+  {
+    std::fstream f(Path(), std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(page * 128 + 3));
+    char evil = 'X';
+    f.write(&evil, 1);
+  }
+  auto file = PageFile::Open(Path());
+  ASSERT_TRUE(file.ok());
+  std::vector<char> buf(file.value()->payload_size());
+  EXPECT_TRUE(file.value()->ReadPage(page, buf.data()).IsCorruption());
+}
+
+TEST_F(PageFileTest, DetectsCorruptedHeader) {
+  { ASSERT_TRUE(PageFile::Create(Path(), 128).ok()); }
+  {
+    std::fstream f(Path(), std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(9);
+    char evil = 0x7f;
+    f.write(&evil, 1);
+  }
+  EXPECT_FALSE(PageFile::Open(Path()).ok());
+}
+
+TEST_F(PageFileTest, FreshPageReadsAsZeros) {
+  auto file = PageFile::Create(Path(), 128);
+  ASSERT_TRUE(file.ok());
+  auto page = file.value()->AllocatePage();
+  ASSERT_TRUE(page.ok());
+  std::vector<char> buf(file.value()->payload_size(), 'x');
+  ASSERT_TRUE(file.value()->ReadPage(page.value(), buf.data()).ok());
+  for (char c : buf) EXPECT_EQ(c, 0);
+}
+
+}  // namespace
+}  // namespace rased

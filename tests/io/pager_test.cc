@@ -1,0 +1,106 @@
+#include "io/pager.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/env.h"
+
+namespace rased {
+namespace {
+
+class PagerTest : public ::testing::Test {
+ protected:
+  std::string Path() { return env::JoinPath(dir_.path(), "pages"); }
+
+  TempDir dir_{"pager-test"};
+};
+
+TEST_F(PagerTest, CountsReadsAndWrites) {
+  DeviceModel device{1000, 2000, 0.0};
+  auto pager = Pager::Create(Path(), 256, device);
+  ASSERT_TRUE(pager.ok());
+  Pager& p = *pager.value();
+
+  auto page = p.AllocatePage();  // 1 write
+  ASSERT_TRUE(page.ok());
+  ASSERT_TRUE(p.WritePage(page.value(), "abc", 3).ok());  // 1 write
+
+  std::vector<char> buf(p.payload_size());
+  ASSERT_TRUE(p.ReadPage(page.value(), buf.data()).ok());  // 1 read
+  ASSERT_TRUE(p.ReadPage(page.value(), buf.data()).ok());  // 1 read
+
+  const IoStats& stats = p.stats();
+  EXPECT_EQ(stats.page_writes, 2u);
+  EXPECT_EQ(stats.page_reads, 2u);
+  EXPECT_EQ(stats.bytes_read, 2 * 256u);
+  EXPECT_EQ(stats.bytes_written, 2 * 256u);
+  // 2 writes * 2000us + 2 reads * 1000us.
+  EXPECT_EQ(stats.simulated_device_micros, 2 * 2000 + 2 * 1000);
+}
+
+TEST_F(PagerTest, PerByteThroughputCharge) {
+  DeviceModel device{0, 0, 1.0};  // 1 us per byte
+  auto pager = Pager::Create(Path(), 512, device);
+  ASSERT_TRUE(pager.ok());
+  auto page = pager.value()->AllocatePage();
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(pager.value()->stats().simulated_device_micros, 512);
+}
+
+TEST_F(PagerTest, NoDeviceModelChargesNothing) {
+  auto pager = Pager::Create(Path(), 256, DeviceModel::None());
+  ASSERT_TRUE(pager.ok());
+  auto page = pager.value()->AllocatePage();
+  ASSERT_TRUE(page.ok());
+  std::vector<char> buf(pager.value()->payload_size());
+  ASSERT_TRUE(pager.value()->ReadPage(page.value(), buf.data()).ok());
+  EXPECT_EQ(pager.value()->stats().simulated_device_micros, 0);
+  EXPECT_EQ(pager.value()->stats().page_reads, 1u);
+}
+
+TEST_F(PagerTest, ResetStats) {
+  auto pager = Pager::Create(Path(), 256, DeviceModel{});
+  ASSERT_TRUE(pager.ok());
+  ASSERT_TRUE(pager.value()->AllocatePage().ok());
+  pager.value()->ResetStats();
+  EXPECT_EQ(pager.value()->stats().page_writes, 0u);
+  EXPECT_EQ(pager.value()->stats().simulated_device_micros, 0);
+}
+
+TEST_F(PagerTest, StatsDeltaArithmetic) {
+  auto pager = Pager::Create(Path(), 256, DeviceModel{100, 100, 0.0});
+  ASSERT_TRUE(pager.ok());
+  ASSERT_TRUE(pager.value()->AllocatePage().ok());
+  IoStats before = pager.value()->stats();
+  ASSERT_TRUE(pager.value()->AllocatePage().ok());
+  ASSERT_TRUE(pager.value()->AllocatePage().ok());
+  IoStats delta = pager.value()->stats() - before;
+  EXPECT_EQ(delta.page_writes, 2u);
+  EXPECT_EQ(delta.simulated_device_micros, 200);
+
+  IoStats sum;
+  sum += delta;
+  sum += delta;
+  EXPECT_EQ(sum.page_writes, 4u);
+}
+
+TEST_F(PagerTest, ReopenSeesData) {
+  {
+    auto pager = Pager::Create(Path(), 256, DeviceModel::None());
+    ASSERT_TRUE(pager.ok());
+    auto page = pager.value()->AllocatePage();
+    ASSERT_TRUE(page.ok());
+    ASSERT_TRUE(pager.value()->WritePage(page.value(), "persist", 7).ok());
+  }
+  auto pager = Pager::Open(Path(), DeviceModel::None());
+  ASSERT_TRUE(pager.ok());
+  EXPECT_EQ(pager.value()->num_pages(), 1u);
+  std::vector<char> buf(pager.value()->payload_size());
+  ASSERT_TRUE(pager.value()->ReadPage(1, buf.data()).ok());
+  EXPECT_EQ(std::string(buf.data(), 7), "persist");
+}
+
+}  // namespace
+}  // namespace rased

@@ -1,0 +1,114 @@
+#include "osm/changeset.h"
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+Changeset MakeChangeset(uint64_t id) {
+  Changeset cs;
+  cs.id = id;
+  cs.created_at = OsmTimestamp{Date::FromYmd(2021, 5, 1), 100};
+  cs.closed_at = OsmTimestamp{Date::FromYmd(2021, 5, 1), 86000};
+  cs.open = false;
+  cs.uid = 9;
+  cs.user = "carol";
+  cs.num_changes = 12;
+  cs.has_bbox = true;
+  cs.min_lat = 44.0;
+  cs.min_lon = -94.0;
+  cs.max_lat = 45.0;
+  cs.max_lon = -93.0;
+  cs.tags.push_back(Tag{"comment", "fixing roads & stuff"});
+  return cs;
+}
+
+TEST(ChangesetTest, WriterReaderRoundTrip) {
+  ChangesetWriter writer;
+  writer.Add(MakeChangeset(100));
+  writer.Add(MakeChangeset(101));
+  std::string xml = writer.Finish();
+
+  auto parsed = ChangesetReader::ParseAll(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 2u);
+  const Changeset& cs = parsed.value()[0];
+  EXPECT_EQ(cs.id, 100u);
+  EXPECT_EQ(cs.user, "carol");
+  EXPECT_EQ(cs.num_changes, 12u);
+  ASSERT_TRUE(cs.has_bbox);
+  EXPECT_DOUBLE_EQ(cs.min_lat, 44.0);
+  EXPECT_DOUBLE_EQ(cs.max_lon, -93.0);
+  ASSERT_EQ(cs.tags.size(), 1u);
+  EXPECT_EQ(cs.tags[0].value, "fixing roads & stuff");
+}
+
+TEST(ChangesetTest, BBoxCenter) {
+  Changeset cs = MakeChangeset(1);
+  EXPECT_DOUBLE_EQ(cs.center_lat(), 44.5);
+  EXPECT_DOUBLE_EQ(cs.center_lon(), -93.5);
+}
+
+TEST(ChangesetTest, MissingBBoxPreserved) {
+  Changeset cs;
+  cs.id = 7;
+  cs.created_at = OsmTimestamp{Date::FromYmd(2021, 5, 1), 0};
+  cs.closed_at = cs.created_at;
+  cs.has_bbox = false;
+  ChangesetWriter writer;
+  writer.Add(cs);
+  auto parsed = ChangesetReader::ParseAll(writer.Finish());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 1u);
+  EXPECT_FALSE(parsed.value()[0].has_bbox);
+}
+
+TEST(ChangesetTest, OpenChangesetHasNoClosedAt) {
+  Changeset cs;
+  cs.id = 8;
+  cs.open = true;
+  cs.created_at = OsmTimestamp{Date::FromYmd(2021, 5, 1), 0};
+  ChangesetWriter writer;
+  writer.Add(cs);
+  std::string xml = writer.Finish();
+  EXPECT_EQ(xml.find("closed_at"), std::string::npos);
+  auto parsed = ChangesetReader::ParseAll(xml);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value()[0].open);
+}
+
+TEST(ChangesetTest, ParsesRealWorldShapedFile) {
+  const char* xml = R"(<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6" generator="planet-dump">
+ <changeset id="113000000" created_at="2021-10-27T10:15:30Z"
+            closed_at="2021-10-27T10:16:00Z" open="false" user="importer"
+            uid="555" min_lat="48.1" min_lon="11.5" max_lat="48.2"
+            max_lon="11.6" num_changes="250" comments_count="0">
+  <tag k="created_by" v="JOSM/1.5"/>
+  <tag k="comment" v="Add sidewalks"/>
+ </changeset>
+</osm>)";
+  auto parsed = ChangesetReader::ParseAll(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 1u);
+  EXPECT_EQ(parsed.value()[0].id, 113000000u);
+  EXPECT_EQ(parsed.value()[0].num_changes, 250u);
+  EXPECT_EQ(parsed.value()[0].tags.size(), 2u);
+}
+
+TEST(ChangesetTest, RejectsMissingId) {
+  auto parsed = ChangesetReader::ParseAll(
+      "<osm><changeset created_at=\"2021-01-01T00:00:00Z\"/></osm>");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(ChangesetTest, SkipsForeignElements) {
+  auto parsed = ChangesetReader::ParseAll(
+      "<osm><bound box=\"1,2,3,4\"/>"
+      "<changeset id=\"5\" created_at=\"2021-01-01T00:00:00Z\"/></osm>");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().size(), 1u);
+}
+
+}  // namespace
+}  // namespace rased

@@ -1,0 +1,105 @@
+#include "osm/element.h"
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+TEST(ElementTypeTest, NamesRoundTrip) {
+  for (ElementType t : {ElementType::kNode, ElementType::kWay,
+                        ElementType::kRelation}) {
+    auto parsed = ParseElementType(ElementTypeName(t));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), t);
+  }
+  EXPECT_FALSE(ParseElementType("polygon").ok());
+  EXPECT_FALSE(ParseElementType("").ok());
+}
+
+TEST(OsmTimestampTest, ParseAndFormat) {
+  auto ts = OsmTimestamp::Parse("2021-07-15T13:45:59Z");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts.value().date, Date::FromYmd(2021, 7, 15));
+  EXPECT_EQ(ts.value().sec_of_day, 13 * 3600 + 45 * 60 + 59);
+  EXPECT_EQ(ts.value().ToString(), "2021-07-15T13:45:59Z");
+}
+
+TEST(OsmTimestampTest, Midnight) {
+  auto ts = OsmTimestamp::Parse("2006-01-01T00:00:00Z");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts.value().sec_of_day, 0);
+}
+
+TEST(OsmTimestampTest, RejectsMalformed) {
+  EXPECT_FALSE(OsmTimestamp::Parse("2021-07-15").ok());
+  EXPECT_FALSE(OsmTimestamp::Parse("2021-07-15 13:45:59Z").ok());
+  EXPECT_FALSE(OsmTimestamp::Parse("2021-07-15T25:00:00Z").ok());
+  EXPECT_FALSE(OsmTimestamp::Parse("2021-07-15T13:45:59").ok());
+  EXPECT_FALSE(OsmTimestamp::Parse("").ok());
+}
+
+TEST(OsmTimestampTest, Ordering) {
+  auto a = OsmTimestamp::Parse("2021-01-01T00:00:01Z").value();
+  auto b = OsmTimestamp::Parse("2021-01-01T00:00:02Z").value();
+  auto c = OsmTimestamp::Parse("2021-01-02T00:00:00Z").value();
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_FALSE(b < a);
+}
+
+TEST(ElementTest, FindTag) {
+  Element e;
+  e.tags = {{"highway", "residential"}, {"name", "Main St"}};
+  ASSERT_NE(e.FindTag("highway"), nullptr);
+  EXPECT_EQ(*e.FindTag("highway"), "residential");
+  EXPECT_EQ(e.FindTag("surface"), nullptr);
+  EXPECT_TRUE(e.IsRoad());
+  e.tags.clear();
+  EXPECT_FALSE(e.IsRoad());
+}
+
+TEST(ElementTest, GeometryDiffersForNodes) {
+  Element a, b;
+  a.type = b.type = ElementType::kNode;
+  a.lat = b.lat = 45.0;
+  a.lon = b.lon = -93.0;
+  EXPECT_FALSE(Element::GeometryDiffers(a, b));
+  b.lat = 45.0001;
+  EXPECT_TRUE(Element::GeometryDiffers(a, b));
+}
+
+TEST(ElementTest, GeometryDiffersForWays) {
+  Element a, b;
+  a.type = b.type = ElementType::kWay;
+  a.node_refs = {1, 2, 3};
+  b.node_refs = {1, 2, 3};
+  EXPECT_FALSE(Element::GeometryDiffers(a, b));
+  b.node_refs.push_back(4);
+  EXPECT_TRUE(Element::GeometryDiffers(a, b));
+  b.node_refs = {3, 2, 1};  // order matters for ways
+  EXPECT_TRUE(Element::GeometryDiffers(a, b));
+}
+
+TEST(ElementTest, GeometryDiffersForRelations) {
+  Element a, b;
+  a.type = b.type = ElementType::kRelation;
+  a.members = {{ElementType::kWay, 10, "outer"}};
+  b.members = {{ElementType::kWay, 10, "outer"}};
+  EXPECT_FALSE(Element::GeometryDiffers(a, b));
+  b.members[0].role = "inner";
+  EXPECT_TRUE(Element::GeometryDiffers(a, b));
+}
+
+TEST(ElementTest, TagsDifferIgnoresOrder) {
+  Element a, b;
+  a.tags = {{"k1", "v1"}, {"k2", "v2"}};
+  b.tags = {{"k2", "v2"}, {"k1", "v1"}};
+  EXPECT_FALSE(Element::TagsDiffer(a, b));
+  b.tags.push_back({"k3", "v3"});
+  EXPECT_TRUE(Element::TagsDiffer(a, b));
+  b.tags = {{"k1", "v1"}, {"k2", "CHANGED"}};
+  EXPECT_TRUE(Element::TagsDiffer(a, b));
+}
+
+}  // namespace
+}  // namespace rased

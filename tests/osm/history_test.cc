@@ -1,0 +1,108 @@
+#include "osm/history.h"
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+Element Version(int64_t id, int32_t version, bool visible, double lat) {
+  Element e;
+  e.type = ElementType::kNode;
+  e.meta.id = id;
+  e.meta.version = version;
+  e.meta.visible = visible;
+  e.meta.timestamp = OsmTimestamp{Date::FromYmd(2020, 1, version), 0};
+  e.meta.changeset = 50 + static_cast<uint64_t>(version);
+  e.lat = lat;
+  e.lon = 10.0;
+  return e;
+}
+
+TEST(HistoryTest, RoundTripsVersionChains) {
+  HistoryWriter writer;
+  writer.Add(Version(1, 1, true, 45.0));
+  writer.Add(Version(1, 2, true, 45.1));
+  writer.Add(Version(1, 3, false, 45.1));  // deleted
+  writer.Add(Version(2, 1, true, 50.0));
+  std::string xml = writer.Finish();
+
+  auto parsed = HistoryReader::ParseAll(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 4u);
+  EXPECT_EQ(parsed.value()[0].meta.version, 1);
+  EXPECT_EQ(parsed.value()[1].meta.version, 2);
+  EXPECT_TRUE(parsed.value()[1].meta.visible);
+  EXPECT_FALSE(parsed.value()[2].meta.visible);
+  EXPECT_EQ(parsed.value()[3].meta.id, 2);
+}
+
+TEST(HistoryTest, DeletedNodeOmitsCoordinates) {
+  HistoryWriter writer;
+  writer.Add(Version(1, 2, false, 45.0));
+  std::string xml = writer.Finish();
+  EXPECT_EQ(xml.find("lat="), std::string::npos);
+  EXPECT_NE(xml.find("visible=\"false\""), std::string::npos);
+
+  auto parsed = HistoryReader::ParseAll(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed.value()[0].meta.visible);
+}
+
+TEST(HistoryTest, VisibleDefaultsToTrue) {
+  auto parsed = HistoryReader::ParseAll(
+      "<osm><node id=\"1\" version=\"1\" lat=\"1\" lon=\"2\" "
+      "timestamp=\"2020-01-01T00:00:00Z\" changeset=\"3\"/></osm>");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value()[0].meta.visible);
+}
+
+TEST(HistoryTest, WaysAndRelationsRoundTrip) {
+  Element way;
+  way.type = ElementType::kWay;
+  way.meta.id = 99;
+  way.meta.version = 4;
+  way.meta.timestamp = OsmTimestamp{Date::FromYmd(2019, 6, 1), 0};
+  way.node_refs = {5, 6, 7};
+  way.tags.push_back(Tag{"highway", "primary"});
+
+  Element rel;
+  rel.type = ElementType::kRelation;
+  rel.meta.id = 100;
+  rel.meta.version = 1;
+  rel.meta.timestamp = OsmTimestamp{Date::FromYmd(2019, 6, 2), 0};
+  rel.members.push_back(RelationMember{ElementType::kWay, 99, "outer"});
+  rel.members.push_back(RelationMember{ElementType::kNode, 5, ""});
+
+  HistoryWriter writer;
+  writer.Add(way);
+  writer.Add(rel);
+  auto parsed = HistoryReader::ParseAll(writer.Finish());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value()[0].node_refs, (std::vector<int64_t>{5, 6, 7}));
+  ASSERT_EQ(parsed.value()[1].members.size(), 2u);
+  EXPECT_EQ(parsed.value()[1].members[0].ref, 99);
+  EXPECT_EQ(parsed.value()[1].members[0].role, "outer");
+  EXPECT_EQ(parsed.value()[1].members[0].type, ElementType::kWay);
+}
+
+TEST(HistoryTest, RejectsWrongRoot) {
+  EXPECT_FALSE(HistoryReader::ParseAll("<osmChange/>").ok());
+}
+
+TEST(HistoryTest, SkipsUnknownElements) {
+  auto parsed = HistoryReader::ParseAll(
+      "<osm><bounds minlat=\"0\"/><node id=\"1\" lat=\"0\" lon=\"0\" "
+      "timestamp=\"2020-01-01T00:00:00Z\"/></osm>");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().size(), 1u);
+}
+
+TEST(HistoryTest, EmptyHistory) {
+  auto parsed = HistoryReader::ParseAll("<osm/>");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().empty());
+}
+
+}  // namespace
+}  // namespace rased

@@ -1,0 +1,143 @@
+#include "osm/osc.h"
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+Element MakeNode(int64_t id, double lat, double lon) {
+  Element e;
+  e.type = ElementType::kNode;
+  e.meta.id = id;
+  e.meta.version = 1;
+  e.meta.timestamp = OsmTimestamp{Date::FromYmd(2021, 3, 4), 3600};
+  e.meta.changeset = 77;
+  e.meta.uid = 5;
+  e.meta.user = "alice";
+  e.lat = lat;
+  e.lon = lon;
+  return e;
+}
+
+Element MakeWay(int64_t id, std::vector<int64_t> refs) {
+  Element e;
+  e.type = ElementType::kWay;
+  e.meta.id = id;
+  e.meta.version = 2;
+  e.meta.timestamp = OsmTimestamp{Date::FromYmd(2021, 3, 4), 7200};
+  e.meta.changeset = 78;
+  e.node_refs = std::move(refs);
+  e.tags.push_back(Tag{"highway", "residential"});
+  return e;
+}
+
+TEST(OscTest, WriterReaderRoundTrip) {
+  OscWriter writer;
+  writer.Add(ChangeAction::kCreate, MakeNode(1, 45.5, -93.25));
+  writer.Add(ChangeAction::kCreate, MakeNode(2, 45.6, -93.26));
+  writer.Add(ChangeAction::kModify, MakeWay(10, {1, 2}));
+  writer.Add(ChangeAction::kDelete, MakeNode(3, 40.0, -90.0));
+  std::string xml = writer.Finish();
+
+  auto changes = OscReader::ParseAll(xml);
+  ASSERT_TRUE(changes.ok()) << changes.status().ToString();
+  ASSERT_EQ(changes.value().size(), 4u);
+
+  EXPECT_EQ(changes.value()[0].action, ChangeAction::kCreate);
+  EXPECT_EQ(changes.value()[0].element.meta.id, 1);
+  EXPECT_DOUBLE_EQ(changes.value()[0].element.lat, 45.5);
+  EXPECT_EQ(changes.value()[0].element.meta.user, "alice");
+
+  EXPECT_EQ(changes.value()[2].action, ChangeAction::kModify);
+  EXPECT_EQ(changes.value()[2].element.type, ElementType::kWay);
+  EXPECT_EQ(changes.value()[2].element.node_refs,
+            (std::vector<int64_t>{1, 2}));
+  ASSERT_NE(changes.value()[2].element.FindTag("highway"), nullptr);
+  EXPECT_EQ(*changes.value()[2].element.FindTag("highway"), "residential");
+
+  EXPECT_EQ(changes.value()[3].action, ChangeAction::kDelete);
+}
+
+TEST(OscTest, ConsecutiveSameActionsShareBlock) {
+  OscWriter writer;
+  writer.Add(ChangeAction::kCreate, MakeNode(1, 1, 1));
+  writer.Add(ChangeAction::kCreate, MakeNode(2, 2, 2));
+  std::string xml = writer.Finish();
+  // Only one <create> block should appear.
+  size_t first = xml.find("<create>");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(xml.find("<create>", first + 1), std::string::npos);
+}
+
+TEST(OscTest, TimestampsRoundTrip) {
+  OscWriter writer;
+  writer.Add(ChangeAction::kCreate, MakeNode(1, 1, 1));
+  auto changes = OscReader::ParseAll(writer.Finish());
+  ASSERT_TRUE(changes.ok());
+  EXPECT_EQ(changes.value()[0].element.meta.timestamp.ToString(),
+            "2021-03-04T01:00:00Z");
+}
+
+TEST(OscTest, ParsesRealWorldShapedDiff) {
+  const char* xml = R"(<?xml version="1.0" encoding="UTF-8"?>
+<osmChange version="0.6" generator="osmosis">
+ <create>
+  <node id="9000000001" version="1" timestamp="2021-06-01T10:00:00Z"
+        uid="42" user="bob" changeset="100" lat="52.5" lon="13.4">
+   <tag k="highway" v="crossing"/>
+  </node>
+ </create>
+ <delete>
+  <way id="123" version="7" timestamp="2021-06-01T11:00:00Z"
+       uid="43" user="eve" changeset="101"/>
+ </delete>
+</osmChange>)";
+  auto changes = OscReader::ParseAll(xml);
+  ASSERT_TRUE(changes.ok()) << changes.status().ToString();
+  ASSERT_EQ(changes.value().size(), 2u);
+  EXPECT_EQ(changes.value()[0].element.meta.id, 9000000001);
+  EXPECT_EQ(changes.value()[1].action, ChangeAction::kDelete);
+  EXPECT_EQ(changes.value()[1].element.meta.version, 7);
+}
+
+TEST(OscTest, EmptyChangeFile) {
+  auto changes =
+      OscReader::ParseAll("<osmChange version=\"0.6\"></osmChange>");
+  ASSERT_TRUE(changes.ok());
+  EXPECT_TRUE(changes.value().empty());
+}
+
+TEST(OscTest, RejectsWrongRoot) {
+  auto changes = OscReader::ParseAll("<osm></osm>");
+  EXPECT_FALSE(changes.ok());
+}
+
+TEST(OscTest, RejectsUnknownBlock) {
+  auto changes = OscReader::ParseAll(
+      "<osmChange><upsert><node id=\"1\" lat=\"0\" lon=\"0\"/></upsert>"
+      "</osmChange>");
+  EXPECT_FALSE(changes.ok());
+}
+
+TEST(OscTest, CallbackErrorStopsParsing) {
+  OscWriter writer;
+  writer.Add(ChangeAction::kCreate, MakeNode(1, 1, 1));
+  writer.Add(ChangeAction::kCreate, MakeNode(2, 2, 2));
+  std::string xml = writer.Finish();
+  int seen = 0;
+  Status s = OscReader::Parse(xml, [&seen](const OsmChange&) {
+    ++seen;
+    return Status::Internal("stop");
+  });
+  EXPECT_TRUE(s.IsInternal());
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(OscTest, ChangeActionNames) {
+  EXPECT_EQ(ChangeActionName(ChangeAction::kCreate), "create");
+  EXPECT_EQ(ChangeActionName(ChangeAction::kModify), "modify");
+  EXPECT_EQ(ChangeActionName(ChangeAction::kDelete), "delete");
+}
+
+}  // namespace
+}  // namespace rased

@@ -1,0 +1,74 @@
+#include "osm/road_types.h"
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+TEST(RoadTypeTableTest, ReservedSlots) {
+  RoadTypeTable table(150);
+  EXPECT_EQ(table.Name(kRoadTypeNone), "(none)");
+  EXPECT_EQ(table.Name(table.other_id()), "other");
+  EXPECT_EQ(table.other_id(), 1);
+}
+
+TEST(RoadTypeTableTest, CanonicalValuesSeeded) {
+  RoadTypeTable table(150);
+  RoadTypeId residential = table.Lookup("residential");
+  EXPECT_NE(residential, kRoadTypeNone);
+  EXPECT_NE(residential, table.other_id());
+  EXPECT_EQ(table.Name(residential), "residential");
+  EXPECT_NE(table.Lookup("motorway"), table.other_id());
+  EXPECT_NE(table.Lookup("footway"), table.other_id());
+}
+
+TEST(RoadTypeTableTest, EmptyValueIsNone) {
+  RoadTypeTable table(150);
+  EXPECT_EQ(table.Intern(""), kRoadTypeNone);
+  EXPECT_EQ(table.Lookup(""), kRoadTypeNone);
+}
+
+TEST(RoadTypeTableTest, InternGrowsUntilCapacity) {
+  RoadTypeTable table(150);
+  size_t before = table.size();
+  RoadTypeId fresh = table.Intern("hyperloop_track");
+  EXPECT_EQ(table.size(), before + 1);
+  EXPECT_EQ(table.Name(fresh), "hyperloop_track");
+  // Interning again is idempotent.
+  EXPECT_EQ(table.Intern("hyperloop_track"), fresh);
+  EXPECT_EQ(table.size(), before + 1);
+}
+
+TEST(RoadTypeTableTest, OverflowGoesToOtherBucket) {
+  RoadTypeTable table(10);  // tiny capacity
+  // Fill to capacity.
+  while (table.size() < table.capacity()) {
+    table.Intern("filler_" + std::to_string(table.size()));
+  }
+  RoadTypeId id = table.Intern("one_too_many");
+  EXPECT_EQ(id, table.other_id());
+  EXPECT_EQ(table.size(), table.capacity());
+}
+
+TEST(RoadTypeTableTest, LookupUnknownIsOther) {
+  RoadTypeTable table(150);
+  EXPECT_EQ(table.Lookup("no_such_highway_value"), table.other_id());
+}
+
+TEST(RoadTypeTableTest, IdsAreStableAcrossInstances) {
+  // Two tables with the same capacity assign the same ids to canonical
+  // values — required because cube cells are keyed by these ids.
+  RoadTypeTable a(150), b(150);
+  for (const std::string& v : RoadTypeTable::CanonicalHighwayValues()) {
+    EXPECT_EQ(a.Lookup(v), b.Lookup(v)) << v;
+  }
+}
+
+TEST(RoadTypeTableTest, CapacityBoundsSeeding) {
+  RoadTypeTable small(5);
+  EXPECT_EQ(small.size(), 5u);  // (none), other, 3 canonical
+  EXPECT_EQ(small.Lookup("motorway"), 2);  // first canonical value
+}
+
+}  // namespace
+}  // namespace rased

@@ -1,0 +1,160 @@
+#include <map>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "index/cube_builder.h"
+#include "index/temporal_index.h"
+#include "io/env.h"
+#include "query/query_executor.h"
+#include "synth/update_generator.h"
+#include "util/random.h"
+
+namespace rased {
+namespace {
+
+// The strongest executor correctness property: for randomized queries over
+// a randomized record stream, the cube-index answer must equal a
+// brute-force scan over the raw records. This checks the whole chain —
+// CubeBuilder zone expansion, rollups, the level optimizer's cover, and
+// the group-by fold — against first principles.
+
+using GroupKey = std::tuple<int32_t, int32_t, int32_t, int32_t, int32_t>;
+
+std::map<GroupKey, uint64_t> BruteForce(
+    const std::vector<UpdateRecord>& records, const AnalysisQuery& q,
+    const WorldMap& world) {
+  auto matches = [](auto&& list, auto value) {
+    if (list.empty()) return true;
+    for (auto v : list) {
+      if (v == value) return true;
+    }
+    return false;
+  };
+  std::map<GroupKey, uint64_t> groups;
+  for (const UpdateRecord& r : records) {
+    if (!q.range.empty() && !q.range.Contains(r.date)) continue;
+    if (!matches(q.element_types, r.element_type)) continue;
+    if (!matches(q.road_types, r.road_type)) continue;
+    if (!matches(q.update_types, r.update_type)) continue;
+    // Country-dimension semantics mirror the cube exactly: a record
+    // increments the cell of every containing zone (country, continent,
+    // state). With no filter, the default partition counts the record
+    // once under its own country; with a filter, the record contributes
+    // once per listed zone that contains it (a record can match both
+    // "Germany" and "Europe" if both are listed).
+    std::vector<int32_t> country_keys;
+    if (q.countries.empty()) {
+      country_keys.push_back(q.group_country
+                                 ? static_cast<int32_t>(r.country)
+                                 : ResultRow::kNoGroup);
+    } else {
+      WorldMap::ZoneSet zones =
+          world.ZonesForCountry(r.country, LatLon{r.lat, r.lon});
+      for (ZoneId wanted : q.countries) {
+        for (int i = 0; i < zones.count; ++i) {
+          if (zones.ids[i] == wanted) {
+            country_keys.push_back(q.group_country
+                                       ? static_cast<int32_t>(wanted)
+                                       : ResultRow::kNoGroup);
+          }
+        }
+      }
+      if (country_keys.empty()) continue;
+    }
+    for (int32_t country_key : country_keys) {
+      GroupKey gk{q.group_element_type ? static_cast<int32_t>(r.element_type)
+                                       : ResultRow::kNoGroup,
+                  q.group_date ? r.date.days_since_epoch()
+                               : ResultRow::kNoGroup,
+                  country_key,
+                  q.group_road_type ? static_cast<int32_t>(r.road_type)
+                                    : ResultRow::kNoGroup,
+                  q.group_update_type ? static_cast<int32_t>(r.update_type)
+                                      : ResultRow::kNoGroup};
+      groups[gk] += 1;
+    }
+  }
+  return groups;
+}
+
+TEST(ExecutorBruteForceTest, RandomQueriesMatchRecordScan) {
+  TempDir dir("brute-force");
+  CubeSchema schema = CubeSchema::BenchScale();
+  WorldMap world(schema.num_countries);
+  RoadTypeTable roads(schema.num_road_types);
+
+  SynthOptions synth;
+  synth.seed = 4242;
+  synth.base_updates_per_day = 80.0;
+  synth.period = DateRange(Date::FromYmd(2021, 1, 1),
+                           Date::FromYmd(2021, 3, 31));
+  UpdateGenerator gen(synth, &world, &roads);
+
+  TemporalIndexOptions options;
+  options.schema = schema;
+  options.dir = env::JoinPath(dir.path(), "idx");
+  options.device = DeviceModel::None();
+  auto index = TemporalIndex::Create(options);
+  ASSERT_TRUE(index.ok());
+
+  CubeBuilder builder(schema, &world);
+  std::vector<UpdateRecord> all_records;
+  for (Date d = synth.period.first; d <= synth.period.last; d = d.next()) {
+    auto records = gen.GenerateDayRecords(d);
+    ASSERT_TRUE(index.value()->AppendDay(d, builder.BuildCube(records)).ok());
+    all_records.insert(all_records.end(), records.begin(), records.end());
+  }
+
+  QueryExecutor executor(index.value().get(), nullptr, &world);
+  Rng rng(99);
+  const auto& countries = world.country_ids();
+  for (int trial = 0; trial < 40; ++trial) {
+    AnalysisQuery q;
+    // Random window inside the covered period.
+    int start = static_cast<int>(rng.Uniform(90));
+    int len = 1 + static_cast<int>(rng.Uniform(90 - start));
+    q.range = DateRange(synth.period.first.AddDays(start),
+                        synth.period.first.AddDays(start + len - 1));
+    // Random filters.
+    if (rng.Bernoulli(0.4)) {
+      q.element_types = {static_cast<ElementType>(rng.Uniform(3))};
+    }
+    if (rng.Bernoulli(0.4)) {
+      q.countries = {countries[rng.Uniform(countries.size())]};
+      if (rng.Bernoulli(0.3)) {
+        q.countries.push_back(countries[rng.Uniform(countries.size())]);
+      }
+    }
+    if (rng.Bernoulli(0.3)) {
+      q.road_types = {static_cast<RoadTypeId>(rng.Uniform(schema.num_road_types))};
+    }
+    if (rng.Bernoulli(0.4)) {
+      q.update_types = {static_cast<UpdateType>(rng.Uniform(4))};
+    }
+    // Random group-by subset.
+    q.group_element_type = rng.Bernoulli(0.4);
+    q.group_date = rng.Bernoulli(0.25);
+    q.group_country = rng.Bernoulli(0.4);
+    q.group_road_type = rng.Bernoulli(0.3);
+    q.group_update_type = rng.Bernoulli(0.4);
+
+    auto result = executor.Execute(q);
+    ASSERT_TRUE(result.ok()) << q.ToString();
+
+    std::map<GroupKey, uint64_t> expected =
+        BruteForce(all_records, q, world);
+    std::map<GroupKey, uint64_t> actual;
+    for (const ResultRow& row : result.value().rows) {
+      GroupKey gk{row.element_type,
+                  row.has_date ? row.date.days_since_epoch()
+                               : ResultRow::kNoGroup,
+                  row.country, row.road_type, row.update_type};
+      actual[gk] = row.count;
+    }
+    ASSERT_EQ(actual, expected) << "trial " << trial << ": " << q.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace rased

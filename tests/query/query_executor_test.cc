@@ -1,0 +1,274 @@
+#include "query/query_executor.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "index/cube_builder.h"
+#include "io/env.h"
+
+namespace rased {
+namespace {
+
+// Executor tests run at bench scale (64 zones, 192 KiB cubes) with
+// hand-planted records so every expected count is known exactly.
+class QueryExecutorTest : public ::testing::Test {
+ protected:
+  QueryExecutorTest() : schema_(CubeSchema::BenchScale()), world_(64) {}
+
+  void SetUp() override {
+    TemporalIndexOptions options;
+    options.schema = schema_;
+    options.num_levels = 4;
+    options.dir = env::JoinPath(dir_.path(), "index");
+    options.device = DeviceModel{100, 100, 0.0};
+    auto index = TemporalIndex::Create(options);
+    ASSERT_TRUE(index.ok());
+    index_ = std::move(index).value();
+
+    germany_ = world_.FindByName("Germany").value();
+    china_ = world_.FindByName("China").value();
+    europe_ = world_.FindByName("Europe").value();
+    world_.SetRoadNetworkSize(germany_, 10000);
+    world_.SetRoadNetworkSize(china_, 100);
+
+    // Two months of data: each day Germany gets 4 new-way updates on road
+    // type 5 and 2 geometry-node updates on road type 0; China gets 1
+    // new-way update.
+    CubeBuilder builder(schema_, &world_);
+    for (Date d = Date::FromYmd(2021, 1, 1); d <= Date::FromYmd(2021, 2, 28);
+         d = d.next()) {
+      std::vector<UpdateRecord> records;
+      for (int i = 0; i < 4; ++i) {
+        records.push_back(Record(germany_, d, ElementType::kWay,
+                                 UpdateType::kNew, 5));
+      }
+      for (int i = 0; i < 2; ++i) {
+        records.push_back(Record(germany_, d, ElementType::kNode,
+                                 UpdateType::kGeometry, 0));
+      }
+      records.push_back(
+          Record(china_, d, ElementType::kWay, UpdateType::kNew, 5));
+      ASSERT_TRUE(index_->AppendDay(d, builder.BuildCube(records)).ok());
+    }
+  }
+
+  UpdateRecord Record(ZoneId country, Date date, ElementType et,
+                      UpdateType ut, RoadTypeId rt) {
+    UpdateRecord r;
+    r.element_type = et;
+    r.date = date;
+    r.country = country;
+    LatLon p = world_.zone(country).bounds.Center();
+    r.lat = p.lat;
+    r.lon = p.lon;
+    r.road_type = rt;
+    r.update_type = ut;
+    return r;
+  }
+
+  CubeSchema schema_;
+  WorldMap world_;
+  TempDir dir_{"executor-test"};
+  std::unique_ptr<TemporalIndex> index_;
+  ZoneId germany_ = 0, china_ = 0, europe_ = 0;
+};
+
+TEST_F(QueryExecutorTest, TotalCountWithoutGrouping) {
+  QueryExecutor executor(index_.get(), nullptr, &world_);
+  AnalysisQuery q;
+  q.range = DateRange(Date::FromYmd(2021, 1, 1), Date::FromYmd(2021, 1, 31));
+  auto result = executor.Execute(q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().rows.size(), 1u);
+  // 7 records/day x 31 days; the default country partition avoids double
+  // counting the continent cells.
+  EXPECT_EQ(result.value().rows[0].count, 7u * 31);
+}
+
+TEST_F(QueryExecutorTest, GroupByCountry) {
+  QueryExecutor executor(index_.get(), nullptr, &world_);
+  AnalysisQuery q;
+  q.range = DateRange(Date::FromYmd(2021, 1, 1), Date::FromYmd(2021, 1, 31));
+  q.group_country = true;
+  auto result = executor.Execute(q);
+  ASSERT_TRUE(result.ok());
+  std::map<int32_t, uint64_t> by_country;
+  for (const ResultRow& row : result.value().rows) {
+    by_country[row.country] = row.count;
+  }
+  EXPECT_EQ(by_country[germany_], 6u * 31);
+  EXPECT_EQ(by_country[china_], 1u * 31);
+  EXPECT_EQ(by_country.count(europe_), 0u);  // aggregates not in partition
+}
+
+TEST_F(QueryExecutorTest, ExplicitContinentFilterWorks) {
+  QueryExecutor executor(index_.get(), nullptr, &world_);
+  AnalysisQuery q;
+  q.range = DateRange(Date::FromYmd(2021, 1, 1), Date::FromYmd(2021, 1, 31));
+  q.countries = {europe_};
+  auto result = executor.Execute(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().rows.size(), 1u);
+  // Only Germany's updates are in Europe; China's fall in Asia.
+  EXPECT_EQ(result.value().rows[0].count, 6u * 31);
+}
+
+TEST_F(QueryExecutorTest, FiltersCombine) {
+  QueryExecutor executor(index_.get(), nullptr, &world_);
+  AnalysisQuery q;
+  q.range = DateRange(Date::FromYmd(2021, 1, 1), Date::FromYmd(2021, 1, 10));
+  q.countries = {germany_};
+  q.element_types = {ElementType::kWay};
+  q.update_types = {UpdateType::kNew};
+  q.road_types = {5};
+  auto result = executor.Execute(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().rows.size(), 1u);
+  EXPECT_EQ(result.value().rows[0].count, 4u * 10);
+}
+
+TEST_F(QueryExecutorTest, GroupByElementAndUpdateType) {
+  QueryExecutor executor(index_.get(), nullptr, &world_);
+  AnalysisQuery q;
+  q.range = DateRange(Date::FromYmd(2021, 1, 1), Date::FromYmd(2021, 1, 31));
+  q.countries = {germany_};
+  q.group_element_type = true;
+  q.group_update_type = true;
+  auto result = executor.Execute(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().rows.size(), 2u);
+  std::map<std::pair<int32_t, int32_t>, uint64_t> cells;
+  for (const ResultRow& row : result.value().rows) {
+    cells[{row.element_type, row.update_type}] = row.count;
+  }
+  EXPECT_EQ((cells[{static_cast<int32_t>(ElementType::kWay),
+                    static_cast<int32_t>(UpdateType::kNew)}]),
+            4u * 31);
+  EXPECT_EQ((cells[{static_cast<int32_t>(ElementType::kNode),
+                    static_cast<int32_t>(UpdateType::kGeometry)}]),
+            2u * 31);
+}
+
+TEST_F(QueryExecutorTest, GroupByDateForcesDailyPlan) {
+  QueryExecutor executor(index_.get(), nullptr, &world_);
+  AnalysisQuery q;
+  q.range = DateRange(Date::FromYmd(2021, 1, 1), Date::FromYmd(2021, 1, 31));
+  q.countries = {germany_};
+  q.group_date = true;
+  QueryPlan plan = executor.PlanFor(q);
+  EXPECT_EQ(plan.cubes.size(), 31u);
+  for (const CubeKey& key : plan.cubes) {
+    EXPECT_EQ(key.level, Level::kDaily);
+  }
+  auto result = executor.Execute(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().rows.size(), 31u);
+  for (const ResultRow& row : result.value().rows) {
+    EXPECT_TRUE(row.has_date);
+    EXPECT_EQ(row.count, 6u);
+  }
+}
+
+TEST_F(QueryExecutorTest, OptimizedPlanUsesCoarseLevels) {
+  QueryExecutor executor(index_.get(), nullptr, &world_);
+  AnalysisQuery q;
+  q.range = DateRange(Date::FromYmd(2021, 1, 1), Date::FromYmd(2021, 1, 31));
+  QueryPlan plan = executor.PlanFor(q);
+  ASSERT_EQ(plan.cubes.size(), 1u);
+  EXPECT_EQ(plan.cubes[0].level, Level::kMonthly);
+
+  QueryExecutor flat(index_.get(), nullptr, &world_, PlanMode::kFlat);
+  EXPECT_EQ(flat.PlanFor(q).cubes.size(), 31u);
+}
+
+TEST_F(QueryExecutorTest, FlatAndOptimizedAgreeOnAnswers) {
+  QueryExecutor optimized(index_.get(), nullptr, &world_);
+  QueryExecutor flat(index_.get(), nullptr, &world_, PlanMode::kFlat);
+  AnalysisQuery q;
+  q.range = DateRange(Date::FromYmd(2021, 1, 5), Date::FromYmd(2021, 2, 20));
+  q.group_country = true;
+  q.group_update_type = true;
+  auto a = optimized.Execute(q);
+  auto b = flat.Execute(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().rows.size(), b.value().rows.size());
+  for (size_t i = 0; i < a.value().rows.size(); ++i) {
+    EXPECT_EQ(a.value().rows[i].count, b.value().rows[i].count);
+    EXPECT_EQ(a.value().rows[i].country, b.value().rows[i].country);
+  }
+  EXPECT_LT(a.value().stats.cubes_total, b.value().stats.cubes_total);
+}
+
+TEST_F(QueryExecutorTest, PercentageUsesRoadNetworkSize) {
+  QueryExecutor executor(index_.get(), nullptr, &world_);
+  AnalysisQuery q;
+  q.range = DateRange(Date::FromYmd(2021, 1, 1), Date::FromYmd(2021, 1, 1));
+  q.countries = {germany_, china_};
+  q.group_country = true;
+  q.percentage = true;
+  auto result = executor.Execute(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().rows.size(), 2u);
+  for (const ResultRow& row : result.value().rows) {
+    if (row.country == germany_) {
+      EXPECT_DOUBLE_EQ(row.percentage, 100.0 * 6 / 10000);
+    } else {
+      EXPECT_DOUBLE_EQ(row.percentage, 100.0 * 1 / 100);
+    }
+  }
+}
+
+TEST_F(QueryExecutorTest, PercentageRequiresCountryGrouping) {
+  QueryExecutor executor(index_.get(), nullptr, &world_);
+  AnalysisQuery q;
+  q.percentage = true;
+  EXPECT_TRUE(executor.Execute(q).status().IsInvalidArgument());
+}
+
+TEST_F(QueryExecutorTest, CacheHitsAvoidDiskReads) {
+  CacheOptions cache_options;
+  cache_options.num_slots = 64;
+  cache_options.policy = CachePolicy::kAllDaily;
+  CubeCache cache(cache_options);
+  ASSERT_TRUE(cache.Warm(index_.get()).ok());
+  index_->pager()->ResetStats();
+
+  QueryExecutor executor(index_.get(), &cache, &world_);
+  AnalysisQuery q;
+  // The last 10 days are certainly within the 64 cached dailies.
+  q.range = DateRange(Date::FromYmd(2021, 2, 19), Date::FromYmd(2021, 2, 28));
+  auto result = executor.Execute(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().stats.cubes_from_disk, 0u);
+  EXPECT_GT(result.value().stats.cubes_from_cache, 0u);
+  EXPECT_EQ(result.value().stats.io.page_reads, 0u);
+  EXPECT_EQ(result.value().stats.io.simulated_device_micros, 0);
+}
+
+TEST_F(QueryExecutorTest, StatsChargeDeviceTimeOnMisses) {
+  QueryExecutor executor(index_.get(), nullptr, &world_);
+  AnalysisQuery q;
+  q.range = DateRange(Date::FromYmd(2021, 1, 1), Date::FromYmd(2021, 1, 31));
+  auto result = executor.Execute(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().stats.cubes_from_disk, 1u);  // monthly cube
+  EXPECT_EQ(result.value().stats.io.page_reads, 1u);
+  EXPECT_EQ(result.value().stats.io.simulated_device_micros, 100);
+  EXPECT_GE(result.value().stats.total_micros(),
+            result.value().stats.cpu_micros);
+}
+
+TEST_F(QueryExecutorTest, RangeClampedToCoverage) {
+  QueryExecutor executor(index_.get(), nullptr, &world_);
+  AnalysisQuery q;
+  q.range = DateRange(Date::FromYmd(2019, 1, 1), Date::FromYmd(2030, 1, 1));
+  auto result = executor.Execute(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().rows.size(), 1u);
+  EXPECT_EQ(result.value().rows[0].count, 7u * 59);  // all 59 covered days
+}
+
+}  // namespace
+}  // namespace rased

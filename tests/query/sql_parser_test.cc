@@ -1,0 +1,169 @@
+#include "query/sql_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+class SqlParserTest : public ::testing::Test {
+ protected:
+  SqlParserTest() : world_(305), road_types_(150), parser_(&world_, &road_types_) {}
+
+  AnalysisQuery MustParse(const std::string& sql) {
+    auto query = parser_.Parse(sql);
+    EXPECT_TRUE(query.ok()) << sql << "\n  -> " << query.status().ToString();
+    return query.value_or(AnalysisQuery{});
+  }
+
+  WorldMap world_;
+  RoadTypeTable road_types_;
+  SqlParser parser_;
+};
+
+TEST_F(SqlParserTest, PaperExample1CountryAnalysis) {
+  // Verbatim from Section IV-A, Example 1 (quotes added around dates).
+  AnalysisQuery q = MustParse(R"(
+      SELECT U.Country, U.ElementType, COUNT(*)
+      FROM UpdateList U
+      WHERE U.Date BETWEEN 2021-01-01
+        AND 2021-12-31
+        AND U.UpdateType IN [New, Update]
+      GROUP BY U.Country, U.ElementType)");
+  EXPECT_EQ(q.range, DateRange(Date::FromYmd(2021, 1, 1),
+                               Date::FromYmd(2021, 12, 31)));
+  // "Update" expands to geometry+metadata.
+  ASSERT_EQ(q.update_types.size(), 3u);
+  EXPECT_EQ(q.update_types[0], UpdateType::kNew);
+  EXPECT_TRUE(q.group_country);
+  EXPECT_TRUE(q.group_element_type);
+  EXPECT_FALSE(q.group_road_type);
+  EXPECT_FALSE(q.percentage);
+}
+
+TEST_F(SqlParserTest, PaperExample2RoadTypeAnalysis) {
+  AnalysisQuery q = MustParse(R"(
+      SELECT U.RoadType, U.ElementType, COUNT(*)
+      FROM UpdateList U
+      WHERE U.Date AFTER 2018-01-01
+        AND U.Country = USA
+        AND U.UpdateType IN [New, Update]
+      GROUP BY U.RoadType, U.ElementType)");
+  EXPECT_EQ(q.range.first, Date::FromYmd(2018, 1, 1));
+  ASSERT_EQ(q.countries.size(), 1u);
+  EXPECT_EQ(q.countries[0], world_.FindByName("United States").value());
+  EXPECT_TRUE(q.group_road_type);
+  EXPECT_TRUE(q.group_element_type);
+  EXPECT_FALSE(q.group_country);
+}
+
+TEST_F(SqlParserTest, PaperExample3ComparativeTimeSeries) {
+  AnalysisQuery q = MustParse(R"(
+      SELECT U.Country, U.Date, Percentage(*)
+      FROM UpdateList U
+      WHERE U.Date BETWEEN 2020-01-01
+          AND 2021-12-31
+          AND U.Country IN [Germany,
+                            Singapore, Qatar]
+      GROUP BY U.Country, U.Date)");
+  EXPECT_TRUE(q.percentage);
+  EXPECT_TRUE(q.group_country);
+  EXPECT_TRUE(q.group_date);
+  ASSERT_EQ(q.countries.size(), 3u);
+  EXPECT_EQ(q.countries[1], world_.FindByName("Singapore").value());
+}
+
+TEST_F(SqlParserTest, ImplicitGroupByFromSelect) {
+  AnalysisQuery q =
+      MustParse("SELECT Country, COUNT(*) FROM UpdateList");
+  EXPECT_TRUE(q.group_country);
+}
+
+TEST_F(SqlParserTest, QuotedValuesAndParenLists) {
+  AnalysisQuery q = MustParse(
+      "SELECT COUNT(*) FROM UpdateList WHERE Country IN "
+      "('United States', \"New Zealand\") AND RoadType = 'residential'");
+  ASSERT_EQ(q.countries.size(), 2u);
+  ASSERT_EQ(q.road_types.size(), 1u);
+  EXPECT_EQ(q.road_types[0], road_types_.Lookup("residential"));
+}
+
+TEST_F(SqlParserTest, KeywordsAreCaseInsensitive) {
+  AnalysisQuery q = MustParse(
+      "select country, count(*) from updatelist where date between "
+      "2020-01-01 and 2020-06-30 group by country");
+  EXPECT_TRUE(q.group_country);
+  EXPECT_EQ(q.range.num_days(), 182);
+}
+
+TEST_F(SqlParserTest, DateEqualsAndBefore) {
+  AnalysisQuery q = MustParse(
+      "SELECT COUNT(*) FROM UpdateList WHERE Date = 2021-05-04");
+  EXPECT_EQ(q.range, DateRange(Date::FromYmd(2021, 5, 4),
+                               Date::FromYmd(2021, 5, 4)));
+
+  AnalysisQuery before = MustParse(
+      "SELECT COUNT(*) FROM UpdateList WHERE Date BEFORE 2010-01-01");
+  EXPECT_EQ(before.range.last, Date::FromYmd(2010, 1, 1));
+}
+
+TEST_F(SqlParserTest, ElementTypeFilter) {
+  AnalysisQuery q = MustParse(
+      "SELECT COUNT(*) FROM UpdateList WHERE ElementType IN [way, relation]");
+  ASSERT_EQ(q.element_types.size(), 2u);
+  EXPECT_EQ(q.element_types[0], ElementType::kWay);
+  EXPECT_EQ(q.element_types[1], ElementType::kRelation);
+}
+
+TEST_F(SqlParserTest, RejectsMalformedStatements) {
+  EXPECT_FALSE(parser_.Parse("").ok());
+  EXPECT_FALSE(parser_.Parse("SELECT").ok());
+  EXPECT_FALSE(parser_.Parse("DELETE FROM UpdateList").ok());
+  EXPECT_FALSE(parser_.Parse("SELECT COUNT(*) FROM SomeOtherTable").ok());
+  EXPECT_FALSE(
+      parser_.Parse("SELECT COUNT(*) FROM UpdateList WHERE Date ~ x").ok());
+  EXPECT_FALSE(parser_.Parse(
+                          "SELECT COUNT(*) FROM UpdateList WHERE Country IN "
+                          "[Germany")  // unterminated list
+                   .ok());
+  EXPECT_FALSE(
+      parser_.Parse("SELECT COUNT(*) FROM UpdateList trailing junk here")
+          .ok());
+}
+
+TEST_F(SqlParserTest, RejectsUnknownNames) {
+  EXPECT_FALSE(parser_.Parse("SELECT Color, COUNT(*) FROM UpdateList").ok());
+  EXPECT_FALSE(
+      parser_.Parse(
+                 "SELECT COUNT(*) FROM UpdateList WHERE Country = Atlantis")
+          .ok());
+  EXPECT_FALSE(
+      parser_.Parse(
+                 "SELECT COUNT(*) FROM UpdateList WHERE RoadType = hyperlane")
+          .ok());
+  EXPECT_FALSE(
+      parser_.Parse(
+                 "SELECT COUNT(*) FROM UpdateList WHERE UpdateType = vibed")
+          .ok());
+}
+
+TEST_F(SqlParserTest, RejectsSelectColumnNotGrouped) {
+  EXPECT_FALSE(parser_.Parse(
+                          "SELECT Country, RoadType, COUNT(*) FROM UpdateList "
+                          "GROUP BY Country")
+                   .ok());
+}
+
+TEST_F(SqlParserTest, RejectsPercentageWithoutCountry) {
+  EXPECT_FALSE(
+      parser_.Parse("SELECT Date, Percentage(*) FROM UpdateList GROUP BY Date")
+          .ok());
+}
+
+TEST_F(SqlParserTest, ErrorsCarryOffsets) {
+  auto bad = parser_.Parse("SELECT Country, COUNT(*) FROM Nowhere");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("offset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rased

@@ -1,0 +1,150 @@
+#include "synth/activity_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+class ActivityModelTest : public ::testing::Test {
+ protected:
+  ActivityModelTest() : world_(305) {
+    options_.seed = 7;
+    options_.mapathon_rate = 0.0;  // keep intensities smooth for assertions
+  }
+
+  SynthOptions options_;
+  WorldMap world_;
+};
+
+TEST_F(ActivityModelTest, WeightsSumToOneOverCountries) {
+  ActivityModel model(options_, &world_, 150);
+  double total = 0.0;
+  for (ZoneId id : world_.country_ids()) {
+    total += model.CountryWeight(id);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(ActivityModelTest, CuratedLeadersDominat) {
+  ActivityModel model(options_, &world_, 150);
+  double us = model.CountryWeight(world_.FindByName("United States").value());
+  double india = model.CountryWeight(world_.FindByName("India").value());
+  double nauru = model.CountryWeight(world_.FindByName("Nauru").value());
+  EXPECT_GT(us, india);
+  EXPECT_GT(india, nauru);
+  EXPECT_GT(us, 0.05);  // clearly dominant
+}
+
+TEST_F(ActivityModelTest, IntensityGrowsOverYears) {
+  ActivityModel model(options_, &world_, 150);
+  ZoneId germany = world_.FindByName("Germany").value();
+  // Average over a full year to cancel seasonality.
+  auto yearly_mean = [&](int year) {
+    double sum = 0.0;
+    int days = 0;
+    for (Date d = Date::FromYmd(year, 1, 1); d <= Date::FromYmd(year, 12, 31);
+         d = d.next()) {
+      sum += model.CountryIntensity(germany, d);
+      ++days;
+    }
+    return sum / days;
+  };
+  double y2006 = yearly_mean(2006);
+  double y2016 = yearly_mean(2016);
+  EXPECT_GT(y2016, y2006 * 4);  // 1.22^10 ~ 7.3
+}
+
+TEST_F(ActivityModelTest, SeasonalityStaysBounded) {
+  SynthOptions no_growth = options_;
+  no_growth.growth_per_year = 0.0;  // isolate the seasonal component
+  ActivityModel model(no_growth, &world_, 150);
+  ZoneId brazil = world_.FindByName("Brazil").value();
+  double base = 0.0;
+  int n = 0;
+  for (Date d = Date::FromYmd(2010, 1, 1); d <= Date::FromYmd(2010, 12, 31);
+       d = d.next()) {
+    base += model.CountryIntensity(brazil, d);
+    ++n;
+  }
+  base /= n;
+  for (Date d = Date::FromYmd(2010, 1, 1); d <= Date::FromYmd(2010, 12, 31);
+       d = d.next()) {
+    double v = model.CountryIntensity(brazil, d);
+    EXPECT_GT(v, base * (1 - options_.seasonality - 0.1));
+    EXPECT_LT(v, base * (1 + options_.seasonality + 0.1));
+  }
+}
+
+TEST_F(ActivityModelTest, MapathonBurstsMultiplyIntensity) {
+  SynthOptions bursty = options_;
+  bursty.mapathon_rate = 1.0;  // every day bursts
+  ActivityModel calm(options_, &world_, 150);
+  ActivityModel wild(bursty, &world_, 150);
+  ZoneId kenya = world_.FindByName("Kenya").value();
+  Date d = Date::FromYmd(2015, 6, 1);
+  EXPECT_NEAR(wild.CountryIntensity(kenya, d),
+              calm.CountryIntensity(kenya, d) * bursty.mapathon_multiplier,
+              1e-9);
+}
+
+TEST_F(ActivityModelTest, DeterministicAcrossInstances) {
+  ActivityModel a(options_, &world_, 150);
+  ActivityModel b(options_, &world_, 150);
+  ZoneId id = world_.country_ids()[17];
+  for (int i = 0; i < 50; ++i) {
+    Date d = Date::FromYmd(2012, 3, 1).AddDays(i * 11);
+    EXPECT_EQ(a.CountryIntensity(id, d), b.CountryIntensity(id, d));
+  }
+}
+
+TEST_F(ActivityModelTest, MixesAreDistributions) {
+  ActivityModel model(options_, &world_, 150);
+  auto check = [](const std::vector<double>& mix) {
+    double sum = 0.0;
+    for (double p : mix) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  };
+  check(model.element_mix());
+  check(model.road_mix());
+  check(model.update_mix());
+  EXPECT_EQ(model.element_mix().size(), 3u);
+  EXPECT_EQ(model.update_mix().size(), 4u);
+  EXPECT_EQ(model.road_mix().size(), 150u);
+}
+
+TEST_F(ActivityModelTest, WaysDominateElementMix) {
+  ActivityModel model(options_, &world_, 150);
+  EXPECT_GT(model.element_mix()[1], 0.9);    // ways
+  EXPECT_LT(model.element_mix()[2], 0.01);   // relations
+}
+
+TEST_F(ActivityModelTest, InitRoadNetworkSizes) {
+  ActivityModel model(options_, &world_, 150);
+  model.InitRoadNetworkSizes(&world_);
+  ZoneId us = world_.FindByName("United States").value();
+  ZoneId tuvalu = world_.FindByName("Tuvalu").value();
+  EXPECT_GT(world_.zone(us).road_network_size, 1000000u);
+  EXPECT_GT(world_.zone(us).road_network_size,
+            world_.zone(tuvalu).road_network_size);
+  // Continent totals follow.
+  ZoneId na = world_.FindByName("North America").value();
+  EXPECT_GE(world_.zone(na).road_network_size,
+            world_.zone(us).road_network_size);
+}
+
+TEST_F(ActivityModelTest, WorksOnScaledWorld) {
+  WorldMap small(64);
+  ActivityModel model(options_, &small, 32);
+  double total = 0.0;
+  for (ZoneId id : small.country_ids()) total += model.CountryWeight(id);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(model.road_mix().size(), 32u);
+}
+
+}  // namespace
+}  // namespace rased

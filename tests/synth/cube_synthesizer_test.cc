@@ -1,0 +1,136 @@
+#include "synth/cube_synthesizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "index/cube_builder.h"
+#include "synth/update_generator.h"
+
+namespace rased {
+namespace {
+
+class CubeSynthesizerTest : public ::testing::Test {
+ protected:
+  CubeSynthesizerTest() : schema_(CubeSchema::BenchScale()), world_(64) {
+    options_.seed = 13;
+    options_.base_updates_per_day = 80.0;
+    options_.period =
+        DateRange(Date::FromYmd(2020, 1, 1), Date::FromYmd(2021, 12, 31));
+  }
+
+  SynthOptions options_;
+  CubeSchema schema_;
+  WorldMap world_;
+};
+
+TEST_F(CubeSynthesizerTest, Deterministic) {
+  CubeSynthesizer synth(options_, &world_, schema_);
+  Date d = Date::FromYmd(2020, 4, 1);
+  EXPECT_EQ(synth.DayCube(d), synth.DayCube(d));
+  EXPECT_FALSE(synth.DayCube(d) == synth.DayCube(d.next()));
+}
+
+TEST_F(CubeSynthesizerTest, ContinentCellsEqualSumOfMembers) {
+  CubeSynthesizer synth(options_, &world_, schema_);
+  DataCube cube = synth.DayCube(Date::FromYmd(2021, 7, 1));
+  // For every continent, its slice total equals the sum over member
+  // countries — the invariant CubeBuilder maintains on the record path.
+  for (const Zone& z : world_.zones()) {
+    if (z.kind != ZoneKind::kContinent) continue;
+    uint64_t member_sum = 0;
+    for (ZoneId c : world_.country_ids()) {
+      if (world_.zone(c).parent != z.id) continue;
+      CubeSlice slice;
+      slice.countries = {c};
+      member_sum += cube.SumSlice(slice);
+    }
+    CubeSlice continent_slice;
+    continent_slice.countries = {z.id};
+    EXPECT_EQ(cube.SumSlice(continent_slice), member_sum) << z.name;
+  }
+}
+
+TEST_F(CubeSynthesizerTest, VolumeMatchesActivityModel) {
+  CubeSynthesizer synth(options_, &world_, schema_);
+  // Total over countries (disjoint partition) should track the model's
+  // intensity; continents double it.
+  double expected = 0.0;
+  uint64_t actual = 0;
+  for (int i = 0; i < 10; ++i) {
+    Date d = Date::FromYmd(2021, 3, 1).AddDays(i);
+    for (ZoneId c : world_.country_ids()) {
+      expected += synth.activity().CountryIntensity(c, d);
+    }
+    CubeSlice countries_only;
+    for (ZoneId c : world_.country_ids()) {
+      countries_only.countries.push_back(c);
+    }
+    actual += synth.DayCube(d).SumSlice(countries_only);
+  }
+  EXPECT_NEAR(static_cast<double>(actual), expected,
+              5 * std::sqrt(expected) + 10);
+}
+
+TEST_F(CubeSynthesizerTest, StatisticallyMatchesRecordPath) {
+  // The fast path and the record path must be statistically
+  // indistinguishable: compare per-country mean daily volume over a month.
+  RoadTypeTable roads(schema_.num_road_types);
+  UpdateGenerator gen(options_, &world_, &roads);
+  CubeBuilder builder(schema_, &world_);
+  CubeSynthesizer synth(options_, &world_, schema_);
+
+  DataCube from_records(schema_);
+  DataCube from_synth(schema_);
+  for (int i = 0; i < 28; ++i) {
+    Date d = Date::FromYmd(2021, 2, 1).AddDays(i);
+    DataCube day = builder.BuildCube(gen.GenerateDayRecords(d));
+    ASSERT_TRUE(from_records.Merge(day).ok());
+    ASSERT_TRUE(from_synth.Merge(synth.DayCube(d)).ok());
+  }
+  // Compare aggregate country slices: each is a Poisson sum with the same
+  // mean; allow 6 sigma.
+  for (ZoneId c : world_.country_ids()) {
+    CubeSlice slice;
+    slice.countries = {c};
+    double a = static_cast<double>(from_records.SumSlice(slice));
+    double b = static_cast<double>(from_synth.SumSlice(slice));
+    double tol = 6 * std::sqrt(std::max(a, b) + 1) + 6;
+    EXPECT_NEAR(a, b, tol) << world_.zone(c).name;
+  }
+  // Element-type mix agrees too.
+  for (uint32_t et = 0; et < 3; ++et) {
+    CubeSlice slice;
+    slice.element_types = {et};
+    double a = static_cast<double>(from_records.SumSlice(slice));
+    double b = static_cast<double>(from_synth.SumSlice(slice));
+    EXPECT_NEAR(a, b, 6 * std::sqrt(std::max(a, b) + 1) + 6) << "et " << et;
+  }
+}
+
+TEST_F(CubeSynthesizerTest, PaperScaleSplitsUsaAcrossStates) {
+  WorldMap world(305);
+  CubeSchema schema = CubeSchema::PaperScale();
+  SynthOptions options = options_;
+  options.base_updates_per_day = 500.0;
+  CubeSynthesizer synth(options, &world, schema);
+  DataCube cube = synth.DayCube(Date::FromYmd(2021, 7, 1));
+
+  ZoneId usa = world.FindByName("United States").value();
+  CubeSlice usa_slice;
+  usa_slice.countries = {usa};
+  uint64_t usa_total = cube.SumSlice(usa_slice);
+  ASSERT_GT(usa_total, 0u);
+
+  uint64_t state_total = 0;
+  for (const Zone& z : world.zones()) {
+    if (z.kind != ZoneKind::kState) continue;
+    CubeSlice slice;
+    slice.countries = {z.id};
+    state_total += cube.SumSlice(slice);
+  }
+  EXPECT_EQ(state_total, usa_total);
+}
+
+}  // namespace
+}  // namespace rased

@@ -1,0 +1,47 @@
+#ifndef RASED_TESTS_TEST_HELPERS_H_
+#define RASED_TESTS_TEST_HELPERS_H_
+
+#include <memory>
+#include <string>
+
+#include "core/rased.h"
+#include "io/env.h"
+#include "synth/update_generator.h"
+
+namespace rased {
+namespace testing_helpers {
+
+/// Builds a small but fully populated Rased instance: bench-scale schema,
+/// two months of synthetic history ingested through the real daily
+/// pipeline (records + warehouse), cache warmed.
+inline std::unique_ptr<Rased> MakePopulatedRased(
+    const std::string& dir, Date first = Date::FromYmd(2021, 1, 1),
+    Date last = Date::FromYmd(2021, 2, 28), double base_rate = 40.0) {
+  RasedOptions options;
+  options.dir = dir;
+  options.schema = CubeSchema::BenchScale();
+  options.num_levels = 4;
+  options.device = DeviceModel{100, 100, 0.0};
+  options.cache.num_slots = 32;
+  auto rased = Rased::Create(options);
+  if (!rased.ok()) return nullptr;
+
+  SynthOptions synth_options;
+  synth_options.seed = 21;
+  synth_options.base_updates_per_day = base_rate;
+  synth_options.period = DateRange(first, last);
+  UpdateGenerator gen(synth_options, &rased.value()->world(),
+                      rased.value()->road_types());
+  gen.activity().InitRoadNetworkSizes(rased.value()->mutable_world());
+  for (Date d = first; d <= last; d = d.next()) {
+    Status s = rased.value()->IngestDayRecords(d, gen.GenerateDayRecords(d));
+    if (!s.ok()) return nullptr;
+  }
+  if (!rased.value()->WarmCache().ok()) return nullptr;
+  return std::move(rased).value();
+}
+
+}  // namespace testing_helpers
+}  // namespace rased
+
+#endif  // RASED_TESTS_TEST_HELPERS_H_

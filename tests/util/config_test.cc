@@ -1,0 +1,102 @@
+#include "util/config.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "io/env.h"
+
+namespace rased {
+namespace {
+
+TEST(ConfigTest, SetAndGet) {
+  Config c;
+  c.Set("name", "rased");
+  c.Set("slots", "512");
+  c.Set("alpha", "0.4");
+  c.Set("verbose", "true");
+  EXPECT_EQ(c.GetString("name", ""), "rased");
+  EXPECT_EQ(c.GetInt("slots", 0), 512);
+  EXPECT_DOUBLE_EQ(c.GetDouble("alpha", 0.0), 0.4);
+  EXPECT_TRUE(c.GetBool("verbose", false));
+  EXPECT_TRUE(c.Has("name"));
+  EXPECT_FALSE(c.Has("missing"));
+}
+
+TEST(ConfigTest, DefaultsWhenAbsent) {
+  Config c;
+  EXPECT_EQ(c.GetString("k", "dflt"), "dflt");
+  EXPECT_EQ(c.GetInt("k", 7), 7);
+  EXPECT_DOUBLE_EQ(c.GetDouble("k", 1.5), 1.5);
+  EXPECT_FALSE(c.GetBool("k", false));
+  EXPECT_TRUE(c.GetBool("k", true));
+}
+
+TEST(ConfigTest, BoolSpellings) {
+  Config c;
+  for (const char* yes : {"1", "true", "yes", "on", "TRUE", "Yes"}) {
+    c.Set("b", yes);
+    EXPECT_TRUE(c.GetBool("b", false)) << yes;
+  }
+  for (const char* no : {"0", "false", "off", "no"}) {
+    c.Set("b", no);
+    EXPECT_FALSE(c.GetBool("b", true)) << no;
+  }
+}
+
+TEST(ConfigTest, ParseArgs) {
+  Config c;
+  const char* argv[] = {"prog", "cache_slots=128", "mode=flat"};
+  ASSERT_TRUE(c.ParseArgs(3, argv).ok());
+  EXPECT_EQ(c.GetInt("cache_slots", 0), 128);
+  EXPECT_EQ(c.GetString("mode", ""), "flat");
+}
+
+TEST(ConfigTest, ParseArgsRejectsBareWords) {
+  Config c;
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_TRUE(c.ParseArgs(2, argv).IsInvalidArgument());
+}
+
+TEST(ConfigTest, LoadFile) {
+  TempDir dir("config-test");
+  ASSERT_TRUE(dir.valid());
+  std::string path = env::JoinPath(dir.path(), "test.conf");
+  ASSERT_TRUE(env::WriteFile(path,
+                             "# comment\n"
+                             "key = value\n"
+                             "\n"
+                             "num=3\n")
+                  .ok());
+  Config c;
+  ASSERT_TRUE(c.LoadFile(path).ok());
+  EXPECT_EQ(c.GetString("key", ""), "value");
+  EXPECT_EQ(c.GetInt("num", 0), 3);
+}
+
+TEST(ConfigTest, LoadFileRejectsMalformedLine) {
+  TempDir dir("config-test");
+  std::string path = env::JoinPath(dir.path(), "bad.conf");
+  ASSERT_TRUE(env::WriteFile(path, "no equals sign\n").ok());
+  Config c;
+  EXPECT_TRUE(c.LoadFile(path).IsInvalidArgument());
+}
+
+TEST(ConfigTest, LoadFileMissing) {
+  Config c;
+  EXPECT_TRUE(c.LoadFile("/nonexistent/rased.conf").IsIOError());
+}
+
+TEST(ConfigTest, EnvironmentOverride) {
+  ::setenv("RASED_TEST_ONLY_KEY", "from-env", 1);
+  Config c;
+  EXPECT_EQ(c.GetString("test_only_key", ""), "from-env");
+  EXPECT_TRUE(c.Has("test_only_key"));
+  // Explicit Set beats the environment.
+  c.Set("test_only_key", "explicit");
+  EXPECT_EQ(c.GetString("test_only_key", ""), "explicit");
+  ::unsetenv("RASED_TEST_ONLY_KEY");
+}
+
+}  // namespace
+}  // namespace rased

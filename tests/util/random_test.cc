@@ -1,0 +1,151 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  double p = static_cast<double>(hits) / n;
+  EXPECT_NEAR(p, 0.3, 0.02);
+}
+
+class RngPoissonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoissonTest, MeanAndVarianceMatch) {
+  // Property: a Poisson sample's mean and variance both approximate the
+  // requested mean, across the small-mean (Knuth) and large-mean (normal
+  // approximation) regimes.
+  double mean = GetParam();
+  Rng rng(17);
+  const int n = 20000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = static_cast<double>(rng.Poisson(mean));
+    sum += v;
+    sq += v * v;
+  }
+  double sample_mean = sum / n;
+  double sample_var = sq / n - sample_mean * sample_mean;
+  EXPECT_NEAR(sample_mean, mean, std::max(0.05, mean * 0.05));
+  EXPECT_NEAR(sample_var, mean, std::max(0.1, mean * 0.12));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, RngPoissonTest,
+                         ::testing::Values(0.1, 0.5, 2.0, 10.0, 63.0, 100.0,
+                                           1000.0));
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Poisson(0.0), 0u);
+    EXPECT_EQ(rng.Poisson(-1.0), 0u);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  const int n = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(29);
+  const int n = 20000;
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < n; ++i) {
+    uint64_t r = rng.Zipf(100, 0.9);
+    ASSERT_LT(r, 100u);
+    ++counts[r];
+  }
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], n / 20);  // rank 0 clearly dominant
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(RngTest, ZipfSingletonAlwaysZero) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Zipf(1, 1.0), 0u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace rased

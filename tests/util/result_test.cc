@@ -1,0 +1,70 @@
+#include "util/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r.value_or("fallback"), "hello");
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  RASED_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  RASED_ASSIGN_OR_RETURN(int w, ParsePositive(v + 1));
+  *out = w;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnDeclaresVariables) {
+  int out = 0;
+  ASSERT_TRUE(UseAssignOrReturn(5, &out).ok());
+  EXPECT_EQ(out, 6);
+  EXPECT_TRUE(UseAssignOrReturn(-1, &out).IsInvalidArgument());
+}
+
+TEST(ResultTest, CopyableResult) {
+  Result<std::string> a = std::string("x");
+  Result<std::string> b = a;
+  EXPECT_EQ(a.value(), "x");
+  EXPECT_EQ(b.value(), "x");
+}
+
+}  // namespace
+}  // namespace rased

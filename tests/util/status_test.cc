@@ -1,0 +1,61 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_EQ(Status::NotFound("missing cube").message(), "missing cube");
+}
+
+TEST(StatusTest, ErrorStatusIsNotOk) {
+  Status s = Status::IOError("disk gone");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.ToString(), "IOError: disk gone");
+}
+
+TEST(StatusTest, ToStringWithoutMessage) {
+  EXPECT_EQ(Status::Corruption("").ToString(), "Corruption");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::IOError("inner"); };
+  auto outer = [&]() -> Status {
+    RASED_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsIOError());
+
+  auto succeeds = [] { return Status::OK(); };
+  auto outer_ok = [&]() -> Status {
+    RASED_RETURN_IF_ERROR(succeeds());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_TRUE(outer_ok().IsAlreadyExists());
+}
+
+}  // namespace
+}  // namespace rased

@@ -1,0 +1,95 @@
+#include "util/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  auto parts = Split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, EmptyInputGivesOneEmptyField) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, "|"), '|'), parts);
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(TrimTest, RemovesWhitespace) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%05.1f", 3.14), "003.1");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  std::string long_str(1000, 'a');
+  EXPECT_EQ(StrFormat("%s", long_str.c_str()).size(), 1000u);
+}
+
+TEST(ParseIntTest, ValidAndInvalid) {
+  EXPECT_EQ(ParseInt("42").value_or(0), 42);
+  EXPECT_EQ(ParseInt("-17").value_or(0), -17);
+  EXPECT_EQ(ParseInt("  99  ").value_or(0), 99);  // trimmed
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("12x").ok());
+  EXPECT_FALSE(ParseInt("x12").ok());
+  EXPECT_FALSE(ParseInt("1.5").ok());
+}
+
+TEST(ParseUintTest, RejectsNegative) {
+  EXPECT_EQ(ParseUint("18446744073709551615").value_or(0),
+            18446744073709551615ull);
+  EXPECT_FALSE(ParseUint("-1").ok());
+  EXPECT_FALSE(ParseUint("").ok());
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").value_or(0), 3.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value_or(0), -1000.0);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5junk").ok());
+}
+
+TEST(WithThousandsSepTest, FormatsPaperStyle) {
+  // The paper's Figure 3 renders counts like 9,142,858.
+  EXPECT_EQ(WithThousandsSep(9142858), "9,142,858");
+  EXPECT_EQ(WithThousandsSep(0), "0");
+  EXPECT_EQ(WithThousandsSep(999), "999");
+  EXPECT_EQ(WithThousandsSep(1000), "1,000");
+  EXPECT_EQ(WithThousandsSep(1234567890123ull), "1,234,567,890,123");
+}
+
+TEST(AsciiLowerTest, LowersAsciiOnly) {
+  EXPECT_EQ(AsciiLower("HeLLo-42"), "hello-42");
+  EXPECT_EQ(AsciiLower(""), "");
+}
+
+}  // namespace
+}  // namespace rased

@@ -1,0 +1,201 @@
+#include "warehouse/warehouse.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "io/env.h"
+#include "util/random.h"
+
+namespace rased {
+namespace {
+
+class WarehouseTest : public ::testing::Test {
+ protected:
+  WarehouseOptions Options() {
+    WarehouseOptions options;
+    options.dir = env::JoinPath(dir_.path(), "wh-" + std::to_string(counter_++));
+    options.device = DeviceModel{50, 50, 0.0};
+    options.page_size = 1024;  // small pages exercise page boundaries
+    return options;
+  }
+
+  static UpdateRecord RecordAt(double lat, double lon, uint64_t changeset,
+                               Date date = Date::FromYmd(2021, 1, 1)) {
+    UpdateRecord r;
+    r.element_type = ElementType::kNode;
+    r.date = date;
+    r.country = 3;
+    r.lat = lat;
+    r.lon = lon;
+    r.road_type = 2;
+    r.update_type = UpdateType::kNew;
+    r.changeset_id = changeset;
+    return r;
+  }
+
+  TempDir dir_{"warehouse-test"};
+  int counter_ = 0;
+};
+
+TEST_F(WarehouseTest, AppendAndCount) {
+  auto wh = Warehouse::Create(Options());
+  ASSERT_TRUE(wh.ok()) << wh.status().ToString();
+  std::vector<UpdateRecord> records;
+  for (int i = 0; i < 100; ++i) {
+    records.push_back(RecordAt(i * 0.5, i * 0.25, 10 + i % 7));
+  }
+  ASSERT_TRUE(wh.value()->Append(records).ok());
+  EXPECT_EQ(wh.value()->num_records(), 100u);
+}
+
+TEST_F(WarehouseTest, FindByChangeset) {
+  auto wh = Warehouse::Create(Options());
+  ASSERT_TRUE(wh.ok());
+  ASSERT_TRUE(wh.value()
+                  ->Append({RecordAt(1, 1, 500), RecordAt(2, 2, 501),
+                            RecordAt(3, 3, 500)})
+                  .ok());
+  auto hits = wh.value()->FindByChangeset(500);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value().size(), 2u);
+  for (const UpdateRecord& r : hits.value()) {
+    EXPECT_EQ(r.changeset_id, 500u);
+  }
+  EXPECT_TRUE(wh.value()->FindByChangeset(999).value_or({}).empty());
+}
+
+TEST_F(WarehouseTest, SampleInBox) {
+  auto wh = Warehouse::Create(Options());
+  ASSERT_TRUE(wh.ok());
+  std::vector<UpdateRecord> records;
+  for (int i = 0; i < 50; ++i) {
+    records.push_back(RecordAt(i, i, 1));  // diagonal
+  }
+  ASSERT_TRUE(wh.value()->Append(records).ok());
+  auto hits = wh.value()->SampleInBox(BoundingBox{10, 10, 20, 20}, 100);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value().size(), 11u);  // lat 10..20 inclusive
+  for (const UpdateRecord& r : hits.value()) {
+    EXPECT_GE(r.lat, 10);
+    EXPECT_LE(r.lat, 20);
+  }
+}
+
+TEST_F(WarehouseTest, SampleInBoxHonorsLimit) {
+  auto wh = Warehouse::Create(Options());
+  ASSERT_TRUE(wh.ok());
+  std::vector<UpdateRecord> records;
+  for (int i = 0; i < 500; ++i) records.push_back(RecordAt(5, 5, 1));
+  ASSERT_TRUE(wh.value()->Append(records).ok());
+  auto hits = wh.value()->SampleInBox(BoundingBox{0, 0, 10, 10}, 100);
+  ASSERT_TRUE(hits.ok());
+  // The paper's default sample size: N = 100.
+  EXPECT_EQ(hits.value().size(), 100u);
+}
+
+TEST_F(WarehouseTest, SampleWithFilter) {
+  auto wh = Warehouse::Create(Options());
+  ASSERT_TRUE(wh.ok());
+  std::vector<UpdateRecord> records;
+  for (int i = 0; i < 60; ++i) {
+    UpdateRecord r = RecordAt(i, i, 1, Date::FromYmd(2021, 1, 1 + i % 28));
+    r.update_type = i % 2 == 0 ? UpdateType::kNew : UpdateType::kDelete;
+    records.push_back(r);
+  }
+  ASSERT_TRUE(wh.value()->Append(records).ok());
+
+  SampleFilter filter;
+  filter.update_types = {UpdateType::kDelete};
+  auto hits = wh.value()->Sample(filter, nullptr, 1000);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value().size(), 30u);
+
+  filter.range = DateRange(Date::FromYmd(2021, 1, 1),
+                           Date::FromYmd(2021, 1, 7));
+  auto bounded = wh.value()->Sample(filter, nullptr, 1000);
+  ASSERT_TRUE(bounded.ok());
+  for (const UpdateRecord& r : bounded.value()) {
+    EXPECT_LE(r.date, Date::FromYmd(2021, 1, 7));
+    EXPECT_EQ(r.update_type, UpdateType::kDelete);
+  }
+}
+
+TEST_F(WarehouseTest, SampleWithSpatialFilterCombination) {
+  auto wh = Warehouse::Create(Options());
+  ASSERT_TRUE(wh.ok());
+  std::vector<UpdateRecord> records;
+  for (int i = 0; i < 40; ++i) {
+    UpdateRecord r = RecordAt(i, i, 1);
+    r.element_type = i % 2 == 0 ? ElementType::kNode : ElementType::kWay;
+    records.push_back(r);
+  }
+  ASSERT_TRUE(wh.value()->Append(records).ok());
+  SampleFilter filter;
+  filter.element_types = {ElementType::kWay};
+  BoundingBox box{0, 0, 19, 19};
+  auto hits = wh.value()->Sample(filter, &box, 100);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value().size(), 10u);  // odd i in 0..19
+}
+
+TEST_F(WarehouseTest, PersistsAcrossReopen) {
+  WarehouseOptions options = Options();
+  {
+    auto wh = Warehouse::Create(options);
+    ASSERT_TRUE(wh.ok());
+    std::vector<UpdateRecord> records;
+    for (int i = 0; i < 123; ++i) {
+      records.push_back(RecordAt(i * 0.1, i * 0.2, 42));
+    }
+    ASSERT_TRUE(wh.value()->Append(records).ok());
+  }
+  auto wh = Warehouse::Open(options);
+  ASSERT_TRUE(wh.ok()) << wh.status().ToString();
+  EXPECT_EQ(wh.value()->num_records(), 123u);
+  auto hits = wh.value()->FindByChangeset(42);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value().size(), 123u);
+  // Spatial index was rebuilt too.
+  auto in_box = wh.value()->SampleInBox(BoundingBox{0, 0, 100, 100}, 0);
+  ASSERT_TRUE(in_box.ok());
+  EXPECT_EQ(in_box.value().size(), 123u);
+}
+
+TEST_F(WarehouseTest, UnflushedTailIsQueryable) {
+  auto wh = Warehouse::Create(Options());
+  ASSERT_TRUE(wh.ok());
+  // Fewer records than one page holds.
+  ASSERT_TRUE(wh.value()->Append({RecordAt(7, 7, 77)}).ok());
+  auto hits = wh.value()->FindByChangeset(77);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits.value().size(), 1u);
+  EXPECT_DOUBLE_EQ(hits.value()[0].lat, 7);
+}
+
+TEST_F(WarehouseTest, PageReadsAreBatchedByLocatorOrder) {
+  auto wh = Warehouse::Create(Options());
+  ASSERT_TRUE(wh.ok());
+  std::vector<UpdateRecord> records;
+  for (int i = 0; i < 200; ++i) {
+    records.push_back(RecordAt(1, 1, 5));  // all in one tiny box
+  }
+  ASSERT_TRUE(wh.value()->Append(records).ok());
+  ASSERT_TRUE(wh.value()->Sync().ok());
+  wh.value()->pager()->ResetStats();
+  auto hits = wh.value()->FindByChangeset(5);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value().size(), 200u);
+  // 1024-byte pages hold 30 records => 200 records span 7 pages; the
+  // one-page cache must keep reads at page-count, not record-count.
+  EXPECT_LE(wh.value()->pager()->stats().page_reads, 8u);
+}
+
+TEST_F(WarehouseTest, CreateRejectsExisting) {
+  WarehouseOptions options = Options();
+  ASSERT_TRUE(Warehouse::Create(options).ok());
+  EXPECT_TRUE(Warehouse::Create(options).status().IsAlreadyExists());
+}
+
+}  // namespace
+}  // namespace rased

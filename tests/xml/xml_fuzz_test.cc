@@ -1,0 +1,138 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "osm/changeset.h"
+#include "osm/history.h"
+#include "osm/osc.h"
+#include "util/random.h"
+#include "xml/xml_reader.h"
+
+namespace rased {
+namespace {
+
+// Robustness property: no input — however mangled — may crash, hang, or
+// leave the parsers in an undefined state. Every outcome must be either a
+// clean parse or a clean error Status.
+
+const char kSeedDoc[] = R"(<?xml version="1.0" encoding="UTF-8"?>
+<osmChange version="0.6" generator="fuzz">
+  <create>
+    <node id="1" version="1" timestamp="2021-01-01T00:00:00Z"
+          changeset="7" uid="3" user="a&amp;b" lat="45.0" lon="-93.2">
+      <tag k="highway" v="residential"/>
+    </node>
+    <way id="2" version="3" timestamp="2021-01-02T10:30:00Z" changeset="8">
+      <nd ref="1"/><nd ref="5"/>
+      <tag k="highway" v="service"/>
+    </way>
+  </create>
+  <modify>
+    <relation id="3" version="2" timestamp="2021-01-03T04:05:06Z"
+              changeset="9">
+      <member type="way" ref="2" role="outer"/>
+    </relation>
+  </modify>
+</osmChange>)";
+
+std::string Mutate(const std::string& doc, Rng& rng) {
+  std::string out = doc;
+  int mutations = 1 + static_cast<int>(rng.Uniform(8));
+  for (int i = 0; i < mutations && !out.empty(); ++i) {
+    size_t pos = rng.Uniform(out.size());
+    switch (rng.Uniform(5)) {
+      case 0:  // flip a byte
+        out[pos] = static_cast<char>(rng.Uniform(256));
+        break;
+      case 1:  // delete a span
+        out.erase(pos, 1 + rng.Uniform(16));
+        break;
+      case 2:  // duplicate a span
+        out.insert(pos, out.substr(pos, 1 + rng.Uniform(16)));
+        break;
+      case 3:  // inject markup-ish noise
+        out.insert(pos, "<&\"/>");
+        break;
+      case 4:  // truncate
+        out.resize(pos);
+        break;
+    }
+  }
+  return out;
+}
+
+TEST(XmlFuzzTest, ReaderNeverCrashesOnMutatedInput) {
+  Rng rng(20260704);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string doc = Mutate(kSeedDoc, rng);
+    XmlReader reader(doc);
+    int events = 0;
+    for (;;) {
+      auto ev = reader.Next();
+      if (!ev.ok()) break;  // clean error
+      if (ev.value() == XmlEvent::kEof) break;
+      // A mangled document must still terminate in bounded events.
+      ASSERT_LT(++events, 100000) << "parser failed to terminate";
+    }
+  }
+}
+
+TEST(XmlFuzzTest, OscReaderNeverCrashesOnMutatedInput) {
+  Rng rng(777);
+  int parsed_ok = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string doc = Mutate(kSeedDoc, rng);
+    auto changes = OscReader::ParseAll(doc);
+    if (changes.ok()) ++parsed_ok;  // rare but possible (benign mutations)
+  }
+  // The specific count is irrelevant; surviving 300 hostile inputs is the
+  // assertion. parsed_ok is used so the loop is not optimized away.
+  EXPECT_GE(parsed_ok, 0);
+}
+
+TEST(XmlFuzzTest, ChangesetAndHistoryReadersSurviveMutations) {
+  const char kChangesetDoc[] = R"(<osm>
+    <changeset id="5" created_at="2021-01-01T00:00:00Z" open="false"
+               min_lat="1.0" min_lon="2.0" max_lat="3.0" max_lon="4.0">
+      <tag k="comment" v="x"/>
+    </changeset>
+  </osm>)";
+  Rng rng(888);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string doc = Mutate(kChangesetDoc, rng);
+    (void)ChangesetReader::ParseAll(doc);
+    (void)HistoryReader::ParseAll(doc);
+  }
+}
+
+TEST(XmlFuzzTest, DeeplyNestedInputTerminates) {
+  // Pathological nesting must not blow the stack or hang.
+  std::string doc;
+  for (int i = 0; i < 5000; ++i) doc += "<a>";
+  XmlReader reader(doc);
+  for (;;) {
+    auto ev = reader.Next();
+    if (!ev.ok() || ev.value() == XmlEvent::kEof) break;
+  }
+  SUCCEED();
+}
+
+TEST(XmlFuzzTest, HugeAttributeAndEntityFlood) {
+  std::string doc = "<a v=\"" + std::string(100000, 'x') + "\"/>";
+  XmlReader reader(doc);
+  auto ev = reader.Next();
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(reader.FindAttr("v")->size(), 100000u);
+
+  std::string entities = "<a>";
+  for (int i = 0; i < 10000; ++i) entities += "&amp;";
+  entities += "</a>";
+  XmlReader reader2(entities);
+  ASSERT_TRUE(reader2.Next().ok());
+  auto text = reader2.Next();
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(reader2.text().size(), 10000u);
+}
+
+}  // namespace
+}  // namespace rased

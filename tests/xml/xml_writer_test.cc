@@ -1,0 +1,151 @@
+#include "xml/xml_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "xml/xml_reader.h"
+
+namespace rased {
+namespace {
+
+TEST(XmlWriterTest, Declaration) {
+  std::string out;
+  XmlWriter w(&out);
+  w.WriteDeclaration();
+  EXPECT_EQ(out, "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+}
+
+TEST(XmlWriterTest, SelfClosingWhenEmpty) {
+  std::string out;
+  XmlWriter w(&out, /*pretty=*/false);
+  w.StartElement("node");
+  w.Attribute("id", static_cast<int64_t>(7));
+  w.EndElement();
+  EXPECT_EQ(out, "<node id=\"7\"/>");
+}
+
+TEST(XmlWriterTest, NestedWithChildren) {
+  std::string out;
+  XmlWriter w(&out, /*pretty=*/false);
+  w.StartElement("osm");
+  w.StartElement("node");
+  w.EndElement();
+  w.EndElement();
+  EXPECT_EQ(out, "<osm><node/></osm>");
+}
+
+TEST(XmlWriterTest, EscapesAttributeValues) {
+  std::string out;
+  XmlWriter w(&out, /*pretty=*/false);
+  w.StartElement("t");
+  w.Attribute("v", "a<b>&\"c");
+  w.EndElement();
+  EXPECT_EQ(out, "<t v=\"a&lt;b&gt;&amp;&quot;c\"/>");
+}
+
+TEST(XmlWriterTest, EscapesText) {
+  std::string out;
+  XmlWriter w(&out, /*pretty=*/false);
+  w.StartElement("t");
+  w.Text("1 < 2 & 3 > 2");
+  w.EndElement();
+  EXPECT_EQ(out, "<t>1 &lt; 2 &amp; 3 &gt; 2</t>");
+}
+
+TEST(XmlWriterTest, CoordinateFormatting) {
+  std::string out;
+  XmlWriter w(&out, /*pretty=*/false);
+  w.StartElement("node");
+  w.AttributeCoord("lat", 44.9778);
+  w.AttributeCoord("lon", -93.2650001);
+  w.EndElement();
+  EXPECT_EQ(out, "<node lat=\"44.9778000\" lon=\"-93.2650001\"/>");
+}
+
+TEST(XmlWriterTest, DepthTracksNesting) {
+  std::string out;
+  XmlWriter w(&out);
+  EXPECT_EQ(w.depth(), 0);
+  w.StartElement("a");
+  EXPECT_EQ(w.depth(), 1);
+  w.StartElement("b");
+  EXPECT_EQ(w.depth(), 2);
+  w.EndElement();
+  w.EndElement();
+  EXPECT_EQ(w.depth(), 0);
+}
+
+TEST(XmlWriterTest, WriterReaderRoundTrip) {
+  std::string out;
+  XmlWriter w(&out);
+  w.WriteDeclaration();
+  w.StartElement("osm");
+  w.Attribute("version", "0.6");
+  w.StartElement("node");
+  w.Attribute("id", static_cast<int64_t>(-5));
+  w.Attribute("user", "weird \"name\" & <tag>");
+  w.EndElement();
+  w.EndElement();
+
+  XmlReader reader(out);
+  auto ev = reader.Next();
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(reader.name(), "osm");
+  EXPECT_EQ(*reader.FindAttr("version"), "0.6");
+  ev = reader.Next();
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(reader.name(), "node");
+  EXPECT_EQ(*reader.FindAttr("id"), "-5");
+  EXPECT_EQ(*reader.FindAttr("user"), "weird \"name\" & <tag>");
+}
+
+TEST(XmlWriterTest, RandomizedRoundTripProperty) {
+  // Property: any tree written by XmlWriter parses back with the same
+  // structure (start/end pairing and attribute values).
+  Rng rng(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::string out;
+    XmlWriter w(&out, trial % 2 == 0);
+    int opened = 0, total_elements = 0;
+    std::vector<std::string> stack;
+    // Random open/close/attr walk.
+    for (int step = 0; step < 60; ++step) {
+      int action = static_cast<int>(rng.Uniform(3));
+      if (action == 0 || opened == 0) {
+        std::string name = "e" + std::to_string(total_elements++);
+        w.StartElement(name);
+        stack.push_back(name);
+        if (rng.Bernoulli(0.5)) {
+          w.Attribute("k", "v&" + std::to_string(step));
+        }
+        ++opened;
+      } else if (action == 1 && opened > 0) {
+        w.EndElement();
+        stack.pop_back();
+        --opened;
+      } else if (opened > 0) {
+        w.Text("t" + std::to_string(step));
+      }
+    }
+    while (opened-- > 0) w.EndElement();
+
+    XmlReader reader(out);
+    int depth = 0;
+    int starts = 0;
+    for (;;) {
+      auto ev = reader.Next();
+      ASSERT_TRUE(ev.ok()) << ev.status().ToString() << "\n" << out;
+      if (ev.value() == XmlEvent::kEof) break;
+      if (ev.value() == XmlEvent::kStartElement) {
+        ++depth;
+        ++starts;
+      }
+      if (ev.value() == XmlEvent::kEndElement) --depth;
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_EQ(starts, total_elements);
+  }
+}
+
+}  // namespace
+}  // namespace rased

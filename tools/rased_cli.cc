@@ -1,0 +1,5 @@
+// The `rased` command-line tool; all logic lives in src/cli (testable).
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) { return rased::RunCli(argc, argv); }
