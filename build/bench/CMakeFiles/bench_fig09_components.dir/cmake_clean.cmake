@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_components.dir/bench_fig09_components.cc.o"
+  "CMakeFiles/bench_fig09_components.dir/bench_fig09_components.cc.o.d"
+  "bench_fig09_components"
+  "bench_fig09_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_vs_dbms.dir/bench_fig10_vs_dbms.cc.o"
+  "CMakeFiles/bench_fig10_vs_dbms.dir/bench_fig10_vs_dbms.cc.o.d"
+  "bench_fig10_vs_dbms"
+  "bench_fig10_vs_dbms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_vs_dbms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/librased_bench_common.a"
+  "../lib/librased_bench_common.pdb"
+  "CMakeFiles/rased_bench_common.dir/common/bench_common.cc.o"
+  "CMakeFiles/rased_bench_common.dir/common/bench_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rased_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/country_analysis.dir/country_analysis.cc.o"
+  "CMakeFiles/country_analysis.dir/country_analysis.cc.o.d"
+  "country_analysis"
+  "country_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/country_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashboard_server.dir/dashboard_server.cc.o"
+  "CMakeFiles/dashboard_server.dir/dashboard_server.cc.o.d"
+  "dashboard_server"
+  "dashboard_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashboard_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

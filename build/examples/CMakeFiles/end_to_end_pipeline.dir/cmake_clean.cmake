@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/end_to_end_pipeline.dir/end_to_end_pipeline.cc.o"
+  "CMakeFiles/end_to_end_pipeline.dir/end_to_end_pipeline.cc.o.d"
+  "end_to_end_pipeline"
+  "end_to_end_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/end_to_end_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/roadtype_and_timeseries.cc" "examples/CMakeFiles/roadtype_and_timeseries.dir/roadtype_and_timeseries.cc.o" "gcc" "examples/CMakeFiles/roadtype_and_timeseries.dir/roadtype_and_timeseries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dashboard/CMakeFiles/rased_dashboard.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rased_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/rased_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbms/CMakeFiles/rased_dbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/warehouse/CMakeFiles/rased_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/rased_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rased_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/rased_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/rased_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/rased_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/rased_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/osm/CMakeFiles/rased_osm.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/rased_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rased_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rased_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadtype_and_timeseries.dir/roadtype_and_timeseries.cc.o"
+  "CMakeFiles/roadtype_and_timeseries.dir/roadtype_and_timeseries.cc.o.d"
+  "roadtype_and_timeseries"
+  "roadtype_and_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadtype_and_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

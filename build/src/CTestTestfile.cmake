@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("io")
+subdirs("xml")
+subdirs("osm")
+subdirs("geo")
+subdirs("synth")
+subdirs("collect")
+subdirs("cube")
+subdirs("index")
+subdirs("cache")
+subdirs("query")
+subdirs("warehouse")
+subdirs("dbms")
+subdirs("core")
+subdirs("dashboard")
+subdirs("cli")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rased_cache.dir/cube_cache.cc.o"
+  "CMakeFiles/rased_cache.dir/cube_cache.cc.o.d"
+  "librased_cache.a"
+  "librased_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rased_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

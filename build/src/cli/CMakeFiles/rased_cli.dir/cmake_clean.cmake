@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rased_cli.dir/cli.cc.o"
+  "CMakeFiles/rased_cli.dir/cli.cc.o.d"
+  "librased_cli.a"
+  "librased_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rased_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

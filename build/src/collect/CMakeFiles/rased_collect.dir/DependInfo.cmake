@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collect/changeset_store.cc" "src/collect/CMakeFiles/rased_collect.dir/changeset_store.cc.o" "gcc" "src/collect/CMakeFiles/rased_collect.dir/changeset_store.cc.o.d"
+  "/root/repo/src/collect/daily_crawler.cc" "src/collect/CMakeFiles/rased_collect.dir/daily_crawler.cc.o" "gcc" "src/collect/CMakeFiles/rased_collect.dir/daily_crawler.cc.o.d"
+  "/root/repo/src/collect/monthly_crawler.cc" "src/collect/CMakeFiles/rased_collect.dir/monthly_crawler.cc.o" "gcc" "src/collect/CMakeFiles/rased_collect.dir/monthly_crawler.cc.o.d"
+  "/root/repo/src/collect/replication.cc" "src/collect/CMakeFiles/rased_collect.dir/replication.cc.o" "gcc" "src/collect/CMakeFiles/rased_collect.dir/replication.cc.o.d"
+  "/root/repo/src/collect/update_list_file.cc" "src/collect/CMakeFiles/rased_collect.dir/update_list_file.cc.o" "gcc" "src/collect/CMakeFiles/rased_collect.dir/update_list_file.cc.o.d"
+  "/root/repo/src/collect/update_record.cc" "src/collect/CMakeFiles/rased_collect.dir/update_record.cc.o" "gcc" "src/collect/CMakeFiles/rased_collect.dir/update_record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/osm/CMakeFiles/rased_osm.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/rased_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rased_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rased_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/rased_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

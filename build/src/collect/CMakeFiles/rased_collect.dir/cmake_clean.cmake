@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rased_collect.dir/changeset_store.cc.o"
+  "CMakeFiles/rased_collect.dir/changeset_store.cc.o.d"
+  "CMakeFiles/rased_collect.dir/daily_crawler.cc.o"
+  "CMakeFiles/rased_collect.dir/daily_crawler.cc.o.d"
+  "CMakeFiles/rased_collect.dir/monthly_crawler.cc.o"
+  "CMakeFiles/rased_collect.dir/monthly_crawler.cc.o.d"
+  "CMakeFiles/rased_collect.dir/replication.cc.o"
+  "CMakeFiles/rased_collect.dir/replication.cc.o.d"
+  "CMakeFiles/rased_collect.dir/update_list_file.cc.o"
+  "CMakeFiles/rased_collect.dir/update_list_file.cc.o.d"
+  "CMakeFiles/rased_collect.dir/update_record.cc.o"
+  "CMakeFiles/rased_collect.dir/update_record.cc.o.d"
+  "librased_collect.a"
+  "librased_collect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rased_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

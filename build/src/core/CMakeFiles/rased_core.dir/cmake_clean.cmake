@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rased_core.dir/rased.cc.o"
+  "CMakeFiles/rased_core.dir/rased.cc.o.d"
+  "CMakeFiles/rased_core.dir/replication_ingestor.cc.o"
+  "CMakeFiles/rased_core.dir/replication_ingestor.cc.o.d"
+  "librased_core.a"
+  "librased_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rased_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cube/cube_schema.cc" "src/cube/CMakeFiles/rased_cube.dir/cube_schema.cc.o" "gcc" "src/cube/CMakeFiles/rased_cube.dir/cube_schema.cc.o.d"
+  "/root/repo/src/cube/data_cube.cc" "src/cube/CMakeFiles/rased_cube.dir/data_cube.cc.o" "gcc" "src/cube/CMakeFiles/rased_cube.dir/data_cube.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rased_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

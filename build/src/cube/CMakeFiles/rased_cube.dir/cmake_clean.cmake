@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rased_cube.dir/cube_schema.cc.o"
+  "CMakeFiles/rased_cube.dir/cube_schema.cc.o.d"
+  "CMakeFiles/rased_cube.dir/data_cube.cc.o"
+  "CMakeFiles/rased_cube.dir/data_cube.cc.o.d"
+  "librased_cube.a"
+  "librased_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rased_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rased_dashboard.dir/dashboard_service.cc.o"
+  "CMakeFiles/rased_dashboard.dir/dashboard_service.cc.o.d"
+  "CMakeFiles/rased_dashboard.dir/http_server.cc.o"
+  "CMakeFiles/rased_dashboard.dir/http_server.cc.o.d"
+  "CMakeFiles/rased_dashboard.dir/json_writer.cc.o"
+  "CMakeFiles/rased_dashboard.dir/json_writer.cc.o.d"
+  "CMakeFiles/rased_dashboard.dir/render.cc.o"
+  "CMakeFiles/rased_dashboard.dir/render.cc.o.d"
+  "librased_dashboard.a"
+  "librased_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rased_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

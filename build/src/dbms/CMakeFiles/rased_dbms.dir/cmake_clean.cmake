@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rased_dbms.dir/baseline_dbms.cc.o"
+  "CMakeFiles/rased_dbms.dir/baseline_dbms.cc.o.d"
+  "CMakeFiles/rased_dbms.dir/buffer_pool.cc.o"
+  "CMakeFiles/rased_dbms.dir/buffer_pool.cc.o.d"
+  "librased_dbms.a"
+  "librased_dbms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rased_dbms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/latlon.cc" "src/geo/CMakeFiles/rased_geo.dir/latlon.cc.o" "gcc" "src/geo/CMakeFiles/rased_geo.dir/latlon.cc.o.d"
+  "/root/repo/src/geo/rtree.cc" "src/geo/CMakeFiles/rased_geo.dir/rtree.cc.o" "gcc" "src/geo/CMakeFiles/rased_geo.dir/rtree.cc.o.d"
+  "/root/repo/src/geo/world_map.cc" "src/geo/CMakeFiles/rased_geo.dir/world_map.cc.o" "gcc" "src/geo/CMakeFiles/rased_geo.dir/world_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rased_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

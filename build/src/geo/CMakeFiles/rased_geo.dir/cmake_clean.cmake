@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rased_geo.dir/latlon.cc.o"
+  "CMakeFiles/rased_geo.dir/latlon.cc.o.d"
+  "CMakeFiles/rased_geo.dir/rtree.cc.o"
+  "CMakeFiles/rased_geo.dir/rtree.cc.o.d"
+  "CMakeFiles/rased_geo.dir/world_map.cc.o"
+  "CMakeFiles/rased_geo.dir/world_map.cc.o.d"
+  "librased_geo.a"
+  "librased_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rased_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

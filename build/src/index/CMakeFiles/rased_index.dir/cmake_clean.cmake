@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rased_index.dir/cube_builder.cc.o"
+  "CMakeFiles/rased_index.dir/cube_builder.cc.o.d"
+  "CMakeFiles/rased_index.dir/temporal_index.cc.o"
+  "CMakeFiles/rased_index.dir/temporal_index.cc.o.d"
+  "CMakeFiles/rased_index.dir/temporal_key.cc.o"
+  "CMakeFiles/rased_index.dir/temporal_key.cc.o.d"
+  "librased_index.a"
+  "librased_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rased_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

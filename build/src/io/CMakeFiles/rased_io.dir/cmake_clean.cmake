@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rased_io.dir/crc32c.cc.o"
+  "CMakeFiles/rased_io.dir/crc32c.cc.o.d"
+  "CMakeFiles/rased_io.dir/env.cc.o"
+  "CMakeFiles/rased_io.dir/env.cc.o.d"
+  "CMakeFiles/rased_io.dir/page_file.cc.o"
+  "CMakeFiles/rased_io.dir/page_file.cc.o.d"
+  "CMakeFiles/rased_io.dir/pager.cc.o"
+  "CMakeFiles/rased_io.dir/pager.cc.o.d"
+  "librased_io.a"
+  "librased_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rased_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

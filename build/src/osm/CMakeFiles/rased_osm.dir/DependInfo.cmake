@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osm/changeset.cc" "src/osm/CMakeFiles/rased_osm.dir/changeset.cc.o" "gcc" "src/osm/CMakeFiles/rased_osm.dir/changeset.cc.o.d"
+  "/root/repo/src/osm/element.cc" "src/osm/CMakeFiles/rased_osm.dir/element.cc.o" "gcc" "src/osm/CMakeFiles/rased_osm.dir/element.cc.o.d"
+  "/root/repo/src/osm/element_xml.cc" "src/osm/CMakeFiles/rased_osm.dir/element_xml.cc.o" "gcc" "src/osm/CMakeFiles/rased_osm.dir/element_xml.cc.o.d"
+  "/root/repo/src/osm/history.cc" "src/osm/CMakeFiles/rased_osm.dir/history.cc.o" "gcc" "src/osm/CMakeFiles/rased_osm.dir/history.cc.o.d"
+  "/root/repo/src/osm/osc.cc" "src/osm/CMakeFiles/rased_osm.dir/osc.cc.o" "gcc" "src/osm/CMakeFiles/rased_osm.dir/osc.cc.o.d"
+  "/root/repo/src/osm/road_types.cc" "src/osm/CMakeFiles/rased_osm.dir/road_types.cc.o" "gcc" "src/osm/CMakeFiles/rased_osm.dir/road_types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rased_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/rased_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

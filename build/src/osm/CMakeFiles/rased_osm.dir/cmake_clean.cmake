@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rased_osm.dir/changeset.cc.o"
+  "CMakeFiles/rased_osm.dir/changeset.cc.o.d"
+  "CMakeFiles/rased_osm.dir/element.cc.o"
+  "CMakeFiles/rased_osm.dir/element.cc.o.d"
+  "CMakeFiles/rased_osm.dir/element_xml.cc.o"
+  "CMakeFiles/rased_osm.dir/element_xml.cc.o.d"
+  "CMakeFiles/rased_osm.dir/history.cc.o"
+  "CMakeFiles/rased_osm.dir/history.cc.o.d"
+  "CMakeFiles/rased_osm.dir/osc.cc.o"
+  "CMakeFiles/rased_osm.dir/osc.cc.o.d"
+  "CMakeFiles/rased_osm.dir/road_types.cc.o"
+  "CMakeFiles/rased_osm.dir/road_types.cc.o.d"
+  "librased_osm.a"
+  "librased_osm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rased_osm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

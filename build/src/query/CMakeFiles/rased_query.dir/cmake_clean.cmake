@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rased_query.dir/analysis_query.cc.o"
+  "CMakeFiles/rased_query.dir/analysis_query.cc.o.d"
+  "CMakeFiles/rased_query.dir/level_optimizer.cc.o"
+  "CMakeFiles/rased_query.dir/level_optimizer.cc.o.d"
+  "CMakeFiles/rased_query.dir/query_executor.cc.o"
+  "CMakeFiles/rased_query.dir/query_executor.cc.o.d"
+  "CMakeFiles/rased_query.dir/sql_parser.cc.o"
+  "CMakeFiles/rased_query.dir/sql_parser.cc.o.d"
+  "librased_query.a"
+  "librased_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rased_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

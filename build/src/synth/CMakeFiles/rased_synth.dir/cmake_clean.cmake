@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rased_synth.dir/activity_model.cc.o"
+  "CMakeFiles/rased_synth.dir/activity_model.cc.o.d"
+  "CMakeFiles/rased_synth.dir/cube_synthesizer.cc.o"
+  "CMakeFiles/rased_synth.dir/cube_synthesizer.cc.o.d"
+  "CMakeFiles/rased_synth.dir/update_generator.cc.o"
+  "CMakeFiles/rased_synth.dir/update_generator.cc.o.d"
+  "librased_synth.a"
+  "librased_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rased_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rased_util.dir/config.cc.o"
+  "CMakeFiles/rased_util.dir/config.cc.o.d"
+  "CMakeFiles/rased_util.dir/date.cc.o"
+  "CMakeFiles/rased_util.dir/date.cc.o.d"
+  "CMakeFiles/rased_util.dir/logging.cc.o"
+  "CMakeFiles/rased_util.dir/logging.cc.o.d"
+  "CMakeFiles/rased_util.dir/random.cc.o"
+  "CMakeFiles/rased_util.dir/random.cc.o.d"
+  "CMakeFiles/rased_util.dir/status.cc.o"
+  "CMakeFiles/rased_util.dir/status.cc.o.d"
+  "CMakeFiles/rased_util.dir/str_util.cc.o"
+  "CMakeFiles/rased_util.dir/str_util.cc.o.d"
+  "librased_util.a"
+  "librased_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rased_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

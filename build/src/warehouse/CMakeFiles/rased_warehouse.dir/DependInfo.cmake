@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/warehouse/warehouse.cc" "src/warehouse/CMakeFiles/rased_warehouse.dir/warehouse.cc.o" "gcc" "src/warehouse/CMakeFiles/rased_warehouse.dir/warehouse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collect/CMakeFiles/rased_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/rased_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rased_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rased_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/osm/CMakeFiles/rased_osm.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/rased_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

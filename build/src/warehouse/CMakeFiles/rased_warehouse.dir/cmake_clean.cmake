@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rased_warehouse.dir/warehouse.cc.o"
+  "CMakeFiles/rased_warehouse.dir/warehouse.cc.o.d"
+  "librased_warehouse.a"
+  "librased_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rased_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

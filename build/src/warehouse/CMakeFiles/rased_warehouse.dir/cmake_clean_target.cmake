@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librased_warehouse.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rased_xml.dir/xml_reader.cc.o"
+  "CMakeFiles/rased_xml.dir/xml_reader.cc.o.d"
+  "CMakeFiles/rased_xml.dir/xml_writer.cc.o"
+  "CMakeFiles/rased_xml.dir/xml_writer.cc.o.d"
+  "librased_xml.a"
+  "librased_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rased_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,84 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/cube_cache_test.cc" "tests/CMakeFiles/rased_tests.dir/cache/cube_cache_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/cache/cube_cache_test.cc.o.d"
+  "/root/repo/tests/cli/cli_test.cc" "tests/CMakeFiles/rased_tests.dir/cli/cli_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/cli/cli_test.cc.o.d"
+  "/root/repo/tests/collect/changeset_store_test.cc" "tests/CMakeFiles/rased_tests.dir/collect/changeset_store_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/collect/changeset_store_test.cc.o.d"
+  "/root/repo/tests/collect/daily_crawler_test.cc" "tests/CMakeFiles/rased_tests.dir/collect/daily_crawler_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/collect/daily_crawler_test.cc.o.d"
+  "/root/repo/tests/collect/monthly_crawler_test.cc" "tests/CMakeFiles/rased_tests.dir/collect/monthly_crawler_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/collect/monthly_crawler_test.cc.o.d"
+  "/root/repo/tests/collect/replication_test.cc" "tests/CMakeFiles/rased_tests.dir/collect/replication_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/collect/replication_test.cc.o.d"
+  "/root/repo/tests/collect/update_list_file_test.cc" "tests/CMakeFiles/rased_tests.dir/collect/update_list_file_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/collect/update_list_file_test.cc.o.d"
+  "/root/repo/tests/collect/update_record_test.cc" "tests/CMakeFiles/rased_tests.dir/collect/update_record_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/collect/update_record_test.cc.o.d"
+  "/root/repo/tests/cube/cube_schema_test.cc" "tests/CMakeFiles/rased_tests.dir/cube/cube_schema_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/cube/cube_schema_test.cc.o.d"
+  "/root/repo/tests/cube/data_cube_test.cc" "tests/CMakeFiles/rased_tests.dir/cube/data_cube_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/cube/data_cube_test.cc.o.d"
+  "/root/repo/tests/dashboard/dashboard_service_test.cc" "tests/CMakeFiles/rased_tests.dir/dashboard/dashboard_service_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/dashboard/dashboard_service_test.cc.o.d"
+  "/root/repo/tests/dashboard/http_server_test.cc" "tests/CMakeFiles/rased_tests.dir/dashboard/http_server_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/dashboard/http_server_test.cc.o.d"
+  "/root/repo/tests/dashboard/json_writer_test.cc" "tests/CMakeFiles/rased_tests.dir/dashboard/json_writer_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/dashboard/json_writer_test.cc.o.d"
+  "/root/repo/tests/dashboard/render_test.cc" "tests/CMakeFiles/rased_tests.dir/dashboard/render_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/dashboard/render_test.cc.o.d"
+  "/root/repo/tests/dbms/baseline_dbms_test.cc" "tests/CMakeFiles/rased_tests.dir/dbms/baseline_dbms_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/dbms/baseline_dbms_test.cc.o.d"
+  "/root/repo/tests/geo/latlon_test.cc" "tests/CMakeFiles/rased_tests.dir/geo/latlon_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/geo/latlon_test.cc.o.d"
+  "/root/repo/tests/geo/rtree_test.cc" "tests/CMakeFiles/rased_tests.dir/geo/rtree_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/geo/rtree_test.cc.o.d"
+  "/root/repo/tests/geo/world_map_test.cc" "tests/CMakeFiles/rased_tests.dir/geo/world_map_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/geo/world_map_test.cc.o.d"
+  "/root/repo/tests/index/cube_builder_test.cc" "tests/CMakeFiles/rased_tests.dir/index/cube_builder_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/index/cube_builder_test.cc.o.d"
+  "/root/repo/tests/index/index_consistency_test.cc" "tests/CMakeFiles/rased_tests.dir/index/index_consistency_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/index/index_consistency_test.cc.o.d"
+  "/root/repo/tests/index/temporal_index_test.cc" "tests/CMakeFiles/rased_tests.dir/index/temporal_index_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/index/temporal_index_test.cc.o.d"
+  "/root/repo/tests/index/temporal_key_test.cc" "tests/CMakeFiles/rased_tests.dir/index/temporal_key_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/index/temporal_key_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/rased_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/replication_ingestor_test.cc" "tests/CMakeFiles/rased_tests.dir/integration/replication_ingestor_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/integration/replication_ingestor_test.cc.o.d"
+  "/root/repo/tests/io/crc32c_test.cc" "tests/CMakeFiles/rased_tests.dir/io/crc32c_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/io/crc32c_test.cc.o.d"
+  "/root/repo/tests/io/env_test.cc" "tests/CMakeFiles/rased_tests.dir/io/env_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/io/env_test.cc.o.d"
+  "/root/repo/tests/io/page_file_test.cc" "tests/CMakeFiles/rased_tests.dir/io/page_file_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/io/page_file_test.cc.o.d"
+  "/root/repo/tests/io/pager_test.cc" "tests/CMakeFiles/rased_tests.dir/io/pager_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/io/pager_test.cc.o.d"
+  "/root/repo/tests/osm/changeset_test.cc" "tests/CMakeFiles/rased_tests.dir/osm/changeset_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/osm/changeset_test.cc.o.d"
+  "/root/repo/tests/osm/element_test.cc" "tests/CMakeFiles/rased_tests.dir/osm/element_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/osm/element_test.cc.o.d"
+  "/root/repo/tests/osm/history_test.cc" "tests/CMakeFiles/rased_tests.dir/osm/history_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/osm/history_test.cc.o.d"
+  "/root/repo/tests/osm/osc_test.cc" "tests/CMakeFiles/rased_tests.dir/osm/osc_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/osm/osc_test.cc.o.d"
+  "/root/repo/tests/osm/road_types_test.cc" "tests/CMakeFiles/rased_tests.dir/osm/road_types_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/osm/road_types_test.cc.o.d"
+  "/root/repo/tests/query/executor_brute_force_test.cc" "tests/CMakeFiles/rased_tests.dir/query/executor_brute_force_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/query/executor_brute_force_test.cc.o.d"
+  "/root/repo/tests/query/level_optimizer_test.cc" "tests/CMakeFiles/rased_tests.dir/query/level_optimizer_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/query/level_optimizer_test.cc.o.d"
+  "/root/repo/tests/query/query_executor_test.cc" "tests/CMakeFiles/rased_tests.dir/query/query_executor_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/query/query_executor_test.cc.o.d"
+  "/root/repo/tests/query/sql_parser_test.cc" "tests/CMakeFiles/rased_tests.dir/query/sql_parser_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/query/sql_parser_test.cc.o.d"
+  "/root/repo/tests/synth/activity_model_test.cc" "tests/CMakeFiles/rased_tests.dir/synth/activity_model_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/synth/activity_model_test.cc.o.d"
+  "/root/repo/tests/synth/cube_synthesizer_test.cc" "tests/CMakeFiles/rased_tests.dir/synth/cube_synthesizer_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/synth/cube_synthesizer_test.cc.o.d"
+  "/root/repo/tests/synth/update_generator_test.cc" "tests/CMakeFiles/rased_tests.dir/synth/update_generator_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/synth/update_generator_test.cc.o.d"
+  "/root/repo/tests/util/config_test.cc" "tests/CMakeFiles/rased_tests.dir/util/config_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/util/config_test.cc.o.d"
+  "/root/repo/tests/util/date_test.cc" "tests/CMakeFiles/rased_tests.dir/util/date_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/util/date_test.cc.o.d"
+  "/root/repo/tests/util/random_test.cc" "tests/CMakeFiles/rased_tests.dir/util/random_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/util/random_test.cc.o.d"
+  "/root/repo/tests/util/result_test.cc" "tests/CMakeFiles/rased_tests.dir/util/result_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/util/result_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/rased_tests.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/str_util_test.cc" "tests/CMakeFiles/rased_tests.dir/util/str_util_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/util/str_util_test.cc.o.d"
+  "/root/repo/tests/warehouse/warehouse_test.cc" "tests/CMakeFiles/rased_tests.dir/warehouse/warehouse_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/warehouse/warehouse_test.cc.o.d"
+  "/root/repo/tests/xml/xml_fuzz_test.cc" "tests/CMakeFiles/rased_tests.dir/xml/xml_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/xml/xml_fuzz_test.cc.o.d"
+  "/root/repo/tests/xml/xml_reader_test.cc" "tests/CMakeFiles/rased_tests.dir/xml/xml_reader_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/xml/xml_reader_test.cc.o.d"
+  "/root/repo/tests/xml/xml_writer_test.cc" "tests/CMakeFiles/rased_tests.dir/xml/xml_writer_test.cc.o" "gcc" "tests/CMakeFiles/rased_tests.dir/xml/xml_writer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/rased_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/dashboard/CMakeFiles/rased_dashboard.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rased_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbms/CMakeFiles/rased_dbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/rased_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/warehouse/CMakeFiles/rased_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/rased_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rased_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/rased_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/rased_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/rased_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/rased_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/osm/CMakeFiles/rased_osm.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/rased_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rased_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rased_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

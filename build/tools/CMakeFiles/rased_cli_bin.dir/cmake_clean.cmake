@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rased_cli_bin.dir/rased_cli.cc.o"
+  "CMakeFiles/rased_cli_bin.dir/rased_cli.cc.o.d"
+  "rased"
+  "rased.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rased_cli_bin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rased_cli_bin.
+# This may be replaced when dependencies are built.

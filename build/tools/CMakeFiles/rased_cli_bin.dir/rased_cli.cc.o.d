@@ -1,0 +1,3 @@
+tools/CMakeFiles/rased_cli_bin.dir/rased_cli.cc.o: \
+ /root/repo/tools/rased_cli.cc /usr/include/stdc-predef.h \
+ /root/repo/src/cli/../cli/cli.h
