@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -18,7 +19,10 @@ void CubeCache::Preload(TemporalIndex* index, Level level, size_t slots) {
                          << " failed: " << cube.status().ToString();
       continue;
     }
-    Entry entry{std::move(cube).value(), lru_list_.end(), false};
+    auto shared =
+        std::make_shared<const DataCube>(std::move(cube).value());
+    MutexLock lock(&mu_);
+    Entry entry{std::move(shared), lru_list_.end(), false};
     entries_.insert_or_assign(key, std::move(entry));
     ++stats_.preloaded;
   }
@@ -43,12 +47,14 @@ Status CubeCache::Warm(TemporalIndex* index) {
   Preload(index, Level::kYearly, yearly);
   // Daily receives its alpha share plus whatever the coarser levels could
   // not fill (an index may simply have fewer than theta*N yearly cubes).
-  size_t remaining = entries_.size() < n ? n - entries_.size() : 0;
+  size_t resident = size();
+  size_t remaining = resident < n ? n - resident : 0;
   Preload(index, Level::kDaily, remaining);
   return Status::OK();
 }
 
-const DataCube* CubeCache::Find(const CubeKey& key) {
+std::shared_ptr<const DataCube> CubeCache::Find(const CubeKey& key) {
+  MutexLock lock(&mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -58,19 +64,25 @@ const DataCube* CubeCache::Find(const CubeKey& key) {
   if (options_.policy == CachePolicy::kLru && it->second.in_lru) {
     lru_list_.splice(lru_list_.begin(), lru_list_, it->second.lru_it);
   }
-  return &it->second.cube;
+  return it->second.cube;
 }
 
 void CubeCache::Insert(const CubeKey& key, const DataCube& cube) {
   if (options_.policy != CachePolicy::kLru) return;
+  MutexLock lock(&mu_);
   AdmitLru(key, cube);
+}
+
+bool CubeCache::Contains(const CubeKey& key) const {
+  MutexLock lock(&mu_);
+  return entries_.find(key) != entries_.end();
 }
 
 void CubeCache::AdmitLru(const CubeKey& key, const DataCube& cube) {
   if (options_.num_slots == 0) return;
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    it->second.cube = cube;
+    it->second.cube = std::make_shared<const DataCube>(cube);
     if (it->second.in_lru) {
       lru_list_.splice(lru_list_.begin(), lru_list_, it->second.lru_it);
     }
@@ -83,11 +95,13 @@ void CubeCache::AdmitLru(const CubeKey& key, const DataCube& cube) {
     ++stats_.evictions;
   }
   lru_list_.push_front(key);
-  Entry entry{cube, lru_list_.begin(), true};
+  Entry entry{std::make_shared<const DataCube>(cube), lru_list_.begin(),
+              true};
   entries_.emplace(key, std::move(entry));
 }
 
 void CubeCache::InvalidateRange(const DateRange& range) {
+  MutexLock lock(&mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->first.range().Overlaps(range)) {
       if (it->second.in_lru) lru_list_.erase(it->second.lru_it);
@@ -98,9 +112,29 @@ void CubeCache::InvalidateRange(const DateRange& range) {
   }
 }
 
-void CubeCache::Clear() {
+size_t CubeCache::size() const {
+  MutexLock lock(&mu_);
+  return entries_.size();
+}
+
+CacheStats CubeCache::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+void CubeCache::ResetStats() {
+  MutexLock lock(&mu_);
+  stats_ = CacheStats{};
+}
+
+void CubeCache::ClearLocked() {
   entries_.clear();
   lru_list_.clear();
+}
+
+void CubeCache::Clear() {
+  MutexLock lock(&mu_);
+  ClearLocked();
 }
 
 }  // namespace rased

@@ -10,6 +10,7 @@
 #include "index/temporal_index.h"
 #include "index/temporal_key.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace rased {
 
@@ -56,6 +57,15 @@ struct CacheStats {
 /// In-memory cube cache standing between the query executor and the index
 /// pager (Section VII-A). Lookups are zero-I/O; the executor charges disk
 /// cost only for misses.
+///
+/// Threading contract: CubeCache is internally synchronized. Lookups,
+/// inserts, invalidation, and stats are safe from any number of dashboard
+/// worker threads concurrently. Entries are immutable once admitted and
+/// handed out as shared_ptr, so a reader keeps its cube alive even if an
+/// LRU eviction or InvalidateRange drops the entry mid-read. The one
+/// exception is Warm(), which drives the (single-threaded) TemporalIndex
+/// pager and must not run concurrently with index maintenance — Rased
+/// serializes it against ingestion.
 class CubeCache {
  public:
   explicit CubeCache(const CacheOptions& options);
@@ -65,48 +75,59 @@ class CubeCache {
   /// kLru it is a no-op (the cache fills on demand). Warm reads go through
   /// the index pager but are an offline cost — callers typically reset
   /// pager stats afterwards.
-  Status Warm(TemporalIndex* index);
+  Status Warm(TemporalIndex* index) RASED_EXCLUDES(mu_);
 
   /// Returns the cached cube or nullptr; counts a hit/miss. For kLru the
-  /// entry is refreshed.
-  const DataCube* Find(const CubeKey& key);
+  /// entry is refreshed. The returned pointer remains valid after eviction.
+  std::shared_ptr<const DataCube> Find(const CubeKey& key)
+      RASED_EXCLUDES(mu_);
 
   /// Hands a cube fetched from disk to the cache. Only the kLru policy
   /// admits it (the paper's static policy never changes at query time).
-  void Insert(const CubeKey& key, const DataCube& cube);
+  void Insert(const CubeKey& key, const DataCube& cube) RASED_EXCLUDES(mu_);
 
-  bool Contains(const CubeKey& key) const {
-    return entries_.find(key) != entries_.end();
-  }
+  bool Contains(const CubeKey& key) const RASED_EXCLUDES(mu_);
 
   /// Drops every cached cube whose window overlaps `range`. Called when
   /// the monthly rebuild rewrites a month's cubes (and its month/year
   /// ancestors) underneath the cache; callers re-Warm afterwards to refill
-  /// the freed slots.
-  void InvalidateRange(const DateRange& range);
+  /// the freed slots. In-flight readers holding shared_ptrs are unharmed.
+  void InvalidateRange(const DateRange& range) RASED_EXCLUDES(mu_);
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const RASED_EXCLUDES(mu_);
   size_t capacity() const { return options_.num_slots; }
   const CacheOptions& options() const { return options_; }
-  const CacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = CacheStats{}; }
-  void Clear();
+  CacheStats stats() const RASED_EXCLUDES(mu_);
+  void ResetStats() RASED_EXCLUDES(mu_);
+  void Clear() RASED_EXCLUDES(mu_);
 
  private:
-  void AdmitLru(const CubeKey& key, const DataCube& cube);
-  void Preload(TemporalIndex* index, Level level, size_t slots);
+  void AdmitLru(const CubeKey& key, const DataCube& cube)
+      RASED_REQUIRES(mu_);
+  void Preload(TemporalIndex* index, Level level, size_t slots)
+      RASED_EXCLUDES(mu_);
+  void ClearLocked() RASED_REQUIRES(mu_);
 
-  CacheOptions options_;
-  CacheStats stats_;
+  const CacheOptions options_;  // immutable after construction
+
+  /// Guards every mutable member below. Held only for map/list surgery,
+  /// never across index I/O (Preload reads the cube first, then locks to
+  /// admit it), so worker threads contend only on pointer-sized critical
+  /// sections.
+  mutable Mutex mu_;
+
+  CacheStats stats_ RASED_GUARDED_BY(mu_);
 
   // Entry storage. lru_list_ is maintained only under the kLru policy.
+  // Cubes are shared_ptr<const> so hits escape the lock safely.
   struct Entry {
-    DataCube cube;
+    std::shared_ptr<const DataCube> cube;
     std::list<CubeKey>::iterator lru_it;
     bool in_lru = false;
   };
-  std::unordered_map<CubeKey, Entry, CubeKeyHash> entries_;
-  std::list<CubeKey> lru_list_;  // front = most recent
+  std::unordered_map<CubeKey, Entry, CubeKeyHash> entries_
+      RASED_GUARDED_BY(mu_);
+  std::list<CubeKey> lru_list_ RASED_GUARDED_BY(mu_);  // front = most recent
 };
 
 }  // namespace rased

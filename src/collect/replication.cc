@@ -122,6 +122,11 @@ Status ReplicationDirectory::Publish(uint64_t sequence,
 }
 
 Result<uint64_t> ReplicationCursor::LastApplied() const {
+  MutexLock lock(&mu_);
+  return LastAppliedLocked();
+}
+
+Result<uint64_t> ReplicationCursor::LastAppliedLocked() const {
   if (!env::FileExists(cursor_path_)) return static_cast<uint64_t>(0);
   RASED_ASSIGN_OR_RETURN(std::string contents, env::ReadFile(cursor_path_));
   return ParseUint(Trim(contents));
@@ -133,7 +138,11 @@ Status ReplicationCursor::Store(uint64_t sequence) const {
 
 Result<uint64_t> ReplicationCursor::CatchUp(const ReplicationDirectory& feed,
                                             const ApplyFn& apply) {
-  RASED_ASSIGN_OR_RETURN(uint64_t applied, LastApplied());
+  // Hold the cursor lock for the whole pass: two concurrent CatchUps on
+  // the same cursor would otherwise both read sequence N and apply N+1
+  // twice.
+  MutexLock lock(&mu_);
+  RASED_ASSIGN_OR_RETURN(uint64_t applied, LastAppliedLocked());
   auto latest = feed.LatestState();
   if (!latest.ok()) {
     if (latest.status().IsIOError()) return static_cast<uint64_t>(0);  // empty feed

@@ -6,6 +6,7 @@
 
 #include "osm/element.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace rased {
 
@@ -64,6 +65,11 @@ class ReplicationDirectory {
 /// file and replays every newer diff through a callback. Crash-safe — the
 /// cursor advances (atomically) only after the callback succeeded, so a
 /// failed application is retried on the next CatchUp.
+///
+/// Threading contract: internally synchronized. A cursor mutex serializes
+/// whole CatchUp passes, so two threads pointed at the same cursor cannot
+/// interleave and double-apply a diff; the apply callback therefore also
+/// runs under the cursor lock and must not call back into the cursor.
 class ReplicationCursor {
  public:
   /// `cursor_path` is the file holding the last applied sequence.
@@ -71,7 +77,7 @@ class ReplicationCursor {
       : cursor_path_(std::move(cursor_path)) {}
 
   /// Last applied sequence; 0 when nothing was applied yet.
-  Result<uint64_t> LastApplied() const;
+  Result<uint64_t> LastApplied() const RASED_EXCLUDES(mu_);
 
   using ApplyFn =
       std::function<Status(uint64_t sequence, const std::string& osc_xml)>;
@@ -79,16 +85,25 @@ class ReplicationCursor {
   /// Applies every sequence in (last applied, feed latest], advancing the
   /// cursor after each success. Returns the number of diffs applied.
   Result<uint64_t> CatchUp(const ReplicationDirectory& feed,
-                           const ApplyFn& apply);
+                           const ApplyFn& apply) RASED_EXCLUDES(mu_);
 
   /// Explicitly advances the cursor (for consumers with their own batch
   /// semantics, e.g. ReplicationIngestor's day finalization).
-  Status Advance(uint64_t sequence) const { return Store(sequence); }
+  Status Advance(uint64_t sequence) const RASED_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return Store(sequence);
+  }
 
  private:
-  Status Store(uint64_t sequence) const;
+  Result<uint64_t> LastAppliedLocked() const RASED_REQUIRES(mu_);
+  Status Store(uint64_t sequence) const RASED_REQUIRES(mu_);
 
-  std::string cursor_path_;
+  const std::string cursor_path_;
+
+  /// Serializes cursor-file read/advance cycles (the cursor file is the
+  /// real shared state; the lock makes read-modify-write passes atomic
+  /// within this process).
+  mutable Mutex mu_;
 };
 
 }  // namespace rased

@@ -110,7 +110,7 @@ DashboardService::DashboardService(Rased* rased) : rased_(rased) {
 
 Status DashboardService::Start(int port) { return server_.Start(port); }
 
-Result<AnalysisQuery> DashboardService::ParseQueryParams(
+Result<AnalysisQuery> DashboardService::ParseQueryParamsLocked(
     const HttpRequest& request) const {
   AnalysisQuery query;
 
@@ -177,8 +177,8 @@ void DashboardService::HandleIndex(const HttpRequest&,
 
 void DashboardService::HandleQuery(const HttpRequest& request,
                                    HttpResponse* response) {
-  std::lock_guard<std::mutex> lock(rased_mu_);
-  auto query = ParseQueryParams(request);
+  MutexLock lock(&rased_mu_);
+  auto query = ParseQueryParamsLocked(request);
   if (!query.ok()) {
     WriteError(query.status(), response);
     return;
@@ -188,7 +188,7 @@ void DashboardService::HandleQuery(const HttpRequest& request,
 
 void DashboardService::HandleSql(const HttpRequest& request,
                                  HttpResponse* response) {
-  std::lock_guard<std::mutex> lock(rased_mu_);
+  MutexLock lock(&rased_mu_);
   std::string sql = request.Param("q");
   if (sql.empty()) {
     WriteError(Status::InvalidArgument("missing ?q=<SQL>"), response);
@@ -240,7 +240,7 @@ void DashboardService::ExecuteAndRender(const AnalysisQuery& query,
 
 void DashboardService::HandleSample(const HttpRequest& request,
                                     HttpResponse* response) {
-  std::lock_guard<std::mutex> lock(rased_mu_);
+  MutexLock lock(&rased_mu_);
   Result<std::vector<UpdateRecord>> samples =
       std::vector<UpdateRecord>{};
   if (request.HasParam("changeset")) {
@@ -302,7 +302,7 @@ void DashboardService::HandleSample(const HttpRequest& request,
 
 void DashboardService::HandleZones(const HttpRequest&,
                                    HttpResponse* response) {
-  std::lock_guard<std::mutex> lock(rased_mu_);
+  MutexLock lock(&rased_mu_);
   JsonWriter w;
   w.BeginObject();
   w.Key("zones");
@@ -326,9 +326,9 @@ void DashboardService::HandleZones(const HttpRequest&,
 
 void DashboardService::HandleStats(const HttpRequest&,
                                    HttpResponse* response) {
-  std::lock_guard<std::mutex> lock(rased_mu_);
+  MutexLock lock(&rased_mu_);
   IndexStorageStats storage = rased_->index()->StorageStats();
-  const CacheStats& cache = rased_->cache()->stats();
+  CacheStats cache = rased_->cache()->stats();
   JsonWriter w;
   w.BeginObject();
   w.Key("index");

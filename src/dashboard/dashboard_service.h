@@ -2,12 +2,12 @@
 #define RASED_DASHBOARD_DASHBOARD_SERVICE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "core/rased.h"
 #include "dashboard/http_server.h"
 #include "dashboard/render.h"
+#include "util/thread_annotations.h"
 
 namespace rased {
 
@@ -42,28 +42,44 @@ class DashboardService {
   int port() const { return server_.port(); }
 
   /// Parses /api/query parameters into an AnalysisQuery (exposed for
-  /// tests). Unknown names return InvalidArgument.
-  Result<AnalysisQuery> ParseQueryParams(const HttpRequest& request) const;
+  /// tests). Unknown names return InvalidArgument. Reads index coverage
+  /// and resolves names through the Rased instance, hence the lock.
+  Result<AnalysisQuery> ParseQueryParams(const HttpRequest& request) const
+      RASED_EXCLUDES(rased_mu_) {
+    MutexLock lock(&rased_mu_);
+    return ParseQueryParamsLocked(request);
+  }
 
  private:
+  Result<AnalysisQuery> ParseQueryParamsLocked(const HttpRequest& request)
+      const RASED_REQUIRES(rased_mu_);
+
   void HandleIndex(const HttpRequest& request, HttpResponse* response);
-  void HandleQuery(const HttpRequest& request, HttpResponse* response);
-  void HandleSql(const HttpRequest& request, HttpResponse* response);
+  void HandleQuery(const HttpRequest& request, HttpResponse* response)
+      RASED_EXCLUDES(rased_mu_);
+  void HandleSql(const HttpRequest& request, HttpResponse* response)
+      RASED_EXCLUDES(rased_mu_);
   /// Executes a parsed query and renders it per the `format` param;
   /// callers hold rased_mu_.
   void ExecuteAndRender(const AnalysisQuery& query,
-                        const HttpRequest& request, HttpResponse* response);
-  void HandleSample(const HttpRequest& request, HttpResponse* response);
-  void HandleZones(const HttpRequest& request, HttpResponse* response);
-  void HandleStats(const HttpRequest& request, HttpResponse* response);
+                        const HttpRequest& request, HttpResponse* response)
+      RASED_REQUIRES(rased_mu_);
+  void HandleSample(const HttpRequest& request, HttpResponse* response)
+      RASED_EXCLUDES(rased_mu_);
+  void HandleZones(const HttpRequest& request, HttpResponse* response)
+      RASED_EXCLUDES(rased_mu_);
+  void HandleStats(const HttpRequest& request, HttpResponse* response)
+      RASED_EXCLUDES(rased_mu_);
 
-  Rased* rased_;
+  /// The HTTP workers run handlers concurrently, but a Rased instance is
+  /// single-threaded by contract (queries mutate pager statistics and
+  /// drive the non-thread-safe pager); rased_mu_ serializes every access
+  /// to it. The annotation is on the pointee: the pointer itself is set
+  /// once in the constructor and never reassigned.
+  mutable Mutex rased_mu_;
+  Rased* const rased_ RASED_PT_GUARDED_BY(rased_mu_);
   RenderContext ctx_;
   HttpServer server_;
-  /// The HTTP workers run handlers concurrently, but a Rased instance is
-  /// single-threaded (queries mutate cache and pager statistics); this
-  /// serializes all access to it.
-  std::mutex rased_mu_;
 };
 
 }  // namespace rased

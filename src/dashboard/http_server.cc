@@ -18,38 +18,37 @@ HttpServer::~HttpServer() { Stop(); }
 
 void HttpServer::Route(const std::string& path, Handler handler) {
   RASED_CHECK(!running_.load()) << "Route() after Start()";
+  MutexLock lock(&mu_);
   routes_[path] = std::move(handler);
 }
 
 Status HttpServer::Start(int port, int num_threads) {
   if (num_threads < 1) num_threads = 1;
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
   }
   int on = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
     return Status::IOError(StrFormat("bind(%d): %s", port,
                                      std::strerror(errno)));
   }
   socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
-  if (::listen(listen_fd_, 16) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
     return Status::IOError(std::string("listen: ") + std::strerror(errno));
   }
+  listen_fd_.store(fd);
   running_.store(true);
   threads_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
@@ -60,10 +59,13 @@ Status HttpServer::Start(int port, int num_threads) {
 
 void HttpServer::Stop() {
   if (running_.exchange(false)) {
-    // Shutting the listen socket down unblocks every accept().
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    // Shutting the listen socket down unblocks every accept(). The fd is
+    // swapped out atomically first so no worker can observe a reused fd.
+    int fd = listen_fd_.exchange(-1);
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
   }
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
@@ -75,7 +77,9 @@ void HttpServer::AcceptLoop() {
   // Several workers accept() on the same listening socket; the kernel
   // hands each incoming connection to exactly one of them.
   while (running_.load()) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) break;  // Stop() already retired the socket
+    int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (!running_.load()) break;
       if (errno == EINTR) continue;
@@ -165,16 +169,25 @@ void HttpServer::HandleConnection(int fd) {
     } else {
       parsed.path = target;
     }
-    auto it = routes_.find(parsed.path);
-    if (it == routes_.end()) {
+    Handler* handler = nullptr;
+    {
+      MutexLock lock(&mu_);
+      auto it = routes_.find(parsed.path);
+      // Handlers are registered before Start and never removed, so the
+      // pointer stays valid after the lock is dropped; the handler itself
+      // must not run under mu_ or one slow query would serialize the pool.
+      if (it != routes_.end()) handler = &it->second;
+    }
+    if (handler == nullptr) {
       response.status = 404;
       response.content_type = "text/plain";
       response.body = "not found: " + parsed.path;
     } else {
-      it->second(parsed, &response);
+      (*handler)(parsed, &response);
     }
   }
 
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
   const char* status_text = response.status == 200   ? "OK"
                             : response.status == 400 ? "Bad Request"
                             : response.status == 404 ? "Not Found"

@@ -2,6 +2,7 @@
 #define RASED_DASHBOARD_HTTP_SERVER_H_
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace rased {
 
@@ -37,6 +39,12 @@ struct HttpResponse {
 /// Minimal blocking HTTP/1.1 server for the RASED dashboard: an accept
 /// loop on a background thread, one short-lived connection per request
 /// (Connection: close). Localhost tooling, not an internet-facing server.
+///
+/// Threading contract: Route/Start/Stop are driver-thread operations
+/// (Route before Start; Start/Stop never concurrently with themselves).
+/// Everything the worker threads touch is either immutable after Start
+/// (routes_, guarded against late registration by mu_), atomic
+/// (running_, listen_fd_), or thread-local to the connection.
 class HttpServer {
  public:
   using Handler = std::function<void(const HttpRequest&, HttpResponse*)>;
@@ -48,7 +56,7 @@ class HttpServer {
   HttpServer& operator=(const HttpServer&) = delete;
 
   /// Registers a handler for an exact path. Must be called before Start.
-  void Route(const std::string& path, Handler handler);
+  void Route(const std::string& path, Handler handler) RASED_EXCLUDES(mu_);
 
   /// Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts
   /// `num_threads` accept workers; each handles one connection at a time,
@@ -64,6 +72,12 @@ class HttpServer {
   int port() const { return port_; }
   bool running() const { return running_.load(); }
 
+  /// Number of requests fully served since Start (exposed for tests and
+  /// /api/stats; safe to read from any thread).
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
   /// Percent-decodes a URL component (exposed for tests).
   static std::string UrlDecode(std::string_view text);
 
@@ -72,12 +86,20 @@ class HttpServer {
 
  private:
   void AcceptLoop();
-  void HandleConnection(int fd);
+  void HandleConnection(int fd) RASED_EXCLUDES(mu_);
 
-  std::map<std::string, Handler> routes_;
-  int listen_fd_ = -1;
+  /// Guards route registration against lookup. Lookups happen on worker
+  /// threads; registration is rejected once running_, so in practice the
+  /// lock is uncontended after Start.
+  mutable Mutex mu_;
+  std::map<std::string, Handler> routes_ RASED_GUARDED_BY(mu_);
+
+  /// Written by Start/Stop, read by every accept worker — atomic, because
+  /// Stop closes the socket while workers sit in accept() on it.
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_served_{0};
   std::vector<std::thread> threads_;
 };
 

@@ -63,7 +63,9 @@ Result<std::unique_ptr<TemporalIndex>> TemporalIndex::Open(
   auto index = std::unique_ptr<TemporalIndex>(
       new TemporalIndex(options, std::move(pager).value()));
 
-  // Parse the catalog.
+  // Parse the catalog. The index is not published yet, but the analysis
+  // (rightly) doesn't know that, so hold its lock while filling it in.
+  MutexLock lock(&index->mu_);
   std::vector<std::string> lines = Split(contents.value(), '\n');
   if (lines.empty() || lines[0] != kCatalogMagic) {
     return Status::Corruption("bad catalog header in " + options.dir);
@@ -125,16 +127,19 @@ Status TemporalIndex::SaveCatalog() {
                    options_.schema.num_road_types,
                    options_.schema.num_update_types);
   out += StrFormat("levels %d\n", options_.num_levels);
-  if (first_day_.has_value()) {
-    out += StrFormat("first_day %d\n", first_day_->days_since_epoch());
-  }
-  if (last_day_.has_value()) {
-    out += StrFormat("last_day %d\n", last_day_->days_since_epoch());
-  }
-  for (const auto& [key, page] : catalog_) {
-    out += StrFormat("cube %d %d %llu\n", static_cast<int>(key.level),
-                     key.start.days_since_epoch(),
-                     static_cast<unsigned long long>(page));
+  {
+    MutexLock lock(&mu_);
+    if (first_day_.has_value()) {
+      out += StrFormat("first_day %d\n", first_day_->days_since_epoch());
+    }
+    if (last_day_.has_value()) {
+      out += StrFormat("last_day %d\n", last_day_->days_since_epoch());
+    }
+    for (const auto& [key, page] : catalog_) {
+      out += StrFormat("cube %d %d %llu\n", static_cast<int>(key.level),
+                       key.start.days_since_epoch(),
+                       static_cast<unsigned long long>(page));
+    }
   }
   // Atomic replace: a crash mid-save must never leave a torn catalog.
   return env::WriteFileAtomic(CatalogPath(options_.dir), out);
@@ -148,28 +153,43 @@ Status TemporalIndex::Sync() {
 Status TemporalIndex::WriteCube(const CubeKey& key, const DataCube& cube) {
   std::vector<unsigned char> buf(cube.SerializedBytes());
   cube.SerializeTo(buf.data());
-  auto it = catalog_.find(key);
-  PageId page;
-  if (it != catalog_.end()) {
-    page = it->second;
-  } else {
+  PageId page = kInvalidPageId;
+  bool found = false;
+  {
+    MutexLock lock(&mu_);
+    auto it = catalog_.find(key);
+    if (it != catalog_.end()) {
+      page = it->second;
+      found = true;
+    }
+  }
+  if (!found) {
+    // Writers are externally serialized, so nobody else can register this
+    // key between the lookup above and the insert below.
     RASED_ASSIGN_OR_RETURN(page, pager_->AllocatePage());
+    MutexLock lock(&mu_);
     catalog_[key] = page;
   }
   return pager_->WritePage(page, buf.data(), buf.size());
 }
 
 Result<DataCube> TemporalIndex::ReadCube(const CubeKey& key) {
-  auto it = catalog_.find(key);
-  if (it == catalog_.end()) {
-    return Status::NotFound("no cube for " + key.ToString());
+  PageId page = kInvalidPageId;
+  {
+    MutexLock lock(&mu_);
+    auto it = catalog_.find(key);
+    if (it == catalog_.end()) {
+      return Status::NotFound("no cube for " + key.ToString());
+    }
+    page = it->second;
   }
   std::vector<unsigned char> buf(pager_->payload_size());
-  RASED_RETURN_IF_ERROR(pager_->ReadPage(it->second, buf.data()));
+  RASED_RETURN_IF_ERROR(pager_->ReadPage(page, buf.data()));
   return DataCube::Deserialize(options_.schema, buf.data(), buf.size());
 }
 
 bool TemporalIndex::Contains(const CubeKey& key) const {
+  MutexLock lock(&mu_);
   return catalog_.find(key) != catalog_.end();
 }
 
@@ -194,15 +214,21 @@ Status TemporalIndex::AppendDay(Date day, const DataCube& cube) {
   if (!(cube.schema() == options_.schema)) {
     return Status::InvalidArgument("cube schema mismatch");
   }
-  if (last_day_.has_value() && day != last_day_->next()) {
-    return Status::InvalidArgument(
-        StrFormat("AppendDay(%s) out of order; expected %s",
-                  day.ToString().c_str(),
-                  last_day_->next().ToString().c_str()));
+  {
+    MutexLock lock(&mu_);
+    if (last_day_.has_value() && day != last_day_->next()) {
+      return Status::InvalidArgument(
+          StrFormat("AppendDay(%s) out of order; expected %s",
+                    day.ToString().c_str(),
+                    last_day_->next().ToString().c_str()));
+    }
   }
   RASED_RETURN_IF_ERROR(WriteCube(CubeKey::Daily(day), cube));
-  if (!first_day_.has_value()) first_day_ = day;
-  last_day_ = day;
+  {
+    MutexLock lock(&mu_);
+    if (!first_day_.has_value()) first_day_ = day;
+    last_day_ = day;
+  }
 
   // Rollups at boundaries. `latest` tracks the most recently built cube so
   // each parent reads only the children it does not already hold in
@@ -303,14 +329,16 @@ Status TemporalIndex::RebuildMonth(Date month_start,
 std::vector<CubeKey> TemporalIndex::ExistingKeys(
     Level level, const DateRange& range) const {
   std::vector<CubeKey> keys;
+  MutexLock lock(&mu_);
   for (const CubeKey& key : KeysCoveredBy(level, range)) {
-    if (Contains(key)) keys.push_back(key);
+    if (catalog_.find(key) != catalog_.end()) keys.push_back(key);
   }
   return keys;
 }
 
 std::vector<CubeKey> TemporalIndex::LatestKeys(Level level, size_t n) const {
   std::vector<CubeKey> keys;
+  MutexLock lock(&mu_);
   for (auto it = catalog_.rbegin(); it != catalog_.rend() && keys.size() < n;
        ++it) {
     if (it->first.level == level) keys.push_back(it->first);
@@ -320,15 +348,19 @@ std::vector<CubeKey> TemporalIndex::LatestKeys(Level level, size_t n) const {
 }
 
 DateRange TemporalIndex::coverage() const {
+  MutexLock lock(&mu_);
   if (!first_day_.has_value()) return DateRange();
   return DateRange(*first_day_, *last_day_);
 }
 
 IndexStorageStats TemporalIndex::StorageStats() const {
   IndexStorageStats stats;
-  for (const auto& [key, page] : catalog_) {
-    ++stats.cubes_per_level[static_cast<int>(key.level)];
-    ++stats.total_cubes;
+  {
+    MutexLock lock(&mu_);
+    for (const auto& [key, page] : catalog_) {
+      ++stats.cubes_per_level[static_cast<int>(key.level)];
+      ++stats.total_cubes;
+    }
   }
   stats.file_bytes =
       (pager_->num_pages() + 1) * pager_->page_size();  // +1 header page

@@ -11,6 +11,7 @@
 #include "index/temporal_key.h"
 #include "io/pager.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace rased {
 
@@ -50,6 +51,14 @@ struct IndexStorageStats {
 ///  * RebuildMonth re-derives a whole month's daily/weekly/monthly (and,
 ///    if closed, yearly) cubes from monthly-crawler data that carries the
 ///    full four-way UpdateType classification.
+///
+/// Threading contract: the catalog metadata (Contains, ExistingKeys,
+/// LatestKeys, coverage, StorageStats) is internally synchronized and safe
+/// to call from any thread. Cube I/O — ReadCube, AppendDay, RebuildMonth,
+/// Sync, and direct pager() access — goes through the shared Pager, which
+/// is NOT thread-safe; those calls require external serialization (Rased
+/// is single-threaded by contract and DashboardService serializes all
+/// access to it behind its rased_mu_).
 class TemporalIndex {
  public:
   /// Creates a fresh index in options.dir (fails if one already exists).
@@ -71,32 +80,35 @@ class TemporalIndex {
   /// Appends one day's cube. Days must arrive in strictly increasing
   /// consecutive order starting from the first day ever appended; gaps are
   /// InvalidArgument (RASED crawls every day).
-  Status AppendDay(Date day, const DataCube& cube);
+  Status AppendDay(Date day, const DataCube& cube) RASED_EXCLUDES(mu_);
 
   /// Replaces the daily cubes of `month` (the cubes vector holds one cube
   /// per day of the month, in order) and rebuilds every affected ancestor,
   /// mirroring the monthly-crawler maintenance path (Section VI-A).
-  Status RebuildMonth(Date month_start, const std::vector<DataCube>& cubes);
+  Status RebuildMonth(Date month_start, const std::vector<DataCube>& cubes)
+      RASED_EXCLUDES(mu_);
 
   // ---- lookup ----
 
-  bool Contains(const CubeKey& key) const;
+  bool Contains(const CubeKey& key) const RASED_EXCLUDES(mu_);
 
   /// Reads one cube from disk (through the pager; cost is charged).
-  Result<DataCube> ReadCube(const CubeKey& key);
+  Result<DataCube> ReadCube(const CubeKey& key) RASED_EXCLUDES(mu_);
 
   /// Keys of `level` fully inside `range` that actually exist.
-  std::vector<CubeKey> ExistingKeys(Level level, const DateRange& range) const;
+  std::vector<CubeKey> ExistingKeys(Level level, const DateRange& range) const
+      RASED_EXCLUDES(mu_);
 
   /// The most recent `n` keys of a level (newest last), for cache warmup.
-  std::vector<CubeKey> LatestKeys(Level level, size_t n) const;
+  std::vector<CubeKey> LatestKeys(Level level, size_t n) const
+      RASED_EXCLUDES(mu_);
 
   // ---- accounting ----
 
   /// Days covered so far ([first appended, last appended]).
-  DateRange coverage() const;
+  DateRange coverage() const RASED_EXCLUDES(mu_);
 
-  IndexStorageStats StorageStats() const;
+  IndexStorageStats StorageStats() const RASED_EXCLUDES(mu_);
 
   const TemporalIndexOptions& options() const { return options_; }
   Pager* pager() { return pager_.get(); }
@@ -111,7 +123,8 @@ class TemporalIndex {
     return static_cast<int>(level) < options_.num_levels;
   }
 
-  Status WriteCube(const CubeKey& key, const DataCube& cube);
+  Status WriteCube(const CubeKey& key, const DataCube& cube)
+      RASED_EXCLUDES(mu_);
 
   /// Builds a parent cube by reading each existing child from disk and
   /// merging. `skip` (optional) supplies one child already in memory so the
@@ -120,17 +133,23 @@ class TemporalIndex {
                                      const CubeKey* in_memory_key,
                                      const DataCube* in_memory_cube);
 
-  Status SaveCatalog();
+  Status SaveCatalog() RASED_EXCLUDES(mu_);
   static std::string CatalogPath(const std::string& dir);
   static std::string PagesPath(const std::string& dir);
 
   TemporalIndexOptions options_;
+  // Pager I/O is externally serialized (see the threading contract above);
+  // mu_ never spans a page read/write, so metadata lookups stay cheap even
+  // while a maintenance pass is streaming cubes to disk.
   std::unique_ptr<Pager> pager_;
+
+  /// Guards the catalog metadata below.
+  mutable Mutex mu_;
   // Catalog: node -> page. std::map keeps keys chronologically ordered,
   // which ExistingKeys/LatestKeys rely on.
-  std::map<CubeKey, PageId> catalog_;
-  std::optional<Date> first_day_;
-  std::optional<Date> last_day_;
+  std::map<CubeKey, PageId> catalog_ RASED_GUARDED_BY(mu_);
+  std::optional<Date> first_day_ RASED_GUARDED_BY(mu_);
+  std::optional<Date> last_day_ RASED_GUARDED_BY(mu_);
 };
 
 }  // namespace rased

@@ -1,6 +1,7 @@
 #include "query/query_executor.h"
 
 #include <map>
+#include <memory>
 #include <tuple>
 
 #include "util/clock.h"
@@ -81,9 +82,12 @@ Result<QueryResult> QueryExecutor::Execute(const AnalysisQuery& query) {
   std::map<GroupKey, uint64_t> groups;
 
   for (const CubeKey& key : plan.cubes) {
-    const DataCube* cube = nullptr;
+    // A cache hit hands back a shared_ptr, so the cube stays alive even if
+    // a concurrent eviction drops it from the cache mid-aggregation.
+    std::shared_ptr<const DataCube> cached;
     DataCube from_disk{index_->options().schema};
-    if (cache_ != nullptr) cube = cache_->Find(key);
+    if (cache_ != nullptr) cached = cache_->Find(key);
+    const DataCube* cube = cached.get();
     if (cube != nullptr) {
       ++result.stats.cubes_from_cache;
     } else {

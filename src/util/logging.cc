@@ -3,9 +3,19 @@
 #include <atomic>
 #include <cstring>
 
+#include "util/thread_annotations.h"
+
 namespace rased {
 
 namespace {
+
+/// Serializes sink emission: each log line is fully formatted off-lock in
+/// a per-message ostringstream, then written to stderr in one guarded
+/// call, so lines from concurrent dashboard workers never interleave.
+Mutex& SinkMutex() {
+  static Mutex* mu = new Mutex;
+  return *mu;
+}
 
 std::atomic<int> g_log_level{[] {
   const char* env = std::getenv("RASED_LOG_LEVEL");
@@ -58,6 +68,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (enabled_) {
     stream_ << "\n";
+    MutexLock lock(&SinkMutex());
     std::cerr << stream_.str();
   }
 }
@@ -68,7 +79,10 @@ FatalLogMessage::FatalLogMessage(const char* file, int line) {
 
 FatalLogMessage::~FatalLogMessage() {
   stream_ << "\n";
-  std::cerr << stream_.str();
+  {
+    MutexLock lock(&SinkMutex());
+    std::cerr << stream_.str();
+  }
   std::abort();
 }
 

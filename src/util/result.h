@@ -15,8 +15,11 @@ namespace rased {
 ///   Result<DataCube> r = LoadCube(id);
 ///   if (!r.ok()) return r.status();
 ///   DataCube cube = std::move(r).value();
+///
+/// Result is [[nodiscard]] like Status: ignoring a returned Result (and
+/// thus its error) is a compile warning, an error under RASED_WERROR.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

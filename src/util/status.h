@@ -13,7 +13,11 @@ namespace rased {
 /// (see util/result.h). Exceptions are never thrown across module
 /// boundaries. The design follows the RocksDB/Arrow convention: a small
 /// enum of broad error classes plus a free-form message for diagnostics.
-class Status {
+///
+/// Status is [[nodiscard]]: a call site that drops a returned Status on
+/// the floor is a compile warning (an error under RASED_WERROR). Handle
+/// it, propagate it with RASED_RETURN_IF_ERROR, or log it explicitly.
+class [[nodiscard]] Status {
  public:
   enum class Code : unsigned char {
     kOk = 0,

@@ -1,0 +1,146 @@
+#ifndef RASED_UTIL_THREAD_ANNOTATIONS_H_
+#define RASED_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+/// Clang thread-safety annotations (-Wthread-safety) plus an annotated
+/// mutex wrapper, following the abseil/LLVM convention. Under Clang the
+/// macros expand to static-analysis attributes that make the locking
+/// discipline of every annotated class machine-checked at compile time;
+/// under other compilers they expand to nothing and the wrapper behaves
+/// exactly like std::mutex.
+///
+/// Usage:
+///   class Cache {
+///     ...
+///    private:
+///     mutable Mutex mu_;
+///     std::unordered_map<Key, Entry> entries_ RASED_GUARDED_BY(mu_);
+///   };
+///
+///   void Cache::Insert(...) {
+///     MutexLock lock(&mu_);   // RELEASE on scope exit
+///     entries_.emplace(...);  // checked: mu_ is held
+///   }
+
+#if defined(__clang__) && (!defined(SWIG))
+#define RASED_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define RASED_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+/// Data members: protected by the given capability (mutex).
+#define RASED_GUARDED_BY(x) RASED_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer members: the *pointed-to* data is protected by the capability
+/// (the pointer itself may be read freely).
+#define RASED_PT_GUARDED_BY(x) RASED_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Functions: caller must hold / must not hold the capability.
+#define RASED_REQUIRES(...) \
+  RASED_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define RASED_REQUIRES_SHARED(...) \
+  RASED_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define RASED_EXCLUDES(...) RASED_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Functions: acquire/release the capability as a side effect.
+#define RASED_ACQUIRE(...) \
+  RASED_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define RASED_ACQUIRE_SHARED(...) \
+  RASED_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RASED_RELEASE(...) \
+  RASED_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RASED_RELEASE_SHARED(...) \
+  RASED_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define RASED_TRY_ACQUIRE(...) \
+  RASED_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Lock ordering: this mutex must be acquired after the listed ones.
+#define RASED_ACQUIRED_AFTER(...) \
+  RASED_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define RASED_ACQUIRED_BEFORE(...) \
+  RASED_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+/// Types: RAII lock holders / capability types.
+#define RASED_CAPABILITY(x) RASED_THREAD_ANNOTATION_(capability(x))
+#define RASED_SCOPED_CAPABILITY RASED_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Returns a reference to the guarding mutex (lets callers lock it).
+#define RASED_RETURN_CAPABILITY(x) RASED_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function checks the discipline dynamically (e.g.
+/// destructors, or init paths that provably run single-threaded).
+#define RASED_NO_THREAD_SAFETY_ANALYSIS \
+  RASED_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace rased {
+
+/// std::mutex with thread-safety-analysis capability attributes. Drop-in:
+/// satisfies BasicLockable/Lockable, so std::unique_lock<...> etc. still
+/// work (though MutexLock below is the annotated RAII holder the analysis
+/// understands).
+class RASED_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RASED_ACQUIRE() { mu_.lock(); }
+  void unlock() RASED_RELEASE() { mu_.unlock(); }
+  bool try_lock() RASED_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for interop with std::condition_variable via
+  /// CondVar below.
+  std::mutex& native() { return mu_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock holder the analysis understands (std::lock_guard over a
+/// Mutex would lose the annotations under older clangs).
+class RASED_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) RASED_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() RASED_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable paired with rased::Mutex. Wait() is annotated as
+/// requiring the mutex (it is held again when Wait returns).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) RASED_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  template <typename Pred>
+  void Wait(Mutex* mu, Pred pred) RASED_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock, std::move(pred));
+    lock.release();
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_UTIL_THREAD_ANNOTATIONS_H_

@@ -57,7 +57,10 @@ Result<std::unique_ptr<Warehouse>> Warehouse::Open(
   if (!pager.ok()) return pager.status();
   auto wh = std::unique_ptr<Warehouse>(
       new Warehouse(options, std::move(pager).value()));
-  RASED_RETURN_IF_ERROR(wh->RebuildIndexes());
+  {
+    MutexLock lock(&wh->mu_);
+    RASED_RETURN_IF_ERROR(wh->RebuildIndexes());
+  }
   return wh;
 }
 
@@ -85,6 +88,7 @@ void Warehouse::IndexRecord(const UpdateRecord& record, uint64_t locator) {
 }
 
 Status Warehouse::Append(const std::vector<UpdateRecord>& records) {
+  MutexLock lock(&mu_);
   const size_t per_page = RecordsPerPage();
   for (const UpdateRecord& r : records) {
     if (tail_page_ == kInvalidPageId) {
@@ -115,6 +119,7 @@ Status Warehouse::FlushTail() {
 }
 
 Status Warehouse::Sync() {
+  MutexLock lock(&mu_);
   RASED_RETURN_IF_ERROR(FlushTail());
   return pager_->Sync();
 }
@@ -145,6 +150,7 @@ Result<UpdateRecord> Warehouse::ReadAt(uint64_t locator) {
 
 Result<std::vector<UpdateRecord>> Warehouse::SampleInBox(
     const BoundingBox& box, size_t n) {
+  MutexLock lock(&mu_);
   std::vector<uint64_t> locators = spatial_.SearchIds(box, n);
   // Sort by page to serve all slots of one page from one I/O.
   std::sort(locators.begin(), locators.end());
@@ -159,6 +165,7 @@ Result<std::vector<UpdateRecord>> Warehouse::SampleInBox(
 
 Result<std::vector<UpdateRecord>> Warehouse::FindByChangeset(
     uint64_t changeset_id) {
+  MutexLock lock(&mu_);
   std::vector<UpdateRecord> out;
   auto it = by_changeset_.find(changeset_id);
   if (it == by_changeset_.end()) return out;
@@ -174,6 +181,7 @@ Result<std::vector<UpdateRecord>> Warehouse::FindByChangeset(
 
 Result<std::vector<UpdateRecord>> Warehouse::Sample(
     const SampleFilter& filter, const BoundingBox* box, size_t n) {
+  MutexLock lock(&mu_);
   std::vector<UpdateRecord> out;
   if (box != nullptr) {
     // Spatial narrowing through the R-tree, then residual filtering.

@@ -11,6 +11,7 @@
 #include "io/pager.h"
 #include "util/date.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace rased {
 
@@ -42,6 +43,12 @@ struct SampleFilter {
 /// The heap pages live on disk behind a Pager; both indexes are in-memory
 /// and rebuilt by scanning the heap on Open (their maintenance cost is
 /// part of offline ingestion, not the query path).
+///
+/// Threading contract: public operations are internally synchronized by a
+/// single coarse mutex (appends and samples serialize against each other —
+/// the sample path is I/O bound anyway). The only exception is pager():
+/// reading pager stats while another thread is mid-append is racy; callers
+/// wanting exact counts serialize externally, as Rased does.
 class Warehouse {
  public:
   static Result<std::unique_ptr<Warehouse>> Create(
@@ -54,26 +61,32 @@ class Warehouse {
   ~Warehouse();
 
   /// Appends records to the heap and indexes them.
-  Status Append(const std::vector<UpdateRecord>& records);
+  Status Append(const std::vector<UpdateRecord>& records)
+      RASED_EXCLUDES(mu_);
 
   /// Up to `n` updates inside the box (via the R-tree).
   Result<std::vector<UpdateRecord>> SampleInBox(const BoundingBox& box,
-                                                size_t n);
+                                                size_t n) RASED_EXCLUDES(mu_);
 
   /// All updates of one changeset (via the hash index).
-  Result<std::vector<UpdateRecord>> FindByChangeset(uint64_t changeset_id);
+  Result<std::vector<UpdateRecord>> FindByChangeset(uint64_t changeset_id)
+      RASED_EXCLUDES(mu_);
 
   /// Up to `n` (default 100, the paper's default sample size) updates
   /// matching the filter. Uses the R-tree when the filter is spatial,
   /// otherwise samples the heap.
   Result<std::vector<UpdateRecord>> Sample(const SampleFilter& filter,
-                                           const BoundingBox* box, size_t n);
+                                           const BoundingBox* box, size_t n)
+      RASED_EXCLUDES(mu_);
 
-  uint64_t num_records() const { return num_records_; }
+  uint64_t num_records() const RASED_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return num_records_;
+  }
   Pager* pager() { return pager_.get(); }
 
   /// Flushes the tail page and heap metadata.
-  Status Sync();
+  Status Sync() RASED_EXCLUDES(mu_);
 
  private:
   Warehouse(WarehouseOptions options, std::unique_ptr<Pager> pager);
@@ -85,28 +98,37 @@ class Warehouse {
   static uint64_t Locator(PageId page, uint32_t slot) {
     return (page << 16) | slot;
   }
-  Result<UpdateRecord> ReadAt(uint64_t locator);
-  Status FlushTail();
-  Status RebuildIndexes();
-  void IndexRecord(const UpdateRecord& record, uint64_t locator);
+  Result<UpdateRecord> ReadAt(uint64_t locator) RASED_REQUIRES(mu_);
+  Status FlushTail() RASED_REQUIRES(mu_);
+  Status RebuildIndexes() RASED_REQUIRES(mu_);
+  void IndexRecord(const UpdateRecord& record, uint64_t locator)
+      RASED_REQUIRES(mu_);
 
   WarehouseOptions options_;
+  // The pager is only ever driven while mu_ is held (every public method
+  // locks at entry), but the pager() accessor above escapes the lock for
+  // stats inspection — see the class threading contract.
   std::unique_ptr<Pager> pager_;
-  uint64_t num_records_ = 0;
+
+  /// Coarse lock over heap tail, in-memory indexes, and the read cache.
+  mutable Mutex mu_;
+
+  uint64_t num_records_ RASED_GUARDED_BY(mu_) = 0;
 
   // Tail page under construction (not yet on disk).
-  std::vector<unsigned char> tail_;
-  uint32_t tail_count_ = 0;
-  PageId tail_page_ = kInvalidPageId;
+  std::vector<unsigned char> tail_ RASED_GUARDED_BY(mu_);
+  uint32_t tail_count_ RASED_GUARDED_BY(mu_) = 0;
+  PageId tail_page_ RASED_GUARDED_BY(mu_) = kInvalidPageId;
 
   // In-memory indexes.
-  std::unordered_map<uint64_t, std::vector<uint64_t>> by_changeset_;
-  RTree spatial_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> by_changeset_
+      RASED_GUARDED_BY(mu_);
+  RTree spatial_ RASED_GUARDED_BY(mu_);
 
   // One-page read cache to make locator bursts touching the same heap
   // page cost one I/O.
-  PageId cached_page_ = kInvalidPageId;
-  std::vector<unsigned char> cached_buf_;
+  PageId cached_page_ RASED_GUARDED_BY(mu_) = kInvalidPageId;
+  std::vector<unsigned char> cached_buf_ RASED_GUARDED_BY(mu_);
 };
 
 }  // namespace rased

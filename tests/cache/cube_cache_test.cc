@@ -85,7 +85,7 @@ TEST_F(CubeCacheTest, CachedCubesHaveCorrectContents) {
   options.policy = CachePolicy::kAllDaily;
   CubeCache cache(options);
   ASSERT_TRUE(cache.Warm(index.get()).ok());
-  const DataCube* cube =
+  std::shared_ptr<const DataCube> cube =
       cache.Find(CubeKey::Daily(Date::FromYmd(2021, 1, 30)));
   ASSERT_NE(cube, nullptr);
   EXPECT_EQ(cube->Total(), 30u);  // day 30's cube value

@@ -1,0 +1,47 @@
+// Compile-time enforcement check for the [[nodiscard]] audit on Status and
+// Result<T> (see DESIGN.md "Correctness tooling").
+//
+// This file is compiled twice:
+//   1. As part of rased_tests, WITHOUT RASED_EXPECT_NODISCARD_ERROR: only
+//      the well-behaved code below is seen, proving the file itself is
+//      valid C++.
+//   2. By the `nodiscard_enforcement_compile_fails` ctest entry, WITH
+//      -DRASED_EXPECT_NODISCARD_ERROR -Werror=unused-result: the guarded
+//      block discards a Status and a Result, and the test asserts that the
+//      compiler REJECTS it (WILL_FAIL). If someone strips [[nodiscard]]
+//      from Status or Result, that test starts passing-to-compile and the
+//      suite goes red.
+
+#include <utility>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace rased {
+namespace nodiscard_enforcement {
+
+inline Status MakeStatus() { return Status::Internal("probe"); }
+inline Result<int> MakeResult() { return Result<int>(42); }
+
+// Well-behaved consumers: every returned Status/Result is inspected or
+// explicitly voided. This must always compile.
+inline int ConsumesEverything() {
+  Status s = MakeStatus();
+  int total = s.ok() ? 1 : 0;
+  Result<int> r = MakeResult();
+  if (r.ok()) total += std::move(r).value();
+  (void)MakeStatus();  // deliberate discard must stay spellable
+  return total;
+}
+
+#ifdef RASED_EXPECT_NODISCARD_ERROR
+// Deliberate violations. With -Werror=unused-result these two lines MUST
+// fail to compile; the ctest entry depends on it.
+inline void DiscardsSilently() {
+  MakeStatus();  // discarded Status
+  MakeResult();  // discarded Result<int>
+}
+#endif
+
+}  // namespace nodiscard_enforcement
+}  // namespace rased

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Correctness gate for RASED (see DESIGN.md "Correctness tooling").
+#
+# Runs, in order:
+#   1. clang-format --dry-run      (skipped if clang-format is absent)
+#   2. clang-tidy over src/        (skipped if clang-tidy is absent)
+#   3. plain build + full ctest
+#   4. ASan+UBSan build + full ctest
+#   5. TSan build + concurrency-focused ctest (dashboard/cache/collect/
+#      index/warehouse suites)
+#
+# Exit code 0 means every stage that could run passed. Stages whose tool
+# is missing are reported as SKIP, not failure, so the script works both
+# in the clang-equipped CI image and in gcc-only dev containers.
+#
+# Usage: tools/check.sh [build-dir-prefix]   (default: build-check)
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+PREFIX="${1:-build-check}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAILURES=0
+
+note()  { printf '\n==== %s ====\n' "$*"; }
+pass()  { printf 'PASS: %s\n' "$*"; }
+skip()  { printf 'SKIP: %s\n' "$*"; }
+fail()  { printf 'FAIL: %s\n' "$*"; FAILURES=$((FAILURES + 1)); }
+
+# ---------------------------------------------------------------- format --
+note "clang-format (dry run)"
+if command -v clang-format >/dev/null 2>&1; then
+  if git ls-files '*.h' '*.cc' | xargs -r clang-format --dry-run --Werror; then
+    pass "clang-format"
+  else
+    fail "clang-format found formatting violations"
+  fi
+else
+  skip "clang-format not installed"
+fi
+
+# ----------------------------------------------------------------- tidy ---
+note "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  TIDY_DIR="${PREFIX}-tidy"
+  if cmake -B "${TIDY_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        >/dev/null \
+      && git ls-files 'src/*.cc' \
+         | xargs -r -P "${JOBS}" -n 8 clang-tidy -p "${TIDY_DIR}" --quiet; then
+    pass "clang-tidy"
+  else
+    fail "clang-tidy reported errors"
+  fi
+else
+  skip "clang-tidy not installed"
+fi
+
+# ---------------------------------------------------------- build + test --
+run_matrix_entry() {
+  local name="$1" dir="$2" test_args="$3"
+  shift 3
+  note "${name}: configure + build + ctest"
+  if ! cmake -B "${dir}" -S . "$@" >/dev/null; then
+    fail "${name}: cmake configure"
+    return
+  fi
+  if ! cmake --build "${dir}" -j "${JOBS}" >/dev/null; then
+    fail "${name}: build"
+    return
+  fi
+  # shellcheck disable=SC2086  # test_args is an intentional word list
+  if (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" ${test_args}); then
+    pass "${name}"
+  else
+    fail "${name}: ctest"
+  fi
+}
+
+run_matrix_entry "plain" "${PREFIX}-plain" "" \
+  -DRASED_WERROR=ON
+
+run_matrix_entry "asan+ubsan" "${PREFIX}-asan" "" \
+  "-DRASED_SANITIZE=address;undefined"
+
+# TSan: the concurrency-sensitive suites. These are the classes that got
+# locks/annotations in the correctness-tooling pass; a race anywhere in
+# them must surface here.
+run_matrix_entry "tsan" "${PREFIX}-tsan" \
+  "-R (Dashboard|Concurrent|HttpServer|CubeCache|Replication|TemporalIndex|Warehouse)" \
+  "-DRASED_SANITIZE=thread"
+
+# ----------------------------------------------------------------- gate ---
+note "summary"
+if [ "${FAILURES}" -ne 0 ]; then
+  printf '%d stage(s) failed\n' "${FAILURES}"
+  exit 1
+fi
+printf 'all runnable stages passed\n'
