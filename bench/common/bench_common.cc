@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "dashboard/json_writer.h"
 #include "io/env.h"
 #include "synth/update_generator.h"
 #include "util/clock.h"
@@ -56,9 +57,10 @@ std::unique_ptr<TemporalIndex> OpenOrBuildIndex(const BenchEnv& env,
   }
 
   std::fprintf(stderr,
-               "[bench] building %d-level 16-year index in %s "
+               "[bench] building %d-level index for %s in %s "
                "(one-time, cached for later runs)...\n",
-               num_levels, options.dir.c_str());
+               num_levels, env.period.ToString().c_str(),
+               options.dir.c_str());
   StopWatch watch;
   auto index = TemporalIndex::Create(options);
   RASED_CHECK(index.ok()) << index.status().ToString();
@@ -178,6 +180,16 @@ void PrintRow(const std::vector<std::string>& cells) {
     std::printf("%16s", cell.c_str());
   }
   std::printf("\n");
+}
+
+void PrintJsonLine(const std::string& bench,
+                   const std::vector<std::pair<std::string, double>>& fields) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("bench", std::string_view(bench));
+  for (const auto& [key, value] : fields) w.KV(std::string_view(key), value);
+  w.EndObject();
+  std::printf("%s\n", std::move(w).Finish().c_str());
 }
 
 std::string FmtMillis(double ms) {

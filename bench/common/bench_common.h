@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/cube_cache.h"
@@ -89,6 +90,13 @@ QueryLoadResult RunQueryLoad(QueryExecutor* executor, const BenchEnv& env,
 /// aligned rows so EXPERIMENTS.md can quote the output verbatim.
 void PrintHeader(const std::string& title, const std::string& note);
 void PrintRow(const std::vector<std::string>& cells);
+
+/// Machine-readable companion to the table: one JSON object per call, on
+/// its own stdout line, shaped {"bench": <name>, <field>: <number>, ...}.
+/// Scrapers pick series out of bench output by matching the "bench" tag,
+/// so every sweep point should emit exactly one line.
+void PrintJsonLine(const std::string& bench,
+                   const std::vector<std::pair<std::string, double>>& fields);
 
 std::string FmtMillis(double ms);
 std::string FmtCount(double v);

@@ -10,7 +10,8 @@ namespace rased {
 
 CubeCache::CubeCache(const CacheOptions& options) : options_(options) {}
 
-void CubeCache::Preload(TemporalIndex* index, Level level, size_t slots) {
+void CubeCache::Preload(const TemporalIndex* index, Level level,
+                        size_t slots) {
   if (slots == 0) return;
   for (const CubeKey& key : index->LatestKeys(level, slots)) {
     auto cube = index->ReadCube(key);
@@ -28,7 +29,7 @@ void CubeCache::Preload(TemporalIndex* index, Level level, size_t slots) {
   }
 }
 
-Status CubeCache::Warm(TemporalIndex* index) {
+Status CubeCache::Warm(const TemporalIndex* index) {
   if (options_.policy == CachePolicy::kLru) return Status::OK();
   Clear();
   size_t n = options_.num_slots;

@@ -75,7 +75,7 @@ class CubeCache {
   /// kLru it is a no-op (the cache fills on demand). Warm reads go through
   /// the index pager but are an offline cost — callers typically reset
   /// pager stats afterwards.
-  Status Warm(TemporalIndex* index) RASED_EXCLUDES(mu_);
+  Status Warm(const TemporalIndex* index) RASED_EXCLUDES(mu_);
 
   /// Returns the cached cube or nullptr; counts a hit/miss. For kLru the
   /// entry is refreshed. The returned pointer remains valid after eviction.
@@ -104,7 +104,7 @@ class CubeCache {
  private:
   void AdmitLru(const CubeKey& key, const DataCube& cube)
       RASED_REQUIRES(mu_);
-  void Preload(TemporalIndex* index, Level level, size_t slots)
+  void Preload(const TemporalIndex* index, Level level, size_t slots)
       RASED_EXCLUDES(mu_);
   void ClearLocked() RASED_REQUIRES(mu_);
 

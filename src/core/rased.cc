@@ -180,16 +180,23 @@ Status Rased::InitComponents(bool create) {
 
 Status Rased::IngestDailyArtifacts(Date day, std::string_view osc_xml,
                                    std::string_view changesets_xml) {
+  WriterMutexLock lock(&mu_);
   ChangesetStore changesets;
   RASED_RETURN_IF_ERROR(changesets.AddFromXml(changesets_xml));
   DailyCrawler crawler(world_.get(), road_types_.get());
   std::vector<UpdateRecord> records;
   RASED_RETURN_IF_ERROR(crawler.CrawlDiff(osc_xml, changesets, &records));
-  return IngestDayRecords(day, records);
+  return IngestDayRecordsLocked(day, records);
 }
 
 Status Rased::IngestDayRecords(Date day,
                                const std::vector<UpdateRecord>& records) {
+  WriterMutexLock lock(&mu_);
+  return IngestDayRecordsLocked(day, records);
+}
+
+Status Rased::IngestDayRecordsLocked(
+    Date day, const std::vector<UpdateRecord>& records) {
   DataCube cube(options_.schema);
   for (const UpdateRecord& r : records) {
     if (r.date != day) {
@@ -207,12 +214,14 @@ Status Rased::IngestDayRecords(Date day,
 }
 
 Status Rased::IngestDayCube(Date day, const DataCube& cube) {
+  WriterMutexLock lock(&mu_);
   return index_->AppendDay(day, cube);
 }
 
 Status Rased::ApplyMonthlyArtifacts(Date month_start,
                                     std::string_view history_xml,
                                     std::string_view changesets_xml) {
+  WriterMutexLock lock(&mu_);
   ChangesetStore changesets;
   RASED_RETURN_IF_ERROR(changesets.AddFromXml(changesets_xml));
   MonthlyCrawler crawler(world_.get(), road_types_.get());
@@ -240,24 +249,31 @@ Status Rased::ApplyMonthlyArtifacts(Date month_start,
       DateRange(month_start.year_start(), month_start.year_end()));
   if (cache_->options().policy != CachePolicy::kLru &&
       cache_->stats().preloaded > 0) {
-    RASED_RETURN_IF_ERROR(WarmCache());
+    RASED_RETURN_IF_ERROR(WarmCacheLocked());
   }
   return Status::OK();
 }
 
 Status Rased::WarmCache() {
+  WriterMutexLock lock(&mu_);
+  return WarmCacheLocked();
+}
+
+Status Rased::WarmCacheLocked() {
   RASED_RETURN_IF_ERROR(cache_->Warm(index_.get()));
   // Warm-up reads are offline cost; keep query-time I/O accounting clean.
   index_->pager()->ResetStats();
   return Status::OK();
 }
 
-Result<QueryResult> Rased::Query(const AnalysisQuery& query) {
+Result<QueryResult> Rased::Query(const AnalysisQuery& query) const {
+  ReaderMutexLock lock(&mu_);
   return executor_->Execute(query);
 }
 
 Result<std::vector<UpdateRecord>> Rased::SampleInBox(const BoundingBox& box,
-                                                     size_t n) {
+                                                     size_t n) const {
+  ReaderMutexLock lock(&mu_);
   if (warehouse_ == nullptr) {
     return Status::NotSupported("warehouse disabled in this instance");
   }
@@ -265,7 +281,8 @@ Result<std::vector<UpdateRecord>> Rased::SampleInBox(const BoundingBox& box,
 }
 
 Result<std::vector<UpdateRecord>> Rased::SampleByChangeset(
-    uint64_t changeset_id) {
+    uint64_t changeset_id) const {
+  ReaderMutexLock lock(&mu_);
   if (warehouse_ == nullptr) {
     return Status::NotSupported("warehouse disabled in this instance");
   }
@@ -273,7 +290,8 @@ Result<std::vector<UpdateRecord>> Rased::SampleByChangeset(
 }
 
 Result<std::vector<UpdateRecord>> Rased::Sample(const SampleFilter& filter,
-                                                size_t n) {
+                                                size_t n) const {
+  ReaderMutexLock lock(&mu_);
   if (warehouse_ == nullptr) {
     return Status::NotSupported("warehouse disabled in this instance");
   }
@@ -281,6 +299,7 @@ Result<std::vector<UpdateRecord>> Rased::Sample(const SampleFilter& filter,
 }
 
 Status Rased::Sync() {
+  WriterMutexLock lock(&mu_);
   RASED_RETURN_IF_ERROR(SaveMeta());
   RASED_RETURN_IF_ERROR(index_->Sync());
   if (warehouse_ != nullptr) RASED_RETURN_IF_ERROR(warehouse_->Sync());

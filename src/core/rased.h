@@ -17,6 +17,7 @@
 #include "query/analysis_query.h"
 #include "query/query_executor.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 #include "warehouse/warehouse.h"
 
 namespace rased {
@@ -61,6 +62,19 @@ struct RasedOptions {
 ///   rased->WarmCache();
 ///   AnalysisQuery q = ...;
 ///   auto result = rased->Query(q);
+///
+/// Threading contract: reads scale, writes are exclusive — guarded
+/// internally by one reader-writer lock, so callers never lock anything.
+/// The const query family (Query, SampleInBox, SampleByChangeset, Sample)
+/// holds the lock shared: any number of dashboard workers run analysis
+/// queries concurrently, each accumulating its own QueryStats through the
+/// per-call I/O context. Ingestion (IngestDailyArtifacts, IngestDayRecords,
+/// IngestDayCube, ApplyMonthlyArtifacts), WarmCache, and Sync hold it
+/// exclusively — an append briefly drains in-flight queries and queries
+/// never observe a half-appended day. Component accessors (index(),
+/// cache(), ...) return internally-synchronized objects whose const reads
+/// are likewise safe from any thread; mutating them directly (pager(),
+/// mutable_world()) is setup/tooling territory and must not race serving.
 class Rased {
  public:
   static Result<std::unique_ptr<Rased>> Create(const RasedOptions& options);
@@ -81,42 +95,52 @@ class Rased {
   /// day's cube, append it to the index (with rollups), and stock the
   /// warehouse.
   Status IngestDailyArtifacts(Date day, std::string_view osc_xml,
-                              std::string_view changesets_xml);
+                              std::string_view changesets_xml)
+      RASED_EXCLUDES(mu_);
 
   /// Same pipeline when the UpdateList tuples are already in hand.
-  Status IngestDayRecords(Date day, const std::vector<UpdateRecord>& records);
+  Status IngestDayRecords(Date day, const std::vector<UpdateRecord>& records)
+      RASED_EXCLUDES(mu_);
 
   /// Fast path: append a prebuilt day cube (no warehouse, no crawl).
-  Status IngestDayCube(Date day, const DataCube& cube);
+  Status IngestDayCube(Date day, const DataCube& cube) RASED_EXCLUDES(mu_);
 
   /// Monthly pipeline: crawl the month's full-history fragment (full
   /// four-way UpdateType classification) and rebuild the month's cubes.
   Status ApplyMonthlyArtifacts(Date month_start, std::string_view history_xml,
-                               std::string_view changesets_xml);
+                               std::string_view changesets_xml)
+      RASED_EXCLUDES(mu_);
 
   /// Preloads the cube cache per the configured policy.
-  Status WarmCache();
+  Status WarmCache() RASED_EXCLUDES(mu_);
 
   // ---- queries (Section IV) ----
+  // Const and concurrency-safe: each call holds the facade lock shared and
+  // charges its own per-query stats.
 
-  Result<QueryResult> Query(const AnalysisQuery& query);
+  Result<QueryResult> Query(const AnalysisQuery& query) const
+      RASED_EXCLUDES(mu_);
 
   /// Sample update queries (Section IV-B); n defaults to the paper's 100.
   Result<std::vector<UpdateRecord>> SampleInBox(const BoundingBox& box,
-                                                size_t n = 100);
-  Result<std::vector<UpdateRecord>> SampleByChangeset(uint64_t changeset_id);
+                                                size_t n = 100) const
+      RASED_EXCLUDES(mu_);
+  Result<std::vector<UpdateRecord>> SampleByChangeset(
+      uint64_t changeset_id) const RASED_EXCLUDES(mu_);
   Result<std::vector<UpdateRecord>> Sample(const SampleFilter& filter,
-                                           size_t n = 100);
+                                           size_t n = 100) const
+      RASED_EXCLUDES(mu_);
 
   // ---- component access ----
 
   const WorldMap& world() const { return *world_; }
   WorldMap* mutable_world() { return world_.get(); }
-  RoadTypeTable* road_types() { return road_types_.get(); }
+  RoadTypeTable* road_types() const { return road_types_.get(); }
+  const TemporalIndex* index() const { return index_.get(); }
   TemporalIndex* index() { return index_.get(); }
-  CubeCache* cache() { return cache_.get(); }
-  QueryExecutor* executor() { return executor_.get(); }
-  Warehouse* warehouse() { return warehouse_.get(); }
+  CubeCache* cache() const { return cache_.get(); }
+  const QueryExecutor* executor() const { return executor_.get(); }
+  Warehouse* warehouse() const { return warehouse_.get(); }
   const RasedOptions& options() const { return options_; }
 
   /// Resolves a zone by name ("Germany", "North America", "Minnesota").
@@ -129,12 +153,20 @@ class Rased {
     return road_types_->Intern(highway);
   }
 
-  Status Sync();
+  Status Sync() RASED_EXCLUDES(mu_);
 
  private:
   explicit Rased(const RasedOptions& options);
 
   Status InitComponents(bool create);
+
+  /// Lock-free bodies shared by the public entry points (the public
+  /// wrappers take the writer lock once; pipelines compose these without
+  /// re-acquiring).
+  Status IngestDayRecordsLocked(Date day,
+                                const std::vector<UpdateRecord>& records)
+      RASED_REQUIRES(mu_);
+  Status WarmCacheLocked() RASED_REQUIRES(mu_);
 
   /// rased.meta persistence: structural options plus the mutable lookup
   /// state that must survive restarts — interned road types (cube
@@ -143,6 +175,12 @@ class Rased {
   Status SaveMeta() const;
   Status LoadMeta();
   static std::string MetaPath(const std::string& dir);
+
+  /// The facade-level reader-writer lock: queries hold it shared,
+  /// ingestion/maintenance hold it exclusive. Ordered before any component
+  /// lock (index catalog, cache, road-type table) — those are only ever
+  /// acquired while this one is held or from single-threaded setup.
+  mutable SharedMutex mu_;
 
   RasedOptions options_;
   std::unique_ptr<WorldMap> world_;

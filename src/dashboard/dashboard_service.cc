@@ -108,9 +108,11 @@ DashboardService::DashboardService(Rased* rased) : rased_(rased) {
   });
 }
 
-Status DashboardService::Start(int port) { return server_.Start(port); }
+Status DashboardService::Start(int port, int num_workers) {
+  return server_.Start(port, num_workers);
+}
 
-Result<AnalysisQuery> DashboardService::ParseQueryParamsLocked(
+Result<AnalysisQuery> DashboardService::ParseQueryParams(
     const HttpRequest& request) const {
   AnalysisQuery query;
 
@@ -177,8 +179,7 @@ void DashboardService::HandleIndex(const HttpRequest&,
 
 void DashboardService::HandleQuery(const HttpRequest& request,
                                    HttpResponse* response) {
-  MutexLock lock(&rased_mu_);
-  auto query = ParseQueryParamsLocked(request);
+  auto query = ParseQueryParams(request);
   if (!query.ok()) {
     WriteError(query.status(), response);
     return;
@@ -188,7 +189,6 @@ void DashboardService::HandleQuery(const HttpRequest& request,
 
 void DashboardService::HandleSql(const HttpRequest& request,
                                  HttpResponse* response) {
-  MutexLock lock(&rased_mu_);
   std::string sql = request.Param("q");
   if (sql.empty()) {
     WriteError(Status::InvalidArgument("missing ?q=<SQL>"), response);
@@ -240,7 +240,6 @@ void DashboardService::ExecuteAndRender(const AnalysisQuery& query,
 
 void DashboardService::HandleSample(const HttpRequest& request,
                                     HttpResponse* response) {
-  MutexLock lock(&rased_mu_);
   Result<std::vector<UpdateRecord>> samples =
       std::vector<UpdateRecord>{};
   if (request.HasParam("changeset")) {
@@ -302,7 +301,6 @@ void DashboardService::HandleSample(const HttpRequest& request,
 
 void DashboardService::HandleZones(const HttpRequest&,
                                    HttpResponse* response) {
-  MutexLock lock(&rased_mu_);
   JsonWriter w;
   w.BeginObject();
   w.Key("zones");
@@ -326,7 +324,6 @@ void DashboardService::HandleZones(const HttpRequest&,
 
 void DashboardService::HandleStats(const HttpRequest&,
                                    HttpResponse* response) {
-  MutexLock lock(&rased_mu_);
   IndexStorageStats storage = rased_->index()->StorageStats();
   CacheStats cache = rased_->cache()->stats();
   JsonWriter w;

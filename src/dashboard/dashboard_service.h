@@ -36,48 +36,35 @@ class DashboardService {
   /// `rased` must outlive the service.
   explicit DashboardService(Rased* rased);
 
-  /// Starts serving on 127.0.0.1:`port` (0 = ephemeral).
-  Status Start(int port);
+  /// Starts serving on 127.0.0.1:`port` (0 = ephemeral) with a pool of
+  /// `num_workers` HTTP threads handling requests concurrently.
+  Status Start(int port, int num_workers = 8);
   void Stop() { server_.Stop(); }
   int port() const { return server_.port(); }
 
   /// Parses /api/query parameters into an AnalysisQuery (exposed for
   /// tests). Unknown names return InvalidArgument. Reads index coverage
-  /// and resolves names through the Rased instance, hence the lock.
-  Result<AnalysisQuery> ParseQueryParams(const HttpRequest& request) const
-      RASED_EXCLUDES(rased_mu_) {
-    MutexLock lock(&rased_mu_);
-    return ParseQueryParamsLocked(request);
-  }
+  /// and resolves names through the Rased instance's const read path.
+  Result<AnalysisQuery> ParseQueryParams(const HttpRequest& request) const;
 
  private:
-  Result<AnalysisQuery> ParseQueryParamsLocked(const HttpRequest& request)
-      const RASED_REQUIRES(rased_mu_);
-
   void HandleIndex(const HttpRequest& request, HttpResponse* response);
-  void HandleQuery(const HttpRequest& request, HttpResponse* response)
-      RASED_EXCLUDES(rased_mu_);
-  void HandleSql(const HttpRequest& request, HttpResponse* response)
-      RASED_EXCLUDES(rased_mu_);
-  /// Executes a parsed query and renders it per the `format` param;
-  /// callers hold rased_mu_.
+  void HandleQuery(const HttpRequest& request, HttpResponse* response);
+  void HandleSql(const HttpRequest& request, HttpResponse* response);
+  /// Executes a parsed query and renders it per the `format` param.
   void ExecuteAndRender(const AnalysisQuery& query,
-                        const HttpRequest& request, HttpResponse* response)
-      RASED_REQUIRES(rased_mu_);
-  void HandleSample(const HttpRequest& request, HttpResponse* response)
-      RASED_EXCLUDES(rased_mu_);
-  void HandleZones(const HttpRequest& request, HttpResponse* response)
-      RASED_EXCLUDES(rased_mu_);
-  void HandleStats(const HttpRequest& request, HttpResponse* response)
-      RASED_EXCLUDES(rased_mu_);
+                        const HttpRequest& request, HttpResponse* response);
+  void HandleSample(const HttpRequest& request, HttpResponse* response);
+  void HandleZones(const HttpRequest& request, HttpResponse* response);
+  void HandleStats(const HttpRequest& request, HttpResponse* response);
 
-  /// The HTTP workers run handlers concurrently, but a Rased instance is
-  /// single-threaded by contract (queries mutate pager statistics and
-  /// drive the non-thread-safe pager); rased_mu_ serializes every access
-  /// to it. The annotation is on the pointee: the pointer itself is set
-  /// once in the constructor and never reassigned.
-  mutable Mutex rased_mu_;
-  Rased* const rased_ RASED_PT_GUARDED_BY(rased_mu_);
+  /// The HTTP workers run handlers concurrently against the Rased
+  /// instance directly: its query family is const and internally guarded
+  /// by a reader-writer lock, the index catalog and cube cache are
+  /// internally synchronized, and every query accumulates I/O into its
+  /// own QueryStats. The service itself holds no lock — the days of the
+  /// big rased_mu_ serializing every endpoint are over.
+  Rased* const rased_;
   RenderContext ctx_;
   HttpServer server_;
 };

@@ -65,7 +65,7 @@ Result<std::unique_ptr<TemporalIndex>> TemporalIndex::Open(
 
   // Parse the catalog. The index is not published yet, but the analysis
   // (rightly) doesn't know that, so hold its lock while filling it in.
-  MutexLock lock(&index->mu_);
+  WriterMutexLock lock(&index->mu_);
   std::vector<std::string> lines = Split(contents.value(), '\n');
   if (lines.empty() || lines[0] != kCatalogMagic) {
     return Status::Corruption("bad catalog header in " + options.dir);
@@ -128,7 +128,7 @@ Status TemporalIndex::SaveCatalog() {
                    options_.schema.num_update_types);
   out += StrFormat("levels %d\n", options_.num_levels);
   {
-    MutexLock lock(&mu_);
+    ReaderMutexLock lock(&mu_);
     if (first_day_.has_value()) {
       out += StrFormat("first_day %d\n", first_day_->days_since_epoch());
     }
@@ -156,27 +156,34 @@ Status TemporalIndex::WriteCube(const CubeKey& key, const DataCube& cube) {
   PageId page = kInvalidPageId;
   bool found = false;
   {
-    MutexLock lock(&mu_);
+    ReaderMutexLock lock(&mu_);
     auto it = catalog_.find(key);
     if (it != catalog_.end()) {
       page = it->second;
       found = true;
     }
   }
-  if (!found) {
-    // Writers are externally serialized, so nobody else can register this
-    // key between the lookup above and the insert below.
-    RASED_ASSIGN_OR_RETURN(page, pager_->AllocatePage());
-    MutexLock lock(&mu_);
-    catalog_[key] = page;
+  if (found) {
+    // Overwrite in place (RebuildMonth). Maintenance holds the facade's
+    // exclusive lock, so no reader can be mid-read on this page.
+    return pager_->WritePage(page, buf.data(), buf.size());
   }
-  return pager_->WritePage(page, buf.data(), buf.size());
+  // New cube: write the page fully, then publish the key. Writers are
+  // externally serialized, so nobody else can register this key in
+  // between; readers that race the append either miss the key or see a
+  // complete page.
+  RASED_ASSIGN_OR_RETURN(page, pager_->AllocatePage());
+  RASED_RETURN_IF_ERROR(pager_->WritePage(page, buf.data(), buf.size()));
+  WriterMutexLock lock(&mu_);
+  catalog_[key] = page;
+  return Status::OK();
 }
 
-Result<DataCube> TemporalIndex::ReadCube(const CubeKey& key) {
+Result<DataCube> TemporalIndex::ReadCube(const CubeKey& key,
+                                         IoStats* io) const {
   PageId page = kInvalidPageId;
   {
-    MutexLock lock(&mu_);
+    ReaderMutexLock lock(&mu_);
     auto it = catalog_.find(key);
     if (it == catalog_.end()) {
       return Status::NotFound("no cube for " + key.ToString());
@@ -184,18 +191,18 @@ Result<DataCube> TemporalIndex::ReadCube(const CubeKey& key) {
     page = it->second;
   }
   std::vector<unsigned char> buf(pager_->payload_size());
-  RASED_RETURN_IF_ERROR(pager_->ReadPage(page, buf.data()));
+  RASED_RETURN_IF_ERROR(pager_->ReadPage(page, buf.data(), io));
   return DataCube::Deserialize(options_.schema, buf.data(), buf.size());
 }
 
 bool TemporalIndex::Contains(const CubeKey& key) const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   return catalog_.find(key) != catalog_.end();
 }
 
 Result<DataCube> TemporalIndex::BuildFromChildren(
     const CubeKey& parent, const CubeKey* in_memory_key,
-    const DataCube* in_memory_cube) {
+    const DataCube* in_memory_cube) const {
   DataCube sum(options_.schema);
   for (const CubeKey& child : parent.Children()) {
     if (in_memory_key != nullptr && child == *in_memory_key) {
@@ -215,7 +222,7 @@ Status TemporalIndex::AppendDay(Date day, const DataCube& cube) {
     return Status::InvalidArgument("cube schema mismatch");
   }
   {
-    MutexLock lock(&mu_);
+    ReaderMutexLock lock(&mu_);
     if (last_day_.has_value() && day != last_day_->next()) {
       return Status::InvalidArgument(
           StrFormat("AppendDay(%s) out of order; expected %s",
@@ -225,7 +232,7 @@ Status TemporalIndex::AppendDay(Date day, const DataCube& cube) {
   }
   RASED_RETURN_IF_ERROR(WriteCube(CubeKey::Daily(day), cube));
   {
-    MutexLock lock(&mu_);
+    WriterMutexLock lock(&mu_);
     if (!first_day_.has_value()) first_day_ = day;
     last_day_ = day;
   }
@@ -329,7 +336,7 @@ Status TemporalIndex::RebuildMonth(Date month_start,
 std::vector<CubeKey> TemporalIndex::ExistingKeys(
     Level level, const DateRange& range) const {
   std::vector<CubeKey> keys;
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   for (const CubeKey& key : KeysCoveredBy(level, range)) {
     if (catalog_.find(key) != catalog_.end()) keys.push_back(key);
   }
@@ -338,7 +345,7 @@ std::vector<CubeKey> TemporalIndex::ExistingKeys(
 
 std::vector<CubeKey> TemporalIndex::LatestKeys(Level level, size_t n) const {
   std::vector<CubeKey> keys;
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   for (auto it = catalog_.rbegin(); it != catalog_.rend() && keys.size() < n;
        ++it) {
     if (it->first.level == level) keys.push_back(it->first);
@@ -348,7 +355,7 @@ std::vector<CubeKey> TemporalIndex::LatestKeys(Level level, size_t n) const {
 }
 
 DateRange TemporalIndex::coverage() const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   if (!first_day_.has_value()) return DateRange();
   return DateRange(*first_day_, *last_day_);
 }
@@ -356,7 +363,7 @@ DateRange TemporalIndex::coverage() const {
 IndexStorageStats TemporalIndex::StorageStats() const {
   IndexStorageStats stats;
   {
-    MutexLock lock(&mu_);
+    ReaderMutexLock lock(&mu_);
     for (const auto& [key, page] : catalog_) {
       ++stats.cubes_per_level[static_cast<int>(key.level)];
       ++stats.total_cubes;

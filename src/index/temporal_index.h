@@ -52,13 +52,21 @@ struct IndexStorageStats {
 ///    if closed, yearly) cubes from monthly-crawler data that carries the
 ///    full four-way UpdateType classification.
 ///
-/// Threading contract: the catalog metadata (Contains, ExistingKeys,
-/// LatestKeys, coverage, StorageStats) is internally synchronized and safe
-/// to call from any thread. Cube I/O — ReadCube, AppendDay, RebuildMonth,
-/// Sync, and direct pager() access — goes through the shared Pager, which
-/// is NOT thread-safe; those calls require external serialization (Rased
-/// is single-threaded by contract and DashboardService serializes all
-/// access to it behind its rased_mu_).
+/// Threading contract: const means thread-safe. Every const member —
+/// Contains, ReadCube, ExistingKeys, LatestKeys, coverage, StorageStats —
+/// may be called from any number of threads concurrently: the catalog is
+/// guarded by an internal reader-writer lock (readers share it, appends
+/// take it exclusively), and the cube page read itself is a positional
+/// pread charged to the caller's per-call IoStats, so concurrent queries
+/// never contend on or corrupt each other's accounting. Maintenance
+/// (AppendDay, RebuildMonth, Sync) and direct pager() mutation require
+/// external serialization against each other AND against concurrent
+/// readers of the cubes being rewritten — in-process that serializer is
+/// the Rased facade's reader-writer lock (queries shared, ingestion
+/// exclusive). The one internal concession to lock-free readers:
+/// WriteCube publishes a brand-new cube in the catalog only after its
+/// page hits the file, so a racing reader either misses the key or reads
+/// a fully written page.
 class TemporalIndex {
  public:
   /// Creates a fresh index in options.dir (fails if one already exists).
@@ -92,8 +100,12 @@ class TemporalIndex {
 
   bool Contains(const CubeKey& key) const RASED_EXCLUDES(mu_);
 
-  /// Reads one cube from disk (through the pager; cost is charged).
-  Result<DataCube> ReadCube(const CubeKey& key) RASED_EXCLUDES(mu_);
+  /// Reads one cube from disk through the pager. The transfer is charged
+  /// to the pager's global counters and, when `io` is non-null, to the
+  /// caller's per-call accounting (how each query accumulates its own
+  /// deterministic I/O cost under concurrency).
+  Result<DataCube> ReadCube(const CubeKey& key, IoStats* io = nullptr) const
+      RASED_EXCLUDES(mu_);
 
   /// Keys of `level` fully inside `range` that actually exist.
   std::vector<CubeKey> ExistingKeys(Level level, const DateRange& range) const
@@ -112,6 +124,7 @@ class TemporalIndex {
 
   const TemporalIndexOptions& options() const { return options_; }
   Pager* pager() { return pager_.get(); }
+  const Pager* pager() const { return pager_.get(); }
 
   /// Persists the catalog; called automatically on destruction.
   Status Sync();
@@ -131,20 +144,22 @@ class TemporalIndex {
   /// paper's "read the six previous cubes" I/O pattern is preserved.
   Result<DataCube> BuildFromChildren(const CubeKey& parent,
                                      const CubeKey* in_memory_key,
-                                     const DataCube* in_memory_cube);
+                                     const DataCube* in_memory_cube) const;
 
   Status SaveCatalog() RASED_EXCLUDES(mu_);
   static std::string CatalogPath(const std::string& dir);
   static std::string PagesPath(const std::string& dir);
 
   TemporalIndexOptions options_;
-  // Pager I/O is externally serialized (see the threading contract above);
-  // mu_ never spans a page read/write, so metadata lookups stay cheap even
-  // while a maintenance pass is streaming cubes to disk.
+  // Page reads are pager-internal-atomic-safe from any thread; writes are
+  // externally serialized (see the threading contract above). mu_ never
+  // spans a page read/write, so metadata lookups stay cheap even while a
+  // maintenance pass is streaming cubes to disk.
   std::unique_ptr<Pager> pager_;
 
-  /// Guards the catalog metadata below.
-  mutable Mutex mu_;
+  /// Reader-writer lock over the catalog metadata below: lookups on the
+  /// query path hold it shared, appends/rebuilds hold it exclusively.
+  mutable SharedMutex mu_;
   // Catalog: node -> page. std::map keeps keys chronologically ordered,
   // which ExistingKeys/LatestKeys rely on.
   std::map<CubeKey, PageId> catalog_ RASED_GUARDED_BY(mu_);

@@ -116,32 +116,33 @@ Result<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path) {
 Status PageFile::WriteHeader() {
   unsigned char header[kHeaderBytes] = {0};
   uint32_t magic = kMagic, version = kVersion;
-  uint64_t page_size = page_size_, num_pages = num_pages_;
+  uint64_t page_size = page_size_, pages = num_pages();
   std::memcpy(header + 0, &magic, 4);
   std::memcpy(header + 4, &version, 4);
   std::memcpy(header + 8, &page_size, 8);
-  std::memcpy(header + 16, &num_pages, 8);
+  std::memcpy(header + 16, &pages, 8);
   uint32_t crc = Crc32c(header, 24);
   std::memcpy(header + 24, &crc, 4);
   return PwriteAll(fd_, header, sizeof(header), 0, path_);
 }
 
 Result<PageId> PageFile::AllocatePage() {
-  PageId id = num_pages_ + 1;  // page ids are 1-based; 0 is the header
+  PageId id = num_pages() + 1;  // page ids are 1-based; 0 is the header
   std::vector<unsigned char> zero(page_size_, 0);
   uint32_t crc = Crc32c(zero.data(), payload_size());
   std::memcpy(zero.data() + payload_size(), &crc, 4);
   RASED_RETURN_IF_ERROR(
       PwriteAll(fd_, zero.data(), page_size_, id * page_size_, path_));
-  ++num_pages_;
+  num_pages_.store(id, std::memory_order_release);
   return id;
 }
 
 Status PageFile::WritePage(PageId id, const void* payload, size_t n) {
-  if (id == kInvalidPageId || id > num_pages_) {
-    return Status::OutOfRange(StrFormat("page %llu out of range (have %llu)",
-                                        static_cast<unsigned long long>(id),
-                                        static_cast<unsigned long long>(num_pages_)));
+  if (id == kInvalidPageId || id > num_pages()) {
+    return Status::OutOfRange(
+        StrFormat("page %llu out of range (have %llu)",
+                  static_cast<unsigned long long>(id),
+                  static_cast<unsigned long long>(num_pages())));
   }
   if (n > payload_size()) {
     return Status::InvalidArgument(
@@ -155,10 +156,11 @@ Status PageFile::WritePage(PageId id, const void* payload, size_t n) {
 }
 
 Status PageFile::ReadPage(PageId id, void* payload) const {
-  if (id == kInvalidPageId || id > num_pages_) {
-    return Status::OutOfRange(StrFormat("page %llu out of range (have %llu)",
-                                        static_cast<unsigned long long>(id),
-                                        static_cast<unsigned long long>(num_pages_)));
+  if (id == kInvalidPageId || id > num_pages()) {
+    return Status::OutOfRange(
+        StrFormat("page %llu out of range (have %llu)",
+                  static_cast<unsigned long long>(id),
+                  static_cast<unsigned long long>(num_pages())));
   }
   std::vector<unsigned char> buf(page_size_);
   RASED_RETURN_IF_ERROR(

@@ -1,6 +1,7 @@
 #ifndef RASED_IO_PAGE_FILE_H_
 #define RASED_IO_PAGE_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -24,7 +25,12 @@ inline constexpr PageId kInvalidPageId = 0;
 /// capacity is therefore page_size - 4. The checksum is validated on every
 /// read, surfacing torn or corrupted pages as Status::Corruption.
 ///
-/// Not thread-safe; callers (the Pager) serialize access.
+/// Threading contract: ReadPage is a positional pread of an
+/// already-allocated page and is safe from any number of threads
+/// concurrently (num_pages_ is atomic, so the bounds check never races an
+/// allocation). AllocatePage/WritePage/Sync mutate the file and require
+/// external serialization — against each other and against readers of the
+/// page being (re)written; the Pager's callers provide it.
 class PageFile {
  public:
   static constexpr uint32_t kMagic = 0x52415345;  // "RASE"
@@ -57,8 +63,10 @@ class PageFile {
   size_t page_size() const { return page_size_; }
   /// Usable bytes per page (page_size minus the checksum trailer).
   size_t payload_size() const { return page_size_ - kChecksumBytes; }
-  /// Number of allocated user pages.
-  uint64_t num_pages() const { return num_pages_; }
+  /// Number of allocated user pages (safe to read from any thread).
+  uint64_t num_pages() const {
+    return num_pages_.load(std::memory_order_acquire);
+  }
   const std::string& path() const { return path_; }
 
   /// Flushes and persists the header. Called automatically on destruction.
@@ -72,7 +80,11 @@ class PageFile {
   std::string path_;
   int fd_;
   size_t page_size_;
-  uint64_t num_pages_;
+  /// Atomic so concurrent readers can bounds-check against a stable count
+  /// while (externally serialized) allocations grow the file. release on
+  /// publish / acquire on read orders the zero-fill write of a fresh page
+  /// before any reader can address it.
+  std::atomic<uint64_t> num_pages_;
 };
 
 }  // namespace rased

@@ -17,38 +17,70 @@ Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
   return std::unique_ptr<Pager>(new Pager(std::move(file).value(), device));
 }
 
-Result<PageId> Pager::AllocatePage() {
+Result<PageId> Pager::AllocatePage(IoStats* io) {
   auto id = file_->AllocatePage();
-  if (id.ok()) ChargeWrite(page_size());
+  if (id.ok()) ChargeWrite(page_size(), io);
   return id;
 }
 
-Status Pager::WritePage(PageId id, const void* payload, size_t n) {
+Status Pager::WritePage(PageId id, const void* payload, size_t n,
+                        IoStats* io) {
   RASED_RETURN_IF_ERROR(file_->WritePage(id, payload, n));
-  ChargeWrite(page_size());
+  ChargeWrite(page_size(), io);
   return Status::OK();
 }
 
-Status Pager::ReadPage(PageId id, void* payload) {
+Status Pager::ReadPage(PageId id, void* payload, IoStats* io) const {
   RASED_RETURN_IF_ERROR(file_->ReadPage(id, payload));
-  ChargeRead(page_size());
+  ChargeRead(page_size(), io);
   return Status::OK();
 }
 
-void Pager::ChargeRead(size_t bytes) {
-  ++stats_.page_reads;
-  stats_.bytes_read += bytes;
-  stats_.simulated_device_micros +=
+IoStats Pager::stats() const {
+  IoStats s;
+  s.page_reads = page_reads_.load(std::memory_order_relaxed);
+  s.page_writes = page_writes_.load(std::memory_order_relaxed);
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  s.simulated_device_micros =
+      simulated_device_micros_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Pager::ResetStats() {
+  page_reads_.store(0, std::memory_order_relaxed);
+  page_writes_.store(0, std::memory_order_relaxed);
+  bytes_read_.store(0, std::memory_order_relaxed);
+  bytes_written_.store(0, std::memory_order_relaxed);
+  simulated_device_micros_.store(0, std::memory_order_relaxed);
+}
+
+void Pager::ChargeRead(size_t bytes, IoStats* io) const {
+  int64_t micros =
       device_.read_latency_us +
       static_cast<int64_t>(device_.per_byte_us * static_cast<double>(bytes));
+  page_reads_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  simulated_device_micros_.fetch_add(micros, std::memory_order_relaxed);
+  if (io != nullptr) {
+    ++io->page_reads;
+    io->bytes_read += bytes;
+    io->simulated_device_micros += micros;
+  }
 }
 
-void Pager::ChargeWrite(size_t bytes) {
-  ++stats_.page_writes;
-  stats_.bytes_written += bytes;
-  stats_.simulated_device_micros +=
+void Pager::ChargeWrite(size_t bytes, IoStats* io) {
+  int64_t micros =
       device_.write_latency_us +
       static_cast<int64_t>(device_.per_byte_us * static_cast<double>(bytes));
+  page_writes_.fetch_add(1, std::memory_order_relaxed);
+  bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  simulated_device_micros_.fetch_add(micros, std::memory_order_relaxed);
+  if (io != nullptr) {
+    ++io->page_writes;
+    io->bytes_written += bytes;
+    io->simulated_device_micros += micros;
+  }
 }
 
 }  // namespace rased

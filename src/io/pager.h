@@ -1,6 +1,7 @@
 #ifndef RASED_IO_PAGER_H_
 #define RASED_IO_PAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -34,7 +35,9 @@ struct DeviceModel {
   static DeviceModel None() { return DeviceModel{0, 0, 0.0}; }
 };
 
-/// Running I/O statistics for a Pager.
+/// I/O statistics: either the running totals of a Pager or the per-call
+/// accounting of one query/maintenance pass (a plain value, so each query
+/// carries its own instance with no shared state).
 struct IoStats {
   uint64_t page_reads = 0;
   uint64_t page_writes = 0;
@@ -59,12 +62,28 @@ struct IoStats {
     a.simulated_device_micros -= b.simulated_device_micros;
     return a;
   }
+  friend bool operator==(const IoStats& a, const IoStats& b) {
+    return a.page_reads == b.page_reads && a.page_writes == b.page_writes &&
+           a.bytes_read == b.bytes_read &&
+           a.bytes_written == b.bytes_written &&
+           a.simulated_device_micros == b.simulated_device_micros;
+  }
 };
 
 /// Pager mediates all page traffic to one PageFile, accounting every
 /// transfer against the DeviceModel. Higher layers (index storage, the
 /// warehouse heap, the baseline DBMS buffer pool) never touch PageFile
 /// directly, so every experiment's I/O counts come from one place.
+///
+/// Threading contract: the global counters behind stats() are atomics, so
+/// any number of threads may read pages (and account transfers)
+/// concurrently — concurrent ReadPage calls are positional preads and do
+/// not interfere. Each call additionally charges the transfer to the
+/// caller-supplied per-call `IoStats* io` (when non-null), which is how a
+/// query accumulates *its own* I/O with no cross-thread bleed-through.
+/// AllocatePage/WritePage grow and mutate the file and require external
+/// serialization against each other and against readers of the same pages
+/// (in RASED, ingestion holds the Rased-level exclusive lock).
 class Pager {
  public:
   /// Creates a new page file at `path`.
@@ -79,16 +98,22 @@ class Pager {
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
 
-  Result<PageId> AllocatePage();
-  Status WritePage(PageId id, const void* payload, size_t n);
-  Status ReadPage(PageId id, void* payload);
+  /// Every transfer is charged to the global (atomic) counters, and — when
+  /// `io` is non-null — to the caller's per-call accounting too.
+  Result<PageId> AllocatePage(IoStats* io = nullptr);
+  Status WritePage(PageId id, const void* payload, size_t n,
+                   IoStats* io = nullptr);
+  Status ReadPage(PageId id, void* payload, IoStats* io = nullptr) const;
 
   size_t page_size() const { return file_->page_size(); }
   size_t payload_size() const { return file_->payload_size(); }
   uint64_t num_pages() const { return file_->num_pages(); }
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats{}; }
+  /// Consistent-enough snapshot of the running totals (each field is read
+  /// atomically; fields of a snapshot taken during concurrent traffic may
+  /// be from slightly different instants).
+  IoStats stats() const;
+  void ResetStats();
 
   const DeviceModel& device() const { return device_; }
   void set_device(const DeviceModel& device) { device_ = device; }
@@ -99,12 +124,19 @@ class Pager {
   Pager(std::unique_ptr<PageFile> file, const DeviceModel& device)
       : file_(std::move(file)), device_(device) {}
 
-  void ChargeRead(size_t bytes);
-  void ChargeWrite(size_t bytes);
+  void ChargeRead(size_t bytes, IoStats* io) const;
+  void ChargeWrite(size_t bytes, IoStats* io);
 
   std::unique_ptr<PageFile> file_;
   DeviceModel device_;
-  IoStats stats_;
+
+  // Global running totals. Relaxed ordering: the counters are monotonic
+  // telemetry, never used to synchronize data.
+  mutable std::atomic<uint64_t> page_reads_{0};
+  std::atomic<uint64_t> page_writes_{0};
+  mutable std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  mutable std::atomic<int64_t> simulated_device_micros_{0};
 };
 
 }  // namespace rased

@@ -48,6 +48,7 @@ RoadTypeTable::RoadTypeTable(size_t capacity) : capacity_(capacity) {
 
 RoadTypeId RoadTypeTable::Intern(std::string_view highway_value) {
   if (highway_value.empty()) return kRoadTypeNone;
+  MutexLock lock(&mu_);
   auto it = index_.find(std::string(highway_value));
   if (it != index_.end()) return it->second;
   if (names_.size() < capacity_) {
@@ -61,11 +62,13 @@ RoadTypeId RoadTypeTable::Intern(std::string_view highway_value) {
 
 RoadTypeId RoadTypeTable::Lookup(std::string_view highway_value) const {
   if (highway_value.empty()) return kRoadTypeNone;
+  MutexLock lock(&mu_);
   auto it = index_.find(std::string(highway_value));
   return it != index_.end() ? it->second : other_id_;
 }
 
-const std::string& RoadTypeTable::Name(RoadTypeId id) const {
+std::string RoadTypeTable::Name(RoadTypeId id) const {
+  MutexLock lock(&mu_);
   RASED_CHECK(id < names_.size()) << "road type id " << id << " out of range";
   return names_[id];
 }

@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace rased {
 
 /// Integer id of a road type (a value of OSM's highway=* tag). Id 0 is
@@ -24,6 +26,11 @@ inline constexpr RoadTypeId kRoadTypeNone = 0;
 /// into the catch-all "other" bucket. This mirrors how a production RASED
 /// would pin the cube dimension while the OSM folksonomy keeps inventing
 /// values.
+///
+/// Threading contract: internally synchronized. Dashboard workers resolve
+/// names (Lookup/Name) concurrently while a crawl thread may be interning
+/// new values; Name therefore returns by value, never a reference into
+/// the growing table.
 class RoadTypeTable {
  public:
   /// `capacity` is the cube dimension size, including slot 0 ("(none)")
@@ -31,17 +38,21 @@ class RoadTypeTable {
   explicit RoadTypeTable(size_t capacity = 150);
 
   /// Id for a highway tag value, interning it if there is room.
-  RoadTypeId Intern(std::string_view highway_value);
+  RoadTypeId Intern(std::string_view highway_value) RASED_EXCLUDES(mu_);
 
   /// Id for a value without interning; returns the "other" bucket when the
   /// value is unknown.
-  RoadTypeId Lookup(std::string_view highway_value) const;
+  RoadTypeId Lookup(std::string_view highway_value) const
+      RASED_EXCLUDES(mu_);
 
   /// Name for an id ("(none)", "residential", "other", ...).
-  const std::string& Name(RoadTypeId id) const;
+  std::string Name(RoadTypeId id) const RASED_EXCLUDES(mu_);
 
   /// Number of assigned ids (including "(none)" and "other").
-  size_t size() const { return names_.size(); }
+  size_t size() const RASED_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return names_.size();
+  }
   size_t capacity() const { return capacity_; }
 
   RoadTypeId other_id() const { return other_id_; }
@@ -50,10 +61,12 @@ class RoadTypeTable {
   static const std::vector<std::string>& CanonicalHighwayValues();
 
  private:
-  size_t capacity_;
-  std::vector<std::string> names_;
-  std::unordered_map<std::string, RoadTypeId> index_;
-  RoadTypeId other_id_;
+  const size_t capacity_;
+  /// Guards the growing name table; held only for map/vector surgery.
+  mutable Mutex mu_;
+  std::vector<std::string> names_ RASED_GUARDED_BY(mu_);
+  std::unordered_map<std::string, RoadTypeId> index_ RASED_GUARDED_BY(mu_);
+  RoadTypeId other_id_;  // fixed in the constructor
 };
 
 }  // namespace rased

@@ -9,7 +9,7 @@
 
 namespace rased {
 
-QueryExecutor::QueryExecutor(TemporalIndex* index, CubeCache* cache,
+QueryExecutor::QueryExecutor(const TemporalIndex* index, CubeCache* cache,
                              const WorldMap* world, PlanMode mode)
     : index_(index),
       cache_(cache),
@@ -60,14 +60,13 @@ CubeSlice SliceFor(const AnalysisQuery& query, const WorldMap& world) {
 
 }  // namespace
 
-Result<QueryResult> QueryExecutor::Execute(const AnalysisQuery& query) {
+Result<QueryResult> QueryExecutor::Execute(const AnalysisQuery& query) const {
   if (query.percentage && !query.group_country) {
     return Status::InvalidArgument(
         "Percentage(*) requires grouping by Country (the denominator is the "
         "country's road-network size)");
   }
   StopWatch watch;
-  IoStats io_before = index_->pager()->stats();
 
   QueryResult result;
   QueryPlan plan = PlanFor(query);
@@ -91,7 +90,10 @@ Result<QueryResult> QueryExecutor::Execute(const AnalysisQuery& query) {
     if (cube != nullptr) {
       ++result.stats.cubes_from_cache;
     } else {
-      auto read = index_->ReadCube(key);
+      // The read charges this query's own IoStats (result.stats.io), so
+      // concurrent queries account their I/O independently and
+      // deterministically.
+      auto read = index_->ReadCube(key, &result.stats.io);
       if (!read.ok()) return read.status();
       from_disk = std::move(read).value();
       cube = &from_disk;
@@ -143,7 +145,6 @@ Result<QueryResult> QueryExecutor::Execute(const AnalysisQuery& query) {
     result.rows.push_back(row);
   }
 
-  result.stats.io = index_->pager()->stats() - io_before;
   // The device model charges virtual time rather than sleeping, so the
   // measured wall time is pure CPU; total_micros() adds the device charge.
   result.stats.cpu_micros = watch.ElapsedMicros();

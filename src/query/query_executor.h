@@ -22,15 +22,22 @@ enum class PlanMode {
 /// cubes — from the cache when possible, from disk through the index pager
 /// otherwise. Phase 2 is pure in-memory aggregation over cube cells,
 /// folding them into the query's GROUP BY buckets.
+///
+/// Threading contract: the executor is stateless — Execute is const and
+/// safe from any number of threads concurrently. Each execution owns its
+/// QueryStats (page counts and simulated device micros accumulate through
+/// a per-call IoStats threaded into every index read), so concurrent
+/// queries produce bit-identical accounting to a serial run. The index's
+/// const read path and the cache's internal synchronization carry the rest.
 class QueryExecutor {
  public:
   /// `cache` may be null (uncached variants). `world` supplies zone names
   /// and road-network sizes for Percentage(*) queries.
-  QueryExecutor(TemporalIndex* index, CubeCache* cache, const WorldMap* world,
-                PlanMode mode = PlanMode::kOptimized);
+  QueryExecutor(const TemporalIndex* index, CubeCache* cache,
+                const WorldMap* world, PlanMode mode = PlanMode::kOptimized);
 
   /// Runs one analysis query.
-  Result<QueryResult> Execute(const AnalysisQuery& query);
+  Result<QueryResult> Execute(const AnalysisQuery& query) const;
 
   /// Plans without executing (exposed for tests and the plan-inspection
   /// dashboard endpoint).
@@ -39,7 +46,7 @@ class QueryExecutor {
   PlanMode mode() const { return mode_; }
 
  private:
-  TemporalIndex* index_;
+  const TemporalIndex* index_;
   CubeCache* cache_;
   const WorldMap* world_;
   PlanMode mode_;

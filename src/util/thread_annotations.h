@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <mutex>
+#include <shared_mutex>
 
 /// Clang thread-safety annotations (-Wthread-safety) plus an annotated
 /// mutex wrapper, following the abseil/LLVM convention. Under Clang the
@@ -55,6 +56,8 @@
   RASED_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
 #define RASED_TRY_ACQUIRE(...) \
   RASED_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define RASED_TRY_ACQUIRE_SHARED(...) \
+  RASED_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
 
 /// Lock ordering: this mutex must be acquired after the listed ones.
 #define RASED_ACQUIRED_AFTER(...) \
@@ -111,6 +114,64 @@ class RASED_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex* mu_;
+};
+
+/// std::shared_mutex with thread-safety-analysis capability attributes:
+/// a reader-writer lock for read-mostly shared state (the query read path
+/// holds it shared, ingestion holds it exclusive). Satisfies SharedLockable
+/// in addition to Lockable, but prefer the annotated RAII holders below.
+class RASED_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  // Exclusive (writer) side.
+  void lock() RASED_ACQUIRE() { mu_.lock(); }
+  void unlock() RASED_RELEASE() { mu_.unlock(); }
+  bool try_lock() RASED_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Shared (reader) side.
+  void lock_shared() RASED_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() RASED_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() RASED_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive holder of a SharedMutex (the write side).
+class RASED_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) RASED_ACQUIRE(mu) : mu_(mu) {
+    mu_->lock();
+  }
+  ~WriterMutexLock() RASED_RELEASE() { mu_->unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// RAII shared holder of a SharedMutex (the read side). Any number of
+/// readers hold it concurrently; they exclude only writers.
+class RASED_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) RASED_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->lock_shared();
+  }
+  ~ReaderMutexLock() RASED_RELEASE() { mu_->unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
 };
 
 /// Condition variable paired with rased::Mutex. Wait() is annotated as

@@ -5,8 +5,9 @@
 #   1. clang-format --dry-run      (skipped if clang-format is absent)
 #   2. clang-tidy over src/        (skipped if clang-tidy is absent)
 #   3. plain build + full ctest
-#   4. ASan+UBSan build + full ctest
-#   5. TSan build + concurrency-focused ctest (dashboard/cache/collect/
+#   4. bench_concurrent_queries --quick (scaling/determinism smoke gate)
+#   5. ASan+UBSan build + full ctest
+#   6. TSan build + concurrency-focused ctest (dashboard/cache/collect/
 #      index/warehouse suites)
 #
 # Exit code 0 means every stage that could run passed. Stages whose tool
@@ -78,6 +79,22 @@ run_matrix_entry() {
 
 run_matrix_entry "plain" "${PREFIX}-plain" "" \
   -DRASED_WERROR=ON
+
+# ------------------------------------------------------ concurrency smoke --
+# Quick mode of the worker-pool scaling bench: builds a small index in the
+# build tree, then asserts per-query accounting determinism and the >=4x
+# 8-thread speedup over the old global-lock baseline.
+note "bench_concurrent_queries --quick"
+if [ -x "${PREFIX}-plain/bench/bench_concurrent_queries" ]; then
+  if "${PREFIX}-plain/bench/bench_concurrent_queries" --quick \
+      "bench_dir=${PREFIX}-plain/bench/concurrent_bench_data" >/dev/null; then
+    pass "bench_concurrent_queries --quick"
+  else
+    fail "bench_concurrent_queries --quick"
+  fi
+else
+  skip "bench_concurrent_queries not built (plain build failed?)"
+fi
 
 run_matrix_entry "asan+ubsan" "${PREFIX}-asan" "" \
   "-DRASED_SANITIZE=address;undefined"
