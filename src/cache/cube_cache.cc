@@ -70,8 +70,17 @@ std::shared_ptr<const DataCube> CubeCache::Find(const CubeKey& key) {
 
 void CubeCache::Insert(const CubeKey& key, const DataCube& cube) {
   if (options_.policy != CachePolicy::kLru) return;
+  // Build the shared copy outside the lock; admission is pointer surgery.
+  auto shared = std::make_shared<const DataCube>(cube);
   MutexLock lock(&mu_);
-  AdmitLru(key, cube);
+  AdmitLru(key, std::move(shared));
+}
+
+void CubeCache::Insert(const CubeKey& key, DataCube&& cube) {
+  if (options_.policy != CachePolicy::kLru) return;
+  auto shared = std::make_shared<const DataCube>(std::move(cube));
+  MutexLock lock(&mu_);
+  AdmitLru(key, std::move(shared));
 }
 
 bool CubeCache::Contains(const CubeKey& key) const {
@@ -79,11 +88,12 @@ bool CubeCache::Contains(const CubeKey& key) const {
   return entries_.find(key) != entries_.end();
 }
 
-void CubeCache::AdmitLru(const CubeKey& key, const DataCube& cube) {
+void CubeCache::AdmitLru(const CubeKey& key,
+                         std::shared_ptr<const DataCube> cube) {
   if (options_.num_slots == 0) return;
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    it->second.cube = std::make_shared<const DataCube>(cube);
+    it->second.cube = std::move(cube);
     if (it->second.in_lru) {
       lru_list_.splice(lru_list_.begin(), lru_list_, it->second.lru_it);
     }
@@ -96,8 +106,7 @@ void CubeCache::AdmitLru(const CubeKey& key, const DataCube& cube) {
     ++stats_.evictions;
   }
   lru_list_.push_front(key);
-  Entry entry{std::make_shared<const DataCube>(cube), lru_list_.begin(),
-              true};
+  Entry entry{std::move(cube), lru_list_.begin(), true};
   entries_.emplace(key, std::move(entry));
 }
 

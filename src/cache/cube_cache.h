@@ -86,6 +86,17 @@ class CubeCache {
   /// admits it (the paper's static policy never changes at query time).
   void Insert(const CubeKey& key, const DataCube& cube) RASED_EXCLUDES(mu_);
 
+  /// Move overload: adopts the cube without copying its cell array. The
+  /// query executor uses this to hand freshly fetched cubes over instead
+  /// of paying a deep copy per miss.
+  void Insert(const CubeKey& key, DataCube&& cube) RASED_EXCLUDES(mu_);
+
+  /// Whether Insert can ever admit (true only for kLru). Lets the executor
+  /// skip materializing cache copies entirely under the static policies.
+  bool AdmitsOnQuery() const {
+    return options_.policy == CachePolicy::kLru;
+  }
+
   bool Contains(const CubeKey& key) const RASED_EXCLUDES(mu_);
 
   /// Drops every cached cube whose window overlaps `range`. Called when
@@ -102,7 +113,7 @@ class CubeCache {
   void Clear() RASED_EXCLUDES(mu_);
 
  private:
-  void AdmitLru(const CubeKey& key, const DataCube& cube)
+  void AdmitLru(const CubeKey& key, std::shared_ptr<const DataCube> cube)
       RASED_REQUIRES(mu_);
   void Preload(const TemporalIndex* index, Level level, size_t slots)
       RASED_EXCLUDES(mu_);

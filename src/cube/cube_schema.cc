@@ -1,5 +1,7 @@
 #include "cube/cube_schema.h"
 
+#include <algorithm>
+
 #include "util/str_util.h"
 
 namespace rased {
@@ -8,6 +10,17 @@ std::string CubeSchema::ToString() const {
   return StrFormat("CubeSchema(%u x %u x %u x %u = %zu cells, %zu bytes)",
                    num_element_types, num_countries, num_road_types,
                    num_update_types, num_cells(), cube_bytes());
+}
+
+void CubeSlice::Normalize() {
+  auto normalize = [](std::vector<uint32_t>& values) {
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+  };
+  normalize(element_types);
+  normalize(countries);
+  normalize(road_types);
+  normalize(update_types);
 }
 
 }  // namespace rased

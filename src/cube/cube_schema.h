@@ -67,6 +67,11 @@ struct CubeSchema {
 /// Per-dimension value selection for slicing/aggregating a cube. An empty
 /// list selects every value of that dimension (no filter), mirroring the
 /// optional IN-lists of the paper's SQL query signature (Section IV-A).
+///
+/// IN-list semantics are set semantics: a value named twice must not count
+/// matching cells twice. Aggregation assumes Normalize() has been called
+/// (the executor normalizes at slice build time); un-normalized slices
+/// with duplicates double-count.
 struct CubeSlice {
   std::vector<uint32_t> element_types;
   std::vector<uint32_t> countries;
@@ -77,6 +82,10 @@ struct CubeSlice {
     return element_types.empty() && countries.empty() && road_types.empty() &&
            update_types.empty();
   }
+
+  /// Sorts and deduplicates every selection list, restoring set semantics
+  /// and giving the dense kernels monotone coordinates to stride over.
+  void Normalize();
 };
 
 }  // namespace rased

@@ -8,6 +8,180 @@
 
 namespace rased {
 
+size_t GroupAccumulatorSize(const CubeSchema& schema, const GroupBySpec& spec) {
+  size_t n = 1;
+  if (spec.element_type) n *= schema.num_element_types;
+  if (spec.country) n *= schema.num_countries;
+  if (spec.road_type) n *= schema.num_road_types;
+  if (spec.update_type) n *= schema.num_update_types;
+  return n;
+}
+
+namespace {
+
+/// Expands a possibly-empty selection to an iteration universe.
+struct DimIter {
+  const std::vector<uint32_t>* selected;  // nullptr-like when empty
+  uint32_t size;                          // dimension size when unselected
+
+  uint32_t count() const {
+    return selected->empty() ? size
+                             : static_cast<uint32_t>(selected->size());
+  }
+  uint32_t value(uint32_t i) const {
+    return selected->empty() ? i : (*selected)[i];
+  }
+  /// True when the selection covers the whole dimension contiguously.
+  bool dense() const { return selected->empty(); }
+};
+
+void ForEachCellImpl(const CubeSchema& schema, const uint64_t* cells,
+                     const CubeSlice& slice, const CubeCellVisitor& visit) {
+  DimIter et{&slice.element_types, schema.num_element_types};
+  DimIter co{&slice.countries, schema.num_countries};
+  DimIter rt{&slice.road_types, schema.num_road_types};
+  DimIter ut{&slice.update_types, schema.num_update_types};
+
+  for (uint32_t a = 0; a < et.count(); ++a) {
+    uint32_t ev = et.value(a);
+    if (ev >= schema.num_element_types) continue;
+    for (uint32_t b = 0; b < co.count(); ++b) {
+      uint32_t cv = co.value(b);
+      if (cv >= schema.num_countries) continue;
+      for (uint32_t c = 0; c < rt.count(); ++c) {
+        uint32_t rv = rt.value(c);
+        if (rv >= schema.num_road_types) continue;
+        // Innermost dimension: cells are contiguous when unconstrained.
+        size_t base = schema.CellIndex(ev, cv, rv, 0);
+        for (uint32_t d = 0; d < ut.count(); ++d) {
+          uint32_t uv = ut.value(d);
+          if (uv >= schema.num_update_types) continue;
+          uint64_t count = cells[base + uv];
+          if (count != 0) visit(ev, cv, rv, uv, count);
+        }
+      }
+    }
+  }
+}
+
+/// Contiguous sum of `n` counters — the strided fast path's inner loop,
+/// written so the compiler unrolls/vectorizes it freely.
+inline uint64_t SumRun(const uint64_t* p, size_t n) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) sum += p[i];
+  return sum;
+}
+
+/// The dense group-by kernel (see ConstCubeRef::SumSliceInto). Strategy:
+/// walk the constrained/grouped outer dimensions exactly like ForEachCell,
+/// but compute each visited cell's packed accumulator slot incrementally
+/// from per-dimension group strides (stride 0 when ungrouped), and reduce
+/// innermost dimensions that are neither constrained nor grouped with
+/// contiguous sums instead of per-cell visits:
+///   - update_type dense & ungrouped             -> sum UT-runs
+///   - ...and road_type dense & ungrouped too    -> sum RT*UT planes
+void SumSliceIntoImpl(const CubeSchema& schema, const uint64_t* cells,
+                      const CubeSlice& slice, const GroupBySpec& spec,
+                      uint64_t* acc) {
+  DimIter et{&slice.element_types, schema.num_element_types};
+  DimIter co{&slice.countries, schema.num_countries};
+  DimIter rt{&slice.road_types, schema.num_road_types};
+  DimIter ut{&slice.update_types, schema.num_update_types};
+
+  // Packed accumulator strides, row-major over grouped dims in schema
+  // order (et, co, rt, ut), innermost-out. Ungrouped -> stride 0, so the
+  // slot index contribution of that dimension vanishes.
+  size_t unit = 1;
+  size_t s_ut = 0, s_rt = 0, s_co = 0, s_et = 0;
+  if (spec.update_type) {
+    s_ut = unit;
+    unit *= schema.num_update_types;
+  }
+  if (spec.road_type) {
+    s_rt = unit;
+    unit *= schema.num_road_types;
+  }
+  if (spec.country) {
+    s_co = unit;
+    unit *= schema.num_countries;
+  }
+  if (spec.element_type) {
+    s_et = unit;
+  }
+
+  const bool ut_whole = ut.dense() && !spec.update_type;
+  const bool rt_whole = rt.dense() && !spec.road_type;
+  const size_t ut_size = schema.num_update_types;
+  const size_t plane = static_cast<size_t>(schema.num_road_types) * ut_size;
+
+  for (uint32_t a = 0; a < et.count(); ++a) {
+    uint32_t ev = et.value(a);
+    if (ev >= schema.num_element_types) continue;
+    const size_t g_et = s_et * ev;
+    for (uint32_t b = 0; b < co.count(); ++b) {
+      uint32_t cv = co.value(b);
+      if (cv >= schema.num_countries) continue;
+      const size_t g_co = g_et + s_co * cv;
+      if (ut_whole && rt_whole) {
+        // Whole road_type x update_type plane collapses into one slot.
+        acc[g_co] += SumRun(cells + schema.CellIndex(ev, cv, 0, 0), plane);
+        continue;
+      }
+      for (uint32_t c = 0; c < rt.count(); ++c) {
+        uint32_t rv = rt.value(c);
+        if (rv >= schema.num_road_types) continue;
+        const size_t g_rt = g_co + s_rt * rv;
+        const uint64_t* row = cells + schema.CellIndex(ev, cv, rv, 0);
+        if (ut_whole) {
+          acc[g_rt] += SumRun(row, ut_size);
+          continue;
+        }
+        for (uint32_t d = 0; d < ut.count(); ++d) {
+          uint32_t uv = ut.value(d);
+          if (uv >= schema.num_update_types) continue;
+          acc[g_rt + s_ut * uv] += row[uv];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// --- ConstCubeRef ---
+
+uint64_t ConstCubeRef::Get(uint32_t element_type, uint32_t country,
+                           uint32_t road_type, uint32_t update_type) const {
+  RASED_DCHECK(
+      schema_->InRange(element_type, country, road_type, update_type))
+      << "cube coordinate out of range";
+  return cells_[schema_->CellIndex(element_type, country, road_type,
+                                   update_type)];
+}
+
+uint64_t ConstCubeRef::Total() const {
+  return SumRun(cells_, schema_->num_cells());
+}
+
+uint64_t ConstCubeRef::SumSlice(const CubeSlice& slice) const {
+  if (slice.IsUnconstrained()) return Total();
+  uint64_t sum = 0;
+  SumSliceInto(slice, GroupBySpec{}, &sum);
+  return sum;
+}
+
+void ConstCubeRef::SumSliceInto(const CubeSlice& slice, const GroupBySpec& spec,
+                                uint64_t* acc) const {
+  SumSliceIntoImpl(*schema_, cells_, slice, spec, acc);
+}
+
+void ConstCubeRef::ForEachCell(const CubeSlice& slice,
+                               const CubeCellVisitor& visit) const {
+  ForEachCellImpl(*schema_, cells_, slice, visit);
+}
+
+// --- DataCube ---
+
 DataCube::DataCube(const CubeSchema& schema)
     : schema_(schema), cells_(schema.num_cells(), 0) {}
 
@@ -42,63 +216,15 @@ Status DataCube::Merge(const DataCube& other) {
 
 void DataCube::Clear() { std::fill(cells_.begin(), cells_.end(), 0); }
 
-uint64_t DataCube::Total() const {
-  return std::accumulate(cells_.begin(), cells_.end(), uint64_t{0});
-}
-
-namespace {
-
-/// Expands a possibly-empty selection to an iteration universe.
-struct DimIter {
-  const std::vector<uint32_t>* selected;  // nullptr-like when empty
-  uint32_t size;                          // dimension size when unselected
-
-  uint32_t count() const {
-    return selected->empty() ? size
-                             : static_cast<uint32_t>(selected->size());
-  }
-  uint32_t value(uint32_t i) const {
-    return selected->empty() ? i : (*selected)[i];
-  }
-};
-
-}  // namespace
+uint64_t DataCube::Total() const { return View().Total(); }
 
 uint64_t DataCube::SumSlice(const CubeSlice& slice) const {
-  if (slice.IsUnconstrained()) return Total();
-  uint64_t sum = 0;
-  ForEachCell(slice, [&sum](uint32_t, uint32_t, uint32_t, uint32_t,
-                            uint64_t count) { sum += count; });
-  return sum;
+  return View().SumSlice(slice);
 }
 
 void DataCube::ForEachCell(const CubeSlice& slice,
                            const CellVisitor& visit) const {
-  DimIter et{&slice.element_types, schema_.num_element_types};
-  DimIter co{&slice.countries, schema_.num_countries};
-  DimIter rt{&slice.road_types, schema_.num_road_types};
-  DimIter ut{&slice.update_types, schema_.num_update_types};
-
-  for (uint32_t a = 0; a < et.count(); ++a) {
-    uint32_t ev = et.value(a);
-    if (ev >= schema_.num_element_types) continue;
-    for (uint32_t b = 0; b < co.count(); ++b) {
-      uint32_t cv = co.value(b);
-      if (cv >= schema_.num_countries) continue;
-      for (uint32_t c = 0; c < rt.count(); ++c) {
-        uint32_t rv = rt.value(c);
-        if (rv >= schema_.num_road_types) continue;
-        // Innermost dimension: cells are contiguous when unconstrained.
-        size_t base = schema_.CellIndex(ev, cv, rv, 0);
-        for (uint32_t d = 0; d < ut.count(); ++d) {
-          uint32_t uv = ut.value(d);
-          if (uv >= schema_.num_update_types) continue;
-          uint64_t count = cells_[base + uv];
-          if (count != 0) visit(ev, cv, rv, uv, count);
-        }
-      }
-    }
-  }
+  View().ForEachCell(slice, visit);
 }
 
 void DataCube::SerializeTo(unsigned char* out) const {
@@ -115,6 +241,34 @@ Result<DataCube> DataCube::Deserialize(const CubeSchema& schema,
   DataCube cube(schema);
   std::memcpy(cube.cells_.data(), data, schema.cube_bytes());
   return cube;
+}
+
+DataCube DataCube::FromCells(const CubeSchema& schema, const uint64_t* cells) {
+  DataCube cube(schema);
+  std::memcpy(cube.cells_.data(), cells, schema.cube_bytes());
+  return cube;
+}
+
+// --- CubeBatch ---
+
+CubeBatch::CubeBatch(const CubeSchema& schema, size_t num_cubes)
+    : schema_(schema),
+      num_cubes_(num_cubes),
+      cells_(schema.num_cells() * num_cubes, 0) {}
+
+ConstCubeRef CubeBatch::cube(size_t i) const {
+  RASED_DCHECK(i < num_cubes_) << "cube index out of range";
+  return ConstCubeRef(&schema_, cells_.data() + i * schema_.num_cells());
+}
+
+DataCube CubeBatch::Materialize(size_t i) const {
+  RASED_DCHECK(i < num_cubes_) << "cube index out of range";
+  return DataCube::FromCells(schema_,
+                             cells_.data() + i * schema_.num_cells());
+}
+
+unsigned char* CubeBatch::raw_bytes() {
+  return reinterpret_cast<unsigned char*>(cells_.data());
 }
 
 }  // namespace rased

@@ -10,6 +10,71 @@
 
 namespace rased {
 
+/// Visits one non-zero cell during slice iteration.
+using CubeCellVisitor =
+    std::function<void(uint32_t element_type, uint32_t country,
+                       uint32_t road_type, uint32_t update_type,
+                       uint64_t count)>;
+
+/// Which dimensions a GROUP BY keeps. Ungrouped dimensions collapse into
+/// one accumulator slot.
+struct GroupBySpec {
+  bool element_type = false;
+  bool country = false;
+  bool road_type = false;
+  bool update_type = false;
+};
+
+/// Number of slots a flat dense group-by accumulator needs for `spec`
+/// under `schema`: the product of the grouped dimension sizes (>= 1).
+/// Slot order is row-major over the grouped dimensions in schema order
+/// (element_type, country, road_type, update_type) — the same order cube
+/// cells are laid out in, so a fully grouped accumulator is cell order.
+size_t GroupAccumulatorSize(const CubeSchema& schema, const GroupBySpec& spec);
+
+/// Non-owning, read-only view of one cube's cells — the zero-copy
+/// aggregation handle. A DataCube yields one via View(); a CubeBatch
+/// yields one per fetched cube, so cubes read from a page buffer are
+/// aggregated without an intermediate deserialize copy. The view borrows
+/// both the schema and the cells; the owner must outlive it.
+///
+/// All methods are const and touch only the borrowed immutable cells, so
+/// any number of threads may aggregate through views concurrently.
+class ConstCubeRef {
+ public:
+  ConstCubeRef(const CubeSchema* schema, const uint64_t* cells)
+      : schema_(schema), cells_(cells) {}
+
+  const CubeSchema& schema() const { return *schema_; }
+  const uint64_t* cells() const { return cells_; }
+
+  uint64_t Get(uint32_t element_type, uint32_t country, uint32_t road_type,
+               uint32_t update_type) const;
+
+  /// Sum of every cell.
+  uint64_t Total() const;
+
+  /// Sum of the cells selected by `slice` (empty dimension list = all).
+  uint64_t SumSlice(const CubeSlice& slice) const;
+
+  /// The dense group-by kernel: folds every cell selected by `slice` into
+  /// `acc`, a flat accumulator of GroupAccumulatorSize(schema, spec)
+  /// slots indexed by the packed grouped coordinates. Innermost
+  /// dimensions that are neither constrained nor grouped are reduced with
+  /// contiguous strided sums instead of per-cell visits. `slice` must be
+  /// Normalized (sorted, deduplicated).
+  void SumSliceInto(const CubeSlice& slice, const GroupBySpec& spec,
+                    uint64_t* acc) const;
+
+  /// Visits every *non-zero* cell selected by `slice` — the naive
+  /// reference the kernels are property-tested against.
+  void ForEachCell(const CubeSlice& slice, const CubeCellVisitor& visit) const;
+
+ private:
+  const CubeSchema* schema_;
+  const uint64_t* cells_;
+};
+
 /// A dense 4-D array of update counters — one index node's precomputed
 /// statistics (Section VI-A). The dense layout makes the two operations the
 /// index performs constantly trivial and fast: per-update increments during
@@ -26,6 +91,9 @@ class DataCube {
   DataCube& operator=(DataCube&&) = default;
 
   const CubeSchema& schema() const { return schema_; }
+
+  /// Zero-copy read view of this cube (valid while the cube lives).
+  ConstCubeRef View() const { return ConstCubeRef(&schema_, cells_.data()); }
 
   /// Increments one cell. Coordinates must be in range (DCHECKed).
   void Add(uint32_t element_type, uint32_t country, uint32_t road_type,
@@ -46,12 +114,14 @@ class DataCube {
   /// Sum of the cells selected by `slice` (empty dimension list = all).
   uint64_t SumSlice(const CubeSlice& slice) const;
 
-  /// Visits every *non-zero* cell selected by `slice`. This is the
-  /// in-memory phase-2 aggregation primitive of the query executor.
-  using CellVisitor =
-      std::function<void(uint32_t element_type, uint32_t country,
-                         uint32_t road_type, uint32_t update_type,
-                         uint64_t count)>;
+  /// See ConstCubeRef::SumSliceInto.
+  void SumSliceInto(const CubeSlice& slice, const GroupBySpec& spec,
+                    uint64_t* acc) const {
+    View().SumSliceInto(slice, spec, acc);
+  }
+
+  /// Visits every *non-zero* cell selected by `slice`.
+  using CellVisitor = CubeCellVisitor;
   void ForEachCell(const CubeSlice& slice, const CellVisitor& visit) const;
 
   /// Raw counters in schema cell order.
@@ -69,6 +139,10 @@ class DataCube {
   static Result<DataCube> Deserialize(const CubeSchema& schema,
                                       const unsigned char* data, size_t n);
 
+  /// Owning copy of num_cells() counters (e.g. materializing one cube out
+  /// of a CubeBatch for cache admission).
+  static DataCube FromCells(const CubeSchema& schema, const uint64_t* cells);
+
   friend bool operator==(const DataCube& a, const DataCube& b) {
     return a.schema_ == b.schema_ && a.cells_ == b.cells_;
   }
@@ -76,6 +150,37 @@ class DataCube {
  private:
   CubeSchema schema_;
   std::vector<uint64_t> cells_;
+};
+
+/// Owning container for N cubes fetched in one batched read: a single
+/// 8-byte-aligned allocation of N * num_cells() counters, filled directly
+/// by the pager (page payloads land at cube_bytes() stride), with
+/// zero-copy per-cube views. One allocation and one payload copy per
+/// batch, instead of the per-cube vector + Deserialize memcpy of the
+/// serial path.
+class CubeBatch {
+ public:
+  CubeBatch() = default;
+  CubeBatch(const CubeSchema& schema, size_t num_cubes);
+
+  const CubeSchema& schema() const { return schema_; }
+  size_t size() const { return num_cubes_; }
+
+  /// Zero-copy view of cube `i` (valid while the batch lives).
+  ConstCubeRef cube(size_t i) const;
+
+  /// Owning copy of cube `i` (for cache admission).
+  DataCube Materialize(size_t i) const;
+
+  /// The backing store as bytes: size() * schema().cube_bytes(),
+  /// cube-serialization format at cube_bytes() stride. The pager's
+  /// batched read writes payloads straight into this.
+  unsigned char* raw_bytes();
+
+ private:
+  CubeSchema schema_;
+  size_t num_cubes_ = 0;
+  std::vector<uint64_t> cells_;  // num_cubes * num_cells, cube-major
 };
 
 }  // namespace rased

@@ -233,7 +233,9 @@ void WorldMap::LayoutContinent(const std::string& name,
 
 void WorldMap::LayoutStates() {
   RASED_CHECK(usa_id_ != kZoneUnknown) << "United States zone missing";
-  const BoundingBox& usa = zones_[usa_id_].bounds;
+  // Copy, not reference: the AddZone calls below grow zones_, and a
+  // reallocation would invalidate any reference into it.
+  const BoundingBox usa = zones_[usa_id_].bounds;
   state_cols_ = 10;
   state_rows_ = 5;
   double lat_step = (usa.max_lat - usa.min_lat) / state_rows_;

@@ -176,6 +176,33 @@ Status PageFile::ReadPage(PageId id, void* payload) const {
   return Status::OK();
 }
 
+Status PageFile::ReadPages(PageId first, size_t count,
+                           unsigned char* pages) const {
+  if (count == 0) return Status::OK();
+  PageId last = first + count - 1;
+  if (first == kInvalidPageId || last < first || last > num_pages()) {
+    return Status::OutOfRange(
+        StrFormat("page run [%llu, %llu] out of range (have %llu)",
+                  static_cast<unsigned long long>(first),
+                  static_cast<unsigned long long>(last),
+                  static_cast<unsigned long long>(num_pages())));
+  }
+  RASED_RETURN_IF_ERROR(PreadAll(fd_, pages, count * page_size_,
+                                 first * page_size_, path_));
+  for (size_t i = 0; i < count; ++i) {
+    const unsigned char* page = pages + i * page_size_;
+    uint32_t stored;
+    std::memcpy(&stored, page + payload_size(), 4);
+    if (stored != Crc32c(page, payload_size())) {
+      return Status::Corruption(
+          StrFormat("checksum mismatch on page %llu of %s",
+                    static_cast<unsigned long long>(first + i),
+                    path_.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
 Status PageFile::Sync() {
   RASED_RETURN_IF_ERROR(WriteHeader());
   if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);

@@ -60,6 +60,13 @@ class PageFile {
   /// Reads and checksum-validates the page payload (payload_size() bytes).
   Status ReadPage(PageId id, void* payload) const;
 
+  /// Reads `count` physically adjacent pages [first, first+count) with one
+  /// positional pread and checksum-validates each. `pages` receives the
+  /// raw page images (count * page_size() bytes, checksum trailers
+  /// included) — callers extract the payloads themselves. Like ReadPage,
+  /// safe from any number of threads concurrently.
+  Status ReadPages(PageId first, size_t count, unsigned char* pages) const;
+
   size_t page_size() const { return page_size_; }
   /// Usable bytes per page (page_size minus the checksum trailer).
   size_t payload_size() const { return page_size_ - kChecksumBytes; }

@@ -1,5 +1,10 @@
 #include "io/pager.h"
 
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
 namespace rased {
 
 Result<std::unique_ptr<Pager>> Pager::Create(const std::string& path,
@@ -32,7 +37,45 @@ Status Pager::WritePage(PageId id, const void* payload, size_t n,
 
 Status Pager::ReadPage(PageId id, void* payload, IoStats* io) const {
   RASED_RETURN_IF_ERROR(file_->ReadPage(id, payload));
-  ChargeRead(page_size(), io);
+  ChargeReadRun(1, page_size(), io);
+  return Status::OK();
+}
+
+Status Pager::ReadPages(std::span<const PageId> ids, unsigned char* payloads,
+                        IoStats* io) const {
+  const size_t n = ids.size();
+  if (n == 0) return Status::OK();
+  // Sort *positions* by page id so physically adjacent pages coalesce into
+  // single preads while each payload still lands in its input-order slot.
+  // Ties (duplicate ids) keep input order, making the whole pass a pure
+  // function of the id sequence.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&ids](size_t a, size_t b) {
+    if (ids[a] != ids[b]) return ids[a] < ids[b];
+    return a < b;
+  });
+
+  const size_t psize = page_size();
+  const size_t payload = payload_size();
+  std::vector<unsigned char> run_buf;
+  size_t start = 0;
+  while (start < n) {
+    size_t len = 1;
+    while (start + len < n &&
+           ids[order[start + len]] == ids[order[start + len - 1]] + 1) {
+      ++len;
+    }
+    run_buf.resize(len * psize);
+    RASED_RETURN_IF_ERROR(
+        file_->ReadPages(ids[order[start]], len, run_buf.data()));
+    for (size_t k = 0; k < len; ++k) {
+      std::memcpy(payloads + order[start + k] * payload,
+                  run_buf.data() + k * psize, payload);
+    }
+    ChargeReadRun(len, len * psize, io);
+    start += len;
+  }
   return Status::OK();
 }
 
@@ -42,6 +85,8 @@ IoStats Pager::stats() const {
   s.page_writes = page_writes_.load(std::memory_order_relaxed);
   s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
   s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  s.read_ops = read_ops_.load(std::memory_order_relaxed);
+  s.write_ops = write_ops_.load(std::memory_order_relaxed);
   s.simulated_device_micros =
       simulated_device_micros_.load(std::memory_order_relaxed);
   return s;
@@ -52,19 +97,23 @@ void Pager::ResetStats() {
   page_writes_.store(0, std::memory_order_relaxed);
   bytes_read_.store(0, std::memory_order_relaxed);
   bytes_written_.store(0, std::memory_order_relaxed);
+  read_ops_.store(0, std::memory_order_relaxed);
+  write_ops_.store(0, std::memory_order_relaxed);
   simulated_device_micros_.store(0, std::memory_order_relaxed);
 }
 
-void Pager::ChargeRead(size_t bytes, IoStats* io) const {
+void Pager::ChargeReadRun(size_t pages, size_t bytes, IoStats* io) const {
   int64_t micros =
       device_.read_latency_us +
       static_cast<int64_t>(device_.per_byte_us * static_cast<double>(bytes));
-  page_reads_.fetch_add(1, std::memory_order_relaxed);
+  page_reads_.fetch_add(pages, std::memory_order_relaxed);
   bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  read_ops_.fetch_add(1, std::memory_order_relaxed);
   simulated_device_micros_.fetch_add(micros, std::memory_order_relaxed);
   if (io != nullptr) {
-    ++io->page_reads;
+    io->page_reads += pages;
     io->bytes_read += bytes;
+    io->read_ops += 1;
     io->simulated_device_micros += micros;
   }
 }
@@ -75,10 +124,12 @@ void Pager::ChargeWrite(size_t bytes, IoStats* io) {
       static_cast<int64_t>(device_.per_byte_us * static_cast<double>(bytes));
   page_writes_.fetch_add(1, std::memory_order_relaxed);
   bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  write_ops_.fetch_add(1, std::memory_order_relaxed);
   simulated_device_micros_.fetch_add(micros, std::memory_order_relaxed);
   if (io != nullptr) {
     ++io->page_writes;
     io->bytes_written += bytes;
+    io->write_ops += 1;
     io->simulated_device_micros += micros;
   }
 }

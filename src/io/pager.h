@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "io/page_file.h"
@@ -38,11 +39,20 @@ struct DeviceModel {
 /// I/O statistics: either the running totals of a Pager or the per-call
 /// accounting of one query/maintenance pass (a plain value, so each query
 /// carries its own instance with no shared state).
+///
+/// `page_reads`/`bytes_read` count *transfers* and are identical between
+/// the serial and batched read paths; `read_ops` counts *device
+/// operations* (seeks) — a coalesced run of adjacent pages is one op, so
+/// batched reads show read_ops <= page_reads.
 struct IoStats {
   uint64_t page_reads = 0;
   uint64_t page_writes = 0;
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
+  /// Device operations issued (one per coalesced run of adjacent pages on
+  /// the batched path; equal to page_reads/page_writes on serial paths).
+  uint64_t read_ops = 0;
+  uint64_t write_ops = 0;
   /// Total virtual device time charged by the DeviceModel.
   int64_t simulated_device_micros = 0;
 
@@ -51,6 +61,8 @@ struct IoStats {
     page_writes += o.page_writes;
     bytes_read += o.bytes_read;
     bytes_written += o.bytes_written;
+    read_ops += o.read_ops;
+    write_ops += o.write_ops;
     simulated_device_micros += o.simulated_device_micros;
     return *this;
   }
@@ -59,13 +71,16 @@ struct IoStats {
     a.page_writes -= b.page_writes;
     a.bytes_read -= b.bytes_read;
     a.bytes_written -= b.bytes_written;
+    a.read_ops -= b.read_ops;
+    a.write_ops -= b.write_ops;
     a.simulated_device_micros -= b.simulated_device_micros;
     return a;
   }
   friend bool operator==(const IoStats& a, const IoStats& b) {
     return a.page_reads == b.page_reads && a.page_writes == b.page_writes &&
            a.bytes_read == b.bytes_read &&
-           a.bytes_written == b.bytes_written &&
+           a.bytes_written == b.bytes_written && a.read_ops == b.read_ops &&
+           a.write_ops == b.write_ops &&
            a.simulated_device_micros == b.simulated_device_micros;
   }
 };
@@ -105,6 +120,24 @@ class Pager {
                    IoStats* io = nullptr);
   Status ReadPage(PageId id, void* payload, IoStats* io = nullptr) const;
 
+  /// Batched read. Sorts the batch by page id, coalesces runs of
+  /// physically adjacent pages, and issues one large pread per run.
+  ///
+  /// `payloads` receives payload_size() bytes per page, laid out at
+  /// payload_size() stride in the *input* order of `ids` (the sort is
+  /// internal), so callers get a dense, order-preserving result buffer.
+  ///
+  /// Device accounting is deterministic and strictly comparable to the
+  /// serial path: each coalesced run charges one seek (read_latency_us)
+  /// plus the per-byte transfer term for every page in the run, so
+  /// page_reads/bytes_read equal the serial path's exactly while read_ops
+  /// and simulated_device_micros shrink with coalescing. Duplicate ids are
+  /// re-read (a duplicate breaks a run), keeping the charge a pure
+  /// function of the id multiset. Like ReadPage, const and safe from any
+  /// number of threads concurrently.
+  Status ReadPages(std::span<const PageId> ids, unsigned char* payloads,
+                   IoStats* io = nullptr) const;
+
   size_t page_size() const { return file_->page_size(); }
   size_t payload_size() const { return file_->payload_size(); }
   uint64_t num_pages() const { return file_->num_pages(); }
@@ -124,7 +157,10 @@ class Pager {
   Pager(std::unique_ptr<PageFile> file, const DeviceModel& device)
       : file_(std::move(file)), device_(device) {}
 
-  void ChargeRead(size_t bytes, IoStats* io) const;
+  /// One device read op transferring `pages` adjacent pages (`bytes`
+  /// total): one seek + per-byte transfer. The serial ReadPage path is
+  /// the pages == 1 case.
+  void ChargeReadRun(size_t pages, size_t bytes, IoStats* io) const;
   void ChargeWrite(size_t bytes, IoStats* io);
 
   std::unique_ptr<PageFile> file_;
@@ -136,6 +172,8 @@ class Pager {
   std::atomic<uint64_t> page_writes_{0};
   mutable std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
+  mutable std::atomic<uint64_t> read_ops_{0};
+  std::atomic<uint64_t> write_ops_{0};
   mutable std::atomic<int64_t> simulated_device_micros_{0};
 };
 

@@ -1,8 +1,10 @@
 #include "query/query_executor.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <tuple>
+#include <vector>
 
 #include "util/clock.h"
 #include "util/logging.h"
@@ -55,6 +57,8 @@ CubeSlice SliceFor(const AnalysisQuery& query, const WorldMap& world) {
   for (UpdateType u : query.update_types) {
     slice.update_types.push_back(static_cast<uint32_t>(u));
   }
+  // IN-lists are sets: a filter value named twice must not double-count.
+  slice.Normalize();
   return slice;
 }
 
@@ -70,79 +74,138 @@ Result<QueryResult> QueryExecutor::Execute(const AnalysisQuery& query) const {
 
   QueryResult result;
   QueryPlan plan = PlanFor(query);
-  result.stats.cubes_total = plan.cubes.size();
+  const size_t n = plan.cubes.size();
+  result.stats.cubes_total = n;
 
   CubeSlice slice = SliceFor(query, *world_);
 
-  // GROUP BY accumulator. Key is the tuple of grouped column values with
-  // ResultRow::kNoGroup for ungrouped dimensions; date is carried as
-  // days-since-epoch (INT32_MIN when ungrouped).
-  using GroupKey = std::tuple<int32_t, int32_t, int32_t, int32_t, int32_t>;
-  std::map<GroupKey, uint64_t> groups;
-
-  for (const CubeKey& key : plan.cubes) {
-    // A cache hit hands back a shared_ptr, so the cube stays alive even if
-    // a concurrent eviction drops it from the cache mid-aggregation.
-    std::shared_ptr<const DataCube> cached;
-    DataCube from_disk{index_->options().schema};
-    if (cache_ != nullptr) cached = cache_->Find(key);
-    const DataCube* cube = cached.get();
-    if (cube != nullptr) {
+  // ---- Phase 1: gather. Probe the cache for every planned cube up
+  // front, then fetch all misses in ONE batched index read so physically
+  // adjacent cube pages coalesce into single device operations. Cache
+  // hits are shared_ptrs, so each cube stays alive even if a concurrent
+  // eviction drops it mid-aggregation; misses live in the batch's own
+  // storage and are aggregated zero-copy. The batch read charges this
+  // query's IoStats (result.stats.io), so concurrent queries account
+  // their I/O independently and deterministically.
+  std::vector<std::shared_ptr<const DataCube>> hits(n);
+  std::vector<CubeKey> miss_keys;
+  for (size_t i = 0; i < n; ++i) {
+    const CubeKey& key = plan.cubes[i];
+    if (cache_ != nullptr) hits[i] = cache_->Find(key);
+    if (hits[i] != nullptr) {
       ++result.stats.cubes_from_cache;
     } else {
-      // The read charges this query's own IoStats (result.stats.io), so
-      // concurrent queries account their I/O independently and
-      // deterministically.
-      auto read = index_->ReadCube(key, &result.stats.io);
-      if (!read.ok()) return read.status();
-      from_disk = std::move(read).value();
-      cube = &from_disk;
-      ++result.stats.cubes_from_disk;
-      if (cache_ != nullptr) cache_->Insert(key, from_disk);  // LRU only
+      miss_keys.push_back(key);
     }
     ++result.stats.cubes_per_level[static_cast<int>(key.level)];
+  }
+  result.stats.cubes_from_disk = miss_keys.size();
 
-    int32_t date_key = query.group_date
-                           ? key.range().first.days_since_epoch()
-                           : ResultRow::kNoGroup;
-    cube->ForEachCell(
-        slice, [&](uint32_t et, uint32_t co, uint32_t rt, uint32_t ut,
-                   uint64_t count) {
-          GroupKey gk{
-              query.group_element_type ? static_cast<int32_t>(et)
-                                       : ResultRow::kNoGroup,
-              date_key,
-              query.group_country ? static_cast<int32_t>(co)
-                                  : ResultRow::kNoGroup,
-              query.group_road_type ? static_cast<int32_t>(rt)
-                                    : ResultRow::kNoGroup,
-              query.group_update_type ? static_cast<int32_t>(ut)
-                                      : ResultRow::kNoGroup};
-          groups[gk] += count;
-        });
+  CubeBatch fetched;
+  if (!miss_keys.empty()) {
+    auto batch = index_->ReadCubes(miss_keys, &result.stats.io);
+    if (!batch.ok()) return batch.status();
+    fetched = std::move(batch).value();
+    if (cache_ != nullptr && cache_->AdmitsOnQuery()) {
+      // LRU only: materialize a copy out of the batch and move it in —
+      // the one copy cache residency requires, and no more.
+      for (size_t j = 0; j < miss_keys.size(); ++j) {
+        cache_->Insert(miss_keys[j], fetched.Materialize(j));
+      }
+    }
   }
 
-  result.rows.reserve(groups.size());
-  for (const auto& [gk, count] : groups) {
-    ResultRow row;
-    row.element_type = std::get<0>(gk);
-    if (query.group_date) {
-      row.date = Date::FromDays(std::get<1>(gk));
-      row.has_date = true;
+  // ---- Phase 2: aggregate. A flat dense accumulator indexed by the
+  // packed grouped coordinates replaces the former per-cell map: cubes
+  // fold in through the strided SumSliceInto kernel, and rows are read
+  // back out of non-zero slots. Packed slot order is row-major over the
+  // grouped dimensions in schema order, which is exactly the row order
+  // the old tuple-keyed std::map produced, so output order is unchanged.
+  const CubeSchema& schema = index_->options().schema;
+  GroupBySpec spec;
+  spec.element_type = query.group_element_type;
+  spec.country = query.group_country;
+  spec.road_type = query.group_road_type;
+  spec.update_type = query.group_update_type;
+  std::vector<uint64_t> acc(GroupAccumulatorSize(schema, spec), 0);
+
+  // Decodes a packed accumulator slot back into grouped coordinates
+  // (kNoGroup for ungrouped dimensions), inverting the kernel's strides.
+  auto decode = [&schema, &spec](size_t slot, ResultRow* row) {
+    if (spec.update_type) {
+      row->update_type = static_cast<int32_t>(slot % schema.num_update_types);
+      slot /= schema.num_update_types;
     }
-    row.country = std::get<2>(gk);
-    row.road_type = std::get<3>(gk);
-    row.update_type = std::get<4>(gk);
-    row.count = count;
+    if (spec.road_type) {
+      row->road_type = static_cast<int32_t>(slot % schema.num_road_types);
+      slot /= schema.num_road_types;
+    }
+    if (spec.country) {
+      row->country = static_cast<int32_t>(slot % schema.num_countries);
+      slot /= schema.num_countries;
+    }
+    if (spec.element_type) {
+      row->element_type = static_cast<int32_t>(slot);
+    }
+  };
+
+  // Grouping by Date keys rows by each (daily) cube's date on top of the
+  // packed coordinates; the accumulator is flushed per cube into a sorted
+  // map so the output keeps the old (element_type, date, ...) row order.
+  using GroupKey = std::tuple<int32_t, int32_t, int32_t, int32_t, int32_t>;
+  std::map<GroupKey, uint64_t> dated_groups;
+
+  size_t next_miss = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ConstCubeRef cube = hits[i] != nullptr ? hits[i]->View()
+                                           : fetched.cube(next_miss++);
+    cube.SumSliceInto(slice, spec, acc.data());
+    if (query.group_date) {
+      int32_t date_key = plan.cubes[i].range().first.days_since_epoch();
+      for (size_t slot = 0; slot < acc.size(); ++slot) {
+        if (acc[slot] == 0) continue;
+        ResultRow row;
+        decode(slot, &row);
+        dated_groups[GroupKey{row.element_type, date_key, row.country,
+                              row.road_type, row.update_type}] += acc[slot];
+        acc[slot] = 0;
+      }
+    }
+  }
+
+  auto finish_row = [&](ResultRow* row) {
     if (query.percentage) {
-      uint64_t network = world_->zone(static_cast<ZoneId>(row.country))
+      uint64_t network = world_->zone(static_cast<ZoneId>(row->country))
                              .road_network_size;
-      row.percentage =
-          network > 0 ? 100.0 * static_cast<double>(count) /
+      row->percentage =
+          network > 0 ? 100.0 * static_cast<double>(row->count) /
                             static_cast<double>(network)
                       : 0.0;
     }
-    result.rows.push_back(row);
+    result.rows.push_back(*row);
+  };
+
+  if (query.group_date) {
+    result.rows.reserve(dated_groups.size());
+    for (const auto& [gk, count] : dated_groups) {
+      ResultRow row;
+      row.element_type = std::get<0>(gk);
+      row.date = Date::FromDays(std::get<1>(gk));
+      row.has_date = true;
+      row.country = std::get<2>(gk);
+      row.road_type = std::get<3>(gk);
+      row.update_type = std::get<4>(gk);
+      row.count = count;
+      finish_row(&row);
+    }
+  } else {
+    for (size_t slot = 0; slot < acc.size(); ++slot) {
+      if (acc[slot] == 0) continue;
+      ResultRow row;
+      decode(slot, &row);
+      row.count = acc[slot];
+      finish_row(&row);
+    }
   }
 
   // The device model charges virtual time rather than sleeping, so the

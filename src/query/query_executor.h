@@ -19,9 +19,12 @@ enum class PlanMode {
 };
 
 /// The Query Execution module (Section VII). Phase 1 gathers the plan's
-/// cubes — from the cache when possible, from disk through the index pager
-/// otherwise. Phase 2 is pure in-memory aggregation over cube cells,
-/// folding them into the query's GROUP BY buckets.
+/// cubes: the cache is probed for every planned cube up front and all
+/// misses are fetched in one batched index read, so physically adjacent
+/// cube pages coalesce into single device operations. Phase 2 is pure
+/// in-memory aggregation: the strided SumSliceInto kernel folds each cube
+/// (cache hits and batch views alike, zero-copy) into a flat dense GROUP
+/// BY accumulator indexed by packed group coordinates.
 ///
 /// Threading contract: the executor is stateless — Execute is const and
 /// safe from any number of threads concurrently. Each execution owns its

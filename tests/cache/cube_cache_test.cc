@@ -127,6 +127,62 @@ TEST_F(CubeCacheTest, LruAdmitsAndEvicts) {
   EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
+TEST_F(CubeCacheTest, MoveInsertAdmitsWithoutCopy) {
+  CacheOptions options;
+  options.num_slots = 4;
+  options.policy = CachePolicy::kLru;
+  CubeCache cache(options);
+
+  DataCube cube(TinySchema());
+  cube.Add(1, 1, 1, 1, 7);
+  const uint64_t* cells_before = cube.cells().data();
+  CubeKey key = CubeKey::Daily(Date::FromYmd(2021, 1, 1));
+  cache.Insert(key, std::move(cube));
+
+  // The cached entry adopted the original cell storage (no deep copy).
+  auto found = cache.Find(key);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->cells().data(), cells_before);
+  EXPECT_EQ(found->Get(1, 1, 1, 1), 7u);
+}
+
+TEST_F(CubeCacheTest, MoveInsertIgnoredUnderStaticPolicies) {
+  CacheOptions options;
+  options.num_slots = 4;
+  options.policy = CachePolicy::kRasedRecency;
+  CubeCache cache(options);
+  EXPECT_FALSE(cache.AdmitsOnQuery());
+
+  DataCube cube(TinySchema());
+  CubeKey key = CubeKey::Daily(Date::FromYmd(2021, 1, 1));
+  cache.Insert(key, std::move(cube));
+  EXPECT_EQ(cache.size(), 0u);
+
+  CacheOptions lru = options;
+  lru.policy = CachePolicy::kLru;
+  EXPECT_TRUE(CubeCache(lru).AdmitsOnQuery());
+}
+
+TEST_F(CubeCacheTest, MoveInsertRefreshesExistingEntry) {
+  CacheOptions options;
+  options.num_slots = 2;
+  options.policy = CachePolicy::kLru;
+  CubeCache cache(options);
+  CubeKey key = CubeKey::Daily(Date::FromYmd(2021, 1, 1));
+
+  DataCube v1(TinySchema());
+  v1.Add(0, 0, 0, 0, 1);
+  cache.Insert(key, std::move(v1));
+  DataCube v2(TinySchema());
+  v2.Add(0, 0, 0, 0, 2);
+  cache.Insert(key, std::move(v2));
+
+  EXPECT_EQ(cache.size(), 1u);
+  auto found = cache.Find(key);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->Get(0, 0, 0, 0), 2u);
+}
+
 TEST_F(CubeCacheTest, LruWarmIsNoOp) {
   auto index = BuildIndex(10);
   CacheOptions options;

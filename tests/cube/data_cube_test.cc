@@ -1,5 +1,6 @@
 #include "cube/data_cube.h"
 
+#include <algorithm>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -153,6 +154,129 @@ TEST(DataCubeTest, DeserializeRejectsShortBuffer) {
   EXPECT_TRUE(DataCube::Deserialize(TinySchema(), buf.data(), buf.size())
                   .status()
                   .IsCorruption());
+}
+
+TEST(CubeSliceTest, NormalizeSortsAndDeduplicates) {
+  CubeSlice slice;
+  slice.element_types = {2, 0, 2, 1, 0};
+  slice.countries = {7, 7, 7};
+  slice.road_types = {3};
+  slice.Normalize();
+  EXPECT_EQ(slice.element_types, (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(slice.countries, (std::vector<uint32_t>{7}));
+  EXPECT_EQ(slice.road_types, (std::vector<uint32_t>{3}));
+  EXPECT_TRUE(slice.update_types.empty());
+}
+
+TEST(ConstCubeRefTest, ViewSharesCellsWithoutCopy) {
+  DataCube cube(TinySchema());
+  cube.Add(1, 2, 3, 1, 7);
+  ConstCubeRef view = cube.View();
+  EXPECT_EQ(view.cells(), cube.cells().data());
+  EXPECT_EQ(view.Get(1, 2, 3, 1), 7u);
+  EXPECT_EQ(view.Total(), cube.Total());
+  CubeSlice slice;
+  slice.element_types = {1};
+  EXPECT_EQ(view.SumSlice(slice), cube.SumSlice(slice));
+}
+
+TEST(DataCubeTest, FromCellsCopiesCounters) {
+  DataCube cube(TinySchema());
+  cube.Add(0, 4, 2, 3, 42);
+  DataCube copy = DataCube::FromCells(TinySchema(), cube.cells().data());
+  EXPECT_EQ(copy, cube);
+}
+
+TEST(GroupAccumulatorTest, SizeIsProductOfGroupedDims) {
+  CubeSchema schema = TinySchema();  // 3 x 5 x 4 x 4
+  EXPECT_EQ(GroupAccumulatorSize(schema, GroupBySpec{}), 1u);
+  GroupBySpec co_only;
+  co_only.country = true;
+  EXPECT_EQ(GroupAccumulatorSize(schema, co_only), 5u);
+  GroupBySpec all{true, true, true, true};
+  EXPECT_EQ(GroupAccumulatorSize(schema, all), schema.num_cells());
+}
+
+// Naive per-cell reference for the dense kernel: the packed slot of a cell
+// is its grouped coordinates combined row-major in schema order.
+std::vector<uint64_t> NaiveSumSliceInto(const DataCube& cube,
+                                        const CubeSlice& slice,
+                                        const GroupBySpec& spec) {
+  const CubeSchema& s = cube.schema();
+  std::vector<uint64_t> acc(GroupAccumulatorSize(s, spec), 0);
+  cube.ForEachCell(slice, [&](uint32_t et, uint32_t co, uint32_t rt,
+                              uint32_t ut, uint64_t count) {
+    size_t slot = 0;
+    if (spec.element_type) slot = slot * s.num_element_types + et;
+    if (spec.country) slot = slot * s.num_countries + co;
+    if (spec.road_type) slot = slot * s.num_road_types + rt;
+    if (spec.update_type) slot = slot * s.num_update_types + ut;
+    acc[slot] += count;
+  });
+  return acc;
+}
+
+TEST(SumSliceIntoTest, MatchesNaiveOverRandomSlicesAndSpecs) {
+  Rng rng(17);
+  CubeSchema schema = TinySchema();
+  DataCube cube(schema);
+  for (int i = 0; i < 300; ++i) {
+    cube.Add(rng.Uniform(3), rng.Uniform(5), rng.Uniform(4), rng.Uniform(4),
+             rng.Uniform(50));
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    CubeSlice slice;
+    auto pick = [&rng](uint32_t dim, std::vector<uint32_t>* out) {
+      if (!rng.Bernoulli(0.5)) return;  // unconstrained
+      size_t n = 1 + rng.Uniform(dim);
+      for (size_t i = 0; i < n; ++i) {
+        out->push_back(static_cast<uint32_t>(rng.Uniform(dim + 1)));  // may
+        // include one out-of-range value, which kernels must skip
+      }
+      std::sort(out->begin(), out->end());
+      out->erase(std::unique(out->begin(), out->end()), out->end());
+    };
+    pick(schema.num_element_types, &slice.element_types);
+    pick(schema.num_countries, &slice.countries);
+    pick(schema.num_road_types, &slice.road_types);
+    pick(schema.num_update_types, &slice.update_types);
+    GroupBySpec spec{rng.Bernoulli(0.5), rng.Bernoulli(0.5),
+                     rng.Bernoulli(0.5), rng.Bernoulli(0.5)};
+
+    std::vector<uint64_t> expected = NaiveSumSliceInto(cube, slice, spec);
+    std::vector<uint64_t> acc(GroupAccumulatorSize(schema, spec), 0);
+    cube.SumSliceInto(slice, spec, acc.data());
+    EXPECT_EQ(acc, expected) << "trial " << trial;
+  }
+}
+
+TEST(SumSliceIntoTest, AccumulatesOnTopOfExistingValues) {
+  DataCube cube(TinySchema());
+  cube.Add(0, 0, 0, 0, 5);
+  GroupBySpec spec;
+  std::vector<uint64_t> acc{100};
+  cube.SumSliceInto(CubeSlice{}, spec, acc.data());
+  cube.SumSliceInto(CubeSlice{}, spec, acc.data());
+  EXPECT_EQ(acc[0], 110u);
+}
+
+TEST(CubeBatchTest, HoldsCubesAtCubeStrideWithZeroCopyViews) {
+  CubeSchema schema = TinySchema();
+  CubeBatch batch(schema, 3);
+  EXPECT_EQ(batch.size(), 3u);
+
+  // Fill each slot through raw_bytes() the way the pager does.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    DataCube cube(schema);
+    cube.Add(1, 1, 1, 1, i + 1);
+    cube.SerializeTo(batch.raw_bytes() + i * schema.cube_bytes());
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch.cube(i).Get(1, 1, 1, 1), i + 1);
+    EXPECT_EQ(batch.cube(i).Total(), i + 1);
+    DataCube owned = batch.Materialize(i);
+    EXPECT_EQ(owned.Get(1, 1, 1, 1), i + 1);
+  }
 }
 
 TEST(DataCubeTest, RollupEqualsSumOfChildrenProperty) {

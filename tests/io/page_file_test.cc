@@ -136,6 +136,68 @@ TEST_F(PageFileTest, DetectsCorruptedHeader) {
   EXPECT_FALSE(PageFile::Open(Path()).ok());
 }
 
+TEST_F(PageFileTest, ReadPagesReturnsAdjacentRunWithChecksums) {
+  auto file = PageFile::Create(Path(), 128);
+  ASSERT_TRUE(file.ok());
+  auto& pf = *file.value();
+  for (int i = 0; i < 4; ++i) {
+    auto page = pf.AllocatePage();
+    ASSERT_TRUE(page.ok());
+    std::string payload = "run-" + std::to_string(i);
+    ASSERT_TRUE(pf.WritePage(page.value(), payload.data(), payload.size()).ok());
+  }
+
+  // Raw page images (checksum trailers included) at page_size() stride.
+  std::vector<unsigned char> pages(3 * pf.page_size());
+  ASSERT_TRUE(pf.ReadPages(2, 3, pages.data()).ok());
+  for (int i = 0; i < 3; ++i) {
+    std::string expect = "run-" + std::to_string(i + 1);
+    EXPECT_EQ(std::string(reinterpret_cast<char*>(
+                              pages.data() + static_cast<size_t>(i) * 128),
+                          expect.size()),
+              expect);
+  }
+}
+
+TEST_F(PageFileTest, ReadPagesRejectsOutOfRangeRun) {
+  auto file = PageFile::Create(Path(), 128);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->AllocatePage().ok());
+  std::vector<unsigned char> pages(2 * file.value()->page_size());
+  // Run extends past the last allocated page.
+  EXPECT_TRUE(file.value()->ReadPages(1, 2, pages.data()).IsOutOfRange());
+  EXPECT_TRUE(
+      file.value()->ReadPages(kInvalidPageId, 1, pages.data()).IsOutOfRange());
+  // Empty run is a no-op.
+  EXPECT_TRUE(file.value()->ReadPages(1, 0, pages.data()).ok());
+}
+
+TEST_F(PageFileTest, ReadPagesDetectsCorruptionAnywhereInRun) {
+  PageId first;
+  {
+    auto file = PageFile::Create(Path(), 128);
+    ASSERT_TRUE(file.ok());
+    auto p1 = file.value()->AllocatePage();
+    ASSERT_TRUE(p1.ok());
+    first = p1.value();
+    auto p2 = file.value()->AllocatePage();
+    ASSERT_TRUE(p2.ok());
+    ASSERT_TRUE(file.value()->WritePage(first, "one", 3).ok());
+    ASSERT_TRUE(file.value()->WritePage(p2.value(), "two", 3).ok());
+  }
+  // Corrupt the *second* page of the run.
+  {
+    std::fstream f(Path(), std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>((first + 1) * 128 + 1));
+    char evil = 'X';
+    f.write(&evil, 1);
+  }
+  auto file = PageFile::Open(Path());
+  ASSERT_TRUE(file.ok());
+  std::vector<unsigned char> pages(2 * file.value()->page_size());
+  EXPECT_TRUE(file.value()->ReadPages(first, 2, pages.data()).IsCorruption());
+}
+
 TEST_F(PageFileTest, FreshPageReadsAsZeros) {
   auto file = PageFile::Create(Path(), 128);
   ASSERT_TRUE(file.ok());

@@ -1,5 +1,7 @@
+#include <algorithm>
 #include <map>
 #include <tuple>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -41,17 +43,22 @@ std::map<GroupKey, uint64_t> BruteForce(
     // increments the cell of every containing zone (country, continent,
     // state). With no filter, the default partition counts the record
     // once under its own country; with a filter, the record contributes
-    // once per listed zone that contains it (a record can match both
-    // "Germany" and "Europe" if both are listed).
+    // once per *distinct* listed zone that contains it (a record can
+    // match both "Germany" and "Europe" if both are listed, but IN-lists
+    // are sets: naming Germany twice must not double-count).
     std::vector<int32_t> country_keys;
     if (q.countries.empty()) {
       country_keys.push_back(q.group_country
                                  ? static_cast<int32_t>(r.country)
                                  : ResultRow::kNoGroup);
     } else {
+      std::vector<ZoneId> wanted_set(q.countries);
+      std::sort(wanted_set.begin(), wanted_set.end());
+      wanted_set.erase(std::unique(wanted_set.begin(), wanted_set.end()),
+                       wanted_set.end());
       WorldMap::ZoneSet zones =
           world.ZonesForCountry(r.country, LatLon{r.lat, r.lon});
-      for (ZoneId wanted : q.countries) {
+      for (ZoneId wanted : wanted_set) {
         for (int i = 0; i < zones.count; ++i) {
           if (zones.ids[i] == wanted) {
             country_keys.push_back(q.group_country

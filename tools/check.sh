@@ -6,9 +6,11 @@
 #   2. clang-tidy over src/        (skipped if clang-tidy is absent)
 #   3. plain build + full ctest
 #   4. bench_concurrent_queries --quick (scaling/determinism smoke gate)
-#   5. ASan+UBSan build + full ctest
-#   6. TSan build + concurrency-focused ctest (dashboard/cache/collect/
-#      index/warehouse suites)
+#   5. bench_query_hotpath --quick (batched-I/O + kernel smoke gate;
+#      emits the BENCH_query_hotpath.json trajectory at the repo root)
+#   6. ASan+UBSan build + full ctest
+#   7. TSan build + concurrency-focused ctest (dashboard/cache/collect/
+#      index/warehouse/hotpath suites)
 #
 # Exit code 0 means every stage that could run passed. Stages whose tool
 # is missing are reported as SKIP, not failure, so the script works both
@@ -96,6 +98,27 @@ else
   skip "bench_concurrent_queries not built (plain build failed?)"
 fi
 
+# ---------------------------------------------------- query hotpath smoke --
+# Quick mode of the query hot-path bench: asserts the batched executor's
+# rows and transfer counts match the serial per-cube reference, that
+# adjacent page reads coalesce (read_ops < page_reads), and that the cold
+# device-model time improves >= 2x. Its "query_hotpath" JSON line becomes
+# the BENCH_query_hotpath.json trajectory tracked at the repo root.
+note "bench_query_hotpath --quick"
+if [ -x "${PREFIX}-plain/bench/bench_query_hotpath" ]; then
+  HOTPATH_OUT="$("${PREFIX}-plain/bench/bench_query_hotpath" --quick \
+      "bench_dir=${PREFIX}-plain/bench/hotpath_bench_data")"
+  if [ $? -eq 0 ]; then
+    printf '%s\n' "${HOTPATH_OUT}" \
+      | grep '"bench":"query_hotpath"' > BENCH_query_hotpath.json
+    pass "bench_query_hotpath --quick (trajectory in BENCH_query_hotpath.json)"
+  else
+    fail "bench_query_hotpath --quick"
+  fi
+else
+  skip "bench_query_hotpath not built (plain build failed?)"
+fi
+
 run_matrix_entry "asan+ubsan" "${PREFIX}-asan" "" \
   "-DRASED_SANITIZE=address;undefined"
 
@@ -103,7 +126,7 @@ run_matrix_entry "asan+ubsan" "${PREFIX}-asan" "" \
 # locks/annotations in the correctness-tooling pass; a race anywhere in
 # them must surface here.
 run_matrix_entry "tsan" "${PREFIX}-tsan" \
-  "-R (Dashboard|Concurrent|HttpServer|CubeCache|Replication|TemporalIndex|Warehouse)" \
+  "-R (Dashboard|Concurrent|HttpServer|CubeCache|Replication|TemporalIndex|Warehouse|Hotpath)" \
   "-DRASED_SANITIZE=thread"
 
 # ----------------------------------------------------------------- gate ---
