@@ -8,7 +8,28 @@
 
 namespace rased {
 
-CubeCache::CubeCache(const CacheOptions& options) : options_(options) {}
+CubeCache::CubeCache(const CacheOptions& options) : options_(options) {
+  if (options_.metrics != nullptr) {
+    MetricsRegistry* registry = options_.metrics;
+    metrics_.hits = registry->GetCounter("rased_cache_hits_total",
+                                         "Cube cache lookup hits");
+    metrics_.misses = registry->GetCounter("rased_cache_misses_total",
+                                           "Cube cache lookup misses");
+    metrics_.admissions =
+        registry->GetCounter("rased_cache_admissions_total",
+                             "Cubes admitted on the query path (LRU policy)");
+    metrics_.evictions = registry->GetCounter("rased_cache_evictions_total",
+                                              "Cubes evicted to make room");
+    metrics_.preloads = registry->GetCounter(
+        "rased_cache_preloads_total", "Cubes preloaded by the static policy");
+    metrics_.resident =
+        registry->GetGauge("rased_cache_resident_cubes",
+                           "Cubes currently resident in the cache");
+    metrics_.capacity = registry->GetGauge("rased_cache_capacity_cubes",
+                                           "Configured cube slots (N)");
+    metrics_.capacity->Set(static_cast<int64_t>(options_.num_slots));
+  }
+}
 
 void CubeCache::Preload(const TemporalIndex* index, Level level,
                         size_t slots) {
@@ -26,6 +47,10 @@ void CubeCache::Preload(const TemporalIndex* index, Level level,
     Entry entry{std::move(shared), lru_list_.end(), false};
     entries_.insert_or_assign(key, std::move(entry));
     ++stats_.preloaded;
+    if (metrics_.preloads != nullptr) {
+      metrics_.preloads->Increment();
+      metrics_.resident->Set(static_cast<int64_t>(entries_.size()));
+    }
   }
 }
 
@@ -59,9 +84,11 @@ std::shared_ptr<const DataCube> CubeCache::Find(const CubeKey& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
+    if (metrics_.misses != nullptr) metrics_.misses->Increment();
     return nullptr;
   }
   ++stats_.hits;
+  if (metrics_.hits != nullptr) metrics_.hits->Increment();
   if (options_.policy == CachePolicy::kLru && it->second.in_lru) {
     lru_list_.splice(lru_list_.begin(), lru_list_, it->second.lru_it);
   }
@@ -104,10 +131,15 @@ void CubeCache::AdmitLru(const CubeKey& key,
     lru_list_.pop_back();
     entries_.erase(victim);
     ++stats_.evictions;
+    if (metrics_.evictions != nullptr) metrics_.evictions->Increment();
   }
   lru_list_.push_front(key);
   Entry entry{std::move(cube), lru_list_.begin(), true};
   entries_.emplace(key, std::move(entry));
+  if (metrics_.admissions != nullptr) {
+    metrics_.admissions->Increment();
+    metrics_.resident->Set(static_cast<int64_t>(entries_.size()));
+  }
 }
 
 void CubeCache::InvalidateRange(const DateRange& range) {
@@ -119,6 +151,9 @@ void CubeCache::InvalidateRange(const DateRange& range) {
     } else {
       ++it;
     }
+  }
+  if (metrics_.resident != nullptr) {
+    metrics_.resident->Set(static_cast<int64_t>(entries_.size()));
   }
 }
 
@@ -140,6 +175,7 @@ void CubeCache::ResetStats() {
 void CubeCache::ClearLocked() {
   entries_.clear();
   lru_list_.clear();
+  if (metrics_.resident != nullptr) metrics_.resident->Set(0);
 }
 
 void CubeCache::Clear() {

@@ -9,6 +9,7 @@
 #include "cube/data_cube.h"
 #include "index/temporal_index.h"
 #include "index/temporal_key.h"
+#include "obs/metrics_registry.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
 
@@ -40,6 +41,11 @@ struct CacheOptions {
   double theta = 0.05;  // yearly
 
   CachePolicy policy = CachePolicy::kRasedRecency;
+
+  /// When non-null, the cache registers live rased_cache_* counters and
+  /// gauges here at construction (hits/misses/admissions/evictions/
+  /// preloads, resident/capacity). The registry must outlive the cache.
+  MetricsRegistry* metrics = nullptr;
 
   /// Slots for a byte budget given the cube size.
   static size_t SlotsForBytes(uint64_t bytes, const CubeSchema& schema) {
@@ -120,6 +126,21 @@ class CubeCache {
   void ClearLocked() RASED_REQUIRES(mu_);
 
   const CacheOptions options_;  // immutable after construction
+
+  /// Registry handles (all set together in the constructor when
+  /// options_.metrics is non-null, else all null). The counters update
+  /// lock-free; the resident gauge is set under mu_ right after entry
+  /// surgery so it always mirrors entries_.size().
+  struct CacheMetrics {
+    Counter* hits = nullptr;
+    Counter* misses = nullptr;
+    Counter* admissions = nullptr;
+    Counter* evictions = nullptr;
+    Counter* preloads = nullptr;
+    Gauge* resident = nullptr;
+    Gauge* capacity = nullptr;
+  };
+  CacheMetrics metrics_;
 
   /// Guards every mutable member below. Held only for map/list surgery,
   /// never across index I/O (Preload reads the cube first, then locks to

@@ -12,6 +12,7 @@
 #include "io/env.h"
 #include "query/sql_parser.h"
 #include "synth/update_generator.h"
+#include "util/clock.h"
 #include "util/config.h"
 #include "util/str_util.h"
 
@@ -52,6 +53,9 @@ commands:
                    OSM-style sequence of NNNNNNNNN.osc + state files)
   stats         print index/cache/storage statistics
                   dir=DIR
+  metrics       print the instance's metrics in Prometheus text format
+                  dir=DIR [probe=1]  (probe runs one full-coverage query
+                  first so the query/cache/pager series carry real traffic)
   serve         start the web dashboard
                   dir=DIR [port=N] [serve_seconds=N (0 = forever)]
   help          show this message
@@ -262,6 +266,7 @@ int CmdQuery(const Config& config) {
   if (!result.ok()) return Fail(result.status());
 
   RenderContext ctx{&rased.value()->world(), rased.value()->road_types()};
+  const int64_t t_render = NowMicros();
   std::string format = config.GetString("format", "table");
   if (format == "table") {
     std::printf("%s", RenderTable(result.value(), query.value(), ctx).c_str());
@@ -282,6 +287,25 @@ int CmdQuery(const Config& config) {
   } else {
     return FailUsage("unknown format '" + format + "'");
   }
+
+  // Record the run in the instance's trace ring, same shape as the
+  // dashboard path, so slow CLI queries hit the slow-query log too.
+  const int64_t render_micros = NowMicros() - t_render;
+  const QueryStats& stats = result.value().stats;
+  QueryTrace trace;
+  trace.summary = query.value().ToString();
+  trace.wall_micros = stats.cpu_micros + render_micros;
+  trace.device_micros = stats.io.simulated_device_micros;
+  trace.cubes_total = stats.cubes_total;
+  trace.cubes_from_cache = stats.cubes_from_cache;
+  trace.cubes_from_disk = stats.cubes_from_disk;
+  trace.page_reads = stats.io.page_reads;
+  trace.read_ops = stats.io.read_ops;
+  trace.bytes_read = stats.io.bytes_read;
+  trace.spans = result.value().spans;
+  trace.spans.push_back({"render", render_micros, 0});
+  rased.value()->traces()->Record(std::move(trace));
+
   std::fprintf(stderr, "-- %llu cubes (%llu cached), %.3f ms\n",
                static_cast<unsigned long long>(
                    result.value().stats.cubes_total),
@@ -369,6 +393,23 @@ int CmdStats(const Config& config) {
   return 0;
 }
 
+int CmdMetrics(const Config& config) {
+  auto rased = OpenInstance(config, /*warm_cache=*/true);
+  if (!rased.ok()) return Fail(rased.status());
+  if (config.GetBool("probe", false)) {
+    // One full-coverage grouped query drives real traffic through the
+    // cache, pager, and executor so their series show non-zero values.
+    AnalysisQuery probe;
+    probe.range = rased.value()->index()->coverage();
+    probe.group_country = true;
+    if (auto result = rased.value()->Query(probe); !result.ok()) {
+      return Fail(result.status());
+    }
+  }
+  std::printf("%s", rased.value()->metrics()->RenderPrometheus().c_str());
+  return 0;
+}
+
 int CmdServe(const Config& config) {
   auto rased = OpenInstance(config, /*warm_cache=*/true);
   if (!rased.ok()) return Fail(rased.status());
@@ -376,6 +417,9 @@ int CmdServe(const Config& config) {
   Status s = service.Start(static_cast<int>(config.GetInt("port", 0)));
   if (!s.ok()) return Fail(s);
   std::printf("RASED dashboard: http://127.0.0.1:%d/\n", service.port());
+  // Scripts (tools/check.sh metrics smoke) read the port line from a
+  // redirected stdout while the server is still running.
+  std::fflush(stdout);
   int64_t serve_seconds = config.GetInt("serve_seconds", 0);
   if (serve_seconds > 0) {
     std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
@@ -410,6 +454,7 @@ int RunCli(int argc, const char* const* argv) {
   if (command == "sample") return CmdSample(config);
   if (command == "sync") return CmdSync(config);
   if (command == "stats") return CmdStats(config);
+  if (command == "metrics") return CmdMetrics(config);
   if (command == "serve") return CmdServe(config);
   return FailUsage("unknown command '" + command + "'");
 }

@@ -9,6 +9,7 @@ Status DailyCrawler::CrawlDiff(std::string_view osc_xml,
                                     out](const OsmChange& change) {
     const Element& e = change.element;
     ++stats_.elements_seen;
+    if (elements_counter_ != nullptr) elements_counter_->Increment();
 
     UpdateRecord r;
     r.element_type = e.type;
@@ -43,6 +44,7 @@ Status DailyCrawler::CrawlDiff(std::string_view osc_xml,
 
     out->push_back(r);
     ++stats_.records_emitted;
+    if (records_counter_ != nullptr) records_counter_->Increment();
     return Status::OK();
   });
 }

@@ -8,6 +8,7 @@
 #include "collect/crawl_stats.h"
 #include "collect/update_record.h"
 #include "geo/world_map.h"
+#include "obs/metrics_registry.h"
 #include "osm/osc.h"
 #include "osm/road_types.h"
 
@@ -23,9 +24,19 @@ namespace rased {
 class DailyCrawler {
  public:
   /// The map and road-type table must outlive the crawler. The table is
-  /// shared and mutated (new highway values are interned).
-  DailyCrawler(const WorldMap* world, RoadTypeTable* road_types)
-      : world_(world), road_types_(road_types) {}
+  /// shared and mutated (new highway values are interned). `metrics`, when
+  /// non-null, receives live rased_crawl_* counters (elements seen,
+  /// records emitted) on top of the per-crawler stats() snapshot.
+  DailyCrawler(const WorldMap* world, RoadTypeTable* road_types,
+               MetricsRegistry* metrics = nullptr)
+      : world_(world), road_types_(road_types) {
+    if (metrics != nullptr) {
+      elements_counter_ = metrics->GetCounter("rased_crawl_elements_total",
+                                              "OSM diff elements crawled");
+      records_counter_ = metrics->GetCounter(
+          "rased_crawl_records_total", "UpdateList tuples emitted by crawls");
+    }
+  }
 
   /// Crawls one diff document against the given changeset metadata,
   /// appending tuples to `out`.
@@ -39,6 +50,8 @@ class DailyCrawler {
   const WorldMap* world_;
   RoadTypeTable* road_types_;
   CrawlStats stats_;
+  Counter* elements_counter_ = nullptr;
+  Counter* records_counter_ = nullptr;
 };
 
 }  // namespace rased

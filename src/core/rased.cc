@@ -144,6 +144,18 @@ Result<std::unique_ptr<Rased>> Rased::Open(const RasedOptions& options) {
 }
 
 Status Rased::InitComponents(bool create) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  traces_ = std::make_unique<TraceRecorder>(options_.trace, metrics_);
+  ingest_metrics_.records = metrics_->GetCounter(
+      "rased_ingest_records_total", "UpdateList tuples ingested");
+  ingest_metrics_.days =
+      metrics_->GetCounter("rased_ingest_days_total", "Day cubes ingested");
+
   world_ = std::make_unique<WorldMap>(options_.schema.num_countries);
   road_types_ =
       std::make_unique<RoadTypeTable>(options_.schema.num_road_types);
@@ -153,6 +165,7 @@ Status Rased::InitComponents(bool create) {
   index_options.num_levels = options_.num_levels;
   index_options.dir = env::JoinPath(options_.dir, "index");
   index_options.device = options_.device;
+  index_options.metrics = metrics_;
   if (create) {
     RASED_ASSIGN_OR_RETURN(index_, TemporalIndex::Create(index_options));
   } else {
@@ -160,10 +173,12 @@ Status Rased::InitComponents(bool create) {
   }
 
   builder_ = std::make_unique<CubeBuilder>(options_.schema, world_.get());
-  cache_ = std::make_unique<CubeCache>(options_.cache);
+  CacheOptions cache_options = options_.cache;
+  cache_options.metrics = metrics_;
+  cache_ = std::make_unique<CubeCache>(cache_options);
   executor_ = std::make_unique<QueryExecutor>(index_.get(), cache_.get(),
                                               world_.get(),
-                                              options_.plan_mode);
+                                              options_.plan_mode, metrics_);
 
   if (options_.enable_warehouse) {
     WarehouseOptions wh_options;
@@ -174,6 +189,7 @@ Status Rased::InitComponents(bool create) {
     } else {
       RASED_ASSIGN_OR_RETURN(warehouse_, Warehouse::Open(wh_options));
     }
+    warehouse_->pager()->RegisterMetrics(metrics_, "warehouse");
   }
   return Status::OK();
 }
@@ -183,7 +199,7 @@ Status Rased::IngestDailyArtifacts(Date day, std::string_view osc_xml,
   WriterMutexLock lock(&mu_);
   ChangesetStore changesets;
   RASED_RETURN_IF_ERROR(changesets.AddFromXml(changesets_xml));
-  DailyCrawler crawler(world_.get(), road_types_.get());
+  DailyCrawler crawler(world_.get(), road_types_.get(), metrics_);
   std::vector<UpdateRecord> records;
   RASED_RETURN_IF_ERROR(crawler.CrawlDiff(osc_xml, changesets, &records));
   return IngestDayRecordsLocked(day, records);
@@ -210,12 +226,16 @@ Status Rased::IngestDayRecordsLocked(
   if (warehouse_ != nullptr) {
     RASED_RETURN_IF_ERROR(warehouse_->Append(records));
   }
+  ingest_metrics_.days->Increment();
+  ingest_metrics_.records->Increment(records.size());
   return Status::OK();
 }
 
 Status Rased::IngestDayCube(Date day, const DataCube& cube) {
   WriterMutexLock lock(&mu_);
-  return index_->AppendDay(day, cube);
+  RASED_RETURN_IF_ERROR(index_->AppendDay(day, cube));
+  ingest_metrics_.days->Increment();
+  return Status::OK();
 }
 
 Status Rased::ApplyMonthlyArtifacts(Date month_start,

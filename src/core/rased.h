@@ -13,6 +13,8 @@
 #include "geo/world_map.h"
 #include "index/cube_builder.h"
 #include "index/temporal_index.h"
+#include "obs/metrics_registry.h"
+#include "obs/query_trace.h"
 #include "osm/road_types.h"
 #include "query/analysis_query.h"
 #include "query/query_executor.h"
@@ -46,6 +48,17 @@ struct RasedOptions {
   /// Whether to maintain the sample-update warehouse (Section VI-B). Bulk
   /// cube loads at benchmark scale typically disable it.
   bool enable_warehouse = true;
+
+  /// Registry every component (index pager, cache, executor, ingestion)
+  /// publishes its metrics into. When null the instance creates and owns a
+  /// private registry — the default, which keeps instances (and test
+  /// suites sharing a process) isolated. A non-null registry must outlive
+  /// the instance.
+  MetricsRegistry* metrics = nullptr;
+
+  /// Query-trace ring configuration (/api/trace capacity, slow-query
+  /// threshold).
+  TraceRecorderOptions trace;
 };
 
 /// The RASED system facade: owns the world map, road-type table, temporal
@@ -143,6 +156,15 @@ class Rased {
   Warehouse* warehouse() const { return warehouse_.get(); }
   const RasedOptions& options() const { return options_; }
 
+  /// The registry all components report into (never null after
+  /// Create/Open; instance-owned unless RasedOptions.metrics was set).
+  /// Registered handles stay valid for the instance's lifetime.
+  MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Ring buffer of recent query traces (never null after Create/Open).
+  /// The serving layers (dashboard, CLI) record into it; /api/trace reads.
+  TraceRecorder* traces() const { return traces_.get(); }
+
   /// Resolves a zone by name ("Germany", "North America", "Minnesota").
   Result<ZoneId> CountryId(std::string_view name) const {
     return world_->FindByName(name);
@@ -183,6 +205,21 @@ class Rased {
   mutable SharedMutex mu_;
 
   RasedOptions options_;
+
+  /// metrics_ points at options_.metrics when supplied, else at
+  /// owned_metrics_. Declared before the components so it outlives their
+  /// registered handles during destruction.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<TraceRecorder> traces_;
+
+  /// Ingestion counters (set in InitComponents; never null afterwards).
+  struct IngestMetrics {
+    Counter* records = nullptr;  // rased_ingest_records_total
+    Counter* days = nullptr;     // rased_ingest_days_total
+  };
+  IngestMetrics ingest_metrics_;
+
   std::unique_ptr<WorldMap> world_;
   std::unique_ptr<RoadTypeTable> road_types_;
   std::unique_ptr<TemporalIndex> index_;

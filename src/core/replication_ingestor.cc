@@ -11,7 +11,15 @@ namespace rased {
 ReplicationIngestor::ReplicationIngestor(Rased* rased, std::string feed_dir)
     : rased_(rased),
       feed_(std::move(feed_dir)),
-      cursor_(env::JoinPath(rased->options().dir, "replication.cursor")) {}
+      cursor_(env::JoinPath(rased->options().dir, "replication.cursor")) {
+  MetricsRegistry* metrics = rased_->metrics();
+  sequences_counter_ =
+      metrics->GetCounter("rased_ingest_sequences_total",
+                          "Replication sequences applied by CatchUp");
+  lag_gauge_ = metrics->GetGauge(
+      "rased_ingest_lag_sequences",
+      "Replication sequences in the feed not yet applied (ingest lag)");
+}
 
 Result<ReplicationIngestor::CatchUpStats> ReplicationIngestor::CatchUp(
     bool finalize_all) {
@@ -19,10 +27,16 @@ Result<ReplicationIngestor::CatchUpStats> ReplicationIngestor::CatchUp(
   RASED_ASSIGN_OR_RETURN(uint64_t applied, cursor_.LastApplied());
   auto latest = feed_.LatestState();
   if (!latest.ok()) {
-    if (latest.status().IsIOError()) return stats;  // empty feed
+    if (latest.status().IsIOError()) {  // empty feed
+      lag_gauge_->Set(0);
+      return stats;
+    }
     return latest.status();
   }
-  if (latest.value().sequence <= applied) return stats;
+  if (latest.value().sequence <= applied) {
+    lag_gauge_->Set(0);
+    return stats;
+  }
 
   // The trailing day may still be receiving sequences; unless finalizing,
   // it stays unapplied.
@@ -46,7 +60,8 @@ Result<ReplicationIngestor::CatchUpStats> ReplicationIngestor::CatchUp(
     return Status::OK();
   };
 
-  DailyCrawler crawler(&rased_->world(), rased_->road_types());
+  DailyCrawler crawler(&rased_->world(), rased_->road_types(),
+                       rased_->metrics());
   std::vector<UpdateRecord> pending;
   Date pending_day;
   bool have_pending = false;
@@ -80,6 +95,9 @@ Result<ReplicationIngestor::CatchUpStats> ReplicationIngestor::CatchUp(
     RASED_RETURN_IF_ERROR(cursor_.Advance(pending_last_seq));
     stats.sequences_applied = pending_last_seq - applied;
   }
+  sequences_counter_->Increment(stats.sequences_applied);
+  lag_gauge_->Set(static_cast<int64_t>(latest.value().sequence -
+                                       (applied + stats.sequences_applied)));
   return stats;
 }
 

@@ -43,6 +43,11 @@ class ReplicationIngestor {
   Rased* rased_;
   ReplicationDirectory feed_;
   ReplicationCursor cursor_;
+  /// Feed-progress metrics, registered in the ctor on the instance's
+  /// registry: sequences applied across CatchUps, and the ingest lag
+  /// (latest feed sequence minus last applied) refreshed by each CatchUp.
+  Counter* sequences_counter_ = nullptr;
+  Gauge* lag_gauge_ = nullptr;
 };
 
 }  // namespace rased

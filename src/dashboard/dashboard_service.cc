@@ -2,6 +2,7 @@
 
 #include "dashboard/json_writer.h"
 #include "query/sql_parser.h"
+#include "util/clock.h"
 #include "util/str_util.h"
 
 namespace rased {
@@ -106,6 +107,34 @@ DashboardService::DashboardService(Rased* rased) : rased_(rased) {
   server_.Route("/api/stats", [this](const HttpRequest& q, HttpResponse* r) {
     HandleStats(q, r);
   });
+  server_.Route("/api/trace", [this](const HttpRequest& q, HttpResponse* r) {
+    HandleTrace(q, r);
+  });
+  server_.Route("/metrics", [this](const HttpRequest& q, HttpResponse* r) {
+    HandleMetrics(q, r);
+  });
+  server_.set_metrics(rased_->metrics());
+
+  // /api/stats handles: the same series the components registered (handle
+  // lookups are idempotent, so registration order does not matter).
+  MetricsRegistry* metrics = rased_->metrics();
+  static constexpr const char* kLevels[kNumLevels] = {"daily", "weekly",
+                                                      "monthly", "yearly"};
+  for (int level = 0; level < kNumLevels; ++level) {
+    stats_.cubes_per_level[level] =
+        metrics->GetGauge("rased_index_cubes", "Cubes stored, by level",
+                          MetricLabels{{"level", kLevels[level]}});
+  }
+  stats_.file_bytes =
+      metrics->GetGauge("rased_index_file_bytes", "Index file size in bytes");
+  stats_.cache_capacity =
+      metrics->GetGauge("rased_cache_capacity_cubes", "Cube cache slots");
+  stats_.cache_resident =
+      metrics->GetGauge("rased_cache_resident_cubes", "Cubes resident");
+  stats_.cache_hits =
+      metrics->GetCounter("rased_cache_hits_total", "Cube cache hits");
+  stats_.cache_misses =
+      metrics->GetCounter("rased_cache_misses_total", "Cube cache misses");
 }
 
 Status DashboardService::Start(int port, int num_workers) {
@@ -211,31 +240,52 @@ void DashboardService::ExecuteAndRender(const AnalysisQuery& query,
     WriteError(result.status(), response);
     return;
   }
+  const QueryResult& value = result.value();
+
+  const int64_t t_render = NowMicros();
   std::string format = request.Param("format");
   if (format.empty() || format == "json") {
-    response->body = RenderJson(result.value(), query, ctx_);
-    return;
-  }
-  if (format == "csv") {
+    response->body = RenderJson(value, query, ctx_);
+  } else if (format == "csv") {
     response->content_type = "text/csv; charset=utf-8";
-    response->body = RenderCsv(result.value(), query, ctx_);
-    return;
-  }
-  response->content_type = "text/plain; charset=utf-8";
-  if (format == "table") {
-    response->body = RenderTable(result.value(), query, ctx_);
+    response->body = RenderCsv(value, query, ctx_);
+  } else if (format == "table") {
+    response->content_type = "text/plain; charset=utf-8";
+    response->body = RenderTable(value, query, ctx_);
   } else if (format == "bar") {
-    response->body = RenderBarChart(result.value(), query, ctx_);
+    response->content_type = "text/plain; charset=utf-8";
+    response->body = RenderBarChart(value, query, ctx_);
   } else if (format == "timeseries") {
-    response->body = RenderTimeSeries(result.value(), query, ctx_);
+    response->content_type = "text/plain; charset=utf-8";
+    response->body = RenderTimeSeries(value, query, ctx_);
   } else if (format == "choropleth") {
-    response->body = RenderChoropleth(result.value(), ctx_);
+    response->content_type = "text/plain; charset=utf-8";
+    response->body = RenderChoropleth(value, ctx_);
   } else if (format == "pivot") {
-    response->body = RenderCountryElementPivot(result.value(), ctx_);
+    response->content_type = "text/plain; charset=utf-8";
+    response->body = RenderCountryElementPivot(value, ctx_);
   } else {
     WriteError(Status::InvalidArgument("unknown format '" + format + "'"),
                response);
   }
+
+  // Record the trace even on a bad-format response — the query itself ran.
+  // The executor's spans partition its wall time; the service adds the
+  // render span on top, so trace wall = executor cpu + render time.
+  const int64_t render_micros = NowMicros() - t_render;
+  QueryTrace trace;
+  trace.summary = query.ToString();
+  trace.wall_micros = value.stats.cpu_micros + render_micros;
+  trace.device_micros = value.stats.io.simulated_device_micros;
+  trace.cubes_total = value.stats.cubes_total;
+  trace.cubes_from_cache = value.stats.cubes_from_cache;
+  trace.cubes_from_disk = value.stats.cubes_from_disk;
+  trace.page_reads = value.stats.io.page_reads;
+  trace.read_ops = value.stats.io.read_ops;
+  trace.bytes_read = value.stats.io.bytes_read;
+  trace.spans = value.spans;
+  trace.spans.push_back({"render", render_micros, 0});
+  rased_->traces()->Record(std::move(trace));
 }
 
 void DashboardService::HandleSample(const HttpRequest& request,
@@ -324,29 +374,83 @@ void DashboardService::HandleZones(const HttpRequest&,
 
 void DashboardService::HandleStats(const HttpRequest&,
                                    HttpResponse* response) {
-  IndexStorageStats storage = rased_->index()->StorageStats();
-  CacheStats cache = rased_->cache()->stats();
+  // Served off the registry handles resolved in the ctor: the numbers here
+  // are by construction the same series /metrics exports.
+  auto gauge = [](const Gauge* g) { return static_cast<uint64_t>(g->value()); };
+  uint64_t total_cubes = 0;
+  for (const Gauge* g : stats_.cubes_per_level) total_cubes += gauge(g);
   JsonWriter w;
   w.BeginObject();
   w.Key("index");
   w.BeginObject();
   w.KV("coverage", std::string_view(rased_->index()->coverage().ToString()));
-  w.KV("daily_cubes", storage.cubes_per_level[0]);
-  w.KV("weekly_cubes", storage.cubes_per_level[1]);
-  w.KV("monthly_cubes", storage.cubes_per_level[2]);
-  w.KV("yearly_cubes", storage.cubes_per_level[3]);
-  w.KV("total_cubes", storage.total_cubes);
-  w.KV("file_bytes", storage.file_bytes);
+  w.KV("daily_cubes", gauge(stats_.cubes_per_level[0]));
+  w.KV("weekly_cubes", gauge(stats_.cubes_per_level[1]));
+  w.KV("monthly_cubes", gauge(stats_.cubes_per_level[2]));
+  w.KV("yearly_cubes", gauge(stats_.cubes_per_level[3]));
+  w.KV("total_cubes", total_cubes);
+  w.KV("file_bytes", gauge(stats_.file_bytes));
   w.EndObject();
   w.Key("cache");
   w.BeginObject();
-  w.KV("slots", static_cast<uint64_t>(rased_->cache()->capacity()));
-  w.KV("resident", static_cast<uint64_t>(rased_->cache()->size()));
-  w.KV("hits", cache.hits);
-  w.KV("misses", cache.misses);
+  w.KV("slots", gauge(stats_.cache_capacity));
+  w.KV("resident", gauge(stats_.cache_resident));
+  w.KV("hits", stats_.cache_hits->value());
+  w.KV("misses", stats_.cache_misses->value());
   w.EndObject();
+  w.Key("http");
+  w.BeginObject();
+  w.KV("requests_served", server_.requests_served());
+  w.EndObject();
+  w.KV("metric_series", static_cast<uint64_t>(rased_->metrics()->num_series()));
   w.EndObject();
   response->body = std::move(w).Finish();
+}
+
+void DashboardService::HandleTrace(const HttpRequest&,
+                                   HttpResponse* response) {
+  TraceRecorder* recorder = rased_->traces();
+  std::vector<QueryTrace> traces = recorder->Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("total_recorded", recorder->total_recorded());
+  w.KV("capacity", static_cast<uint64_t>(recorder->options().capacity));
+  w.Key("traces");
+  w.BeginArray();
+  for (const QueryTrace& t : traces) {
+    w.BeginObject();
+    w.KV("id", t.id);
+    w.KV("query", std::string_view(t.summary));
+    w.KV("wall_micros", t.wall_micros);
+    w.KV("device_micros", t.device_micros);
+    w.KV("total_micros", t.total_micros());
+    w.KV("cubes_total", t.cubes_total);
+    w.KV("cubes_from_cache", t.cubes_from_cache);
+    w.KV("cubes_from_disk", t.cubes_from_disk);
+    w.KV("page_reads", t.page_reads);
+    w.KV("read_ops", t.read_ops);
+    w.KV("bytes_read", t.bytes_read);
+    w.Key("spans");
+    w.BeginArray();
+    for (const TraceSpan& span : t.spans) {
+      w.BeginObject();
+      w.KV("name", std::string_view(span.name));
+      w.KV("wall_micros", span.wall_micros);
+      w.KV("device_micros", span.device_micros);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  response->body = std::move(w).Finish();
+}
+
+void DashboardService::HandleMetrics(const HttpRequest&,
+                                     HttpResponse* response) {
+  response->content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response->body = rased_->metrics()->RenderPrometheus();
 }
 
 }  // namespace rased

@@ -31,6 +31,11 @@ namespace rased {
 ///       ?changeset=<id>  |  ?min_lat=..&min_lon=..&max_lat=..&max_lon=..&n=100
 ///   GET /api/zones         the Country dimension (id, name, kind, size)
 ///   GET /api/stats         index/cache/storage statistics
+///   GET /api/trace         recent query traces (per-span wall + device time)
+///   GET /metrics           Prometheus text exposition of every registered
+///                          metric (content type text/plain; version=0.0.4)
+///
+/// All endpoints are GET-only; a known path with another method is 405.
 class DashboardService {
  public:
   /// `rased` must outlive the service.
@@ -57,6 +62,8 @@ class DashboardService {
   void HandleSample(const HttpRequest& request, HttpResponse* response);
   void HandleZones(const HttpRequest& request, HttpResponse* response);
   void HandleStats(const HttpRequest& request, HttpResponse* response);
+  void HandleTrace(const HttpRequest& request, HttpResponse* response);
+  void HandleMetrics(const HttpRequest& request, HttpResponse* response);
 
   /// The HTTP workers run handlers concurrently against the Rased
   /// instance directly: its query family is const and internally guarded
@@ -67,6 +74,19 @@ class DashboardService {
   Rased* const rased_;
   RenderContext ctx_;
   HttpServer server_;
+
+  /// /api/stats is served off the instance registry (the same numbers
+  /// /metrics exports) — handles resolved once in the ctor. Counters are
+  /// cumulative since boot; gauges track the live component state.
+  struct StatsHandles {
+    Gauge* cubes_per_level[kNumLevels] = {nullptr, nullptr, nullptr, nullptr};
+    Gauge* file_bytes = nullptr;
+    Gauge* cache_capacity = nullptr;
+    Gauge* cache_resident = nullptr;
+    Counter* cache_hits = nullptr;
+    Counter* cache_misses = nullptr;
+  };
+  StatsHandles stats_;
 };
 
 }  // namespace rased

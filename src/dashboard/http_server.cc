@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/clock.h"
 #include "util/logging.h"
 #include "util/str_util.h"
 
@@ -48,6 +49,10 @@ Status HttpServer::Start(int port, int num_threads) {
     ::close(fd);
     return Status::IOError(std::string("listen: ") + std::strerror(errno));
   }
+  {
+    MutexLock lock(&mu_);
+    InitMetricsLocked();
+  }
   listen_fd_.store(fd);
   running_.store(true);
   threads_.reserve(static_cast<size_t>(num_threads));
@@ -55,6 +60,57 @@ Status HttpServer::Start(int port, int num_threads) {
     threads_.emplace_back([this] { AcceptLoop(); });
   }
   return Status::OK();
+}
+
+void HttpServer::InitMetricsLocked() {
+  if (metrics_ == nullptr) return;
+  malformed_counter_ =
+      metrics_->GetCounter("rased_http_malformed_requests_total",
+                           "Requests whose request line failed to parse");
+  std::vector<std::string> endpoints;
+  endpoints.reserve(routes_.size() + 1);
+  for (const auto& [path, handler] : routes_) endpoints.push_back(path);
+  // Requests for unregistered paths share one label value so arbitrary
+  // client input never mints new series.
+  endpoints.push_back("(unmatched)");
+  for (const std::string& endpoint : endpoints) {
+    EndpointMetrics em;
+    MetricLabels labels{{"endpoint", endpoint}};
+    em.requests = metrics_->GetCounter("rased_http_requests_total",
+                                       "HTTP requests served", labels);
+    em.latency = metrics_->GetHistogram("rased_http_request_micros",
+                                        "Request handling wall time "
+                                        "(microseconds, excludes socket I/O)",
+                                        HistogramOptions{}, labels);
+    auto status_counter = [&](const char* status_class) {
+      MetricLabels l = labels;
+      l.emplace_back("class", status_class);
+      return metrics_->GetCounter("rased_http_responses_total",
+                                  "HTTP responses by status class", l);
+    };
+    em.status_2xx = status_counter("2xx");
+    em.status_4xx = status_counter("4xx");
+    em.status_5xx = status_counter("5xx");
+    endpoint_metrics_[endpoint] = em;
+  }
+}
+
+void HttpServer::RecordRequestMetrics(const std::string& endpoint, int status,
+                                      int64_t wall_micros) {
+  if (metrics_ == nullptr) return;
+  auto it = endpoint_metrics_.find(endpoint);
+  if (it == endpoint_metrics_.end()) {
+    it = endpoint_metrics_.find("(unmatched)");
+    if (it == endpoint_metrics_.end()) return;  // no registry attached
+  }
+  const EndpointMetrics& em = it->second;
+  em.requests->Increment();
+  em.latency->Observe(wall_micros);
+  Counter* status_counter = status >= 500   ? em.status_5xx
+                            : status >= 400 ? em.status_4xx
+                            : status >= 200 && status < 300 ? em.status_2xx
+                                                            : nullptr;
+  if (status_counter != nullptr) status_counter->Increment();
 }
 
 void HttpServer::Stop() {
@@ -149,8 +205,10 @@ void HttpServer::HandleConnection(int fd) {
     request.append(buf, static_cast<size_t>(n));
   }
 
+  const int64_t t_start = NowMicros();
   HttpResponse response;
   HttpRequest parsed;
+  bool matched = false;
   size_t line_end = request.find("\r\n");
   std::string first_line =
       line_end == std::string::npos ? request : request.substr(0, line_end);
@@ -159,6 +217,7 @@ void HttpServer::HandleConnection(int fd) {
     response.status = 400;
     response.content_type = "text/plain";
     response.body = "bad request";
+    if (malformed_counter_ != nullptr) malformed_counter_->Increment();
   } else {
     parsed.method = parts[0];
     std::string target = parts[1];
@@ -182,15 +241,27 @@ void HttpServer::HandleConnection(int fd) {
       response.status = 404;
       response.content_type = "text/plain";
       response.body = "not found: " + parsed.path;
+    } else if (parsed.method != "GET" && parsed.method != "HEAD") {
+      // The dashboard API is read-only; a known path with a writing verb
+      // is a method error, not a missing resource.
+      matched = true;
+      response.status = 405;
+      response.content_type = "text/plain";
+      response.body = "method not allowed: " + parsed.method;
     } else {
+      matched = true;
       (*handler)(parsed, &response);
     }
   }
 
   requests_served_.fetch_add(1, std::memory_order_relaxed);
+  RecordRequestMetrics(matched ? parsed.path : "(unmatched)", response.status,
+                       NowMicros() - t_start);
   const char* status_text = response.status == 200   ? "OK"
                             : response.status == 400 ? "Bad Request"
                             : response.status == 404 ? "Not Found"
+                            : response.status == 405 ? "Method Not Allowed"
+                            : response.status == 500 ? "Internal Server Error"
                                                      : "Error";
   std::string out = StrFormat(
       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics_registry.h"
+#include "util/logging.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
 
@@ -58,6 +60,15 @@ class HttpServer {
   /// Registers a handler for an exact path. Must be called before Start.
   void Route(const std::string& path, Handler handler) RASED_EXCLUDES(mu_);
 
+  /// Points the server at a metrics registry. Must be called before Start;
+  /// Start then registers one rased_http_* series set per routed path plus
+  /// an "(unmatched)" endpoint, so the full family is visible from boot and
+  /// the per-request path is a pointer lookup with no registry lock.
+  void set_metrics(MetricsRegistry* registry) {
+    RASED_CHECK(!running_.load()) << "set_metrics() after Start()";
+    metrics_ = registry;
+  }
+
   /// Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts
   /// `num_threads` accept workers; each handles one connection at a time,
   /// so handlers run concurrently and must synchronize shared state
@@ -85,8 +96,22 @@ class HttpServer {
   static std::map<std::string, std::string> ParseQuery(std::string_view qs);
 
  private:
+  /// Metric handles for one endpoint label value (a routed path or
+  /// "(unmatched)"). Built in Start, immutable afterwards — worker threads
+  /// read them lock-free; the handles themselves are atomic.
+  struct EndpointMetrics {
+    Counter* requests = nullptr;       // rased_http_requests_total
+    Histogram* latency = nullptr;      // rased_http_request_micros
+    Counter* status_2xx = nullptr;     // rased_http_responses_total{class=}
+    Counter* status_4xx = nullptr;
+    Counter* status_5xx = nullptr;
+  };
+
   void AcceptLoop();
   void HandleConnection(int fd) RASED_EXCLUDES(mu_);
+  void InitMetricsLocked() RASED_REQUIRES(mu_);
+  void RecordRequestMetrics(const std::string& endpoint, int status,
+                            int64_t wall_micros);
 
   /// Guards route registration against lookup. Lookups happen on worker
   /// threads; registration is rejected once running_, so in practice the
@@ -101,6 +126,13 @@ class HttpServer {
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_served_{0};
   std::vector<std::thread> threads_;
+
+  /// Observability (all null / empty when no registry was attached).
+  /// endpoint_metrics_ is written once in Start before workers exist and
+  /// read-only afterwards, so workers look endpoints up without mu_.
+  MetricsRegistry* metrics_ = nullptr;
+  std::map<std::string, EndpointMetrics> endpoint_metrics_;
+  Counter* malformed_counter_ = nullptr;
 };
 
 }  // namespace rased

@@ -13,11 +13,53 @@ namespace {
 
 constexpr char kCatalogMagic[] = "rased-catalog v1";
 
+constexpr const char* kLevelNames[kNumLevels] = {"daily", "weekly", "monthly",
+                                                 "yearly"};
+
 }  // namespace
 
 TemporalIndex::TemporalIndex(TemporalIndexOptions options,
                              std::unique_ptr<Pager> pager)
-    : options_(std::move(options)), pager_(std::move(pager)) {}
+    : options_(std::move(options)), pager_(std::move(pager)) {
+  if (options_.metrics != nullptr) {
+    MetricsRegistry* registry = options_.metrics;
+    pager_->RegisterMetrics(registry, "index");
+    metrics_.cube_reads = registry->GetCounter(
+        "rased_index_cube_reads_total", "Cubes fetched from the index pager");
+    metrics_.days_appended = registry->GetCounter(
+        "rased_index_days_appended_total", "Daily cubes appended");
+    metrics_.month_rebuilds =
+        registry->GetCounter("rased_index_month_rebuilds_total",
+                             "Monthly-crawler rebuild passes applied");
+    for (int level = 0; level < kNumLevels; ++level) {
+      metrics_.cubes_per_level[level] =
+          registry->GetGauge("rased_index_cubes", "Cubes stored per level",
+                             {{"level", kLevelNames[level]}});
+    }
+    metrics_.file_bytes = registry->GetGauge(
+        "rased_index_file_bytes", "Bytes of the index page file on disk");
+  }
+}
+
+void TemporalIndex::UpdateStorageMetricsLocked() const {
+  if (metrics_.file_bytes == nullptr) return;
+  uint64_t per_level[kNumLevels] = {0, 0, 0, 0};
+  for (const auto& [key, page] : catalog_) {
+    ++per_level[static_cast<int>(key.level)];
+  }
+  for (int level = 0; level < kNumLevels; ++level) {
+    metrics_.cubes_per_level[level]->Set(
+        static_cast<int64_t>(per_level[level]));
+  }
+  metrics_.file_bytes->Set(
+      static_cast<int64_t>((pager_->num_pages() + 1) * pager_->page_size()));
+}
+
+void TemporalIndex::UpdateStorageMetrics() const {
+  if (metrics_.file_bytes == nullptr) return;
+  ReaderMutexLock lock(&mu_);
+  UpdateStorageMetricsLocked();
+}
 
 TemporalIndex::~TemporalIndex() {
   Status s = Sync();
@@ -117,6 +159,7 @@ Result<std::unique_ptr<TemporalIndex>> TemporalIndex::Open(
       return Status::Corruption("bad catalog line: " + std::string(line));
     }
   }
+  index->UpdateStorageMetricsLocked();
   return index;
 }
 
@@ -193,6 +236,7 @@ Result<DataCube> TemporalIndex::ReadCube(const CubeKey& key,
   }
   std::vector<unsigned char> buf(pager_->payload_size());
   RASED_RETURN_IF_ERROR(pager_->ReadPage(page, buf.data(), io));
+  if (metrics_.cube_reads != nullptr) metrics_.cube_reads->Increment();
   return DataCube::Deserialize(options_.schema, buf.data(), buf.size());
 }
 
@@ -221,6 +265,9 @@ Result<CubeBatch> TemporalIndex::ReadCubes(std::span<const CubeKey> keys,
     // the batched read scatters payloads at that stride straight into the
     // batch's aligned cell storage — no per-cube deserialize copy.
     RASED_RETURN_IF_ERROR(pager_->ReadPages(pages, batch.raw_bytes(), io));
+    if (metrics_.cube_reads != nullptr) {
+      metrics_.cube_reads->Increment(keys.size());
+    }
     return batch;
   }
   // Defensive fallback for foreign page files with oversized payloads.
@@ -229,6 +276,9 @@ Result<CubeBatch> TemporalIndex::ReadCubes(std::span<const CubeKey> keys,
   for (size_t i = 0; i < pages.size(); ++i) {
     RASED_RETURN_IF_ERROR(pager_->ReadPage(pages[i], buf.data(), io));
     std::memcpy(out + i * cube_bytes, buf.data(), cube_bytes);
+  }
+  if (metrics_.cube_reads != nullptr) {
+    metrics_.cube_reads->Increment(keys.size());
   }
   return batch;
 }
@@ -303,6 +353,8 @@ Status TemporalIndex::AppendDay(Date day, const DataCube& cube) {
                            BuildFromChildren(key, &latest_key, &latest));
     RASED_RETURN_IF_ERROR(WriteCube(key, yearly));
   }
+  if (metrics_.days_appended != nullptr) metrics_.days_appended->Increment();
+  UpdateStorageMetrics();
   return Status::OK();
 }
 
@@ -368,6 +420,8 @@ Status TemporalIndex::RebuildMonth(Date month_start,
         BuildFromChildren(yearly, nullptr, nullptr));
     RASED_RETURN_IF_ERROR(WriteCube(yearly, year_cube));
   }
+  if (metrics_.month_rebuilds != nullptr) metrics_.month_rebuilds->Increment();
+  UpdateStorageMetrics();
   return Status::OK();
 }
 

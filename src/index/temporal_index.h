@@ -11,6 +11,7 @@
 #include "cube/data_cube.h"
 #include "index/temporal_key.h"
 #include "io/pager.h"
+#include "obs/metrics_registry.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
 
@@ -30,6 +31,11 @@ struct TemporalIndexOptions {
 
   /// Device cost model applied to every cube page transfer.
   DeviceModel device;
+
+  /// When non-null, the index registers live rased_index_* metrics here
+  /// (cube reads/appends, per-level cube gauges, file bytes) and wires its
+  /// pager's rased_pager_*{file="index"} counters. Must outlive the index.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-level node counts and storage, for the paper's Section VI-A index
@@ -165,7 +171,24 @@ class TemporalIndex {
   static std::string CatalogPath(const std::string& dir);
   static std::string PagesPath(const std::string& dir);
 
+  /// Refreshes the per-level cube gauges and the file-bytes gauge from the
+  /// catalog. No-op when options_.metrics is null.
+  void UpdateStorageMetrics() const RASED_EXCLUDES(mu_);
+  void UpdateStorageMetricsLocked() const RASED_REQUIRES_SHARED(mu_);
+
   TemporalIndexOptions options_;
+
+  /// Registry handles (all set together in the constructor when
+  /// options_.metrics is non-null, else all null).
+  struct IndexMetrics {
+    Counter* cube_reads = nullptr;      // cubes fetched from disk
+    Counter* days_appended = nullptr;   // AppendDay completions
+    Counter* month_rebuilds = nullptr;  // RebuildMonth completions
+    Gauge* cubes_per_level[kNumLevels] = {nullptr, nullptr, nullptr, nullptr};
+    Gauge* file_bytes = nullptr;
+  };
+  IndexMetrics metrics_;
+
   // Page reads are pager-internal-atomic-safe from any thread; writes are
   // externally serialized (see the threading contract above). mu_ never
   // spans a page read/write, so metadata lookups stay cheap even while a

@@ -116,6 +116,13 @@ void Pager::ChargeReadRun(size_t pages, size_t bytes, IoStats* io) const {
     io->read_ops += 1;
     io->simulated_device_micros += micros;
   }
+  if (metrics_.page_reads != nullptr) {
+    metrics_.page_reads->Increment(pages);
+    metrics_.bytes_read->Increment(bytes);
+    metrics_.read_ops->Increment();
+    if (pages > 1) metrics_.coalesced_pages->Increment(pages);
+    metrics_.device_micros->Increment(static_cast<uint64_t>(micros));
+  }
 }
 
 void Pager::ChargeWrite(size_t bytes, IoStats* io) {
@@ -132,6 +139,39 @@ void Pager::ChargeWrite(size_t bytes, IoStats* io) {
     io->write_ops += 1;
     io->simulated_device_micros += micros;
   }
+  if (metrics_.page_writes != nullptr) {
+    metrics_.page_writes->Increment();
+    metrics_.bytes_written->Increment(bytes);
+    metrics_.write_ops->Increment();
+    metrics_.device_micros->Increment(static_cast<uint64_t>(micros));
+  }
+}
+
+void Pager::RegisterMetrics(MetricsRegistry* registry,
+                            std::string_view file_label) {
+  if (registry == nullptr) return;
+  MetricLabels labels{{"file", std::string(file_label)}};
+  metrics_.page_reads = registry->GetCounter(
+      "rased_pager_page_reads_total", "Pages transferred from disk", labels);
+  metrics_.page_writes = registry->GetCounter(
+      "rased_pager_page_writes_total", "Pages transferred to disk", labels);
+  metrics_.bytes_read = registry->GetCounter("rased_pager_bytes_read_total",
+                                             "Bytes read from disk", labels);
+  metrics_.bytes_written = registry->GetCounter(
+      "rased_pager_bytes_written_total", "Bytes written to disk", labels);
+  metrics_.read_ops = registry->GetCounter(
+      "rased_pager_read_ops_total",
+      "Device read operations (one per coalesced run of adjacent pages)",
+      labels);
+  metrics_.write_ops = registry->GetCounter("rased_pager_write_ops_total",
+                                            "Device write operations", labels);
+  metrics_.coalesced_pages = registry->GetCounter(
+      "rased_pager_coalesced_pages_total",
+      "Pages read as part of multi-page coalesced runs", labels);
+  metrics_.device_micros = registry->GetCounter(
+      "rased_pager_device_micros_total",
+      "Simulated device-model time charged for transfers (microseconds)",
+      labels);
 }
 
 }  // namespace rased

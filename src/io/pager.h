@@ -6,8 +6,10 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "io/page_file.h"
+#include "obs/metrics_registry.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -151,6 +153,14 @@ class Pager {
   const DeviceModel& device() const { return device_; }
   void set_device(const DeviceModel& device) { device_ = device; }
 
+  /// Registers this pager's transfer counters in `registry` as the
+  /// rased_pager_* families labeled {file=<file_label>} ("index",
+  /// "warehouse", ...). Call once, before concurrent traffic (right after
+  /// Create/Open); the live counters mirror every subsequent charge and,
+  /// unlike stats(), are never reset by ResetStats(). Passing nullptr is a
+  /// no-op, leaving the pager unmetered.
+  void RegisterMetrics(MetricsRegistry* registry, std::string_view file_label);
+
   Status Sync() { return file_->Sync(); }
 
  private:
@@ -165,6 +175,21 @@ class Pager {
 
   std::unique_ptr<PageFile> file_;
   DeviceModel device_;
+
+  /// Registry handles (all set together by RegisterMetrics, else all
+  /// null). Updated with relaxed atomics inside the Charge functions, so
+  /// metering adds no locking to the read path.
+  struct PagerMetrics {
+    Counter* page_reads = nullptr;
+    Counter* page_writes = nullptr;
+    Counter* bytes_read = nullptr;
+    Counter* bytes_written = nullptr;
+    Counter* read_ops = nullptr;
+    Counter* write_ops = nullptr;
+    Counter* coalesced_pages = nullptr;
+    Counter* device_micros = nullptr;
+  };
+  PagerMetrics metrics_;
 
   // Global running totals. Relaxed ordering: the counters are monotonic
   // telemetry, never used to synchronize data.

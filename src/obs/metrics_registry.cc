@@ -1,0 +1,260 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rased {
+
+namespace {
+
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 c == '_' || c == ':';
+    bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (i > 0 && digit))) return false;
+  }
+  return true;
+}
+
+bool IsValidLabelKey(std::string_view key) {
+  if (key.empty()) return false;
+  for (size_t i = 0; i < key.size(); ++i) {
+    char c = key[i];
+    bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (i > 0 && digit))) return false;
+  }
+  return true;
+}
+
+// Prometheus label-value escaping: backslash, double quote, newline.
+void AppendEscapedLabelValue(std::string_view value, std::string* out) {
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+// HELP text escaping: backslash and newline only (no quotes in HELP).
+void AppendEscapedHelp(std::string_view help, std::string* out) {
+  for (char c : help) {
+    if (c == '\\') {
+      out->append("\\\\");
+    } else if (c == '\n') {
+      out->append("\\n");
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+// Splices `le="<bound>"` into an already-rendered label string.
+std::string WithLeLabel(const std::string& label_string,
+                        const std::string& bound) {
+  std::string out;
+  if (label_string.empty()) {
+    out = "{le=\"" + bound + "\"}";
+  } else {
+    out = label_string.substr(0, label_string.size() - 1) + ",le=\"" + bound +
+          "\"}";
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(const HistogramOptions& options) {
+  RASED_CHECK(options.first_bound >= 0);
+  RASED_CHECK(options.growth > 1.0);
+  RASED_CHECK(options.num_buckets >= 1);
+  bounds_.reserve(static_cast<size_t>(options.num_buckets));
+  int64_t bound = options.first_bound;
+  for (int i = 0; i < options.num_buckets; ++i) {
+    bounds_.push_back(bound);
+    // Force strictly increasing integer bounds even when growth rounds to
+    // the same value (e.g. growth=1.1 near 1).
+    int64_t next = static_cast<int64_t>(
+        std::llround(static_cast<double>(bound) * options.growth));
+    bound = std::max(bound + 1, next);
+  }
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::Observe(int64_t value) {
+  // First finite bucket whose (inclusive) upper bound admits the value.
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  size_t idx = static_cast<size_t>(it - bounds_.begin());  // == size: +Inf
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return registry;
+}
+
+std::string MetricsRegistry::RenderLabelString(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    RASED_CHECK(IsValidLabelKey(sorted[i].first))
+        << "bad label key: " << sorted[i].first;
+    if (i > 0) {
+      RASED_CHECK(sorted[i].first != sorted[i - 1].first)
+          << "duplicate label key: " << sorted[i].first;
+      out.push_back(',');
+    }
+    out += sorted[i].first;
+    out += "=\"";
+    AppendEscapedLabelValue(sorted[i].second, &out);
+    out += "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+MetricsRegistry::Family* MetricsRegistry::FamilyFor(std::string_view name,
+                                                    std::string_view help,
+                                                    Type type) {
+  RASED_CHECK(IsValidMetricName(name))
+      << "bad metric name: " << std::string(name);
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.type = type;
+    family.help = std::string(help);
+    it = families_.emplace(std::string(name), std::move(family)).first;
+  } else {
+    RASED_CHECK(it->second.type == type)
+        << "metric family re-registered as different type: "
+        << std::string(name);
+  }
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help,
+                                     const MetricLabels& labels) {
+  std::string key = RenderLabelString(labels);
+  MutexLock lock(&mu_);
+  Family* family = FamilyFor(name, help, Type::kCounter);
+  auto it = family->counters.find(key);
+  if (it == family->counters.end()) {
+    it = family->counters
+             .emplace(std::move(key), std::unique_ptr<Counter>(new Counter))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
+                                 const MetricLabels& labels) {
+  std::string key = RenderLabelString(labels);
+  MutexLock lock(&mu_);
+  Family* family = FamilyFor(name, help, Type::kGauge);
+  auto it = family->gauges.find(key);
+  if (it == family->gauges.end()) {
+    it = family->gauges
+             .emplace(std::move(key), std::unique_ptr<Gauge>(new Gauge))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         const HistogramOptions& options,
+                                         const MetricLabels& labels) {
+  std::string key = RenderLabelString(labels);
+  MutexLock lock(&mu_);
+  Family* family = FamilyFor(name, help, Type::kHistogram);
+  if (family->histograms.empty()) family->histogram_options = options;
+  auto it = family->histograms.find(key);
+  if (it == family->histograms.end()) {
+    it = family->histograms
+             .emplace(std::move(key), std::unique_ptr<Histogram>(new Histogram(
+                                          family->histogram_options)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::string out;
+  MutexLock lock(&mu_);
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " ";
+    AppendEscapedHelp(family.help, &out);
+    out += "\n# TYPE " + name + " ";
+    switch (family.type) {
+      case Type::kCounter:
+        out += "counter\n";
+        for (const auto& [labels, counter] : family.counters) {
+          out += name + labels + " " + std::to_string(counter->value()) + "\n";
+        }
+        break;
+      case Type::kGauge:
+        out += "gauge\n";
+        for (const auto& [labels, gauge] : family.gauges) {
+          out += name + labels + " " + std::to_string(gauge->value()) + "\n";
+        }
+        break;
+      case Type::kHistogram:
+        out += "histogram\n";
+        for (const auto& [labels, histogram] : family.histograms) {
+          uint64_t cumulative = 0;
+          for (int i = 0; i < histogram->num_finite_buckets(); ++i) {
+            cumulative += histogram->bucket_count(i);
+            out += name + "_bucket" +
+                   WithLeLabel(labels,
+                               std::to_string(histogram->bucket_bound(i))) +
+                   " " + std::to_string(cumulative) + "\n";
+          }
+          cumulative +=
+              histogram->bucket_count(histogram->num_finite_buckets());
+          out += name + "_bucket" + WithLeLabel(labels, "+Inf") + " " +
+                 std::to_string(cumulative) + "\n";
+          out += name + "_sum" + labels + " " +
+                 std::to_string(histogram->sum()) + "\n";
+          // _count must equal the +Inf bucket for a self-consistent
+          // exposition, so it is derived from the same bucket sweep.
+          out += name + "_count" + labels + " " + std::to_string(cumulative) +
+                 "\n";
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+size_t MetricsRegistry::num_series() const {
+  MutexLock lock(&mu_);
+  size_t n = 0;
+  for (const auto& [name, family] : families_) {
+    n += family.counters.size() + family.gauges.size() +
+         family.histograms.size();
+  }
+  return n;
+}
+
+}  // namespace rased

@@ -1,0 +1,182 @@
+#ifndef RASED_OBS_METRICS_REGISTRY_H_
+#define RASED_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace rased {
+
+/// Process observability primitives (see DESIGN.md §8). A MetricsRegistry
+/// owns named counter/gauge/histogram series; components fetch cheap
+/// handles once (a mutex-guarded map lookup) and update them lock-free on
+/// the hot path (one relaxed atomic op per update), so instrumentation is
+/// safe under the dashboard's 8-worker concurrency and TSan-clean.
+///
+/// Determinism contract: metrics fed from the device model (pager
+/// transfer counts, simulated device micros, cache hits/misses under the
+/// static policies, per-query device-time histograms) are pure functions
+/// of the workload and therefore bit-identical between serial and
+/// concurrent runs of the same query set. Wall-clock metrics (cpu/latency
+/// histograms) are not, but are exactly assertable under a test clock
+/// (util/clock.h SetClockForTesting).
+
+/// Monotonically increasing event count. Overflow wraps modulo 2^64 (the
+/// usual Prometheus client behavior); at one increment per nanosecond
+/// that is ~584 years away.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A settable instantaneous value (resident cubes, ingest lag, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed exponential bucket layout: finite bucket i covers values up to
+/// and including bound[i] = round(first_bound * growth^i) (bounds are
+/// forced strictly increasing), plus one implicit +Inf overflow bucket.
+/// The defaults span 1us..2^29us (~9 min) at 2x resolution — wide enough
+/// for every latency this system produces.
+struct HistogramOptions {
+  int64_t first_bound = 1;
+  double growth = 2.0;
+  int num_buckets = 30;
+};
+
+/// Latency/size distribution with atomic per-bucket counts. Observe is
+/// wait-free: one bounds lookup plus three relaxed atomic adds. A value
+/// landing exactly on a bucket bound counts into that bucket (Prometheus
+/// `le` is inclusive). Negative values clamp into the first bucket.
+class Histogram {
+ public:
+  void Observe(int64_t value);
+
+  int num_finite_buckets() const { return static_cast<int>(bounds_.size()); }
+  int64_t bucket_bound(int i) const {
+    return bounds_[static_cast<size_t>(i)];
+  }
+  /// i in [0, num_finite_buckets()]; the last index is the +Inf bucket.
+  uint64_t bucket_count(int i) const {
+    return counts_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(const HistogramOptions& options);
+
+  std::vector<int64_t> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Label set of one series, e.g. {{"file", "index"}}. Keys are sorted
+/// internally, so label order at the call site does not create distinct
+/// series. Cardinality rule (DESIGN.md §8): label values must come from
+/// small closed sets known at compile/startup time (route table, level
+/// names, status classes) — never from request input.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Named metric families, each holding one or more labeled series.
+///
+/// Get* returns a stable handle: the same (name, labels) pair always
+/// yields the same pointer, valid for the registry's lifetime, and the
+/// help/options of the first registration win. Requesting an existing
+/// family as a different type is a programmer error (RASED_CHECK).
+///
+/// Thread safety: Get*/Render/num_series are safe from any thread; handle
+/// updates are lock-free (see Counter/Gauge/Histogram).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry for code with no injection path. Components in
+  /// this codebase take a registry pointer instead (each Rased instance
+  /// owns a private registry by default), which keeps tests isolated.
+  static MetricsRegistry* Global();
+
+  /// Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]* and by convention
+  /// are rased_<component>_<quantity>[_total|_micros|_bytes].
+  Counter* GetCounter(std::string_view name, std::string_view help,
+                      const MetricLabels& labels = {}) RASED_EXCLUDES(mu_);
+  Gauge* GetGauge(std::string_view name, std::string_view help,
+                  const MetricLabels& labels = {}) RASED_EXCLUDES(mu_);
+  Histogram* GetHistogram(std::string_view name, std::string_view help,
+                          const HistogramOptions& options = {},
+                          const MetricLabels& labels = {})
+      RASED_EXCLUDES(mu_);
+
+  /// Prometheus text exposition (format 0.0.4): # HELP/# TYPE per family,
+  /// one line per series, histograms as cumulative _bucket/_sum/_count.
+  /// Families and series are emitted in sorted order, so two registries
+  /// holding equal values render byte-identical documents.
+  std::string RenderPrometheus() const RASED_EXCLUDES(mu_);
+
+  /// Number of registered series across all families (histogram = 1).
+  size_t num_series() const RASED_EXCLUDES(mu_);
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Family {
+    Type type = Type::kCounter;
+    std::string help;
+    HistogramOptions histogram_options;
+    // Keyed by the rendered label string ("" or {k="v",...}), which keeps
+    // exposition order deterministic.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Family* FamilyFor(std::string_view name, std::string_view help, Type type)
+      RASED_REQUIRES(mu_);
+  static std::string RenderLabelString(const MetricLabels& labels);
+
+  mutable Mutex mu_;
+  std::map<std::string, Family, std::less<>> families_ RASED_GUARDED_BY(mu_);
+};
+
+}  // namespace rased
+
+#endif  // RASED_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,65 @@
+#include "obs/query_trace.h"
+
+#include <sstream>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace rased {
+
+TraceRecorder::TraceRecorder(const TraceRecorderOptions& options,
+                             MetricsRegistry* metrics)
+    : options_(options) {
+  RASED_CHECK(options_.capacity >= 1);
+  if (metrics != nullptr) {
+    recorded_counter_ = metrics->GetCounter(
+        "rased_traces_recorded_total", "Query traces recorded (ring + slow)");
+    slow_counter_ = metrics->GetCounter(
+        "rased_slow_queries_total",
+        "Queries whose wall+device time exceeded the slow-query threshold");
+  }
+}
+
+uint64_t TraceRecorder::Record(QueryTrace trace) {
+  bool slow = options_.slow_query_micros > 0 &&
+              trace.total_micros() > options_.slow_query_micros;
+  uint64_t id = 0;
+  {
+    MutexLock lock(&mu_);
+    id = next_id_++;
+    trace.id = id;
+    if (slow) {
+      std::ostringstream line;
+      line << "slow query #" << id << ": total=" << trace.total_micros()
+           << "us (wall=" << trace.wall_micros
+           << "us device=" << trace.device_micros
+           << "us) cubes=" << trace.cubes_total << " ("
+           << trace.cubes_from_cache << " cached, " << trace.cubes_from_disk
+           << " disk) read_ops=" << trace.read_ops
+           << " bytes_read=" << trace.bytes_read;
+      for (const TraceSpan& span : trace.spans) {
+        line << " " << span.name << "=" << span.wall_micros << "+"
+             << span.device_micros << "us";
+      }
+      line << " query={" << trace.summary << "}";
+      RASED_LOG(Warning) << line.str();
+    }
+    ring_.push_back(std::move(trace));
+    while (ring_.size() > options_.capacity) ring_.pop_front();
+  }
+  if (recorded_counter_ != nullptr) recorded_counter_->Increment();
+  if (slow && slow_counter_ != nullptr) slow_counter_->Increment();
+  return id;
+}
+
+std::vector<QueryTrace> TraceRecorder::Snapshot() const {
+  MutexLock lock(&mu_);
+  return std::vector<QueryTrace>(ring_.begin(), ring_.end());
+}
+
+uint64_t TraceRecorder::total_recorded() const {
+  MutexLock lock(&mu_);
+  return next_id_ - 1;
+}
+
+}  // namespace rased

@@ -1,0 +1,92 @@
+#ifndef RASED_OBS_QUERY_TRACE_H_
+#define RASED_OBS_QUERY_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "util/thread_annotations.h"
+
+namespace rased {
+
+/// One stage of a query's execution. Every span carries two clocks:
+///  - wall_micros: real elapsed time (util/clock.h NowMicros, overridable
+///    in tests), nondeterministic in production;
+///  - device_micros: simulated device-model time charged by the pager
+///    while this stage ran — a pure function of the workload, so
+///    bit-identical between serial and concurrent runs.
+struct TraceSpan {
+  std::string name;
+  int64_t wall_micros = 0;
+  int64_t device_micros = 0;
+};
+
+/// A completed query's trace: identity, headline timings, the device-model
+/// transfer profile, and the per-stage spans
+/// (plan -> cache_probe -> fetch -> aggregate -> render).
+struct QueryTrace {
+  uint64_t id = 0;          // assigned by TraceRecorder::Record
+  std::string summary;      // human-readable query description
+  int64_t wall_micros = 0;  // end-to-end wall time
+  int64_t device_micros = 0;
+  uint64_t cubes_total = 0;
+  uint64_t cubes_from_cache = 0;
+  uint64_t cubes_from_disk = 0;
+  uint64_t page_reads = 0;
+  uint64_t read_ops = 0;
+  uint64_t bytes_read = 0;
+  std::vector<TraceSpan> spans;
+
+  /// wall + simulated device time: what an end user of the modeled
+  /// hardware would experience; this is what the slow-query threshold
+  /// compares against.
+  int64_t total_micros() const { return wall_micros + device_micros; }
+};
+
+struct TraceRecorderOptions {
+  /// Ring-buffer capacity: how many recent traces /api/trace can return.
+  size_t capacity = 64;
+  /// Queries whose total_micros exceeds this log one WARN line with the
+  /// full span breakdown. <= 0 disables slow-query logging.
+  int64_t slow_query_micros = 250000;
+};
+
+/// Bounded ring buffer of recent query traces with slow-query logging.
+/// Record/Snapshot are safe from any thread (one short mutex section; the
+/// buffer is tiny and copies are cheap relative to query execution).
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(const TraceRecorderOptions& options = {},
+                         MetricsRegistry* metrics = nullptr);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Assigns the trace a process-unique id, appends it to the ring
+  /// (evicting the oldest beyond capacity), emits the slow-query log line
+  /// when over threshold, and returns the assigned id.
+  uint64_t Record(QueryTrace trace) RASED_EXCLUDES(mu_);
+
+  /// The retained traces, oldest first.
+  std::vector<QueryTrace> Snapshot() const RASED_EXCLUDES(mu_);
+
+  /// Total traces ever recorded (not bounded by capacity).
+  uint64_t total_recorded() const RASED_EXCLUDES(mu_);
+
+  const TraceRecorderOptions& options() const { return options_; }
+
+ private:
+  const TraceRecorderOptions options_;
+  Counter* recorded_counter_ = nullptr;  // rased_traces_recorded_total
+  Counter* slow_counter_ = nullptr;      // rased_slow_queries_total
+
+  mutable Mutex mu_;
+  uint64_t next_id_ RASED_GUARDED_BY(mu_) = 1;
+  std::deque<QueryTrace> ring_ RASED_GUARDED_BY(mu_);
+};
+
+}  // namespace rased
+
+#endif  // RASED_OBS_QUERY_TRACE_H_

@@ -8,6 +8,7 @@
 #include "collect/update_record.h"
 #include "geo/world_map.h"
 #include "io/pager.h"
+#include "obs/query_trace.h"
 #include "osm/element.h"
 #include "osm/road_types.h"
 #include "util/date.h"
@@ -93,6 +94,10 @@ struct QueryStats {
 struct QueryResult {
   std::vector<ResultRow> rows;
   QueryStats stats;
+  /// Per-stage spans (plan, cache_probe, fetch, aggregate) recorded by the
+  /// executor; the serving layer appends a render span and hands the whole
+  /// trace to the TraceRecorder behind /api/trace.
+  std::vector<TraceSpan> spans;
 };
 
 }  // namespace rased

@@ -12,12 +12,28 @@
 namespace rased {
 
 QueryExecutor::QueryExecutor(const TemporalIndex* index, CubeCache* cache,
-                             const WorldMap* world, PlanMode mode)
+                             const WorldMap* world, PlanMode mode,
+                             MetricsRegistry* metrics)
     : index_(index),
       cache_(cache),
       world_(world),
       mode_(mode),
-      optimizer_(index, cache) {}
+      optimizer_(index, cache) {
+  if (metrics != nullptr) {
+    metrics_.queries =
+        metrics->GetCounter("rased_queries_total", "Analysis queries executed");
+    metrics_.errors = metrics->GetCounter("rased_query_errors_total",
+                                          "Analysis queries that failed");
+    metrics_.cubes_scanned = metrics->GetCounter(
+        "rased_query_cubes_scanned_total", "Cubes aggregated across queries");
+    metrics_.cpu_micros = metrics->GetHistogram(
+        "rased_query_cpu_micros",
+        "Per-query wall time of planning + aggregation (microseconds)");
+    metrics_.device_micros = metrics->GetHistogram(
+        "rased_query_device_micros",
+        "Per-query simulated device-model time (microseconds)");
+  }
+}
 
 QueryPlan QueryExecutor::PlanFor(const AnalysisQuery& query) const {
   DateRange window = query.range.Intersect(index_->coverage());
@@ -66,11 +82,12 @@ CubeSlice SliceFor(const AnalysisQuery& query, const WorldMap& world) {
 
 Result<QueryResult> QueryExecutor::Execute(const AnalysisQuery& query) const {
   if (query.percentage && !query.group_country) {
+    if (metrics_.errors != nullptr) metrics_.errors->Increment();
     return Status::InvalidArgument(
         "Percentage(*) requires grouping by Country (the denominator is the "
         "country's road-network size)");
   }
-  StopWatch watch;
+  const int64_t t_start = NowMicros();
 
   QueryResult result;
   QueryPlan plan = PlanFor(query);
@@ -78,6 +95,7 @@ Result<QueryResult> QueryExecutor::Execute(const AnalysisQuery& query) const {
   result.stats.cubes_total = n;
 
   CubeSlice slice = SliceFor(query, *world_);
+  const int64_t t_planned = NowMicros();
 
   // ---- Phase 1: gather. Probe the cache for every planned cube up
   // front, then fetch all misses in ONE batched index read so physically
@@ -100,11 +118,15 @@ Result<QueryResult> QueryExecutor::Execute(const AnalysisQuery& query) const {
     ++result.stats.cubes_per_level[static_cast<int>(key.level)];
   }
   result.stats.cubes_from_disk = miss_keys.size();
+  const int64_t t_probed = NowMicros();
 
   CubeBatch fetched;
   if (!miss_keys.empty()) {
     auto batch = index_->ReadCubes(miss_keys, &result.stats.io);
-    if (!batch.ok()) return batch.status();
+    if (!batch.ok()) {
+      if (metrics_.errors != nullptr) metrics_.errors->Increment();
+      return batch.status();
+    }
     fetched = std::move(batch).value();
     if (cache_ != nullptr && cache_->AdmitsOnQuery()) {
       // LRU only: materialize a copy out of the batch and move it in —
@@ -114,6 +136,7 @@ Result<QueryResult> QueryExecutor::Execute(const AnalysisQuery& query) const {
       }
     }
   }
+  const int64_t t_fetched = NowMicros();
 
   // ---- Phase 2: aggregate. A flat dense accumulator indexed by the
   // packed grouped coordinates replaces the former per-cell map: cubes
@@ -210,7 +233,25 @@ Result<QueryResult> QueryExecutor::Execute(const AnalysisQuery& query) const {
 
   // The device model charges virtual time rather than sleeping, so the
   // measured wall time is pure CPU; total_micros() adds the device charge.
-  result.stats.cpu_micros = watch.ElapsedMicros();
+  const int64_t t_done = NowMicros();
+  result.stats.cpu_micros = t_done - t_start;
+
+  // Span breakdown for /api/trace. All simulated device time is charged
+  // during the batched miss fetch, so only that span carries device
+  // micros; the wall components partition cpu_micros exactly.
+  result.spans = {
+      {"plan", t_planned - t_start, 0},
+      {"cache_probe", t_probed - t_planned, 0},
+      {"fetch", t_fetched - t_probed, result.stats.io.simulated_device_micros},
+      {"aggregate", t_done - t_fetched, 0},
+  };
+
+  if (metrics_.queries != nullptr) {
+    metrics_.queries->Increment();
+    metrics_.cubes_scanned->Increment(result.stats.cubes_total);
+    metrics_.cpu_micros->Observe(result.stats.cpu_micros);
+    metrics_.device_micros->Observe(result.stats.io.simulated_device_micros);
+  }
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include "cache/cube_cache.h"
 #include "geo/world_map.h"
 #include "index/temporal_index.h"
+#include "obs/metrics_registry.h"
 #include "query/analysis_query.h"
 #include "query/level_optimizer.h"
 #include "util/result.h"
@@ -35,9 +36,13 @@ enum class PlanMode {
 class QueryExecutor {
  public:
   /// `cache` may be null (uncached variants). `world` supplies zone names
-  /// and road-network sizes for Percentage(*) queries.
+  /// and road-network sizes for Percentage(*) queries. `metrics`, when
+  /// non-null, receives live rased_query_* counters and latency histograms
+  /// (registered eagerly here, so /metrics shows the families from boot);
+  /// it must outlive the executor.
   QueryExecutor(const TemporalIndex* index, CubeCache* cache,
-                const WorldMap* world, PlanMode mode = PlanMode::kOptimized);
+                const WorldMap* world, PlanMode mode = PlanMode::kOptimized,
+                MetricsRegistry* metrics = nullptr);
 
   /// Runs one analysis query.
   Result<QueryResult> Execute(const AnalysisQuery& query) const;
@@ -54,6 +59,18 @@ class QueryExecutor {
   const WorldMap* world_;
   PlanMode mode_;
   LevelOptimizer optimizer_;
+
+  /// Registry handles (all set together in the constructor when `metrics`
+  /// is non-null, else all null). Updated lock-free per execution, so the
+  /// stateless-const threading contract above is unchanged.
+  struct QueryMetrics {
+    Counter* queries = nullptr;
+    Counter* errors = nullptr;
+    Counter* cubes_scanned = nullptr;
+    Histogram* cpu_micros = nullptr;     // wall time (fake-clock testable)
+    Histogram* device_micros = nullptr;  // deterministic device-model time
+  };
+  QueryMetrics metrics_;
 };
 
 }  // namespace rased

@@ -1,24 +1,80 @@
 #ifndef RASED_UTIL_CLOCK_H_
 #define RASED_UTIL_CLOCK_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
 namespace rased {
 
+/// Overridable time source. All wall-clock reads in the serving path
+/// (StopWatch, query/span timings, HTTP latency histograms) go through
+/// NowMicros() below, so tests can install a FakeClock and assert
+/// wall-clock metrics exactly.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic time in microseconds. The epoch is arbitrary; only
+  /// differences are meaningful.
+  virtual int64_t NowMicros() = 0;
+};
+
+namespace clock_internal {
+/// The test override, or nullptr for the real steady clock. Inline so the
+/// header stays dependency-free for hot-path users.
+inline std::atomic<Clock*>& OverrideSlot() {
+  static std::atomic<Clock*> slot{nullptr};
+  return slot;
+}
+}  // namespace clock_internal
+
+/// Current monotonic time in microseconds (steady_clock unless a test
+/// clock is installed).
+inline int64_t NowMicros() {
+  Clock* override_clock =
+      clock_internal::OverrideSlot().load(std::memory_order_acquire);
+  if (override_clock != nullptr) return override_clock->NowMicros();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Installs `clock` as the process time source (nullptr restores the real
+/// clock). The caller keeps ownership and must keep the clock alive until
+/// reset; intended for tests only.
+inline void SetClockForTesting(Clock* clock) {
+  clock_internal::OverrideSlot().store(clock, std::memory_order_release);
+}
+
+/// Manually advanced clock for deterministic wall-time assertions.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(int64_t now_micros = 0) : now_(now_micros) {}
+
+  int64_t NowMicros() override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void Advance(int64_t micros) {
+    now_.fetch_add(micros, std::memory_order_relaxed);
+  }
+  void Set(int64_t now_micros) {
+    now_.store(now_micros, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
 /// Monotonic wall-clock stopwatch used by query statistics and benchmarks.
+/// Reads through NowMicros(), so it honors SetClockForTesting.
 class StopWatch {
  public:
-  StopWatch() : start_(Now()) {}
+  StopWatch() : start_(NowMicros()) {}
 
-  void Reset() { start_ = Now(); }
+  void Reset() { start_ = NowMicros(); }
 
   /// Elapsed time since construction/Reset in microseconds.
-  int64_t ElapsedMicros() const {
-    return std::chrono::duration_cast<std::chrono::microseconds>(Now() -
-                                                                 start_)
-        .count();
-  }
+  int64_t ElapsedMicros() const { return NowMicros() - start_; }
 
   double ElapsedMillis() const {
     return static_cast<double>(ElapsedMicros()) / 1000.0;
@@ -29,10 +85,7 @@ class StopWatch {
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  static Clock::time_point Now() { return Clock::now(); }
-
-  Clock::time_point start_;
+  int64_t start_;
 };
 
 }  // namespace rased

@@ -1,7 +1,11 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <thread>
 
 #include "util/thread_annotations.h"
 
@@ -45,6 +49,28 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+/// Writes the stable line prefix documented on LogMessage in logging.h:
+/// [<ISO-8601 UTC ms Z> <LEVEL> <thread-id> <basename>:<line>]
+void EmitLinePrefix(std::ostream& os, const char* level_name,
+                    const char* file, int line) {
+  auto now = std::chrono::system_clock::now();
+  std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    now.time_since_epoch())
+                    .count() %
+                1000;
+  if (millis < 0) millis += 1000;  // pre-epoch clocks (paranoia)
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char stamp[64];
+  std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(millis));
+  os << "[" << stamp << " " << level_name << " "
+     << std::this_thread::get_id() << " " << Basename(file) << ":" << line
+     << "] ";
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() {
@@ -60,8 +86,7 @@ namespace internal_logging {
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(level >= GetLogLevel()) {
   if (enabled_) {
-    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-            << "] ";
+    EmitLinePrefix(stream_, LevelName(level), file, line);
   }
 }
 
@@ -74,7 +99,7 @@ LogMessage::~LogMessage() {
 }
 
 FatalLogMessage::FatalLogMessage(const char* file, int line) {
-  stream_ << "[FATAL " << Basename(file) << ":" << line << "] ";
+  EmitLinePrefix(stream_, "FATAL", file, line);
 }
 
 FatalLogMessage::~FatalLogMessage() {

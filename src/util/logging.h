@@ -19,6 +19,16 @@ void SetLogLevel(LogLevel level);
 namespace internal_logging {
 
 /// Stream-style log sink that emits one line to stderr on destruction.
+///
+/// Line format (stable — parsed by log-shipping configs; correlate the
+/// thread id with /api/trace span output):
+///
+///   [<ISO-8601 UTC, ms precision, Z suffix> <LEVEL> <thread-id>
+///    <basename>:<line>] <message>     (one line; wrapped here for width)
+///
+/// e.g. [2026-08-07T09:14:03.218Z WARN 139637242332736 pager.cc:87] ...
+/// LEVEL is one of DEBUG/INFO/WARN/ERROR (FATAL for aborting checks);
+/// <thread-id> is the platform thread id as printed by std::thread::id.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

@@ -1,0 +1,227 @@
+#include "obs/metrics_registry.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+TEST(MetricsRegistryTest, CounterIncrementsAndReadsBack) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("rased_test_total", "test counter");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndSharedByNameAndLabels) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("rased_test_total", "help");
+  Counter* b = registry.GetCounter("rased_test_total", "different help");
+  EXPECT_EQ(a, b);  // first registration wins; same series, same handle
+
+  MetricLabels fwd{{"file", "index"}, {"op", "read"}};
+  MetricLabels rev{{"op", "read"}, {"file", "index"}};
+  Counter* l1 = registry.GetCounter("rased_labeled_total", "h", fwd);
+  Counter* l2 = registry.GetCounter("rased_labeled_total", "h", rev);
+  EXPECT_EQ(l1, l2);  // label order does not create a distinct series
+  EXPECT_NE(l1, a);
+
+  Counter* other =
+      registry.GetCounter("rased_labeled_total", "h", {{"file", "warehouse"}});
+  EXPECT_NE(other, l1);
+  EXPECT_EQ(registry.num_series(), 3u);
+}
+
+TEST(MetricsRegistryTest, CounterOverflowWrapsModulo64Bits) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("rased_wrap_total", "wraps");
+  c->Increment(std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(c->value(), std::numeric_limits<uint64_t>::max());
+  c->Increment(3);
+  EXPECT_EQ(c->value(), 2u);  // max + 3 == 2 (mod 2^64)
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("rased_test_cubes", "gauge");
+  g->Set(10);
+  g->Add(-3);
+  EXPECT_EQ(g->value(), 7);
+  g->Set(-5);
+  EXPECT_EQ(g->value(), -5);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketEdgesAreInclusive) {
+  MetricsRegistry registry;
+  HistogramOptions options;
+  options.first_bound = 10;
+  options.growth = 2.0;
+  options.num_buckets = 4;
+  Histogram* h =
+      registry.GetHistogram("rased_test_micros", "edges", options);
+
+  ASSERT_EQ(h->num_finite_buckets(), 4);
+  EXPECT_EQ(h->bucket_bound(0), 10);
+  EXPECT_EQ(h->bucket_bound(1), 20);
+  EXPECT_EQ(h->bucket_bound(2), 40);
+  EXPECT_EQ(h->bucket_bound(3), 80);
+
+  h->Observe(10);  // exactly on a bound: le is inclusive -> bucket 0
+  h->Observe(11);  // just over -> bucket 1
+  h->Observe(80);  // last finite bound -> bucket 3
+  h->Observe(81);  // overflow -> +Inf bucket
+  h->Observe(-7);  // negative clamps into the first bucket
+
+  EXPECT_EQ(h->bucket_count(0), 2u);
+  EXPECT_EQ(h->bucket_count(1), 1u);
+  EXPECT_EQ(h->bucket_count(2), 0u);
+  EXPECT_EQ(h->bucket_count(3), 1u);
+  EXPECT_EQ(h->bucket_count(4), 1u);  // +Inf
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_EQ(h->sum(), 10 + 11 + 80 + 81 - 7);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundsAreForcedStrictlyIncreasing) {
+  MetricsRegistry registry;
+  HistogramOptions options;
+  options.first_bound = 1;
+  options.growth = 1.01;  // rounds to the same bound without the +1 floor
+  options.num_buckets = 5;
+  Histogram* h = registry.GetHistogram("rased_flat_micros", "flat", options);
+  for (int i = 0; i < h->num_finite_buckets(); ++i) {
+    EXPECT_EQ(h->bucket_bound(i), i + 1);
+  }
+}
+
+TEST(MetricsRegistryTest, DefaultHistogramSpansMicrosecondsToMinutes) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("rased_default_micros", "defaults");
+  ASSERT_EQ(h->num_finite_buckets(), 30);
+  EXPECT_EQ(h->bucket_bound(0), 1);
+  EXPECT_EQ(h->bucket_bound(29), int64_t{1} << 29);
+}
+
+TEST(MetricsRegistryTest, PrometheusRenderFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("rased_reqs_total", "requests", {{"endpoint", "/"}})
+      ->Increment(3);
+  registry.GetGauge("rased_resident_cubes", "resident")->Set(12);
+  HistogramOptions options;
+  options.first_bound = 10;
+  options.growth = 2.0;
+  options.num_buckets = 2;
+  Histogram* h = registry.GetHistogram("rased_lat_micros", "latency", options);
+  h->Observe(5);
+  h->Observe(15);
+  h->Observe(100);
+
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP rased_reqs_total requests\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rased_reqs_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rased_reqs_total{endpoint=\"/\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rased_resident_cubes gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rased_resident_cubes 12\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rased_lat_micros histogram\n"),
+            std::string::npos);
+  // Buckets are cumulative and _count equals the +Inf bucket.
+  EXPECT_NE(text.find("rased_lat_micros_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rased_lat_micros_bucket{le=\"20\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rased_lat_micros_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rased_lat_micros_sum 120\n"), std::string::npos);
+  EXPECT_NE(text.find("rased_lat_micros_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusEscapesLabelValuesAndHelp) {
+  MetricsRegistry registry;
+  registry
+      .GetCounter("rased_esc_total", "help with \\ and \n newline",
+                  {{"q", "a\"b\\c\nd"}})
+      ->Increment();
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP rased_esc_total help with \\\\ and \\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rased_esc_total{q=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, TwoRegistriesWithEqualStateRenderIdentically) {
+  auto populate = [](MetricsRegistry* registry) {
+    // Registration order differs; exposition order must not.
+    registry->GetGauge("rased_b_cubes", "b")->Set(4);
+    registry->GetCounter("rased_a_total", "a", {{"k", "v2"}})->Increment(2);
+    registry->GetCounter("rased_a_total", "a", {{"k", "v1"}})->Increment(1);
+  };
+  auto populate_reversed = [](MetricsRegistry* registry) {
+    registry->GetCounter("rased_a_total", "a", {{"k", "v1"}})->Increment(1);
+    registry->GetCounter("rased_a_total", "a", {{"k", "v2"}})->Increment(2);
+    registry->GetGauge("rased_b_cubes", "b")->Set(4);
+  };
+  MetricsRegistry r1, r2;
+  populate(&r1);
+  populate_reversed(&r2);
+  EXPECT_EQ(r1.RenderPrometheus(), r2.RenderPrometheus());
+}
+
+// Eight threads hammer one counter, one gauge, and one histogram while a
+// reader renders the exposition; totals must come out exact. This is the
+// test the TSan stage leans on for the registry hot path.
+TEST(MetricsRegistryTest, ConcurrentUpdatesFromEightThreadsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 10000;
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("rased_conc_total", "c");
+  Gauge* gauge = registry.GetGauge("rased_conc_cubes", "g");
+  Histogram* histogram = registry.GetHistogram("rased_conc_micros", "h");
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread also late-registers its handles: Get* must be safe
+      // concurrently with updates and rendering.
+      Counter* own = registry.GetCounter("rased_conc_total", "c");
+      for (int i = 0; i < kIterations; ++i) {
+        own->Increment();
+        gauge->Add(t % 2 == 0 ? 1 : -1);
+        histogram->Observe(i);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 50; ++i) {
+      std::string text = registry.RenderPrometheus();
+      EXPECT_NE(text.find("rased_conc_total"), std::string::npos);
+    }
+  });
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(counter->value(),
+            static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(gauge->value(), 0);
+  EXPECT_EQ(histogram->count(),
+            static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(histogram->sum(), static_cast<int64_t>(kThreads) * kIterations *
+                                  (kIterations - 1) / 2);
+  uint64_t bucket_total = 0;
+  for (int i = 0; i <= histogram->num_finite_buckets(); ++i) {
+    bucket_total += histogram->bucket_count(i);
+  }
+  EXPECT_EQ(bucket_total, histogram->count());
+}
+
+}  // namespace
+}  // namespace rased

@@ -1,0 +1,138 @@
+#include "obs/query_trace.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics_registry.h"
+#include "util/clock.h"
+
+namespace rased {
+namespace {
+
+QueryTrace MakeTrace(int64_t wall, int64_t device = 0) {
+  QueryTrace trace;
+  trace.summary = "test query";
+  trace.wall_micros = wall;
+  trace.device_micros = device;
+  trace.spans = {{"plan", wall / 2, 0}, {"fetch", wall - wall / 2, device}};
+  return trace;
+}
+
+TEST(QueryTraceTest, RecordAssignsSequentialIds) {
+  TraceRecorder recorder;
+  EXPECT_EQ(recorder.Record(MakeTrace(10)), 1u);
+  EXPECT_EQ(recorder.Record(MakeTrace(10)), 2u);
+  EXPECT_EQ(recorder.total_recorded(), 2u);
+}
+
+TEST(QueryTraceTest, RingKeepsLastNOldestFirst) {
+  TraceRecorderOptions options;
+  options.capacity = 4;
+  TraceRecorder recorder(options);
+  for (int i = 0; i < 10; ++i) recorder.Record(MakeTrace(i));
+
+  std::vector<QueryTrace> traces = recorder.Snapshot();
+  ASSERT_EQ(traces.size(), 4u);
+  for (size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(traces[i].id, 7 + i);  // ids 7..10 survive, oldest first
+  }
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+}
+
+TEST(QueryTraceTest, TracesKeepSpansAndDeviceTime) {
+  TraceRecorder recorder;
+  recorder.Record(MakeTrace(100, 40));
+  std::vector<QueryTrace> traces = recorder.Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].total_micros(), 140);
+  ASSERT_EQ(traces[0].spans.size(), 2u);
+  EXPECT_EQ(traces[0].spans[0].name, "plan");
+  EXPECT_EQ(traces[0].spans[1].name, "fetch");
+  EXPECT_EQ(traces[0].spans[1].device_micros, 40);
+}
+
+TEST(QueryTraceTest, SlowQueriesCountAgainstTheThreshold) {
+  MetricsRegistry registry;
+  TraceRecorderOptions options;
+  options.slow_query_micros = 100;
+  TraceRecorder recorder(options, &registry);
+
+  recorder.Record(MakeTrace(50));        // fast
+  recorder.Record(MakeTrace(100));       // exactly at threshold: not slow
+  recorder.Record(MakeTrace(90, 20));    // wall + device = 110: slow
+  recorder.Record(MakeTrace(101));       // slow
+
+  EXPECT_EQ(registry.GetCounter("rased_traces_recorded_total", "")->value(),
+            4u);
+  EXPECT_EQ(registry.GetCounter("rased_slow_queries_total", "")->value(), 2u);
+}
+
+TEST(QueryTraceTest, NonPositiveThresholdDisablesSlowQueryAccounting) {
+  MetricsRegistry registry;
+  TraceRecorderOptions options;
+  options.slow_query_micros = 0;
+  TraceRecorder recorder(options, &registry);
+  recorder.Record(MakeTrace(1000000000));
+  EXPECT_EQ(registry.GetCounter("rased_slow_queries_total", "")->value(), 0u);
+}
+
+// The whole wall-clock side of tracing is driven by util/clock.h NowMicros;
+// installing a FakeClock makes StopWatch (and therefore every wall metric)
+// exactly assertable.
+TEST(QueryTraceTest, FakeClockMakesStopWatchDeterministic) {
+  FakeClock clock(1000);
+  SetClockForTesting(&clock);
+  StopWatch watch;
+  EXPECT_EQ(watch.ElapsedMicros(), 0);
+  clock.Advance(123);
+  EXPECT_EQ(watch.ElapsedMicros(), 123);
+  clock.Set(5000);
+  EXPECT_EQ(watch.ElapsedMicros(), 4000);
+  watch.Reset();
+  EXPECT_EQ(watch.ElapsedMicros(), 0);
+  SetClockForTesting(nullptr);
+}
+
+TEST(QueryTraceTest, ConcurrentRecordAndSnapshotStayConsistent) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  MetricsRegistry registry;
+  TraceRecorderOptions options;
+  options.capacity = 16;
+  options.slow_query_micros = 0;  // keep the log quiet under the hammer
+  TraceRecorder recorder(options, &registry);
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      std::vector<QueryTrace> traces = recorder.Snapshot();
+      EXPECT_LE(traces.size(), options.capacity);
+      // Ids within one snapshot are strictly increasing (ring order).
+      for (size_t i = 1; i < traces.size(); ++i) {
+        EXPECT_LT(traces[i - 1].id, traces[i].id);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) recorder.Record(MakeTrace(i));
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(recorder.total_recorded(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.GetCounter("rased_traces_recorded_total", "")->value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(recorder.Snapshot().size(), options.capacity);
+}
+
+}  // namespace
+}  // namespace rased

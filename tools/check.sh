@@ -8,9 +8,13 @@
 #   4. bench_concurrent_queries --quick (scaling/determinism smoke gate)
 #   5. bench_query_hotpath --quick (batched-I/O + kernel smoke gate;
 #      emits the BENCH_query_hotpath.json trajectory at the repo root)
-#   6. ASan+UBSan build + full ctest
-#   7. TSan build + concurrency-focused ctest (dashboard/cache/collect/
-#      index/warehouse/hotpath suites)
+#   6. metrics smoke: boots a tiny synthetic instance, asserts the
+#      Prometheus exposition (rased metrics + live GET /metrics) covers
+#      every serving-path family and /api/trace returns spans, and
+#      appends a "metrics_snapshot" line to BENCH_query_hotpath.json
+#   7. ASan+UBSan build + full ctest
+#   8. TSan build + concurrency-focused ctest (dashboard/cache/collect/
+#      index/warehouse/hotpath/observability suites)
 #
 # Exit code 0 means every stage that could run passed. Stages whose tool
 # is missing are reported as SKIP, not failure, so the script works both
@@ -119,14 +123,117 @@ else
   skip "bench_query_hotpath not built (plain build failed?)"
 fi
 
+# ----------------------------------------------------------- metrics smoke --
+# End-to-end observability gate: build a tiny synthetic instance with the
+# CLI, then require that (a) `rased metrics probe=1` exposes every
+# serving-path metric family, (b) the live dashboard serves the same
+# exposition plus the HTTP families on GET /metrics, and (c) GET
+# /api/trace returns per-span traces. A "metrics_snapshot" JSON line from
+# the probe run is appended to the BENCH_query_hotpath.json trajectory.
+note "metrics smoke (rased metrics + GET /metrics + GET /api/trace)"
+RASED_BIN="${PREFIX}-plain/tools/rased"
+if [ -x "${RASED_BIN}" ]; then
+  SMOKE_DIR="${PREFIX}-plain/metrics_smoke"
+  METRICS_TXT="${SMOKE_DIR}/metrics.txt"
+  rm -rf "${SMOKE_DIR}"
+  mkdir -p "${SMOKE_DIR}"
+  SMOKE_OK=1
+  { "${RASED_BIN}" init "dir=${SMOKE_DIR}/instance" schema=bench \
+      && "${RASED_BIN}" synth "publish=${SMOKE_DIR}/feed" \
+           from=2021-01-01 to=2021-01-07 schema=bench seed=7 rate=20 \
+      && "${RASED_BIN}" sync "dir=${SMOKE_DIR}/instance" \
+           "feed=${SMOKE_DIR}/feed" \
+      && "${RASED_BIN}" metrics "dir=${SMOKE_DIR}/instance" probe=1 \
+           > "${METRICS_TXT}"; } >/dev/null 2>&1 || SMOKE_OK=0
+  if [ "${SMOKE_OK}" -eq 1 ]; then
+    # One family per instrumented subsystem (DESIGN.md section 8).
+    for family in \
+        rased_pager_read_ops_total \
+        rased_pager_device_micros_total \
+        rased_cache_hits_total \
+        rased_cache_misses_total \
+        rased_index_cube_reads_total \
+        rased_index_cubes \
+        rased_queries_total \
+        rased_query_device_micros_bucket \
+        rased_traces_recorded_total; do
+      if ! grep -q "^${family}" "${METRICS_TXT}"; then
+        fail "metrics smoke: family ${family} missing from rased metrics"
+        SMOKE_OK=0
+      fi
+    done
+  else
+    fail "metrics smoke: CLI pipeline (init/synth/sync/metrics) failed"
+  fi
+  if [ "${SMOKE_OK}" -eq 1 ]; then
+    awk '$1 == "rased_queries_total" { q = $2 }
+         $1 == "rased_cache_hits_total" { h = $2 }
+         $1 == "rased_cache_misses_total" { m = $2 }
+         $1 == "rased_index_cube_reads_total" { c = $2 }
+         $1 == "rased_pager_read_ops_total{file=\"index\"}" { r = $2 }
+         END { printf "{\"bench\":\"metrics_snapshot\"," \
+                      "\"queries_total\":%d,\"cache_hits\":%d," \
+                      "\"cache_misses\":%d,\"cube_reads\":%d," \
+                      "\"index_read_ops\":%d}\n", q, h, m, c, r }' \
+      "${METRICS_TXT}" >> BENCH_query_hotpath.json
+    pass "metrics smoke: rased metrics (snapshot in BENCH_query_hotpath.json)"
+  fi
+  if [ "${SMOKE_OK}" -eq 1 ] && command -v curl >/dev/null 2>&1; then
+    SERVE_LOG="${SMOKE_DIR}/serve.log"
+    "${RASED_BIN}" serve "dir=${SMOKE_DIR}/instance" port=0 \
+      serve_seconds=60 > "${SERVE_LOG}" 2>&1 &
+    SERVE_PID=$!
+    PORT=""
+    for _ in $(seq 1 50); do
+      PORT="$(sed -n 's#.*http://127\.0\.0\.1:\([0-9]*\)/.*#\1#p' \
+        "${SERVE_LOG}" 2>/dev/null | head -n 1)"
+      [ -n "${PORT}" ] && break
+      sleep 0.2
+    done
+    HTTP_OK=1
+    HTTP_METRICS=""
+    if [ -z "${PORT}" ]; then
+      fail "metrics smoke: dashboard never reported its port"
+      HTTP_OK=0
+    else
+      curl -fsS "http://127.0.0.1:${PORT}/api/query?group=country" \
+        >/dev/null || HTTP_OK=0
+      HTTP_METRICS="$(curl -fsS "http://127.0.0.1:${PORT}/metrics")" \
+        || HTTP_OK=0
+      for family in rased_http_requests_total rased_http_responses_total \
+          rased_http_request_micros_bucket \
+          rased_http_malformed_requests_total; do
+        if ! printf '%s\n' "${HTTP_METRICS}" | grep -q "^${family}"; then
+          fail "metrics smoke: family ${family} missing from GET /metrics"
+          HTTP_OK=0
+        fi
+      done
+      curl -fsS "http://127.0.0.1:${PORT}/api/trace" \
+        | grep -q '"spans"' || HTTP_OK=0
+    fi
+    kill "${SERVE_PID}" 2>/dev/null
+    wait "${SERVE_PID}" 2>/dev/null
+    if [ "${HTTP_OK}" -eq 1 ]; then
+      pass "metrics smoke: GET /metrics + GET /api/trace"
+    else
+      fail "metrics smoke: live GET /metrics + GET /api/trace check"
+    fi
+  elif [ "${SMOKE_OK}" -eq 1 ]; then
+    skip "curl not installed (live /metrics check)"
+  fi
+else
+  skip "rased CLI not built (plain build failed?)"
+fi
+
 run_matrix_entry "asan+ubsan" "${PREFIX}-asan" "" \
   "-DRASED_SANITIZE=address;undefined"
 
 # TSan: the concurrency-sensitive suites. These are the classes that got
-# locks/annotations in the correctness-tooling pass; a race anywhere in
-# them must surface here.
+# locks/annotations in the correctness-tooling pass, plus the
+# observability suites (registry hammer, trace ring, /metrics endpoint);
+# a race anywhere in them must surface here.
 run_matrix_entry "tsan" "${PREFIX}-tsan" \
-  "-R (Dashboard|Concurrent|HttpServer|CubeCache|Replication|TemporalIndex|Warehouse|Hotpath)" \
+  "-R (Dashboard|Concurrent|HttpServer|CubeCache|Replication|TemporalIndex|Warehouse|Hotpath|Metrics|Trace)" \
   "-DRASED_SANITIZE=thread"
 
 # ----------------------------------------------------------------- gate ---
