@@ -140,7 +140,7 @@ class CubeCache {
     Gauge* resident = nullptr;
     Gauge* capacity = nullptr;
   };
-  CacheMetrics metrics_;
+  CacheMetrics metrics_ RASED_CONST_AFTER_INIT;
 
   /// Guards every mutable member below. Held only for map/list surgery,
   /// never across index I/O (Preload reads the cube first, then locks to

@@ -204,29 +204,32 @@ class Rased {
   /// acquired while this one is held or from single-threaded setup.
   mutable SharedMutex mu_;
 
-  RasedOptions options_;
+  /// Everything below is assigned once in InitComponents — before any
+  /// caller thread can reach the facade — and is immutable afterwards;
+  /// the components themselves do their own locking.
+  RasedOptions options_ RASED_CONST_AFTER_INIT;
 
   /// metrics_ points at options_.metrics when supplied, else at
   /// owned_metrics_. Declared before the components so it outlives their
   /// registered handles during destruction.
-  std::unique_ptr<MetricsRegistry> owned_metrics_;
-  MetricsRegistry* metrics_ = nullptr;
-  std::unique_ptr<TraceRecorder> traces_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_ RASED_CONST_AFTER_INIT;
+  MetricsRegistry* metrics_ RASED_CONST_AFTER_INIT = nullptr;
+  std::unique_ptr<TraceRecorder> traces_ RASED_CONST_AFTER_INIT;
 
   /// Ingestion counters (set in InitComponents; never null afterwards).
   struct IngestMetrics {
     Counter* records = nullptr;  // rased_ingest_records_total
     Counter* days = nullptr;     // rased_ingest_days_total
   };
-  IngestMetrics ingest_metrics_;
+  IngestMetrics ingest_metrics_ RASED_CONST_AFTER_INIT;
 
-  std::unique_ptr<WorldMap> world_;
-  std::unique_ptr<RoadTypeTable> road_types_;
-  std::unique_ptr<TemporalIndex> index_;
-  std::unique_ptr<CubeBuilder> builder_;
-  std::unique_ptr<CubeCache> cache_;
-  std::unique_ptr<QueryExecutor> executor_;
-  std::unique_ptr<Warehouse> warehouse_;
+  std::unique_ptr<WorldMap> world_ RASED_CONST_AFTER_INIT;
+  std::unique_ptr<RoadTypeTable> road_types_ RASED_CONST_AFTER_INIT;
+  std::unique_ptr<TemporalIndex> index_ RASED_CONST_AFTER_INIT;
+  std::unique_ptr<CubeBuilder> builder_ RASED_CONST_AFTER_INIT;
+  std::unique_ptr<CubeCache> cache_ RASED_CONST_AFTER_INIT;
+  std::unique_ptr<QueryExecutor> executor_ RASED_CONST_AFTER_INIT;
+  std::unique_ptr<Warehouse> warehouse_ RASED_CONST_AFTER_INIT;
 };
 
 }  // namespace rased

@@ -76,8 +76,10 @@ void HttpServer::InitMetricsLocked() {
   for (const std::string& endpoint : endpoints) {
     EndpointMetrics em;
     MetricLabels labels{{"endpoint", endpoint}};
+    // NOLINT-RASED(metric-in-loop): registration runs once per endpoint in
     em.requests = metrics_->GetCounter("rased_http_requests_total",
                                        "HTTP requests served", labels);
+    // NOLINT-RASED(metric-in-loop): Start, before any worker serves traffic
     em.latency = metrics_->GetHistogram("rased_http_request_micros",
                                         "Request handling wall time "
                                         "(microseconds, excludes socket I/O)",
@@ -85,6 +87,7 @@ void HttpServer::InitMetricsLocked() {
     auto status_counter = [&](const char* status_class) {
       MetricLabels l = labels;
       l.emplace_back("class", status_class);
+      // NOLINT-RASED(metric-in-loop): one-time registration per status class
       return metrics_->GetCounter("rased_http_responses_total",
                                   "HTTP responses by status class", l);
     };

@@ -122,17 +122,20 @@ class HttpServer {
   /// Written by Start/Stop, read by every accept worker — atomic, because
   /// Stop closes the socket while workers sit in accept() on it.
   std::atomic<int> listen_fd_{-1};
-  int port_ = 0;
+  /// Written in Start before the workers are spawned (and threads_ again
+  /// in Stop, after they are joined) — single-threaded lifecycle phases.
+  int port_ RASED_CONST_AFTER_INIT = 0;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_served_{0};
-  std::vector<std::thread> threads_;
+  std::vector<std::thread> threads_ RASED_CONST_AFTER_INIT;
 
   /// Observability (all null / empty when no registry was attached).
   /// endpoint_metrics_ is written once in Start before workers exist and
   /// read-only afterwards, so workers look endpoints up without mu_.
-  MetricsRegistry* metrics_ = nullptr;
-  std::map<std::string, EndpointMetrics> endpoint_metrics_;
-  Counter* malformed_counter_ = nullptr;
+  MetricsRegistry* metrics_ RASED_CONST_AFTER_INIT = nullptr;
+  std::map<std::string, EndpointMetrics> endpoint_metrics_
+      RASED_CONST_AFTER_INIT;
+  Counter* malformed_counter_ RASED_CONST_AFTER_INIT = nullptr;
 };
 
 }  // namespace rased

@@ -32,9 +32,10 @@ TemporalIndex::TemporalIndex(TemporalIndexOptions options,
         registry->GetCounter("rased_index_month_rebuilds_total",
                              "Monthly-crawler rebuild passes applied");
     for (int level = 0; level < kNumLevels; ++level) {
-      metrics_.cubes_per_level[level] =
-          registry->GetGauge("rased_index_cubes", "Cubes stored per level",
-                             {{"level", kLevelNames[level]}});
+      // NOLINT-RASED(metric-in-loop): one-time registration over kNumLevels
+      metrics_.cubes_per_level[level] = registry->GetGauge(
+          "rased_index_cubes", "Cubes stored per level",
+          {{"level", kLevelNames[level]}});
     }
     metrics_.file_bytes = registry->GetGauge(
         "rased_index_file_bytes", "Bytes of the index page file on disk");

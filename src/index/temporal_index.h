@@ -176,7 +176,7 @@ class TemporalIndex {
   void UpdateStorageMetrics() const RASED_EXCLUDES(mu_);
   void UpdateStorageMetricsLocked() const RASED_REQUIRES_SHARED(mu_);
 
-  TemporalIndexOptions options_;
+  TemporalIndexOptions options_ RASED_CONST_AFTER_INIT;
 
   /// Registry handles (all set together in the constructor when
   /// options_.metrics is non-null, else all null).
@@ -187,13 +187,13 @@ class TemporalIndex {
     Gauge* cubes_per_level[kNumLevels] = {nullptr, nullptr, nullptr, nullptr};
     Gauge* file_bytes = nullptr;
   };
-  IndexMetrics metrics_;
+  IndexMetrics metrics_ RASED_CONST_AFTER_INIT;
 
   // Page reads are pager-internal-atomic-safe from any thread; writes are
   // externally serialized (see the threading contract above). mu_ never
   // spans a page read/write, so metadata lookups stay cheap even while a
   // maintenance pass is streaming cubes to disk.
-  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<Pager> pager_ RASED_CONST_AFTER_INIT;
 
   /// Reader-writer lock over the catalog metadata below: lookups on the
   /// query path hold it shared, appends/rebuilds hold it exclusively.

@@ -79,8 +79,11 @@ class TraceRecorder {
 
  private:
   const TraceRecorderOptions options_;
-  Counter* recorded_counter_ = nullptr;  // rased_traces_recorded_total
-  Counter* slow_counter_ = nullptr;      // rased_slow_queries_total
+  // Registry handles, bound once in the constructor.
+  Counter* recorded_counter_ RASED_CONST_AFTER_INIT =
+      nullptr;  // rased_traces_recorded_total
+  Counter* slow_counter_ RASED_CONST_AFTER_INIT =
+      nullptr;  // rased_slow_queries_total
 
   mutable Mutex mu_;
   uint64_t next_id_ RASED_GUARDED_BY(mu_) = 1;

@@ -66,7 +66,7 @@ class RoadTypeTable {
   mutable Mutex mu_;
   std::vector<std::string> names_ RASED_GUARDED_BY(mu_);
   std::unordered_map<std::string, RoadTypeId> index_ RASED_GUARDED_BY(mu_);
-  RoadTypeId other_id_;  // fixed in the constructor
+  RoadTypeId other_id_ RASED_CONST_AFTER_INIT;  // fixed in the constructor
 };
 
 }  // namespace rased

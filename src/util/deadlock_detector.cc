@@ -1,0 +1,177 @@
+#include "util/deadlock_detector.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rased {
+namespace internal {
+
+namespace {
+
+/// One lock construction site (all mutexes born at file:line share it).
+struct Site {
+  std::string label;  // "file:line"
+};
+
+/// One observed ordering: `from` was held while `to` was acquired. The
+/// holder chain at first observation is kept for the abort report.
+struct Edge {
+  uint32_t from = 0;
+  uint32_t to = 0;
+  std::vector<uint32_t> held_at_creation;
+};
+
+struct Graph {
+  // A plain std::mutex, not rased::Mutex: rased::Mutex calls back into
+  // this module on every acquisition, so using it here would recurse.
+  std::mutex mu;
+  std::unordered_map<uint64_t, uint32_t> site_ids;  // (file ptr hash, line)
+  std::vector<Site> sites;
+  std::unordered_map<uint64_t, size_t> edge_index;  // (from<<32|to) -> pos
+  std::vector<Edge> edges;
+  std::vector<std::vector<uint32_t>> out;  // adjacency: site -> successors
+};
+
+/// Leaked on purpose: mutexes (static ones included) may be acquired during
+/// process teardown, after static destructors would have run.
+Graph* GlobalGraph() {
+  static Graph* graph = new Graph();
+  return graph;
+}
+
+/// The current thread's held-lock chain, oldest first. Sites repeat when
+/// two instances from one construction site are held at once.
+thread_local std::vector<uint32_t> tls_held;
+
+uint64_t EdgeKey(uint32_t from, uint32_t to) {
+  return (static_cast<uint64_t>(from) << 32) | to;
+}
+
+/// Depth-first reachability over `graph.out` (caller holds graph.mu).
+bool Reaches(const Graph& graph, uint32_t from, uint32_t target,
+             std::vector<uint32_t>* path, std::vector<bool>* visited) {
+  if (from == target) {
+    path->push_back(from);
+    return true;
+  }
+  if ((*visited)[from]) return false;
+  (*visited)[from] = true;
+  for (uint32_t next : graph.out[from]) {
+    if (Reaches(graph, next, target, path, visited)) {
+      path->push_back(from);
+      return true;
+    }
+  }
+  return false;
+}
+
+void PrintChain(const Graph& graph, const std::vector<uint32_t>& chain) {
+  for (size_t i = 0; i < chain.size(); ++i) {
+    std::fprintf(stderr, "    #%zu %s\n", i,
+                 graph.sites[chain[i]].label.c_str());
+  }
+  if (chain.empty()) std::fprintf(stderr, "    (no other locks held)\n");
+}
+
+/// Prints the cycle report and aborts. `path` is the existing-graph path
+/// to -> ... -> held whose edges, together with the new held -> to edge,
+/// form the cycle. Caller holds graph.mu (never released: we abort).
+[[noreturn]] void ReportCycleAndAbort(const Graph& graph, uint32_t to,
+                                      const std::vector<uint32_t>& path) {
+  std::fprintf(stderr,
+               "RASED deadlock detector: lock-order cycle detected\n"
+               "  this thread is acquiring lock site %s\n"
+               "  while holding (acquisition stack, oldest first):\n",
+               graph.sites[to].label.c_str());
+  PrintChain(graph, tls_held);
+  std::fprintf(stderr, "  conflicting order previously observed:\n");
+  // path is to -> ... -> from in reverse (Reaches appends on unwind), so
+  // consecutive pairs walking backwards are the established edges.
+  for (size_t i = path.size(); i-- > 1;) {
+    uint32_t a = path[i];
+    uint32_t b = path[i - 1];
+    auto it = graph.edge_index.find(EdgeKey(a, b));
+    std::fprintf(stderr, "  lock site %s acquired while holding %s\n",
+                 graph.sites[b].label.c_str(), graph.sites[a].label.c_str());
+    if (it != graph.edge_index.end()) {
+      std::fprintf(stderr, "  that thread's acquisition stack was:\n");
+      PrintChain(graph, graph.edges[it->second].held_at_creation);
+    }
+  }
+  std::fprintf(stderr,
+               "  one of these paths must release its locks before taking "
+               "the other's; aborting\n");
+  std::abort();
+}
+
+}  // namespace
+
+uint32_t InternLockSite(const char* file, uint32_t line) {
+  Graph* graph = GlobalGraph();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  // source_location file names are string literals, so the pointer value
+  // identifies the file; hash it together with the line.
+  uint64_t key = (reinterpret_cast<uint64_t>(file) << 16) ^ line;
+  auto it = graph->site_ids.find(key);
+  if (it != graph->site_ids.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(graph->sites.size());
+  graph->sites.push_back(Site{std::string(file) + ":" + std::to_string(line)});
+  graph->out.emplace_back();
+  graph->site_ids.emplace(key, id);
+  return id;
+}
+
+void LockOrderAcquire(uint32_t site) {
+  if (!tls_held.empty()) {
+    Graph* graph = GlobalGraph();
+    std::lock_guard<std::mutex> lock(graph->mu);
+    for (uint32_t held : tls_held) {
+      if (held == site) continue;  // same-site instances have no order
+      uint64_t key = EdgeKey(held, site);
+      if (graph->edge_index.count(key) != 0) continue;  // edge already known
+      // New edge: does the reverse direction already have a path? Then
+      // held -> site closes a cycle.
+      std::vector<uint32_t> path;
+      std::vector<bool> visited(graph->sites.size(), false);
+      if (Reaches(*graph, site, held, &path, &visited)) {
+        ReportCycleAndAbort(*graph, site, path);
+      }
+      graph->edge_index.emplace(key, graph->edges.size());
+      graph->edges.push_back(Edge{held, site, tls_held});
+      graph->out[held].push_back(site);
+    }
+  }
+  tls_held.push_back(site);
+}
+
+void LockOrderTryAcquire(uint32_t site) { tls_held.push_back(site); }
+
+void LockOrderRelease(uint32_t site) {
+  for (size_t i = tls_held.size(); i-- > 0;) {
+    if (tls_held[i] == site) {
+      tls_held.erase(tls_held.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+void LockOrderResetForTesting() {
+  Graph* graph = GlobalGraph();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  graph->edge_index.clear();
+  graph->edges.clear();
+  for (auto& successors : graph->out) successors.clear();
+}
+
+uint64_t LockOrderEdgeCountForTesting() {
+  Graph* graph = GlobalGraph();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  return graph->edges.size();
+}
+
+}  // namespace internal
+}  // namespace rased

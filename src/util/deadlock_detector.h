@@ -1,0 +1,67 @@
+#ifndef RASED_UTIL_DEADLOCK_DETECTOR_H_
+#define RASED_UTIL_DEADLOCK_DETECTOR_H_
+
+#include <cstdint>
+
+/// Debug-build lock-order deadlock detector (DESIGN.md §9.4).
+///
+/// Every rased::Mutex / rased::SharedMutex constructed while
+/// RASED_DEADLOCK_DETECTOR is defined interns its *construction site*
+/// (file:line, via std::source_location) into a small global table; all
+/// mutexes born at the same site share one node in a global lock-order
+/// graph. Each blocking acquisition records, for every lock the acquiring
+/// thread already holds, a directed edge held-site -> acquired-site. The
+/// first edge that closes a cycle aborts the process with both acquisition
+/// stacks: the current thread's held-lock chain and the held-lock chain
+/// recorded when the conflicting (reverse-direction) edge was first seen.
+/// A cycle in the site graph means two code paths acquire the same pair of
+/// lock sites in opposite orders — the classic recipe for a deadlock that
+/// only fires under production interleavings. The detector turns it into a
+/// deterministic abort the first time both orders have merely *executed*,
+/// no unlucky timing required.
+///
+/// Properties and limitations:
+///  - try_lock acquisitions push onto the held stack (their holder
+///    constrains later blocking locks) but record no edges themselves: a
+///    try-lock can fail but never block, so it cannot complete a deadlock.
+///  - Self-edges (site -> same site) are ignored: two instances from one
+///    construction site (e.g. two caches) have no expressible order.
+///  - The graph only grows. Sites and edges persist for process lifetime,
+///    so an inversion is caught even when the two orders run sequentially
+///    on one thread, minutes apart.
+///  - Overhead is a thread-local vector push plus, per *new* edge, a DFS
+///    over a graph whose size is the number of distinct lock sites —
+///    acceptable for debug/sanitizer builds, which is the only place the
+///    hooks are compiled in (see thread_annotations.h).
+namespace rased {
+namespace internal {
+
+/// Interns a mutex construction site, returning its stable node id.
+/// Thread-safe; idempotent per (file, line).
+uint32_t InternLockSite(const char* file, uint32_t line);
+
+/// Records a blocking acquisition of `site` by the current thread: adds a
+/// held->site edge per held lock, aborts (after printing both acquisition
+/// stacks) if an edge closes a cycle, then pushes `site` onto the
+/// thread-local held stack.
+void LockOrderAcquire(uint32_t site);
+
+/// Records a successful try_lock: pushes the held stack only (no edges —
+/// a try-lock never blocks, so it cannot deadlock).
+void LockOrderTryAcquire(uint32_t site);
+
+/// Pops the most recent acquisition of `site` from the held stack.
+void LockOrderRelease(uint32_t site);
+
+/// Drops every recorded edge (sites stay interned). Tests that
+/// deliberately create an inversion use this to avoid poisoning later
+/// acquisitions in the same process.
+void LockOrderResetForTesting();
+
+/// Number of edges currently in the order graph (test observability).
+uint64_t LockOrderEdgeCountForTesting();
+
+}  // namespace internal
+}  // namespace rased
+
+#endif  // RASED_UTIL_DEADLOCK_DETECTOR_H_

@@ -5,6 +5,13 @@
 #include <mutex>
 #include <shared_mutex>
 
+#ifdef RASED_DEADLOCK_DETECTOR
+#include <cstdint>
+#include <source_location>
+
+#include "util/deadlock_detector.h"
+#endif
+
 /// Clang thread-safety annotations (-Wthread-safety) plus an annotated
 /// mutex wrapper, following the abseil/LLVM convention. Under Clang the
 /// macros expand to static-analysis attributes that make the locking
@@ -77,21 +84,71 @@
 #define RASED_NO_THREAD_SAFETY_ANALYSIS \
   RASED_THREAD_ANNOTATION_(no_thread_safety_analysis)
 
+/// Lifecycle marker for members of internally-synchronized classes that
+/// carry no GUARDED_BY because they are written only during a
+/// single-threaded phase — construction / Open / Start before worker
+/// threads exist, or teardown after they are joined — and are read-only
+/// whenever concurrent access is possible. Expands to nothing; rased-lint
+/// (rule RL002 guarded-field, DESIGN.md §9) accepts it in place of an
+/// annotation. Prefer RASED_GUARDED_BY whenever the member is written
+/// while threads are live.
+#define RASED_CONST_AFTER_INIT
+
 namespace rased {
+
+/// Base for Mutex/SharedMutex holding the debug-build deadlock-detector
+/// hooks (DESIGN.md §9.4). When RASED_DEADLOCK_DETECTOR is defined (the
+/// default in sanitizer builds, see CMakeLists.txt), every lock interns
+/// its construction site and each blocking acquisition records a
+/// lock-order edge; an edge closing a cycle aborts with both acquisition
+/// stacks. In release builds the hooks compile to nothing.
+class LockOrderTracked {
+ protected:
+#ifdef RASED_DEADLOCK_DETECTOR
+  LockOrderTracked(const std::source_location& site)
+      : site_(internal::InternLockSite(site.file_name(), site.line())) {}
+  void DetectorAcquire() { internal::LockOrderAcquire(site_); }
+  void DetectorTryAcquired() { internal::LockOrderTryAcquire(site_); }
+  void DetectorRelease() { internal::LockOrderRelease(site_); }
+
+ private:
+  const uint32_t site_;
+#else
+  LockOrderTracked() = default;
+  static void DetectorAcquire() {}
+  static void DetectorTryAcquired() {}
+  static void DetectorRelease() {}
+#endif
+};
 
 /// std::mutex with thread-safety-analysis capability attributes. Drop-in:
 /// satisfies BasicLockable/Lockable, so std::unique_lock<...> etc. still
 /// work (though MutexLock below is the annotated RAII holder the analysis
 /// understands).
-class RASED_CAPABILITY("mutex") Mutex {
+class RASED_CAPABILITY("mutex") Mutex : private LockOrderTracked {
  public:
+#ifdef RASED_DEADLOCK_DETECTOR
+  Mutex(std::source_location site = std::source_location::current())
+      : LockOrderTracked(site) {}
+#else
   Mutex() = default;
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() RASED_ACQUIRE() { mu_.lock(); }
-  void unlock() RASED_RELEASE() { mu_.unlock(); }
-  bool try_lock() RASED_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() RASED_ACQUIRE() {
+    DetectorAcquire();
+    mu_.lock();
+  }
+  void unlock() RASED_RELEASE() {
+    mu_.unlock();
+    DetectorRelease();
+  }
+  bool try_lock() RASED_TRY_ACQUIRE(true) {
+    bool acquired = mu_.try_lock();
+    if (acquired) DetectorTryAcquired();
+    return acquired;
+  }
 
   /// The wrapped std::mutex, for interop with std::condition_variable via
   /// CondVar below.
@@ -120,22 +177,47 @@ class RASED_SCOPED_CAPABILITY MutexLock {
 /// a reader-writer lock for read-mostly shared state (the query read path
 /// holds it shared, ingestion holds it exclusive). Satisfies SharedLockable
 /// in addition to Lockable, but prefer the annotated RAII holders below.
-class RASED_CAPABILITY("shared_mutex") SharedMutex {
+class RASED_CAPABILITY("shared_mutex") SharedMutex : private LockOrderTracked {
  public:
+#ifdef RASED_DEADLOCK_DETECTOR
+  SharedMutex(std::source_location site = std::source_location::current())
+      : LockOrderTracked(site) {}
+#else
   SharedMutex() = default;
+#endif
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
   // Exclusive (writer) side.
-  void lock() RASED_ACQUIRE() { mu_.lock(); }
-  void unlock() RASED_RELEASE() { mu_.unlock(); }
-  bool try_lock() RASED_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() RASED_ACQUIRE() {
+    DetectorAcquire();
+    mu_.lock();
+  }
+  void unlock() RASED_RELEASE() {
+    mu_.unlock();
+    DetectorRelease();
+  }
+  bool try_lock() RASED_TRY_ACQUIRE(true) {
+    bool acquired = mu_.try_lock();
+    if (acquired) DetectorTryAcquired();
+    return acquired;
+  }
 
-  // Shared (reader) side.
-  void lock_shared() RASED_ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void unlock_shared() RASED_RELEASE_SHARED() { mu_.unlock_shared(); }
+  // Shared (reader) side. Shared acquisitions record lock-order edges
+  // like exclusive ones: a reader blocking on a writer participates in
+  // reader-writer deadlock cycles all the same.
+  void lock_shared() RASED_ACQUIRE_SHARED() {
+    DetectorAcquire();
+    mu_.lock_shared();
+  }
+  void unlock_shared() RASED_RELEASE_SHARED() {
+    mu_.unlock_shared();
+    DetectorRelease();
+  }
   bool try_lock_shared() RASED_TRY_ACQUIRE_SHARED(true) {
-    return mu_.try_lock_shared();
+    bool acquired = mu_.try_lock_shared();
+    if (acquired) DetectorTryAcquired();
+    return acquired;
   }
 
  private:

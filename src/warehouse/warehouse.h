@@ -104,11 +104,11 @@ class Warehouse {
   void IndexRecord(const UpdateRecord& record, uint64_t locator)
       RASED_REQUIRES(mu_);
 
-  WarehouseOptions options_;
+  WarehouseOptions options_ RASED_CONST_AFTER_INIT;
   // The pager is only ever driven while mu_ is held (every public method
   // locks at entry), but the pager() accessor above escapes the lock for
   // stats inspection — see the class threading contract.
-  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<Pager> pager_ RASED_CONST_AFTER_INIT;
 
   /// Coarse lock over heap tail, in-memory indexes, and the read cache.
   mutable Mutex mu_;

@@ -1,0 +1,13 @@
+// Fixture for RL011 bad-nolint. Never compiled.
+namespace fixture {
+
+// NOLINT-RASED(no-such-rule): imaginary rule  WANT[RL011]
+int a = 0;
+
+// NOLINT-RASED(raw-mutex) missing the reason  WANT[RL011]
+int b = 0;
+
+// NOLINT-RASED without a rule list  WANT[RL011]
+int c = 0;
+
+}  // namespace fixture

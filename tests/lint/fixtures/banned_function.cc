@@ -1,0 +1,28 @@
+// Fixture for RL008 banned-function. Never compiled.
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+int Entropy() {
+  return rand();  // WANT[RL008]
+}
+
+long Now() {
+  return time(nullptr);  // WANT[RL008]
+}
+
+void Format(char* out) {
+  sprintf(out, "%d", 7);  // WANT[RL008]
+}
+
+struct Clock {
+  long ticks = 0;
+};
+
+long MemberCallsAreClean(const Clock& clock, Clock* ptr) {
+  return clock.time() + ptr->time();  // member calls are a different time()
+}
+
+}  // namespace fixture

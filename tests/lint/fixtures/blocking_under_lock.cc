@@ -1,0 +1,25 @@
+// Fixture for RL003 blocking-under-lock. Never compiled.
+#include <unistd.h>
+
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class Store {
+ public:
+  void Tick() {
+    rased::MutexLock hold(&mu_);
+    usleep(100);  // WANT[RL003]
+    ++ticks_;
+  }
+
+  void After() {
+    usleep(100);  // outside any lock scope: clean
+  }
+
+ private:
+  mutable rased::Mutex mu_;
+  int ticks_ RASED_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: a source file that satisfies every rased-lint rule.
+#include "fixtures/clean.h"
+
+#include <string>
+
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+void Counter::Add(const std::string& name) {
+  rased::MutexLock hold(&mu_);
+  count_ += static_cast<int>(name.size());
+}
+
+}  // namespace fixture

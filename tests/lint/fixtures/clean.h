@@ -1,0 +1,22 @@
+// Fixture: a header that satisfies every rased-lint rule.
+#ifndef RASED_FIXTURES_CLEAN_H_
+#define RASED_FIXTURES_CLEAN_H_
+
+#include <string>
+
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Add(const std::string& name);
+
+ private:
+  mutable rased::Mutex mu_;
+  int count_ RASED_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture
+
+#endif  // RASED_FIXTURES_CLEAN_H_

@@ -1,0 +1,34 @@
+// Fixture for RL002 guarded-field. Never compiled; read by rased_lint_test.
+#ifndef RASED_FIXTURES_GUARDED_FIELD_H_
+#define RASED_FIXTURES_GUARDED_FIELD_H_
+
+#include <atomic>
+#include <string>
+
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class Tracker {
+ public:
+  void Add(const std::string& name);
+
+ private:
+  mutable rased::Mutex mu_;
+  int count_ RASED_GUARDED_BY(mu_) = 0;
+  const int capacity_ = 16;
+  std::atomic<bool> live_{false};
+  std::string seed_ RASED_CONST_AFTER_INIT;
+  std::string last_;  // WANT[RL002]
+};
+
+// No lock, so nothing here needs annotating.
+class Plain {
+ private:
+  std::string last_;
+  int count_ = 0;
+};
+
+}  // namespace fixture
+
+#endif  // RASED_FIXTURES_GUARDED_FIELD_H_

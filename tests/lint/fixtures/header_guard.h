@@ -1,0 +1,7 @@
+// Fixture for RL010 header-guard: guard does not match the repo path.
+#ifndef WRONG_GUARD_H  // WANT[RL010]
+#define WRONG_GUARD_H
+
+namespace fixture {}  // namespace fixture
+
+#endif  // WRONG_GUARD_H

@@ -1,0 +1,10 @@
+// Fixture for RL009 include-order: the own header sits second and a
+// system include trails the project block. Never compiled.
+#include <vector>
+
+#include "fixtures/include_order.h"  // WANT[RL009]
+#include "util/status.h"
+
+#include <string>  // WANT[RL009]
+
+namespace fixture {}  // namespace fixture

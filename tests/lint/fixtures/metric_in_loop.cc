@@ -1,0 +1,19 @@
+// Fixture for RL007 metric-in-loop (applies only under src/). Never
+// compiled.
+#include "obs/metrics_registry.h"
+
+namespace fixture {
+
+void Hot(rased::MetricsRegistry* registry, int n) {
+  rased::Counter* hoisted = registry->GetCounter("rased_ok_total", "clean");
+  for (int i = 0; i < n; ++i) {
+    registry->GetCounter("rased_busy_total", "busy");  // WANT[RL007]
+    hoisted->Increment();
+  }
+  while (n > 0) {
+    registry->GetGauge("rased_depth", "depth");  // WANT[RL007]
+    --n;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture for RL006 metric-name (applies only under src/; the driver
+// passes a src/ repo path). Never compiled.
+#include "obs/metrics_registry.h"
+
+#include <string>
+
+namespace fixture {
+
+void Register(rased::MetricsRegistry* registry) {
+  registry->GetCounter("rased_good_total", "well-formed counter");
+  registry->GetHistogram("rased_wait_micros", "well-formed histogram");
+  registry->GetGauge("rased_depth", "well-formed gauge");
+  registry->GetCounter("rased_bad", "counter without _total");  // WANT[RL006]
+  registry->GetGauge("BadName", "not rased_ prefixed");         // WANT[RL006]
+  registry->GetHistogram("rased_latency", "no base unit");      // WANT[RL006]
+  registry->GetGauge("rased_rows_total", "counter suffix");     // WANT[RL006]
+  std::string dynamic = "rased_x_total";
+  registry->GetCounter(dynamic, "non-literal name");  // WANT[RL006]
+}
+
+}  // namespace fixture

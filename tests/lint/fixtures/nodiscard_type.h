@@ -1,0 +1,21 @@
+// Fixture for RL005 nodiscard-type. Never compiled.
+#ifndef RASED_FIXTURES_NODISCARD_TYPE_H_
+#define RASED_FIXTURES_NODISCARD_TYPE_H_
+
+namespace fixture {
+
+class Status {  // WANT[RL005]
+ public:
+  int code = 0;
+};
+
+class [[nodiscard]] Result {
+ public:
+  int value = 0;
+};
+
+class Other;  // forward declarations are clean
+
+}  // namespace fixture
+
+#endif  // RASED_FIXTURES_NODISCARD_TYPE_H_

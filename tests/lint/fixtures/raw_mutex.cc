@@ -1,0 +1,20 @@
+// Fixture for RL001 raw-mutex. Never compiled; read by rased_lint_test.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex bad_mu;  // WANT[RL001]
+
+void Locker() {
+  std::lock_guard<std::mutex> hold(bad_mu);  // WANT[RL001] WANT[RL001]
+}
+
+struct LegacyHandle {
+  pthread_mutex_t raw;  // WANT[RL001]
+};
+
+int Lock(LegacyHandle* handle) {
+  return pthread_mutex_lock(&handle->raw);  // WANT[RL001]
+}
+
+}  // namespace fixture

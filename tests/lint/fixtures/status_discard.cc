@@ -1,0 +1,15 @@
+// Fixture for RL004 status-discard. Never compiled.
+#include "util/status.h"
+
+namespace fixture {
+
+rased::Status DoWork();
+
+void Caller() {
+  int depth = 0;
+  (void)DoWork();               // WANT[RL004]
+  static_cast<void>(DoWork());  // WANT[RL004]
+  (void)depth;                  // discarding a variable, not a call: clean
+}
+
+}  // namespace fixture

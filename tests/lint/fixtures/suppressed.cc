@@ -1,0 +1,15 @@
+// Fixture proving valid NOLINT-RASED directives silence findings, both
+// by rule name and by RLxxx id, on the same line and the line above.
+// Expect zero findings and two suppressions. Never compiled.
+#include <cstdlib>
+
+namespace fixture {
+
+// NOLINT-RASED(banned-function): fixed seed is deliberate in this demo
+int Entropy() { return rand(); }
+
+int Noise() {
+  return rand();  // NOLINT-RASED(RL008): proves id-based suppression
+}
+
+}  // namespace fixture

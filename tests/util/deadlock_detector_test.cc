@@ -1,0 +1,101 @@
+#include "util/thread_annotations.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+// The detector keys lock-order edges on construction site, so these tests
+// name each mutex by a distinct source line. gtest_discover_tests runs
+// every TEST in its own process, which keeps the global order graph of
+// one test from leaking into another.
+
+TEST(DeadlockDetectorTest, ConsistentOrderPasses) {
+  Mutex first;
+  Mutex second;
+  {
+    MutexLock hold_first(&first);
+    MutexLock hold_second(&second);
+  }
+  // The same order from another thread re-walks the recorded edge and
+  // must stay silent.
+  std::thread other([&] {
+    MutexLock hold_first(&first);
+    MutexLock hold_second(&second);
+  });
+  other.join();
+}
+
+TEST(DeadlockDetectorTest, SameSiteReacquisitionPasses) {
+  // Two locks from one construction site (a per-shard pattern): ordering
+  // between same-site instances is not a cycle.
+  for (int i = 0; i < 2; ++i) {
+    Mutex shard;
+    MutexLock hold(&shard);
+  }
+}
+
+#ifdef RASED_DEADLOCK_DETECTOR
+
+// The inversion bodies live in plain functions, NOT inside EXPECT_DEATH:
+// a statement written in a macro argument expands entirely at the macro
+// invocation's line, which would give both mutexes the same construction
+// site and turn the cycle into an ignored self-edge.
+
+void RunAbbaInversion() {
+  // Thread one takes a then b, thread two takes b then a — the classic
+  // ABBA inversion. Both acquisitions succeed in sequence (the threads
+  // never overlap), so only the order graph can see the deadlock. The
+  // detector must abort before the second thread can ever block.
+  Mutex a;
+  Mutex b;
+  std::thread t1([&] {
+    MutexLock hold_a(&a);
+    MutexLock hold_b(&b);
+  });
+  t1.join();
+  std::thread t2([&] {
+    MutexLock hold_b(&b);
+    MutexLock hold_a(&a);
+  });
+  t2.join();
+}
+
+TEST(DeadlockDetectorDeathTest, LockOrderInversionAborts) {
+  EXPECT_DEATH(RunAbbaInversion(), "lock-order cycle detected");
+}
+
+void RunSharedInversion() {
+  // Reader locks order-track like writer locks: an inversion through a
+  // SharedMutex read side still aborts.
+  SharedMutex catalog;
+  Mutex tail;
+  std::thread t1([&] {
+    ReaderMutexLock hold_catalog(&catalog);
+    MutexLock hold_tail(&tail);
+  });
+  t1.join();
+  std::thread t2([&] {
+    MutexLock hold_tail(&tail);
+    ReaderMutexLock hold_catalog(&catalog);
+  });
+  t2.join();
+}
+
+TEST(DeadlockDetectorDeathTest, SharedAcquisitionsJoinTheGraph) {
+  EXPECT_DEATH(RunSharedInversion(), "lock-order cycle detected");
+}
+
+#else  // !RASED_DEADLOCK_DETECTOR
+
+TEST(DeadlockDetectorDeathTest, LockOrderInversionAborts) {
+  GTEST_SKIP() << "RASED_DEADLOCK_DETECTOR is off in this build "
+                  "(release without sanitizers)";
+}
+
+#endif  // RASED_DEADLOCK_DETECTOR
+
+}  // namespace
+}  // namespace rased

@@ -100,7 +100,9 @@ TEST(XmlFuzzTest, ChangesetAndHistoryReadersSurviveMutations) {
   Rng rng(888);
   for (int trial = 0; trial < 300; ++trial) {
     std::string doc = Mutate(kChangesetDoc, rng);
+    // NOLINT-RASED(status-discard): fuzzing only checks for crashes/hangs;
     (void)ChangesetReader::ParseAll(doc);
+    // NOLINT-RASED(status-discard): mutated input is expected to fail parse
     (void)HistoryReader::ParseAll(doc);
   }
 }

@@ -4,16 +4,19 @@
 # Runs, in order:
 #   1. clang-format --dry-run      (skipped if clang-format is absent)
 #   2. clang-tidy over src/        (skipped if clang-tidy is absent)
-#   3. plain build + full ctest
-#   4. bench_concurrent_queries --quick (scaling/determinism smoke gate)
-#   5. bench_query_hotpath --quick (batched-I/O + kernel smoke gate;
+#   3. rased-lint over src/tests/bench/tools (project-specific rules,
+#      DESIGN.md section 9; zero unsuppressed findings required)
+#   4. shellcheck over the repo's shell scripts (skipped if absent)
+#   5. plain build + full ctest
+#   6. bench_concurrent_queries --quick (scaling/determinism smoke gate)
+#   7. bench_query_hotpath --quick (batched-I/O + kernel smoke gate;
 #      emits the BENCH_query_hotpath.json trajectory at the repo root)
-#   6. metrics smoke: boots a tiny synthetic instance, asserts the
+#   8. metrics smoke: boots a tiny synthetic instance, asserts the
 #      Prometheus exposition (rased metrics + live GET /metrics) covers
 #      every serving-path family and /api/trace returns spans, and
 #      appends a "metrics_snapshot" line to BENCH_query_hotpath.json
-#   7. ASan+UBSan build + full ctest
-#   8. TSan build + concurrency-focused ctest (dashboard/cache/collect/
+#   9. ASan+UBSan build + full ctest (deadlock detector enabled)
+#  10. TSan build + concurrency-focused ctest (dashboard/cache/collect/
 #      index/warehouse/hotpath/observability suites)
 #
 # Exit code 0 means every stage that could run passed. Stages whose tool
@@ -24,7 +27,7 @@
 
 set -u -o pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 PREFIX="${1:-build-check}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 FAILURES=0
@@ -60,6 +63,36 @@ if command -v clang-tidy >/dev/null 2>&1; then
   fi
 else
   skip "clang-tidy not installed"
+fi
+
+# ----------------------------------------------------------- rased-lint ---
+# The project's own static analysis (tools/lint/, rules in DESIGN.md
+# section 9). Needs no compiler beyond the one cmake already uses, so it
+# never skips: a missing binary is a failure, not a SKIP.
+note "rased-lint"
+LINT_DIR="${PREFIX}-lint"
+if cmake -B "${LINT_DIR}" -S . >/dev/null \
+    && cmake --build "${LINT_DIR}" -j "${JOBS}" \
+         --target rased_lint_bin >/dev/null; then
+  if "${LINT_DIR}/tools/lint/rased-lint" --root .; then
+    pass "rased-lint (zero unsuppressed findings)"
+  else
+    fail "rased-lint found violations"
+  fi
+else
+  fail "rased-lint failed to build"
+fi
+
+# ------------------------------------------------------------ shellcheck --
+note "shellcheck"
+if command -v shellcheck >/dev/null 2>&1; then
+  if git ls-files '*.sh' | xargs -r shellcheck -S warning; then
+    pass "shellcheck"
+  else
+    fail "shellcheck reported issues"
+  fi
+else
+  skip "shellcheck not installed"
 fi
 
 # ---------------------------------------------------------- build + test --

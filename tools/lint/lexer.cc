@@ -1,0 +1,141 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace rased_lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& src) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = src.size();
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last \n
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+    }
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c)) != 0) {
+      advance(1);
+      continue;
+    }
+
+    const int tok_line = line;
+
+    // Preprocessor directive: swallow the whole logical line, honoring
+    // backslash continuations, so macro bodies stay out of the stream.
+    if (c == '#' && at_line_start) {
+      size_t start = i;
+      while (i < n) {
+        size_t eol = src.find('\n', i);
+        if (eol == std::string::npos) {
+          advance(n - i);
+          break;
+        }
+        // A trailing backslash (optionally before \r) continues the line.
+        size_t back = eol;
+        while (back > i && (src[back - 1] == '\r')) --back;
+        bool continues = back > i && src[back - 1] == '\\';
+        advance(eol - i + 1);
+        if (!continues) break;
+      }
+      tokens.push_back({TokKind::kDirective, src.substr(start, i - start),
+                        tok_line});
+      continue;
+    }
+    at_line_start = false;
+
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      size_t eol = src.find('\n', i);
+      size_t end = (eol == std::string::npos) ? n : eol;
+      tokens.push_back({TokKind::kComment, src.substr(i, end - i), tok_line});
+      advance(end - i);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      size_t close = src.find("*/", i + 2);
+      size_t end = (close == std::string::npos) ? n : close + 2;
+      tokens.push_back({TokKind::kComment, src.substr(i, end - i), tok_line});
+      advance(end - i);
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      size_t paren = src.find('(', i + 2);
+      if (paren != std::string::npos && paren - (i + 2) <= 16) {
+        std::string delim = src.substr(i + 2, paren - (i + 2));
+        std::string closer = ")" + delim + "\"";
+        size_t close = src.find(closer, paren + 1);
+        size_t content_end = (close == std::string::npos) ? n : close;
+        tokens.push_back({TokKind::kString,
+                          src.substr(paren + 1, content_end - paren - 1),
+                          tok_line});
+        size_t end = (close == std::string::npos) ? n : close + closer.size();
+        advance(end - i);
+        continue;
+      }
+    }
+
+    // String / char literals with escapes.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      size_t end = (j < n) ? j + 1 : n;
+      tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                        src.substr(i + 1, (end > i + 1 ? end - i - 2 : 0)),
+                        tok_line});
+      advance(end - i);
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      tokens.push_back({TokKind::kIdent, src.substr(i, j - i), tok_line});
+      advance(j - i);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      size_t j = i;
+      while (j < n && (IsIdentChar(src[j]) || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        ++j;
+      }
+      tokens.push_back({TokKind::kNumber, src.substr(i, j - i), tok_line});
+      advance(j - i);
+      continue;
+    }
+
+    tokens.push_back({TokKind::kPunct, std::string(1, c), tok_line});
+    advance(1);
+  }
+  return tokens;
+}
+
+}  // namespace rased_lint

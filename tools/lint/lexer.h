@@ -1,0 +1,41 @@
+#ifndef RASED_TOOLS_LINT_LEXER_H_
+#define RASED_TOOLS_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+/// A deliberately small C++ tokenizer for rased-lint (DESIGN.md §9). It
+/// understands exactly as much of the language as the project rules need:
+/// identifiers, numbers, string/char literals (including raw strings),
+/// comments (kept as tokens so NOLINT-RASED directives survive),
+/// preprocessor directives (collapsed to one token each so macro bodies
+/// never confuse the checkers), and single-character punctuation. It does
+/// not preprocess, template-parse, or build an AST — rules are written
+/// against token patterns plus the project's naming conventions (members
+/// end in '_', classes use {}), which is what keeps the tool at a few
+/// hundred lines with no libclang dependency.
+namespace rased_lint {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kString,   // "..." or R"(...)" — text holds the *unquoted* contents
+  kChar,     // '...'
+  kPunct,    // one character of operator/punctuation
+  kComment,  // // or /* */ — text holds the full comment
+  kDirective,  // a whole # line (with continuations), text holds it all
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+};
+
+/// Tokenizes `src`. Never fails: unterminated literals/comments produce a
+/// final token covering the rest of the file.
+std::vector<Token> Lex(const std::string& src);
+
+}  // namespace rased_lint
+
+#endif  // RASED_TOOLS_LINT_LEXER_H_

@@ -1,0 +1,53 @@
+#ifndef RASED_TOOLS_LINT_LINT_H_
+#define RASED_TOOLS_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+/// rased-lint: project-specific static analysis (DESIGN.md §9).
+///
+/// Enforces the RASED contracts that generic tooling cannot know about:
+/// concurrency discipline (rased::Mutex only, guarded fields, no blocking
+/// under a lock), Status discipline, observability discipline (metric
+/// family naming, registration outside loops), and hygiene (banned
+/// functions, include order, header guards).
+///
+/// Suppression: a finding is silenced by
+///   // NOLINT-RASED(raw-mutex): reason
+/// on the same line or the line directly above, where `rule` is the RLxxx
+/// id or the rule name (comma-separated list for several). The reason is
+/// mandatory; a missing or empty reason is itself a finding (RL011).
+namespace rased_lint {
+
+struct RuleInfo {
+  const char* id;    // stable, e.g. "RL001"
+  const char* name;  // readable, e.g. "raw-mutex"
+  const char* what;  // one-line description
+};
+
+/// Every rule, in id order.
+const std::vector<RuleInfo>& Rules();
+
+struct Finding {
+  std::string file;  // path as passed to LintFile
+  int line = 0;
+  std::string rule_id;
+  std::string rule_name;
+  std::string message;
+};
+
+struct LintStats {
+  int suppressed = 0;  // findings silenced by a valid NOLINT-RASED
+};
+
+/// Lints one file. `display_path` is echoed into findings; `repo_path` is
+/// the repo-relative path (forward slashes) that allowlists and the
+/// header-guard rule key on; `contents` is the file body.
+std::vector<Finding> LintFile(const std::string& display_path,
+                              const std::string& repo_path,
+                              const std::string& contents,
+                              LintStats* stats = nullptr);
+
+}  // namespace rased_lint
+
+#endif  // RASED_TOOLS_LINT_LINT_H_

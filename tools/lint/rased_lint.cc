@@ -1,0 +1,155 @@
+// rased-lint: project-specific static analysis for RASED (DESIGN.md §9).
+//
+// Scans src/, tests/, bench/, and tools/ for violations of the project's
+// concurrency, Status, observability, and hygiene contracts. Exit code 0
+// means zero unsuppressed findings; 1 means findings; 2 means usage or
+// I/O error.
+//
+// Usage:
+//   rased-lint [--root DIR] [--json] [paths...]   lint files/directories
+//   rased-lint --list-rules                       describe every rule
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Directories holding deliberate violations (rule fixtures); linting
+/// them would drown the signal.
+bool IsExcluded(const std::string& repo_path) {
+  return repo_path.rfind("tests/lint/fixtures", 0) == 0;
+}
+
+bool IsSourceFile(const fs::path& path) {
+  return path.extension() == ".h" || path.extension() == ".cc";
+}
+
+std::string RepoRelative(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(path, root, ec);
+  std::string out = (ec ? path : rel).generic_string();
+  while (out.rfind("./", 0) == 0) out = out.substr(2);
+  return out;
+}
+
+void CollectFiles(const fs::path& path, const fs::path& root,
+                  std::vector<fs::path>* files) {
+  if (fs::is_directory(path)) {
+    for (const auto& entry : fs::recursive_directory_iterator(path)) {
+      if (entry.is_regular_file() && IsSourceFile(entry.path()) &&
+          !IsExcluded(RepoRelative(entry.path(), root))) {
+        files->push_back(entry.path());
+      }
+    }
+  } else {
+    files->push_back(path);
+  }
+}
+
+/// Minimal JSON string escaping for the --json findings stream.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool json = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const rased_lint::RuleInfo& rule : rased_lint::Rules()) {
+        std::printf("%s %-20s %s\n", rule.id, rule.name, rule.what);
+      }
+      return 0;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "rased-lint: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    for (const char* dir : {"src", "tests", "bench", "tools"}) {
+      if (fs::is_directory(fs::path(root) / dir)) {
+        paths.push_back((fs::path(root) / dir).string());
+      }
+    }
+    if (paths.empty()) {
+      std::fprintf(stderr, "rased-lint: no src/tests/bench/tools under %s\n",
+                   root.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& path : paths) {
+    if (!fs::exists(path)) {
+      std::fprintf(stderr, "rased-lint: no such path: %s\n", path.c_str());
+      return 2;
+    }
+    CollectFiles(path, root, &files);
+  }
+  std::sort(files.begin(), files.end());
+
+  rased_lint::LintStats stats;
+  int total = 0;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "rased-lint: cannot read %s\n",
+                   file.string().c_str());
+      return 2;
+    }
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    std::vector<rased_lint::Finding> findings = rased_lint::LintFile(
+        file.string(), RepoRelative(file, root), contents.str(), &stats);
+    for (const rased_lint::Finding& finding : findings) {
+      ++total;
+      if (json) {
+        std::printf(
+            "{\"file\":\"%s\",\"line\":%d,\"rule\":\"%s\","
+            "\"name\":\"%s\",\"message\":\"%s\"}\n",
+            JsonEscape(finding.file).c_str(), finding.line,
+            finding.rule_id.c_str(), finding.rule_name.c_str(),
+            JsonEscape(finding.message).c_str());
+      } else {
+        std::printf("%s:%d: [%s %s] %s\n", finding.file.c_str(), finding.line,
+                    finding.rule_id.c_str(), finding.rule_name.c_str(),
+                    finding.message.c_str());
+      }
+    }
+  }
+  std::fprintf(stderr, "rased-lint: %zu files, %d finding%s, %d suppressed\n",
+               files.size(), total, total == 1 ? "" : "s", stats.suppressed);
+  return total == 0 ? 0 : 1;
+}
