@@ -239,12 +239,16 @@ int main(int argc, char** argv) {
   cache_options.policy = CachePolicy::kLru;
   cache_options.num_slots = 1 << 20;  // effectively unbounded
   CubeCache cache(cache_options);
+  // Insert with each cube's page from a pinned snapshot so the executor's
+  // page-validated probes hit (a page-less insert would never validate).
+  CatalogSnapshot warm_snapshot = index->Snapshot();
   for (const AnalysisQuery& q : queries) {
     for (const CubeKey& key : executor.PlanFor(q).cubes) {
       if (resident.find(key) != resident.end()) continue;
       auto cube = index->ReadCube(key);
       RASED_CHECK(cube.ok());
-      cache.Insert(key, DataCube(cube.value()));
+      cache.Insert(key, warm_snapshot.PageOf(key).value_or(kInvalidPageId),
+                   DataCube(cube.value()));
       resident.emplace(key, std::move(cube).value());
     }
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <utility>
 
 #include "util/logging.h"
@@ -31,11 +32,13 @@ CubeCache::CubeCache(const CacheOptions& options) : options_(options) {
   }
 }
 
-void CubeCache::Preload(const TemporalIndex* index, Level level,
+void CubeCache::Preload(const TemporalIndex* index,
+                        const CatalogSnapshot& snapshot, Level level,
                         size_t slots) {
   if (slots == 0) return;
-  for (const CubeKey& key : index->LatestKeys(level, slots)) {
-    auto cube = index->ReadCube(key);
+  for (const CubeKey& key : snapshot.LatestKeys(level, slots)) {
+    std::optional<PageId> page = snapshot.PageOf(key);
+    auto cube = index->ReadCube(snapshot, key);
     if (!cube.ok()) {
       RASED_LOG(Warning) << "cache preload of " << key.ToString()
                          << " failed: " << cube.status().ToString();
@@ -44,7 +47,8 @@ void CubeCache::Preload(const TemporalIndex* index, Level level,
     auto shared =
         std::make_shared<const DataCube>(std::move(cube).value());
     MutexLock lock(&mu_);
-    Entry entry{std::move(shared), lru_list_.end(), false};
+    Entry entry{std::move(shared), page.value_or(kInvalidPageId),
+                lru_list_.end(), false};
     entries_.insert_or_assign(key, std::move(entry));
     ++stats_.preloaded;
     if (metrics_.preloads != nullptr) {
@@ -56,10 +60,14 @@ void CubeCache::Preload(const TemporalIndex* index, Level level,
 
 Status CubeCache::Warm(const TemporalIndex* index) {
   if (options_.policy == CachePolicy::kLru) return Status::OK();
+  // One snapshot for the whole warm pass: every preloaded entry carries
+  // the page of the same published version, and maintenance concurrent
+  // with the warm neither blocks nor is blocked by it.
+  CatalogSnapshot snapshot = index->Snapshot();
   Clear();
   size_t n = options_.num_slots;
   if (options_.policy == CachePolicy::kAllDaily) {
-    Preload(index, Level::kDaily, n);
+    Preload(index, snapshot, Level::kDaily, n);
     return Status::OK();
   }
   // kRasedRecency: split N by (alpha, beta, gamma, theta); leftover slots
@@ -68,14 +76,14 @@ Status CubeCache::Warm(const TemporalIndex* index) {
   size_t weekly = static_cast<size_t>(std::floor(options_.beta * n));
   size_t monthly = static_cast<size_t>(std::floor(options_.gamma * n));
   size_t yearly = static_cast<size_t>(std::floor(options_.theta * n));
-  Preload(index, Level::kWeekly, weekly);
-  Preload(index, Level::kMonthly, monthly);
-  Preload(index, Level::kYearly, yearly);
+  Preload(index, snapshot, Level::kWeekly, weekly);
+  Preload(index, snapshot, Level::kMonthly, monthly);
+  Preload(index, snapshot, Level::kYearly, yearly);
   // Daily receives its alpha share plus whatever the coarser levels could
   // not fill (an index may simply have fewer than theta*N yearly cubes).
   size_t resident = size();
   size_t remaining = resident < n ? n - resident : 0;
-  Preload(index, Level::kDaily, remaining);
+  Preload(index, snapshot, Level::kDaily, remaining);
   return Status::OK();
 }
 
@@ -95,19 +103,47 @@ std::shared_ptr<const DataCube> CubeCache::Find(const CubeKey& key) {
   return it->second.cube;
 }
 
+std::shared_ptr<const DataCube> CubeCache::Find(const CubeKey& key,
+                                                PageId page) {
+  MutexLock lock(&mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.page != page) {
+    // Absent, or cached from a different page (a different version of the
+    // cube): never serve it to this snapshot.
+    ++stats_.misses;
+    if (metrics_.misses != nullptr) metrics_.misses->Increment();
+    return nullptr;
+  }
+  ++stats_.hits;
+  if (metrics_.hits != nullptr) metrics_.hits->Increment();
+  if (options_.policy == CachePolicy::kLru && it->second.in_lru) {
+    lru_list_.splice(lru_list_.begin(), lru_list_, it->second.lru_it);
+  }
+  return it->second.cube;
+}
+
 void CubeCache::Insert(const CubeKey& key, const DataCube& cube) {
+  Insert(key, kInvalidPageId, cube);
+}
+
+void CubeCache::Insert(const CubeKey& key, DataCube&& cube) {
+  Insert(key, kInvalidPageId, std::move(cube));
+}
+
+void CubeCache::Insert(const CubeKey& key, PageId page,
+                       const DataCube& cube) {
   if (options_.policy != CachePolicy::kLru) return;
   // Build the shared copy outside the lock; admission is pointer surgery.
   auto shared = std::make_shared<const DataCube>(cube);
   MutexLock lock(&mu_);
-  AdmitLru(key, std::move(shared));
+  AdmitLru(key, page, std::move(shared));
 }
 
-void CubeCache::Insert(const CubeKey& key, DataCube&& cube) {
+void CubeCache::Insert(const CubeKey& key, PageId page, DataCube&& cube) {
   if (options_.policy != CachePolicy::kLru) return;
   auto shared = std::make_shared<const DataCube>(std::move(cube));
   MutexLock lock(&mu_);
-  AdmitLru(key, std::move(shared));
+  AdmitLru(key, page, std::move(shared));
 }
 
 bool CubeCache::Contains(const CubeKey& key) const {
@@ -115,12 +151,19 @@ bool CubeCache::Contains(const CubeKey& key) const {
   return entries_.find(key) != entries_.end();
 }
 
-void CubeCache::AdmitLru(const CubeKey& key,
+bool CubeCache::Contains(const CubeKey& key, PageId page) const {
+  MutexLock lock(&mu_);
+  auto it = entries_.find(key);
+  return it != entries_.end() && it->second.page == page;
+}
+
+void CubeCache::AdmitLru(const CubeKey& key, PageId page,
                          std::shared_ptr<const DataCube> cube) {
   if (options_.num_slots == 0) return;
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     it->second.cube = std::move(cube);
+    it->second.page = page;
     if (it->second.in_lru) {
       lru_list_.splice(lru_list_.begin(), lru_list_, it->second.lru_it);
     }
@@ -134,7 +177,7 @@ void CubeCache::AdmitLru(const CubeKey& key,
     if (metrics_.evictions != nullptr) metrics_.evictions->Increment();
   }
   lru_list_.push_front(key);
-  Entry entry{std::move(cube), lru_list_.begin(), true};
+  Entry entry{std::move(cube), page, lru_list_.begin(), true};
   entries_.emplace(key, std::move(entry));
   if (metrics_.admissions != nullptr) {
     metrics_.admissions->Increment();

@@ -65,27 +65,45 @@ struct CacheStats {
 /// cost only for misses.
 ///
 /// Threading contract: CubeCache is internally synchronized. Lookups,
-/// inserts, invalidation, and stats are safe from any number of dashboard
-/// worker threads concurrently. Entries are immutable once admitted and
-/// handed out as shared_ptr, so a reader keeps its cube alive even if an
-/// LRU eviction or InvalidateRange drops the entry mid-read. The one
-/// exception is Warm(), which drives the (single-threaded) TemporalIndex
-/// pager and must not run concurrently with index maintenance — Rased
-/// serializes it against ingestion.
+/// inserts, invalidation, warming, and stats are safe from any number of
+/// dashboard worker threads concurrently. Entries are immutable once
+/// admitted and handed out as shared_ptr, so a reader keeps its cube alive
+/// even if an LRU eviction or InvalidateRange drops the entry mid-read.
+/// Warm() pins one catalog snapshot and preloads against it without
+/// blocking readers or writers (its reads charge the pager like any
+/// query's).
+///
+/// MVCC validation: every entry remembers the page its cube was read
+/// from. The page-taking Find/Contains/Insert overloads treat the page id
+/// as the entry's version: a lookup hits only when the caller's snapshot
+/// resolves the key to the same page, so a cube cached under a retired
+/// epoch can never serve a query pinned to a newer one (RebuildMonth
+/// always stages replacement cubes to fresh pages). Entries for untouched
+/// keys keep their page across publications and keep hitting — no blanket
+/// invalidation on epoch bumps. The page-less overloads skip validation
+/// (kInvalidPageId) for callers outside the query path.
 class CubeCache {
  public:
   explicit CubeCache(const CacheOptions& options);
 
-  /// Preloads cubes from the index per the configured policy. For
-  /// kRasedRecency/kAllDaily this performs the full static prefetch; for
-  /// kLru it is a no-op (the cache fills on demand). Warm reads go through
-  /// the index pager but are an offline cost — callers typically reset
-  /// pager stats afterwards.
+  /// Preloads cubes per the configured policy against one pinned snapshot
+  /// of `index`'s current version. For kRasedRecency/kAllDaily this
+  /// performs the full static prefetch; for kLru it is a no-op (the cache
+  /// fills on demand). Warm reads go through the index pager but are an
+  /// offline cost — callers typically reset pager stats afterwards.
+  /// Non-blocking: queries keep running (and hitting) while Warm refills.
   Status Warm(const TemporalIndex* index) RASED_EXCLUDES(mu_);
 
   /// Returns the cached cube or nullptr; counts a hit/miss. For kLru the
   /// entry is refreshed. The returned pointer remains valid after eviction.
   std::shared_ptr<const DataCube> Find(const CubeKey& key)
+      RASED_EXCLUDES(mu_);
+
+  /// Page-validated lookup: hits only if the entry was cached from
+  /// `page` (the caller's snapshot resolution of `key`). A mismatch counts
+  /// as a miss and leaves the entry in place — a reader pinned to the
+  /// entry's own version can still hit it.
+  std::shared_ptr<const DataCube> Find(const CubeKey& key, PageId page)
       RASED_EXCLUDES(mu_);
 
   /// Hands a cube fetched from disk to the cache. Only the kLru policy
@@ -97,6 +115,13 @@ class CubeCache {
   /// of paying a deep copy per miss.
   void Insert(const CubeKey& key, DataCube&& cube) RASED_EXCLUDES(mu_);
 
+  /// Page-carrying inserts: record the page the cube was fetched from so
+  /// later page-validated lookups can hit it.
+  void Insert(const CubeKey& key, PageId page, const DataCube& cube)
+      RASED_EXCLUDES(mu_);
+  void Insert(const CubeKey& key, PageId page, DataCube&& cube)
+      RASED_EXCLUDES(mu_);
+
   /// Whether Insert can ever admit (true only for kLru). Lets the executor
   /// skip materializing cache copies entirely under the static policies.
   bool AdmitsOnQuery() const {
@@ -104,6 +129,9 @@ class CubeCache {
   }
 
   bool Contains(const CubeKey& key) const RASED_EXCLUDES(mu_);
+
+  /// Page-validated membership test (the optimizer's IsCached probe).
+  bool Contains(const CubeKey& key, PageId page) const RASED_EXCLUDES(mu_);
 
   /// Drops every cached cube whose window overlaps `range`. Called when
   /// the monthly rebuild rewrites a month's cubes (and its month/year
@@ -119,10 +147,10 @@ class CubeCache {
   void Clear() RASED_EXCLUDES(mu_);
 
  private:
-  void AdmitLru(const CubeKey& key, std::shared_ptr<const DataCube> cube)
-      RASED_REQUIRES(mu_);
-  void Preload(const TemporalIndex* index, Level level, size_t slots)
-      RASED_EXCLUDES(mu_);
+  void AdmitLru(const CubeKey& key, PageId page,
+                std::shared_ptr<const DataCube> cube) RASED_REQUIRES(mu_);
+  void Preload(const TemporalIndex* index, const CatalogSnapshot& snapshot,
+               Level level, size_t slots) RASED_EXCLUDES(mu_);
   void ClearLocked() RASED_REQUIRES(mu_);
 
   const CacheOptions options_;  // immutable after construction
@@ -154,6 +182,9 @@ class CubeCache {
   // Cubes are shared_ptr<const> so hits escape the lock safely.
   struct Entry {
     std::shared_ptr<const DataCube> cube;
+    /// Page the cube was read from — the entry's version for MVCC
+    /// validation. kInvalidPageId marks unvalidated (page-less) inserts.
+    PageId page = kInvalidPageId;
     std::list<CubeKey>::iterator lru_it;
     bool in_lru = false;
   };

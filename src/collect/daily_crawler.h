@@ -21,6 +21,11 @@ namespace rased {
 /// provisional — only "new" vs "updated" is inferable from diffs, so
 /// updated tuples land in the kProvisionalUpdate slot until the monthly
 /// crawler reclassifies (see UpdateType documentation).
+///
+/// A crawl is the stage half of the stage-then-publish ingest protocol:
+/// it only reads XML and emits tuples, so nothing it does is visible to
+/// queries — the day becomes queryable in one atomic catalog publication
+/// after the index appends the cube built from these tuples.
 class DailyCrawler {
  public:
   /// The map and road-type table must outlive the crawler. The table is

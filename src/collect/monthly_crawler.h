@@ -19,7 +19,11 @@ namespace rased {
 /// every two consecutive versions of an element, and classifies each update
 /// as create / delete / geometry update / metadata update — the information
 /// diffs cannot provide. Its output replaces the month's provisional daily
-/// UpdateLists (see TemporalIndex::RebuildMonth).
+/// UpdateLists (see TemporalIndex::RebuildMonth). Like the daily crawl,
+/// this is pure staging: the month's replacement cubes are written to
+/// fresh pages off to the side and swapped in as one atomic catalog
+/// publication, so queries either see the whole reclassified month or
+/// none of it — never a mix.
 ///
 /// Full-history files store all versions of one element consecutively in
 /// ascending version order, which is what the pairwise comparison relies

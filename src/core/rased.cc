@@ -196,7 +196,7 @@ Status Rased::InitComponents(bool create) {
 
 Status Rased::IngestDailyArtifacts(Date day, std::string_view osc_xml,
                                    std::string_view changesets_xml) {
-  WriterMutexLock lock(&mu_);
+  MutexLock lock(&ingest_mu_);
   ChangesetStore changesets;
   RASED_RETURN_IF_ERROR(changesets.AddFromXml(changesets_xml));
   DailyCrawler crawler(world_.get(), road_types_.get(), metrics_);
@@ -207,7 +207,7 @@ Status Rased::IngestDailyArtifacts(Date day, std::string_view osc_xml,
 
 Status Rased::IngestDayRecords(Date day,
                                const std::vector<UpdateRecord>& records) {
-  WriterMutexLock lock(&mu_);
+  MutexLock lock(&ingest_mu_);
   return IngestDayRecordsLocked(day, records);
 }
 
@@ -232,7 +232,7 @@ Status Rased::IngestDayRecordsLocked(
 }
 
 Status Rased::IngestDayCube(Date day, const DataCube& cube) {
-  WriterMutexLock lock(&mu_);
+  MutexLock lock(&ingest_mu_);
   RASED_RETURN_IF_ERROR(index_->AppendDay(day, cube));
   ingest_metrics_.days->Increment();
   return Status::OK();
@@ -241,7 +241,7 @@ Status Rased::IngestDayCube(Date day, const DataCube& cube) {
 Status Rased::ApplyMonthlyArtifacts(Date month_start,
                                     std::string_view history_xml,
                                     std::string_view changesets_xml) {
-  WriterMutexLock lock(&mu_);
+  MutexLock lock(&ingest_mu_);
   ChangesetStore changesets;
   RASED_RETURN_IF_ERROR(changesets.AddFromXml(changesets_xml));
   MonthlyCrawler crawler(world_.get(), road_types_.get());
@@ -261,10 +261,14 @@ Status Rased::ApplyMonthlyArtifacts(Date month_start,
   }
   RASED_RETURN_IF_ERROR(index_->RebuildMonth(month_start, cubes));
 
-  // The rebuild rewrote this month's cubes and their month/year ancestors
-  // underneath the cache; evict the stale copies. The containing year's
-  // range covers every affected ancestor. Statically-warmed policies are
-  // refilled from the fresh index (another offline cost).
+  // The rebuild published a new catalog version with fresh pages for this
+  // month and its month/year ancestors. Cache entries for the replaced
+  // cubes are page-validated, so they can no longer serve post-publication
+  // snapshots (and correctly keep serving readers still pinned to the old
+  // version); evicting them just reclaims the slots promptly. The
+  // containing year's range covers every affected ancestor.
+  // Statically-warmed policies are refilled against the new version
+  // (another offline cost) — readers keep querying throughout.
   cache_->InvalidateRange(
       DateRange(month_start.year_start(), month_start.year_end()));
   if (cache_->options().policy != CachePolicy::kLru &&
@@ -275,11 +279,15 @@ Status Rased::ApplyMonthlyArtifacts(Date month_start,
 }
 
 Status Rased::WarmCache() {
-  WriterMutexLock lock(&mu_);
+  MutexLock lock(&ingest_mu_);
   return WarmCacheLocked();
 }
 
 Status Rased::WarmCacheLocked() {
+  // Warm pins one snapshot of the currently published version internally;
+  // concurrent queries keep running against their own snapshots the whole
+  // time (their page-validated probes simply miss entries the warm pass
+  // hasn't refilled yet).
   RASED_RETURN_IF_ERROR(cache_->Warm(index_.get()));
   // Warm-up reads are offline cost; keep query-time I/O accounting clean.
   index_->pager()->ResetStats();
@@ -287,13 +295,13 @@ Status Rased::WarmCacheLocked() {
 }
 
 Result<QueryResult> Rased::Query(const AnalysisQuery& query) const {
-  ReaderMutexLock lock(&mu_);
+  // Lock-free: the executor pins the current catalog version (MVCC) and
+  // the whole execution runs against that immutable snapshot.
   return executor_->Execute(query);
 }
 
 Result<std::vector<UpdateRecord>> Rased::SampleInBox(const BoundingBox& box,
                                                      size_t n) const {
-  ReaderMutexLock lock(&mu_);
   if (warehouse_ == nullptr) {
     return Status::NotSupported("warehouse disabled in this instance");
   }
@@ -302,7 +310,6 @@ Result<std::vector<UpdateRecord>> Rased::SampleInBox(const BoundingBox& box,
 
 Result<std::vector<UpdateRecord>> Rased::SampleByChangeset(
     uint64_t changeset_id) const {
-  ReaderMutexLock lock(&mu_);
   if (warehouse_ == nullptr) {
     return Status::NotSupported("warehouse disabled in this instance");
   }
@@ -311,7 +318,6 @@ Result<std::vector<UpdateRecord>> Rased::SampleByChangeset(
 
 Result<std::vector<UpdateRecord>> Rased::Sample(const SampleFilter& filter,
                                                 size_t n) const {
-  ReaderMutexLock lock(&mu_);
   if (warehouse_ == nullptr) {
     return Status::NotSupported("warehouse disabled in this instance");
   }
@@ -319,7 +325,7 @@ Result<std::vector<UpdateRecord>> Rased::Sample(const SampleFilter& filter,
 }
 
 Status Rased::Sync() {
-  WriterMutexLock lock(&mu_);
+  MutexLock lock(&ingest_mu_);
   RASED_RETURN_IF_ERROR(SaveMeta());
   RASED_RETURN_IF_ERROR(index_->Sync());
   if (warehouse_ != nullptr) RASED_RETURN_IF_ERROR(warehouse_->Sync());

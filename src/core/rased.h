@@ -76,15 +76,20 @@ struct RasedOptions {
 ///   AnalysisQuery q = ...;
 ///   auto result = rased->Query(q);
 ///
-/// Threading contract: reads scale, writes are exclusive — guarded
-/// internally by one reader-writer lock, so callers never lock anything.
-/// The const query family (Query, SampleInBox, SampleByChangeset, Sample)
-/// holds the lock shared: any number of dashboard workers run analysis
-/// queries concurrently, each accumulating its own QueryStats through the
-/// per-call I/O context. Ingestion (IngestDailyArtifacts, IngestDayRecords,
-/// IngestDayCube, ApplyMonthlyArtifacts), WarmCache, and Sync hold it
-/// exclusively — an append briefly drains in-flight queries and queries
-/// never observe a half-appended day. Component accessors (index(),
+/// Threading contract (MVCC): queries never block on ingest, and ingest
+/// never waits for queries to drain. The const query family (Query,
+/// SampleInBox, SampleByChangeset, Sample) takes no facade lock at all —
+/// each analysis query pins one immutable catalog snapshot inside the
+/// executor and runs plan → probe → fetch → aggregate entirely against
+/// that version, accumulating its own QueryStats through the per-call I/O
+/// context; sample queries go to the internally-synchronized warehouse.
+/// Ingestion (IngestDailyArtifacts, IngestDayRecords, IngestDayCube,
+/// ApplyMonthlyArtifacts), WarmCache, and Sync serialize against each
+/// other on one writer mutex: a pipeline crawls and stages off to the
+/// side, then the index publishes the new day and all of its rollups in a
+/// single atomic version swap — queries started before the swap keep
+/// reading the old version, queries started after see the new one, and no
+/// query ever observes a half-appended day. Component accessors (index(),
 /// cache(), ...) return internally-synchronized objects whose const reads
 /// are likewise safe from any thread; mutating them directly (pager(),
 /// mutable_world()) is setup/tooling territory and must not race serving.
@@ -109,40 +114,42 @@ class Rased {
   /// warehouse.
   Status IngestDailyArtifacts(Date day, std::string_view osc_xml,
                               std::string_view changesets_xml)
-      RASED_EXCLUDES(mu_);
+      RASED_EXCLUDES(ingest_mu_);
 
   /// Same pipeline when the UpdateList tuples are already in hand.
   Status IngestDayRecords(Date day, const std::vector<UpdateRecord>& records)
-      RASED_EXCLUDES(mu_);
+      RASED_EXCLUDES(ingest_mu_);
 
   /// Fast path: append a prebuilt day cube (no warehouse, no crawl).
-  Status IngestDayCube(Date day, const DataCube& cube) RASED_EXCLUDES(mu_);
+  Status IngestDayCube(Date day, const DataCube& cube)
+      RASED_EXCLUDES(ingest_mu_);
 
   /// Monthly pipeline: crawl the month's full-history fragment (full
   /// four-way UpdateType classification) and rebuild the month's cubes.
   Status ApplyMonthlyArtifacts(Date month_start, std::string_view history_xml,
                                std::string_view changesets_xml)
-      RASED_EXCLUDES(mu_);
+      RASED_EXCLUDES(ingest_mu_);
 
-  /// Preloads the cube cache per the configured policy.
-  Status WarmCache() RASED_EXCLUDES(mu_);
+  /// Preloads the cube cache per the configured policy against the
+  /// currently published catalog version. Serialized with ingest (so the
+  /// warmed epoch is well defined) but never blocks queries: readers keep
+  /// hitting the cache — page-validated against their own snapshots —
+  /// while the warm pass refills it.
+  Status WarmCache() RASED_EXCLUDES(ingest_mu_);
 
   // ---- queries (Section IV) ----
-  // Const and concurrency-safe: each call holds the facade lock shared and
-  // charges its own per-query stats.
+  // Const and concurrency-safe without any facade lock: each call pins an
+  // immutable catalog snapshot (MVCC) and charges its own per-query stats.
 
-  Result<QueryResult> Query(const AnalysisQuery& query) const
-      RASED_EXCLUDES(mu_);
+  Result<QueryResult> Query(const AnalysisQuery& query) const;
 
   /// Sample update queries (Section IV-B); n defaults to the paper's 100.
   Result<std::vector<UpdateRecord>> SampleInBox(const BoundingBox& box,
-                                                size_t n = 100) const
-      RASED_EXCLUDES(mu_);
+                                                size_t n = 100) const;
   Result<std::vector<UpdateRecord>> SampleByChangeset(
-      uint64_t changeset_id) const RASED_EXCLUDES(mu_);
+      uint64_t changeset_id) const;
   Result<std::vector<UpdateRecord>> Sample(const SampleFilter& filter,
-                                           size_t n = 100) const
-      RASED_EXCLUDES(mu_);
+                                           size_t n = 100) const;
 
   // ---- component access ----
 
@@ -175,20 +182,19 @@ class Rased {
     return road_types_->Intern(highway);
   }
 
-  Status Sync() RASED_EXCLUDES(mu_);
+  Status Sync() RASED_EXCLUDES(ingest_mu_);
 
  private:
   explicit Rased(const RasedOptions& options);
 
   Status InitComponents(bool create);
 
-  /// Lock-free bodies shared by the public entry points (the public
-  /// wrappers take the writer lock once; pipelines compose these without
-  /// re-acquiring).
+  /// Bodies shared by the public entry points (the public wrappers take
+  /// the ingest mutex once; pipelines compose these without re-acquiring).
   Status IngestDayRecordsLocked(Date day,
                                 const std::vector<UpdateRecord>& records)
-      RASED_REQUIRES(mu_);
-  Status WarmCacheLocked() RASED_REQUIRES(mu_);
+      RASED_REQUIRES(ingest_mu_);
+  Status WarmCacheLocked() RASED_REQUIRES(ingest_mu_);
 
   /// rased.meta persistence: structural options plus the mutable lookup
   /// state that must survive restarts — interned road types (cube
@@ -198,11 +204,13 @@ class Rased {
   Status LoadMeta();
   static std::string MetaPath(const std::string& dir);
 
-  /// The facade-level reader-writer lock: queries hold it shared,
-  /// ingestion/maintenance hold it exclusive. Ordered before any component
-  /// lock (index catalog, cache, road-type table) — those are only ever
-  /// acquired while this one is held or from single-threaded setup.
-  mutable SharedMutex mu_;
+  /// Serializes the write side only (ingestion pipelines, WarmCache,
+  /// Sync): crawls stay ordered, the warehouse appends in day order, and
+  /// rased.meta snapshots a quiescent road-type table. Queries never touch
+  /// it — the read side is lock-free via catalog snapshots (MVCC), so this
+  /// mutex is ordered before the component locks (index maintenance,
+  /// cache, road-type table) but never interacts with readers at all.
+  mutable Mutex ingest_mu_;
 
   /// Everything below is assigned once in InitComponents — before any
   /// caller thread can reach the facade — and is immutable afterwards;

@@ -10,7 +10,12 @@ namespace rased {
 
 /// Connects a RASED instance to a replication feed: each CatchUp crawls
 /// every unapplied diff, groups the resulting UpdateList tuples by day,
-/// and ingests complete days through the normal daily pipeline.
+/// and ingests complete days through the normal daily pipeline. Each
+/// ingested day stages its cubes off to the side and lands as one atomic
+/// catalog publication (MVCC), so a dashboard serving queries while
+/// CatchUp runs never stalls and never sees a half-applied day — readers
+/// pinned before a day's publication keep their epoch, readers arriving
+/// after see the day and all of its rollups at once.
 ///
 /// Day finalization: the temporal index appends one cube per day, once —
 /// so a day is ingested only when the feed has moved past it (a newer

@@ -284,6 +284,7 @@ void DashboardService::ExecuteAndRender(const AnalysisQuery& query,
   trace.page_reads = value.stats.io.page_reads;
   trace.read_ops = value.stats.io.read_ops;
   trace.bytes_read = value.stats.io.bytes_read;
+  trace.epoch = value.stats.epoch;
   trace.spans = value.spans;
   trace.spans.push_back({"render", render_micros, 0});
   rased_->traces()->Record(std::move(trace));
@@ -431,6 +432,7 @@ void DashboardService::HandleTrace(const HttpRequest&,
     w.KV("page_reads", t.page_reads);
     w.KV("read_ops", t.read_ops);
     w.KV("bytes_read", t.bytes_read);
+    w.KV("epoch", t.epoch);
     w.Key("spans");
     w.BeginArray();
     for (const TraceSpan& span : t.spans) {

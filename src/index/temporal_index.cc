@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "io/env.h"
 #include "util/logging.h"
@@ -16,11 +17,79 @@ constexpr char kCatalogMagic[] = "rased-catalog v1";
 constexpr const char* kLevelNames[kNumLevels] = {"daily", "weekly", "monthly",
                                                  "yearly"};
 
+const CatalogVersion::LevelMap& LevelMapOf(const CatalogVersion& version,
+                                           Level level) {
+  static const CatalogVersion::LevelMap kEmpty;
+  const auto& map = version.levels[static_cast<int>(level)];
+  return map == nullptr ? kEmpty : *map;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// CatalogSnapshot
+// ---------------------------------------------------------------------------
+
+std::optional<PageId> CatalogSnapshot::PageOf(const CubeKey& key) const {
+  if (version_ == nullptr) return std::nullopt;
+  const auto& map = LevelMapOf(*version_, key.level);
+  auto it = map.find(key.start);
+  if (it == map.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<CubeKey> CatalogSnapshot::ExistingKeys(
+    Level level, const DateRange& range) const {
+  std::vector<CubeKey> keys;
+  if (version_ == nullptr) return keys;
+  const auto& map = LevelMapOf(*version_, level);
+  for (const CubeKey& key : KeysCoveredBy(level, range)) {
+    if (map.find(key.start) != map.end()) keys.push_back(key);
+  }
+  return keys;
+}
+
+std::vector<CubeKey> CatalogSnapshot::LatestKeys(Level level, size_t n) const {
+  std::vector<CubeKey> keys;
+  if (version_ == nullptr) return keys;
+  const auto& map = LevelMapOf(*version_, level);
+  for (auto it = map.rbegin(); it != map.rend() && keys.size() < n; ++it) {
+    keys.push_back(CubeKey{level, it->first});
+  }
+  std::reverse(keys.begin(), keys.end());
+  return keys;
+}
+
+DateRange CatalogSnapshot::coverage() const {
+  if (version_ == nullptr || !version_->first_day.has_value()) {
+    return DateRange();
+  }
+  return DateRange(*version_->first_day, *version_->last_day);
+}
+
+IndexStorageStats CatalogSnapshot::StorageStats() const {
+  IndexStorageStats stats;
+  if (version_ == nullptr) return stats;
+  for (int level = 0; level < kNumLevels; ++level) {
+    uint64_t count =
+        LevelMapOf(*version_, static_cast<Level>(level)).size();
+    stats.cubes_per_level[level] = count;
+    stats.total_cubes += count;
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// TemporalIndex
+// ---------------------------------------------------------------------------
 
 TemporalIndex::TemporalIndex(TemporalIndexOptions options,
                              std::unique_ptr<Pager> pager)
     : options_(std::move(options)), pager_(std::move(pager)) {
+  // The empty catalog is itself a published version: epoch 1, no cubes.
+  auto genesis = std::make_shared<CatalogVersion>();
+  genesis->epoch = 1;
+  current_.store(std::move(genesis), std::memory_order_release);
   if (options_.metrics != nullptr) {
     MetricsRegistry* registry = options_.metrics;
     pager_->RegisterMetrics(registry, "index");
@@ -31,6 +100,9 @@ TemporalIndex::TemporalIndex(TemporalIndexOptions options,
     metrics_.month_rebuilds =
         registry->GetCounter("rased_index_month_rebuilds_total",
                              "Monthly-crawler rebuild passes applied");
+    metrics_.publications =
+        registry->GetCounter("rased_index_publications_total",
+                             "Catalog versions published (epoch swaps)");
     for (int level = 0; level < kNumLevels; ++level) {
       // NOLINT-RASED(metric-in-loop): one-time registration over kNumLevels
       metrics_.cubes_per_level[level] = registry->GetGauge(
@@ -39,27 +111,25 @@ TemporalIndex::TemporalIndex(TemporalIndexOptions options,
     }
     metrics_.file_bytes = registry->GetGauge(
         "rased_index_file_bytes", "Bytes of the index page file on disk");
+    metrics_.epoch = registry->GetGauge(
+        "rased_index_epoch", "Epoch of the currently published catalog");
+    metrics_.retired = registry->GetGauge(
+        "rased_index_retired_versions",
+        "Retired catalog versions awaiting reader drain");
   }
-}
-
-void TemporalIndex::UpdateStorageMetricsLocked() const {
-  if (metrics_.file_bytes == nullptr) return;
-  uint64_t per_level[kNumLevels] = {0, 0, 0, 0};
-  for (const auto& [key, page] : catalog_) {
-    ++per_level[static_cast<int>(key.level)];
-  }
-  for (int level = 0; level < kNumLevels; ++level) {
-    metrics_.cubes_per_level[level]->Set(
-        static_cast<int64_t>(per_level[level]));
-  }
-  metrics_.file_bytes->Set(
-      static_cast<int64_t>((pager_->num_pages() + 1) * pager_->page_size()));
 }
 
 void TemporalIndex::UpdateStorageMetrics() const {
   if (metrics_.file_bytes == nullptr) return;
-  ReaderMutexLock lock(&mu_);
-  UpdateStorageMetricsLocked();
+  CatalogSnapshot snap = Snapshot();
+  IndexStorageStats stats = snap.StorageStats();
+  for (int level = 0; level < kNumLevels; ++level) {
+    metrics_.cubes_per_level[level]->Set(
+        static_cast<int64_t>(stats.cubes_per_level[level]));
+  }
+  metrics_.file_bytes->Set(
+      static_cast<int64_t>((pager_->num_pages() + 1) * pager_->page_size()));
+  metrics_.epoch->Set(static_cast<int64_t>(snap.epoch()));
 }
 
 TemporalIndex::~TemporalIndex() {
@@ -94,6 +164,7 @@ Result<std::unique_ptr<TemporalIndex>> TemporalIndex::Create(
   auto index = std::unique_ptr<TemporalIndex>(
       new TemporalIndex(options, std::move(pager).value()));
   RASED_RETURN_IF_ERROR(index->SaveCatalog());
+  index->UpdateStorageMetrics();
   return index;
 }
 
@@ -107,9 +178,11 @@ Result<std::unique_ptr<TemporalIndex>> TemporalIndex::Open(
   auto index = std::unique_ptr<TemporalIndex>(
       new TemporalIndex(options, std::move(pager).value()));
 
-  // Parse the catalog. The index is not published yet, but the analysis
-  // (rightly) doesn't know that, so hold its lock while filling it in.
-  WriterMutexLock lock(&index->mu_);
+  // Parse the catalog into the version this index will publish as its
+  // opening state. The index is not visible to other threads yet.
+  auto version = std::make_shared<CatalogVersion>();
+  version->epoch = 1;  // pre-epoch catalogs (v1 without an epoch line)
+  CatalogVersion::LevelMap maps[kNumLevels];
   std::vector<std::string> lines = Split(contents.value(), '\n');
   if (lines.empty() || lines[0] != kCatalogMagic) {
     return Status::Corruption("bad catalog header in " + options.dir);
@@ -140,12 +213,15 @@ Result<std::unique_ptr<TemporalIndex>> TemporalIndex::Open(
             StrFormat("catalog has %d levels, requested %d",
                       static_cast<int>(levels), options.num_levels));
       }
+    } else if (f[0] == "epoch" && f.size() == 2) {
+      RASED_ASSIGN_OR_RETURN(uint64_t epoch, ParseUint(f[1]));
+      version->epoch = epoch;
     } else if (f[0] == "first_day" && f.size() == 2) {
       RASED_ASSIGN_OR_RETURN(int64_t days, ParseInt(f[1]));
-      index->first_day_ = Date::FromDays(static_cast<int32_t>(days));
+      version->first_day = Date::FromDays(static_cast<int32_t>(days));
     } else if (f[0] == "last_day" && f.size() == 2) {
       RASED_ASSIGN_OR_RETURN(int64_t days, ParseInt(f[1]));
-      index->last_day_ = Date::FromDays(static_cast<int32_t>(days));
+      version->last_day = Date::FromDays(static_cast<int32_t>(days));
     } else if (f[0] == "cube" && f.size() == 4) {
       RASED_ASSIGN_OR_RETURN(int64_t level, ParseInt(f[1]));
       RASED_ASSIGN_OR_RETURN(int64_t days, ParseInt(f[2]));
@@ -153,18 +229,53 @@ Result<std::unique_ptr<TemporalIndex>> TemporalIndex::Open(
       if (level < 0 || level >= kNumLevels) {
         return Status::Corruption("bad catalog level " + f[1]);
       }
-      CubeKey key{static_cast<Level>(level),
-                  Date::FromDays(static_cast<int32_t>(days))};
-      index->catalog_[key] = page;
+      maps[level][Date::FromDays(static_cast<int32_t>(days))] = page;
     } else {
       return Status::Corruption("bad catalog line: " + std::string(line));
     }
   }
-  index->UpdateStorageMetricsLocked();
+
+  // Reconstruct the free-page pool: any page the catalog does not
+  // reference (pages orphaned by a crash between staging and publication,
+  // or retired before the last save) is reusable.
+  // User page ids are 1..num_pages (0 is the file header).
+  const PageId num_pages = index->pager_->num_pages();
+  std::vector<bool> referenced(num_pages + 1, false);
+  for (int level = 0; level < kNumLevels; ++level) {
+    for (const auto& [day, page] : maps[level]) {
+      if (page == kInvalidPageId || page > num_pages) {
+        return Status::Corruption(
+            StrFormat("catalog page %llu beyond file end",
+                      static_cast<unsigned long long>(page)));
+      }
+      referenced[page] = true;
+    }
+    version->levels[level] = std::make_shared<const CatalogVersion::LevelMap>(
+        std::move(maps[level]));
+  }
+  std::vector<PageId> free_pages;
+  for (PageId page = 1; page <= num_pages; ++page) {
+    if (!referenced[page]) free_pages.push_back(page);
+  }
+  index->pager_->ReleasePages(free_pages);
+
+  index->current_.store(std::move(version), std::memory_order_release);
+  index->UpdateStorageMetrics();
   return index;
 }
 
+CatalogSnapshot TemporalIndex::Snapshot() const {
+  return CatalogSnapshot(current_.load(std::memory_order_acquire));
+}
+
+size_t TemporalIndex::retired_versions() const {
+  MutexLock lock(&maint_mu_);
+  return retired_.size();
+}
+
 Status TemporalIndex::SaveCatalog() {
+  std::shared_ptr<const CatalogVersion> version =
+      current_.load(std::memory_order_acquire);
   std::string out = kCatalogMagic;
   out += "\n";
   out += StrFormat("schema %u %u %u %u\n", options_.schema.num_element_types,
@@ -172,17 +283,18 @@ Status TemporalIndex::SaveCatalog() {
                    options_.schema.num_road_types,
                    options_.schema.num_update_types);
   out += StrFormat("levels %d\n", options_.num_levels);
-  {
-    ReaderMutexLock lock(&mu_);
-    if (first_day_.has_value()) {
-      out += StrFormat("first_day %d\n", first_day_->days_since_epoch());
-    }
-    if (last_day_.has_value()) {
-      out += StrFormat("last_day %d\n", last_day_->days_since_epoch());
-    }
-    for (const auto& [key, page] : catalog_) {
-      out += StrFormat("cube %d %d %llu\n", static_cast<int>(key.level),
-                       key.start.days_since_epoch(),
+  out += StrFormat("epoch %llu\n",
+                   static_cast<unsigned long long>(version->epoch));
+  if (version->first_day.has_value()) {
+    out += StrFormat("first_day %d\n", version->first_day->days_since_epoch());
+  }
+  if (version->last_day.has_value()) {
+    out += StrFormat("last_day %d\n", version->last_day->days_since_epoch());
+  }
+  for (int level = 0; level < kNumLevels; ++level) {
+    for (const auto& [day, page] :
+         LevelMapOf(*version, static_cast<Level>(level))) {
+      out += StrFormat("cube %d %d %llu\n", level, day.days_since_epoch(),
                        static_cast<unsigned long long>(page));
     }
   }
@@ -195,69 +307,154 @@ Status TemporalIndex::Sync() {
   return pager_->Sync();
 }
 
-Status TemporalIndex::WriteCube(const CubeKey& key, const DataCube& cube) {
+// ---- staging ----
+
+Status TemporalIndex::StageCube(Staging* staging, const CubeKey& key,
+                                const DataCube& cube) {
   std::vector<unsigned char> buf(cube.SerializedBytes());
   cube.SerializeTo(buf.data());
-  PageId page = kInvalidPageId;
-  bool found = false;
-  {
-    ReaderMutexLock lock(&mu_);
-    auto it = catalog_.find(key);
-    if (it != catalog_.end()) {
-      page = it->second;
-      found = true;
-    }
+  // Always a fresh page: pages reachable from any published version are
+  // immutable, so a pinned reader can never observe a half-written cube.
+  RASED_ASSIGN_OR_RETURN(PageId page, pager_->AllocatePage());
+  Status write = pager_->WritePage(page, buf.data(), buf.size());
+  if (!write.ok()) {
+    const PageId failed[] = {page};
+    pager_->ReleasePages(failed);
+    return write;
   }
-  if (found) {
-    // Overwrite in place (RebuildMonth). Maintenance holds the facade's
-    // exclusive lock, so no reader can be mid-read on this page.
-    return pager_->WritePage(page, buf.data(), buf.size());
+  auto it = staging->staged.find(key);
+  if (it != staging->staged.end()) {
+    // Re-staged within this pass; the earlier page was never published,
+    // so it is immediately reusable.
+    const PageId abandoned[] = {it->second};
+    pager_->ReleasePages(abandoned);
+    it->second = page;
+    return Status::OK();
   }
-  // New cube: write the page fully, then publish the key. Writers are
-  // externally serialized, so nobody else can register this key in
-  // between; readers that race the append either miss the key or see a
-  // complete page.
-  RASED_ASSIGN_OR_RETURN(page, pager_->AllocatePage());
-  RASED_RETURN_IF_ERROR(pager_->WritePage(page, buf.data(), buf.size()));
-  WriterMutexLock lock(&mu_);
-  catalog_[key] = page;
+  staging->staged[key] = page;
+  std::optional<PageId> shadowed =
+      CatalogSnapshot(staging->base).PageOf(key);
+  if (shadowed.has_value()) staging->dropped.push_back(*shadowed);
   return Status::OK();
 }
 
-Result<DataCube> TemporalIndex::ReadCube(const CubeKey& key,
-                                         IoStats* io) const {
-  PageId page = kInvalidPageId;
-  {
-    ReaderMutexLock lock(&mu_);
-    auto it = catalog_.find(key);
-    if (it == catalog_.end()) {
-      return Status::NotFound("no cube for " + key.ToString());
-    }
-    page = it->second;
-  }
+std::optional<PageId> TemporalIndex::StagedPageOf(const Staging& staging,
+                                                  const CubeKey& key) const {
+  auto it = staging.staged.find(key);
+  if (it != staging.staged.end()) return it->second;
+  return CatalogSnapshot(staging.base).PageOf(key);
+}
+
+Result<DataCube> TemporalIndex::ReadCubeAtPage(PageId page,
+                                               IoStats* io) const {
   std::vector<unsigned char> buf(pager_->payload_size());
   RASED_RETURN_IF_ERROR(pager_->ReadPage(page, buf.data(), io));
   if (metrics_.cube_reads != nullptr) metrics_.cube_reads->Increment();
   return DataCube::Deserialize(options_.schema, buf.data(), buf.size());
 }
 
-Result<CubeBatch> TemporalIndex::ReadCubes(std::span<const CubeKey> keys,
+Result<DataCube> TemporalIndex::BuildFromChildren(
+    const Staging& staging, const CubeKey& parent,
+    const CubeKey* in_memory_key, const DataCube* in_memory_cube) const {
+  DataCube sum(options_.schema);
+  for (const CubeKey& child : parent.Children()) {
+    if (in_memory_key != nullptr && child == *in_memory_key) {
+      RASED_RETURN_IF_ERROR(sum.Merge(*in_memory_cube));
+      continue;
+    }
+    std::optional<PageId> page = StagedPageOf(staging, child);
+    if (!page.has_value()) continue;  // index may start mid-window
+    auto cube = ReadCubeAtPage(*page, nullptr);
+    if (!cube.ok()) return cube.status();
+    RASED_RETURN_IF_ERROR(sum.Merge(cube.value()));
+  }
+  return sum;
+}
+
+void TemporalIndex::PublishLocked(Staging* staging) {
+  auto next = std::make_shared<CatalogVersion>();
+  next->epoch = staging->base->epoch + 1;
+  next->first_day = staging->first_day;
+  next->last_day = staging->last_day;
+
+  // Copy-on-write per level: only levels this pass staged into are
+  // copied; untouched levels share the base version's map.
+  bool touched[kNumLevels] = {false, false, false, false};
+  for (const auto& [key, page] : staging->staged) {
+    touched[static_cast<int>(key.level)] = true;
+  }
+  for (int level = 0; level < kNumLevels; ++level) {
+    if (!touched[level]) {
+      next->levels[level] = staging->base->levels[level];
+      continue;
+    }
+    auto map = std::make_shared<CatalogVersion::LevelMap>(
+        LevelMapOf(*staging->base, static_cast<Level>(level)));
+    for (const auto& [key, page] : staging->staged) {
+      if (static_cast<int>(key.level) == level) (*map)[key.start] = page;
+    }
+    next->levels[level] = std::move(map);
+  }
+
+  // The publication point: one atomic swap makes the day AND all of its
+  // rollups visible together. Readers pinned to the base keep using it.
+  current_.store(next, std::memory_order_release);
+  retired_.push_back(
+      RetiredVersion{std::move(staging->base), std::move(staging->dropped)});
+  if (metrics_.publications != nullptr) metrics_.publications->Increment();
+  ReclaimRetiredLocked();
+}
+
+void TemporalIndex::ReclaimRetiredLocked() {
+  // Front-gated: versions retire in order, so a page dropped at version
+  // V's retirement (present in V, gone in V+1) may still be referenced by
+  // versions retired before V. Popping strictly from the front releases
+  // V's pages only after every earlier version has also drained.
+  while (!retired_.empty() && retired_.front().version.use_count() == 1) {
+    pager_->ReleasePages(retired_.front().dropped);
+    retired_.pop_front();
+  }
+  if (metrics_.retired != nullptr) {
+    metrics_.retired->Set(static_cast<int64_t>(retired_.size()));
+  }
+}
+
+void TemporalIndex::AbandonStaging(Staging* staging) {
+  std::vector<PageId> pages;
+  pages.reserve(staging->staged.size());
+  for (const auto& [key, page] : staging->staged) pages.push_back(page);
+  pager_->ReleasePages(pages);
+  staging->staged.clear();
+  staging->dropped.clear();
+}
+
+// ---- lookup ----
+
+Result<DataCube> TemporalIndex::ReadCube(const CatalogSnapshot& snapshot,
+                                         const CubeKey& key,
+                                         IoStats* io) const {
+  std::optional<PageId> page = snapshot.PageOf(key);
+  if (!page.has_value()) {
+    return Status::NotFound("no cube for " + key.ToString());
+  }
+  return ReadCubeAtPage(*page, io);
+}
+
+Result<CubeBatch> TemporalIndex::ReadCubes(const CatalogSnapshot& snapshot,
+                                           std::span<const CubeKey> keys,
                                            IoStats* io) const {
   CubeBatch batch(options_.schema, keys.size());
   if (keys.empty()) return batch;
 
-  // Resolve every key up front under one shared-lock pass so a missing
+  // Resolve every key up front against the pinned version so a missing
   // cube fails before any device time is charged.
   std::vector<PageId> pages(keys.size(), kInvalidPageId);
-  {
-    ReaderMutexLock lock(&mu_);
-    for (size_t i = 0; i < keys.size(); ++i) {
-      auto it = catalog_.find(keys[i]);
-      if (it == catalog_.end()) {
-        return Status::NotFound("no cube for " + keys[i].ToString());
-      }
-      pages[i] = it->second;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    std::optional<PageId> page = snapshot.PageOf(keys[i]);
+    if (!page.has_value()) {
+      return Status::NotFound("no cube for " + keys[i].ToString());
     }
+    pages[i] = *page;
   }
 
   const size_t cube_bytes = options_.schema.cube_bytes();
@@ -284,76 +481,68 @@ Result<CubeBatch> TemporalIndex::ReadCubes(std::span<const CubeKey> keys,
   return batch;
 }
 
-bool TemporalIndex::Contains(const CubeKey& key) const {
-  ReaderMutexLock lock(&mu_);
-  return catalog_.find(key) != catalog_.end();
-}
-
-Result<DataCube> TemporalIndex::BuildFromChildren(
-    const CubeKey& parent, const CubeKey* in_memory_key,
-    const DataCube* in_memory_cube) const {
-  DataCube sum(options_.schema);
-  for (const CubeKey& child : parent.Children()) {
-    if (in_memory_key != nullptr && child == *in_memory_key) {
-      RASED_RETURN_IF_ERROR(sum.Merge(*in_memory_cube));
-      continue;
-    }
-    if (!Contains(child)) continue;  // index may start mid-window
-    auto cube = ReadCube(child);
-    if (!cube.ok()) return cube.status();
-    RASED_RETURN_IF_ERROR(sum.Merge(cube.value()));
-  }
-  return sum;
-}
+// ---- maintenance ----
 
 Status TemporalIndex::AppendDay(Date day, const DataCube& cube) {
   if (!(cube.schema() == options_.schema)) {
     return Status::InvalidArgument("cube schema mismatch");
   }
-  {
-    ReaderMutexLock lock(&mu_);
-    if (last_day_.has_value() && day != last_day_->next()) {
-      return Status::InvalidArgument(
-          StrFormat("AppendDay(%s) out of order; expected %s",
-                    day.ToString().c_str(),
-                    last_day_->next().ToString().c_str()));
+  MutexLock lock(&maint_mu_);
+  Staging staging;
+  staging.base = current_.load(std::memory_order_acquire);
+  if (staging.base->last_day.has_value() &&
+      day != staging.base->last_day->next()) {
+    return Status::InvalidArgument(
+        StrFormat("AppendDay(%s) out of order; expected %s",
+                  day.ToString().c_str(),
+                  staging.base->last_day->next().ToString().c_str()));
+  }
+  staging.first_day =
+      staging.base->first_day.has_value() ? staging.base->first_day : day;
+  staging.last_day = day;
+
+  // Stage the day, then boundary rollups. `latest` tracks the most
+  // recently built cube so each parent reads only the children it does
+  // not already hold in memory, matching the paper's I/O counts
+  // (Section VI-A). Nothing here is visible to readers yet.
+  auto stage_all = [&]() -> Status {
+    RASED_RETURN_IF_ERROR(StageCube(&staging, CubeKey::Daily(day), cube));
+    CubeKey latest_key = CubeKey::Daily(day);
+    DataCube latest = cube;
+
+    if (day.is_week_end() && LevelEnabled(Level::kWeekly)) {
+      CubeKey key = CubeKey::Weekly(day);
+      RASED_ASSIGN_OR_RETURN(
+          DataCube weekly,
+          BuildFromChildren(staging, key, &latest_key, &latest));
+      RASED_RETURN_IF_ERROR(StageCube(&staging, key, weekly));
+      latest_key = key;
+      latest = std::move(weekly);
     }
+    if (day.is_month_end() && LevelEnabled(Level::kMonthly)) {
+      CubeKey key = CubeKey::Monthly(day);
+      RASED_ASSIGN_OR_RETURN(
+          DataCube monthly,
+          BuildFromChildren(staging, key, &latest_key, &latest));
+      RASED_RETURN_IF_ERROR(StageCube(&staging, key, monthly));
+      latest_key = key;
+      latest = std::move(monthly);
+    }
+    if (day.is_year_end() && LevelEnabled(Level::kYearly)) {
+      CubeKey key = CubeKey::Yearly(day);
+      RASED_ASSIGN_OR_RETURN(
+          DataCube yearly,
+          BuildFromChildren(staging, key, &latest_key, &latest));
+      RASED_RETURN_IF_ERROR(StageCube(&staging, key, yearly));
+    }
+    return Status::OK();
+  };
+  Status staged = stage_all();
+  if (!staged.ok()) {
+    AbandonStaging(&staging);
+    return staged;
   }
-  RASED_RETURN_IF_ERROR(WriteCube(CubeKey::Daily(day), cube));
-  {
-    WriterMutexLock lock(&mu_);
-    if (!first_day_.has_value()) first_day_ = day;
-    last_day_ = day;
-  }
-
-  // Rollups at boundaries. `latest` tracks the most recently built cube so
-  // each parent reads only the children it does not already hold in
-  // memory, matching the paper's I/O counts (Section VI-A).
-  CubeKey latest_key = CubeKey::Daily(day);
-  DataCube latest = cube;
-
-  if (day.is_week_end() && LevelEnabled(Level::kWeekly)) {
-    CubeKey key = CubeKey::Weekly(day);
-    RASED_ASSIGN_OR_RETURN(DataCube weekly,
-                           BuildFromChildren(key, &latest_key, &latest));
-    RASED_RETURN_IF_ERROR(WriteCube(key, weekly));
-    latest_key = key;
-    latest = std::move(weekly);
-  }
-  if (day.is_month_end() && LevelEnabled(Level::kMonthly)) {
-    CubeKey key = CubeKey::Monthly(day);
-    RASED_ASSIGN_OR_RETURN(DataCube monthly,
-                           BuildFromChildren(key, &latest_key, &latest));
-    RASED_RETURN_IF_ERROR(WriteCube(key, monthly));
-    latest_key = key;
-    latest = std::move(monthly);
-  }
-  if (day.is_year_end() && LevelEnabled(Level::kYearly)) {
-    CubeKey key = CubeKey::Yearly(day);
-    RASED_ASSIGN_OR_RETURN(DataCube yearly,
-                           BuildFromChildren(key, &latest_key, &latest));
-    RASED_RETURN_IF_ERROR(WriteCube(key, yearly));
-  }
+  PublishLocked(&staging);
   if (metrics_.days_appended != nullptr) metrics_.days_appended->Increment();
   UpdateStorageMetrics();
   return Status::OK();
@@ -370,98 +559,87 @@ Status TemporalIndex::RebuildMonth(Date month_start,
         StrFormat("month %s has %d days; got %zu cubes",
                   month_start.ToString().c_str(), dim, cubes.size()));
   }
-  // The month must already be covered by daily maintenance.
-  Date month_end = month_start.month_end();
-  if (!coverage().Contains(DateRange(month_start, month_end))) {
-    return Status::InvalidArgument("month not covered by the index yet");
-  }
-
-  // Overwrite daily cubes. The monthly UpdateList was scanned upstream;
-  // here only the write I/O shows up, as in the paper's offline rebuild.
   for (int d = 0; d < dim; ++d) {
     if (!(cubes[d].schema() == options_.schema)) {
       return Status::InvalidArgument("cube schema mismatch");
     }
-    RASED_RETURN_IF_ERROR(
-        WriteCube(CubeKey::Daily(month_start.AddDays(d)), cubes[d]));
+  }
+  MutexLock lock(&maint_mu_);
+  Staging staging;
+  staging.base = current_.load(std::memory_order_acquire);
+  staging.first_day = staging.base->first_day;
+  staging.last_day = staging.base->last_day;
+
+  // The month must already be covered by daily maintenance.
+  Date month_end = month_start.month_end();
+  if (!CatalogSnapshot(staging.base)
+           .coverage()
+           .Contains(DateRange(month_start, month_end))) {
+    return Status::InvalidArgument("month not covered by the index yet");
   }
 
-  // Rebuild weekly cubes in memory from the supplied dailies.
-  DataCube monthly(options_.schema);
-  if (LevelEnabled(Level::kWeekly)) {
-    for (int w = 0; w < 4; ++w) {
-      DataCube weekly(options_.schema);
-      for (int i = 0; i < 7; ++i) {
-        RASED_RETURN_IF_ERROR(weekly.Merge(cubes[7 * w + i]));
-      }
-      RASED_RETURN_IF_ERROR(
-          WriteCube(CubeKey{Level::kWeekly, month_start.AddDays(7 * w)},
-                    weekly));
-      RASED_RETURN_IF_ERROR(monthly.Merge(weekly));
+  auto stage_all = [&]() -> Status {
+    // Replacement daily cubes. The monthly UpdateList was scanned
+    // upstream; here only the write I/O shows up, as in the paper's
+    // offline rebuild. Readers pinned to the base version keep reading
+    // the old pages — replacements go to fresh pages.
+    for (int d = 0; d < dim; ++d) {
+      RASED_RETURN_IF_ERROR(StageCube(
+          &staging, CubeKey::Daily(month_start.AddDays(d)), cubes[d]));
     }
-  } else {
-    for (int d = 0; d < 28; ++d) {
+
+    // Rebuild weekly cubes in memory from the supplied dailies.
+    DataCube monthly(options_.schema);
+    if (LevelEnabled(Level::kWeekly)) {
+      for (int w = 0; w < 4; ++w) {
+        DataCube weekly(options_.schema);
+        for (int i = 0; i < 7; ++i) {
+          RASED_RETURN_IF_ERROR(weekly.Merge(cubes[7 * w + i]));
+        }
+        RASED_RETURN_IF_ERROR(StageCube(
+            &staging, CubeKey{Level::kWeekly, month_start.AddDays(7 * w)},
+            weekly));
+        RASED_RETURN_IF_ERROR(monthly.Merge(weekly));
+      }
+    } else {
+      for (int d = 0; d < 28; ++d) {
+        RASED_RETURN_IF_ERROR(monthly.Merge(cubes[d]));
+      }
+    }
+    for (int d = 28; d < dim; ++d) {
       RASED_RETURN_IF_ERROR(monthly.Merge(cubes[d]));
     }
-  }
-  for (int d = 28; d < dim; ++d) {
-    RASED_RETURN_IF_ERROR(monthly.Merge(cubes[d]));
-  }
-  if (LevelEnabled(Level::kMonthly) &&
-      Contains(CubeKey::Monthly(month_start))) {
-    RASED_RETURN_IF_ERROR(WriteCube(CubeKey::Monthly(month_start), monthly));
-  }
+    CubeKey monthly_key = CubeKey::Monthly(month_start);
+    if (LevelEnabled(Level::kMonthly) &&
+        StagedPageOf(staging, monthly_key).has_value()) {
+      RASED_RETURN_IF_ERROR(StageCube(&staging, monthly_key, monthly));
+    }
 
-  // If the containing year is closed, refresh the yearly cube from its
-  // twelve monthlies.
-  CubeKey yearly = CubeKey::Yearly(month_start);
-  if (LevelEnabled(Level::kYearly) && Contains(yearly)) {
-    RASED_ASSIGN_OR_RETURN(
-        DataCube year_cube,
-        BuildFromChildren(yearly, nullptr, nullptr));
-    RASED_RETURN_IF_ERROR(WriteCube(yearly, year_cube));
+    // If the containing year is closed, refresh the yearly cube from its
+    // twelve monthlies (the staged monthly resolves staged-first).
+    CubeKey yearly = CubeKey::Yearly(month_start);
+    if (LevelEnabled(Level::kYearly) &&
+        StagedPageOf(staging, yearly).has_value()) {
+      RASED_ASSIGN_OR_RETURN(
+          DataCube year_cube,
+          BuildFromChildren(staging, yearly, nullptr, nullptr));
+      RASED_RETURN_IF_ERROR(StageCube(&staging, yearly, year_cube));
+    }
+    return Status::OK();
+  };
+  Status staged = stage_all();
+  if (!staged.ok()) {
+    AbandonStaging(&staging);
+    return staged;
   }
+  PublishLocked(&staging);
   if (metrics_.month_rebuilds != nullptr) metrics_.month_rebuilds->Increment();
   UpdateStorageMetrics();
   return Status::OK();
 }
 
-std::vector<CubeKey> TemporalIndex::ExistingKeys(
-    Level level, const DateRange& range) const {
-  std::vector<CubeKey> keys;
-  ReaderMutexLock lock(&mu_);
-  for (const CubeKey& key : KeysCoveredBy(level, range)) {
-    if (catalog_.find(key) != catalog_.end()) keys.push_back(key);
-  }
-  return keys;
-}
-
-std::vector<CubeKey> TemporalIndex::LatestKeys(Level level, size_t n) const {
-  std::vector<CubeKey> keys;
-  ReaderMutexLock lock(&mu_);
-  for (auto it = catalog_.rbegin(); it != catalog_.rend() && keys.size() < n;
-       ++it) {
-    if (it->first.level == level) keys.push_back(it->first);
-  }
-  std::reverse(keys.begin(), keys.end());
-  return keys;
-}
-
-DateRange TemporalIndex::coverage() const {
-  ReaderMutexLock lock(&mu_);
-  if (!first_day_.has_value()) return DateRange();
-  return DateRange(*first_day_, *last_day_);
-}
-
 IndexStorageStats TemporalIndex::StorageStats() const {
-  IndexStorageStats stats;
-  {
-    ReaderMutexLock lock(&mu_);
-    for (const auto& [key, page] : catalog_) {
-      ++stats.cubes_per_level[static_cast<int>(key.level)];
-      ++stats.total_cubes;
-    }
-  }
+  IndexStorageStats stats = Snapshot().StorageStats();
   stats.file_bytes =
       (pager_->num_pages() + 1) * pager_->page_size();  // +1 header page
   return stats;

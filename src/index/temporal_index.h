@@ -1,6 +1,8 @@
 #ifndef RASED_INDEX_TEMPORAL_INDEX_H_
 #define RASED_INDEX_TEMPORAL_INDEX_H_
 
+#include <atomic>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -33,8 +35,9 @@ struct TemporalIndexOptions {
   DeviceModel device;
 
   /// When non-null, the index registers live rased_index_* metrics here
-  /// (cube reads/appends, per-level cube gauges, file bytes) and wires its
-  /// pager's rased_pager_*{file="index"} counters. Must outlive the index.
+  /// (cube reads/appends, per-level cube gauges, file bytes, epoch and
+  /// retired-version gauges) and wires its pager's
+  /// rased_pager_*{file="index"} counters. Must outlive the index.
   MetricsRegistry* metrics = nullptr;
 };
 
@@ -44,6 +47,71 @@ struct IndexStorageStats {
   uint64_t cubes_per_level[kNumLevels] = {0, 0, 0, 0};
   uint64_t total_cubes = 0;
   uint64_t file_bytes = 0;
+};
+
+/// One immutable published catalog version (MVCC). A version maps cube
+/// keys to pages via one chronologically ordered map per level; untouched
+/// levels share their map with the previous version (copy-on-write), so a
+/// publication copies only the levels it changed. Once published, a
+/// CatalogVersion is never mutated — readers pin it by shared_ptr and the
+/// last release makes it reclaimable.
+struct CatalogVersion {
+  using LevelMap = std::map<Date, PageId>;
+
+  /// Monotonic publication counter, starting at 1 for the empty catalog a
+  /// fresh index publishes on Create. Every AppendDay/RebuildMonth
+  /// publishes exactly one new version (all of its rollups in one swap).
+  uint64_t epoch = 0;
+
+  /// Per-level key -> page maps; null entries behave as empty.
+  std::shared_ptr<const LevelMap> levels[kNumLevels];
+
+  /// Days covered by this version ([first appended, last appended]).
+  std::optional<Date> first_day;
+  std::optional<Date> last_day;
+};
+
+/// A pinned, consistent view of the catalog: the version the reader
+/// started on, held alive by refcount. All lookups against a snapshot are
+/// pure reads of immutable data — no locks, no coordination with writers.
+///
+/// Keep snapshots stack-scoped (a local pinned for one query/warm pass).
+/// Storing one in a member field keeps the whole version — and every page
+/// it references — unreclaimable for the holder's lifetime; rased-lint
+/// RL012 flags that.
+class CatalogSnapshot {
+ public:
+  /// Unpinned snapshot: epoch 0, empty catalog. Real snapshots come from
+  /// TemporalIndex::Snapshot().
+  CatalogSnapshot() = default;
+
+  explicit CatalogSnapshot(std::shared_ptr<const CatalogVersion> version)
+      : version_(std::move(version)) {}
+
+  uint64_t epoch() const { return version_ == nullptr ? 0 : version_->epoch; }
+
+  bool Contains(const CubeKey& key) const {
+    return PageOf(key).has_value();
+  }
+
+  /// Page holding `key`'s cube in this version, if present.
+  std::optional<PageId> PageOf(const CubeKey& key) const;
+
+  /// Keys of `level` fully inside `range` that exist in this version.
+  std::vector<CubeKey> ExistingKeys(Level level, const DateRange& range) const;
+
+  /// The most recent `n` keys of a level (newest last), for cache warmup.
+  std::vector<CubeKey> LatestKeys(Level level, size_t n) const;
+
+  /// Days covered by this version ([first appended, last appended]).
+  DateRange coverage() const;
+
+  /// Per-level cube counts of this version (file_bytes left 0; the index
+  /// fills it in from its pager).
+  IndexStorageStats StorageStats() const;
+
+ private:
+  std::shared_ptr<const CatalogVersion> version_;
 };
 
 /// The hierarchical temporal index (Section VI-A, Figure 6): daily cubes
@@ -59,21 +127,22 @@ struct IndexStorageStats {
 ///    if closed, yearly) cubes from monthly-crawler data that carries the
 ///    full four-way UpdateType classification.
 ///
-/// Threading contract: const means thread-safe. Every const member —
-/// Contains, ReadCube, ExistingKeys, LatestKeys, coverage, StorageStats —
-/// may be called from any number of threads concurrently: the catalog is
-/// guarded by an internal reader-writer lock (readers share it, appends
-/// take it exclusively), and the cube page read itself is a positional
-/// pread charged to the caller's per-call IoStats, so concurrent queries
-/// never contend on or corrupt each other's accounting. Maintenance
-/// (AppendDay, RebuildMonth, Sync) and direct pager() mutation require
-/// external serialization against each other AND against concurrent
-/// readers of the cubes being rewritten — in-process that serializer is
-/// the Rased facade's reader-writer lock (queries shared, ingestion
-/// exclusive). The one internal concession to lock-free readers:
-/// WriteCube publishes a brand-new cube in the catalog only after its
-/// page hits the file, so a racing reader either misses the key or reads
-/// a fully written page.
+/// Threading contract (MVCC): const means thread-safe AND wait-free with
+/// respect to writers. The catalog is published as immutable versions
+/// behind one atomic pointer; Snapshot() pins the current version and
+/// every read (Contains, ReadCube(s), ExistingKeys, LatestKeys, coverage,
+/// StorageStats) resolves against a pinned version, so readers never block
+/// on — or observe a torn state from — maintenance. Maintenance
+/// (AppendDay, RebuildMonth) is serialized internally by a maintenance
+/// mutex: it stages new cube pages off to the side (fresh pages only —
+/// pages reachable from any published version are never overwritten), then
+/// publishes a single new version covering the day AND all of its rollups
+/// in one pointer swap. Versions displaced by a publication are retired in
+/// order; once the last snapshot pinning a retired version drains
+/// (refcount), its dropped pages return to the pager's free pool for
+/// reuse. No external serialization is needed for any combination of
+/// readers and writers; direct pager() page mutation remains outside the
+/// contract.
 class TemporalIndex {
  public:
   /// Creates a fresh index in options.dir (fails if one already exists).
@@ -94,87 +163,160 @@ class TemporalIndex {
 
   /// Appends one day's cube. Days must arrive in strictly increasing
   /// consecutive order starting from the first day ever appended; gaps are
-  /// InvalidArgument (RASED crawls every day).
-  Status AppendDay(Date day, const DataCube& cube) RASED_EXCLUDES(mu_);
+  /// InvalidArgument (RASED crawls every day). Publishes exactly one new
+  /// catalog version covering the day and its boundary rollups.
+  Status AppendDay(Date day, const DataCube& cube)
+      RASED_EXCLUDES(maint_mu_);
 
   /// Replaces the daily cubes of `month` (the cubes vector holds one cube
   /// per day of the month, in order) and rebuilds every affected ancestor,
-  /// mirroring the monthly-crawler maintenance path (Section VI-A).
+  /// mirroring the monthly-crawler maintenance path (Section VI-A). The
+  /// whole rebuild lands in one published version; readers pinned to the
+  /// old version keep reading the old pages.
   Status RebuildMonth(Date month_start, const std::vector<DataCube>& cubes)
-      RASED_EXCLUDES(mu_);
+      RASED_EXCLUDES(maint_mu_);
+
+  // ---- snapshots ----
+
+  /// Pins the currently published catalog version. O(1), wait-free with
+  /// respect to maintenance. The snapshot stays valid (and its pages
+  /// unreclaimed) until the last copy is destroyed — keep it stack-scoped.
+  CatalogSnapshot Snapshot() const;
+
+  /// Epoch of the currently published version.
+  uint64_t epoch() const { return Snapshot().epoch(); }
+
+  /// Retired versions not yet reclaimed (still pinned by some snapshot,
+  /// or queued behind one that is).
+  size_t retired_versions() const RASED_EXCLUDES(maint_mu_);
 
   // ---- lookup ----
 
-  bool Contains(const CubeKey& key) const RASED_EXCLUDES(mu_);
+  /// Reads one cube of `snapshot`'s version from disk through the pager.
+  /// The transfer is charged to the pager's global counters and, when `io`
+  /// is non-null, to the caller's per-call accounting (how each query
+  /// accumulates its own deterministic I/O cost under concurrency).
+  Result<DataCube> ReadCube(const CatalogSnapshot& snapshot,
+                            const CubeKey& key, IoStats* io = nullptr) const;
 
-  /// Reads one cube from disk through the pager. The transfer is charged
-  /// to the pager's global counters and, when `io` is non-null, to the
-  /// caller's per-call accounting (how each query accumulates its own
-  /// deterministic I/O cost under concurrency).
-  Result<DataCube> ReadCube(const CubeKey& key, IoStats* io = nullptr) const
-      RASED_EXCLUDES(mu_);
-
-  /// Batched read: fetches all of `keys` in one Pager::ReadPages call,
-  /// which sorts by page id and coalesces runs of physically adjacent
-  /// pages (consecutive daily cubes land on consecutive pages) into single
-  /// large device reads. The returned batch holds the cubes in *key input
-  /// order* with zero-copy views. Fails NotFound if any key is missing
-  /// (resolved before any I/O is issued).
+  /// Batched read against `snapshot`: fetches all of `keys` in one
+  /// Pager::ReadPages call, which sorts by page id and coalesces runs of
+  /// physically adjacent pages (consecutive daily cubes land on
+  /// consecutive pages) into single large device reads. The returned batch
+  /// holds the cubes in *key input order* with zero-copy views. Fails
+  /// NotFound if any key is missing (resolved before any I/O is issued).
   ///
   /// Accounting matches the serial path transfer-for-transfer — identical
   /// page_reads/bytes_read — while read_ops and simulated device time
-  /// shrink with coalescing (see Pager::ReadPages). Const and thread-safe
-  /// like ReadCube.
+  /// shrink with coalescing (see Pager::ReadPages).
+  Result<CubeBatch> ReadCubes(const CatalogSnapshot& snapshot,
+                              std::span<const CubeKey> keys,
+                              IoStats* io = nullptr) const;
+
+  // Conveniences that pin the current version for one call. Multi-step
+  // callers (plan, then probe, then fetch) must pin one Snapshot() and
+  // pass it to every step, or the steps may observe different epochs.
+  bool Contains(const CubeKey& key) const {
+    return Snapshot().Contains(key);
+  }
+  Result<DataCube> ReadCube(const CubeKey& key, IoStats* io = nullptr) const {
+    return ReadCube(Snapshot(), key, io);
+  }
   Result<CubeBatch> ReadCubes(std::span<const CubeKey> keys,
-                              IoStats* io = nullptr) const RASED_EXCLUDES(mu_);
-
-  /// Keys of `level` fully inside `range` that actually exist.
-  std::vector<CubeKey> ExistingKeys(Level level, const DateRange& range) const
-      RASED_EXCLUDES(mu_);
-
-  /// The most recent `n` keys of a level (newest last), for cache warmup.
-  std::vector<CubeKey> LatestKeys(Level level, size_t n) const
-      RASED_EXCLUDES(mu_);
+                              IoStats* io = nullptr) const {
+    return ReadCubes(Snapshot(), keys, io);
+  }
+  std::vector<CubeKey> ExistingKeys(Level level, const DateRange& range) const {
+    return Snapshot().ExistingKeys(level, range);
+  }
+  std::vector<CubeKey> LatestKeys(Level level, size_t n) const {
+    return Snapshot().LatestKeys(level, n);
+  }
 
   // ---- accounting ----
 
   /// Days covered so far ([first appended, last appended]).
-  DateRange coverage() const RASED_EXCLUDES(mu_);
+  DateRange coverage() const { return Snapshot().coverage(); }
 
-  IndexStorageStats StorageStats() const RASED_EXCLUDES(mu_);
+  IndexStorageStats StorageStats() const;
 
   const TemporalIndexOptions& options() const { return options_; }
   Pager* pager() { return pager_.get(); }
   const Pager* pager() const { return pager_.get(); }
 
-  /// Persists the catalog; called automatically on destruction.
+  /// Persists the catalog (current version only; free pages are
+  /// reconstructed on Open); called automatically on destruction.
   Status Sync();
 
  private:
+  /// Private staging view of one maintenance pass: new cube pages written
+  /// off to the side, invisible to readers until the single publication.
+  struct Staging {
+    std::shared_ptr<const CatalogVersion> base;
+    std::map<CubeKey, PageId> staged;
+    /// Base pages replaced by staged cubes; released to the pager's free
+    /// pool once the base version drains.
+    std::vector<PageId> dropped;
+    std::optional<Date> first_day;
+    std::optional<Date> last_day;
+  };
+
+  /// One retired version awaiting drain, in retirement order.
+  struct RetiredVersion {
+    std::shared_ptr<const CatalogVersion> version;
+    std::vector<PageId> dropped;
+  };
+
   TemporalIndex(TemporalIndexOptions options, std::unique_ptr<Pager> pager);
 
   bool LevelEnabled(Level level) const {
     return static_cast<int>(level) < options_.num_levels;
   }
 
-  Status WriteCube(const CubeKey& key, const DataCube& cube)
-      RASED_EXCLUDES(mu_);
+  /// Serializes `cube` to a fresh page (never overwriting a published
+  /// page) and records it in the staging map. If the key shadows a base
+  /// page, that page joins staging.dropped.
+  Status StageCube(Staging* staging, const CubeKey& key, const DataCube& cube);
 
-  /// Builds a parent cube by reading each existing child from disk and
-  /// merging. `skip` (optional) supplies one child already in memory so the
-  /// paper's "read the six previous cubes" I/O pattern is preserved.
-  Result<DataCube> BuildFromChildren(const CubeKey& parent,
+  /// Resolves `key` staged-first, then against the staging's base version.
+  std::optional<PageId> StagedPageOf(const Staging& staging,
+                                     const CubeKey& key) const;
+
+  /// Builds a parent cube by reading each existing child (staged or base)
+  /// from disk and merging. `in_memory_*` (optional) supplies one child
+  /// already in memory so the paper's "read the six previous cubes" I/O
+  /// pattern is preserved.
+  Result<DataCube> BuildFromChildren(const Staging& staging,
+                                     const CubeKey& parent,
                                      const CubeKey* in_memory_key,
                                      const DataCube* in_memory_cube) const;
 
-  Status SaveCatalog() RASED_EXCLUDES(mu_);
+  /// Reads and deserializes the cube stored at `page`.
+  Result<DataCube> ReadCubeAtPage(PageId page, IoStats* io) const;
+
+  /// Builds the next version from `staging` (copy-on-write per level),
+  /// swaps it in, retires the base version, and runs a reclamation sweep.
+  void PublishLocked(Staging* staging) RASED_REQUIRES(maint_mu_);
+
+  /// Pops drained versions off the front of the retirement queue,
+  /// releasing their dropped pages. Front-gated: a version's pages are
+  /// released only after every earlier retired version also drained, so a
+  /// page shared backward through history is never freed while any older
+  /// pinned version can still reach it.
+  void ReclaimRetiredLocked() RASED_REQUIRES(maint_mu_);
+
+  /// Returns staging's freshly written pages to the free pool (failure
+  /// path: nothing was published, so nobody can reference them).
+  void AbandonStaging(Staging* staging);
+
+  Status SaveCatalog();
   static std::string CatalogPath(const std::string& dir);
   static std::string PagesPath(const std::string& dir);
 
-  /// Refreshes the per-level cube gauges and the file-bytes gauge from the
-  /// catalog. No-op when options_.metrics is null.
-  void UpdateStorageMetrics() const RASED_EXCLUDES(mu_);
-  void UpdateStorageMetricsLocked() const RASED_REQUIRES_SHARED(mu_);
+  /// Refreshes the per-level cube gauges, the file-bytes gauge, and the
+  /// epoch gauge from the current version. No-op when options_.metrics is
+  /// null.
+  void UpdateStorageMetrics() const;
 
   TemporalIndexOptions options_ RASED_CONST_AFTER_INIT;
 
@@ -184,25 +326,27 @@ class TemporalIndex {
     Counter* cube_reads = nullptr;      // cubes fetched from disk
     Counter* days_appended = nullptr;   // AppendDay completions
     Counter* month_rebuilds = nullptr;  // RebuildMonth completions
+    Counter* publications = nullptr;    // catalog versions published
     Gauge* cubes_per_level[kNumLevels] = {nullptr, nullptr, nullptr, nullptr};
     Gauge* file_bytes = nullptr;
+    Gauge* epoch = nullptr;             // current published epoch
+    Gauge* retired = nullptr;           // retired versions awaiting drain
   };
   IndexMetrics metrics_ RASED_CONST_AFTER_INIT;
 
-  // Page reads are pager-internal-atomic-safe from any thread; writes are
-  // externally serialized (see the threading contract above). mu_ never
-  // spans a page read/write, so metadata lookups stay cheap even while a
-  // maintenance pass is streaming cubes to disk.
+  // Page reads are pager-internal-atomic-safe from any thread; page
+  // writes only ever target freshly allocated pages (staging), so they
+  // never race a reader of a published page.
   std::unique_ptr<Pager> pager_ RASED_CONST_AFTER_INIT;
 
-  /// Reader-writer lock over the catalog metadata below: lookups on the
-  /// query path hold it shared, appends/rebuilds hold it exclusively.
-  mutable SharedMutex mu_;
-  // Catalog: node -> page. std::map keeps keys chronologically ordered,
-  // which ExistingKeys/LatestKeys rely on.
-  std::map<CubeKey, PageId> catalog_ RASED_GUARDED_BY(mu_);
-  std::optional<Date> first_day_ RASED_GUARDED_BY(mu_);
-  std::optional<Date> last_day_ RASED_GUARDED_BY(mu_);
+  /// The currently published catalog version. Readers load (pin) it
+  /// wait-free; only maintenance stores it, under maint_mu_.
+  std::atomic<std::shared_ptr<const CatalogVersion>> current_;
+
+  /// Serializes maintenance (stage + publish + reclaim) against itself.
+  /// Never taken on the read path.
+  mutable Mutex maint_mu_;
+  std::deque<RetiredVersion> retired_ RASED_GUARDED_BY(maint_mu_);
 };
 
 }  // namespace rased

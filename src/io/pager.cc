@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <numeric>
+#include <optional>
 #include <vector>
 
 namespace rased {
@@ -23,9 +24,34 @@ Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
 }
 
 Result<PageId> Pager::AllocatePage(IoStats* io) {
+  std::optional<PageId> reused;
+  {
+    MutexLock lock(&free_mu_);
+    if (!free_pool_.empty()) {
+      reused = free_pool_.back();
+      free_pool_.pop_back();
+    }
+  }
+  if (reused.has_value()) {
+    // Same charge as a fresh allocation: reuse changes placement, not the
+    // device model's accounting.
+    ChargeWrite(page_size(), io);
+    return *reused;
+  }
   auto id = file_->AllocatePage();
   if (id.ok()) ChargeWrite(page_size(), io);
   return id;
+}
+
+void Pager::ReleasePages(std::span<const PageId> ids) {
+  if (ids.empty()) return;
+  MutexLock lock(&free_mu_);
+  free_pool_.insert(free_pool_.end(), ids.begin(), ids.end());
+}
+
+size_t Pager::free_pages() const {
+  MutexLock lock(&free_mu_);
+  return free_pool_.size();
 }
 
 Status Pager::WritePage(PageId id, const void* payload, size_t n,

@@ -7,11 +7,13 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "io/page_file.h"
 #include "obs/metrics_registry.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace rased {
 
@@ -100,7 +102,8 @@ struct IoStats {
 /// query accumulates *its own* I/O with no cross-thread bleed-through.
 /// AllocatePage/WritePage grow and mutate the file and require external
 /// serialization against each other and against readers of the same pages
-/// (in RASED, ingestion holds the Rased-level exclusive lock).
+/// (in RASED, ingestion is serialized by the index's maintenance mutex);
+/// the free-page pool itself is internally synchronized.
 class Pager {
  public:
   /// Creates a new page file at `path`.
@@ -117,6 +120,11 @@ class Pager {
 
   /// Every transfer is charged to the global (atomic) counters, and — when
   /// `io` is non-null — to the caller's per-call accounting too.
+  ///
+  /// Allocation prefers the free-page pool (pages retired by MVCC catalog
+  /// reclamation, see ReleasePages) before extending the file; either way
+  /// the charge is one page write, so device accounting is identical
+  /// whether a page is fresh or reused.
   Result<PageId> AllocatePage(IoStats* io = nullptr);
   Status WritePage(PageId id, const void* payload, size_t n,
                    IoStats* io = nullptr);
@@ -139,6 +147,19 @@ class Pager {
   /// number of threads concurrently.
   Status ReadPages(std::span<const PageId> ids, unsigned char* payloads,
                    IoStats* io = nullptr) const;
+
+  /// Returns retired pages to the free pool for reuse by later
+  /// AllocatePage calls. No I/O is charged: the pages stay allocated in
+  /// the file; only their ownership moves. Callers must guarantee no
+  /// reader can still resolve these ids (in RASED, the index's
+  /// epoch-based reclamation releases a version's dropped pages only
+  /// after the last snapshot pinning that version drains). Duplicate or
+  /// repeated releases of a live page corrupt the file; the pool itself
+  /// is safe to call from any thread.
+  void ReleasePages(std::span<const PageId> ids) RASED_EXCLUDES(free_mu_);
+
+  /// Pages currently in the free pool (diagnostics / tests).
+  size_t free_pages() const RASED_EXCLUDES(free_mu_);
 
   size_t page_size() const { return file_->page_size(); }
   size_t payload_size() const { return file_->payload_size(); }
@@ -173,8 +194,14 @@ class Pager {
   void ChargeReadRun(size_t pages, size_t bytes, IoStats* io) const;
   void ChargeWrite(size_t bytes, IoStats* io);
 
-  std::unique_ptr<PageFile> file_;
-  DeviceModel device_;
+  std::unique_ptr<PageFile> file_ RASED_CONST_AFTER_INIT;
+  DeviceModel device_ RASED_CONST_AFTER_INIT;
+
+  /// Free pool: page ids retired by catalog reclamation, reused LIFO by
+  /// AllocatePage. Kept sorted-free (plain stack) — reuse order only
+  /// affects physical placement, never accounting.
+  mutable Mutex free_mu_;
+  std::vector<PageId> free_pool_ RASED_GUARDED_BY(free_mu_);
 
   /// Registry handles (all set together by RegisterMetrics, else all
   /// null). Updated with relaxed atomics inside the Charge functions, so
@@ -189,7 +216,8 @@ class Pager {
     Counter* coalesced_pages = nullptr;
     Counter* device_micros = nullptr;
   };
-  PagerMetrics metrics_;
+  /// Set once by RegisterMetrics before any concurrent use.
+  PagerMetrics metrics_ RASED_CONST_AFTER_INIT;
 
   // Global running totals. Relaxed ordering: the counters are monotonic
   // telemetry, never used to synchronize data.

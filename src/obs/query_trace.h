@@ -37,6 +37,8 @@ struct QueryTrace {
   uint64_t page_reads = 0;
   uint64_t read_ops = 0;
   uint64_t bytes_read = 0;
+  /// Catalog epoch the query was pinned to (MVCC publication counter).
+  uint64_t epoch = 0;
   std::vector<TraceSpan> spans;
 
   /// wall + simulated device time: what an end user of the modeled

@@ -1,5 +1,7 @@
 #include "query/analysis_query.h"
 
+#include <algorithm>
+
 #include "util/str_util.h"
 
 namespace rased {
@@ -28,6 +30,8 @@ QueryStats& QueryStats::operator+=(const QueryStats& o) {
   cubes_from_cache += o.cubes_from_cache;
   cubes_from_disk += o.cubes_from_disk;
   for (int i = 0; i < 4; ++i) cubes_per_level[i] += o.cubes_per_level[i];
+  // Epochs don't sum: aggregated stats report the newest version observed.
+  epoch = std::max(epoch, o.epoch);
   io += o.io;
   cpu_micros += o.cpu_micros;
   return *this;

@@ -75,6 +75,10 @@ struct QueryStats {
   uint64_t cubes_from_disk = 0;
   uint64_t cubes_per_level[4] = {0, 0, 0, 0};
 
+  /// Epoch of the catalog version this query was pinned to for its whole
+  /// plan → probe → fetch pipeline (0 if executed without a snapshot).
+  uint64_t epoch = 0;
+
   /// Page I/O issued while executing (disk cube fetches).
   IoStats io;
 

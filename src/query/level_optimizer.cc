@@ -16,16 +16,18 @@ constexpr Cost kInfinity{std::numeric_limits<uint32_t>::max(),
 
 }  // namespace
 
-QueryPlan LevelOptimizer::PlanFlat(const DateRange& range) const {
+QueryPlan LevelOptimizer::PlanFlat(const CatalogSnapshot& snapshot,
+                                   const DateRange& range) const {
   QueryPlan plan;
-  plan.cubes = index_->ExistingKeys(Level::kDaily, range);
+  plan.cubes = snapshot.ExistingKeys(Level::kDaily, range);
   for (const CubeKey& key : plan.cubes) {
-    if (IsCached(key)) ++plan.expected_cached;
+    if (IsCached(snapshot, key)) ++plan.expected_cached;
   }
   return plan;
 }
 
-QueryPlan LevelOptimizer::Plan(const DateRange& range) const {
+QueryPlan LevelOptimizer::Plan(const CatalogSnapshot& snapshot,
+                               const DateRange& range) const {
   QueryPlan plan;
   if (range.empty()) return plan;
   const int n = range.num_days();
@@ -47,7 +49,7 @@ QueryPlan LevelOptimizer::Plan(const DateRange& range) const {
       if (cost[from] == kInfinity) return;
       Cost c = cost[from];
       if (!skip) {
-        c.first += IsCached(key) ? 0 : 1;
+        c.first += IsCached(snapshot, key) ? 0 : 1;
         c.second += 1;
       }
       if (c < cost[i]) {
@@ -57,7 +59,7 @@ QueryPlan LevelOptimizer::Plan(const DateRange& range) const {
     };
 
     CubeKey daily = CubeKey::Daily(day);
-    if (index_->Contains(daily)) {
+    if (snapshot.Contains(daily)) {
       consider(daily, i - 1, /*skip=*/false);
     } else {
       // No data exists for this day at any level; covering it is free.
@@ -66,20 +68,20 @@ QueryPlan LevelOptimizer::Plan(const DateRange& range) const {
 
     if (day.is_week_end() && i >= 7) {
       CubeKey weekly = CubeKey::Weekly(day);
-      if (index_->Contains(weekly)) consider(weekly, i - 7, false);
+      if (snapshot.Contains(weekly)) consider(weekly, i - 7, false);
     }
     if (day.is_month_end()) {
       int dim = day.days_in_month();
       if (i >= dim) {
         CubeKey monthly = CubeKey::Monthly(day);
-        if (index_->Contains(monthly)) consider(monthly, i - dim, false);
+        if (snapshot.Contains(monthly)) consider(monthly, i - dim, false);
       }
     }
     if (day.is_year_end()) {
       int diy = (day - day.year_start()) + 1;  // 365 or 366
       if (i >= diy) {
         CubeKey yearly = CubeKey::Yearly(day);
-        if (index_->Contains(yearly)) consider(yearly, i - diy, false);
+        if (snapshot.Contains(yearly)) consider(yearly, i - diy, false);
       }
     }
   }
@@ -94,7 +96,7 @@ QueryPlan LevelOptimizer::Plan(const DateRange& range) const {
   }
   plan.cubes.assign(reversed.rbegin(), reversed.rend());
   for (const CubeKey& key : plan.cubes) {
-    if (IsCached(key)) ++plan.expected_cached;
+    if (IsCached(snapshot, key)) ++plan.expected_cached;
   }
   return plan;
 }

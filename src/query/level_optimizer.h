@@ -1,6 +1,7 @@
 #ifndef RASED_QUERY_LEVEL_OPTIMIZER_H_
 #define RASED_QUERY_LEVEL_OPTIMIZER_H_
 
+#include <optional>
 #include <vector>
 
 #include "cache/cube_cache.h"
@@ -23,6 +24,10 @@ struct QueryPlan {
 /// fetching the fewest cubes from disk — cached cubes are free. Section
 /// VII-B's worked example (Jan 1 – Feb 15) is reproduced verbatim in the
 /// unit tests.
+///
+/// Plans are computed against a pinned CatalogSnapshot, so a plan never
+/// mixes cube availability from two different published versions; cache
+/// probes are page-validated against the same snapshot.
 class LevelOptimizer {
  public:
   /// `cache` may be null (no caching, the RASED-O variant of Figure 9).
@@ -30,17 +35,32 @@ class LevelOptimizer {
       : index_(index), cache_(cache) {}
 
   /// Exact minimum-cost cover via dynamic programming over the window's
-  /// days. Cost is lexicographic (disk fetches, total cubes): plans with
-  /// fewer disk reads win; among those, fewer cubes overall.
-  QueryPlan Plan(const DateRange& range) const;
+  /// days, resolved against `snapshot`. Cost is lexicographic (disk
+  /// fetches, total cubes): plans with fewer disk reads win; among those,
+  /// fewer cubes overall.
+  QueryPlan Plan(const CatalogSnapshot& snapshot,
+                 const DateRange& range) const;
 
   /// The flat plan: daily cubes only (the RASED-F variant of Figure 9 and
   /// the forced plan for date-grouped queries).
-  QueryPlan PlanFlat(const DateRange& range) const;
+  QueryPlan PlanFlat(const CatalogSnapshot& snapshot,
+                     const DateRange& range) const;
+
+  // Conveniences pinning the index's current version for one plan. The
+  // executor pins a single snapshot per query and uses the overloads
+  // above instead.
+  QueryPlan Plan(const DateRange& range) const {
+    return Plan(index_->Snapshot(), range);
+  }
+  QueryPlan PlanFlat(const DateRange& range) const {
+    return PlanFlat(index_->Snapshot(), range);
+  }
 
  private:
-  bool IsCached(const CubeKey& key) const {
-    return cache_ != nullptr && cache_->Contains(key);
+  bool IsCached(const CatalogSnapshot& snapshot, const CubeKey& key) const {
+    if (cache_ == nullptr) return false;
+    std::optional<PageId> page = snapshot.PageOf(key);
+    return page.has_value() && cache_->Contains(key, *page);
   }
 
   const TemporalIndex* index_;

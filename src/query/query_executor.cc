@@ -35,13 +35,22 @@ QueryExecutor::QueryExecutor(const TemporalIndex* index, CubeCache* cache,
   }
 }
 
-QueryPlan QueryExecutor::PlanFor(const AnalysisQuery& query) const {
-  DateRange window = query.range.Intersect(index_->coverage());
+QueryPlan QueryExecutor::PlanFor(const AnalysisQuery& query,
+                                 const CatalogSnapshot& snapshot) const {
+  DateRange window = query.range.Intersect(snapshot.coverage());
   // Grouping by Date needs per-day resolution, which only daily cubes have.
   if (mode_ == PlanMode::kFlat || query.group_date) {
-    return optimizer_.PlanFlat(window);
+    return optimizer_.PlanFlat(snapshot, window);
   }
-  return optimizer_.Plan(window);
+  return optimizer_.Plan(snapshot, window);
+}
+
+QueryPlan QueryExecutor::PlanFor(const AnalysisQuery& query) const {
+  return PlanFor(query, index_->Snapshot());
+}
+
+Result<QueryResult> QueryExecutor::Execute(const AnalysisQuery& query) const {
+  return Execute(query, index_->Snapshot());
 }
 
 namespace {
@@ -80,7 +89,8 @@ CubeSlice SliceFor(const AnalysisQuery& query, const WorldMap& world) {
 
 }  // namespace
 
-Result<QueryResult> QueryExecutor::Execute(const AnalysisQuery& query) const {
+Result<QueryResult> QueryExecutor::Execute(
+    const AnalysisQuery& query, const CatalogSnapshot& snapshot) const {
   if (query.percentage && !query.group_country) {
     if (metrics_.errors != nullptr) metrics_.errors->Increment();
     return Status::InvalidArgument(
@@ -90,7 +100,8 @@ Result<QueryResult> QueryExecutor::Execute(const AnalysisQuery& query) const {
   const int64_t t_start = NowMicros();
 
   QueryResult result;
-  QueryPlan plan = PlanFor(query);
+  result.stats.epoch = snapshot.epoch();
+  QueryPlan plan = PlanFor(query, snapshot);
   const size_t n = plan.cubes.size();
   result.stats.cubes_total = n;
 
@@ -107,13 +118,19 @@ Result<QueryResult> QueryExecutor::Execute(const AnalysisQuery& query) const {
   // their I/O independently and deterministically.
   std::vector<std::shared_ptr<const DataCube>> hits(n);
   std::vector<CubeKey> miss_keys;
+  std::vector<PageId> miss_pages;
   for (size_t i = 0; i < n; ++i) {
     const CubeKey& key = plan.cubes[i];
-    if (cache_ != nullptr) hits[i] = cache_->Find(key);
+    // Page-validated probe: a planned cube always resolves in its own
+    // snapshot, and the entry hits only if it was cached from the same
+    // page — a stale cube from a retired epoch can never serve here.
+    PageId page = snapshot.PageOf(key).value_or(kInvalidPageId);
+    if (cache_ != nullptr) hits[i] = cache_->Find(key, page);
     if (hits[i] != nullptr) {
       ++result.stats.cubes_from_cache;
     } else {
       miss_keys.push_back(key);
+      miss_pages.push_back(page);
     }
     ++result.stats.cubes_per_level[static_cast<int>(key.level)];
   }
@@ -122,7 +139,7 @@ Result<QueryResult> QueryExecutor::Execute(const AnalysisQuery& query) const {
 
   CubeBatch fetched;
   if (!miss_keys.empty()) {
-    auto batch = index_->ReadCubes(miss_keys, &result.stats.io);
+    auto batch = index_->ReadCubes(snapshot, miss_keys, &result.stats.io);
     if (!batch.ok()) {
       if (metrics_.errors != nullptr) metrics_.errors->Increment();
       return batch.status();
@@ -130,9 +147,10 @@ Result<QueryResult> QueryExecutor::Execute(const AnalysisQuery& query) const {
     fetched = std::move(batch).value();
     if (cache_ != nullptr && cache_->AdmitsOnQuery()) {
       // LRU only: materialize a copy out of the batch and move it in —
-      // the one copy cache residency requires, and no more.
+      // the one copy cache residency requires, and no more. The source
+      // page rides along for later page-validated probes.
       for (size_t j = 0; j < miss_keys.size(); ++j) {
-        cache_->Insert(miss_keys[j], fetched.Materialize(j));
+        cache_->Insert(miss_keys[j], miss_pages[j], fetched.Materialize(j));
       }
     }
   }

@@ -28,11 +28,17 @@ enum class PlanMode {
 /// BY accumulator indexed by packed group coordinates.
 ///
 /// Threading contract: the executor is stateless — Execute is const and
-/// safe from any number of threads concurrently. Each execution owns its
-/// QueryStats (page counts and simulated device micros accumulate through
-/// a per-call IoStats threaded into every index read), so concurrent
-/// queries produce bit-identical accounting to a serial run. The index's
-/// const read path and the cache's internal synchronization carry the rest.
+/// safe from any number of threads concurrently. Each execution pins one
+/// CatalogSnapshot for its whole plan → probe → fetch → aggregate
+/// pipeline, so a query started before a catalog publication runs
+/// entirely against the pre-publication version (and records its epoch in
+/// QueryStats) without ever blocking on — or observing a torn state from
+/// — concurrent ingest. Each execution owns its QueryStats (page counts
+/// and simulated device micros accumulate through a per-call IoStats
+/// threaded into every index read), so concurrent queries produce
+/// bit-identical accounting to a serial run. The cache's page-validated
+/// probes guarantee a cube cached under a retired epoch never serves a
+/// newer snapshot.
 class QueryExecutor {
  public:
   /// `cache` may be null (uncached variants). `world` supplies zone names
@@ -44,11 +50,18 @@ class QueryExecutor {
                 const WorldMap* world, PlanMode mode = PlanMode::kOptimized,
                 MetricsRegistry* metrics = nullptr);
 
-  /// Runs one analysis query.
+  /// Runs one analysis query against `snapshot` (a pinned catalog
+  /// version). The snapshot's epoch lands in QueryStats::epoch.
+  Result<QueryResult> Execute(const AnalysisQuery& query,
+                              const CatalogSnapshot& snapshot) const;
+
+  /// Runs one analysis query, pinning the index's current version.
   Result<QueryResult> Execute(const AnalysisQuery& query) const;
 
-  /// Plans without executing (exposed for tests and the plan-inspection
-  /// dashboard endpoint).
+  /// Plans without executing, against a pinned snapshot (exposed for
+  /// tests and the plan-inspection dashboard endpoint).
+  QueryPlan PlanFor(const AnalysisQuery& query,
+                    const CatalogSnapshot& snapshot) const;
   QueryPlan PlanFor(const AnalysisQuery& query) const;
 
   PlanMode mode() const { return mode_; }

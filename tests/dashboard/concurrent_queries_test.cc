@@ -1,11 +1,13 @@
 // Hammers DashboardService and the shared-state components beneath it from
 // many threads at once. These tests exist to give TSan and the clang
-// thread-safety annotations something real to chew on: every lock in the
-// concurrent read path (Rased::mu_, the TemporalIndex catalog's
-// reader-writer lock, CubeCache::mu_, HttpServer::mu_) is contended here.
-// There is deliberately no lock in DashboardService itself anymore — the
-// handlers lean on the facade's shared/exclusive split, and these tests
-// are what keeps that contract honest.
+// thread-safety annotations something real to chew on: the lock-free MVCC
+// read path (catalog snapshots pinned per query), the write-side ingest
+// mutex, CubeCache::mu_, and HttpServer::mu_ are all contended here.
+// There is deliberately no lock in DashboardService itself — queries pin
+// immutable catalog versions instead of taking a facade lock, ingest
+// publishes new versions with a single atomic swap, and these tests are
+// what keeps that contract honest: readers must keep completing, with
+// bit-identical answers and accounting, while publications land.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -23,6 +25,7 @@
 
 #include "dashboard/dashboard_service.h"
 #include "test_helpers.h"
+#include "util/clock.h"
 
 namespace rased {
 namespace {
@@ -293,8 +296,11 @@ TEST_F(ConcurrentQueriesTest, PerQueryStatsMatchSerialRunExactly) {
 }
 
 // Readers keep getting the same (correct) answers while a writer appends
-// new days through the facade's exclusive path. Keep this test last in
-// the file: it grows the suite-level instance's coverage into March.
+// new days through the facade's write path. This test and the MVCC tests
+// after it grow the instance's coverage (appends must stay consecutive),
+// so later tests derive their first append day from live coverage rather
+// than hardcoding dates — correct both under ctest (one process per test)
+// and when the binary runs every test in one process.
 TEST_F(ConcurrentQueriesTest, QueriesStayCorrectWhileIngestAppendsDays) {
   constexpr int kReaders = 4;
   constexpr int kNewDays = 14;
@@ -370,6 +376,230 @@ TEST_F(ConcurrentQueriesTest, QueriesStayCorrectWhileIngestAppendsDays) {
   uint64_t total = 0;
   for (const ResultRow& row : after.value().rows) total += row.count;
   EXPECT_EQ(total, static_cast<uint64_t>(kNewDays * (kNewDays + 1) / 2));
+}
+
+// Bit-for-bit row comparison (doubles compared exactly: percentage is a
+// deterministic function of count and the static zone sizes).
+bool RowsEqual(const std::vector<ResultRow>& a,
+               const std::vector<ResultRow>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].element_type != b[i].element_type || a[i].country != b[i].country ||
+        a[i].road_type != b[i].road_type ||
+        a[i].update_type != b[i].update_type ||
+        a[i].has_date != b[i].has_date || a[i].count != b[i].count ||
+        a[i].percentage != b[i].percentage) {
+      return false;
+    }
+    if (a[i].has_date && !(a[i].date == b[i].date)) return false;
+  }
+  return true;
+}
+
+// The MVCC publication contract, single-threaded and exact: a reader
+// pinned before a publication keeps serving the old epoch bit for bit and
+// never sees the new day; a reader arriving after the swap sees the new
+// epoch and the new day. Also checks the epoch surfaces: QueryStats,
+// /api/trace, and the rased_index_epoch gauge.
+TEST_F(ConcurrentQueriesTest, PinnedSnapshotServesOldEpochBitForBit) {
+  const TemporalIndex* index = rased_->index();
+  const uint64_t epoch_before = index->epoch();
+
+  AnalysisQuery history;
+  history.range = DateRange(Date::FromYmd(2021, 1, 1),
+                            Date::FromYmd(2021, 2, 28));
+  history.group_country = true;
+
+  CatalogSnapshot pinned = index->Snapshot();
+  EXPECT_EQ(pinned.epoch(), epoch_before);
+  auto before = rased_->executor()->Execute(history, pinned);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_EQ(before.value().stats.epoch, epoch_before);
+
+  // Publish one new version: the next day after current coverage (the
+  // append sequence must stay consecutive, and under ctest each test case
+  // runs in its own process, so the day is derived, not hardcoded).
+  const Date new_day = pinned.coverage().last.next();
+  DataCube cube(rased_->options().schema);
+  cube.Add(0, 0, 0, 0, 77);
+  ASSERT_TRUE(rased_->IngestDayCube(new_day, cube).ok());
+  EXPECT_EQ(index->epoch(), epoch_before + 1);
+  // The displaced version is pinned by `pinned`, so it is retired but not
+  // yet reclaimed.
+  EXPECT_GE(index->retired_versions(), 1u);
+
+  // The pinned reader still runs to completion against its version —
+  // identical rows, identical accounting, old epoch.
+  auto after_pinned = rased_->executor()->Execute(history, pinned);
+  ASSERT_TRUE(after_pinned.ok()) << after_pinned.status().ToString();
+  EXPECT_EQ(after_pinned.value().stats.epoch, epoch_before);
+  EXPECT_TRUE(RowsEqual(after_pinned.value().rows, before.value().rows));
+  EXPECT_TRUE(after_pinned.value().stats.io == before.value().stats.io);
+
+  // A fresh query pins the new version.
+  auto fresh = rased_->Query(history);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(fresh.value().stats.epoch, epoch_before + 1);
+  EXPECT_TRUE(RowsEqual(fresh.value().rows, before.value().rows));
+
+  // The new day exists only in the new version: the pinned snapshot's
+  // coverage ends before it, so its window is empty.
+  AnalysisQuery newday;
+  newday.range = DateRange(new_day, new_day);
+  auto old_view = rased_->executor()->Execute(newday, pinned);
+  ASSERT_TRUE(old_view.ok()) << old_view.status().ToString();
+  EXPECT_TRUE(old_view.value().rows.empty());
+  auto new_view = rased_->Query(newday);
+  ASSERT_TRUE(new_view.ok()) << new_view.status().ToString();
+  uint64_t total = 0;
+  for (const ResultRow& row : new_view.value().rows) total += row.count;
+  EXPECT_EQ(total, 77u);
+
+  // Epoch observability: the trace ring and the metrics exporter carry it.
+  // An HTTP query first, so the ring has at least one trace to render.
+  std::string served = Fetch(
+      service_->port(),
+      "/api/query?from=2021-01-01&to=2021-02-28&group=country");
+  EXPECT_NE(served.find("200 OK"), std::string::npos);
+  std::string trace = Fetch(service_->port(), "/api/trace");
+  EXPECT_NE(trace.find("\"epoch\""), std::string::npos);
+  std::string metrics = Fetch(service_->port(), "/metrics");
+  EXPECT_NE(metrics.find("rased_index_epoch"), std::string::npos);
+  EXPECT_NE(metrics.find("rased_index_retired_versions"), std::string::npos);
+  EXPECT_NE(metrics.find("rased_index_publications_total"), std::string::npos);
+}
+
+// Readers issue continuously while a deliberately slow writer publishes 14
+// days, and observe zero stalls. "Latency" here is the system's
+// deterministic latency model: the wall clock is a FakeClock that only the
+// writer advances (one simulated second per ingested day), so a reader
+// that never waits for the writer completes every query with exactly the
+// no-ingest baseline's device-model time and rows — any blocking on the
+// write path would surface as nondeterministic extra latency or torn
+// answers. Appends continue from wherever coverage currently ends.
+TEST_F(ConcurrentQueriesTest, ReadersSeeNoStallsDuringSlowIngest) {
+  constexpr int kReaders = 4;
+  constexpr int kNewDays = 14;
+  constexpr int64_t kSlowIngestMicros = 1000000;  // 1 s of fake time per day
+
+  AnalysisQuery history;
+  history.range = DateRange(Date::FromYmd(2021, 1, 1),
+                            Date::FromYmd(2021, 2, 28));
+  history.group_country = true;
+  auto baseline = rased_->Query(history);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const uint64_t epoch_before = rased_->index()->epoch();
+
+  FakeClock fake_clock;
+  SetClockForTesting(&fake_clock);
+
+  std::atomic<int> warmup_queries{0};
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> divergences{0};
+  std::atomic<int> degraded{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 400 && !(done.load() && i > 4); ++i) {
+        auto result = rased_->Query(history);
+        if (!result.ok()) {
+          ++failures;
+        } else {
+          if (!RowsEqual(result.value().rows, baseline.value().rows)) {
+            ++divergences;
+          }
+          // Device-model latency is a pure function of (query, pinned
+          // version); concurrent publications must not add a microsecond.
+          if (result.value().stats.io.simulated_device_micros !=
+              baseline.value().stats.io.simulated_device_micros) {
+            ++degraded;
+          }
+        }
+        if (i == 0) ++warmup_queries;
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    });
+  }
+
+  // Let every reader land at least one pre-publication query, then
+  // publish kNewDays versions, each "taking" one second of fake time.
+  while (warmup_queries.load() < kReaders) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  CubeSchema schema = rased_->options().schema;
+  Date next_day = rased_->index()->coverage().last.next();
+  for (int day = 0; day < kNewDays; ++day) {
+    fake_clock.Advance(kSlowIngestMicros / 2);
+    DataCube cube(schema);
+    cube.Add(0, 0, 0, 0, 1);
+    Status s = rased_->IngestDayCube(next_day, cube);
+    if (!s.ok()) ++failures;
+    next_day = next_day.next();
+    fake_clock.Advance(kSlowIngestMicros / 2);
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+  }
+  done.store(true);
+  for (std::thread& t : readers) t.join();
+  SetClockForTesting(nullptr);
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(divergences.load(), 0);
+  EXPECT_EQ(degraded.load(), 0);
+  // Every publication bumped the epoch; queries before the first swap saw
+  // the old epoch (asserted per-query above via the pinned baseline
+  // accounting), and a post-ingest query pins the newest version.
+  auto after = rased_->Query(history);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after.value().stats.epoch,
+            epoch_before + static_cast<uint64_t>(kNewDays));
+  EXPECT_TRUE(RowsEqual(after.value().rows, baseline.value().rows));
+}
+
+// WarmCache refills the (statically warmed) cache against the currently
+// published version while readers keep querying: the warm pass holds only
+// the write-side mutex, so readers never block on it and every answer
+// stays bit-for-bit correct even mid-refill (page-validated probes just
+// miss entries the warm pass has not restored yet).
+TEST_F(ConcurrentQueriesTest, WarmCacheDoesNotBlockOrCorruptReaders) {
+  constexpr int kReaders = 4;
+
+  AnalysisQuery history;
+  history.range = DateRange(Date::FromYmd(2021, 1, 1),
+                            Date::FromYmd(2021, 2, 28));
+  history.group_country = true;
+  auto baseline = rased_->Query(history);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> divergences{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 200 && !done.load(); ++i) {
+        auto result = rased_->Query(history);
+        if (!result.ok()) {
+          ++failures;
+        } else if (!RowsEqual(result.value().rows, baseline.value().rows)) {
+          ++divergences;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    });
+  }
+
+  for (int i = 0; i < 6; ++i) {
+    Status s = rased_->WarmCache();
+    if (!s.ok()) ++failures;
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  done.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(divergences.load(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,50 @@
+// Fixture for RL012 snapshot-member. Never compiled; read by
+// rased_lint_test. MVCC catalog snapshots are per-operation pins: storing
+// one in a member field keeps its epoch alive for the holder's lifetime
+// and blocks reclamation of every later retirement.
+#ifndef RASED_FIXTURES_SNAPSHOT_MEMBER_H_
+#define RASED_FIXTURES_SNAPSHOT_MEMBER_H_
+
+#include <memory>
+
+#include "index/temporal_index.h"
+
+namespace fixture {
+
+class QueryHelper {
+ public:
+  explicit QueryHelper(rased::TemporalIndex* index) : index_(index) {}
+
+  // Parameters and locals are the correct way to hold a snapshot: the pin
+  // lives for one operation and drains when the call returns.
+  void Plan(const rased::CatalogSnapshot& snapshot);
+  void Execute() {
+    rased::CatalogSnapshot pinned = index_->Snapshot();
+    Plan(pinned);
+  }
+
+ private:
+  rased::TemporalIndex* index_;
+  rased::CatalogSnapshot pinned_;  // WANT[RL012]
+  std::shared_ptr<const rased::CatalogVersion> version_;  // WANT[RL012]
+};
+
+struct CachedPlan {
+  int estimated_pages_ = 0;
+  rased::CatalogSnapshot snapshot_ = {};  // WANT[RL012]
+};
+
+// Type aliases and statics only name the type; nothing is pinned.
+class Aliases {
+ public:
+  using Snapshot = rased::CatalogSnapshot;
+  typedef rased::CatalogVersion Version;
+
+ private:
+  static const rased::CatalogVersion* last_seen_;
+  int generation_ = 0;
+};
+
+}  // namespace fixture
+
+#endif  // RASED_FIXTURES_SNAPSHOT_MEMBER_H_

@@ -108,6 +108,10 @@ TEST(RasedLintTest, HeaderGuard) { ExpectMatchesMarkers("header_guard.h"); }
 
 TEST(RasedLintTest, BadNolint) { ExpectMatchesMarkers("bad_nolint.cc"); }
 
+TEST(RasedLintTest, SnapshotMember) {
+  ExpectMatchesMarkers("snapshot_member.h");
+}
+
 TEST(RasedLintTest, ValidNolintSuppresses) {
   LintStats stats;
   EXPECT_TRUE(Lint("suppressed.cc", &stats).empty());
@@ -141,7 +145,7 @@ TEST(RasedLintTest, RuleTableIsOrderedAndUnique) {
     EXPECT_LT(prev, rule.id);
     prev = rule.id;
   }
-  EXPECT_EQ(ids.size(), 11u);
+  EXPECT_EQ(ids.size(), 12u);
 }
 
 }  // namespace

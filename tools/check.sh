@@ -11,12 +11,16 @@
 #   6. bench_concurrent_queries --quick (scaling/determinism smoke gate)
 #   7. bench_query_hotpath --quick (batched-I/O + kernel smoke gate;
 #      emits the BENCH_query_hotpath.json trajectory at the repo root)
-#   8. metrics smoke: boots a tiny synthetic instance, asserts the
+#   8. bench_ingest_vs_query --quick (MVCC publication smoke gate: reader
+#      makespan within 10% of the no-ingest baseline while days publish,
+#      ingest within 25% of the exclusive baseline; emits the
+#      BENCH_mvcc_ingest.json trajectory at the repo root; never skips)
+#   9. metrics smoke: boots a tiny synthetic instance, asserts the
 #      Prometheus exposition (rased metrics + live GET /metrics) covers
 #      every serving-path family and /api/trace returns spans, and
 #      appends a "metrics_snapshot" line to BENCH_query_hotpath.json
-#   9. ASan+UBSan build + full ctest (deadlock detector enabled)
-#  10. TSan build + concurrency-focused ctest (dashboard/cache/collect/
+#  10. ASan+UBSan build + full ctest (deadlock detector enabled)
+#  11. TSan build + concurrency-focused ctest (dashboard/cache/collect/
 #      index/warehouse/hotpath/observability suites)
 #
 # Exit code 0 means every stage that could run passed. Stages whose tool
@@ -156,6 +160,29 @@ else
   skip "bench_query_hotpath not built (plain build failed?)"
 fi
 
+# ------------------------------------------------- ingest-vs-query smoke --
+# Quick mode of the MVCC ingest-vs-query bench: readers re-run a fixed
+# workload while ingest publishes 35 days, and the bench itself asserts
+# bit-for-bit rows/accounting, < 10% reader makespan degradation, < 25%
+# ingest overhead vs the exclusive baseline, and >= 2 observed epochs.
+# Like rased-lint this gate never skips: the non-blocking publication
+# contract is load-bearing for the dashboard, so a missing binary is a
+# failure, not a SKIP.
+note "bench_ingest_vs_query --quick"
+if [ -x "${PREFIX}-plain/bench/bench_ingest_vs_query" ]; then
+  MVCC_OUT="$("${PREFIX}-plain/bench/bench_ingest_vs_query" --quick \
+      "bench_dir=${PREFIX}-plain/bench/ingest_bench_data")"
+  if [ $? -eq 0 ]; then
+    printf '%s\n' "${MVCC_OUT}" \
+      | grep '"bench":"mvcc_ingest"' > BENCH_mvcc_ingest.json
+    pass "bench_ingest_vs_query --quick (trajectory in BENCH_mvcc_ingest.json)"
+  else
+    fail "bench_ingest_vs_query --quick"
+  fi
+else
+  fail "bench_ingest_vs_query not built (plain build failed?)"
+fi
+
 # ----------------------------------------------------------- metrics smoke --
 # End-to-end observability gate: build a tiny synthetic instance with the
 # CLI, then require that (a) `rased metrics probe=1` exposes every
@@ -266,7 +293,7 @@ run_matrix_entry "asan+ubsan" "${PREFIX}-asan" "" \
 # observability suites (registry hammer, trace ring, /metrics endpoint);
 # a race anywhere in them must surface here.
 run_matrix_entry "tsan" "${PREFIX}-tsan" \
-  "-R (Dashboard|Concurrent|HttpServer|CubeCache|Replication|TemporalIndex|Warehouse|Hotpath|Metrics|Trace)" \
+  "-R (Dashboard|Concurrent|HttpServer|CubeCache|Replication|TemporalIndex|Warehouse|Hotpath|Ingest|Metrics|Trace)" \
   "-DRASED_SANITIZE=thread"
 
 # ----------------------------------------------------------------- gate ---

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cctype>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -45,6 +46,9 @@ const std::vector<RuleInfo> kRules = {
      "#endif comment"},
     {"RL011", "bad-nolint",
      "malformed NOLINT-RASED directive (unknown rule or missing reason)"},
+    {"RL012", "snapshot-member",
+     "CatalogSnapshot / CatalogVersion stored in a member field; snapshots "
+     "are per-operation pins — hold them as locals so retired epochs drain"},
 };
 
 const RuleInfo& Rule(const char* id) {
@@ -292,7 +296,13 @@ bool StmtContains(const MemberStmt& stmt, const char* ident) {
   return false;
 }
 
-void CheckGuardedFields(Ctx* ctx) {
+/// Scans ctx->code for every class/struct definition (nested ones
+/// included, since the token walk revisits them) and hands each one's
+/// name and member-level statements to fn. Shared by the member-field
+/// rules (RL002, RL012).
+void ForEachClassBody(
+    Ctx* ctx, const std::function<void(const std::string& name,
+                                       const std::vector<MemberStmt>&)>& fn) {
   const std::vector<Token>& toks = ctx->code;
   for (size_t i = 0; i < toks.size(); ++i) {
     if (!(IsIdent(toks[i], "class") || IsIdent(toks[i], "struct"))) continue;
@@ -329,8 +339,13 @@ void CheckGuardedFields(Ctx* ctx) {
     if (!saw_body || j >= toks.size()) continue;
     size_t body_begin = j + 1;
     size_t body_end = SkipBalanced(toks, j, '{', '}') - 1;
-    std::vector<MemberStmt> stmts = SplitMembers(toks, body_begin, body_end);
+    fn(name, SplitMembers(toks, body_begin, body_end));
+  }
+}
 
+void CheckGuardedFields(Ctx* ctx) {
+  ForEachClassBody(ctx, [ctx](const std::string& name,
+                              const std::vector<MemberStmt>& stmts) {
     // The rule applies only to classes that hold a rased lock.
     bool holds_mutex = false;
     for (const MemberStmt& stmt : stmts) {
@@ -339,7 +354,7 @@ void CheckGuardedFields(Ctx* ctx) {
         holds_mutex = true;
       }
     }
-    if (!holds_mutex) continue;
+    if (!holds_mutex) return;
 
     for (const MemberStmt& stmt : stmts) {
       const Token* member = MemberName(stmt);
@@ -383,7 +398,7 @@ void CheckGuardedFields(Ctx* ctx) {
                     "' needs RASED_GUARDED_BY / RASED_PT_GUARDED_BY (or "
                     "const, std::atomic, RASED_CONST_AFTER_INIT)");
     }
-  }
+  });
 }
 
 // --------------------------------------------------------------------------
@@ -765,6 +780,42 @@ void CheckHeaderGuard(Ctx* ctx) {
   }
 }
 
+// --------------------------------------------------------------------------
+// RL012 snapshot-member
+// --------------------------------------------------------------------------
+
+/// MVCC snapshots are per-operation pins: a CatalogSnapshot (or a retained
+/// shared_ptr<const CatalogVersion>) stored in a member field keeps its
+/// epoch alive for the holder's whole lifetime, so every retirement behind
+/// it can never be reclaimed. Pin a local, use it for one plan/execute,
+/// let it drain. The index's own version machinery (the publication chain,
+/// staging, and the retired queue) is the one legitimate long-term holder.
+void CheckSnapshotMember(Ctx* ctx) {
+  if (ctx->InRepo("src/index/temporal_index.h") ||
+      ctx->InRepo("src/index/temporal_index.cc")) {
+    return;
+  }
+  ForEachClassBody(ctx, [ctx](const std::string& name,
+                              const std::vector<MemberStmt>& stmts) {
+    for (const MemberStmt& stmt : stmts) {
+      const Token* member = MemberName(stmt);
+      if (member == nullptr) continue;
+      if (StmtContains(stmt, "static") || StmtContains(stmt, "using") ||
+          StmtContains(stmt, "typedef") || StmtContains(stmt, "friend")) {
+        continue;
+      }
+      if (StmtContains(stmt, "CatalogSnapshot") ||
+          StmtContains(stmt, "CatalogVersion")) {
+        ctx->Emit(member->line, "RL012",
+                  "member '" + member->text + "' of class '" + name +
+                      "' pins a catalog version for the object's lifetime; "
+                      "take a CatalogSnapshot as a local per operation so "
+                      "retired epochs can drain");
+      }
+    }
+  });
+}
+
 }  // namespace
 
 // --------------------------------------------------------------------------
@@ -797,6 +848,7 @@ std::vector<Finding> LintFile(const std::string& display_path,
   CheckBannedFunctions(&ctx);
   CheckIncludeOrder(&ctx);
   CheckHeaderGuard(&ctx);
+  CheckSnapshotMember(&ctx);
   std::sort(ctx.findings.begin(), ctx.findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;
