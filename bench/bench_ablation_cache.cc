@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   auto index = OpenOrBuildIndex(env, /*num_levels=*/4);
   auto world = MakeWorld(env);
   size_t slots = static_cast<size_t>(env.config.GetInt("cache_slots", 256));
+  const uint64_t budget = CacheOptions::BytesForCubes(slots, env.schema);
 
   struct Policy {
     const char* name;
@@ -37,16 +38,16 @@ int main(int argc, char** argv) {
   std::vector<Policy> policies;
   {
     Policy recency{"recency(a,b,g,t)", CacheOptions{}};
-    recency.options.num_slots = slots;
+    recency.options.byte_budget = budget;
     policies.push_back(recency);
 
     Policy all_daily{"all-daily", CacheOptions{}};
-    all_daily.options.num_slots = slots;
+    all_daily.options.byte_budget = budget;
     all_daily.options.policy = CachePolicy::kAllDaily;
     policies.push_back(all_daily);
 
     Policy lru{"LRU", CacheOptions{}};
-    lru.options.num_slots = slots;
+    lru.options.byte_budget = budget;
     lru.options.policy = CachePolicy::kLru;
     policies.push_back(lru);
   }
@@ -96,7 +97,7 @@ int main(int argc, char** argv) {
            {"(.4,.35,.2,.05) deployed", .4, .35, .2, .05},
            {"(.1,.2,.5,.2) coarse-heavy", .1, .2, .5, .2}}) {
     CacheOptions sweep_options;
-    sweep_options.num_slots = slots;
+    sweep_options.byte_budget = budget;
     sweep_options.alpha = split.a;
     sweep_options.beta = split.b;
     sweep_options.gamma = split.g;

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   auto world = MakeWorld(env);
 
   CacheOptions cache_options;
-  cache_options.num_slots = 256;
+  cache_options.byte_budget = CacheOptions::BytesForCubes(256, env.schema);
   CubeCache cache(cache_options);
   Status s = cache.Warm(index.get());
   RASED_CHECK(s.ok()) << s.ToString();

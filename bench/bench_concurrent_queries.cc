@@ -86,8 +86,10 @@ int main(int argc, char** argv) {
   // function of the query. That is what makes the determinism check
   // below meaningful under concurrency.
   CacheOptions cache_options;
-  cache_options.num_slots =
+  const size_t cache_cubes =
       static_cast<size_t>(env.config.GetInt("cache_slots", 128));
+  cache_options.byte_budget =
+      CacheOptions::BytesForCubes(cache_cubes, env.schema);
   cache_options.policy = CachePolicy::kRasedRecency;
   CubeCache cache(cache_options);
   Status warm = cache.Warm(index.get());
@@ -125,9 +127,9 @@ int main(int argc, char** argv) {
 
   PrintHeader(
       "Concurrent queries: dashboard worker-pool scaling",
-      StrFormat("%d single-cell queries, %d-day windows, %zu-slot warm "
-                "cache, device model %lld us/page;",
-                total_queries, span_days, cache_options.num_slots,
+      StrFormat("%d single-cell queries, %d-day windows, %zu-cube-budget "
+                "warm cache, device model %lld us/page;",
+                total_queries, span_days, cache_cubes,
                 static_cast<long long>(env.device.read_latency_us)) +
           " makespan = slowest worker's summed device micros");
   PrintRow({"threads", "makespan", "speedup", "queries/s", "wall"});

@@ -1,0 +1,399 @@
+// Adaptive cube compression: encoded storage vs the dense baseline.
+//
+// Builds two indexes over byte-identical synthetic data and identical
+// page geometry, differing only in the write-time encoding policy:
+//
+//   dense    CubeEncodingPolicy::kForceDense — every cube stored as its
+//            raw 8-bytes-per-cell image (the pre-compression layout).
+//   adaptive CubeEncodingPolicy::kAdaptive — per-cube encoding chosen
+//            from measured density (sparse COO / delta-varint / dense),
+//            exact blob length in the catalog (DESIGN.md section 11).
+//
+// The workload is the dashboard hot path: the paper's four panel shapes
+// (90-day time series, country choropleth, road x update histogram,
+// single-country 7-day detail) anchored at random recent dates. Each
+// query runs cold on both indexes; rows must be bit-identical, and the
+// adaptive side must cut BOTH transferred bytes and page reads by >= 3x
+// — compression that does not shrink I/O is not compression.
+//
+// Cross-checks folded in (all gated, all deterministic):
+//   - batched vs serial: the executor's batched fetch path must match a
+//     serial per-cube ReadCube + per-cell fold reference, row for row;
+//   - scalar vs AVX2: the whole adaptive pass re-runs with the vector
+//     kernels forced off; every row must be bit-identical (64-bit adds
+//     are associative mod 2^64, so any divergence is a kernel bug);
+//   - warm CPU: with every workload cube cache-resident the adaptive
+//     index must aggregate within 10% of the dense index (min-of-N
+//     makespans) — decoding must never leak into the warm path.
+//
+// Usage: bench_cube_compression [--quick] [key=value ...]
+
+#include <cinttypes>
+#include <map>
+#include <memory>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "bench_common.h"
+#include "cube/agg_kernels.h"
+#include "cube/cube_codec.h"
+#include "index/temporal_key.h"
+#include "io/env.h"
+#include "util/clock.h"
+
+using namespace rased;
+using namespace rased::bench;
+
+namespace {
+
+/// Builds (or reopens) the bench index under `subdir` with the given
+/// write-time encoding policy. Identical synthetic stream and page
+/// geometry for both policies, so every difference below is the encoding.
+std::unique_ptr<TemporalIndex> OpenOrBuildEncodedIndex(
+    const BenchEnv& env, CubeEncodingPolicy policy, const char* subdir) {
+  TemporalIndexOptions options;
+  options.schema = env.schema;
+  options.num_levels = 4;
+  options.dir = env::JoinPath(env.data_dir, subdir);
+  options.device = env.device;
+  options.encoding = policy;
+
+  if (env::FileExists(env::JoinPath(options.dir, "catalog"))) {
+    auto index = TemporalIndex::Open(options);
+    RASED_CHECK(index.ok()) << index.status().ToString();
+    return std::move(index).value();
+  }
+  std::fprintf(stderr, "[bench] building %s index in %s (one-time)...\n",
+               subdir, options.dir.c_str());
+  auto index = TemporalIndex::Create(options);
+  RASED_CHECK(index.ok()) << index.status().ToString();
+  auto world = MakeWorld(env);
+  CubeSynthesizer synth(env.synth, world.get(), env.schema);
+  for (Date d = env.period.first; d <= env.period.last; d = d.next()) {
+    Status s = index.value()->AppendDay(d, synth.DayCube(d));
+    RASED_CHECK(s.ok()) << s.ToString();
+  }
+  Status s = index.value()->Sync();
+  RASED_CHECK(s.ok()) << s.ToString();
+  index.value()->pager()->ResetStats();
+  return std::move(index).value();
+}
+
+/// The four dashboard panel shapes (Figures 2-5) anchored at one date.
+std::vector<AnalysisQuery> DashboardRefresh(const BenchEnv& env,
+                                            const WorldMap& world, Rng& rng) {
+  const auto& countries = world.country_ids();
+  Date anchor = env.period.last.AddDays(-static_cast<int>(rng.Uniform(365)));
+
+  AnalysisQuery timeseries;
+  timeseries.range = DateRange(anchor.AddDays(-89), anchor);
+  timeseries.group_date = true;
+
+  AnalysisQuery choropleth;
+  choropleth.range = DateRange(anchor.AddDays(-29), anchor);
+  choropleth.group_country = true;
+
+  AnalysisQuery histogram;
+  histogram.range = DateRange(anchor.AddDays(-29), anchor);
+  histogram.group_road_type = true;
+  histogram.group_update_type = true;
+
+  AnalysisQuery detail;
+  detail.range = DateRange(anchor.AddDays(-6), anchor);
+  detail.countries = {countries[rng.Uniform(countries.size())]};
+  detail.group_date = true;
+  detail.group_update_type = true;
+
+  return {timeseries, choropleth, histogram, detail};
+}
+
+bool RowsEqual(const std::vector<ResultRow>& a,
+               const std::vector<ResultRow>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].element_type != b[i].element_type ||
+        a[i].has_date != b[i].has_date ||
+        (a[i].has_date && !(a[i].date == b[i].date)) ||
+        a[i].country != b[i].country || a[i].road_type != b[i].road_type ||
+        a[i].update_type != b[i].update_type || a[i].count != b[i].count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Serial per-cube reference for the batched fetch path: reads every
+/// planned cube with the single-cube ReadCube (which decodes through the
+/// non-batched code path) and folds per cell into a sorted map, then
+/// checks the executor's rows against it.
+void CheckAgainstSerialReference(const TemporalIndex& index,
+                                 const QueryExecutor& executor,
+                                 const WorldMap& world,
+                                 const AnalysisQuery& q,
+                                 const std::vector<ResultRow>& rows) {
+  CubeSlice slice;
+  for (ElementType t : q.element_types) {
+    slice.element_types.push_back(static_cast<uint32_t>(t));
+  }
+  if (q.countries.empty()) {
+    slice.countries.push_back(kZoneUnknown);
+    for (ZoneId id : world.country_ids()) slice.countries.push_back(id);
+  } else {
+    for (ZoneId z : q.countries) slice.countries.push_back(z);
+  }
+  for (RoadTypeId r : q.road_types) slice.road_types.push_back(r);
+  for (UpdateType u : q.update_types) {
+    slice.update_types.push_back(static_cast<uint32_t>(u));
+  }
+  slice.Normalize();
+
+  using GroupKey = std::tuple<int32_t, int32_t, int32_t, int32_t, int32_t>;
+  std::map<GroupKey, uint64_t> groups;
+  for (const CubeKey& key : executor.PlanFor(q).cubes) {
+    int32_t date_key = q.group_date ? key.range().first.days_since_epoch()
+                                    : ResultRow::kNoGroup;
+    auto cube = index.ReadCube(key);
+    RASED_CHECK(cube.ok()) << cube.status().ToString();
+    cube.value().ForEachCell(slice, [&](uint32_t et, uint32_t co, uint32_t rt,
+                                        uint32_t ut, uint64_t count) {
+      groups[GroupKey{q.group_element_type ? static_cast<int32_t>(et)
+                                           : ResultRow::kNoGroup,
+                      date_key,
+                      q.group_country ? static_cast<int32_t>(co)
+                                      : ResultRow::kNoGroup,
+                      q.group_road_type ? static_cast<int32_t>(rt)
+                                        : ResultRow::kNoGroup,
+                      q.group_update_type ? static_cast<int32_t>(ut)
+                                          : ResultRow::kNoGroup}] += count;
+    });
+  }
+  RASED_CHECK(rows.size() == groups.size())
+      << "batched row count diverged from serial reference on "
+      << q.ToString();
+  size_t i = 0;
+  for (const auto& [gk, count] : groups) {
+    const ResultRow& row = rows[i++];
+    int32_t date_key =
+        row.has_date ? row.date.days_since_epoch() : ResultRow::kNoGroup;
+    RASED_CHECK((GroupKey{row.element_type, date_key, row.country,
+                          row.road_type, row.update_type} == gk) &&
+                row.count == count)
+        << "batched path diverged from serial reference on " << q.ToString();
+  }
+}
+
+struct ColdPass {
+  std::vector<std::vector<ResultRow>> rows;
+  IoStats io;
+  int64_t device_micros = 0;
+};
+
+ColdPass RunCold(TemporalIndex* index, const WorldMap& world,
+                 const std::vector<AnalysisQuery>& queries) {
+  QueryExecutor executor(index, /*cache=*/nullptr, &world);
+  ColdPass out;
+  for (const AnalysisQuery& q : queries) {
+    auto result = executor.Execute(q);
+    RASED_CHECK(result.ok()) << result.status().ToString();
+    out.io += result.value().stats.io;
+    out.rows.push_back(std::move(result.value().rows));
+  }
+  out.device_micros = out.io.simulated_device_micros;
+  return out;
+}
+
+/// Minimum warm-cache (fully resident) makespan over `repeats` passes.
+int64_t WarmMakespan(TemporalIndex* index, const WorldMap& world,
+                     const std::vector<AnalysisQuery>& queries, int repeats) {
+  CacheOptions cache_options;
+  cache_options.policy = CachePolicy::kLru;
+  cache_options.byte_budget = uint64_t{1} << 40;  // hold everything
+  CubeCache cache(cache_options);
+  QueryExecutor executor(index, &cache, &world);
+  CatalogSnapshot snapshot = index->Snapshot();
+  for (const AnalysisQuery& q : queries) {
+    for (const CubeKey& key : executor.PlanFor(q).cubes) {
+      if (cache.Contains(key)) continue;
+      auto cube = index->ReadCube(key);
+      RASED_CHECK(cube.ok()) << cube.status().ToString();
+      cache.Insert(key, snapshot.PageOf(key).value_or(kInvalidPageId),
+                   std::move(cube).value());
+    }
+  }
+  int64_t best = 0;
+  for (int r = 0; r < repeats; ++r) {
+    StopWatch watch;
+    uint64_t page_reads = 0;
+    for (const AnalysisQuery& q : queries) {
+      auto result = executor.Execute(q);
+      RASED_CHECK(result.ok()) << result.status().ToString();
+      page_reads += result.value().stats.io.page_reads;
+    }
+    RASED_CHECK(page_reads == 0) << "warm pass still touched disk";
+    int64_t elapsed = watch.ElapsedMicros();
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") {
+      quick = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  BenchEnv env = BenchEnv::FromArgs(static_cast<int>(args.size()),
+                                    args.data());
+  if (quick) {
+    env.data_dir = env::JoinPath(env.data_dir, "quick");
+    env.period = DateRange(Date::FromYmd(2020, 1, 1),
+                           Date::FromYmd(2021, 12, 31));
+    env.synth.period = env.period;
+  }
+
+  auto dense = OpenOrBuildEncodedIndex(env, CubeEncodingPolicy::kForceDense,
+                                       "index_dense");
+  auto adaptive = OpenOrBuildEncodedIndex(env, CubeEncodingPolicy::kAdaptive,
+                                          "index_adaptive");
+  auto world = MakeWorld(env);
+
+  const int refreshes = quick ? 8 : 40;
+  Rng rng(env.seed);
+  std::vector<AnalysisQuery> queries;
+  for (int i = 0; i < refreshes; ++i) {
+    for (AnalysisQuery& q : DashboardRefresh(env, *world, rng)) {
+      queries.push_back(std::move(q));
+    }
+  }
+
+  // ---- storage footprint (pure catalog accounting).
+  IndexStorageStats dense_stats = dense->StorageStats();
+  IndexStorageStats adaptive_stats = adaptive->StorageStats();
+  RASED_CHECK(dense_stats.total_cubes == adaptive_stats.total_cubes)
+      << "the two indexes hold different cube populations";
+  double storage_ratio = static_cast<double>(dense_stats.encoded_bytes) /
+                         static_cast<double>(adaptive_stats.encoded_bytes);
+
+  // ---- cold passes: identical rows, >= 3x less I/O.
+  dense->pager()->ResetStats();
+  adaptive->pager()->ResetStats();
+  ColdPass dense_cold = RunCold(dense.get(), *world, queries);
+  ColdPass adaptive_cold = RunCold(adaptive.get(), *world, queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    RASED_CHECK(RowsEqual(dense_cold.rows[i], adaptive_cold.rows[i]))
+        << "adaptive rows diverged from dense baseline on "
+        << queries[i].ToString();
+  }
+
+  // Batched fetch vs serial per-cube reference, on the adaptive index.
+  {
+    QueryExecutor executor(adaptive.get(), /*cache=*/nullptr, world.get());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      CheckAgainstSerialReference(*adaptive, executor, *world, queries[i],
+                                  adaptive_cold.rows[i]);
+    }
+  }
+
+  // Scalar vs AVX2: identical rows with the vector kernels forced off.
+  kernels::ForceScalarKernelsForTesting(true);
+  ColdPass scalar_cold = RunCold(adaptive.get(), *world, queries);
+  kernels::ForceScalarKernelsForTesting(false);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    RASED_CHECK(RowsEqual(scalar_cold.rows[i], adaptive_cold.rows[i]))
+        << "scalar and " << kernels::ActiveKernels().name
+        << " kernels disagreed on " << queries[i].ToString();
+  }
+
+  double bytes_ratio = static_cast<double>(dense_cold.io.bytes_read) /
+                       static_cast<double>(adaptive_cold.io.bytes_read);
+  double pages_ratio = static_cast<double>(dense_cold.io.page_reads) /
+                       static_cast<double>(adaptive_cold.io.page_reads);
+  double device_ratio = static_cast<double>(dense_cold.device_micros) /
+                        static_cast<double>(adaptive_cold.device_micros);
+
+  // ---- warm passes: all cubes resident; decoding must not leak in.
+  const int repeats = quick ? 3 : 5;
+  int64_t dense_warm = WarmMakespan(dense.get(), *world, queries, repeats);
+  int64_t adaptive_warm =
+      WarmMakespan(adaptive.get(), *world, queries, repeats);
+  double warm_ratio = static_cast<double>(adaptive_warm) /
+                      static_cast<double>(dense_warm > 0 ? dense_warm : 1);
+
+  PrintHeader(
+      "Adaptive cube compression vs dense baseline",
+      StrFormat("%zu dashboard queries (%d refreshes x 4 panels), "
+                "%" PRIu64 " cubes/index, device model %lld us/page",
+                queries.size(), refreshes, dense_stats.total_cubes,
+                static_cast<long long>(env.device.read_latency_us)));
+  PrintRow({"metric", "dense", "adaptive", "ratio"});
+  PrintRow({"encoded bytes",
+            FmtCount(static_cast<double>(dense_stats.encoded_bytes)),
+            FmtCount(static_cast<double>(adaptive_stats.encoded_bytes)),
+            StrFormat("%.1fx", storage_ratio)});
+  PrintRow({"cold bytes_read",
+            FmtCount(static_cast<double>(dense_cold.io.bytes_read)),
+            FmtCount(static_cast<double>(adaptive_cold.io.bytes_read)),
+            StrFormat("%.1fx", bytes_ratio)});
+  PrintRow({"cold page_reads",
+            FmtCount(static_cast<double>(dense_cold.io.page_reads)),
+            FmtCount(static_cast<double>(adaptive_cold.io.page_reads)),
+            StrFormat("%.1fx", pages_ratio)});
+  PrintRow({"cold device",
+            FmtMillis(static_cast<double>(dense_cold.device_micros) / 1000.0),
+            FmtMillis(static_cast<double>(adaptive_cold.device_micros) /
+                      1000.0),
+            StrFormat("%.1fx", device_ratio)});
+  PrintRow({"warm makespan",
+            FmtMillis(static_cast<double>(dense_warm) / 1000.0),
+            FmtMillis(static_cast<double>(adaptive_warm) / 1000.0),
+            StrFormat("%.2fx", warm_ratio)});
+
+  PrintJsonLine(
+      "cube_compression",
+      {{"queries", static_cast<double>(queries.size())},
+       {"total_cubes", static_cast<double>(dense_stats.total_cubes)},
+       {"dense_encoded_bytes",
+        static_cast<double>(dense_stats.encoded_bytes)},
+       {"adaptive_encoded_bytes",
+        static_cast<double>(adaptive_stats.encoded_bytes)},
+       {"storage_ratio", storage_ratio},
+       {"dense_bytes_read", static_cast<double>(dense_cold.io.bytes_read)},
+       {"adaptive_bytes_read",
+        static_cast<double>(adaptive_cold.io.bytes_read)},
+       {"bytes_read_ratio", bytes_ratio},
+       {"dense_page_reads", static_cast<double>(dense_cold.io.page_reads)},
+       {"adaptive_page_reads",
+        static_cast<double>(adaptive_cold.io.page_reads)},
+       {"page_reads_ratio", pages_ratio},
+       {"cold_device_ratio", device_ratio},
+       {"warm_dense_cpu_ms", static_cast<double>(dense_warm) / 1000.0},
+       {"warm_adaptive_cpu_ms", static_cast<double>(adaptive_warm) / 1000.0},
+       {"warm_cpu_ratio", warm_ratio},
+       {"avx2_active", kernels::Avx2Active() ? 1.0 : 0.0}});
+
+  // The gates. I/O ratios and rows are pure functions of the workload
+  // under the device model, so they cannot flake; the warm bound compares
+  // two identical dense-aggregation passes (min-of-N) and only trips if
+  // decoding or dispatch overhead leaks into the resident path.
+  RASED_CHECK(bytes_ratio >= 3.0)
+      << "adaptive encodings cut bytes_read only " << bytes_ratio << "x (< 3x)";
+  RASED_CHECK(pages_ratio >= 3.0)
+      << "adaptive encodings cut page_reads only " << pages_ratio << "x (< 3x)";
+  RASED_CHECK(warm_ratio <= 1.10)
+      << "warm-cache makespan regressed " << warm_ratio << "x (> 1.10x)";
+
+  std::printf(
+      "\nExpected shape: daily country cubes are ~1-2%% dense, so sparse\n"
+      "COO collapses their 13-page dense runs to a single page; weekly and\n"
+      "monthly rollups land on delta-varint. The warm ratio stays ~1.0\n"
+      "because cache hits aggregate decoded dense cubes on both sides —\n"
+      "compression only changes what crosses the device.\n");
+  return 0;
+}

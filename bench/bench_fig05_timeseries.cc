@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   RoadTypeTable roads(env.schema.num_road_types);
 
   CacheOptions cache_options;
-  cache_options.num_slots = 512;
+  cache_options.byte_budget = CacheOptions::BytesForCubes(512, env.schema);
   CubeCache cache(cache_options);
   Status s = cache.Warm(index.get());
   RASED_CHECK(s.ok()) << s.ToString();

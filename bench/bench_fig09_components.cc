@@ -27,10 +27,11 @@ int main(int argc, char** argv) {
   // RASED-O.
   QueryExecutor rased_o(full_index.get(), nullptr, world.get(),
                         PlanMode::kOptimized);
-  // Full RASED: 512-slot cache (the paper's 2 GB at 4.4 MB/cube).
+  // Full RASED: a 512-dense-cube byte budget (the paper's 2 GB at
+  // 4.4 MB/cube).
   CacheOptions cache_options;
-  cache_options.num_slots =
-      static_cast<size_t>(env.config.GetInt("cache_slots", 512));
+  cache_options.byte_budget = CacheOptions::BytesForCubes(
+      static_cast<size_t>(env.config.GetInt("cache_slots", 512)), env.schema);
   CubeCache cache(cache_options);
   Status s = cache.Warm(full_index.get());
   RASED_CHECK(s.ok()) << s.ToString();

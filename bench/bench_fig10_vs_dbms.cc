@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
   auto world = MakeWorld(env);
 
   CacheOptions cache_options;
-  cache_options.num_slots =
-      static_cast<size_t>(env.config.GetInt("cache_slots", 512));
+  cache_options.byte_budget = CacheOptions::BytesForCubes(
+      static_cast<size_t>(env.config.GetInt("cache_slots", 512)), env.schema);
   CubeCache cache(cache_options);
   Status s = cache.Warm(index.get());
   RASED_CHECK(s.ok()) << s.ToString();

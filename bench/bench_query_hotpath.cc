@@ -237,7 +237,7 @@ int main(int argc, char** argv) {
   std::unordered_map<CubeKey, DataCube, CubeKeyHash> resident;
   CacheOptions cache_options;
   cache_options.policy = CachePolicy::kLru;
-  cache_options.num_slots = 1 << 20;  // effectively unbounded
+  cache_options.byte_budget = uint64_t{1} << 40;  // effectively unbounded
   CubeCache cache(cache_options);
   // Insert with each cube's page from a pinned snapshot so the executor's
   // page-validated probes hit (a page-less insert would never validate).

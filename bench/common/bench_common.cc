@@ -85,10 +85,11 @@ std::unique_ptr<BaselineDbms> OpenOrBuildDbms(const BenchEnv& env,
   DbmsOptions options;
   options.dir = env::JoinPath(env.data_dir, "dbms");
   options.device = env.device;
-  // Figure 10 matches the PostgreSQL buffer size to RASED's cache. At our
-  // scale RASED's 512-slot cache holds 512 x 48 KiB = 24 MiB of cubes, so
-  // the baseline gets the same 24 MiB of shared buffers — and, as in the
-  // paper's deployment, the heap is much larger than the buffer pool.
+  // Figure 10 matches the PostgreSQL buffer size to RASED's cache. The
+  // RASED side runs a BytesForCubes(512, schema) byte budget — at bench
+  // scale 512 dense images + headers ~= 24 MiB — so the baseline gets the
+  // same 24 MiB of shared buffers — and, as in the paper's deployment,
+  // the heap is much larger than the buffer pool.
   options.buffer_pool_bytes = static_cast<uint64_t>(
       env.config.GetInt("dbms_pool_bytes", 24 << 20));
 

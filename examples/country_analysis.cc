@@ -55,7 +55,7 @@ int main() {
   }
 
   CacheOptions cache_options;  // the deployment's (.4,.35,.2,.05) split
-  cache_options.num_slots = 64;
+  cache_options.byte_budget = CacheOptions::BytesForCubes(64, schema);
   CubeCache cache(cache_options);
   if (!cache.Warm(index.value().get()).ok()) return 1;
   index.value()->pager()->ResetStats();

@@ -35,7 +35,8 @@ int main(int argc, char** argv) {
   RasedOptions options;
   options.dir = workspace.path();
   options.schema = CubeSchema::BenchScale();
-  options.cache.num_slots = 64;
+  options.cache.byte_budget =
+      CacheOptions::BytesForCubes(64, options.schema);
   auto rased = Rased::Create(options);
   if (!rased.ok()) {
     std::fprintf(stderr, "%s\n", rased.status().ToString().c_str());

@@ -26,7 +26,8 @@ int main() {
   RasedOptions options;
   options.dir = env::JoinPath(workspace.path(), "rased");
   options.schema = CubeSchema::BenchScale();
-  options.cache.num_slots = 16;
+  options.cache.byte_budget =
+      CacheOptions::BytesForCubes(16, options.schema);
   auto rased = Rased::Create(options);
   if (!rased.ok()) return 1;
   Rased& system = *rased.value();

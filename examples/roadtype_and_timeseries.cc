@@ -42,7 +42,7 @@ int main() {
   }
 
   CacheOptions cache_options;
-  cache_options.num_slots = 128;
+  cache_options.byte_budget = CacheOptions::BytesForCubes(128, schema);
   CubeCache cache(cache_options);
   if (!cache.Warm(index.value().get()).ok()) return 1;
   index.value()->pager()->ResetStats();

@@ -2,12 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <optional>
 #include <utility>
 
+#include "cube/cube_codec.h"
 #include "util/logging.h"
 
 namespace rased {
+
+namespace {
+
+/// Encoded size of a cube the caller could not supply one for (page-less
+/// inserts, tests). One encode pass; the encoded form is discarded.
+uint64_t MeasureEncodedBytes(const DataCube& cube) {
+  return EncodedCube::Encode(cube).SerializedBytes();
+}
+
+}  // namespace
 
 CubeCache::CubeCache(const CacheOptions& options) : options_(options) {
   if (options_.metrics != nullptr) {
@@ -26,17 +38,33 @@ CubeCache::CubeCache(const CacheOptions& options) : options_(options) {
     metrics_.resident =
         registry->GetGauge("rased_cache_resident_cubes",
                            "Cubes currently resident in the cache");
-    metrics_.capacity = registry->GetGauge("rased_cache_capacity_cubes",
-                                           "Configured cube slots (N)");
-    metrics_.capacity->Set(static_cast<int64_t>(options_.num_slots));
+    metrics_.resident_bytes =
+        registry->GetGauge("rased_cache_resident_bytes",
+                           "Encoded bytes charged against the cache budget");
+    metrics_.budget_bytes = registry->GetGauge(
+        "rased_cache_budget_bytes", "Configured cache byte budget");
+    metrics_.budget_bytes->Set(static_cast<int64_t>(options_.byte_budget));
   }
 }
 
 void CubeCache::Preload(const TemporalIndex* index,
                         const CatalogSnapshot& snapshot, Level level,
-                        size_t slots) {
-  if (slots == 0) return;
-  for (const CubeKey& key : snapshot.LatestKeys(level, slots)) {
+                        uint64_t max_bytes) {
+  if (max_bytes == 0) return;
+  // Selection first, purely from catalog metadata: walk the level newest to
+  // oldest (LatestKeys returns newest last) and take the contiguous prefix
+  // whose encoded sizes fit. Only the selected cubes are then read (and
+  // charged) — sizing never costs I/O.
+  uint64_t selected_bytes = 0;
+  const std::vector<CubeKey> keys =
+      snapshot.LatestKeys(level, std::numeric_limits<size_t>::max());
+  for (auto kit = keys.rbegin(); kit != keys.rend(); ++kit) {
+    const CubeKey& key = *kit;
+    std::optional<uint64_t> encoded = snapshot.EncodedBytesOf(key);
+    if (!encoded.has_value()) continue;  // raced away; snapshot makes this moot
+    if (selected_bytes + *encoded > max_bytes) break;
+    selected_bytes += *encoded;
+
     std::optional<PageId> page = snapshot.PageOf(key);
     auto cube = index->ReadCube(snapshot, key);
     if (!cube.ok()) {
@@ -47,13 +75,17 @@ void CubeCache::Preload(const TemporalIndex* index,
     auto shared =
         std::make_shared<const DataCube>(std::move(cube).value());
     MutexLock lock(&mu_);
-    Entry entry{std::move(shared), page.value_or(kInvalidPageId),
+    auto it = entries_.find(key);
+    if (it != entries_.end()) bytes_used_ -= it->second.bytes;
+    Entry entry{std::move(shared), page.value_or(kInvalidPageId), *encoded,
                 lru_list_.end(), false};
     entries_.insert_or_assign(key, std::move(entry));
+    bytes_used_ += *encoded;
     ++stats_.preloaded;
     if (metrics_.preloads != nullptr) {
       metrics_.preloads->Increment();
       metrics_.resident->Set(static_cast<int64_t>(entries_.size()));
+      metrics_.resident_bytes->Set(static_cast<int64_t>(bytes_used_));
     }
   }
 }
@@ -65,24 +97,26 @@ Status CubeCache::Warm(const TemporalIndex* index) {
   // with the warm neither blocks nor is blocked by it.
   CatalogSnapshot snapshot = index->Snapshot();
   Clear();
-  size_t n = options_.num_slots;
+  const uint64_t budget = options_.byte_budget;
   if (options_.policy == CachePolicy::kAllDaily) {
-    Preload(index, snapshot, Level::kDaily, n);
+    Preload(index, snapshot, Level::kDaily, budget);
     return Status::OK();
   }
-  // kRasedRecency: split N by (alpha, beta, gamma, theta); leftover slots
-  // from rounding (or from levels with fewer cubes than their share) fall
-  // back to daily, the level with the most nodes.
-  size_t weekly = static_cast<size_t>(std::floor(options_.beta * n));
-  size_t monthly = static_cast<size_t>(std::floor(options_.gamma * n));
-  size_t yearly = static_cast<size_t>(std::floor(options_.theta * n));
+  // kRasedRecency: split the byte budget by (alpha, beta, gamma, theta);
+  // whatever the coarser levels cannot fill (an index may simply have fewer
+  // weekly cubes than beta's share of bytes) falls back to daily, the level
+  // with the most nodes. Compression multiplies here: the shares are bytes,
+  // so sparsely-encoded cubes cost the budget only what they actually store.
+  const double b = static_cast<double>(budget);
+  uint64_t weekly = static_cast<uint64_t>(std::floor(options_.beta * b));
+  uint64_t monthly = static_cast<uint64_t>(std::floor(options_.gamma * b));
+  uint64_t yearly = static_cast<uint64_t>(std::floor(options_.theta * b));
   Preload(index, snapshot, Level::kWeekly, weekly);
   Preload(index, snapshot, Level::kMonthly, monthly);
   Preload(index, snapshot, Level::kYearly, yearly);
-  // Daily receives its alpha share plus whatever the coarser levels could
-  // not fill (an index may simply have fewer than theta*N yearly cubes).
-  size_t resident = size();
-  size_t remaining = resident < n ? n - resident : 0;
+  // Daily receives its alpha share plus the coarser levels' leftover bytes.
+  uint64_t used = bytes_used();
+  uint64_t remaining = used < budget ? budget - used : 0;
   Preload(index, snapshot, Level::kDaily, remaining);
   return Status::OK();
 }
@@ -133,17 +167,28 @@ void CubeCache::Insert(const CubeKey& key, DataCube&& cube) {
 void CubeCache::Insert(const CubeKey& key, PageId page,
                        const DataCube& cube) {
   if (options_.policy != CachePolicy::kLru) return;
-  // Build the shared copy outside the lock; admission is pointer surgery.
+  // Measure and build the shared copy outside the lock; admission is
+  // pointer surgery.
+  uint64_t bytes = MeasureEncodedBytes(cube);
   auto shared = std::make_shared<const DataCube>(cube);
   MutexLock lock(&mu_);
-  AdmitLru(key, page, std::move(shared));
+  AdmitLru(key, page, bytes, std::move(shared));
 }
 
 void CubeCache::Insert(const CubeKey& key, PageId page, DataCube&& cube) {
   if (options_.policy != CachePolicy::kLru) return;
+  uint64_t bytes = MeasureEncodedBytes(cube);
   auto shared = std::make_shared<const DataCube>(std::move(cube));
   MutexLock lock(&mu_);
-  AdmitLru(key, page, std::move(shared));
+  AdmitLru(key, page, bytes, std::move(shared));
+}
+
+void CubeCache::Insert(const CubeKey& key, PageId page, uint64_t encoded_bytes,
+                       DataCube&& cube) {
+  if (options_.policy != CachePolicy::kLru) return;
+  auto shared = std::make_shared<const DataCube>(std::move(cube));
+  MutexLock lock(&mu_);
+  AdmitLru(key, page, encoded_bytes, std::move(shared));
 }
 
 bool CubeCache::Contains(const CubeKey& key) const {
@@ -157,31 +202,42 @@ bool CubeCache::Contains(const CubeKey& key, PageId page) const {
   return it != entries_.end() && it->second.page == page;
 }
 
-void CubeCache::AdmitLru(const CubeKey& key, PageId page,
+void CubeCache::AdmitLru(const CubeKey& key, PageId page, uint64_t bytes,
                          std::shared_ptr<const DataCube> cube) {
-  if (options_.num_slots == 0) return;
+  if (bytes > options_.byte_budget) return;  // can never fit
   auto it = entries_.find(key);
   if (it != entries_.end()) {
+    bytes_used_ = bytes_used_ - it->second.bytes + bytes;
     it->second.cube = std::move(cube);
     it->second.page = page;
+    it->second.bytes = bytes;
     if (it->second.in_lru) {
       lru_list_.splice(lru_list_.begin(), lru_list_, it->second.lru_it);
     }
+    if (metrics_.resident_bytes != nullptr) {
+      metrics_.resident_bytes->Set(static_cast<int64_t>(bytes_used_));
+    }
     return;
   }
-  while (entries_.size() >= options_.num_slots && !lru_list_.empty()) {
+  while (bytes_used_ + bytes > options_.byte_budget && !lru_list_.empty()) {
     CubeKey victim = lru_list_.back();
     lru_list_.pop_back();
-    entries_.erase(victim);
+    auto vit = entries_.find(victim);
+    if (vit != entries_.end()) {
+      bytes_used_ -= vit->second.bytes;
+      entries_.erase(vit);
+    }
     ++stats_.evictions;
     if (metrics_.evictions != nullptr) metrics_.evictions->Increment();
   }
   lru_list_.push_front(key);
-  Entry entry{std::move(cube), page, lru_list_.begin(), true};
+  Entry entry{std::move(cube), page, bytes, lru_list_.begin(), true};
   entries_.emplace(key, std::move(entry));
+  bytes_used_ += bytes;
   if (metrics_.admissions != nullptr) {
     metrics_.admissions->Increment();
     metrics_.resident->Set(static_cast<int64_t>(entries_.size()));
+    metrics_.resident_bytes->Set(static_cast<int64_t>(bytes_used_));
   }
 }
 
@@ -189,6 +245,7 @@ void CubeCache::InvalidateRange(const DateRange& range) {
   MutexLock lock(&mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->first.range().Overlaps(range)) {
+      bytes_used_ -= it->second.bytes;
       if (it->second.in_lru) lru_list_.erase(it->second.lru_it);
       it = entries_.erase(it);
     } else {
@@ -197,12 +254,18 @@ void CubeCache::InvalidateRange(const DateRange& range) {
   }
   if (metrics_.resident != nullptr) {
     metrics_.resident->Set(static_cast<int64_t>(entries_.size()));
+    metrics_.resident_bytes->Set(static_cast<int64_t>(bytes_used_));
   }
 }
 
 size_t CubeCache::size() const {
   MutexLock lock(&mu_);
   return entries_.size();
+}
+
+uint64_t CubeCache::bytes_used() const {
+  MutexLock lock(&mu_);
+  return bytes_used_;
 }
 
 CacheStats CubeCache::stats() const {
@@ -218,7 +281,11 @@ void CubeCache::ResetStats() {
 void CubeCache::ClearLocked() {
   entries_.clear();
   lru_list_.clear();
-  if (metrics_.resident != nullptr) metrics_.resident->Set(0);
+  bytes_used_ = 0;
+  if (metrics_.resident != nullptr) {
+    metrics_.resident->Set(0);
+    metrics_.resident_bytes->Set(0);
+  }
 }
 
 void CubeCache::Clear() {

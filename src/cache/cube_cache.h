@@ -6,6 +6,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "cube/cube_codec.h"
 #include "cube/data_cube.h"
 #include "index/temporal_index.h"
 #include "index/temporal_key.h"
@@ -15,11 +16,12 @@
 
 namespace rased {
 
-/// How the cache decides what lives in its N slots.
+/// How the cache decides what lives inside its byte budget.
 enum class CachePolicy {
   /// The paper's strategy (Section VII-A): statically preload the most
-  /// recent alpha*N daily, beta*N weekly, gamma*N monthly and theta*N
-  /// yearly cubes. Nothing is admitted or evicted at query time.
+  /// recent cubes level by level, giving each level its (beta, gamma,
+  /// theta) share of the byte budget and the remainder to daily. Nothing
+  /// is admitted or evicted at query time.
   kRasedRecency = 0,
   /// Classic LRU admission/eviction on the query path (ablation baseline).
   kLru = 1,
@@ -29,12 +31,16 @@ enum class CachePolicy {
 };
 
 struct CacheOptions {
-  /// N — number of cube slots. The paper expresses cache size in bytes
-  /// (e.g. 2 GB); slots = bytes / schema.cube_bytes().
-  size_t num_slots = 512;
+  /// Cache capacity in bytes of *encoded* cube storage — the paper's 2 GB
+  /// deployment figure. Every entry is charged its exact serialized
+  /// (compressed) length as recorded in the catalog, so adaptive cube
+  /// compression directly multiplies how many cubes the same budget
+  /// holds. The decoded working copies are what hits return; the budget
+  /// models the resource the paper sizes (bytes of cached cube state).
+  uint64_t byte_budget = uint64_t{2} << 30;
 
-  /// Per-level slot shares for kRasedRecency; must sum to ~1. Defaults are
-  /// the deployment values of Section VIII.
+  /// Per-level byte shares for kRasedRecency; must sum to ~1. Defaults
+  /// are the deployment values of Section VIII.
   double alpha = 0.4;   // daily
   double beta = 0.35;   // weekly
   double gamma = 0.2;   // monthly
@@ -44,12 +50,17 @@ struct CacheOptions {
 
   /// When non-null, the cache registers live rased_cache_* counters and
   /// gauges here at construction (hits/misses/admissions/evictions/
-  /// preloads, resident/capacity). The registry must outlive the cache.
+  /// preloads, resident cubes/bytes, budget). The registry must outlive
+  /// the cache.
   MetricsRegistry* metrics = nullptr;
 
-  /// Slots for a byte budget given the cube size.
-  static size_t SlotsForBytes(uint64_t bytes, const CubeSchema& schema) {
-    return static_cast<size_t>(bytes / schema.cube_bytes());
+  /// Budget with guaranteed room for `cubes` cubes of any encoding — the
+  /// conversion helper for configurations historically expressed in
+  /// slots. Counts the blob header per cube because the adaptive encoder's
+  /// worst case (dense fallback) serializes to cube_bytes + header.
+  static uint64_t BytesForCubes(size_t cubes, const CubeSchema& schema) {
+    return static_cast<uint64_t>(cubes) *
+           (schema.cube_bytes() + CubeBlobHeader::kBytes);
   }
 };
 
@@ -116,11 +127,19 @@ class CubeCache {
   void Insert(const CubeKey& key, DataCube&& cube) RASED_EXCLUDES(mu_);
 
   /// Page-carrying inserts: record the page the cube was fetched from so
-  /// later page-validated lookups can hit it.
+  /// later page-validated lookups can hit it. These overloads measure the
+  /// cube's encoded size themselves (one encode pass); callers that
+  /// already know it use the sized overload below.
   void Insert(const CubeKey& key, PageId page, const DataCube& cube)
       RASED_EXCLUDES(mu_);
   void Insert(const CubeKey& key, PageId page, DataCube&& cube)
       RASED_EXCLUDES(mu_);
+
+  /// Sized insert: `encoded_bytes` is the cube's exact serialized length
+  /// (the catalog's blob_bytes — what the byte budget charges). The query
+  /// executor uses this to admit misses without re-encoding.
+  void Insert(const CubeKey& key, PageId page, uint64_t encoded_bytes,
+              DataCube&& cube) RASED_EXCLUDES(mu_);
 
   /// Whether Insert can ever admit (true only for kLru). Lets the executor
   /// skip materializing cache copies entirely under the static policies.
@@ -140,17 +159,22 @@ class CubeCache {
   void InvalidateRange(const DateRange& range) RASED_EXCLUDES(mu_);
 
   size_t size() const RASED_EXCLUDES(mu_);
-  size_t capacity() const { return options_.num_slots; }
+  /// Encoded bytes currently charged against the budget.
+  uint64_t bytes_used() const RASED_EXCLUDES(mu_);
+  uint64_t budget_bytes() const { return options_.byte_budget; }
   const CacheOptions& options() const { return options_; }
   CacheStats stats() const RASED_EXCLUDES(mu_);
   void ResetStats() RASED_EXCLUDES(mu_);
   void Clear() RASED_EXCLUDES(mu_);
 
  private:
-  void AdmitLru(const CubeKey& key, PageId page,
+  void AdmitLru(const CubeKey& key, PageId page, uint64_t bytes,
                 std::shared_ptr<const DataCube> cube) RASED_REQUIRES(mu_);
+  /// Preloads the newest cubes of `level` that fit in `max_bytes` of
+  /// encoded size. Selection is pure catalog metadata (no I/O needed to
+  /// decide what fits); only the selected cubes are read.
   void Preload(const TemporalIndex* index, const CatalogSnapshot& snapshot,
-               Level level, size_t slots) RASED_EXCLUDES(mu_);
+               Level level, uint64_t max_bytes) RASED_EXCLUDES(mu_);
   void ClearLocked() RASED_REQUIRES(mu_);
 
   const CacheOptions options_;  // immutable after construction
@@ -165,8 +189,9 @@ class CubeCache {
     Counter* admissions = nullptr;
     Counter* evictions = nullptr;
     Counter* preloads = nullptr;
-    Gauge* resident = nullptr;
-    Gauge* capacity = nullptr;
+    Gauge* resident = nullptr;        // cubes
+    Gauge* resident_bytes = nullptr;  // encoded bytes charged
+    Gauge* budget_bytes = nullptr;    // configured byte budget
   };
   CacheMetrics metrics_ RASED_CONST_AFTER_INIT;
 
@@ -185,12 +210,16 @@ class CubeCache {
     /// Page the cube was read from — the entry's version for MVCC
     /// validation. kInvalidPageId marks unvalidated (page-less) inserts.
     PageId page = kInvalidPageId;
+    /// Encoded bytes this entry charges against the byte budget.
+    uint64_t bytes = 0;
     std::list<CubeKey>::iterator lru_it;
     bool in_lru = false;
   };
   std::unordered_map<CubeKey, Entry, CubeKeyHash> entries_
       RASED_GUARDED_BY(mu_);
   std::list<CubeKey> lru_list_ RASED_GUARDED_BY(mu_);  // front = most recent
+  /// Sum of entries_[*].bytes — the budget charge.
+  uint64_t bytes_used_ RASED_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace rased

@@ -76,8 +76,17 @@ Result<std::unique_ptr<Rased>> OpenInstance(const Config& config,
   std::string dir = config.GetString("dir", "");
   if (dir.empty()) return Status::InvalidArgument("dir= is required");
   RASED_ASSIGN_OR_RETURN(RasedOptions options, Rased::LoadOptions(dir));
-  options.cache.num_slots =
-      static_cast<size_t>(config.GetInt("cache_slots", 512));
+  // Cache size is a byte budget. cache_mb= sets it directly; the
+  // historical cache_slots= (a dense-cube count) is still honored so old
+  // scripts keep working.
+  if (config.Has("cache_mb")) {
+    options.cache.byte_budget =
+        static_cast<uint64_t>(config.GetInt("cache_mb", 2048)) << 20;
+  } else {
+    options.cache.byte_budget = CacheOptions::BytesForCubes(
+        static_cast<size_t>(config.GetInt("cache_slots", 512)),
+        options.schema);
+  }
   options.device.read_latency_us = config.GetInt("device_us", 0);
   options.device.write_latency_us = options.device.read_latency_us;
   RASED_ASSIGN_OR_RETURN(std::unique_ptr<Rased> rased,

@@ -1,0 +1,76 @@
+#include "cube/agg_kernels.h"
+
+#include <atomic>
+
+namespace rased {
+namespace kernels {
+
+uint64_t SumRunScalar(const uint64_t* p, size_t n) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) sum += p[i];
+  return sum;
+}
+
+void AddRunScalar(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+#if defined(RASED_HAVE_AVX2)
+// Defined in agg_kernels_avx2.cc — the only translation unit built with
+// -mavx2 and the only one allowed to use vendor intrinsics (rased-lint
+// RL013 confines them there).
+uint64_t SumRunAvx2(const uint64_t* p, size_t n);
+void AddRunAvx2(uint64_t* dst, const uint64_t* src, size_t n);
+#endif
+
+namespace {
+
+constexpr KernelTable kScalarTable{SumRunScalar, AddRunScalar, "scalar"};
+#if defined(RASED_HAVE_AVX2)
+constexpr KernelTable kAvx2Table{SumRunAvx2, AddRunAvx2, "avx2"};
+#endif
+
+const KernelTable* DetectKernels() {
+#if defined(RASED_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2")) return &kAvx2Table;
+#endif
+  return &kScalarTable;
+}
+
+/// Resolved once on first use; immutable afterwards. The acquire/release
+/// pair only orders the pointer publication — both candidate tables are
+/// constexpr, so a racing first call resolves to the same table.
+std::atomic<const KernelTable*> g_active{nullptr};
+
+/// Test-only override; checked on every dispatch so a test can flip it
+/// between passes of a cross-check.
+std::atomic<bool> g_force_scalar{false};
+
+}  // namespace
+
+const KernelTable& ActiveKernels() {
+  if (g_force_scalar.load(std::memory_order_relaxed)) return kScalarTable;
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    table = DetectKernels();
+    g_active.store(table, std::memory_order_release);
+  }
+  return *table;
+}
+
+bool Avx2CompiledIn() {
+#if defined(RASED_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool Avx2Active() { return &ActiveKernels() != &kScalarTable; }
+
+void ForceScalarKernelsForTesting(bool force) {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+}  // namespace kernels
+}  // namespace rased

@@ -1,0 +1,81 @@
+#ifndef RASED_CUBE_AGG_KERNELS_H_
+#define RASED_CUBE_AGG_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rased {
+namespace kernels {
+
+/// Contiguous-run aggregation kernels behind runtime CPU dispatch.
+///
+/// The dense group-by fast paths in SumSliceInto reduce whole
+/// road_type x update_type planes (and whole cubes, via Total/rollup
+/// merges) with two primitive loops: a horizontal sum of a contiguous run
+/// and an element-wise add of one run into another. Both are pure 64-bit
+/// integer adds, so every implementation is bit-for-bit identical by
+/// construction (addition is associative and commutative modulo 2^64) —
+/// the property the scalar-vs-AVX2 cross-check suite asserts.
+///
+/// Dispatch: the scalar kernels are always compiled; when the build
+/// includes the AVX2 translation unit (RASED_DISABLE_AVX2 off, x86-64
+/// target) and the running CPU reports AVX2, ActiveKernels() resolves to
+/// the vector implementations once on first use. Short runs skip the
+/// indirect call entirely — for a 4-wide update_type row the call would
+/// cost more than the adds.
+///
+/// All functions are thread-safe: the kernel table is immutable after the
+/// first resolution and the test-only scalar override is an atomic flag.
+
+/// Always-compiled scalar fallbacks (also the reference implementations).
+uint64_t SumRunScalar(const uint64_t* p, size_t n);
+void AddRunScalar(uint64_t* dst, const uint64_t* src, size_t n);
+
+struct KernelTable {
+  uint64_t (*sum_run)(const uint64_t* p, size_t n);
+  void (*add_run)(uint64_t* dst, const uint64_t* src, size_t n);
+  const char* name;  // "scalar" or "avx2"
+};
+
+/// The resolved kernel table (CPU detection happens once, on first call).
+const KernelTable& ActiveKernels();
+
+/// True when the AVX2 translation unit was compiled into this binary
+/// (independent of what the running CPU supports).
+bool Avx2CompiledIn();
+
+/// True when ActiveKernels() currently resolves to the AVX2 kernels.
+bool Avx2Active();
+
+/// Test hook: force the scalar kernels regardless of CPU support, so the
+/// cross-check suites and benches can run both implementations in one
+/// process. Not for production paths.
+void ForceScalarKernelsForTesting(bool force);
+
+/// Below this run length the dispatch overhead (indirect call + vector
+/// setup) exceeds the work; both entry points inline a scalar loop.
+inline constexpr size_t kShortRunCells = 16;
+
+/// Sum of `n` contiguous counters.
+inline uint64_t SumRun(const uint64_t* p, size_t n) {
+  if (n < kShortRunCells) {
+    uint64_t sum = 0;
+    for (size_t i = 0; i < n; ++i) sum += p[i];
+    return sum;
+  }
+  return ActiveKernels().sum_run(p, n);
+}
+
+/// dst[i] += src[i] over `n` contiguous counters (the rollup merge loop).
+inline void AddRun(uint64_t* dst, const uint64_t* src, size_t n) {
+  if (n < kShortRunCells) {
+    for (size_t i = 0; i < n; ++i) dst[i] += src[i];
+    return;
+  }
+  ActiveKernels().add_run(dst, src, n);
+}
+
+}  // namespace kernels
+}  // namespace rased
+
+#endif  // RASED_CUBE_AGG_KERNELS_H_

@@ -1,0 +1,466 @@
+#include "cube/cube_codec.h"
+
+#include <cstring>
+
+namespace rased {
+
+namespace {
+
+// --- Little-endian scalar I/O ---------------------------------------------
+
+void StoreLe16(unsigned char* p, uint16_t v) {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+}
+
+void StoreLe32(unsigned char* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+void StoreLe64(unsigned char* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+uint16_t LoadLe16(const unsigned char* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t LoadLe32(const unsigned char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t LoadLe64(const unsigned char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+// --- LEB128 varints --------------------------------------------------------
+
+/// At most 10 bytes encode a uint64.
+constexpr size_t kMaxVarintBytes = 10;
+
+void PutVarint(std::vector<unsigned char>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<unsigned char>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<unsigned char>(v));
+}
+
+/// Reads one varint from [*p, end). Advances *p past it on success;
+/// truncated or overlong input yields Corruption and leaves *p unspecified.
+Status GetVarint(const unsigned char** p, const unsigned char* end,
+                 uint64_t* v) {
+  uint64_t result = 0;
+  unsigned shift = 0;
+  const unsigned char* q = *p;
+  for (size_t i = 0; i < kMaxVarintBytes; ++i) {
+    if (q == end) return Status::Corruption("truncated varint in cube body");
+    const unsigned char byte = *q++;
+    if (shift == 63 && (byte & 0xFE) != 0) {
+      return Status::Corruption("varint overflows 64 bits in cube body");
+    }
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *p = q;
+      *v = result;
+      return Status::OK();
+    }
+    shift += 7;
+  }
+  return Status::Corruption("overlong varint in cube body");
+}
+
+// --- Zigzag (for delta-varint; deltas are mod-2^64 differences) -----------
+
+uint64_t ZigzagEncode(uint64_t delta) {
+  const int64_t s = static_cast<int64_t>(delta);
+  return (static_cast<uint64_t>(s) << 1) ^ static_cast<uint64_t>(s >> 63);
+}
+
+uint64_t ZigzagDecode(uint64_t z) { return (z >> 1) ^ (~(z & 1) + 1); }
+
+// --- Packed GROUP BY lookup tables ----------------------------------------
+
+/// Per-dimension table mapping a coordinate value to its packed
+/// accumulator-slot contribution, or kExcludedSlot when the slice filters
+/// the value out. Strides mirror SumSliceIntoImpl exactly (row-major over
+/// grouped dims in schema order, update_type innermost), so streaming
+/// encoded cells through these tables is bit-for-bit the dense kernel's
+/// result. Assumes the slice is Normalize()d (selections deduplicated),
+/// the same contract the dense path relies on.
+struct SliceLuts {
+  static constexpr int64_t kExcludedSlot = -1;
+  std::vector<int64_t> et, co, rt, ut;
+};
+
+void BuildDimLut(std::vector<int64_t>* lut, const std::vector<uint32_t>& sel,
+                 uint32_t dim_size, size_t stride) {
+  if (sel.empty()) {
+    lut->resize(dim_size);
+    for (uint32_t v = 0; v < dim_size; ++v) {
+      (*lut)[v] = static_cast<int64_t>(stride * v);
+    }
+    return;
+  }
+  lut->assign(dim_size, SliceLuts::kExcludedSlot);
+  for (uint32_t v : sel) {
+    if (v < dim_size) (*lut)[v] = static_cast<int64_t>(stride * v);
+  }
+}
+
+void BuildSliceLuts(const CubeSchema& schema, const CubeSlice& slice,
+                    const GroupBySpec& spec, SliceLuts* luts) {
+  size_t unit = 1;
+  size_t s_ut = 0, s_rt = 0, s_co = 0, s_et = 0;
+  if (spec.update_type) {
+    s_ut = unit;
+    unit *= schema.num_update_types;
+  }
+  if (spec.road_type) {
+    s_rt = unit;
+    unit *= schema.num_road_types;
+  }
+  if (spec.country) {
+    s_co = unit;
+    unit *= schema.num_countries;
+  }
+  if (spec.element_type) {
+    s_et = unit;
+  }
+  BuildDimLut(&luts->et, slice.element_types, schema.num_element_types, s_et);
+  BuildDimLut(&luts->co, slice.countries, schema.num_countries, s_co);
+  BuildDimLut(&luts->rt, slice.road_types, schema.num_road_types, s_rt);
+  BuildDimLut(&luts->ut, slice.update_types, schema.num_update_types, s_ut);
+}
+
+// --- Per-encoding body builders -------------------------------------------
+
+void BuildSparseBody(const CubeSchema& schema,
+                     const std::vector<uint64_t>& cells, size_t nnz,
+                     std::vector<unsigned char>* body) {
+  (void)schema;
+  PutVarint(body, nnz);
+  uint64_t next_min = 0;  // smallest index the next entry may use
+  for (size_t idx = 0; idx < cells.size(); ++idx) {
+    if (cells[idx] == 0) continue;
+    PutVarint(body, static_cast<uint64_t>(idx) - next_min);
+    PutVarint(body, cells[idx]);
+    next_min = static_cast<uint64_t>(idx) + 1;
+  }
+}
+
+void BuildDeltaBody(const std::vector<uint64_t>& cells,
+                    std::vector<unsigned char>* body) {
+  uint64_t prev = 0;
+  for (uint64_t cell : cells) {
+    PutVarint(body, ZigzagEncode(cell - prev));
+    prev = cell;
+  }
+}
+
+// --- Per-encoding accumulate / decode cores -------------------------------
+
+/// Decomposes linear index `idx` and adds `value` into `acc` through the
+/// LUTs. Returns false when any dimension is filtered out.
+inline void AccumulateCell(const SliceLuts& luts, uint64_t idx, uint64_t value,
+                           uint32_t num_update_types, uint32_t num_road_types,
+                           uint32_t num_countries, uint64_t* acc) {
+  const uint64_t ut = idx % num_update_types;
+  uint64_t rest = idx / num_update_types;
+  const uint64_t rt = rest % num_road_types;
+  rest /= num_road_types;
+  const uint64_t co = rest % num_countries;
+  const uint64_t et = rest / num_countries;
+  const int64_t g_ut = luts.ut[ut];
+  const int64_t g_rt = luts.rt[rt];
+  const int64_t g_co = luts.co[co];
+  const int64_t g_et = luts.et[et];
+  if ((g_ut | g_rt | g_co | g_et) < 0) return;  // some dim filtered out
+  acc[g_et + g_co + g_rt + g_ut] += value;
+}
+
+Status AccumulateSparse(const CubeSchema& schema, const unsigned char* body,
+                        size_t body_bytes, const SliceLuts& luts,
+                        uint64_t* acc) {
+  const unsigned char* p = body;
+  const unsigned char* end = body + body_bytes;
+  const uint64_t num_cells = schema.num_cells();
+  uint64_t nnz = 0;
+  RASED_RETURN_IF_ERROR(GetVarint(&p, end, &nnz));
+  if (nnz > num_cells) {
+    return Status::Corruption("sparse cube nnz exceeds cell count");
+  }
+  uint64_t next_min = 0;
+  for (uint64_t i = 0; i < nnz; ++i) {
+    uint64_t gap = 0;
+    uint64_t value = 0;
+    RASED_RETURN_IF_ERROR(GetVarint(&p, end, &gap));
+    RASED_RETURN_IF_ERROR(GetVarint(&p, end, &value));
+    if (gap >= num_cells || next_min + gap >= num_cells) {
+      return Status::Corruption("sparse cube coordinate out of range");
+    }
+    const uint64_t idx = next_min + gap;
+    next_min = idx + 1;
+    AccumulateCell(luts, idx, value, schema.num_update_types,
+                   schema.num_road_types, schema.num_countries, acc);
+  }
+  if (p != end) {
+    return Status::Corruption("trailing bytes after sparse cube body");
+  }
+  return Status::OK();
+}
+
+Status AccumulateDelta(const CubeSchema& schema, const unsigned char* body,
+                       size_t body_bytes, const SliceLuts& luts,
+                       uint64_t* acc) {
+  const unsigned char* p = body;
+  const unsigned char* end = body + body_bytes;
+  const uint64_t num_cells = schema.num_cells();
+  uint64_t cell = 0;  // running value; deltas accumulate mod 2^64
+  for (uint64_t idx = 0; idx < num_cells; ++idx) {
+    uint64_t z = 0;
+    RASED_RETURN_IF_ERROR(GetVarint(&p, end, &z));
+    cell += ZigzagDecode(z);
+    if (cell != 0) {
+      AccumulateCell(luts, idx, cell, schema.num_update_types,
+                     schema.num_road_types, schema.num_countries, acc);
+    }
+  }
+  if (p != end) {
+    return Status::Corruption("trailing bytes after delta cube body");
+  }
+  return Status::OK();
+}
+
+Status AccumulateDense(const CubeSchema& schema, const unsigned char* body,
+                       size_t body_bytes, const CubeSlice& slice,
+                       const GroupBySpec& spec, uint64_t* acc) {
+  if (body_bytes != schema.cube_bytes()) {
+    return Status::Corruption("dense cube body has wrong length");
+  }
+  if (reinterpret_cast<uintptr_t>(body) % alignof(uint64_t) == 0) {
+    // Aligned (the arena/EncodedCube case): reuse the SIMD dense kernels
+    // on a zero-copy view.
+    ConstCubeRef(&schema,
+                 reinterpret_cast<const uint64_t*>(
+                     static_cast<const void*>(body)))
+        .SumSliceInto(slice, spec, acc);
+    return Status::OK();
+  }
+  // Misaligned caller (shouldn't happen on the hot paths): deserialize,
+  // which memcpys, then aggregate.
+  RASED_ASSIGN_OR_RETURN(DataCube cube,
+                         DataCube::Deserialize(schema, body, body_bytes));
+  cube.SumSliceInto(slice, spec, acc);
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* CubeEncodingName(CubeEncoding encoding) {
+  switch (encoding) {
+    case CubeEncoding::kDenseRaw:
+      return "dense";
+    case CubeEncoding::kSparseCoo:
+      return "sparse";
+    case CubeEncoding::kDeltaVarint:
+      return "delta";
+  }
+  return "unknown";
+}
+
+void CubeBlobHeader::SerializeTo(unsigned char* out) const {
+  StoreLe32(out, kMagic);
+  StoreLe16(out + 4, kVersion);
+  out[6] = static_cast<unsigned char>(encoding);
+  out[7] = 0;
+  StoreLe64(out + 8, body_bytes);
+}
+
+Result<CubeBlobHeader> CubeBlobHeader::Parse(const unsigned char* data,
+                                             size_t n) {
+  if (n < kBytes) {
+    return Status::Corruption("cube blob shorter than its header");
+  }
+  if (LoadLe32(data) != kMagic) {
+    return Status::Corruption("bad cube blob magic");
+  }
+  const uint16_t version = LoadLe16(data + 4);
+  if (version == 0 || version > kVersion) {
+    return Status::Corruption("unsupported cube blob version");
+  }
+  const unsigned char enc = data[6];
+  if (enc > static_cast<unsigned char>(CubeEncoding::kDeltaVarint)) {
+    return Status::Corruption("unknown cube encoding tag");
+  }
+  if (data[7] != 0) {
+    return Status::Corruption("nonzero reserved byte in cube blob header");
+  }
+  CubeBlobHeader header;
+  header.encoding = static_cast<CubeEncoding>(enc);
+  header.body_bytes = LoadLe64(data + 8);
+  return header;
+}
+
+Status AccumulateEncodedSlice(const CubeSchema& schema, CubeEncoding encoding,
+                              const unsigned char* body, size_t body_bytes,
+                              const CubeSlice& slice, const GroupBySpec& spec,
+                              uint64_t* acc) {
+  if (encoding == CubeEncoding::kDenseRaw) {
+    return AccumulateDense(schema, body, body_bytes, slice, spec, acc);
+  }
+  SliceLuts luts;
+  BuildSliceLuts(schema, slice, spec, &luts);
+  if (encoding == CubeEncoding::kSparseCoo) {
+    return AccumulateSparse(schema, body, body_bytes, luts, acc);
+  }
+  return AccumulateDelta(schema, body, body_bytes, luts, acc);
+}
+
+Result<DataCube> DecodeEncodedCube(const CubeSchema& schema,
+                                   CubeEncoding encoding,
+                                   const unsigned char* body,
+                                   size_t body_bytes) {
+  if (encoding == CubeEncoding::kDenseRaw) {
+    if (body_bytes != schema.cube_bytes()) {
+      return Status::Corruption("dense cube body has wrong length");
+    }
+    return DataCube::Deserialize(schema, body, body_bytes);
+  }
+  // Decode through the accumulate core with a fully-grouped identity spec:
+  // every slot of the packed accumulator is one cell in cell order, so the
+  // same validated streaming path serves both aggregation and decoding.
+  std::vector<uint64_t> cells(schema.num_cells(), 0);
+  CubeSlice all;
+  GroupBySpec every{/*element_type=*/true, /*country=*/true,
+                    /*road_type=*/true, /*update_type=*/true};
+  RASED_RETURN_IF_ERROR(AccumulateEncodedSlice(schema, encoding, body,
+                                               body_bytes, all, every,
+                                               cells.data()));
+  return DataCube::FromCells(schema, cells.data());
+}
+
+EncodedCube EncodedCube::Encode(const DataCube& cube,
+                                CubeEncodingPolicy policy) {
+  EncodedCube out;
+  out.schema_ = cube.schema();
+  const std::vector<uint64_t>& cells = cube.cells();
+  const size_t dense_bytes = out.schema_.cube_bytes();
+
+  std::vector<unsigned char> body;
+  if (policy == CubeEncodingPolicy::kAdaptive) {
+    size_t nnz = 0;
+    for (uint64_t cell : cells) nnz += cell != 0 ? 1 : 0;
+    const double density =
+        cells.empty() ? 0.0
+                      : static_cast<double>(nnz) /
+                            static_cast<double>(cells.size());
+    if (density <= kSparseDensityThreshold) {
+      out.encoding_ = CubeEncoding::kSparseCoo;
+      body.reserve(2 * kMaxVarintBytes * nnz + kMaxVarintBytes);
+      BuildSparseBody(out.schema_, cells, nnz, &body);
+    } else {
+      out.encoding_ = CubeEncoding::kDeltaVarint;
+      body.reserve(cells.size() * 2);
+      BuildDeltaBody(cells, &body);
+    }
+    if (body.size() >= dense_bytes) {
+      // Never-bigger-than-dense: an incompressible cube stores dense.
+      body.clear();
+      out.encoding_ = CubeEncoding::kDenseRaw;
+    }
+  } else {
+    out.encoding_ = CubeEncoding::kDenseRaw;
+  }
+
+  if (out.encoding_ == CubeEncoding::kDenseRaw) {
+    out.words_.assign((dense_bytes + 7) / 8, 0);
+    cube.SerializeTo(reinterpret_cast<unsigned char*>(out.words_.data()));
+    out.body_bytes_ = dense_bytes;
+  } else {
+    out.words_.assign((body.size() + 7) / 8, 0);
+    std::memcpy(out.words_.data(), body.data(), body.size());
+    out.body_bytes_ = body.size();
+  }
+  return out;
+}
+
+void EncodedCube::SerializeTo(unsigned char* out) const {
+  CubeBlobHeader header;
+  header.encoding = encoding_;
+  header.body_bytes = body_bytes_;
+  header.SerializeTo(out);
+  std::memcpy(out + CubeBlobHeader::kBytes, body(), body_bytes_);
+}
+
+EncodedCubeBatch::EncodedCubeBatch(const CubeSchema& schema, size_t num_cubes,
+                                   size_t arena_bytes)
+    : schema_(schema),
+      words_((arena_bytes + 7) / 8, 0),
+      arena_bytes_(arena_bytes),
+      slots_(num_cubes) {}
+
+Status EncodedCubeBatch::BindEncoded(size_t i, size_t blob_offset,
+                                     uint64_t blob_bytes,
+                                     CubeEncoding expected_encoding) {
+  if (i >= slots_.size()) {
+    return Status::InvalidArgument("cube batch slot out of range");
+  }
+  if (blob_bytes < CubeBlobHeader::kBytes ||
+      blob_offset > arena_bytes_ || blob_bytes > arena_bytes_ - blob_offset) {
+    return Status::Corruption("cube blob exceeds its page run");
+  }
+  RASED_ASSIGN_OR_RETURN(
+      CubeBlobHeader header,
+      CubeBlobHeader::Parse(arena() + blob_offset, blob_bytes));
+  if (header.body_bytes != blob_bytes - CubeBlobHeader::kBytes) {
+    return Status::Corruption("cube blob length disagrees with catalog");
+  }
+  if (header.encoding != expected_encoding) {
+    return Status::Corruption("cube blob encoding disagrees with catalog");
+  }
+  slots_[i] = Slot{blob_offset + CubeBlobHeader::kBytes,
+                   static_cast<size_t>(header.body_bytes), header.encoding,
+                   /*bound=*/true};
+  return Status::OK();
+}
+
+Status EncodedCubeBatch::BindLegacyDense(size_t i, size_t offset) {
+  if (i >= slots_.size()) {
+    return Status::InvalidArgument("cube batch slot out of range");
+  }
+  const size_t dense_bytes = schema_.cube_bytes();
+  if (offset > arena_bytes_ || dense_bytes > arena_bytes_ - offset) {
+    return Status::Corruption("legacy cube exceeds its page run");
+  }
+  slots_[i] =
+      Slot{offset, dense_bytes, CubeEncoding::kDenseRaw, /*bound=*/true};
+  return Status::OK();
+}
+
+Status EncodedCubeBatch::AccumulateSlice(size_t i, const CubeSlice& slice,
+                                         const GroupBySpec& spec,
+                                         uint64_t* acc) const {
+  if (i >= slots_.size() || !slots_[i].bound) {
+    return Status::InvalidArgument("cube batch slot not bound");
+  }
+  const Slot& slot = slots_[i];
+  return AccumulateEncodedSlice(schema_, slot.encoding, arena() +
+                                slot.body_offset, slot.body_bytes, slice,
+                                spec, acc);
+}
+
+Result<DataCube> EncodedCubeBatch::Decode(size_t i) const {
+  if (i >= slots_.size() || !slots_[i].bound) {
+    return Status::InvalidArgument("cube batch slot not bound");
+  }
+  const Slot& slot = slots_[i];
+  return DecodeEncodedCube(schema_, slot.encoding, arena() + slot.body_offset,
+                           slot.body_bytes);
+}
+
+}  // namespace rased

@@ -1,0 +1,218 @@
+#ifndef RASED_CUBE_CUBE_CODEC_H_
+#define RASED_CUBE_CUBE_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cube/cube_schema.h"
+#include "cube/data_cube.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace rased {
+
+/// Adaptive per-cube storage encodings (DESIGN.md section 11).
+///
+/// A cube's on-disk representation is chosen at write time from its
+/// measured density (fraction of non-zero cells). Most daily country
+/// cubes are extremely sparse — a handful of update events scattered over
+/// thousands of (element, country, road, update) cells — so storing the
+/// dense 8-bytes-per-cell image wastes nearly every page byte. The chosen
+/// encoding and the exact serialized length are recorded per cube in the
+/// epoch-versioned catalog (index/temporal_index.h), so readers decode
+/// without probing and byte budgets (cache/cube_cache.h) account real
+/// sizes.
+///
+/// Wire formats (all integers little-endian):
+///
+///   kDenseRaw     num_cells() x uint64 counters, row-major cell order —
+///                 byte-identical to DataCube::SerializeTo.
+///   kSparseCoo    varint nnz, then nnz (varint coord_delta, varint value)
+///                 pairs. Coordinates are packed linear cell indexes in
+///                 strictly increasing order; the first delta is the index
+///                 itself and each subsequent delta is (index - previous
+///                 index - 1), so every stored delta is the gap width.
+///   kDeltaVarint  num_cells() zigzag varints, each the difference between
+///                 a cell and its predecessor in cell order (cell -1 = 0),
+///                 computed modulo 2^64.
+///
+/// Decoders validate everything (truncated varints, out-of-range or
+/// non-increasing coordinates, trailing bytes) and fail with a clean
+/// Corruption status — never undefined behavior.
+enum class CubeEncoding : uint8_t {
+  kDenseRaw = 0,
+  kSparseCoo = 1,
+  kDeltaVarint = 2,
+};
+
+/// Short name for logs and bench output ("dense", "sparse", "delta").
+const char* CubeEncodingName(CubeEncoding encoding);
+
+/// Write-time encoding selection policy (TemporalIndexOptions.encoding).
+enum class CubeEncodingPolicy {
+  /// Pick per cube: sparse COO at or below kSparseDensityThreshold,
+  /// otherwise delta-varint, falling back to dense whenever the candidate
+  /// body would not beat the dense image (never-bigger-than-dense).
+  kAdaptive = 0,
+  /// Always dense. Used as the like-for-like baseline by
+  /// bench/bench_cube_compression (same page geometry, no compression).
+  kForceDense = 1,
+};
+
+/// Density (non-zero cell fraction) at or below which the sparse COO
+/// candidate is built; denser cubes go straight to delta-varint. At ~0.10
+/// the worst-case COO entry (2 varints) still undercuts the 8-byte dense
+/// cell on real update distributions.
+inline constexpr double kSparseDensityThreshold = 0.10;
+
+/// 16-byte header preceding every encoded cube body on disk:
+///
+///   offset 0  uint32  magic "RCUB"
+///   offset 4  uint16  format version (1)
+///   offset 6  uint8   encoding (CubeEncoding)
+///   offset 7  uint8   reserved, must be 0
+///   offset 8  uint64  body_bytes (exact encoded body length)
+///
+/// Seed-format pages predate this header and carry the raw dense image;
+/// the catalog marks those entries legacy and readers skip header parsing
+/// for them.
+struct CubeBlobHeader {
+  static constexpr uint32_t kMagic = 0x42554352;  // "RCUB" little-endian
+  static constexpr uint16_t kVersion = 1;
+  static constexpr size_t kBytes = 16;
+
+  CubeEncoding encoding = CubeEncoding::kDenseRaw;
+  uint64_t body_bytes = 0;
+
+  /// Writes the kBytes-byte header to `out`.
+  void SerializeTo(unsigned char* out) const;
+
+  /// Parses and validates a header from `n` available bytes.
+  static Result<CubeBlobHeader> Parse(const unsigned char* data, size_t n);
+};
+
+/// Aggregates an encoded body straight into the flat packed GROUP BY
+/// accumulator `acc` (layout: GroupAccumulatorSize / SumSliceInto) without
+/// materializing a dense cube on the sparse paths. Bit-for-bit equal to
+/// decoding and running ConstCubeRef::SumSliceInto.
+Status AccumulateEncodedSlice(const CubeSchema& schema, CubeEncoding encoding,
+                              const unsigned char* body, size_t body_bytes,
+                              const CubeSlice& slice, const GroupBySpec& spec,
+                              uint64_t* acc);
+
+/// Decodes an encoded body back to a dense cube.
+Result<DataCube> DecodeEncodedCube(const CubeSchema& schema,
+                                   CubeEncoding encoding,
+                                   const unsigned char* body,
+                                   size_t body_bytes);
+
+/// One encoded cube: encoding tag + owned 8-byte-aligned body.
+class EncodedCube {
+ public:
+  EncodedCube() = default;
+
+  /// Encodes `cube` under `policy` (see CubeEncodingPolicy). Total cost is
+  /// one density scan plus one candidate build per cube at ingest time.
+  static EncodedCube Encode(
+      const DataCube& cube,
+      CubeEncodingPolicy policy = CubeEncodingPolicy::kAdaptive);
+
+  const CubeSchema& schema() const { return schema_; }
+  CubeEncoding encoding() const { return encoding_; }
+  const unsigned char* body() const {
+    return reinterpret_cast<const unsigned char*>(words_.data());
+  }
+  size_t body_bytes() const { return body_bytes_; }
+
+  /// Exact on-disk blob length: header + body. This is also the size a
+  /// byte-budgeted cache charges for the cube.
+  size_t SerializedBytes() const {
+    return CubeBlobHeader::kBytes + body_bytes_;
+  }
+
+  /// Writes SerializedBytes() bytes (header then body) to `out`.
+  void SerializeTo(unsigned char* out) const;
+
+  Status AccumulateSlice(const CubeSlice& slice, const GroupBySpec& spec,
+                         uint64_t* acc) const {
+    return AccumulateEncodedSlice(schema_, encoding_, body(), body_bytes_,
+                                  slice, spec, acc);
+  }
+
+  Result<DataCube> Decode() const {
+    return DecodeEncodedCube(schema_, encoding_, body(), body_bytes_);
+  }
+
+ private:
+  CubeSchema schema_;
+  CubeEncoding encoding_ = CubeEncoding::kDenseRaw;
+  std::vector<uint64_t> words_;  // body storage, 8-byte aligned
+  size_t body_bytes_ = 0;
+};
+
+/// Owning arena for N encoded cubes fetched in one batched read.
+///
+/// TemporalIndex::ReadCubes lays the page runs of all requested cubes out
+/// back to back in the arena (each cube's pages are physically
+/// consecutive, so its blob lands contiguous), then binds each slot to its
+/// blob offset, validating the on-page header against the catalog's
+/// recorded encoding and length. Aggregation then streams each body into
+/// the accumulator without any dense materialization; Decode(i) is the
+/// escape hatch for callers that need the cube itself (cache admission).
+///
+/// Slot offsets are 8-byte aligned by construction: page payloads are a
+/// multiple of 8 and blobs start on page boundaries.
+class EncodedCubeBatch {
+ public:
+  EncodedCubeBatch() = default;
+  EncodedCubeBatch(const CubeSchema& schema, size_t num_cubes,
+                   size_t arena_bytes);
+
+  size_t size() const { return slots_.size(); }
+  size_t arena_bytes() const { return arena_bytes_; }
+  unsigned char* arena() {
+    return reinterpret_cast<unsigned char*>(words_.data());
+  }
+  const unsigned char* arena() const {
+    return reinterpret_cast<const unsigned char*>(words_.data());
+  }
+
+  /// Binds slot `i` to the blob at `blob_offset`, parsing the RCUB header
+  /// and cross-checking it against the catalog-recorded `blob_bytes` and
+  /// `expected_encoding`. Any mismatch is a Corruption error.
+  Status BindEncoded(size_t i, size_t blob_offset, uint64_t blob_bytes,
+                     CubeEncoding expected_encoding);
+
+  /// Binds slot `i` to a seed-format raw dense image (no blob header) at
+  /// `offset`.
+  Status BindLegacyDense(size_t i, size_t offset);
+
+  CubeEncoding encoding(size_t i) const { return slots_[i].encoding; }
+  size_t body_bytes(size_t i) const { return slots_[i].body_bytes; }
+
+  /// Streams cube `i` into the packed accumulator (see
+  /// AccumulateEncodedSlice).
+  Status AccumulateSlice(size_t i, const CubeSlice& slice,
+                         const GroupBySpec& spec, uint64_t* acc) const;
+
+  /// Decodes cube `i` to a dense DataCube.
+  Result<DataCube> Decode(size_t i) const;
+
+ private:
+  struct Slot {
+    size_t body_offset = 0;
+    size_t body_bytes = 0;
+    CubeEncoding encoding = CubeEncoding::kDenseRaw;
+    bool bound = false;
+  };
+
+  CubeSchema schema_;
+  std::vector<uint64_t> words_;  // arena storage, 8-byte aligned
+  size_t arena_bytes_ = 0;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_CUBE_CUBE_CODEC_H_

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <numeric>
 
+#include "cube/agg_kernels.h"
 #include "util/logging.h"
 #include "util/str_util.h"
 
@@ -65,11 +66,10 @@ void ForEachCellImpl(const CubeSchema& schema, const uint64_t* cells,
 }
 
 /// Contiguous sum of `n` counters — the strided fast path's inner loop,
-/// written so the compiler unrolls/vectorizes it freely.
+/// dispatched to the hand-vectorized AVX2 kernel for long runs (see
+/// cube/agg_kernels.h; bit-for-bit identical to the scalar loop).
 inline uint64_t SumRun(const uint64_t* p, size_t n) {
-  uint64_t sum = 0;
-  for (size_t i = 0; i < n; ++i) sum += p[i];
-  return sum;
+  return kernels::SumRun(p, n);
 }
 
 /// The dense group-by kernel (see ConstCubeRef::SumSliceInto). Strategy:
@@ -207,10 +207,7 @@ Status DataCube::Merge(const DataCube& other) {
                                    schema_.ToString() + " vs " +
                                    other.schema_.ToString());
   }
-  const uint64_t* src = other.cells_.data();
-  uint64_t* dst = cells_.data();
-  size_t n = cells_.size();
-  for (size_t i = 0; i < n; ++i) dst[i] += src[i];
+  kernels::AddRun(cells_.data(), other.cells_.data(), cells_.size());
   return Status::OK();
 }
 

@@ -128,10 +128,12 @@ DashboardService::DashboardService(Rased* rased) : rased_(rased) {
   }
   stats_.file_bytes =
       metrics->GetGauge("rased_index_file_bytes", "Index file size in bytes");
-  stats_.cache_capacity =
-      metrics->GetGauge("rased_cache_capacity_cubes", "Cube cache slots");
+  stats_.cache_budget_bytes =
+      metrics->GetGauge("rased_cache_budget_bytes", "Cache byte budget");
   stats_.cache_resident =
       metrics->GetGauge("rased_cache_resident_cubes", "Cubes resident");
+  stats_.cache_resident_bytes = metrics->GetGauge(
+      "rased_cache_resident_bytes", "Encoded bytes resident");
   stats_.cache_hits =
       metrics->GetCounter("rased_cache_hits_total", "Cube cache hits");
   stats_.cache_misses =
@@ -395,8 +397,9 @@ void DashboardService::HandleStats(const HttpRequest&,
   w.EndObject();
   w.Key("cache");
   w.BeginObject();
-  w.KV("slots", gauge(stats_.cache_capacity));
+  w.KV("budget_bytes", gauge(stats_.cache_budget_bytes));
   w.KV("resident", gauge(stats_.cache_resident));
+  w.KV("resident_bytes", gauge(stats_.cache_resident_bytes));
   w.KV("hits", stats_.cache_hits->value());
   w.KV("misses", stats_.cache_misses->value());
   w.EndObject();

@@ -81,8 +81,9 @@ class DashboardService {
   struct StatsHandles {
     Gauge* cubes_per_level[kNumLevels] = {nullptr, nullptr, nullptr, nullptr};
     Gauge* file_bytes = nullptr;
-    Gauge* cache_capacity = nullptr;
+    Gauge* cache_budget_bytes = nullptr;
     Gauge* cache_resident = nullptr;
+    Gauge* cache_resident_bytes = nullptr;
     Counter* cache_hits = nullptr;
     Counter* cache_misses = nullptr;
   };

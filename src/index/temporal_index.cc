@@ -24,18 +24,51 @@ const CatalogVersion::LevelMap& LevelMapOf(const CatalogVersion& version,
   return map == nullptr ? kEmpty : *map;
 }
 
+/// Page payload for adaptive-encoding indexes. Small pages let a sparse
+/// daily cube occupy one page instead of a dense-sized one; multi-page
+/// blobs land on consecutive pages and are read with one coalesced pread,
+/// so large cubes cost the same seeks as before. Capped at the dense blob
+/// size so tiny-schema indexes keep one-page dense cubes, floored at the
+/// page file minimum, and always a multiple of 8 (cube_bytes is), which
+/// keeps batch arena offsets 8-byte aligned.
+size_t AdaptivePagePayload(const CubeSchema& schema) {
+  constexpr size_t kTargetPayload = 4096;
+  const size_t dense_blob = schema.cube_bytes() + CubeBlobHeader::kBytes;
+  return std::max<size_t>(64, std::min(kTargetPayload, dense_blob));
+}
+
+/// Appends every page of `loc`'s run to `out`.
+void AppendRunPages(const CubeLoc& loc, std::vector<PageId>* out) {
+  for (uint32_t k = 0; k < loc.num_pages; ++k) {
+    out->push_back(loc.first_page + k);
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // CatalogSnapshot
 // ---------------------------------------------------------------------------
 
-std::optional<PageId> CatalogSnapshot::PageOf(const CubeKey& key) const {
+std::optional<CubeLoc> CatalogSnapshot::LocOf(const CubeKey& key) const {
   if (version_ == nullptr) return std::nullopt;
   const auto& map = LevelMapOf(*version_, key.level);
   auto it = map.find(key.start);
   if (it == map.end()) return std::nullopt;
   return it->second;
+}
+
+std::optional<PageId> CatalogSnapshot::PageOf(const CubeKey& key) const {
+  std::optional<CubeLoc> loc = LocOf(key);
+  if (!loc.has_value()) return std::nullopt;
+  return loc->first_page;
+}
+
+std::optional<uint64_t> CatalogSnapshot::EncodedBytesOf(
+    const CubeKey& key) const {
+  std::optional<CubeLoc> loc = LocOf(key);
+  if (!loc.has_value()) return std::nullopt;
+  return loc->blob_bytes;
 }
 
 std::vector<CubeKey> CatalogSnapshot::ExistingKeys(
@@ -71,10 +104,10 @@ IndexStorageStats CatalogSnapshot::StorageStats() const {
   IndexStorageStats stats;
   if (version_ == nullptr) return stats;
   for (int level = 0; level < kNumLevels; ++level) {
-    uint64_t count =
-        LevelMapOf(*version_, static_cast<Level>(level)).size();
-    stats.cubes_per_level[level] = count;
-    stats.total_cubes += count;
+    const auto& map = LevelMapOf(*version_, static_cast<Level>(level));
+    stats.cubes_per_level[level] = map.size();
+    stats.total_cubes += map.size();
+    for (const auto& [day, loc] : map) stats.encoded_bytes += loc.blob_bytes;
   }
   return stats;
 }
@@ -156,8 +189,11 @@ Result<std::unique_ptr<TemporalIndex>> TemporalIndex::Create(
   if (env::FileExists(PagesPath(options.dir))) {
     return Status::AlreadyExists("index already exists in " + options.dir);
   }
+  // Page geometry. Adaptive indexes use small pages sized for encoded
+  // blobs (AdaptivePagePayload); forced-dense indexes keep them too, so
+  // the compression bench compares encodings under identical geometry.
   size_t page_size =
-      options.schema.cube_bytes() + PageFile::kChecksumBytes;
+      AdaptivePagePayload(options.schema) + PageFile::kChecksumBytes;
   auto pager = Pager::Create(PagesPath(options.dir), page_size,
                              options.device);
   if (!pager.ok()) return pager.status();
@@ -222,14 +258,38 @@ Result<std::unique_ptr<TemporalIndex>> TemporalIndex::Open(
     } else if (f[0] == "last_day" && f.size() == 2) {
       RASED_ASSIGN_OR_RETURN(int64_t days, ParseInt(f[1]));
       version->last_day = Date::FromDays(static_cast<int32_t>(days));
-    } else if (f[0] == "cube" && f.size() == 4) {
+    } else if (f[0] == "cube" && (f.size() == 4 || f.size() == 7)) {
       RASED_ASSIGN_OR_RETURN(int64_t level, ParseInt(f[1]));
       RASED_ASSIGN_OR_RETURN(int64_t days, ParseInt(f[2]));
       RASED_ASSIGN_OR_RETURN(uint64_t page, ParseUint(f[3]));
       if (level < 0 || level >= kNumLevels) {
         return Status::Corruption("bad catalog level " + f[1]);
       }
-      maps[level][Date::FromDays(static_cast<int32_t>(days))] = page;
+      CubeLoc loc;
+      loc.first_page = page;
+      if (f.size() == 4) {
+        // Seed-format entry: one dense page, no blob header.
+        loc.num_pages = 1;
+        loc.encoding = CubeEncoding::kDenseRaw;
+        loc.blob_bytes = options.schema.cube_bytes();
+        loc.legacy = true;
+      } else {
+        RASED_ASSIGN_OR_RETURN(uint64_t npages, ParseUint(f[4]));
+        RASED_ASSIGN_OR_RETURN(int64_t enc, ParseInt(f[5]));
+        RASED_ASSIGN_OR_RETURN(uint64_t blob_bytes, ParseUint(f[6]));
+        if (npages == 0 || npages > UINT32_MAX) {
+          return Status::Corruption("bad catalog page count " + f[4]);
+        }
+        if (enc < 0 ||
+            enc > static_cast<int64_t>(CubeEncoding::kDeltaVarint)) {
+          return Status::Corruption("bad catalog cube encoding " + f[5]);
+        }
+        loc.num_pages = static_cast<uint32_t>(npages);
+        loc.encoding = static_cast<CubeEncoding>(enc);
+        loc.blob_bytes = blob_bytes;
+        loc.legacy = false;
+      }
+      maps[level][Date::FromDays(static_cast<int32_t>(days))] = loc;
     } else {
       return Status::Corruption("bad catalog line: " + std::string(line));
     }
@@ -240,15 +300,29 @@ Result<std::unique_ptr<TemporalIndex>> TemporalIndex::Open(
   // or retired before the last save) is reusable.
   // User page ids are 1..num_pages (0 is the file header).
   const PageId num_pages = index->pager_->num_pages();
+  const size_t payload = index->pager_->payload_size();
   std::vector<bool> referenced(num_pages + 1, false);
   for (int level = 0; level < kNumLevels; ++level) {
-    for (const auto& [day, page] : maps[level]) {
-      if (page == kInvalidPageId || page > num_pages) {
+    for (const auto& [day, loc] : maps[level]) {
+      if (loc.first_page == kInvalidPageId || loc.first_page > num_pages ||
+          loc.num_pages > num_pages - loc.first_page + 1) {
         return Status::Corruption(
-            StrFormat("catalog page %llu beyond file end",
-                      static_cast<unsigned long long>(page)));
+            StrFormat("catalog page run %llu+%u beyond file end",
+                      static_cast<unsigned long long>(loc.first_page),
+                      loc.num_pages));
       }
-      referenced[page] = true;
+      if (!loc.legacy &&
+          (loc.blob_bytes < CubeBlobHeader::kBytes ||
+           loc.blob_bytes >
+               static_cast<uint64_t>(loc.num_pages) * payload)) {
+        return Status::Corruption(
+            StrFormat("catalog blob length %llu exceeds its %u-page run",
+                      static_cast<unsigned long long>(loc.blob_bytes),
+                      loc.num_pages));
+      }
+      for (uint32_t k = 0; k < loc.num_pages; ++k) {
+        referenced[loc.first_page + k] = true;
+      }
     }
     version->levels[level] = std::make_shared<const CatalogVersion::LevelMap>(
         std::move(maps[level]));
@@ -292,10 +366,19 @@ Status TemporalIndex::SaveCatalog() {
     out += StrFormat("last_day %d\n", version->last_day->days_since_epoch());
   }
   for (int level = 0; level < kNumLevels; ++level) {
-    for (const auto& [day, page] :
+    for (const auto& [day, loc] :
          LevelMapOf(*version, static_cast<Level>(level))) {
-      out += StrFormat("cube %d %d %llu\n", level, day.days_since_epoch(),
-                       static_cast<unsigned long long>(page));
+      if (loc.legacy) {
+        // Seed-format entries round-trip in their original 4-field form.
+        out += StrFormat("cube %d %d %llu\n", level, day.days_since_epoch(),
+                         static_cast<unsigned long long>(loc.first_page));
+      } else {
+        out += StrFormat("cube %d %d %llu %u %d %llu\n", level,
+                         day.days_since_epoch(),
+                         static_cast<unsigned long long>(loc.first_page),
+                         loc.num_pages, static_cast<int>(loc.encoding),
+                         static_cast<unsigned long long>(loc.blob_bytes));
+      }
     }
   }
   // Atomic replace: a crash mid-save must never leave a torn catalog.
@@ -311,46 +394,89 @@ Status TemporalIndex::Sync() {
 
 Status TemporalIndex::StageCube(Staging* staging, const CubeKey& key,
                                 const DataCube& cube) {
-  std::vector<unsigned char> buf(cube.SerializedBytes());
-  cube.SerializeTo(buf.data());
-  // Always a fresh page: pages reachable from any published version are
+  EncodedCube encoded = EncodedCube::Encode(cube, options_.encoding);
+  const size_t blob_bytes = encoded.SerializedBytes();
+  const size_t payload = pager_->payload_size();
+  const size_t num_pages = (blob_bytes + payload - 1) / payload;
+  std::vector<unsigned char> buf(num_pages * payload, 0);
+  encoded.SerializeTo(buf.data());
+  // Always fresh pages: pages reachable from any published version are
   // immutable, so a pinned reader can never observe a half-written cube.
-  RASED_ASSIGN_OR_RETURN(PageId page, pager_->AllocatePage());
-  Status write = pager_->WritePage(page, buf.data(), buf.size());
+  // The run is physically consecutive so one pread fetches the blob.
+  RASED_ASSIGN_OR_RETURN(PageId first, pager_->AllocateRun(num_pages));
+  CubeLoc loc;
+  loc.first_page = first;
+  loc.num_pages = static_cast<uint32_t>(num_pages);
+  loc.encoding = encoded.encoding();
+  loc.blob_bytes = blob_bytes;
+  Status write = Status::OK();
+  for (size_t k = 0; k < num_pages && write.ok(); ++k) {
+    write = pager_->WritePage(first + k, buf.data() + k * payload, payload);
+  }
   if (!write.ok()) {
-    const PageId failed[] = {page};
+    std::vector<PageId> failed;
+    AppendRunPages(loc, &failed);
     pager_->ReleasePages(failed);
     return write;
   }
   auto it = staging->staged.find(key);
   if (it != staging->staged.end()) {
-    // Re-staged within this pass; the earlier page was never published,
+    // Re-staged within this pass; the earlier run was never published,
     // so it is immediately reusable.
-    const PageId abandoned[] = {it->second};
+    std::vector<PageId> abandoned;
+    AppendRunPages(it->second, &abandoned);
     pager_->ReleasePages(abandoned);
-    it->second = page;
+    it->second = loc;
     return Status::OK();
   }
-  staging->staged[key] = page;
-  std::optional<PageId> shadowed =
-      CatalogSnapshot(staging->base).PageOf(key);
-  if (shadowed.has_value()) staging->dropped.push_back(*shadowed);
+  staging->staged[key] = loc;
+  std::optional<CubeLoc> shadowed =
+      CatalogSnapshot(staging->base).LocOf(key);
+  if (shadowed.has_value()) AppendRunPages(*shadowed, &staging->dropped);
   return Status::OK();
 }
 
-std::optional<PageId> TemporalIndex::StagedPageOf(const Staging& staging,
+std::optional<CubeLoc> TemporalIndex::StagedLocOf(const Staging& staging,
                                                   const CubeKey& key) const {
   auto it = staging.staged.find(key);
   if (it != staging.staged.end()) return it->second;
-  return CatalogSnapshot(staging.base).PageOf(key);
+  return CatalogSnapshot(staging.base).LocOf(key);
 }
 
-Result<DataCube> TemporalIndex::ReadCubeAtPage(PageId page,
-                                               IoStats* io) const {
-  std::vector<unsigned char> buf(pager_->payload_size());
-  RASED_RETURN_IF_ERROR(pager_->ReadPage(page, buf.data(), io));
+Result<DataCube> TemporalIndex::ReadCubeAtLoc(const CubeLoc& loc,
+                                              IoStats* io) const {
+  const size_t payload = pager_->payload_size();
+  std::vector<PageId> pages;
+  pages.reserve(loc.num_pages);
+  AppendRunPages(loc, &pages);
+  // The run is consecutive, so this is one coalesced pread charged as a
+  // single read_op of num_pages page_reads — identical accounting to the
+  // batched path.
+  std::vector<unsigned char> buf(loc.num_pages * payload);
+  RASED_RETURN_IF_ERROR(pager_->ReadPages(pages, buf.data(), io));
   if (metrics_.cube_reads != nullptr) metrics_.cube_reads->Increment();
-  return DataCube::Deserialize(options_.schema, buf.data(), buf.size());
+  if (loc.legacy) {
+    if (buf.size() < options_.schema.cube_bytes()) {
+      return Status::Corruption("legacy cube page smaller than a dense cube");
+    }
+    return DataCube::Deserialize(options_.schema, buf.data(),
+                                 options_.schema.cube_bytes());
+  }
+  if (loc.blob_bytes < CubeBlobHeader::kBytes ||
+      loc.blob_bytes > buf.size()) {
+    return Status::Corruption("catalog blob length exceeds its page run");
+  }
+  RASED_ASSIGN_OR_RETURN(CubeBlobHeader header,
+                         CubeBlobHeader::Parse(buf.data(), buf.size()));
+  if (header.body_bytes != loc.blob_bytes - CubeBlobHeader::kBytes) {
+    return Status::Corruption("cube blob length disagrees with catalog");
+  }
+  if (header.encoding != loc.encoding) {
+    return Status::Corruption("cube blob encoding disagrees with catalog");
+  }
+  return DecodeEncodedCube(options_.schema, header.encoding,
+                           buf.data() + CubeBlobHeader::kBytes,
+                           static_cast<size_t>(header.body_bytes));
 }
 
 Result<DataCube> TemporalIndex::BuildFromChildren(
@@ -362,9 +488,9 @@ Result<DataCube> TemporalIndex::BuildFromChildren(
       RASED_RETURN_IF_ERROR(sum.Merge(*in_memory_cube));
       continue;
     }
-    std::optional<PageId> page = StagedPageOf(staging, child);
-    if (!page.has_value()) continue;  // index may start mid-window
-    auto cube = ReadCubeAtPage(*page, nullptr);
+    std::optional<CubeLoc> loc = StagedLocOf(staging, child);
+    if (!loc.has_value()) continue;  // index may start mid-window
+    auto cube = ReadCubeAtLoc(*loc, nullptr);
     if (!cube.ok()) return cube.status();
     RASED_RETURN_IF_ERROR(sum.Merge(cube.value()));
   }
@@ -380,7 +506,7 @@ void TemporalIndex::PublishLocked(Staging* staging) {
   // Copy-on-write per level: only levels this pass staged into are
   // copied; untouched levels share the base version's map.
   bool touched[kNumLevels] = {false, false, false, false};
-  for (const auto& [key, page] : staging->staged) {
+  for (const auto& [key, loc] : staging->staged) {
     touched[static_cast<int>(key.level)] = true;
   }
   for (int level = 0; level < kNumLevels; ++level) {
@@ -390,8 +516,8 @@ void TemporalIndex::PublishLocked(Staging* staging) {
     }
     auto map = std::make_shared<CatalogVersion::LevelMap>(
         LevelMapOf(*staging->base, static_cast<Level>(level)));
-    for (const auto& [key, page] : staging->staged) {
-      if (static_cast<int>(key.level) == level) (*map)[key.start] = page;
+    for (const auto& [key, loc] : staging->staged) {
+      if (static_cast<int>(key.level) == level) (*map)[key.start] = loc;
     }
     next->levels[level] = std::move(map);
   }
@@ -422,7 +548,7 @@ void TemporalIndex::ReclaimRetiredLocked() {
 void TemporalIndex::AbandonStaging(Staging* staging) {
   std::vector<PageId> pages;
   pages.reserve(staging->staged.size());
-  for (const auto& [key, page] : staging->staged) pages.push_back(page);
+  for (const auto& [key, loc] : staging->staged) AppendRunPages(loc, &pages);
   pager_->ReleasePages(pages);
   staging->staged.clear();
   staging->dropped.clear();
@@ -433,47 +559,52 @@ void TemporalIndex::AbandonStaging(Staging* staging) {
 Result<DataCube> TemporalIndex::ReadCube(const CatalogSnapshot& snapshot,
                                          const CubeKey& key,
                                          IoStats* io) const {
-  std::optional<PageId> page = snapshot.PageOf(key);
-  if (!page.has_value()) {
+  std::optional<CubeLoc> loc = snapshot.LocOf(key);
+  if (!loc.has_value()) {
     return Status::NotFound("no cube for " + key.ToString());
   }
-  return ReadCubeAtPage(*page, io);
+  return ReadCubeAtLoc(*loc, io);
 }
 
-Result<CubeBatch> TemporalIndex::ReadCubes(const CatalogSnapshot& snapshot,
-                                           std::span<const CubeKey> keys,
-                                           IoStats* io) const {
-  CubeBatch batch(options_.schema, keys.size());
-  if (keys.empty()) return batch;
-
+Result<EncodedCubeBatch> TemporalIndex::ReadCubes(
+    const CatalogSnapshot& snapshot, std::span<const CubeKey> keys,
+    IoStats* io) const {
   // Resolve every key up front against the pinned version so a missing
   // cube fails before any device time is charged.
-  std::vector<PageId> pages(keys.size(), kInvalidPageId);
+  std::vector<CubeLoc> locs(keys.size());
+  size_t total_pages = 0;
   for (size_t i = 0; i < keys.size(); ++i) {
-    std::optional<PageId> page = snapshot.PageOf(keys[i]);
-    if (!page.has_value()) {
+    std::optional<CubeLoc> loc = snapshot.LocOf(keys[i]);
+    if (!loc.has_value()) {
       return Status::NotFound("no cube for " + keys[i].ToString());
     }
-    pages[i] = *page;
+    locs[i] = *loc;
+    total_pages += locs[i].num_pages;
   }
 
-  const size_t cube_bytes = options_.schema.cube_bytes();
-  if (pager_->payload_size() == cube_bytes) {
-    // The index sizes its pages so payload_size() == cube_bytes exactly;
-    // the batched read scatters payloads at that stride straight into the
-    // batch's aligned cell storage — no per-cube deserialize copy.
-    RASED_RETURN_IF_ERROR(pager_->ReadPages(pages, batch.raw_bytes(), io));
-    if (metrics_.cube_reads != nullptr) {
-      metrics_.cube_reads->Increment(keys.size());
-    }
-    return batch;
+  // Lay the cubes' page runs out back to back in the arena, cube-major:
+  // each cube's pages are physically consecutive, so its whole blob lands
+  // contiguous at a known offset. Offsets stay 8-byte aligned because the
+  // payload is a multiple of 8.
+  const size_t payload = pager_->payload_size();
+  EncodedCubeBatch batch(options_.schema, keys.size(),
+                         total_pages * payload);
+  if (keys.empty()) return batch;
+  std::vector<PageId> pages;
+  pages.reserve(total_pages);
+  std::vector<size_t> offsets(keys.size(), 0);
+  for (size_t i = 0; i < locs.size(); ++i) {
+    offsets[i] = pages.size() * payload;
+    AppendRunPages(locs[i], &pages);
   }
-  // Defensive fallback for foreign page files with oversized payloads.
-  std::vector<unsigned char> buf(pager_->payload_size());
-  unsigned char* out = batch.raw_bytes();
-  for (size_t i = 0; i < pages.size(); ++i) {
-    RASED_RETURN_IF_ERROR(pager_->ReadPage(pages[i], buf.data(), io));
-    std::memcpy(out + i * cube_bytes, buf.data(), cube_bytes);
+  RASED_RETURN_IF_ERROR(pager_->ReadPages(pages, batch.arena(), io));
+  for (size_t i = 0; i < locs.size(); ++i) {
+    if (locs[i].legacy) {
+      RASED_RETURN_IF_ERROR(batch.BindLegacyDense(i, offsets[i]));
+    } else {
+      RASED_RETURN_IF_ERROR(batch.BindEncoded(
+          i, offsets[i], locs[i].blob_bytes, locs[i].encoding));
+    }
   }
   if (metrics_.cube_reads != nullptr) {
     metrics_.cube_reads->Increment(keys.size());
@@ -611,7 +742,7 @@ Status TemporalIndex::RebuildMonth(Date month_start,
     }
     CubeKey monthly_key = CubeKey::Monthly(month_start);
     if (LevelEnabled(Level::kMonthly) &&
-        StagedPageOf(staging, monthly_key).has_value()) {
+        StagedLocOf(staging, monthly_key).has_value()) {
       RASED_RETURN_IF_ERROR(StageCube(&staging, monthly_key, monthly));
     }
 
@@ -619,7 +750,7 @@ Status TemporalIndex::RebuildMonth(Date month_start,
     // twelve monthlies (the staged monthly resolves staged-first).
     CubeKey yearly = CubeKey::Yearly(month_start);
     if (LevelEnabled(Level::kYearly) &&
-        StagedPageOf(staging, yearly).has_value()) {
+        StagedLocOf(staging, yearly).has_value()) {
       RASED_ASSIGN_OR_RETURN(
           DataCube year_cube,
           BuildFromChildren(staging, yearly, nullptr, nullptr));

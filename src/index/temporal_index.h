@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "cube/cube_codec.h"
 #include "cube/data_cube.h"
 #include "index/temporal_key.h"
 #include "io/pager.h"
@@ -39,6 +40,15 @@ struct TemporalIndexOptions {
   /// retired-version gauges) and wires its pager's
   /// rased_pager_*{file="index"} counters. Must outlive the index.
   MetricsRegistry* metrics = nullptr;
+
+  /// Write-time cube encoding selection (cube/cube_codec.h). kAdaptive
+  /// (default) picks per cube by density and stores blobs across small
+  /// fixed-size pages; kForceDense stores every cube dense under the same
+  /// page geometry — the like-for-like baseline bench_cube_compression
+  /// measures against. Applies only to Create(); Open() reads whatever
+  /// geometry the file has, and per-cube encodings are always honored
+  /// from the catalog.
+  CubeEncodingPolicy encoding = CubeEncodingPolicy::kAdaptive;
 };
 
 /// Per-level node counts and storage, for the paper's Section VI-A index
@@ -47,6 +57,23 @@ struct IndexStorageStats {
   uint64_t cubes_per_level[kNumLevels] = {0, 0, 0, 0};
   uint64_t total_cubes = 0;
   uint64_t file_bytes = 0;
+  /// Sum of the exact serialized cube blob lengths recorded in the
+  /// catalog — the compressed payload size, excluding page padding.
+  uint64_t encoded_bytes = 0;
+};
+
+/// Physical location and encoding metadata of one stored cube, the value
+/// type of the catalog's per-level maps. A cube blob occupies `num_pages`
+/// physically consecutive pages starting at `first_page`; `blob_bytes` is
+/// its exact serialized length (RCUB header + body for encoded cubes, the
+/// raw dense image for legacy seed-format entries, which predate the blob
+/// header — `legacy` marks those so readers skip header parsing).
+struct CubeLoc {
+  PageId first_page = kInvalidPageId;
+  uint32_t num_pages = 1;
+  CubeEncoding encoding = CubeEncoding::kDenseRaw;
+  uint64_t blob_bytes = 0;
+  bool legacy = false;
 };
 
 /// One immutable published catalog version (MVCC). A version maps cube
@@ -56,7 +83,7 @@ struct IndexStorageStats {
 /// CatalogVersion is never mutated — readers pin it by shared_ptr and the
 /// last release makes it reclaimable.
 struct CatalogVersion {
-  using LevelMap = std::map<Date, PageId>;
+  using LevelMap = std::map<Date, CubeLoc>;
 
   /// Monotonic publication counter, starting at 1 for the empty catalog a
   /// fresh index publishes on Create. Every AppendDay/RebuildMonth
@@ -94,8 +121,18 @@ class CatalogSnapshot {
     return PageOf(key).has_value();
   }
 
-  /// Page holding `key`'s cube in this version, if present.
+  /// Full location (pages, encoding, exact length) of `key`'s cube in
+  /// this version, if present.
+  std::optional<CubeLoc> LocOf(const CubeKey& key) const;
+
+  /// First page holding `key`'s cube in this version, if present. Also
+  /// the cache's page-validation token: a key re-staged by maintenance
+  /// lands on a different first page, so stale entries never match.
   std::optional<PageId> PageOf(const CubeKey& key) const;
+
+  /// Exact serialized length of `key`'s cube (what a byte-budgeted cache
+  /// charges for it), if present.
+  std::optional<uint64_t> EncodedBytesOf(const CubeKey& key) const;
 
   /// Keys of `level` fully inside `range` that exist in this version.
   std::vector<CubeKey> ExistingKeys(Level level, const DateRange& range) const;
@@ -106,8 +143,8 @@ class CatalogSnapshot {
   /// Days covered by this version ([first appended, last appended]).
   DateRange coverage() const;
 
-  /// Per-level cube counts of this version (file_bytes left 0; the index
-  /// fills it in from its pager).
+  /// Per-level cube counts and encoded byte totals of this version
+  /// (file_bytes left 0; the index fills it in from its pager).
   IndexStorageStats StorageStats() const;
 
  private:
@@ -199,19 +236,22 @@ class TemporalIndex {
   Result<DataCube> ReadCube(const CatalogSnapshot& snapshot,
                             const CubeKey& key, IoStats* io = nullptr) const;
 
-  /// Batched read against `snapshot`: fetches all of `keys` in one
-  /// Pager::ReadPages call, which sorts by page id and coalesces runs of
-  /// physically adjacent pages (consecutive daily cubes land on
-  /// consecutive pages) into single large device reads. The returned batch
-  /// holds the cubes in *key input order* with zero-copy views. Fails
-  /// NotFound if any key is missing (resolved before any I/O is issued).
+  /// Batched read against `snapshot`: fetches the page runs of all of
+  /// `keys` in one Pager::ReadPages call, which sorts by page id and
+  /// coalesces runs of physically adjacent pages (a cube's own pages are
+  /// consecutive by construction, and consecutive daily cubes land on
+  /// adjacent runs) into single large device reads. The returned batch
+  /// holds the *encoded* cubes in key input order; aggregation streams
+  /// them into the packed accumulator without dense materialization
+  /// (EncodedCubeBatch::AccumulateSlice). Fails NotFound if any key is
+  /// missing (resolved before any I/O is issued).
   ///
   /// Accounting matches the serial path transfer-for-transfer — identical
   /// page_reads/bytes_read — while read_ops and simulated device time
   /// shrink with coalescing (see Pager::ReadPages).
-  Result<CubeBatch> ReadCubes(const CatalogSnapshot& snapshot,
-                              std::span<const CubeKey> keys,
-                              IoStats* io = nullptr) const;
+  Result<EncodedCubeBatch> ReadCubes(const CatalogSnapshot& snapshot,
+                                     std::span<const CubeKey> keys,
+                                     IoStats* io = nullptr) const;
 
   // Conveniences that pin the current version for one call. Multi-step
   // callers (plan, then probe, then fetch) must pin one Snapshot() and
@@ -222,8 +262,8 @@ class TemporalIndex {
   Result<DataCube> ReadCube(const CubeKey& key, IoStats* io = nullptr) const {
     return ReadCube(Snapshot(), key, io);
   }
-  Result<CubeBatch> ReadCubes(std::span<const CubeKey> keys,
-                              IoStats* io = nullptr) const {
+  Result<EncodedCubeBatch> ReadCubes(std::span<const CubeKey> keys,
+                                     IoStats* io = nullptr) const {
     return ReadCubes(Snapshot(), keys, io);
   }
   std::vector<CubeKey> ExistingKeys(Level level, const DateRange& range) const {
@@ -253,9 +293,9 @@ class TemporalIndex {
   /// off to the side, invisible to readers until the single publication.
   struct Staging {
     std::shared_ptr<const CatalogVersion> base;
-    std::map<CubeKey, PageId> staged;
-    /// Base pages replaced by staged cubes; released to the pager's free
-    /// pool once the base version drains.
+    std::map<CubeKey, CubeLoc> staged;
+    /// Base pages (all pages of each replaced cube's run) released to the
+    /// pager's free pool once the base version drains.
     std::vector<PageId> dropped;
     std::optional<Date> first_day;
     std::optional<Date> last_day;
@@ -273,13 +313,14 @@ class TemporalIndex {
     return static_cast<int>(level) < options_.num_levels;
   }
 
-  /// Serializes `cube` to a fresh page (never overwriting a published
-  /// page) and records it in the staging map. If the key shadows a base
-  /// page, that page joins staging.dropped.
+  /// Encodes `cube` (per options_.encoding), writes the blob to a fresh
+  /// run of consecutive pages (never overwriting a published page), and
+  /// records its CubeLoc in the staging map. If the key shadows a base
+  /// cube, all pages of that cube's run join staging.dropped.
   Status StageCube(Staging* staging, const CubeKey& key, const DataCube& cube);
 
   /// Resolves `key` staged-first, then against the staging's base version.
-  std::optional<PageId> StagedPageOf(const Staging& staging,
+  std::optional<CubeLoc> StagedLocOf(const Staging& staging,
                                      const CubeKey& key) const;
 
   /// Builds a parent cube by reading each existing child (staged or base)
@@ -291,8 +332,9 @@ class TemporalIndex {
                                      const CubeKey* in_memory_key,
                                      const DataCube* in_memory_cube) const;
 
-  /// Reads and deserializes the cube stored at `page`.
-  Result<DataCube> ReadCubeAtPage(PageId page, IoStats* io) const;
+  /// Reads `loc`'s page run in one coalesced pread and decodes the cube
+  /// (blob-header path for encoded cubes, raw dense for legacy entries).
+  Result<DataCube> ReadCubeAtLoc(const CubeLoc& loc, IoStats* io) const;
 
   /// Builds the next version from `staging` (copy-on-write per level),
   /// swaps it in, retires the base version, and runs a reclamation sweep.

@@ -101,7 +101,8 @@ Result<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path) {
   std::memcpy(&page_size, header + 8, 8);
   std::memcpy(&num_pages, header + 16, 8);
   std::memcpy(&crc, header + 24, 4);
-  if (magic != kMagic || version != kVersion) {
+  if (magic != kMagic || version < kMinSupportedVersion ||
+      version > kVersion) {
     ::close(fd);
     return Status::Corruption("bad page file header in " + path);
   }
@@ -126,15 +127,22 @@ Status PageFile::WriteHeader() {
   return PwriteAll(fd_, header, sizeof(header), 0, path_);
 }
 
-Result<PageId> PageFile::AllocatePage() {
-  PageId id = num_pages() + 1;  // page ids are 1-based; 0 is the header
-  std::vector<unsigned char> zero(page_size_, 0);
+Result<PageId> PageFile::AllocatePage() { return AllocatePages(1); }
+
+Result<PageId> PageFile::AllocatePages(size_t count) {
+  if (count == 0) {
+    return Status::InvalidArgument("AllocatePages requires count >= 1");
+  }
+  PageId first = num_pages() + 1;  // page ids are 1-based; 0 is the header
+  std::vector<unsigned char> zero(count * page_size_, 0);
   uint32_t crc = Crc32c(zero.data(), payload_size());
-  std::memcpy(zero.data() + payload_size(), &crc, 4);
+  for (size_t k = 0; k < count; ++k) {
+    std::memcpy(zero.data() + k * page_size_ + payload_size(), &crc, 4);
+  }
   RASED_RETURN_IF_ERROR(
-      PwriteAll(fd_, zero.data(), page_size_, id * page_size_, path_));
-  num_pages_.store(id, std::memory_order_release);
-  return id;
+      PwriteAll(fd_, zero.data(), zero.size(), first * page_size_, path_));
+  num_pages_.store(first + count - 1, std::memory_order_release);
+  return first;
 }
 
 Status PageFile::WritePage(PageId id, const void* payload, size_t n) {

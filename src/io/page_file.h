@@ -34,7 +34,12 @@ inline constexpr PageId kInvalidPageId = 0;
 class PageFile {
  public:
   static constexpr uint32_t kMagic = 0x52415345;  // "RASE"
-  static constexpr uint32_t kVersion = 1;
+  /// Format version written to new files. v2 marks files whose cube pages
+  /// may hold multi-page encoded blobs (cube/cube_codec.h); the page
+  /// layout itself is unchanged, so Open() accepts v1 (seed-format) files
+  /// transparently.
+  static constexpr uint32_t kVersion = 2;
+  static constexpr uint32_t kMinSupportedVersion = 1;
   static constexpr size_t kChecksumBytes = 4;
 
   /// Creates a new page file (fails if it already exists).
@@ -52,6 +57,10 @@ class PageFile {
 
   /// Appends a zeroed page and returns its id (>= 1).
   Result<PageId> AllocatePage();
+
+  /// Appends `count` zeroed pages with consecutive ids and returns the
+  /// first (the run is [first, first + count)). Requires count >= 1.
+  Result<PageId> AllocatePages(size_t count);
 
   /// Writes `payload` (must be <= payload_size()) into the page; the rest
   /// of the page is zero-filled and the checksum updated.

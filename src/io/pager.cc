@@ -43,6 +43,41 @@ Result<PageId> Pager::AllocatePage(IoStats* io) {
   return id;
 }
 
+Result<PageId> Pager::AllocateRun(size_t count, IoStats* io) {
+  if (count == 0) {
+    return Status::InvalidArgument("AllocateRun requires count >= 1");
+  }
+  if (count == 1) return AllocatePage(io);
+  std::optional<PageId> reused;
+  {
+    MutexLock lock(&free_mu_);
+    if (free_pool_.size() >= count) {
+      // Sorting is fine here: the pool is order-free (reuse order only
+      // affects placement, never accounting).
+      std::sort(free_pool_.begin(), free_pool_.end());
+      size_t run_start = 0;
+      for (size_t i = 1; i < free_pool_.size() && !reused.has_value(); ++i) {
+        if (free_pool_[i] != free_pool_[i - 1] + 1) run_start = i;
+        if (i - run_start + 1 == count) {
+          reused = free_pool_[run_start];
+          free_pool_.erase(
+              free_pool_.begin() + static_cast<ptrdiff_t>(run_start),
+              free_pool_.begin() + static_cast<ptrdiff_t>(i + 1));
+        }
+      }
+    }
+  }
+  if (reused.has_value()) {
+    for (size_t k = 0; k < count; ++k) ChargeWrite(page_size(), io);
+    return *reused;
+  }
+  auto first = file_->AllocatePages(count);
+  if (first.ok()) {
+    for (size_t k = 0; k < count; ++k) ChargeWrite(page_size(), io);
+  }
+  return first;
+}
+
 void Pager::ReleasePages(std::span<const PageId> ids) {
   if (ids.empty()) return;
   MutexLock lock(&free_mu_);

@@ -126,6 +126,15 @@ class Pager {
   /// the charge is one page write, so device accounting is identical
   /// whether a page is fresh or reused.
   Result<PageId> AllocatePage(IoStats* io = nullptr);
+
+  /// Allocates `count` pages with physically consecutive ids (a multi-page
+  /// encoded cube blob must land contiguous so one pread fetches it; see
+  /// cube/cube_codec.h) and returns the first id. A consecutive run inside
+  /// the free pool is reused when one exists; otherwise the file is
+  /// extended. Charges one page write per page, exactly like `count`
+  /// AllocatePage calls.
+  Result<PageId> AllocateRun(size_t count, IoStats* io = nullptr);
+
   Status WritePage(PageId id, const void* payload, size_t n,
                    IoStats* io = nullptr);
   Status ReadPage(PageId id, void* payload, IoStats* io = nullptr) const;

@@ -6,6 +6,7 @@
 #include <tuple>
 #include <vector>
 
+#include "cube/cube_codec.h"
 #include "util/clock.h"
 #include "util/logging.h"
 
@@ -137,7 +138,7 @@ Result<QueryResult> QueryExecutor::Execute(
   result.stats.cubes_from_disk = miss_keys.size();
   const int64_t t_probed = NowMicros();
 
-  CubeBatch fetched;
+  EncodedCubeBatch fetched;
   if (!miss_keys.empty()) {
     auto batch = index_->ReadCubes(snapshot, miss_keys, &result.stats.io);
     if (!batch.ok()) {
@@ -146,11 +147,20 @@ Result<QueryResult> QueryExecutor::Execute(
     }
     fetched = std::move(batch).value();
     if (cache_ != nullptr && cache_->AdmitsOnQuery()) {
-      // LRU only: materialize a copy out of the batch and move it in —
-      // the one copy cache residency requires, and no more. The source
-      // page rides along for later page-validated probes.
+      // LRU only: decode a dense copy out of the batch and move it in —
+      // the one materialization cache residency requires, and no more.
+      // The source page rides along for later page-validated probes, and
+      // the catalog's encoded length is what the byte budget charges.
       for (size_t j = 0; j < miss_keys.size(); ++j) {
-        cache_->Insert(miss_keys[j], miss_pages[j], fetched.Materialize(j));
+        auto cube = fetched.Decode(j);
+        if (!cube.ok()) {
+          if (metrics_.errors != nullptr) metrics_.errors->Increment();
+          return cube.status();
+        }
+        uint64_t bytes = snapshot.EncodedBytesOf(miss_keys[j])
+                             .value_or(index_->options().schema.cube_bytes());
+        cache_->Insert(miss_keys[j], miss_pages[j], bytes,
+                       std::move(cube).value());
       }
     }
   }
@@ -198,9 +208,19 @@ Result<QueryResult> QueryExecutor::Execute(
 
   size_t next_miss = 0;
   for (size_t i = 0; i < n; ++i) {
-    ConstCubeRef cube = hits[i] != nullptr ? hits[i]->View()
-                                           : fetched.cube(next_miss++);
-    cube.SumSliceInto(slice, spec, acc.data());
+    if (hits[i] != nullptr) {
+      // Cache hits are decoded cubes: the dense strided kernel applies.
+      hits[i]->View().SumSliceInto(slice, spec, acc.data());
+    } else {
+      // Misses stream their encoded bodies straight into the accumulator —
+      // sparse cubes never materialize a dense image on the hot path.
+      Status st =
+          fetched.AccumulateSlice(next_miss++, slice, spec, acc.data());
+      if (!st.ok()) {
+        if (metrics_.errors != nullptr) metrics_.errors->Increment();
+        return st;
+      }
+    }
     if (query.group_date) {
       int32_t date_key = plan.cubes[i].range().first.days_since_epoch();
       for (size_t slot = 0; slot < acc.size(); ++slot) {

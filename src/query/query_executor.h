@@ -23,9 +23,12 @@ enum class PlanMode {
 /// cubes: the cache is probed for every planned cube up front and all
 /// misses are fetched in one batched index read, so physically adjacent
 /// cube pages coalesce into single device operations. Phase 2 is pure
-/// in-memory aggregation: the strided SumSliceInto kernel folds each cube
-/// (cache hits and batch views alike, zero-copy) into a flat dense GROUP
-/// BY accumulator indexed by packed group coordinates.
+/// in-memory aggregation into a flat dense GROUP BY accumulator indexed
+/// by packed group coordinates: cache hits (decoded cubes) fold in
+/// through the strided SumSliceInto kernel, while misses stream their
+/// encoded bodies (dense, sparse COO, or delta-varint) straight out of
+/// the batch arena — sparse cubes never materialize densely on the hot
+/// path.
 ///
 /// Threading contract: the executor is stateless — Execute is const and
 /// safe from any number of threads concurrently. Each execution pins one

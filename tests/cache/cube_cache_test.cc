@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cube/cube_codec.h"
 #include "io/env.h"
 
 namespace rased {
@@ -9,9 +10,18 @@ namespace {
 
 CubeSchema TinySchema() { return CubeSchema{3, 8, 4, 4}; }
 
+/// Exact budget charge of one cube (what the catalog records and the
+/// byte-budgeted cache accounts).
+uint64_t EncodedBytes(const DataCube& cube) {
+  return EncodedCube::Encode(cube).SerializedBytes();
+}
+
 class CubeCacheTest : public ::testing::Test {
  protected:
-  // Builds an index covering `days` days from 2021-01-01.
+  // Builds an index covering `days` days from 2021-01-01. Each daily cube
+  // holds a single cell, so every cube stores sparse and tiny — the
+  // encoded sizes the byte budget meters are a few dozen bytes, not the
+  // multi-KB dense image.
   std::unique_ptr<TemporalIndex> BuildIndex(int days) {
     TemporalIndexOptions options;
     options.schema = TinySchema();
@@ -31,6 +41,17 @@ class CubeCacheTest : public ::testing::Test {
     return std::move(index).value();
   }
 
+  // Sum of the catalog-recorded encoded sizes of the `n` newest cubes of
+  // `level` — the budget that admits exactly those cubes on preload.
+  static uint64_t BytesForLatest(const CatalogSnapshot& snapshot, Level level,
+                                 size_t n) {
+    uint64_t total = 0;
+    for (const CubeKey& key : snapshot.LatestKeys(level, n)) {
+      total += snapshot.EncodedBytesOf(key).value_or(0);
+    }
+    return total;
+  }
+
   TempDir dir_{"cache-test"};
   int counter_ = 0;
 };
@@ -38,36 +59,56 @@ class CubeCacheTest : public ::testing::Test {
 TEST_F(CubeCacheTest, RecencyPreloadSplitsByLevel) {
   auto index = BuildIndex(90);  // 90 daily, 12 weekly, 2 monthly (Jan, Feb)
   CacheOptions options;
-  options.num_slots = 40;
+  options.byte_budget = CacheOptions::BytesForCubes(40, TinySchema());
   options.policy = CachePolicy::kRasedRecency;
   // alpha .4 beta .35 gamma .2 theta .05
   CubeCache cache(options);
   ASSERT_TRUE(cache.Warm(index.get()).ok());
-  EXPECT_EQ(cache.size(), 40u);
 
   // The most recent daily/weekly/monthly cubes must be resident.
   EXPECT_TRUE(cache.Contains(CubeKey::Daily(Date::FromYmd(2021, 3, 31))));
   EXPECT_TRUE(cache.Contains(CubeKey::Weekly(Date::FromYmd(2021, 3, 22))));
   EXPECT_TRUE(cache.Contains(CubeKey::Monthly(Date::FromYmd(2021, 2, 1))));
+  EXPECT_LE(cache.bytes_used(), options.byte_budget);
 }
 
-TEST_F(CubeCacheTest, LeftoverSlotsFallToDaily) {
-  auto index = BuildIndex(60);
+TEST_F(CubeCacheTest, GenerousBudgetChargesCatalogEncodedBytes) {
+  auto index = BuildIndex(45);
+  IndexStorageStats stats = index->StorageStats();
   CacheOptions options;
-  options.num_slots = 30;
-  options.theta = 0.5;  // wants 15 yearly cubes; none exist
+  options.byte_budget = stats.encoded_bytes * 4;  // room for everything
+  CubeCache cache(options);
+  ASSERT_TRUE(cache.Warm(index.get()).ok());
+  // Every cube fits, and each entry is charged its exact catalog-recorded
+  // encoded length — residency totals mirror StorageStats.
+  EXPECT_EQ(cache.size(), stats.total_cubes);
+  EXPECT_EQ(cache.bytes_used(), stats.encoded_bytes);
+}
+
+TEST_F(CubeCacheTest, LeftoverBytesFallToDaily) {
+  auto index = BuildIndex(60);
+  IndexStorageStats stats = index->StorageStats();
+  CacheOptions options;
+  // Budget covers the whole index, but theta hands half of it to yearly
+  // cubes — and none exist. Only if the unused yearly (and surplus
+  // weekly/monthly) bytes fall through to daily can everything load.
+  options.byte_budget = stats.encoded_bytes;
+  options.theta = 0.5;
   options.alpha = 0.2;
   options.beta = 0.2;
   options.gamma = 0.1;
   CubeCache cache(options);
   ASSERT_TRUE(cache.Warm(index.get()).ok());
-  EXPECT_EQ(cache.size(), 30u);  // filled from daily instead
+  EXPECT_EQ(cache.size(), stats.total_cubes);
 }
 
 TEST_F(CubeCacheTest, FindCountsHitsAndMisses) {
   auto index = BuildIndex(30);
+  CatalogSnapshot snapshot = index->Snapshot();
   CacheOptions options;
-  options.num_slots = 10;
+  // Exactly the 10 newest dailies fit (every daily here encodes to the
+  // same size: one 1-byte-varint cell).
+  options.byte_budget = BytesForLatest(snapshot, Level::kDaily, 10);
   options.policy = CachePolicy::kAllDaily;
   CubeCache cache(options);
   ASSERT_TRUE(cache.Warm(index.get()).ok());
@@ -81,7 +122,7 @@ TEST_F(CubeCacheTest, FindCountsHitsAndMisses) {
 TEST_F(CubeCacheTest, CachedCubesHaveCorrectContents) {
   auto index = BuildIndex(30);
   CacheOptions options;
-  options.num_slots = 5;
+  options.byte_budget = CacheOptions::BytesForCubes(5, TinySchema());
   options.policy = CachePolicy::kAllDaily;
   CubeCache cache(options);
   ASSERT_TRUE(cache.Warm(index.get()).ok());
@@ -94,7 +135,7 @@ TEST_F(CubeCacheTest, CachedCubesHaveCorrectContents) {
 TEST_F(CubeCacheTest, StaticPolicyIgnoresInsert) {
   auto index = BuildIndex(10);
   CacheOptions options;
-  options.num_slots = 2;
+  options.byte_budget = CacheOptions::BytesForCubes(2, TinySchema());
   options.policy = CachePolicy::kRasedRecency;
   CubeCache cache(options);
   ASSERT_TRUE(cache.Warm(index.get()).ok());
@@ -104,12 +145,13 @@ TEST_F(CubeCacheTest, StaticPolicyIgnoresInsert) {
   EXPECT_EQ(cache.size(), before);
 }
 
-TEST_F(CubeCacheTest, LruAdmitsAndEvicts) {
+TEST_F(CubeCacheTest, LruAdmitsAndEvictsByBytes) {
+  DataCube cube(TinySchema());
   CacheOptions options;
-  options.num_slots = 2;
+  // Room for exactly two of this cube's encoded images.
+  options.byte_budget = 2 * EncodedBytes(cube);
   options.policy = CachePolicy::kLru;
   CubeCache cache(options);
-  DataCube cube(TinySchema());
 
   CubeKey k1 = CubeKey::Daily(Date::FromYmd(2021, 1, 1));
   CubeKey k2 = CubeKey::Daily(Date::FromYmd(2021, 1, 2));
@@ -117,6 +159,7 @@ TEST_F(CubeCacheTest, LruAdmitsAndEvicts) {
   cache.Insert(k1, cube);
   cache.Insert(k2, cube);
   EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.bytes_used(), options.byte_budget);
   // Touch k1 so k2 is the LRU victim.
   EXPECT_NE(cache.Find(k1), nullptr);
   cache.Insert(k3, cube);
@@ -125,11 +168,69 @@ TEST_F(CubeCacheTest, LruAdmitsAndEvicts) {
   EXPECT_FALSE(cache.Contains(k2));
   EXPECT_TRUE(cache.Contains(k3));
   EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.bytes_used(), options.byte_budget);
+}
+
+TEST_F(CubeCacheTest, LruEvictsMultipleSmallEntriesForOneLarge) {
+  DataCube sparse(TinySchema());
+  sparse.Add(0, 0, 0, 0, 1);
+  DataCube dense(TinySchema());
+  for (uint32_t c = 0; c < TinySchema().num_cells(); ++c) {
+    dense.Add((c / 128) % 3, (c / 16) % 8, (c / 4) % 4, c % 4, 1000000 + c);
+  }
+  const uint64_t sparse_bytes = EncodedBytes(sparse);
+  const uint64_t dense_bytes = EncodedBytes(dense);
+  ASSERT_GT(dense_bytes, 3 * sparse_bytes);
+
+  CacheOptions options;
+  options.byte_budget = dense_bytes + sparse_bytes;
+  options.policy = CachePolicy::kLru;
+  CubeCache cache(options);
+  for (int i = 0; i < 4; ++i) {
+    cache.Insert(CubeKey::Daily(Date::FromYmd(2021, 1, 1 + i)),
+                 DataCube(sparse));
+  }
+  ASSERT_EQ(cache.size(), 4u);
+  // One large admission must displace as many small victims as its size
+  // requires, never overshooting the budget.
+  cache.Insert(CubeKey::Daily(Date::FromYmd(2021, 2, 1)), DataCube(dense));
+  EXPECT_TRUE(cache.Contains(CubeKey::Daily(Date::FromYmd(2021, 2, 1))));
+  EXPECT_LE(cache.bytes_used(), options.byte_budget);
+  EXPECT_LT(cache.size(), 5u);
+}
+
+TEST_F(CubeCacheTest, LruNeverAdmitsCubeLargerThanBudget) {
+  DataCube cube(TinySchema());
+  cube.Add(0, 0, 0, 0, 5);
+  CacheOptions options;
+  options.byte_budget = EncodedBytes(cube) - 1;
+  options.policy = CachePolicy::kLru;
+  CubeCache cache(options);
+  cache.Insert(CubeKey::Daily(Date::FromYmd(2021, 1, 1)), cube);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes_used(), 0u);
+}
+
+TEST_F(CubeCacheTest, SizedInsertChargesCallerBytes) {
+  CacheOptions options;
+  options.byte_budget = 1000;
+  options.policy = CachePolicy::kLru;
+  CubeCache cache(options);
+  DataCube cube(TinySchema());
+  // The sized overload trusts the caller's (catalog) length instead of
+  // re-encoding; the charge must be exactly what was passed.
+  cache.Insert(CubeKey::Daily(Date::FromYmd(2021, 1, 1)), kInvalidPageId,
+               640, DataCube(cube));
+  EXPECT_EQ(cache.bytes_used(), 640u);
+  cache.Insert(CubeKey::Daily(Date::FromYmd(2021, 1, 2)), kInvalidPageId,
+               1001, DataCube(cube));  // over budget: rejected outright
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.bytes_used(), 640u);
 }
 
 TEST_F(CubeCacheTest, MoveInsertAdmitsWithoutCopy) {
   CacheOptions options;
-  options.num_slots = 4;
+  options.byte_budget = CacheOptions::BytesForCubes(4, TinySchema());
   options.policy = CachePolicy::kLru;
   CubeCache cache(options);
 
@@ -148,7 +249,7 @@ TEST_F(CubeCacheTest, MoveInsertAdmitsWithoutCopy) {
 
 TEST_F(CubeCacheTest, MoveInsertIgnoredUnderStaticPolicies) {
   CacheOptions options;
-  options.num_slots = 4;
+  options.byte_budget = CacheOptions::BytesForCubes(4, TinySchema());
   options.policy = CachePolicy::kRasedRecency;
   CubeCache cache(options);
   EXPECT_FALSE(cache.AdmitsOnQuery());
@@ -165,7 +266,7 @@ TEST_F(CubeCacheTest, MoveInsertIgnoredUnderStaticPolicies) {
 
 TEST_F(CubeCacheTest, MoveInsertRefreshesExistingEntry) {
   CacheOptions options;
-  options.num_slots = 2;
+  options.byte_budget = CacheOptions::BytesForCubes(2, TinySchema());
   options.policy = CachePolicy::kLru;
   CubeCache cache(options);
   CubeKey key = CubeKey::Daily(Date::FromYmd(2021, 1, 1));
@@ -175,9 +276,17 @@ TEST_F(CubeCacheTest, MoveInsertRefreshesExistingEntry) {
   cache.Insert(key, std::move(v1));
   DataCube v2(TinySchema());
   v2.Add(0, 0, 0, 0, 2);
+  uint64_t v2_bytes = 0;
+  {
+    DataCube probe(TinySchema());
+    probe.Add(0, 0, 0, 0, 2);
+    v2_bytes = EncodedBytes(probe);
+  }
   cache.Insert(key, std::move(v2));
 
   EXPECT_EQ(cache.size(), 1u);
+  // A refresh replaces the old charge rather than stacking on top of it.
+  EXPECT_EQ(cache.bytes_used(), v2_bytes);
   auto found = cache.Find(key);
   ASSERT_NE(found, nullptr);
   EXPECT_EQ(found->Get(0, 0, 0, 0), 2u);
@@ -186,29 +295,48 @@ TEST_F(CubeCacheTest, MoveInsertRefreshesExistingEntry) {
 TEST_F(CubeCacheTest, LruWarmIsNoOp) {
   auto index = BuildIndex(10);
   CacheOptions options;
-  options.num_slots = 5;
+  options.byte_budget = CacheOptions::BytesForCubes(5, TinySchema());
   options.policy = CachePolicy::kLru;
   CubeCache cache(options);
   ASSERT_TRUE(cache.Warm(index.get()).ok());
   EXPECT_EQ(cache.size(), 0u);
 }
 
-TEST_F(CubeCacheTest, SlotsForBytes) {
+TEST_F(CubeCacheTest, BytesForCubes) {
   CubeSchema schema = TinySchema();
-  EXPECT_EQ(CacheOptions::SlotsForBytes(10 * schema.cube_bytes(), schema),
-            10u);
-  EXPECT_EQ(CacheOptions::SlotsForBytes(schema.cube_bytes() - 1, schema), 0u);
+  // Per-cube allotment is the dense image plus the blob header — the
+  // adaptive encoder's worst case — so N inserts always fit.
+  EXPECT_EQ(CacheOptions::BytesForCubes(10, schema),
+            10 * (schema.cube_bytes() + CubeBlobHeader::kBytes));
+  EXPECT_EQ(CacheOptions::BytesForCubes(0, schema), 0u);
 }
 
 TEST_F(CubeCacheTest, ClearEmptiesEverything) {
   auto index = BuildIndex(10);
   CacheOptions options;
-  options.num_slots = 5;
+  options.byte_budget = CacheOptions::BytesForCubes(5, TinySchema());
   CubeCache cache(options);
   ASSERT_TRUE(cache.Warm(index.get()).ok());
   EXPECT_GT(cache.size(), 0u);
+  EXPECT_GT(cache.bytes_used(), 0u);
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes_used(), 0u);
+}
+
+TEST_F(CubeCacheTest, InvalidateRangeReleasesBytes) {
+  auto index = BuildIndex(20);
+  IndexStorageStats stats = index->StorageStats();
+  CacheOptions options;
+  options.byte_budget = stats.encoded_bytes * 2;
+  CubeCache cache(options);
+  ASSERT_TRUE(cache.Warm(index.get()).ok());
+  uint64_t before = cache.bytes_used();
+  ASSERT_GT(before, 0u);
+  cache.InvalidateRange(
+      DateRange(Date::FromYmd(2021, 1, 1), Date::FromYmd(2021, 1, 10)));
+  EXPECT_LT(cache.bytes_used(), before);
+  EXPECT_EQ(cache.Find(CubeKey::Daily(Date::FromYmd(2021, 1, 5))), nullptr);
 }
 
 }  // namespace

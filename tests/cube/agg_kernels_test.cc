@@ -1,0 +1,124 @@
+#include "cube/agg_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cube/data_cube.h"
+#include "util/random.h"
+
+namespace rased {
+namespace {
+
+/// Restores the default dispatch even when an assertion fails mid-test.
+class ScopedForceScalar {
+ public:
+  ScopedForceScalar() { kernels::ForceScalarKernelsForTesting(true); }
+  ~ScopedForceScalar() { kernels::ForceScalarKernelsForTesting(false); }
+};
+
+/// Random counters including values near 2^64 so sums wrap: modulo-2^64
+/// addition is where a vector implementation could diverge if it widened
+/// or saturated, and where bit-for-bit equality is the whole contract.
+std::vector<uint64_t> RandomRun(size_t n, Rng* rng) {
+  std::vector<uint64_t> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = rng->Bernoulli(0.2) ? ~uint64_t{0} - rng->Uniform(1000)
+                               : rng->Uniform(1u << 30);
+  }
+  return v;
+}
+
+/// Lengths spanning the short-run inline path, the vector width, odd
+/// tails, and runs long enough to exercise unrolled main loops.
+constexpr size_t kLengths[] = {0,  1,  3,  4,   5,   15,  16,  17,
+                               31, 32, 33, 100, 128, 255, 1024};
+
+TEST(AggKernelsTest, SumRunMatchesScalarBitForBit) {
+  Rng rng(7);
+  const auto& active = kernels::ActiveKernels();
+  for (size_t n : kLengths) {
+    for (int trial = 0; trial < 4; ++trial) {
+      std::vector<uint64_t> run = RandomRun(n + 3, &rng);
+      // Offset by 1 so vector loads start misaligned — alignment must not
+      // matter for correctness.
+      for (size_t off : {size_t{0}, size_t{1}}) {
+        EXPECT_EQ(active.sum_run(run.data() + off, n),
+                  kernels::SumRunScalar(run.data() + off, n))
+            << "kernel=" << active.name << " n=" << n << " off=" << off;
+      }
+    }
+  }
+}
+
+TEST(AggKernelsTest, AddRunMatchesScalarBitForBit) {
+  Rng rng(11);
+  const auto& active = kernels::ActiveKernels();
+  for (size_t n : kLengths) {
+    for (int trial = 0; trial < 4; ++trial) {
+      std::vector<uint64_t> src = RandomRun(n + 1, &rng);
+      std::vector<uint64_t> dst_a = RandomRun(n + 1, &rng);
+      std::vector<uint64_t> dst_b = dst_a;
+      for (size_t off : {size_t{0}, size_t{1}}) {
+        if (n + off > src.size()) continue;
+        active.add_run(dst_a.data() + off, src.data() + off, n);
+        kernels::AddRunScalar(dst_b.data() + off, src.data() + off, n);
+        EXPECT_EQ(dst_a, dst_b)
+            << "kernel=" << active.name << " n=" << n << " off=" << off;
+        dst_a = dst_b;  // resync before the next offset
+      }
+    }
+  }
+}
+
+TEST(AggKernelsTest, ForceScalarOverridesDispatch) {
+  ScopedForceScalar force;
+  EXPECT_STREQ(kernels::ActiveKernels().name, "scalar");
+  EXPECT_FALSE(kernels::Avx2Active());
+}
+
+TEST(AggKernelsTest, Avx2ActiveImpliesCompiledIn) {
+  if (kernels::Avx2Active()) {
+    EXPECT_TRUE(kernels::Avx2CompiledIn());
+    EXPECT_STREQ(kernels::ActiveKernels().name, "avx2");
+  }
+}
+
+// End-to-end cross-check through the public aggregation surface: a dense
+// group-by over a random cube must produce identical accumulators under
+// the dispatched kernels and the forced-scalar reference.
+TEST(AggKernelsTest, SumSliceIntoIdenticalUnderBothDispatches) {
+  CubeSchema schema{3, 8, 16, 4};  // road_type plane wide enough to vectorize
+  Rng rng(13);
+  DataCube cube(schema);
+  for (int i = 0; i < 2000; ++i) {
+    cube.Add(static_cast<uint32_t>(rng.Uniform(schema.num_element_types)),
+             static_cast<uint32_t>(rng.Uniform(schema.num_countries)),
+             static_cast<uint32_t>(rng.Uniform(schema.num_road_types)),
+             static_cast<uint32_t>(rng.Uniform(schema.num_update_types)),
+             rng.Uniform(1u << 20) + 1);
+  }
+
+  CubeSlice slice;
+  for (int mask = 0; mask < 16; ++mask) {
+    GroupBySpec spec;
+    spec.element_type = (mask & 1) != 0;
+    spec.country = (mask & 2) != 0;
+    spec.road_type = (mask & 4) != 0;
+    spec.update_type = (mask & 8) != 0;
+    const size_t slots = GroupAccumulatorSize(schema, spec);
+
+    std::vector<uint64_t> dispatched(slots, 0);
+    cube.SumSliceInto(slice, spec, dispatched.data());
+
+    std::vector<uint64_t> scalar(slots, 0);
+    {
+      ScopedForceScalar force;
+      cube.SumSliceInto(slice, spec, scalar.data());
+    }
+    EXPECT_EQ(dispatched, scalar) << "group-by mask=" << mask;
+  }
+}
+
+}  // namespace
+}  // namespace rased

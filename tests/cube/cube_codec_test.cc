@@ -1,0 +1,278 @@
+#include "cube/cube_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "cube/data_cube.h"
+#include "util/random.h"
+
+namespace rased {
+namespace {
+
+CubeSchema TinySchema() { return CubeSchema{3, 8, 4, 4}; }  // 384 cells
+
+/// Fills ~density * num_cells cells with random small counts.
+DataCube RandomCube(const CubeSchema& schema, double density, uint64_t seed) {
+  Rng rng(seed);
+  DataCube cube(schema);
+  for (uint32_t et = 0; et < schema.num_element_types; ++et) {
+    for (uint32_t co = 0; co < schema.num_countries; ++co) {
+      for (uint32_t rt = 0; rt < schema.num_road_types; ++rt) {
+        for (uint32_t ut = 0; ut < schema.num_update_types; ++ut) {
+          if (rng.Bernoulli(density)) {
+            cube.Add(et, co, rt, ut, rng.Uniform(1000) + 1);
+          }
+        }
+      }
+    }
+  }
+  return cube;
+}
+
+void PutVarint(std::vector<unsigned char>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<unsigned char>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<unsigned char>(v));
+}
+
+/// The densities the adaptive encoder must round-trip: empty, deep-sparse,
+/// at the sparse/delta threshold, mid, and fully dense.
+constexpr double kDensities[] = {0.0, 0.01, 0.05, 0.10, 0.30, 0.70, 1.0};
+
+TEST(CubeCodecTest, RoundTripAllDensities) {
+  const CubeSchema schema = TinySchema();
+  for (double density : kDensities) {
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      DataCube cube = RandomCube(schema, density, seed);
+      EncodedCube encoded = EncodedCube::Encode(cube);
+      auto decoded = encoded.Decode();
+      ASSERT_TRUE(decoded.ok())
+          << CubeEncodingName(encoded.encoding()) << " density=" << density
+          << ": " << decoded.status().ToString();
+      EXPECT_EQ(decoded.value(), cube)
+          << CubeEncodingName(encoded.encoding()) << " density=" << density;
+      // Adaptive never beats itself with a bigger-than-dense body.
+      EXPECT_LE(encoded.body_bytes(), schema.cube_bytes());
+    }
+  }
+}
+
+TEST(CubeCodecTest, AllZeroCubeEncodesTiny) {
+  DataCube cube(TinySchema());
+  EncodedCube encoded = EncodedCube::Encode(cube);
+  EXPECT_EQ(encoded.encoding(), CubeEncoding::kSparseCoo);
+  EXPECT_EQ(encoded.body_bytes(), 1u);  // varint nnz = 0
+  auto decoded = encoded.Decode();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), cube);
+}
+
+TEST(CubeCodecTest, FullyDenseCubeStillRoundTrips) {
+  DataCube cube = RandomCube(TinySchema(), 1.0, 99);
+  EncodedCube encoded = EncodedCube::Encode(cube);
+  EXPECT_NE(encoded.encoding(), CubeEncoding::kSparseCoo);
+  auto decoded = encoded.Decode();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), cube);
+}
+
+TEST(CubeCodecTest, ForceDensePolicyIsDenseRaw) {
+  DataCube cube = RandomCube(TinySchema(), 0.02, 7);
+  EncodedCube encoded =
+      EncodedCube::Encode(cube, CubeEncodingPolicy::kForceDense);
+  EXPECT_EQ(encoded.encoding(), CubeEncoding::kDenseRaw);
+  EXPECT_EQ(encoded.body_bytes(), TinySchema().cube_bytes());
+  auto decoded = encoded.Decode();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), cube);
+}
+
+TEST(CubeCodecTest, SparseChosenBelowThresholdDeltaAbove) {
+  EXPECT_EQ(EncodedCube::Encode(RandomCube(TinySchema(), 0.03, 3)).encoding(),
+            CubeEncoding::kSparseCoo);
+  EncodedCube dense_side = EncodedCube::Encode(RandomCube(TinySchema(), 0.9, 3));
+  EXPECT_TRUE(dense_side.encoding() == CubeEncoding::kDeltaVarint ||
+              dense_side.encoding() == CubeEncoding::kDenseRaw);
+}
+
+TEST(CubeCodecTest, SerializeToWritesParsableHeader) {
+  DataCube cube = RandomCube(TinySchema(), 0.05, 11);
+  EncodedCube encoded = EncodedCube::Encode(cube);
+  std::vector<unsigned char> blob(encoded.SerializedBytes());
+  encoded.SerializeTo(blob.data());
+
+  auto header = CubeBlobHeader::Parse(blob.data(), blob.size());
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header.value().encoding, encoded.encoding());
+  EXPECT_EQ(header.value().body_bytes, encoded.body_bytes());
+
+  auto decoded = DecodeEncodedCube(TinySchema(), header.value().encoding,
+                                   blob.data() + CubeBlobHeader::kBytes,
+                                   header.value().body_bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), cube);
+}
+
+TEST(CubeCodecTest, HeaderRejectsBadMagicVersionReserved) {
+  EncodedCube encoded = EncodedCube::Encode(RandomCube(TinySchema(), 0.05, 2));
+  std::vector<unsigned char> blob(encoded.SerializedBytes());
+  encoded.SerializeTo(blob.data());
+
+  std::vector<unsigned char> bad = blob;
+  bad[0] ^= 0xFF;  // magic
+  EXPECT_FALSE(CubeBlobHeader::Parse(bad.data(), bad.size()).ok());
+
+  bad = blob;
+  bad[4] = 0x7F;  // version
+  EXPECT_FALSE(CubeBlobHeader::Parse(bad.data(), bad.size()).ok());
+
+  bad = blob;
+  bad[7] = 1;  // reserved must be zero
+  EXPECT_FALSE(CubeBlobHeader::Parse(bad.data(), bad.size()).ok());
+
+  // Truncated header.
+  EXPECT_FALSE(
+      CubeBlobHeader::Parse(blob.data(), CubeBlobHeader::kBytes - 1).ok());
+}
+
+TEST(CubeCodecTest, TruncatedBodyIsCorruptionNotUb) {
+  const CubeSchema schema = TinySchema();
+  for (double density : {0.05, 0.5}) {
+    DataCube cube = RandomCube(schema, density, 17);
+    EncodedCube encoded = EncodedCube::Encode(cube);
+    // Every proper prefix must fail cleanly (truncated varint / short body).
+    for (size_t cut : {size_t{0}, size_t{1}, encoded.body_bytes() / 2,
+                       encoded.body_bytes() - 1}) {
+      if (cut >= encoded.body_bytes()) continue;
+      auto decoded =
+          DecodeEncodedCube(schema, encoded.encoding(), encoded.body(), cut);
+      EXPECT_FALSE(decoded.ok()) << "cut=" << cut << " density=" << density;
+    }
+  }
+}
+
+TEST(CubeCodecTest, TrailingBytesAreCorruption) {
+  const CubeSchema schema = TinySchema();
+  EncodedCube encoded = EncodedCube::Encode(RandomCube(schema, 0.05, 23));
+  std::vector<unsigned char> body(encoded.body(),
+                                  encoded.body() + encoded.body_bytes());
+  body.push_back(0);
+  auto decoded =
+      DecodeEncodedCube(schema, encoded.encoding(), body.data(), body.size());
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(CubeCodecTest, OutOfRangeCoordinateIsCorruption) {
+  const CubeSchema schema = TinySchema();
+  // nnz = 1, first coordinate = num_cells (one past the last valid cell).
+  std::vector<unsigned char> body;
+  PutVarint(&body, 1);
+  PutVarint(&body, schema.num_cells());
+  PutVarint(&body, 42);
+  auto decoded = DecodeEncodedCube(schema, CubeEncoding::kSparseCoo,
+                                   body.data(), body.size());
+  EXPECT_FALSE(decoded.ok());
+
+  // Second coordinate walks past the end via its gap.
+  body.clear();
+  PutVarint(&body, 2);
+  PutVarint(&body, schema.num_cells() - 1);  // last valid cell
+  PutVarint(&body, 1);
+  PutVarint(&body, 0);  // next index = num_cells — out of range
+  PutVarint(&body, 1);
+  decoded = DecodeEncodedCube(schema, CubeEncoding::kSparseCoo, body.data(),
+                              body.size());
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(CubeCodecTest, OverlongVarintIsCorruption) {
+  const CubeSchema schema = TinySchema();
+  // 11 continuation bytes — more than any 64-bit varint may span.
+  std::vector<unsigned char> body(11, 0x80);
+  auto decoded = DecodeEncodedCube(schema, CubeEncoding::kSparseCoo,
+                                   body.data(), body.size());
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(CubeCodecTest, CorruptBodyFailsAccumulateToo) {
+  const CubeSchema schema = TinySchema();
+  EncodedCube encoded = EncodedCube::Encode(RandomCube(schema, 0.05, 31));
+  CubeSlice slice;
+  GroupBySpec spec;
+  spec.country = true;
+  std::vector<uint64_t> acc(GroupAccumulatorSize(schema, spec), 0);
+  Status st =
+      AccumulateEncodedSlice(schema, encoded.encoding(), encoded.body(),
+                             encoded.body_bytes() - 1, slice, spec, acc.data());
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(CubeCodecTest, AccumulateSliceMatchesDenseKernel) {
+  const CubeSchema schema = TinySchema();
+  Rng rng(123);
+  for (double density : kDensities) {
+    DataCube cube = RandomCube(schema, density, 1000 + rng.Uniform(1 << 20));
+    EncodedCube encoded = EncodedCube::Encode(cube);
+    for (int trial = 0; trial < 8; ++trial) {
+      CubeSlice slice;
+      if (rng.Bernoulli(0.5)) slice.countries = {0, 3, 5};
+      if (rng.Bernoulli(0.5)) slice.road_types = {1, 2};
+      if (rng.Bernoulli(0.3)) slice.update_types = {0};
+      slice.Normalize();
+      GroupBySpec spec;
+      spec.element_type = rng.Bernoulli(0.5);
+      spec.country = rng.Bernoulli(0.5);
+      spec.road_type = rng.Bernoulli(0.5);
+      spec.update_type = rng.Bernoulli(0.5);
+
+      const size_t slots = GroupAccumulatorSize(schema, spec);
+      std::vector<uint64_t> want(slots, 0);
+      cube.SumSliceInto(slice, spec, want.data());
+      std::vector<uint64_t> got(slots, 0);
+      ASSERT_TRUE(encoded.AccumulateSlice(slice, spec, got.data()).ok());
+      EXPECT_EQ(got, want) << CubeEncodingName(encoded.encoding())
+                           << " density=" << density << " trial=" << trial;
+    }
+  }
+}
+
+TEST(CubeCodecTest, BatchBindRejectsCatalogMismatch) {
+  const CubeSchema schema = TinySchema();
+  EncodedCube encoded = EncodedCube::Encode(RandomCube(schema, 0.05, 41));
+  const size_t blob_bytes = encoded.SerializedBytes();
+  // Arena padded to an 8-byte multiple, as the pager guarantees.
+  EncodedCubeBatch batch(schema, 1, (blob_bytes + 7) & ~size_t{7});
+  encoded.SerializeTo(batch.arena());
+
+  // Catalog disagreeing with the on-page header must be Corruption.
+  EXPECT_FALSE(
+      batch.BindEncoded(0, 0, blob_bytes, CubeEncoding::kDeltaVarint).ok());
+  EXPECT_FALSE(
+      batch.BindEncoded(0, 0, blob_bytes + 1, encoded.encoding()).ok());
+
+  // The matching bind succeeds and decodes.
+  ASSERT_TRUE(batch.BindEncoded(0, 0, blob_bytes, encoded.encoding()).ok());
+  EXPECT_EQ(batch.encoding(0), encoded.encoding());
+  auto decoded = batch.Decode(0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), encoded.Decode().value());
+}
+
+TEST(CubeCodecTest, BatchLegacyDenseBindReadsRawImage) {
+  const CubeSchema schema = TinySchema();
+  DataCube cube = RandomCube(schema, 0.2, 43);
+  EncodedCubeBatch batch(schema, 1, schema.cube_bytes());
+  cube.SerializeTo(batch.arena());
+  ASSERT_TRUE(batch.BindLegacyDense(0, 0).ok());
+  EXPECT_EQ(batch.encoding(0), CubeEncoding::kDenseRaw);
+  auto decoded = batch.Decode(0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), cube);
+}
+
+}  // namespace
+}  // namespace rased

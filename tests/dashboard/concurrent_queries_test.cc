@@ -161,7 +161,9 @@ TEST_F(ConcurrentQueriesTest, ConcurrentIdenticalQueriesAgree) {
 // a dangling cube. This is the cache's documented threading contract.
 TEST_F(ConcurrentQueriesTest, CubeCacheParallelFindInsertInvalidate) {
   CacheOptions options;
-  options.num_slots = 4;  // tiny, to force constant eviction
+  // Tiny budget — room for only a few sparse-encoded one-cell cubes — to
+  // force constant eviction.
+  options.byte_budget = 100;
   options.policy = CachePolicy::kLru;
   CubeCache cache(options);
   CubeSchema schema = CubeSchema::BenchScale();
@@ -200,7 +202,7 @@ TEST_F(ConcurrentQueriesTest, CubeCacheParallelFindInsertInvalidate) {
   EXPECT_FALSE(failed.load());
   CacheStats stats = cache.stats();
   EXPECT_GT(stats.hits + stats.misses, 0u);
-  EXPECT_LE(cache.size(), options.num_slots);
+  EXPECT_LE(cache.bytes_used(), options.byte_budget);
 }
 
 // Index metadata lookups are internally synchronized; hammer them while a

@@ -234,10 +234,15 @@ TEST_F(DashboardMetricsTest, MalformedRequestLineIsCounted) {
 // leave the registries with bit-identical device-model deltas.
 TEST(DashboardMetricsDeterminismTest, DeviceMetricsMatchSerialRunExactly) {
   TempDir dir("metrics-determinism-test");
+  // A 4 KiB cache budget keeps most of the (compressed) workload on disk
+  // so the device model is actually exercised below.
+  constexpr uint64_t kTinyBudget = 4096;
   std::unique_ptr<Rased> serial = testing_helpers::MakePopulatedRased(
-      env::JoinPath(dir.path(), "serial"));
+      env::JoinPath(dir.path(), "serial"), Date::FromYmd(2021, 1, 1),
+      Date::FromYmd(2021, 2, 28), 40.0, kTinyBudget);
   std::unique_ptr<Rased> concurrent = testing_helpers::MakePopulatedRased(
-      env::JoinPath(dir.path(), "concurrent"));
+      env::JoinPath(dir.path(), "concurrent"), Date::FromYmd(2021, 1, 1),
+      Date::FromYmd(2021, 2, 28), 40.0, kTinyBudget);
   ASSERT_NE(serial, nullptr);
   ASSERT_NE(concurrent, nullptr);
 

@@ -132,7 +132,8 @@ TEST_F(EndToEndTest, MonthlyRebuildInvalidatesWarmCache) {
   options.dir = env::JoinPath(dir_.path(), "cache-invalidation");
   options.schema = CubeSchema::BenchScale();
   options.enable_warehouse = false;
-  options.cache.num_slots = 16;
+  options.cache.byte_budget =
+      CacheOptions::BytesForCubes(16, options.schema);
   auto rased = Rased::Create(options);
   ASSERT_TRUE(rased.ok());
 
@@ -256,7 +257,8 @@ TEST_F(EndToEndTest, ReopenedSystemServesQueries) {
   RasedOptions options;
   options.dir = dir;
   options.schema = CubeSchema::BenchScale();
-  options.cache.num_slots = 32;
+  options.cache.byte_budget =
+      CacheOptions::BytesForCubes(32, options.schema);
   auto reopened = Rased::Open(options);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   ASSERT_TRUE(reopened.value()->WarmCache().ok());

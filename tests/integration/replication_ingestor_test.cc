@@ -16,7 +16,8 @@ class ReplicationIngestorTest : public ::testing::Test {
     RasedOptions options;
     options.dir = env::JoinPath(dir_.path(), "rased");
     options.schema = CubeSchema::BenchScale();
-    options.cache.num_slots = 8;
+    options.cache.byte_budget =
+        CacheOptions::BytesForCubes(8, options.schema);
     auto rased = Rased::Create(options);
     ASSERT_TRUE(rased.ok());
     rased_ = std::move(rased).value();

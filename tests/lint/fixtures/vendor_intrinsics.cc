@@ -1,0 +1,27 @@
+// RL013 fixture: vendor SIMD intrinsics outside the AVX2 kernel TU.
+// Both the include and every _mm*/__m* use must be flagged; the portable
+// dispatch-table call must not be.
+
+#include <immintrin.h>  // WANT[RL013]
+
+#include <cstdint>
+
+#include "cube/agg_kernels.h"
+
+namespace rased {
+
+uint64_t BadVectorSum(const uint64_t* p) {
+  __m256i acc = _mm256_loadu_si256(          // WANT[RL013] WANT[RL013]
+      reinterpret_cast<const __m256i*>(p));  // WANT[RL013]
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),  // WANT[RL013] WANT[RL013]
+                     acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+uint64_t GoodPortableSum(const uint64_t* p, size_t n) {
+  // The dispatch table resolves to AVX2 at runtime when available.
+  return kernels::SumRun(p, n);
+}
+
+}  // namespace rased

@@ -112,6 +112,18 @@ TEST(RasedLintTest, SnapshotMember) {
   ExpectMatchesMarkers("snapshot_member.h");
 }
 
+TEST(RasedLintTest, VendorIntrinsics) {
+  ExpectMatchesMarkers("vendor_intrinsics.cc");
+}
+
+// The one legitimate home of intrinsics is exempt by exact path.
+TEST(RasedLintTest, VendorIntrinsicsAllowedInKernelTu) {
+  std::string contents = ReadFixture("vendor_intrinsics.cc");
+  EXPECT_TRUE(LintFile("agg_kernels_avx2.cc", "src/cube/agg_kernels_avx2.cc",
+                       contents)
+                  .empty());
+}
+
 TEST(RasedLintTest, ValidNolintSuppresses) {
   LintStats stats;
   EXPECT_TRUE(Lint("suppressed.cc", &stats).empty());
@@ -145,7 +157,7 @@ TEST(RasedLintTest, RuleTableIsOrderedAndUnique) {
     EXPECT_LT(prev, rule.id);
     prev = rule.id;
   }
-  EXPECT_EQ(ids.size(), 12u);
+  EXPECT_EQ(ids.size(), 13u);
 }
 
 }  // namespace

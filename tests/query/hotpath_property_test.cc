@@ -155,8 +155,10 @@ TEST_F(HotpathIndexTest, BatchedReadCubesMatchesSerialBitForBit) {
     for (size_t i = 0; i < keys.size(); ++i) {
       auto serial = index_->ReadCube(keys[i], &serial_io);
       ASSERT_TRUE(serial.ok());
-      // Byte-identical cube content, zero-copy view included.
-      ASSERT_EQ(batch.value().Materialize(i), serial.value())
+      // Identical cube content after decoding the batch slot.
+      auto decoded = batch.value().Decode(i);
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      ASSERT_EQ(decoded.value(), serial.value())
           << "trial " << trial << " cube " << i;
     }
 
@@ -297,7 +299,7 @@ TEST_F(HotpathIndexTest, ConcurrentQueriesReproduceSerialAccounting) {
   // reads included. Run under TSan in CI.
   WorldMap world(schema_.num_countries);
   CacheOptions cache_options;
-  cache_options.num_slots = 8;
+  cache_options.byte_budget = CacheOptions::BytesForCubes(8, schema_);
   cache_options.policy = CachePolicy::kRasedRecency;
   CubeCache cache(cache_options);
   ASSERT_TRUE(cache.Warm(index_.get()).ok());

@@ -83,7 +83,7 @@ TEST_F(LevelOptimizerTest, CacheChangesTheOptimalPlan) {
   // Section VII-B continued: if the last ~60 daily cubes are cached and
   // nothing else is, the all-daily plan has zero disk reads and wins.
   CacheOptions cache_options;
-  cache_options.num_slots = 60;
+  cache_options.byte_budget = CacheOptions::BytesForCubes(60, TinySchema());
   cache_options.policy = CachePolicy::kAllDaily;
   CubeCache cache(cache_options);
   ASSERT_TRUE(cache.Warm(index_.get()).ok());
@@ -163,7 +163,7 @@ TEST_F(LevelOptimizerTest, CachedCoarseCubeBeatsUncachedFine) {
   // Cache only the January monthly cube; a Jan 1-31 plan must use it even
   // though 31 cached dailies would also be "free" if they were cached.
   CacheOptions cache_options;
-  cache_options.num_slots = 1;
+  cache_options.byte_budget = CacheOptions::BytesForCubes(1, TinySchema());
   cache_options.policy = CachePolicy::kRasedRecency;
   cache_options.alpha = 0.0;
   cache_options.beta = 0.0;

@@ -229,7 +229,7 @@ TEST_F(QueryExecutorTest, PercentageRequiresCountryGrouping) {
 
 TEST_F(QueryExecutorTest, CacheHitsAvoidDiskReads) {
   CacheOptions cache_options;
-  cache_options.num_slots = 64;
+  cache_options.byte_budget = CacheOptions::BytesForCubes(64, schema_);
   cache_options.policy = CachePolicy::kAllDaily;
   CubeCache cache(cache_options);
   ASSERT_TRUE(cache.Warm(index_.get()).ok());

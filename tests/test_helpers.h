@@ -14,15 +14,22 @@ namespace testing_helpers {
 /// Builds a small but fully populated Rased instance: bench-scale schema,
 /// two months of synthetic history ingested through the real daily
 /// pipeline (records + warehouse), cache warmed.
+/// `cache_budget` overrides the cache byte budget; 0 keeps the generous
+/// default (32 dense cubes — with adaptive compression that typically
+/// holds the entire two-month workload). Tests that need the device model
+/// exercised pass a small budget so part of the workload stays on disk.
 inline std::unique_ptr<Rased> MakePopulatedRased(
     const std::string& dir, Date first = Date::FromYmd(2021, 1, 1),
-    Date last = Date::FromYmd(2021, 2, 28), double base_rate = 40.0) {
+    Date last = Date::FromYmd(2021, 2, 28), double base_rate = 40.0,
+    uint64_t cache_budget = 0) {
   RasedOptions options;
   options.dir = dir;
   options.schema = CubeSchema::BenchScale();
   options.num_levels = 4;
   options.device = DeviceModel{100, 100, 0.0};
-  options.cache.num_slots = 32;
+  options.cache.byte_budget =
+      cache_budget != 0 ? cache_budget
+                        : CacheOptions::BytesForCubes(32, options.schema);
   auto rased = Rased::Create(options);
   if (!rased.ok()) return nullptr;
 

@@ -15,13 +15,18 @@
 #      makespan within 10% of the no-ingest baseline while days publish,
 #      ingest within 25% of the exclusive baseline; emits the
 #      BENCH_mvcc_ingest.json trajectory at the repo root; never skips)
-#   9. metrics smoke: boots a tiny synthetic instance, asserts the
+#   9. bench_cube_compression --quick (adaptive-encoding smoke gate:
+#      bit-identical rows dense-vs-adaptive / batched-vs-serial /
+#      scalar-vs-AVX2, >= 3x bytes_read and page_reads reduction, warm
+#      makespan within 10% of dense; emits the BENCH_cube_compression.json
+#      trajectory at the repo root; never skips)
+#  10. metrics smoke: boots a tiny synthetic instance, asserts the
 #      Prometheus exposition (rased metrics + live GET /metrics) covers
 #      every serving-path family and /api/trace returns spans, and
-#      appends a "metrics_snapshot" line to BENCH_query_hotpath.json
-#  10. ASan+UBSan build + full ctest (deadlock detector enabled)
-#  11. TSan build + concurrency-focused ctest (dashboard/cache/collect/
-#      index/warehouse/hotpath/observability suites)
+#      writes a "metrics_snapshot" line to BENCH_metrics_smoke.json
+#  11. ASan+UBSan build + full ctest (deadlock detector enabled)
+#  12. TSan build + concurrency-focused ctest (dashboard/cache/collect/
+#      index/warehouse/hotpath/codec/kernel/observability suites)
 #
 # Exit code 0 means every stage that could run passed. Stages whose tool
 # is missing are reported as SKIP, not failure, so the script works both
@@ -183,13 +188,37 @@ else
   fail "bench_ingest_vs_query not built (plain build failed?)"
 fi
 
+# ------------------------------------------------ cube compression smoke --
+# Quick mode of the adaptive-compression bench: twin indexes (forced-dense
+# vs adaptive) over identical data, identical page geometry. The bench
+# asserts bit-identical rows across dense/adaptive, batched/serial and
+# scalar/AVX2 paths, >= 3x reduction in both bytes_read and page_reads,
+# and a warm-cache makespan within 10% of dense. The storage encodings
+# are load-bearing for every byte budget in the system, so this gate
+# never skips: a missing binary is a failure, not a SKIP.
+note "bench_cube_compression --quick"
+if [ -x "${PREFIX}-plain/bench/bench_cube_compression" ]; then
+  COMPRESSION_OUT="$("${PREFIX}-plain/bench/bench_cube_compression" --quick \
+      "bench_dir=${PREFIX}-plain/bench/compression_bench_data")"
+  if [ $? -eq 0 ]; then
+    printf '%s\n' "${COMPRESSION_OUT}" \
+      | grep '"bench":"cube_compression"' > BENCH_cube_compression.json
+    pass "bench_cube_compression --quick (trajectory in BENCH_cube_compression.json)"
+  else
+    fail "bench_cube_compression --quick"
+  fi
+else
+  fail "bench_cube_compression not built (plain build failed?)"
+fi
+
 # ----------------------------------------------------------- metrics smoke --
 # End-to-end observability gate: build a tiny synthetic instance with the
 # CLI, then require that (a) `rased metrics probe=1` exposes every
 # serving-path metric family, (b) the live dashboard serves the same
 # exposition plus the HTTP families on GET /metrics, and (c) GET
 # /api/trace returns per-span traces. A "metrics_snapshot" JSON line from
-# the probe run is appended to the BENCH_query_hotpath.json trajectory.
+# the probe run becomes the BENCH_metrics_smoke.json trajectory — its own
+# file, so the query-hotpath trajectory stays a pure bench series.
 note "metrics smoke (rased metrics + GET /metrics + GET /api/trace)"
 RASED_BIN="${PREFIX}-plain/tools/rased"
 if [ -x "${RASED_BIN}" ]; then
@@ -235,8 +264,8 @@ if [ -x "${RASED_BIN}" ]; then
                       "\"queries_total\":%d,\"cache_hits\":%d," \
                       "\"cache_misses\":%d,\"cube_reads\":%d," \
                       "\"index_read_ops\":%d}\n", q, h, m, c, r }' \
-      "${METRICS_TXT}" >> BENCH_query_hotpath.json
-    pass "metrics smoke: rased metrics (snapshot in BENCH_query_hotpath.json)"
+      "${METRICS_TXT}" > BENCH_metrics_smoke.json
+    pass "metrics smoke: rased metrics (snapshot in BENCH_metrics_smoke.json)"
   fi
   if [ "${SMOKE_OK}" -eq 1 ] && command -v curl >/dev/null 2>&1; then
     SERVE_LOG="${SMOKE_DIR}/serve.log"
@@ -293,7 +322,7 @@ run_matrix_entry "asan+ubsan" "${PREFIX}-asan" "" \
 # observability suites (registry hammer, trace ring, /metrics endpoint);
 # a race anywhere in them must surface here.
 run_matrix_entry "tsan" "${PREFIX}-tsan" \
-  "-R (Dashboard|Concurrent|HttpServer|CubeCache|Replication|TemporalIndex|Warehouse|Hotpath|Ingest|Metrics|Trace)" \
+  "-R (Dashboard|Concurrent|HttpServer|CubeCache|CubeCodec|AggKernels|LegacyFormat|Replication|TemporalIndex|Warehouse|Hotpath|Ingest|Compression|Metrics|Trace)" \
   "-DRASED_SANITIZE=thread"
 
 # ----------------------------------------------------------------- gate ---

@@ -49,6 +49,10 @@ const std::vector<RuleInfo> kRules = {
     {"RL012", "snapshot-member",
      "CatalogSnapshot / CatalogVersion stored in a member field; snapshots "
      "are per-operation pins — hold them as locals so retired epochs drain"},
+    {"RL013", "vendor-intrinsics",
+     "vendor SIMD intrinsics (immintrin.h, _mm*/__m* identifiers) outside "
+     "src/cube/agg_kernels_avx2.cc; keep intrinsics behind the kernel "
+     "dispatch table (cube/agg_kernels.h)"},
 };
 
 const RuleInfo& Rule(const char* id) {
@@ -816,6 +820,49 @@ void CheckSnapshotMember(Ctx* ctx) {
   });
 }
 
+// --------------------------------------------------------------------------
+// RL013 vendor-intrinsics
+// --------------------------------------------------------------------------
+
+/// Vendor SIMD intrinsics are confined to the one translation unit built
+/// with -mavx2 (src/cube/agg_kernels_avx2.cc). Anywhere else they either
+/// fail to compile (no -mavx2) or — worse — compile into code that traps
+/// on CPUs without the extension, bypassing the runtime dispatch in
+/// cube/agg_kernels.h. Portable code calls kernels::SumRun/AddRun and
+/// lets the kernel table pick the implementation.
+void CheckVendorIntrinsics(Ctx* ctx) {
+  if (ctx->InRepo("src/cube/agg_kernels_avx2.cc")) return;
+
+  static const std::vector<std::string> kIntrinsicHeaders = {
+      "immintrin.h", "x86intrin.h", "emmintrin.h", "xmmintrin.h",
+      "smmintrin.h", "tmmintrin.h", "nmmintrin.h", "pmmintrin.h",
+      "wmmintrin.h", "ammintrin.h", "avxintrin.h", "avx2intrin.h",
+      "arm_neon.h",  "arm_sve.h"};
+  for (const Token& tok : ctx->directives) {
+    if (tok.text.rfind("#include", 0) != 0) continue;
+    for (const std::string& header : kIntrinsicHeaders) {
+      if (tok.text.find(header) != std::string::npos) {
+        ctx->Emit(tok.line, "RL013",
+                  "include of vendor intrinsics header <" + header +
+                      "> outside the AVX2 kernel translation unit");
+      }
+    }
+  }
+
+  for (const Token& tok : ctx->code) {
+    if (tok.kind != TokKind::kIdent) continue;
+    // _mm_/_mm256_/_mm512_ intrinsic calls and __m128/__m256/__m512
+    // vector types (any suffix: __m256i, __m512d, ...).
+    if (tok.text.rfind("_mm", 0) == 0 || tok.text.rfind("__m128", 0) == 0 ||
+        tok.text.rfind("__m256", 0) == 0 || tok.text.rfind("__m512", 0) == 0) {
+      ctx->Emit(tok.line, "RL013",
+                "vendor intrinsic '" + tok.text +
+                    "' outside the AVX2 kernel translation unit; use the "
+                    "kernels:: dispatch table");
+    }
+  }
+}
+
 }  // namespace
 
 // --------------------------------------------------------------------------
@@ -849,6 +896,7 @@ std::vector<Finding> LintFile(const std::string& display_path,
   CheckIncludeOrder(&ctx);
   CheckHeaderGuard(&ctx);
   CheckSnapshotMember(&ctx);
+  CheckVendorIntrinsics(&ctx);
   std::sort(ctx.findings.begin(), ctx.findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;
