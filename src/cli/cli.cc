@@ -1,5 +1,12 @@
 #include "cli/cli.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -10,6 +17,8 @@
 #include "dashboard/dashboard_service.h"
 #include "dashboard/render.h"
 #include "io/env.h"
+#include "obs/request_context.h"
+#include "obs/slo.h"
 #include "query/sql_parser.h"
 #include "synth/update_generator.h"
 #include "util/clock.h"
@@ -58,6 +67,9 @@ commands:
                   first so the query/cache/pager series carry real traffic)
   serve         start the web dashboard
                   dir=DIR [port=N] [serve_seconds=N (0 = forever)]
+  top           live self-monitoring view against a running dashboard
+                  port=N [host=127.0.0.1] [window=SEC] [interval=SEC]
+                  [iterations=N (0 = forever; 1 prints one frame and exits)]
   help          show this message
 )";
 
@@ -260,6 +272,9 @@ HttpRequest RequestFromConfig(const Config& config) {
 int CmdQuery(const Config& config) {
   auto rased = OpenInstance(config, /*warm_cache=*/true);
   if (!rased.ok()) return Fail(rased.status());
+  // A CLI run mints a trace id like a dashboard request would, so LOG()
+  // lines emitted during execution and the trace-ring entry correlate.
+  ScopedRequestContext request_scope(MintTraceId());
   DashboardService service(rased.value().get());  // parser reuse; not started
 
   // Queries may be given as key=value filters or as the paper's SQL.
@@ -302,6 +317,7 @@ int CmdQuery(const Config& config) {
   const int64_t render_micros = NowMicros() - t_render;
   const QueryStats& stats = result.value().stats;
   QueryTrace trace;
+  trace.trace_id = CurrentTraceId();
   trace.summary = query.value().ToString();
   trace.wall_micros = stats.cpu_micros + render_micros;
   trace.device_micros = stats.io.simulated_device_micros;
@@ -419,6 +435,365 @@ int CmdMetrics(const Config& config) {
   return 0;
 }
 
+// ---- rased top ------------------------------------------------------------
+
+/// One series out of /api/selfstats?format=tsv. The producer is
+/// dashboard_service.cc RenderSelfstatsTsv; the shapes must stay in sync.
+struct TopSeries {
+  std::string name;
+  std::string labels;  // "" or {k="v",...}, keys sorted
+  std::string type;    // "counter" | "gauge" | "histogram"
+  std::vector<int64_t> bounds;
+  struct Point {
+    int64_t t_micros = 0;
+    std::vector<uint64_t> values;
+  };
+  std::vector<Point> points;
+};
+
+struct TopSnapshot {
+  int64_t now_micros = 0;
+  int64_t interval_micros = 0;
+  uint64_t samples = 0;
+  uint64_t samples_total = 0;
+  uint64_t resident_bytes = 0;
+  uint64_t byte_budget = 0;
+  uint64_t cost_micros_total = 0;
+  std::vector<TopSeries> series;
+};
+
+/// Minimal HTTP/1.1 GET against the dashboard; returns the body after
+/// asserting a 200 status line.
+Result<std::string> HttpGetBody(const std::string& host, int port,
+                                const std::string& target) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket() failed");
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("host must be an IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IOError(
+        StrFormat("connect to %s:%d failed", host.c_str(), port));
+  }
+  const std::string request =
+      StrFormat("GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n",
+                target.c_str(), host.c_str());
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::IOError("send() failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      ::close(fd);
+      return Status::IOError("recv() failed");
+    }
+    if (n == 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (response.rfind("HTTP/1.1 200", 0) != 0) {
+    const size_t line_end = response.find("\r\n");
+    return Status::IOError("GET " + target + ": " +
+                           response.substr(0, line_end));
+  }
+  const size_t body = response.find("\r\n\r\n");
+  if (body == std::string::npos) {
+    return Status::Corruption("malformed HTTP response (no blank line)");
+  }
+  return response.substr(body + 4);
+}
+
+Result<TopSnapshot> ParseSelfstatsTsv(const std::string& body) {
+  TopSnapshot snap;
+  const std::vector<std::string> lines = Split(body, '\n');
+  if (lines.empty() || lines[0].rfind("#selfstats", 0) != 0) {
+    return Status::Corruption("selfstats: missing #selfstats meta line");
+  }
+  for (const std::string& token : Split(lines[0], ' ')) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string_view key = std::string_view(token).substr(0, eq);
+    auto value = ParseUint(std::string_view(token).substr(eq + 1));
+    if (!value.ok()) continue;
+    if (key == "now") {
+      snap.now_micros = static_cast<int64_t>(value.value());
+    } else if (key == "interval_micros") {
+      snap.interval_micros = static_cast<int64_t>(value.value());
+    } else if (key == "samples") {
+      snap.samples = value.value();
+    } else if (key == "samples_total") {
+      snap.samples_total = value.value();
+    } else if (key == "resident_bytes") {
+      snap.resident_bytes = value.value();
+    } else if (key == "byte_budget") {
+      snap.byte_budget = value.value();
+    } else if (key == "cost_micros_total") {
+      snap.cost_micros_total = value.value();
+    }
+  }
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    const std::vector<std::string> cols = Split(lines[i], '\t');
+    if (cols.size() != 5) {
+      return Status::Corruption("selfstats: bad series line: " + lines[i]);
+    }
+    TopSeries series;
+    series.name = cols[0];
+    series.labels = cols[1];
+    series.type = cols[2];
+    if (!cols[3].empty()) {
+      for (const std::string& bound : Split(cols[3], ',')) {
+        RASED_ASSIGN_OR_RETURN(int64_t b, ParseInt(bound));
+        series.bounds.push_back(b);
+      }
+    }
+    if (!cols[4].empty()) {
+      for (const std::string& encoded : Split(cols[4], ' ')) {
+        const size_t colon = encoded.find(':');
+        if (colon == std::string::npos) {
+          return Status::Corruption("selfstats: bad point: " + encoded);
+        }
+        TopSeries::Point point;
+        RASED_ASSIGN_OR_RETURN(
+            point.t_micros,
+            ParseInt(std::string_view(encoded).substr(0, colon)));
+        for (const std::string& v :
+             Split(std::string_view(encoded).substr(colon + 1), ',')) {
+          RASED_ASSIGN_OR_RETURN(uint64_t value, ParseUint(v));
+          point.values.push_back(value);
+        }
+        series.points.push_back(std::move(point));
+      }
+    }
+    snap.series.push_back(std::move(series));
+  }
+  return snap;
+}
+
+/// Counter change from the oldest to the newest retained sample, summed
+/// across every series of the family, plus the widest spanned wall time.
+struct CounterWindow {
+  uint64_t events = 0;
+  int64_t span_micros = 0;
+};
+
+CounterWindow CounterDelta(const TopSnapshot& snap, std::string_view name) {
+  CounterWindow w;
+  for (const TopSeries& s : snap.series) {
+    if (s.name != name || s.type != "counter" || s.points.size() < 2) {
+      continue;
+    }
+    const TopSeries::Point& first = s.points.front();
+    const TopSeries::Point& last = s.points.back();
+    if (first.values.empty() || last.values.empty()) continue;
+    w.events += last.values[0] - first.values[0];
+    w.span_micros = std::max(w.span_micros, last.t_micros - first.t_micros);
+  }
+  return w;
+}
+
+double RatePerSec(const CounterWindow& w) {
+  return w.span_micros > 0 ? w.events * 1e6 / w.span_micros : 0.0;
+}
+
+/// Newest value of the first gauge series matching `name` whose label
+/// string contains `labels_filter` (empty matches any).
+bool GaugeLatest(const TopSnapshot& snap, std::string_view name,
+                 std::string_view labels_filter, int64_t* out) {
+  for (const TopSeries& s : snap.series) {
+    if (s.name != name || s.type != "gauge" || s.points.empty()) continue;
+    if (!labels_filter.empty() &&
+        s.labels.find(labels_filter) == std::string::npos) {
+      continue;
+    }
+    if (s.points.back().values.empty()) continue;
+    *out = static_cast<int64_t>(s.points.back().values[0]);
+    return true;
+  }
+  return false;
+}
+
+/// Upper bound (micros) of the bucket holding quantile `q` of the
+/// window's observations, bucket deltas merged across every series of
+/// the histogram family. False when the window saw no observations.
+bool HistQuantileMicros(const TopSnapshot& snap, std::string_view name,
+                        double q, int64_t* out_micros) {
+  std::vector<int64_t> bounds;
+  std::vector<uint64_t> deltas;  // finite buckets + the +Inf bucket
+  for (const TopSeries& s : snap.series) {
+    if (s.name != name || s.type != "histogram" || s.points.size() < 2) {
+      continue;
+    }
+    if (bounds.empty()) {
+      bounds = s.bounds;
+      deltas.assign(bounds.size() + 1, 0);
+    }
+    if (s.bounds != bounds) continue;  // mismatched layouts never merge
+    // Point layout: [count, sum-bits, bucket_0 .. bucket_n(+Inf)].
+    const std::vector<uint64_t>& first = s.points.front().values;
+    const std::vector<uint64_t>& last = s.points.back().values;
+    const size_t want = 2 + bounds.size() + 1;
+    if (first.size() != want || last.size() != want) continue;
+    for (size_t b = 0; b + 2 < want; ++b) {
+      deltas[b] += last[b + 2] - first[b + 2];
+    }
+  }
+  uint64_t total = 0;
+  for (uint64_t d : deltas) total += d;
+  if (total == 0) return false;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (rank >= total) rank = total - 1;
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < deltas.size(); ++b) {
+    cumulative += deltas[b];
+    if (cumulative > rank) {
+      *out_micros = b < bounds.size()   ? bounds[b]
+                    : bounds.empty()    ? 0
+                                        : bounds.back() * 2;  // +Inf bucket
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string LabelValue(const std::string& labels, const std::string& key) {
+  const std::string needle = key + "=\"";
+  const size_t at = labels.find(needle);
+  if (at == std::string::npos) return "";
+  const size_t start = at + needle.size();
+  const size_t end = labels.find('"', start);
+  return end == std::string::npos ? "" : labels.substr(start, end - start);
+}
+
+std::string FormatMillis(int64_t micros) {
+  return StrFormat("%.1fms", micros / 1000.0);
+}
+
+std::string FormatKib(uint64_t bytes) {
+  return StrFormat("%.1fKiB", bytes / 1024.0);
+}
+
+std::string RenderTopFrame(const TopSnapshot& snap, const std::string& host,
+                           int port, int64_t window_seconds) {
+  std::string out = StrFormat(
+      "rased top — %s:%d   window %llds   %llu sample(s) retained "
+      "(%llu taken, every %llds)\n\n",
+      host.c_str(), port, static_cast<long long>(window_seconds),
+      static_cast<unsigned long long>(snap.samples),
+      static_cast<unsigned long long>(snap.samples_total),
+      static_cast<long long>(snap.interval_micros / 1000000));
+
+  const CounterWindow http = CounterDelta(snap, "rased_http_requests_total");
+  int64_t p50 = 0, p99 = 0;
+  const bool have_latency =
+      HistQuantileMicros(snap, "rased_http_request_micros", 0.50, &p50) &&
+      HistQuantileMicros(snap, "rased_http_request_micros", 0.99, &p99);
+  out += StrFormat("  http      %6.1f req/s   p50 %s   p99 %s\n",
+                   RatePerSec(http),
+                   have_latency ? FormatMillis(p50).c_str() : "-",
+                   have_latency ? FormatMillis(p99).c_str() : "-");
+
+  const CounterWindow queries = CounterDelta(snap, "rased_queries_total");
+  out += StrFormat("  queries   %6.1f q/s\n", RatePerSec(queries));
+
+  const CounterWindow hits = CounterDelta(snap, "rased_cache_hits_total");
+  const CounterWindow misses = CounterDelta(snap, "rased_cache_misses_total");
+  const uint64_t lookups = hits.events + misses.events;
+  if (lookups > 0) {
+    out += StrFormat(
+        "  cache     %5.1f%% hit rate   (%llu hits, %llu misses)\n",
+        100.0 * static_cast<double>(hits.events) /
+            static_cast<double>(lookups),
+        static_cast<unsigned long long>(hits.events),
+        static_cast<unsigned long long>(misses.events));
+  } else {
+    out += "  cache     idle (no lookups in window)\n";
+  }
+
+  int64_t lag = 0;
+  if (GaugeLatest(snap, "rased_ingest_lag_sequences", "", &lag)) {
+    out += StrFormat("  ingest    lag %lld sequence(s)\n",
+                     static_cast<long long>(lag));
+  }
+
+  out += StrFormat(
+      "  sampler   %s resident of %s budget, avg cost %lldus/sample\n",
+      FormatKib(snap.resident_bytes).c_str(),
+      FormatKib(snap.byte_budget).c_str(),
+      static_cast<long long>(
+          snap.samples_total > 0
+              ? snap.cost_micros_total /
+                    static_cast<int64_t>(snap.samples_total)
+              : 0));
+
+  bool slo_header = false;
+  for (const TopSeries& s : snap.series) {
+    if (s.name != "rased_slo_status" || s.points.empty() ||
+        s.points.back().values.empty()) {
+      continue;
+    }
+    const std::string objective = LabelValue(s.labels, "objective");
+    const int64_t status = static_cast<int64_t>(s.points.back().values[0]);
+    int64_t burn_short = 0, burn_long = 0;
+    GaugeLatest(snap, "rased_slo_burn_rate",
+                "objective=\"" + objective + "\",window=\"long\"",
+                &burn_long);
+    GaugeLatest(snap, "rased_slo_burn_rate",
+                "objective=\"" + objective + "\",window=\"short\"",
+                &burn_short);
+    out += StrFormat(
+        "  %s%-24s %-8s burn %.2f short / %.2f long\n",
+        slo_header ? "          " : "slo       ", objective.c_str(),
+        SloStatusName(static_cast<SloStatus>(status)),
+        burn_short / 1000.0, burn_long / 1000.0);
+    slo_header = true;
+  }
+  return out;
+}
+
+int CmdTop(const Config& config) {
+  const int port = static_cast<int>(config.GetInt("port", 0));
+  if (port <= 0) return FailUsage("top needs port= of a running dashboard");
+  const std::string host = config.GetString("host", "127.0.0.1");
+  const int64_t window_seconds = config.GetInt("window", 300);
+  int64_t interval_seconds = config.GetInt("interval", 2);
+  if (interval_seconds <= 0) interval_seconds = 1;
+  const int64_t iterations = config.GetInt("iterations", 0);
+  const std::string target =
+      StrFormat("/api/selfstats?format=tsv&window=%lld",
+                static_cast<long long>(window_seconds));
+  for (int64_t frame = 0; iterations == 0 || frame < iterations; ++frame) {
+    if (frame > 0) {
+      std::this_thread::sleep_for(std::chrono::seconds(interval_seconds));
+    }
+    auto body = HttpGetBody(host, port, target);
+    if (!body.ok()) return Fail(body.status());
+    auto snap = ParseSelfstatsTsv(body.value());
+    if (!snap.ok()) return Fail(snap.status());
+    // Multi-frame mode repaints in place; a single frame (iterations=1,
+    // the scriptable probe mode) prints plainly.
+    if (iterations != 1) std::printf("\x1b[H\x1b[2J");
+    std::printf("%s",
+                RenderTopFrame(snap.value(), host, port, window_seconds)
+                    .c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 int CmdServe(const Config& config) {
   auto rased = OpenInstance(config, /*warm_cache=*/true);
   if (!rased.ok()) return Fail(rased.status());
@@ -465,6 +840,7 @@ int RunCli(int argc, const char* const* argv) {
   if (command == "stats") return CmdStats(config);
   if (command == "metrics") return CmdMetrics(config);
   if (command == "serve") return CmdServe(config);
+  if (command == "top") return CmdTop(config);
   return FailUsage("unknown command '" + command + "'");
 }
 

@@ -18,6 +18,7 @@ namespace rased {
 ///   rased sample dir=DIR changeset=ID | box=minlat,minlon,maxlat,maxlon [n=N]
 ///   rased stats dir=DIR
 ///   rased serve dir=DIR [port=N] [serve_seconds=N]
+///   rased top port=N [host=H] [window=SEC] [interval=SEC] [iterations=N]
 ///   rased help
 ///
 /// Returns the process exit code (0 on success).

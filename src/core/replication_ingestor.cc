@@ -4,6 +4,7 @@
 
 #include "collect/daily_crawler.h"
 #include "io/env.h"
+#include "util/clock.h"
 #include "util/str_util.h"
 
 namespace rased {
@@ -19,6 +20,9 @@ ReplicationIngestor::ReplicationIngestor(Rased* rased, std::string feed_dir)
   lag_gauge_ = metrics->GetGauge(
       "rased_ingest_lag_sequences",
       "Replication sequences in the feed not yet applied (ingest lag)");
+  last_progress_gauge_ = metrics->GetGauge(
+      "rased_ingest_last_progress_micros",
+      "util/clock.h NowMicros stamp of the last replication CatchUp");
 }
 
 Result<ReplicationIngestor::CatchUpStats> ReplicationIngestor::CatchUp(
@@ -29,12 +33,14 @@ Result<ReplicationIngestor::CatchUpStats> ReplicationIngestor::CatchUp(
   if (!latest.ok()) {
     if (latest.status().IsIOError()) {  // empty feed
       lag_gauge_->Set(0);
+      last_progress_gauge_->Set(NowMicros());
       return stats;
     }
     return latest.status();
   }
   if (latest.value().sequence <= applied) {
     lag_gauge_->Set(0);
+    last_progress_gauge_->Set(NowMicros());
     return stats;
   }
 
@@ -98,6 +104,7 @@ Result<ReplicationIngestor::CatchUpStats> ReplicationIngestor::CatchUp(
   sequences_counter_->Increment(stats.sequences_applied);
   lag_gauge_->Set(static_cast<int64_t>(latest.value().sequence -
                                        (applied + stats.sequences_applied)));
+  last_progress_gauge_->Set(NowMicros());
   return stats;
 }
 

@@ -49,10 +49,14 @@ class ReplicationIngestor {
   ReplicationDirectory feed_;
   ReplicationCursor cursor_;
   /// Feed-progress metrics, registered in the ctor on the instance's
-  /// registry: sequences applied across CatchUps, and the ingest lag
-  /// (latest feed sequence minus last applied) refreshed by each CatchUp.
+  /// registry: sequences applied across CatchUps, the ingest lag (latest
+  /// feed sequence minus last applied) refreshed by each CatchUp, and the
+  /// util/clock.h NowMicros stamp of the last CatchUp that reached the
+  /// feed — /readyz compares it against the lag to detect wedged ingest,
+  /// and a FakeClock makes it exactly assertable in tests.
   Counter* sequences_counter_ = nullptr;
   Gauge* lag_gauge_ = nullptr;
+  Gauge* last_progress_gauge_ = nullptr;
 };
 
 }  // namespace rased

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/varint.h"
+
 namespace rased {
 
 namespace {
@@ -37,51 +39,8 @@ uint64_t LoadLe64(const unsigned char* p) {
   return v;
 }
 
-// --- LEB128 varints --------------------------------------------------------
-
-/// At most 10 bytes encode a uint64.
-constexpr size_t kMaxVarintBytes = 10;
-
-void PutVarint(std::vector<unsigned char>* out, uint64_t v) {
-  while (v >= 0x80) {
-    out->push_back(static_cast<unsigned char>(v) | 0x80);
-    v >>= 7;
-  }
-  out->push_back(static_cast<unsigned char>(v));
-}
-
-/// Reads one varint from [*p, end). Advances *p past it on success;
-/// truncated or overlong input yields Corruption and leaves *p unspecified.
-Status GetVarint(const unsigned char** p, const unsigned char* end,
-                 uint64_t* v) {
-  uint64_t result = 0;
-  unsigned shift = 0;
-  const unsigned char* q = *p;
-  for (size_t i = 0; i < kMaxVarintBytes; ++i) {
-    if (q == end) return Status::Corruption("truncated varint in cube body");
-    const unsigned char byte = *q++;
-    if (shift == 63 && (byte & 0xFE) != 0) {
-      return Status::Corruption("varint overflows 64 bits in cube body");
-    }
-    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) {
-      *p = q;
-      *v = result;
-      return Status::OK();
-    }
-    shift += 7;
-  }
-  return Status::Corruption("overlong varint in cube body");
-}
-
-// --- Zigzag (for delta-varint; deltas are mod-2^64 differences) -----------
-
-uint64_t ZigzagEncode(uint64_t delta) {
-  const int64_t s = static_cast<int64_t>(delta);
-  return (static_cast<uint64_t>(s) << 1) ^ static_cast<uint64_t>(s >> 63);
-}
-
-uint64_t ZigzagDecode(uint64_t z) { return (z >> 1) ^ (~(z & 1) + 1); }
+// LEB128 varints and zigzag live in util/varint.h (hoisted from this file
+// so obs/timeseries.cc can delta-encode metric snapshots the same way).
 
 // --- Packed GROUP BY lookup tables ----------------------------------------
 

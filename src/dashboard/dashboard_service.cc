@@ -1,6 +1,7 @@
 #include "dashboard/dashboard_service.h"
 
 #include "dashboard/json_writer.h"
+#include "obs/request_context.h"
 #include "query/sql_parser.h"
 #include "util/clock.h"
 #include "util/str_util.h"
@@ -86,7 +87,17 @@ void WriteError(const Status& status, HttpResponse* response) {
 
 }  // namespace
 
-DashboardService::DashboardService(Rased* rased) : rased_(rased) {
+DashboardService::DashboardService(Rased* rased,
+                                   const DashboardOptions& options)
+    : rased_(rased),
+      options_(options),
+      history_(rased->metrics(), options.selfstats),
+      slo_(&history_, rased->metrics(), options.slo) {
+  // Keep the SLO gauges fresh without a dedicated thread: re-evaluate
+  // right after every selfstats sample, so the next sample (and any
+  // /metrics scrape) sees current burn rates.
+  history_.SetPostSampleHook(
+      [this](int64_t now_micros) { slo_.Evaluate(now_micros); });
   ctx_.world = &rased_->world();
   ctx_.road_types = rased_->road_types();
   server_.Route("/", [this](const HttpRequest& q, HttpResponse* r) {
@@ -113,6 +124,16 @@ DashboardService::DashboardService(Rased* rased) : rased_(rased) {
   server_.Route("/metrics", [this](const HttpRequest& q, HttpResponse* r) {
     HandleMetrics(q, r);
   });
+  server_.Route("/api/selfstats",
+                [this](const HttpRequest& q, HttpResponse* r) {
+                  HandleSelfstats(q, r);
+                });
+  server_.Route("/healthz", [this](const HttpRequest& q, HttpResponse* r) {
+    HandleHealthz(q, r);
+  });
+  server_.Route("/readyz", [this](const HttpRequest& q, HttpResponse* r) {
+    HandleReadyz(q, r);
+  });
   server_.set_metrics(rased_->metrics());
 
   // /api/stats handles: the same series the components registered (handle
@@ -138,10 +159,21 @@ DashboardService::DashboardService(Rased* rased) : rased_(rased) {
       metrics->GetCounter("rased_cache_hits_total", "Cube cache hits");
   stats_.cache_misses =
       metrics->GetCounter("rased_cache_misses_total", "Cube cache misses");
+
+  // Readiness handles. The ingestor registers the same series when it
+  // exists; on a serve-only instance they stay 0 (= not wedged).
+  ingest_lag_sequences_ = metrics->GetGauge(
+      "rased_ingest_lag_sequences",
+      "Replication sequences in the feed not yet applied (ingest lag)");
+  ingest_last_progress_ = metrics->GetGauge(
+      "rased_ingest_last_progress_micros",
+      "util/clock.h NowMicros stamp of the last replication CatchUp");
 }
 
 Status DashboardService::Start(int port, int num_workers) {
-  return server_.Start(port, num_workers);
+  RASED_RETURN_IF_ERROR(server_.Start(port, num_workers));
+  if (options_.start_sampler) history_.StartSampler();
+  return Status::OK();
 }
 
 Result<AnalysisQuery> DashboardService::ParseQueryParams(
@@ -277,6 +309,7 @@ void DashboardService::ExecuteAndRender(const AnalysisQuery& query,
   // render span on top, so trace wall = executor cpu + render time.
   const int64_t render_micros = NowMicros() - t_render;
   QueryTrace trace;
+  trace.trace_id = CurrentTraceId();
   trace.summary = query.ToString();
   trace.wall_micros = value.stats.cpu_micros + render_micros;
   trace.device_micros = value.stats.io.simulated_device_micros;
@@ -425,6 +458,9 @@ void DashboardService::HandleTrace(const HttpRequest&,
   for (const QueryTrace& t : traces) {
     w.BeginObject();
     w.KV("id", t.id);
+    const std::string trace_hex =
+        t.trace_id == 0 ? std::string() : FormatTraceId(t.trace_id);
+    w.KV("trace_id", std::string_view(trace_hex));
     w.KV("query", std::string_view(t.summary));
     w.KV("wall_micros", t.wall_micros);
     w.KV("device_micros", t.device_micros);
@@ -459,4 +495,200 @@ void DashboardService::HandleMetrics(const HttpRequest&,
   response->body = rased_->metrics()->RenderPrometheus();
 }
 
+namespace {
+
+const char* SeriesKindName(SampledSeries::Kind kind) {
+  switch (kind) {
+    case SampledSeries::Kind::kCounter:
+      return "counter";
+    case SampledSeries::Kind::kGauge:
+      return "gauge";
+    case SampledSeries::Kind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+/// The `rased top` wire format: one meta line, then one tab-separated line
+/// per series: name, labels, type, comma-joined bounds, space-separated
+/// points as t:v0,v1,...
+std::string RenderSelfstatsTsv(const MetricsHistory& history,
+                               const std::vector<MetricsHistory::Series>& all,
+                               int64_t now_micros, int64_t window_micros) {
+  std::string out = StrFormat(
+      "#selfstats now=%lld window_micros=%lld interval_micros=%lld "
+      "samples=%zu samples_total=%llu resident_bytes=%llu byte_budget=%llu "
+      "cost_micros_total=%llu\n",
+      static_cast<long long>(now_micros),
+      static_cast<long long>(window_micros),
+      static_cast<long long>(history.sample_interval_micros()),
+      history.num_samples(),
+      static_cast<unsigned long long>(history.samples_taken()),
+      static_cast<unsigned long long>(history.resident_bytes()),
+      static_cast<unsigned long long>(history.ring_byte_budget()),
+      static_cast<unsigned long long>(history.sample_cost_micros_total()));
+  for (const MetricsHistory::Series& series : all) {
+    out += series.name;
+    out += '\t';
+    out += series.labels;
+    out += '\t';
+    out += SeriesKindName(series.kind);
+    out += '\t';
+    for (size_t i = 0; i < series.bounds.size(); ++i) {
+      if (i > 0) out += ',';
+      out += StrFormat("%lld", static_cast<long long>(series.bounds[i]));
+    }
+    out += '\t';
+    for (size_t p = 0; p < series.points.size(); ++p) {
+      const MetricsHistory::Point& point = series.points[p];
+      if (p > 0) out += ' ';
+      out += StrFormat("%lld:", static_cast<long long>(point.t_micros));
+      for (size_t v = 0; v < point.values.size(); ++v) {
+        if (v > 0) out += ',';
+        out += StrFormat("%llu",
+                         static_cast<unsigned long long>(point.values[v]));
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+void DashboardService::HandleSelfstats(const HttpRequest& request,
+                                       HttpResponse* response) {
+  int64_t window_micros = 0;
+  if (request.HasParam("window")) {
+    auto seconds = ParseUint(request.Param("window"));
+    if (!seconds.ok()) {
+      WriteError(Status::InvalidArgument("bad window= (want seconds)"),
+                 response);
+      return;
+    }
+    window_micros = static_cast<int64_t>(seconds.value()) * 1000000;
+  }
+  const std::string family = request.Param("family");
+  const std::string format = request.Param("format");
+  const int64_t now = NowMicros();
+  const std::vector<MetricsHistory::Series> series =
+      history_.Query(family, window_micros, now);
+
+  if (format == "tsv") {
+    response->content_type = "text/tab-separated-values; charset=utf-8";
+    response->body = RenderSelfstatsTsv(history_, series, now, window_micros);
+    return;
+  }
+  if (!format.empty() && format != "json") {
+    WriteError(Status::InvalidArgument("unknown format '" + format + "'"),
+               response);
+    return;
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("now_micros", now);
+  w.KV("window_micros", window_micros);
+  w.KV("interval_micros", history_.sample_interval_micros());
+  w.KV("samples_retained", static_cast<uint64_t>(history_.num_samples()));
+  w.KV("samples_total", history_.samples_taken());
+  w.KV("resident_bytes", history_.resident_bytes());
+  w.KV("byte_budget", history_.ring_byte_budget());
+  w.KV("sample_cost_micros_total", history_.sample_cost_micros_total());
+  w.Key("series");
+  w.BeginArray();
+  for (const MetricsHistory::Series& s : series) {
+    w.BeginObject();
+    w.KV("name", std::string_view(s.name));
+    w.KV("labels", std::string_view(s.labels));
+    w.KV("type", SeriesKindName(s.kind));
+    if (s.kind == SampledSeries::Kind::kHistogram) {
+      w.Key("bounds");
+      w.BeginArray();
+      for (int64_t bound : s.bounds) w.Value(bound);
+      w.EndArray();
+    }
+    w.Key("points");
+    w.BeginArray();
+    for (const MetricsHistory::Point& point : s.points) {
+      w.BeginObject();
+      w.KV("t", point.t_micros);
+      w.Key("v");
+      w.BeginArray();
+      for (uint64_t value : point.values) w.Value(value);
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  response->body = std::move(w).Finish();
+}
+
+void DashboardService::HandleHealthz(const HttpRequest&,
+                                     HttpResponse* response) {
+  // Liveness only: reachable and able to run a handler. Readiness (can
+  // this instance usefully serve?) is /readyz below.
+  response->content_type = "text/plain; charset=utf-8";
+  response->body = "ok\n";
+}
+
+void DashboardService::HandleReadyz(const HttpRequest&,
+                                    HttpResponse* response) {
+  const int64_t now = NowMicros();
+
+  // Catalog published: the MVCC index has at least one visible version.
+  const uint64_t epoch = rased_->index()->epoch();
+  const bool catalog_published = epoch > 0;
+
+  // Ingest not wedged: either fully caught up, or it has made progress
+  // recently enough. Serve-only instances keep both gauges 0 (= healthy).
+  const int64_t lag = ingest_lag_sequences_->value();
+  const int64_t last_progress = ingest_last_progress_->value();
+  const bool ingest_not_wedged =
+      lag <= 0 || last_progress <= 0 ||
+      now - last_progress <= options_.max_ingest_idle_micros;
+
+  // SLO not burning: re-evaluate now rather than trusting the last
+  // sampler tick, so a probe sees current burn rates.
+  const std::vector<SloTracker::ObjectiveState> slo_states =
+      slo_.Evaluate(now);
+  const bool slo_not_burning = slo_.WorstStatus() != SloStatus::kBurning;
+
+  const bool ready = catalog_published && ingest_not_wedged && slo_not_burning;
+  response->status = ready ? 200 : 503;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("ready", ready);
+  w.Key("checks");
+  w.BeginObject();
+  w.KV("catalog_published", catalog_published);
+  w.KV("ingest_not_wedged", ingest_not_wedged);
+  w.KV("slo_not_burning", slo_not_burning);
+  w.EndObject();
+  w.KV("epoch", epoch);
+  w.KV("ingest_lag_sequences", lag);
+  w.Key("slo");
+  w.BeginArray();
+  for (const SloTracker::ObjectiveState& state : slo_states) {
+    w.BeginObject();
+    w.KV("objective", std::string_view(state.name));
+    w.KV("status", SloStatusName(state.status));
+    w.KV("burn_short_milli",
+         static_cast<int64_t>(state.short_window.burn_rate * 1000.0));
+    w.KV("burn_long_milli",
+         static_cast<int64_t>(state.long_window.burn_rate * 1000.0));
+    w.KV("short_events", state.short_window.total_events);
+    w.KV("long_events", state.long_window.total_events);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  response->body = std::move(w).Finish();
+}
+
 }  // namespace rased
+

@@ -1,15 +1,32 @@
 #ifndef RASED_DASHBOARD_DASHBOARD_SERVICE_H_
 #define RASED_DASHBOARD_DASHBOARD_SERVICE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
 #include "core/rased.h"
 #include "dashboard/http_server.h"
 #include "dashboard/render.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "util/thread_annotations.h"
 
 namespace rased {
+
+/// Self-monitoring knobs (DESIGN.md §12). Defaults suit a serving
+/// instance; tests disable the background sampler and drive
+/// history()->SampleOnce() under a FakeClock for determinism.
+struct DashboardOptions {
+  MetricsHistoryOptions selfstats;
+  SloOptions slo;
+  /// Readiness: ingest counts as wedged when rased_ingest_lag_sequences
+  /// is nonzero and the last CatchUp progress stamp
+  /// (rased_ingest_last_progress_micros) is older than this.
+  int64_t max_ingest_idle_micros = 15 * 60 * 1000000LL;
+  /// Start() launches the background selfstats sampler.
+  bool start_sampler = true;
+};
 
 /// The RASED web dashboard: a REST API plus a self-contained HTML page,
 /// backed by one Rased instance. Endpoints:
@@ -32,20 +49,37 @@ namespace rased {
 ///   GET /api/zones         the Country dimension (id, name, kind, size)
 ///   GET /api/stats         index/cache/storage statistics
 ///   GET /api/trace         recent query traces (per-span wall + device time)
+///   GET /api/selfstats     retained metric history (obs/timeseries.h)
+///       ?family=rased_queries_total      (empty = all series)
+///       &window=3600                     (seconds back from now; 0 = all)
+///       &format=json|tsv                 (tsv feeds `rased top`)
+///   GET /healthz           liveness: 200 "ok" whenever the server runs
+///   GET /readyz            readiness: 200/503 + per-check JSON (catalog
+///                          published, ingest not wedged, SLO not burning)
 ///   GET /metrics           Prometheus text exposition of every registered
 ///                          metric (content type text/plain; version=0.0.4)
 ///
 /// All endpoints are GET-only; a known path with another method is 405.
+/// Every response carries X-Rased-Trace-Id (obs/request_context.h).
 class DashboardService {
  public:
   /// `rased` must outlive the service.
-  explicit DashboardService(Rased* rased);
+  explicit DashboardService(Rased* rased,
+                            const DashboardOptions& options = {});
 
   /// Starts serving on 127.0.0.1:`port` (0 = ephemeral) with a pool of
-  /// `num_workers` HTTP threads handling requests concurrently.
+  /// `num_workers` HTTP threads handling requests concurrently, and (per
+  /// options) the background selfstats sampler.
   Status Start(int port, int num_workers = 8);
-  void Stop() { server_.Stop(); }
+  void Stop() {
+    history_.StopSampler();
+    server_.Stop();
+  }
   int port() const { return server_.port(); }
+
+  /// Self-monitoring internals (exposed for tests and `rased top`).
+  MetricsHistory* history() { return &history_; }
+  SloTracker* slo() { return &slo_; }
 
   /// Parses /api/query parameters into an AnalysisQuery (exposed for
   /// tests). Unknown names return InvalidArgument. Reads index coverage
@@ -64,6 +98,9 @@ class DashboardService {
   void HandleStats(const HttpRequest& request, HttpResponse* response);
   void HandleTrace(const HttpRequest& request, HttpResponse* response);
   void HandleMetrics(const HttpRequest& request, HttpResponse* response);
+  void HandleSelfstats(const HttpRequest& request, HttpResponse* response);
+  void HandleHealthz(const HttpRequest& request, HttpResponse* response);
+  void HandleReadyz(const HttpRequest& request, HttpResponse* response);
 
   /// The HTTP workers run handlers concurrently against the Rased
   /// instance directly: its query family is const and internally guarded
@@ -72,8 +109,20 @@ class DashboardService {
   /// own QueryStats. The service itself holds no lock — the days of the
   /// big rased_mu_ serializing every endpoint are over.
   Rased* const rased_;
+  const DashboardOptions options_;
   RenderContext ctx_;
   HttpServer server_;
+
+  /// Self-monitoring: the history samples the instance registry; the SLO
+  /// tracker re-evaluates after every sample (post-sample hook) and on
+  /// every /readyz probe.
+  MetricsHistory history_;
+  SloTracker slo_;
+
+  /// Readiness handles (registered here if the ingestor has not yet):
+  /// lag in sequences and the NowMicros stamp of the last CatchUp.
+  Gauge* ingest_lag_sequences_;
+  Gauge* ingest_last_progress_;
 
   /// /api/stats is served off the instance registry (the same numbers
   /// /metrics exports) — handles resolved once in the ctor. Counters are

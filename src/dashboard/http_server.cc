@@ -9,11 +9,47 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/request_context.h"
 #include "util/clock.h"
 #include "util/logging.h"
 #include "util/str_util.h"
 
 namespace rased {
+
+namespace {
+
+/// Parses the header lines between the request line and the blank line
+/// into lower-cased-name/trimmed-value pairs. Tolerant: malformed lines
+/// are skipped (headers are advisory for this server).
+std::map<std::string, std::string> ParseHeaderLines(
+    const std::string& request, size_t headers_begin) {
+  std::map<std::string, std::string> headers;
+  size_t pos = headers_begin;
+  while (pos < request.size()) {
+    size_t eol = request.find("\r\n", pos);
+    if (eol == std::string::npos || eol == pos) break;  // blank line = end
+    std::string_view line(request.data() + pos, eol - pos);
+    pos = eol + 2;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) continue;
+    std::string name(line.substr(0, colon));
+    for (char& c : name) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    while (!value.empty() && (value.back() == ' ' || value.back() == '\t' ||
+                              value.back() == '\r')) {
+      value.remove_suffix(1);
+    }
+    headers[name] = std::string(value);
+  }
+  return headers;
+}
+
+}  // namespace
 
 HttpServer::~HttpServer() { Stop(); }
 
@@ -215,6 +251,23 @@ void HttpServer::HandleConnection(int fd) {
   size_t line_end = request.find("\r\n");
   std::string first_line =
       line_end == std::string::npos ? request : request.substr(0, line_end);
+  if (line_end != std::string::npos) {
+    parsed.headers = ParseHeaderLines(request, line_end + 2);
+  }
+
+  // Adopt a well-formed inbound trace id (scatter-gather propagation) or
+  // mint a fresh one; either way the id scopes every log line below, is
+  // visible to handlers via CurrentTraceId(), and is echoed in the
+  // response so clients and logs join on one key.
+  uint64_t trace_id = 0;
+  if (auto inbound = parsed.headers.find("x-rased-trace-id");
+      inbound != parsed.headers.end()) {
+    Result<uint64_t> parsed_id = ParseTraceId(inbound->second);
+    if (parsed_id.ok()) trace_id = parsed_id.value();
+  }
+  if (trace_id == 0) trace_id = MintTraceId();
+  ScopedRequestContext request_scope(trace_id);
+
   std::vector<std::string> parts = Split(first_line, ' ');
   if (parts.size() < 2) {
     response.status = 400;
@@ -257,20 +310,31 @@ void HttpServer::HandleConnection(int fd) {
     }
   }
 
+  const int64_t wall_micros = NowMicros() - t_start;
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   RecordRequestMetrics(matched ? parsed.path : "(unmatched)", response.status,
-                       NowMicros() - t_start);
+                       wall_micros);
+  // Access log, correlated with the response via the trace= prefix field.
+  RASED_LOG(Debug) << parsed.method << " " << parsed.path << " -> "
+                   << response.status << " (" << response.body.size()
+                   << " bytes, " << wall_micros << "us)";
   const char* status_text = response.status == 200   ? "OK"
                             : response.status == 400 ? "Bad Request"
                             : response.status == 404 ? "Not Found"
                             : response.status == 405 ? "Method Not Allowed"
                             : response.status == 500 ? "Internal Server Error"
+                            : response.status == 503 ? "Service Unavailable"
                                                      : "Error";
+  std::string extra_headers;
+  for (const auto& [name, value] : response.headers) {
+    extra_headers += name + ": " + value + "\r\n";
+  }
+  extra_headers += "X-Rased-Trace-Id: " + FormatTraceId(trace_id) + "\r\n";
   std::string out = StrFormat(
-      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\n%sContent-Length: %zu\r\n"
       "Connection: close\r\n\r\n",
       response.status, status_text, response.content_type.c_str(),
-      response.body.size());
+      extra_headers.c_str(), response.body.size());
   out += response.body;
   size_t sent = 0;
   while (sent < out.size()) {

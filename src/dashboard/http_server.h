@@ -7,6 +7,7 @@
 #include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics_registry.h"
@@ -16,11 +17,13 @@
 
 namespace rased {
 
-/// A parsed HTTP request (method, path, decoded query parameters).
+/// A parsed HTTP request (method, path, decoded query parameters, headers).
 struct HttpRequest {
   std::string method;
   std::string path;  // without the query string
   std::map<std::string, std::string> params;
+  /// Request headers, names lower-cased, values whitespace-trimmed.
+  std::map<std::string, std::string> headers;
 
   /// Parameter value or empty string.
   std::string Param(const std::string& key) const {
@@ -30,12 +33,20 @@ struct HttpRequest {
   bool HasParam(const std::string& key) const {
     return params.find(key) != params.end();
   }
+  /// Header value (by lower-case name) or empty string.
+  std::string Header(const std::string& name) const {
+    auto it = headers.find(name);
+    return it == headers.end() ? std::string() : it->second;
+  }
 };
 
 struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Extra response headers, emitted verbatim after Content-Type. The
+  /// server itself appends X-Rased-Trace-Id to every response.
+  std::vector<std::pair<std::string, std::string>> headers;
 };
 
 /// Minimal blocking HTTP/1.1 server for the RASED dashboard: an accept

@@ -257,4 +257,51 @@ size_t MetricsRegistry::num_series() const {
   return n;
 }
 
+std::vector<SampledSeries> MetricsRegistry::Sample() const {
+  std::vector<SampledSeries> out;
+  MutexLock lock(&mu_);
+  for (const auto& [name, family] : families_) {
+    switch (family.type) {
+      case Type::kCounter:
+        for (const auto& [labels, counter] : family.counters) {
+          SampledSeries& s = out.emplace_back();
+          s.name = name;
+          s.labels = labels;
+          s.kind = SampledSeries::Kind::kCounter;
+          s.values.push_back(counter->value());
+        }
+        break;
+      case Type::kGauge:
+        for (const auto& [labels, gauge] : family.gauges) {
+          SampledSeries& s = out.emplace_back();
+          s.name = name;
+          s.labels = labels;
+          s.kind = SampledSeries::Kind::kGauge;
+          s.values.push_back(static_cast<uint64_t>(gauge->value()));
+        }
+        break;
+      case Type::kHistogram:
+        for (const auto& [labels, histogram] : family.histograms) {
+          SampledSeries& s = out.emplace_back();
+          s.name = name;
+          s.labels = labels;
+          s.kind = SampledSeries::Kind::kHistogram;
+          const int nb = histogram->num_finite_buckets();
+          s.bounds.reserve(static_cast<size_t>(nb));
+          for (int i = 0; i < nb; ++i) {
+            s.bounds.push_back(histogram->bucket_bound(i));
+          }
+          s.values.reserve(static_cast<size_t>(nb) + 3);
+          s.values.push_back(histogram->count());
+          s.values.push_back(static_cast<uint64_t>(histogram->sum()));
+          for (int i = 0; i <= nb; ++i) {
+            s.values.push_back(histogram->bucket_count(i));
+          }
+        }
+        break;
+    }
+  }
+  return out;
+}
+
 }  // namespace rased

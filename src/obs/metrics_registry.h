@@ -115,6 +115,25 @@ class Histogram {
 /// names, status classes) — never from request input.
 using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 
+/// Structured snapshot of one series, the sampler read path consumed by
+/// obs/timeseries.h MetricsHistory. `values` flattens the series state as
+/// uint64 words so samplers can delta-encode uniformly:
+///   counter   → [value]
+///   gauge     → [bit-cast int64 value]
+///   histogram → [count, bit-cast int64 sum, bucket_0 .. bucket_n(+Inf)]
+/// Bucket reads are individually atomic but not mutually consistent (the
+/// registry never stops writers); every word is monotone for counters and
+/// histogram fields, which is what windowed deltas rely on.
+struct SampledSeries {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;    // family name
+  std::string labels;  // rendered label string: "" or {k="v",...}
+  Kind kind = Kind::kCounter;
+  std::vector<int64_t> bounds;  // histogram finite bucket bounds, else empty
+  std::vector<uint64_t> values;
+};
+
 /// Named metric families, each holding one or more labeled series.
 ///
 /// Get* returns a stable handle: the same (name, labels) pair always
@@ -154,6 +173,11 @@ class MetricsRegistry {
 
   /// Number of registered series across all families (histogram = 1).
   size_t num_series() const RASED_EXCLUDES(mu_);
+
+  /// Flattened snapshot of every series, in the same sorted
+  /// (family, label-string) order as RenderPrometheus — two registries
+  /// holding equal values produce element-wise equal snapshots.
+  std::vector<SampledSeries> Sample() const RASED_EXCLUDES(mu_);
 
  private:
   enum class Type { kCounter, kGauge, kHistogram };

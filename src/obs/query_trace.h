@@ -28,6 +28,10 @@ struct TraceSpan {
 /// (plan -> cache_probe -> fetch -> aggregate -> render).
 struct QueryTrace {
   uint64_t id = 0;          // assigned by TraceRecorder::Record
+  /// Request trace id (obs/request_context.h), 0 when recorded outside a
+  /// request scope. Joins this entry with the X-Rased-Trace-Id response
+  /// header and the `trace=` field on the request's log lines.
+  uint64_t trace_id = 0;
   std::string summary;      // human-readable query description
   int64_t wall_micros = 0;  // end-to-end wall time
   int64_t device_micros = 0;

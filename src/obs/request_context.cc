@@ -1,0 +1,56 @@
+#include "obs/request_context.h"
+
+#include <cstdio>
+
+#include "util/clock.h"
+#include "util/random.h"
+#include "util/thread_annotations.h"
+
+namespace rased {
+
+uint64_t MintTraceId() {
+  // Leaked singletons: trace ids may be minted during static teardown
+  // (e.g. a logging destructor), so no destruction order to get wrong.
+  static Mutex* mu = new Mutex;
+  static Rng* rng = new Rng(static_cast<uint64_t>(NowWallMicros()) ^
+                            0x9e3779b97f4a7c15ULL);
+  MutexLock lock(mu);
+  uint64_t id;
+  do {
+    id = rng->Next();
+  } while (id == 0);
+  return id;
+}
+
+std::string FormatTraceId(uint64_t trace_id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return std::string(buf, 16);
+}
+
+Result<uint64_t> ParseTraceId(std::string_view text) {
+  if (text.empty() || text.size() > 16) {
+    return Status::InvalidArgument("trace id must be 1..16 hex digits");
+  }
+  uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return Status::InvalidArgument("trace id has a non-hex digit");
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  if (value == 0) {
+    return Status::InvalidArgument("trace id must be nonzero");
+  }
+  return value;
+}
+
+}  // namespace rased

@@ -1,0 +1,52 @@
+#ifndef RASED_OBS_REQUEST_CONTEXT_H_
+#define RASED_OBS_REQUEST_CONTEXT_H_
+
+/// Per-request trace ids (DESIGN.md §12). The HTTP server (and the CLI
+/// query path) mints a 64-bit id per request — or adopts one arriving in
+/// an X-Rased-Trace-Id header, the future scatter-gather propagation path —
+/// and installs it in a thread-local for the request's duration. Every
+/// LOG() line the request emits, its /api/trace ring entry, and the
+/// X-Rased-Trace-Id response header then join on the same key.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/logging.h"
+#include "util/result.h"
+
+namespace rased {
+
+/// A fresh nonzero trace id from a process-wide util/random Rng (seeded
+/// from the wall clock once). Thread-safe.
+uint64_t MintTraceId();
+
+/// The calling thread's current trace id, 0 outside any request scope.
+inline uint64_t CurrentTraceId() { return GetThreadLogTraceId(); }
+
+/// 16 lowercase hex digits, zero-padded — the header and log wire format.
+std::string FormatTraceId(uint64_t trace_id);
+
+/// Parses a FormatTraceId-shaped id (1..16 hex digits, nonzero).
+Result<uint64_t> ParseTraceId(std::string_view text);
+
+/// Installs `trace_id` as the calling thread's trace id for the scope's
+/// lifetime and restores the previous id on exit (scopes nest).
+class ScopedRequestContext {
+ public:
+  explicit ScopedRequestContext(uint64_t trace_id)
+      : previous_(GetThreadLogTraceId()) {
+    SetThreadLogTraceId(trace_id);
+  }
+  ~ScopedRequestContext() { SetThreadLogTraceId(previous_); }
+
+  ScopedRequestContext(const ScopedRequestContext&) = delete;
+  ScopedRequestContext& operator=(const ScopedRequestContext&) = delete;
+
+ private:
+  const uint64_t previous_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_OBS_REQUEST_CONTEXT_H_

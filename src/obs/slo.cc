@@ -1,0 +1,187 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rased {
+
+namespace {
+
+SloOptions WithDefaultObjectives(SloOptions options) {
+  if (options.objectives.empty()) {
+    options.objectives = SloTracker::DefaultObjectives();
+  }
+  return options;
+}
+
+int64_t BurnMilli(double burn_rate) {
+  constexpr double kMax = 1e12;  // keep llround defined for huge ratios
+  return std::llround(std::min(burn_rate, kMax) * 1000.0);
+}
+
+}  // namespace
+
+const char* SloStatusName(SloStatus status) {
+  switch (status) {
+    case SloStatus::kOk:
+      return "ok";
+    case SloStatus::kWarning:
+      return "warning";
+    case SloStatus::kBurning:
+      return "burning";
+  }
+  return "?";
+}
+
+std::vector<SloObjective> SloTracker::DefaultObjectives() {
+  SloObjective latency;
+  latency.name = "query_latency_p99";
+  latency.kind = SloObjective::Kind::kLatency;
+  latency.family = "rased_http_request_micros";
+  latency.threshold_micros = 250000;
+  latency.target = 0.99;
+
+  SloObjective errors;
+  errors.name = "http_error_rate";
+  errors.kind = SloObjective::Kind::kRatio;
+  errors.family = "rased_http_requests_total";
+  errors.bad_family = "rased_http_responses_total";
+  errors.bad_label_filter = "class=\"5xx\"";
+  errors.target = 0.999;
+
+  return {latency, errors};
+}
+
+SloTracker::SloTracker(MetricsHistory* history, MetricsRegistry* registry,
+                       const SloOptions& options)
+    : history_(history), options_(WithDefaultObjectives(options)) {
+  gauges_.reserve(options_.objectives.size());
+  for (const SloObjective& objective : options_.objectives) {
+    ObjectiveGauges g;
+    // NOLINT-RASED(metric-in-loop): one-time registration per objective
+    g.burn_short = registry->GetGauge(
+        "rased_slo_burn_rate",
+        "Error-budget burn rate x1000 per objective and window",
+        {{"objective", objective.name}, {"window", "short"}});
+    // NOLINT-RASED(metric-in-loop): one-time registration per objective
+    g.burn_long = registry->GetGauge(
+        "rased_slo_burn_rate",
+        "Error-budget burn rate x1000 per objective and window",
+        {{"objective", objective.name}, {"window", "long"}});
+    // NOLINT-RASED(metric-in-loop): one-time registration per objective
+    g.status = registry->GetGauge(
+        "rased_slo_status", "Objective status: 0 ok, 1 warning, 2 burning",
+        {{"objective", objective.name}});
+    gauges_.push_back(g);
+  }
+  worst_gauge_ = registry->GetGauge(
+      "rased_slo_worst_status",
+      "Worst objective status: 0 ok, 1 warning, 2 burning");
+}
+
+SloTracker::WindowBurn SloTracker::ComputeWindow(const SloObjective& objective,
+                                                int64_t window_micros,
+                                                int64_t now_micros) const {
+  WindowBurn burn;
+  burn.window_micros = window_micros;
+
+  // Delta of one flattened word between the first and last retained point
+  // in the window. Every word involved is monotone (counters, histogram
+  // counts), so first-vs-last is the windowed event count.
+  auto window_delta = [&](const std::string& family, const char* label_filter,
+                          auto&& per_series) {
+    const std::vector<MetricsHistory::Series> series =
+        history_->Query(family, window_micros, now_micros);
+    for (const MetricsHistory::Series& s : series) {
+      if (label_filter != nullptr &&
+          s.labels.find(label_filter) == std::string::npos) {
+        continue;
+      }
+      if (s.points.size() < 2) continue;  // need a delta, not a level
+      per_series(s, s.points.front(), s.points.back());
+    }
+  };
+
+  switch (objective.kind) {
+    case SloObjective::Kind::kLatency:
+      window_delta(objective.family, nullptr,
+                   [&](const MetricsHistory::Series& s,
+                       const MetricsHistory::Point& first,
+                       const MetricsHistory::Point& last) {
+                     if (s.kind != SampledSeries::Kind::kHistogram) return;
+                     // values: [count, sum, bucket_0 .. bucket_n(+Inf)]
+                     const uint64_t total = last.values[0] - first.values[0];
+                     uint64_t good = 0;
+                     for (size_t b = 0; b < s.bounds.size(); ++b) {
+                       if (s.bounds[b] > objective.threshold_micros) break;
+                       good += last.values[b + 2] - first.values[b + 2];
+                     }
+                     burn.total_events += total;
+                     burn.bad_events += total - std::min(total, good);
+                   });
+      break;
+    case SloObjective::Kind::kRatio:
+      window_delta(objective.family, nullptr,
+                   [&](const MetricsHistory::Series& s,
+                       const MetricsHistory::Point& first,
+                       const MetricsHistory::Point& last) {
+                     if (s.kind != SampledSeries::Kind::kCounter) return;
+                     burn.total_events += last.values[0] - first.values[0];
+                   });
+      window_delta(objective.bad_family,
+                   objective.bad_label_filter.empty()
+                       ? nullptr
+                       : objective.bad_label_filter.c_str(),
+                   [&](const MetricsHistory::Series& s,
+                       const MetricsHistory::Point& first,
+                       const MetricsHistory::Point& last) {
+                     if (s.kind != SampledSeries::Kind::kCounter) return;
+                     burn.bad_events += last.values[0] - first.values[0];
+                   });
+      burn.bad_events = std::min(burn.bad_events, burn.total_events);
+      break;
+  }
+
+  if (burn.total_events < options_.min_events) return burn;  // burn 0
+  const double budget = 1.0 - objective.target;
+  if (budget <= 0.0) return burn;
+  burn.burn_rate = (static_cast<double>(burn.bad_events) /
+                    static_cast<double>(burn.total_events)) /
+                   budget;
+  return burn;
+}
+
+std::vector<SloTracker::ObjectiveState> SloTracker::Evaluate(
+    int64_t now_micros) {
+  std::vector<ObjectiveState> states;
+  states.reserve(options_.objectives.size());
+  SloStatus worst = SloStatus::kOk;
+  for (size_t i = 0; i < options_.objectives.size(); ++i) {
+    const SloObjective& objective = options_.objectives[i];
+    ObjectiveState state;
+    state.name = objective.name;
+    state.short_window =
+        ComputeWindow(objective, options_.short_window_micros, now_micros);
+    state.long_window =
+        ComputeWindow(objective, options_.long_window_micros, now_micros);
+    if (state.short_window.burn_rate >= options_.burning_burn_rate &&
+        state.long_window.burn_rate >= options_.burning_burn_rate) {
+      state.status = SloStatus::kBurning;
+    } else if (state.short_window.burn_rate >= options_.warning_burn_rate) {
+      state.status = SloStatus::kWarning;
+    }
+    if (static_cast<int>(state.status) > static_cast<int>(worst)) {
+      worst = state.status;
+    }
+
+    gauges_[i].burn_short->Set(BurnMilli(state.short_window.burn_rate));
+    gauges_[i].burn_long->Set(BurnMilli(state.long_window.burn_rate));
+    gauges_[i].status->Set(static_cast<int64_t>(state.status));
+    states.push_back(std::move(state));
+  }
+  worst_gauge_->Set(static_cast<int64_t>(worst));
+  worst_status_.store(static_cast<int>(worst), std::memory_order_release);
+  return states;
+}
+
+}  // namespace rased

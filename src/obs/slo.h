@@ -1,0 +1,133 @@
+#ifndef RASED_OBS_SLO_H_
+#define RASED_OBS_SLO_H_
+
+/// Rolling-window SLO objectives and multi-window burn rates (DESIGN.md
+/// §12), computed from MetricsHistory snapshot deltas rather than live
+/// counters so every number is a pure function of the retained series —
+/// deterministic under a FakeClock-driven scripted load.
+///
+/// Burn-rate math (the standard SRE formulation): an objective targets a
+/// good-event fraction `target` (e.g. 0.99 of requests under 250ms). Over
+/// a window, bad_fraction = bad / total, and
+///     burn_rate = bad_fraction / (1 - target)
+/// i.e. burn 1.0 consumes the error budget exactly at the sustainable
+/// rate; burn 14.4 exhausts a 30-day budget in ~2 days. Status uses two
+/// windows so a spike must persist before paging:
+///     burning: both the short and long window burn >= burning_burn_rate
+///     warning: the short window burn >= warning_burn_rate
+///     ok:      otherwise (including "too few events to judge")
+///
+/// /readyz consumes WorstStatus() — the future load-shedder's hook.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/timeseries.h"
+
+namespace rased {
+
+enum class SloStatus : int { kOk = 0, kWarning = 1, kBurning = 2 };
+
+const char* SloStatusName(SloStatus status);
+
+struct SloObjective {
+  enum class Kind {
+    /// Histogram family of event durations; an event is bad when it lands
+    /// above threshold_micros (computed from bucket deltas: bad = Δcount -
+    /// Δcumulative(le <= threshold)). threshold_micros should sit on a
+    /// bucket bound or the effective threshold rounds up to the next one.
+    kLatency,
+    /// Counter ratio: bad = Δ(bad_family series whose rendered labels
+    /// contain bad_label_filter), total = Δ(family).
+    kRatio,
+  };
+
+  std::string name;  // objective label on the published gauges
+  Kind kind = Kind::kLatency;
+  std::string family;  // histogram (kLatency) or total counter (kRatio)
+  int64_t threshold_micros = 250000;
+  std::string bad_family;        // kRatio only
+  std::string bad_label_filter;  // kRatio only; "" matches every series
+  double target = 0.99;          // good fraction objective, in (0, 1)
+};
+
+struct SloOptions {
+  int64_t short_window_micros = 5 * 60 * 1000000LL;
+  int64_t long_window_micros = 60 * 60 * 1000000LL;
+  double warning_burn_rate = 1.0;
+  double burning_burn_rate = 14.4;
+  /// A window with fewer total events than this reports burn 0 (not
+  /// enough signal to page on; keeps near-idle instances Ready).
+  uint64_t min_events = 20;
+  /// Empty = SloTracker::DefaultObjectives().
+  std::vector<SloObjective> objectives;
+};
+
+/// Evaluates objectives against a MetricsHistory and publishes
+/// rased_slo_burn_rate{objective,window} (milli-units: burn × 1000),
+/// rased_slo_status{objective}, and rased_slo_worst_status gauges.
+///
+/// Thread safety: Evaluate and WorstStatus are safe from any thread (gauge
+/// stores and an atomic worst-status; the history handles its own locking).
+class SloTracker {
+ public:
+  SloTracker(MetricsHistory* history, MetricsRegistry* registry,
+             const SloOptions& options = {});
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  /// The serving-path objectives: p99 HTTP latency under 250ms and HTTP
+  /// 5xx error rate under 0.1%.
+  static std::vector<SloObjective> DefaultObjectives();
+
+  struct WindowBurn {
+    int64_t window_micros = 0;
+    uint64_t total_events = 0;
+    uint64_t bad_events = 0;
+    double burn_rate = 0.0;
+  };
+
+  struct ObjectiveState {
+    std::string name;
+    SloStatus status = SloStatus::kOk;
+    WindowBurn short_window;
+    WindowBurn long_window;
+  };
+
+  /// Recomputes every objective from the history as of `now_micros`,
+  /// publishes the gauges, updates WorstStatus, and returns the states in
+  /// objective order. Deterministic given the history contents.
+  std::vector<ObjectiveState> Evaluate(int64_t now_micros);
+
+  /// Worst status across objectives at the last Evaluate (kOk before one).
+  SloStatus WorstStatus() const {
+    return static_cast<SloStatus>(
+        worst_status_.load(std::memory_order_acquire));
+  }
+
+  const SloOptions& options() const { return options_; }
+
+ private:
+  struct ObjectiveGauges {
+    Gauge* burn_short = nullptr;
+    Gauge* burn_long = nullptr;
+    Gauge* status = nullptr;
+  };
+
+  WindowBurn ComputeWindow(const SloObjective& objective,
+                           int64_t window_micros, int64_t now_micros) const;
+
+  MetricsHistory* const history_;
+  const SloOptions options_;
+  std::vector<ObjectiveGauges> gauges_;  // parallel to options_.objectives
+  Gauge* worst_gauge_;
+  std::atomic<int> worst_status_{0};
+};
+
+}  // namespace rased
+
+#endif  // RASED_OBS_SLO_H_

@@ -1,0 +1,243 @@
+#include "obs/timeseries.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/clock.h"
+#include "util/logging.h"
+#include "util/varint.h"
+
+namespace rased {
+
+namespace {
+
+/// Background sampler poll tick. The sampler sleeps in short real-time
+/// ticks and compares NowMicros() against the next due time, because
+/// rased::CondVar has no timed wait and the due time is FakeClock-driven.
+constexpr auto kSamplerTick = std::chrono::milliseconds(20);
+
+}  // namespace
+
+MetricsHistory::MetricsHistory(MetricsRegistry* registry,
+                               const MetricsHistoryOptions& options)
+    : registry_(registry), options_(options) {
+  samples_counter_ = registry_->GetCounter(
+      "rased_selfstats_samples_total",
+      "Metric history samples taken since process start");
+  sample_cost_counter_ = registry_->GetCounter(
+      "rased_selfstats_sample_micros_total",
+      "Cumulative wall micros spent snapshotting and encoding samples");
+  resident_gauge_ = registry_->GetGauge(
+      "rased_selfstats_resident_bytes",
+      "Encoded bytes retained by the metric history ring");
+  retained_gauge_ = registry_->GetGauge(
+      "rased_selfstats_samples_retained",
+      "Samples currently retained by the metric history ring");
+}
+
+MetricsHistory::~MetricsHistory() { StopSampler(); }
+
+void MetricsHistory::SetPostSampleHook(
+    std::function<void(int64_t now_micros)> hook) {
+  post_sample_hook_ = std::move(hook);
+}
+
+void MetricsHistory::StartSampler() {
+  if (sampler_running_.load(std::memory_order_acquire)) return;
+  SampleOnce();
+  sampler_running_.store(true, std::memory_order_release);
+  sampler_thread_ = std::thread([this] { SamplerLoop(); });
+}
+
+void MetricsHistory::StopSampler() {
+  if (!sampler_running_.load(std::memory_order_acquire)) return;
+  sampler_running_.store(false, std::memory_order_release);
+  if (sampler_thread_.joinable()) sampler_thread_.join();
+}
+
+void MetricsHistory::SamplerLoop() {
+  while (sampler_running_.load(std::memory_order_acquire)) {
+    const int64_t now = NowMicros();
+    bool due;
+    {
+      MutexLock lock(&mu_);
+      due = now >= next_due_micros_;
+    }
+    if (due) SampleOnce();
+    std::this_thread::sleep_for(kSamplerTick);
+  }
+}
+
+bool MetricsHistory::LayoutMatchesLocked(
+    const std::vector<SampledSeries>& snapshot) const {
+  if (snapshot.size() != layout_.size()) return false;
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    const SampledSeries& s = snapshot[i];
+    const SeriesLayout& l = layout_[i];
+    if (s.name != l.name || s.labels != l.labels || s.kind != l.kind ||
+        s.values.size() != l.count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void MetricsHistory::RebuildLayoutLocked(
+    const std::vector<SampledSeries>& snapshot) {
+  layout_.clear();
+  layout_.reserve(snapshot.size());
+  size_t offset = 0;
+  for (const SampledSeries& s : snapshot) {
+    SeriesLayout& l = layout_.emplace_back();
+    l.name = s.name;
+    l.labels = s.labels;
+    l.kind = s.kind;
+    l.bounds = s.bounds;
+    l.offset = offset;
+    l.count = s.values.size();
+    offset += l.count;
+  }
+  layout_words_ = offset;
+  ring_.clear();
+  front_values_.clear();
+  last_values_.clear();
+  resident_bytes_ = 0;
+}
+
+void MetricsHistory::EvictOverBudgetLocked() {
+  while (resident_bytes_ > options_.ring_byte_budget && ring_.size() > 1) {
+    // Re-base the second sample into the new keyframe: decode its deltas
+    // onto the evicted front's values and re-encode raw.
+    EncodedSample& next = ring_[1];
+    DecodeOnto(next, /*is_keyframe=*/false, &front_values_);
+    resident_bytes_ -= next.bytes.size() + kSampleOverheadBytes;
+    resident_bytes_ -= ring_.front().bytes.size() + kSampleOverheadBytes;
+    next.bytes.clear();
+    for (uint64_t v : front_values_) PutVarint(&next.bytes, v);
+    resident_bytes_ += next.bytes.size() + kSampleOverheadBytes;
+    ring_.pop_front();
+  }
+}
+
+void MetricsHistory::DecodeOnto(const EncodedSample& sample, bool is_keyframe,
+                                std::vector<uint64_t>* values) {
+  const unsigned char* p = sample.bytes.data();
+  const unsigned char* end = p + sample.bytes.size();
+  for (uint64_t& slot : *values) {
+    uint64_t word = 0;
+    // Ring buffers are process-local; decode failure is a programmer error.
+    RASED_CHECK(GetVarint(&p, end, &word).ok());
+    slot = is_keyframe ? word : slot + ZigzagDecode(word);
+  }
+  RASED_CHECK(p == end);
+}
+
+void MetricsHistory::SampleOnce() {
+  const int64_t now = NowMicros();
+  const StopWatch cost;
+  std::vector<SampledSeries> snapshot = registry_->Sample();
+
+  {
+    MutexLock lock(&mu_);
+    if (!LayoutMatchesLocked(snapshot)) RebuildLayoutLocked(snapshot);
+
+    EncodedSample sample;
+    sample.t_micros = now;
+    const bool keyframe = ring_.empty();
+    if (keyframe) {
+      front_values_.resize(layout_words_);
+      last_values_.assign(layout_words_, 0);
+    }
+    std::vector<uint64_t> flat(layout_words_);
+    size_t w = 0;
+    for (const SampledSeries& s : snapshot) {
+      for (uint64_t v : s.values) flat[w++] = v;
+    }
+    sample.bytes.reserve(layout_words_ + layout_words_ / 2);
+    for (size_t i = 0; i < layout_words_; ++i) {
+      if (keyframe) {
+        PutVarint(&sample.bytes, flat[i]);
+      } else {
+        PutVarint(&sample.bytes, ZigzagEncode(flat[i] - last_values_[i]));
+      }
+    }
+    if (keyframe) front_values_ = flat;
+    last_values_ = std::move(flat);
+    resident_bytes_ += sample.bytes.size() + kSampleOverheadBytes;
+    ring_.push_back(std::move(sample));
+    EvictOverBudgetLocked();
+
+    ++samples_taken_;
+    const uint64_t cost_micros =
+        static_cast<uint64_t>(cost.ElapsedMicros() < 0 ? 0
+                                                       : cost.ElapsedMicros());
+    sample_cost_micros_total_ += cost_micros;
+    next_due_micros_ = now + options_.sample_interval_micros;
+
+    samples_counter_->Increment();
+    sample_cost_counter_->Increment(cost_micros);
+    resident_gauge_->Set(static_cast<int64_t>(resident_bytes_));
+    retained_gauge_->Set(static_cast<int64_t>(ring_.size()));
+  }
+
+  if (post_sample_hook_) post_sample_hook_(now);
+}
+
+std::vector<MetricsHistory::Series> MetricsHistory::Query(
+    std::string_view family, int64_t window_micros,
+    int64_t now_micros) const {
+  const int64_t cutoff =
+      window_micros > 0 ? now_micros - window_micros : INT64_MIN;
+
+  MutexLock lock(&mu_);
+  std::vector<Series> out;
+  std::vector<size_t> selected;
+  for (size_t i = 0; i < layout_.size(); ++i) {
+    if (!family.empty() && layout_[i].name != family) continue;
+    selected.push_back(i);
+    Series& series = out.emplace_back();
+    series.name = layout_[i].name;
+    series.labels = layout_[i].labels;
+    series.kind = layout_[i].kind;
+    series.bounds = layout_[i].bounds;
+  }
+  if (selected.empty() || ring_.empty()) return out;
+
+  std::vector<uint64_t> values = front_values_;
+  for (size_t s = 0; s < ring_.size(); ++s) {
+    const EncodedSample& sample = ring_[s];
+    if (s > 0) DecodeOnto(sample, /*is_keyframe=*/false, &values);
+    if (sample.t_micros < cutoff) continue;
+    for (size_t k = 0; k < selected.size(); ++k) {
+      const SeriesLayout& l = layout_[selected[k]];
+      Point& point = out[k].points.emplace_back();
+      point.t_micros = sample.t_micros;
+      point.values.assign(values.begin() + static_cast<ptrdiff_t>(l.offset),
+                          values.begin() +
+                              static_cast<ptrdiff_t>(l.offset + l.count));
+    }
+  }
+  return out;
+}
+
+size_t MetricsHistory::num_samples() const {
+  MutexLock lock(&mu_);
+  return ring_.size();
+}
+
+uint64_t MetricsHistory::samples_taken() const {
+  MutexLock lock(&mu_);
+  return samples_taken_;
+}
+
+uint64_t MetricsHistory::resident_bytes() const {
+  MutexLock lock(&mu_);
+  return resident_bytes_;
+}
+
+uint64_t MetricsHistory::sample_cost_micros_total() const {
+  MutexLock lock(&mu_);
+  return sample_cost_micros_total_;
+}
+
+}  // namespace rased

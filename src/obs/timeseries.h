@@ -1,0 +1,172 @@
+#ifndef RASED_OBS_TIMESERIES_H_
+#define RASED_OBS_TIMESERIES_H_
+
+/// Self-monitoring time series (DESIGN.md §12). A MetricsHistory samples a
+/// MetricsRegistry on a fixed interval into a bounded ring of delta-encoded
+/// snapshots, giving the instance a retained view of its own metrics —
+/// /api/selfstats plots it, SloTracker (obs/slo.h) computes windowed
+/// burn rates from it, and `rased top` polls it.
+///
+/// Storage shape (the LiveVectorLake snapshot+delta idea applied to metric
+/// vectors): the registry snapshot is flattened to one uint64 vector in a
+/// fixed layout; the oldest retained sample is stored raw (varint keyframe)
+/// and every later sample as zigzag-varint deltas against its predecessor,
+/// so a quiet instance costs ~1 byte per series per sample. Eviction
+/// re-bases the second sample into the new keyframe, keeping the ring
+/// within a configured byte budget. All time reads go through util/clock.h,
+/// so a FakeClock makes sampling and windowing fully deterministic.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "util/thread_annotations.h"
+
+namespace rased {
+
+struct MetricsHistoryOptions {
+  /// Background sampling period. Also the granularity floor for SLO
+  /// windows: a window shorter than the interval sees at most one delta.
+  int64_t sample_interval_micros = 10 * 1000 * 1000;
+
+  /// Upper bound on encoded snapshot bytes retained (plus a small fixed
+  /// per-sample overhead, counted). The newest sample is always retained
+  /// even if it alone exceeds the budget.
+  uint64_t ring_byte_budget = 1 << 20;
+};
+
+/// Bounded, delta-encoded history of a registry's samples.
+///
+/// Thread safety: SampleOnce/Query/accessors are safe from any thread;
+/// StartSampler/StopSampler must be externally serialized (the owning
+/// service's Start/Stop). The optional background sampler calls SampleOnce
+/// on its own thread, driven by util/clock.h NowMicros.
+class MetricsHistory {
+ public:
+  explicit MetricsHistory(MetricsRegistry* registry,
+                          const MetricsHistoryOptions& options = {});
+  ~MetricsHistory();
+
+  MetricsHistory(const MetricsHistory&) = delete;
+  MetricsHistory& operator=(const MetricsHistory&) = delete;
+
+  /// Hook run after every sample (background or manual) with the sample's
+  /// timestamp, outside internal locks — SloTracker::Evaluate plugs in
+  /// here. Set before StartSampler; not thread-safe against sampling.
+  void SetPostSampleHook(std::function<void(int64_t now_micros)> hook);
+
+  /// Launches the background sampler after taking one synchronous sample,
+  /// so a started history is never empty. No-op if already running.
+  void StartSampler();
+  /// Stops and joins the sampler thread. No-op if not running. Called by
+  /// the destructor.
+  void StopSampler();
+
+  /// Takes one sample stamped NowMicros() and appends it to the ring,
+  /// evicting the oldest samples past the byte budget. If the registry's
+  /// series layout changed since the last sample (new series registered),
+  /// the ring resets to this sample (documented in DESIGN.md §12; series
+  /// are normally all registered at boot).
+  void SampleOnce() RASED_EXCLUDES(mu_);
+
+  struct Point {
+    int64_t t_micros = 0;
+    /// Same per-kind layout as SampledSeries::values.
+    std::vector<uint64_t> values;
+  };
+
+  struct Series {
+    std::string name;
+    std::string labels;
+    SampledSeries::Kind kind = SampledSeries::Kind::kCounter;
+    std::vector<int64_t> bounds;  // histogram finite bucket bounds
+    std::vector<Point> points;    // oldest first
+  };
+
+  /// Decoded points of every series whose family name equals `family`
+  /// (empty = all series), restricted to t_micros >= now_micros -
+  /// window_micros (window_micros <= 0 = all retained). Series identity
+  /// order matches the registry's sorted exposition order.
+  std::vector<Series> Query(std::string_view family, int64_t window_micros,
+                            int64_t now_micros) const RASED_EXCLUDES(mu_);
+
+  int64_t sample_interval_micros() const {
+    return options_.sample_interval_micros;
+  }
+  uint64_t ring_byte_budget() const { return options_.ring_byte_budget; }
+  /// Samples currently retained in the ring.
+  size_t num_samples() const RASED_EXCLUDES(mu_);
+  /// Samples ever taken (retained + evicted + layout-reset casualties).
+  uint64_t samples_taken() const RASED_EXCLUDES(mu_);
+  /// Encoded bytes retained, including the fixed per-sample overhead.
+  uint64_t resident_bytes() const RASED_EXCLUDES(mu_);
+  /// Cumulative wall micros spent snapshotting + encoding in SampleOnce.
+  uint64_t sample_cost_micros_total() const RASED_EXCLUDES(mu_);
+
+ private:
+  /// Fixed per-sample bookkeeping charged against the byte budget
+  /// (timestamp + deque/vector overhead, rounded up).
+  static constexpr uint64_t kSampleOverheadBytes = 48;
+
+  struct SeriesLayout {
+    std::string name;
+    std::string labels;
+    SampledSeries::Kind kind = SampledSeries::Kind::kCounter;
+    std::vector<int64_t> bounds;
+    size_t offset = 0;  // first word in the flat value vector
+    size_t count = 0;   // words owned by this series
+  };
+
+  struct EncodedSample {
+    int64_t t_micros = 0;
+    /// Varints: raw values for the ring front (keyframe), zigzag deltas
+    /// against the predecessor for every later sample.
+    std::vector<unsigned char> bytes;
+  };
+
+  void SamplerLoop();
+  bool LayoutMatchesLocked(const std::vector<SampledSeries>& snapshot) const
+      RASED_REQUIRES(mu_);
+  void RebuildLayoutLocked(const std::vector<SampledSeries>& snapshot)
+      RASED_REQUIRES(mu_);
+  void EvictOverBudgetLocked() RASED_REQUIRES(mu_);
+  static void DecodeOnto(const EncodedSample& sample, bool is_keyframe,
+                         std::vector<uint64_t>* values);
+
+  MetricsRegistry* const registry_ RASED_CONST_AFTER_INIT;
+  const MetricsHistoryOptions options_;
+
+  mutable Mutex mu_;
+  std::vector<SeriesLayout> layout_ RASED_GUARDED_BY(mu_);
+  size_t layout_words_ RASED_GUARDED_BY(mu_) = 0;
+  std::deque<EncodedSample> ring_ RASED_GUARDED_BY(mu_);
+  /// Flat values of the oldest (front_) and newest (last_) retained
+  /// sample, in layout order — decode seed and delta base respectively.
+  std::vector<uint64_t> front_values_ RASED_GUARDED_BY(mu_);
+  std::vector<uint64_t> last_values_ RASED_GUARDED_BY(mu_);
+  uint64_t resident_bytes_ RASED_GUARDED_BY(mu_) = 0;
+  uint64_t samples_taken_ RASED_GUARDED_BY(mu_) = 0;
+  uint64_t sample_cost_micros_total_ RASED_GUARDED_BY(mu_) = 0;
+  int64_t next_due_micros_ RASED_GUARDED_BY(mu_) = 0;
+
+  /// Self-accounting published into the sampled registry itself.
+  Counter* samples_counter_ RASED_CONST_AFTER_INIT;
+  Counter* sample_cost_counter_ RASED_CONST_AFTER_INIT;
+  Gauge* resident_gauge_ RASED_CONST_AFTER_INIT;
+  Gauge* retained_gauge_ RASED_CONST_AFTER_INIT;
+
+  std::function<void(int64_t)> post_sample_hook_ RASED_CONST_AFTER_INIT;
+  std::atomic<bool> sampler_running_{false};
+  std::thread sampler_thread_ RASED_CONST_AFTER_INIT;
+};
+
+}  // namespace rased
+
+#endif  // RASED_OBS_TIMESERIES_H_

@@ -39,6 +39,21 @@ inline int64_t NowMicros() {
       .count();
 }
 
+/// Current wall-clock time in microseconds since the Unix epoch — the only
+/// sanctioned calendar-time read in the tree (rased-lint RL014 bans raw
+/// system_clock/steady_clock use outside this header). Honors
+/// SetClockForTesting: with a FakeClock installed the "wall" time is the
+/// fake time interpreted as a Unix offset, so log timestamps and other
+/// calendar stamps are deterministic in tests too.
+inline int64_t NowWallMicros() {
+  Clock* override_clock =
+      clock_internal::OverrideSlot().load(std::memory_order_acquire);
+  if (override_clock != nullptr) return override_clock->NowMicros();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 /// Installs `clock` as the process time source (nullptr restores the real
 /// clock). The caller keeps ownership and must keep the clock alive until
 /// reset; intended for tests only.

@@ -1,12 +1,12 @@
 #include "util/logging.h"
 
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
 #include <thread>
 
+#include "util/clock.h"
 #include "util/thread_annotations.h"
 
 namespace rased {
@@ -49,26 +49,35 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+/// The calling thread's request trace id; see SetThreadLogTraceId.
+thread_local uint64_t t_log_trace_id = 0;
+
 /// Writes the stable line prefix documented on LogMessage in logging.h:
-/// [<ISO-8601 UTC ms Z> <LEVEL> <thread-id> <basename>:<line>]
+/// [<ISO-8601 UTC ms Z> <LEVEL> <thread-id> <basename>:<line>[ trace=hex]]
 void EmitLinePrefix(std::ostream& os, const char* level_name,
                     const char* file, int line) {
-  auto now = std::chrono::system_clock::now();
-  std::time_t seconds = std::chrono::system_clock::to_time_t(now);
-  auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
-                    now.time_since_epoch())
-                    .count() %
-                1000;
-  if (millis < 0) millis += 1000;  // pre-epoch clocks (paranoia)
+  const int64_t wall = NowWallMicros();
+  std::time_t seconds = static_cast<std::time_t>(wall / 1000000);
+  int millis = static_cast<int>((wall % 1000000) / 1000);
+  if (millis < 0) {  // pre-epoch clocks (paranoia)
+    millis += 1000;
+    seconds -= 1;
+  }
   std::tm utc{};
   gmtime_r(&seconds, &utc);
   char stamp[64];
   std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
                 utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
-                utc.tm_min, utc.tm_sec, static_cast<int>(millis));
+                utc.tm_min, utc.tm_sec, millis);
   os << "[" << stamp << " " << level_name << " "
-     << std::this_thread::get_id() << " " << Basename(file) << ":" << line
-     << "] ";
+     << std::this_thread::get_id() << " " << Basename(file) << ":" << line;
+  if (t_log_trace_id != 0) {
+    char trace[32];
+    std::snprintf(trace, sizeof(trace), "%016llx",
+                  static_cast<unsigned long long>(t_log_trace_id));
+    os << " trace=" << trace;
+  }
+  os << "] ";
 }
 
 }  // namespace
@@ -80,6 +89,10 @@ LogLevel GetLogLevel() {
 void SetLogLevel(LogLevel level) {
   g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
+
+void SetThreadLogTraceId(uint64_t trace_id) { t_log_trace_id = trace_id; }
+
+uint64_t GetThreadLogTraceId() { return t_log_trace_id; }
 
 namespace internal_logging {
 

@@ -1,6 +1,7 @@
 #ifndef RASED_UTIL_LOGGING_H_
 #define RASED_UTIL_LOGGING_H_
 
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -16,6 +17,17 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Request-scoped trace-id correlation. While a thread's trace id is
+/// nonzero, every log line it emits carries a trailing ` trace=<16 hex>`
+/// inside the bracketed prefix, so slow-query WARNs, access logs, and the
+/// /api/trace ring join on one key. Installed/restored per request by
+/// obs/request_context.h ScopedRequestContext (which is the API callers
+/// should use); 0 means "no request context". The id lives in a
+/// thread-local, so it must be re-installed on any worker thread a request
+/// fans out to.
+void SetThreadLogTraceId(uint64_t trace_id);
+uint64_t GetThreadLogTraceId();
+
 namespace internal_logging {
 
 /// Stream-style log sink that emits one line to stderr on destruction.
@@ -24,11 +36,16 @@ namespace internal_logging {
 /// thread id with /api/trace span output):
 ///
 ///   [<ISO-8601 UTC, ms precision, Z suffix> <LEVEL> <thread-id>
-///    <basename>:<line>] <message>     (one line; wrapped here for width)
+///    <basename>:<line>[ trace=<16-hex>]] <message>
+///                                       (one line; wrapped here for width)
 ///
-/// e.g. [2026-08-07T09:14:03.218Z WARN 139637242332736 pager.cc:87] ...
+/// e.g. [2026-08-07T09:14:03.218Z WARN 139637242332736 pager.cc:87
+///       trace=00f1d2c3b4a59687] ...
 /// LEVEL is one of DEBUG/INFO/WARN/ERROR (FATAL for aborting checks);
 /// <thread-id> is the platform thread id as printed by std::thread::id.
+/// The ` trace=` field appears only when the emitting thread has a nonzero
+/// trace id installed (SetThreadLogTraceId above). The timestamp reads
+/// util/clock.h NowWallMicros, so a FakeClock makes it deterministic.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

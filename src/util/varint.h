@@ -1,0 +1,64 @@
+#ifndef RASED_UTIL_VARINT_H_
+#define RASED_UTIL_VARINT_H_
+
+/// LEB128 varints and zigzag transforms, shared by the cube storage
+/// encodings (cube/cube_codec.cc, where they originated) and the
+/// self-monitoring metric-snapshot ring (obs/timeseries.cc). Header-only so
+/// every layer can use them without a new link dependency.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rased {
+
+/// At most 10 bytes encode a uint64.
+inline constexpr size_t kMaxVarintBytes = 10;
+
+inline void PutVarint(std::vector<unsigned char>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<unsigned char>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<unsigned char>(v));
+}
+
+/// Reads one varint from [*p, end). Advances *p past it on success;
+/// truncated or overlong input yields Corruption and leaves *p unspecified.
+inline Status GetVarint(const unsigned char** p, const unsigned char* end,
+                        uint64_t* v) {
+  uint64_t result = 0;
+  unsigned shift = 0;
+  const unsigned char* q = *p;
+  for (size_t i = 0; i < kMaxVarintBytes; ++i) {
+    if (q == end) return Status::Corruption("truncated varint");
+    const unsigned char byte = *q++;
+    if (shift == 63 && (byte & 0xFE) != 0) {
+      return Status::Corruption("varint overflows 64 bits");
+    }
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *p = q;
+      *v = result;
+      return Status::OK();
+    }
+    shift += 7;
+  }
+  return Status::Corruption("overlong varint");
+}
+
+/// Zigzag maps a mod-2^64 difference to an unsigned value whose varint
+/// length tracks the delta's magnitude (small deltas of either sign stay
+/// short).
+inline uint64_t ZigzagEncode(uint64_t delta) {
+  const int64_t s = static_cast<int64_t>(delta);
+  return (static_cast<uint64_t>(s) << 1) ^ static_cast<uint64_t>(s >> 63);
+}
+
+inline uint64_t ZigzagDecode(uint64_t z) { return (z >> 1) ^ (~(z & 1) + 1); }
+
+}  // namespace rased
+
+#endif  // RASED_UTIL_VARINT_H_

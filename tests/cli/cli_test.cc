@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "dashboard/dashboard_service.h"
 #include "io/env.h"
+#include "test_helpers.h"
 #include "util/date.h"
 
 namespace rased {
@@ -186,6 +188,34 @@ TEST_F(CliTest, SampleRequiresSelector) {
 TEST_F(CliTest, OpenMissingInstanceFails) {
   EXPECT_NE(RunRased({"stats", "dir=" + Dir("nonexistent")}), 0);
   EXPECT_NE(RunRased({"query"}), 0);  // no dir at all
+}
+
+TEST_F(CliTest, TopRendersOneFrameFromLiveSelfstats) {
+  // `top` is a pure HTTP client, so it can poll a service hosted in-process.
+  // The default dashboard options start the sampler, whose first sample is
+  // synchronous — one frame is renderable immediately.
+  auto rased = testing_helpers::MakePopulatedRased(Dir("top-instance"));
+  ASSERT_NE(rased, nullptr);
+  DashboardService service(rased.get());
+  ASSERT_TRUE(service.Start(0).ok());
+
+  std::string out;
+  EXPECT_EQ(RunRased({"top", "port=" + std::to_string(service.port()),
+                      "window=60", "iterations=1"},
+                     &out),
+            0);
+  EXPECT_NE(out.find("rased top"), std::string::npos) << out;
+  EXPECT_NE(out.find("sample(s) retained"), std::string::npos) << out;
+  EXPECT_NE(out.find("http"), std::string::npos);
+  EXPECT_NE(out.find("sampler"), std::string::npos);
+  // The default SLO objectives render with their idle status.
+  EXPECT_NE(out.find("query_latency_p99"), std::string::npos) << out;
+  EXPECT_NE(out.find("http_error_rate"), std::string::npos) << out;
+  // Single-frame mode is scriptable: no ANSI clear sequence.
+  EXPECT_EQ(out.find("\x1b["), std::string::npos);
+  service.Stop();
+
+  EXPECT_NE(RunRased({"top"}), 0);  // port= is required
 }
 
 }  // namespace

@@ -54,6 +54,14 @@ std::string Fetch(int port, const std::string& target) {
   return response;
 }
 
+/// Everything after the header block. Responses carry a per-request
+/// X-Rased-Trace-Id header, so byte-for-byte agreement holds for bodies,
+/// not for whole responses.
+std::string Body(const std::string& response) {
+  size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? response : response.substr(at + 4);
+}
+
 class ConcurrentQueriesTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
@@ -139,8 +147,9 @@ TEST_F(ConcurrentQueriesTest, ConcurrentIdenticalQueriesAgree) {
   constexpr int kThreads = 6;
   const std::string target =
       "/api/query?from=2021-01-01&to=2021-02-28&group=country&format=csv";
-  std::string expected = Fetch(service_->port(), target);
-  ASSERT_NE(expected.find("200 OK"), std::string::npos);
+  const std::string first = Fetch(service_->port(), target);
+  ASSERT_NE(first.find("200 OK"), std::string::npos);
+  const std::string expected = Body(first);
 
   std::atomic<int> mismatches{0};
   std::vector<std::thread> threads;
@@ -148,7 +157,11 @@ TEST_F(ConcurrentQueriesTest, ConcurrentIdenticalQueriesAgree) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&] {
       for (int i = 0; i < 10; ++i) {
-        if (Fetch(service_->port(), target) != expected) ++mismatches;
+        std::string response = Fetch(service_->port(), target);
+        if (response.find("200 OK") == std::string::npos ||
+            Body(response) != expected) {
+          ++mismatches;
+        }
       }
     });
   }

@@ -4,6 +4,7 @@
 
 #include "io/env.h"
 #include "synth/update_generator.h"
+#include "util/clock.h"
 
 namespace rased {
 namespace {
@@ -117,6 +118,41 @@ TEST_F(ReplicationIngestorTest, EmptyFeedIsNoWork) {
   auto stats = ingestor.CatchUp();
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats.value().days_ingested, 0u);
+}
+
+TEST_F(ReplicationIngestorTest, LagAndProgressGaugesTrackCatchUp) {
+  // Under a FakeClock the progress stamp is exactly assertable — this is
+  // what /readyz compares against max_ingest_idle_micros to detect a
+  // wedged ingest.
+  FakeClock fake(7000000);
+  SetClockForTesting(&fake);
+
+  Gauge* lag = rased_->metrics()->GetGauge("rased_ingest_lag_sequences", "");
+  Gauge* progress =
+      rased_->metrics()->GetGauge("rased_ingest_last_progress_micros", "");
+
+  PublishDays(Date::FromYmd(2021, 7, 1), Date::FromYmd(2021, 7, 3));
+  ReplicationIngestor ingestor(rased_.get(), feed_->dir());
+  EXPECT_EQ(lag->value(), 0);  // untouched before the first CatchUp
+  EXPECT_EQ(progress->value(), 0);
+
+  ASSERT_TRUE(ingestor.CatchUp().ok());
+  // The trailing day (sequence 3) is held back, so one sequence lags.
+  EXPECT_EQ(lag->value(), 1);
+  EXPECT_EQ(progress->value(), 7000000);
+
+  fake.Advance(5000000);
+  ASSERT_TRUE(ingestor.CatchUp(/*finalize_all=*/true).ok());
+  EXPECT_EQ(lag->value(), 0);
+  EXPECT_EQ(progress->value(), 12000000);
+
+  // A caught-up CatchUp still counts as progress (the feed was reached).
+  fake.Advance(3000000);
+  ASSERT_TRUE(ingestor.CatchUp().ok());
+  EXPECT_EQ(lag->value(), 0);
+  EXPECT_EQ(progress->value(), 15000000);
+
+  SetClockForTesting(nullptr);
 }
 
 TEST_F(ReplicationIngestorTest, GapDaysAreFilledWithEmptyCubes) {

@@ -1,0 +1,38 @@
+// RL014 fixture: raw std::chrono clocks outside src/util/clock.h. Every
+// named-clock identifier must be flagged; chrono durations and the
+// util/clock.h seam must not be.
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "util/clock.h"
+
+namespace rased {
+
+int64_t BadWallMicros() {
+  auto now = std::chrono::system_clock::now();  // WANT[RL014]
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+int64_t BadMonotonicMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now()  // WANT[RL014]
+                 .time_since_epoch())
+      .count();
+}
+
+int64_t BadBenchTimer() {
+  using clock = std::chrono::high_resolution_clock;  // WANT[RL014]
+  return clock::now().time_since_epoch().count();
+}
+
+int64_t GoodMicros() {
+  // Durations without a clock read are fine: sleeping is not timing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  return NowMicros() + NowWallMicros();
+}
+
+}  // namespace rased

@@ -116,6 +116,8 @@ TEST(RasedLintTest, VendorIntrinsics) {
   ExpectMatchesMarkers("vendor_intrinsics.cc");
 }
 
+TEST(RasedLintTest, RawWallClock) { ExpectMatchesMarkers("wall_clock.cc"); }
+
 // The one legitimate home of intrinsics is exempt by exact path.
 TEST(RasedLintTest, VendorIntrinsicsAllowedInKernelTu) {
   std::string contents = ReadFixture("vendor_intrinsics.cc");
@@ -157,7 +159,7 @@ TEST(RasedLintTest, RuleTableIsOrderedAndUnique) {
     EXPECT_LT(prev, rule.id);
     prev = rule.id;
   }
-  EXPECT_EQ(ids.size(), 13u);
+  EXPECT_EQ(ids.size(), 14u);
 }
 
 }  // namespace

@@ -1,0 +1,88 @@
+#include "obs/request_context.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace rased {
+namespace {
+
+TEST(RequestContextTest, MintedIdsAreNonzeroAndDistinct) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t id = MintTraceId();
+    EXPECT_NE(id, 0u);
+    seen.insert(id);
+  }
+  // A 64-bit Rng colliding within 100 draws would be astronomical.
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(RequestContextTest, FormatIsSixteenLowercaseHexDigits) {
+  EXPECT_EQ(FormatTraceId(0x1), "0000000000000001");
+  EXPECT_EQ(FormatTraceId(0xDEADBEEF12345678ULL), "deadbeef12345678");
+  EXPECT_EQ(FormatTraceId(UINT64_MAX), "ffffffffffffffff");
+}
+
+TEST(RequestContextTest, ParseRoundTripsAndRejectsMalformedIds) {
+  for (uint64_t id : {uint64_t{1}, uint64_t{0xABCDEF0123456789ULL},
+                      uint64_t{UINT64_MAX}}) {
+    Result<uint64_t> parsed = ParseTraceId(FormatTraceId(id));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), id);
+  }
+  // Unpadded short forms are accepted (1..16 hex digits).
+  Result<uint64_t> short_form = ParseTraceId("ff");
+  ASSERT_TRUE(short_form.ok());
+  EXPECT_EQ(short_form.value(), 0xFFu);
+
+  EXPECT_FALSE(ParseTraceId("").ok());
+  EXPECT_FALSE(ParseTraceId("0").ok());  // zero means "no trace"
+  EXPECT_FALSE(ParseTraceId("0000000000000000").ok());
+  EXPECT_FALSE(ParseTraceId("xyz").ok());
+  EXPECT_FALSE(ParseTraceId("123g").ok());
+  EXPECT_FALSE(ParseTraceId("0123456789abcdef0").ok());  // 17 digits
+  EXPECT_FALSE(ParseTraceId("12 34").ok());
+}
+
+TEST(RequestContextTest, ScopesInstallAndRestoreNested) {
+  EXPECT_EQ(CurrentTraceId(), 0u);
+  {
+    ScopedRequestContext outer(0x1111);
+    EXPECT_EQ(CurrentTraceId(), 0x1111u);
+    {
+      ScopedRequestContext inner(0x2222);
+      EXPECT_EQ(CurrentTraceId(), 0x2222u);
+    }
+    EXPECT_EQ(CurrentTraceId(), 0x1111u);
+  }
+  EXPECT_EQ(CurrentTraceId(), 0u);
+}
+
+TEST(RequestContextTest, LogLinesCarryTheScopedTraceId) {
+  // Inside a scope the line prefix must carry trace=<16 hex>; outside,
+  // the field must be absent entirely.
+  ::testing::internal::CaptureStderr();
+  {
+    ScopedRequestContext scope(0xABC123);
+    RASED_LOG(Warning) << "traced line";
+  }
+  RASED_LOG(Warning) << "untraced line";
+  const std::string log = ::testing::internal::GetCapturedStderr();
+
+  const size_t traced = log.find("traced line");
+  const size_t untraced = log.find("untraced line", traced + 1);
+  ASSERT_NE(traced, std::string::npos);
+  ASSERT_NE(untraced, std::string::npos);
+  EXPECT_NE(log.substr(0, traced).find("trace=0000000000abc123"),
+            std::string::npos);
+  EXPECT_EQ(log.substr(traced, untraced - traced).find("trace="),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rased

@@ -1,0 +1,221 @@
+#include "obs/slo.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics_registry.h"
+#include "obs/timeseries.h"
+#include "util/clock.h"
+
+namespace rased {
+namespace {
+
+class ScopedFakeClock {
+ public:
+  explicit ScopedFakeClock(int64_t start_micros) : clock_(start_micros) {
+    SetClockForTesting(&clock_);
+  }
+  ~ScopedFakeClock() { SetClockForTesting(nullptr); }
+
+  FakeClock* clock() { return &clock_; }
+
+ private:
+  FakeClock clock_;
+};
+
+constexpr int64_t kSecond = 1000000;
+
+/// Fixture driving a latency objective through a scripted load: requests
+/// are "fast" (50ms, inside the 100ms threshold bucket) or "slow" (300ms).
+/// Every number below is hand-computed from the burn formula
+/// burn = (bad/total) / (1 - target), target 0.9 → error budget 0.1.
+class SloTrackerTest : public ::testing::Test {
+ protected:
+  SloTrackerTest() : fake_(0) {
+    HistogramOptions buckets;
+    buckets.first_bound = 100000;  // 100ms, 200ms, 400ms (+Inf)
+    buckets.growth = 2.0;
+    buckets.num_buckets = 3;
+    latency_ = registry_.GetHistogram("rased_test_req_micros",
+                                      "scripted request latency", buckets);
+
+    MetricsHistoryOptions history_options;
+    history_options.sample_interval_micros = kSecond;
+    history_ =
+        std::make_unique<MetricsHistory>(&registry_, history_options);
+
+    SloOptions slo;
+    slo.short_window_micros = 10 * kSecond;
+    slo.long_window_micros = 30 * kSecond;
+    slo.warning_burn_rate = 1.0;
+    slo.burning_burn_rate = 2.0;
+    slo.min_events = 5;
+    SloObjective objective;
+    objective.name = "test_latency";
+    objective.kind = SloObjective::Kind::kLatency;
+    objective.family = "rased_test_req_micros";
+    objective.threshold_micros = 100000;
+    objective.target = 0.9;
+    slo.objectives = {objective};
+    tracker_ = std::make_unique<SloTracker>(history_.get(), &registry_, slo);
+  }
+
+  /// One second of traffic: observe, sample at the current fake time,
+  /// then advance one second.
+  void Second(int fast, int slow) {
+    for (int i = 0; i < fast; ++i) latency_->Observe(50000);
+    for (int i = 0; i < slow; ++i) latency_->Observe(300000);
+    history_->SampleOnce();
+    fake_.clock()->Advance(kSecond);
+  }
+
+  int64_t BurnMilliGauge(const char* window) {
+    return registry_
+        .GetGauge("rased_slo_burn_rate", "",
+                  {{"objective", "test_latency"}, {"window", window}})
+        ->value();
+  }
+
+  ScopedFakeClock fake_;
+  MetricsRegistry registry_;
+  Histogram* latency_ = nullptr;
+  std::unique_ptr<MetricsHistory> history_;
+  std::unique_ptr<SloTracker> tracker_;
+};
+
+TEST_F(SloTrackerTest, DeterministicOkToBurningTransition) {
+  // Phase A — ten healthy seconds (samples at t=0..9s, 10 fast each).
+  for (int k = 0; k < 10; ++k) Second(/*fast=*/10, /*slow=*/0);
+  std::vector<SloTracker::ObjectiveState> states =
+      tracker_->Evaluate(10 * kSecond);
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_EQ(states[0].status, SloStatus::kOk);
+  // Short window covers t=0..9s: counts 10 → 100, all good.
+  EXPECT_EQ(states[0].short_window.total_events, 90u);
+  EXPECT_EQ(states[0].short_window.bad_events, 0u);
+  EXPECT_EQ(states[0].short_window.burn_rate, 0.0);
+  EXPECT_EQ(tracker_->WorstStatus(), SloStatus::kOk);
+  EXPECT_EQ(BurnMilliGauge("short"), 0);
+  EXPECT_EQ(BurnMilliGauge("long"), 0);
+
+  // Phase B — two all-slow seconds (samples t=10s, 11s). The short
+  // window burns past the warning line; the long window, diluted by the
+  // healthy era, stays under the burning line.
+  for (int k = 0; k < 2; ++k) Second(/*fast=*/0, /*slow=*/10);
+  states = tracker_->Evaluate(12 * kSecond);
+  EXPECT_EQ(states[0].status, SloStatus::kWarning);
+  // Short window keeps t=2..11s: total 120-30=90, bad 20-0=20.
+  // burn = (20/90)/0.1 = 2.2222 → 2222 milli.
+  EXPECT_EQ(states[0].short_window.total_events, 90u);
+  EXPECT_EQ(states[0].short_window.bad_events, 20u);
+  EXPECT_EQ(BurnMilliGauge("short"), 2222);
+  // Long window keeps everything: total 110, bad 20.
+  // burn = (20/110)/0.1 = 1.8181 → 1818 milli, under burning (2.0).
+  EXPECT_EQ(states[0].long_window.total_events, 110u);
+  EXPECT_EQ(states[0].long_window.bad_events, 20u);
+  EXPECT_EQ(BurnMilliGauge("long"), 1818);
+  EXPECT_EQ(tracker_->WorstStatus(), SloStatus::kWarning);
+
+  // Phase C — the outage persists through t=19s. Both windows now burn
+  // past the burning line: the objective pages.
+  for (int k = 0; k < 8; ++k) Second(/*fast=*/0, /*slow=*/10);
+  states = tracker_->Evaluate(20 * kSecond);
+  EXPECT_EQ(states[0].status, SloStatus::kBurning);
+  // Short window keeps t=10..19s: total 90, bad 90 → burn 10.0.
+  EXPECT_EQ(states[0].short_window.total_events, 90u);
+  EXPECT_EQ(states[0].short_window.bad_events, 90u);
+  EXPECT_EQ(BurnMilliGauge("short"), 10000);
+  // Long window keeps t=0..19s: total 190, bad 100.
+  // burn = (100/190)/0.1 = 5.2631 → 5263 milli.
+  EXPECT_EQ(states[0].long_window.total_events, 190u);
+  EXPECT_EQ(states[0].long_window.bad_events, 100u);
+  EXPECT_EQ(BurnMilliGauge("long"), 5263);
+  EXPECT_EQ(tracker_->WorstStatus(), SloStatus::kBurning);
+  EXPECT_EQ(registry_.GetGauge("rased_slo_worst_status", "")->value(), 2);
+  EXPECT_EQ(registry_
+                .GetGauge("rased_slo_status", "",
+                          {{"objective", "test_latency"}})
+                ->value(),
+            2);
+}
+
+TEST_F(SloTrackerTest, TooFewEventsNeverPages) {
+  // Six slow events, but the windowed count is the delta between the
+  // first and last retained sample — 4, under min_events (5) — so the
+  // objective must report burn 0 even though every request was slow.
+  Second(/*fast=*/0, /*slow=*/2);
+  Second(/*fast=*/0, /*slow=*/2);
+  Second(/*fast=*/0, /*slow=*/2);
+  std::vector<SloTracker::ObjectiveState> states =
+      tracker_->Evaluate(3 * kSecond);
+  EXPECT_EQ(states[0].status, SloStatus::kOk);
+  EXPECT_EQ(states[0].short_window.total_events, 4u);
+  EXPECT_EQ(states[0].short_window.bad_events, 4u);
+  EXPECT_EQ(states[0].short_window.burn_rate, 0.0);
+}
+
+TEST(SloRatioObjectiveTest, CountsOnlyFilteredBadSeries) {
+  ScopedFakeClock fake(0);
+  MetricsRegistry registry;
+  Counter* requests =
+      registry.GetCounter("rased_test_requests_total", "all requests");
+  Counter* errors_5xx =
+      registry.GetCounter("rased_test_responses_total", "responses",
+                          {{"class", "5xx"}});
+  Counter* oks_2xx = registry.GetCounter("rased_test_responses_total",
+                                         "responses", {{"class", "2xx"}});
+
+  MetricsHistoryOptions history_options;
+  history_options.sample_interval_micros = kSecond;
+  MetricsHistory history(&registry, history_options);
+
+  SloOptions slo;
+  slo.short_window_micros = 10 * kSecond;
+  slo.long_window_micros = 30 * kSecond;
+  slo.burning_burn_rate = 2.0;
+  slo.min_events = 5;
+  SloObjective objective;
+  objective.name = "test_errors";
+  objective.kind = SloObjective::Kind::kRatio;
+  objective.family = "rased_test_requests_total";
+  objective.bad_family = "rased_test_responses_total";
+  objective.bad_label_filter = "class=\"5xx\"";
+  objective.target = 0.95;  // 5% error budget
+  slo.objectives = {objective};
+  SloTracker tracker(&history, &registry, slo);
+
+  for (int k = 0; k < 5; ++k) {
+    requests->Increment(20);
+    errors_5xx->Increment(4);
+    oks_2xx->Increment(16);  // matching family but filtered out as good
+    history.SampleOnce();
+    fake.clock()->Advance(kSecond);
+  }
+
+  std::vector<SloTracker::ObjectiveState> states =
+      tracker.Evaluate(5 * kSecond);
+  ASSERT_EQ(states.size(), 1u);
+  // Deltas from t=0 to t=4: total 80, bad (5xx only) 16.
+  // burn = (16/80)/0.05 = 4.0 — well past the burning line (2.0) on
+  // both windows; the 2xx series never counts as bad.
+  EXPECT_EQ(states[0].short_window.total_events, 80u);
+  EXPECT_EQ(states[0].short_window.bad_events, 16u);
+  EXPECT_EQ(states[0].status, SloStatus::kBurning);
+}
+
+TEST(SloTrackerDefaultsTest, DefaultObjectivesCoverLatencyAndErrors) {
+  std::vector<SloObjective> defaults = SloTracker::DefaultObjectives();
+  ASSERT_EQ(defaults.size(), 2u);
+  EXPECT_EQ(defaults[0].name, "query_latency_p99");
+  EXPECT_EQ(defaults[0].kind, SloObjective::Kind::kLatency);
+  EXPECT_EQ(defaults[0].family, "rased_http_request_micros");
+  EXPECT_EQ(defaults[1].name, "http_error_rate");
+  EXPECT_EQ(defaults[1].kind, SloObjective::Kind::kRatio);
+}
+
+}  // namespace
+}  // namespace rased

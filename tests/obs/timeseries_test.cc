@@ -1,0 +1,244 @@
+#include "obs/timeseries.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics_registry.h"
+#include "util/clock.h"
+
+namespace rased {
+namespace {
+
+/// Installs a FakeClock for the test's lifetime and restores the real
+/// clock on exit, so a failing assertion cannot leak scripted time into
+/// the next test.
+class ScopedFakeClock {
+ public:
+  explicit ScopedFakeClock(int64_t start_micros) : clock_(start_micros) {
+    SetClockForTesting(&clock_);
+  }
+  ~ScopedFakeClock() { SetClockForTesting(nullptr); }
+
+  FakeClock* clock() { return &clock_; }
+
+ private:
+  FakeClock clock_;
+};
+
+TEST(MetricsHistoryTest, ScriptedLoadYieldsExactPoints) {
+  ScopedFakeClock fake(1000000);
+  MetricsRegistry registry;
+  Counter* requests =
+      registry.GetCounter("rased_test_requests_total", "test counter");
+  Gauge* lag = registry.GetGauge("rased_test_lag", "test gauge");
+
+  MetricsHistoryOptions options;
+  options.sample_interval_micros = 1000000;
+  MetricsHistory history(&registry, options);
+
+  // Three samples at t=1s, 2s, 3s with scripted traffic in between.
+  requests->Increment(5);
+  lag->Set(7);
+  history.SampleOnce();
+  fake.clock()->Advance(1000000);
+  requests->Increment(10);
+  lag->Set(-3);  // negative gauge values must round-trip through zigzag
+  history.SampleOnce();
+  fake.clock()->Advance(1000000);
+  requests->Increment(1);
+  lag->Set(0);
+  history.SampleOnce();
+
+  std::vector<MetricsHistory::Series> counters =
+      history.Query("rased_test_requests_total", 0, NowMicros());
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].name, "rased_test_requests_total");
+  EXPECT_EQ(counters[0].kind, SampledSeries::Kind::kCounter);
+  ASSERT_EQ(counters[0].points.size(), 3u);
+  EXPECT_EQ(counters[0].points[0].t_micros, 1000000);
+  EXPECT_EQ(counters[0].points[0].values, std::vector<uint64_t>{5});
+  EXPECT_EQ(counters[0].points[1].t_micros, 2000000);
+  EXPECT_EQ(counters[0].points[1].values, std::vector<uint64_t>{15});
+  EXPECT_EQ(counters[0].points[2].t_micros, 3000000);
+  EXPECT_EQ(counters[0].points[2].values, std::vector<uint64_t>{16});
+
+  std::vector<MetricsHistory::Series> gauges =
+      history.Query("rased_test_lag", 0, NowMicros());
+  ASSERT_EQ(gauges.size(), 1u);
+  ASSERT_EQ(gauges[0].points.size(), 3u);
+  EXPECT_EQ(static_cast<int64_t>(gauges[0].points[0].values[0]), 7);
+  EXPECT_EQ(static_cast<int64_t>(gauges[0].points[1].values[0]), -3);
+  EXPECT_EQ(static_cast<int64_t>(gauges[0].points[2].values[0]), 0);
+
+  EXPECT_EQ(history.num_samples(), 3u);
+  EXPECT_EQ(history.samples_taken(), 3u);
+}
+
+TEST(MetricsHistoryTest, HistogramPointsCarryCountSumAndBuckets) {
+  ScopedFakeClock fake(0);
+  MetricsRegistry registry;
+  HistogramOptions bucket_opts;
+  bucket_opts.first_bound = 10;
+  bucket_opts.growth = 10.0;
+  bucket_opts.num_buckets = 3;  // bounds 10, 100, 1000 (+Inf)
+  Histogram* latency = registry.GetHistogram("rased_test_micros",
+                                             "test histogram", bucket_opts);
+
+  MetricsHistory history(&registry);
+  latency->Observe(5);
+  latency->Observe(50);
+  latency->Observe(5000);
+  history.SampleOnce();
+
+  std::vector<MetricsHistory::Series> series =
+      history.Query("rased_test_micros", 0, NowMicros());
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].kind, SampledSeries::Kind::kHistogram);
+  EXPECT_EQ(series[0].bounds, (std::vector<int64_t>{10, 100, 1000}));
+  ASSERT_EQ(series[0].points.size(), 1u);
+  // Layout: [count, sum-bits, bucket_0..bucket_2, +Inf bucket].
+  const std::vector<uint64_t>& v = series[0].points[0].values;
+  ASSERT_EQ(v.size(), 6u);
+  EXPECT_EQ(v[0], 3u);
+  EXPECT_EQ(static_cast<int64_t>(v[1]), 5055);
+  EXPECT_EQ(v[2], 1u);  // 5 <= 10
+  EXPECT_EQ(v[3], 1u);  // 50 <= 100
+  EXPECT_EQ(v[4], 0u);
+  EXPECT_EQ(v[5], 1u);  // 5000 overflows into +Inf
+}
+
+TEST(MetricsHistoryTest, QueryFiltersByFamilyAndWindow) {
+  ScopedFakeClock fake(0);
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("rased_test_a_total", "a");
+  registry.GetCounter("rased_test_b_total", "b");
+
+  MetricsHistoryOptions options;
+  options.sample_interval_micros = 1000000;
+  MetricsHistory history(&registry, options);
+  for (int i = 0; i < 5; ++i) {
+    a->Increment();
+    history.SampleOnce();
+    fake.clock()->Advance(1000000);
+  }
+
+  // Family filter: only the requested family's series come back.
+  std::vector<MetricsHistory::Series> only_a =
+      history.Query("rased_test_a_total", 0, NowMicros());
+  ASSERT_EQ(only_a.size(), 1u);
+  EXPECT_EQ(only_a[0].points.size(), 5u);
+
+  // Samples live at t=0..4s; now is 5s. A 2.5s window keeps t=3s, 4s.
+  std::vector<MetricsHistory::Series> recent =
+      history.Query("rased_test_a_total", 2500000, NowMicros());
+  ASSERT_EQ(recent.size(), 1u);
+  ASSERT_EQ(recent[0].points.size(), 2u);
+  EXPECT_EQ(recent[0].points[0].t_micros, 3000000);
+  EXPECT_EQ(recent[0].points[0].values, std::vector<uint64_t>{4});
+  EXPECT_EQ(recent[0].points[1].t_micros, 4000000);
+  EXPECT_EQ(recent[0].points[1].values, std::vector<uint64_t>{5});
+
+  // Unknown family: no series.
+  EXPECT_TRUE(history.Query("rased_no_such_total", 0, NowMicros()).empty());
+}
+
+TEST(MetricsHistoryTest, EvictionKeepsBudgetAndTailDecodesExactly) {
+  ScopedFakeClock fake(0);
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("rased_test_evict_total", "evicted");
+
+  MetricsHistoryOptions options;
+  options.sample_interval_micros = 1000000;
+  // Room for only a handful of samples: each costs the 48-byte overhead
+  // plus a few varint bytes across the test series + 4 self-series.
+  options.ring_byte_budget = 400;
+  MetricsHistory history(&registry, options);
+
+  for (int i = 1; i <= 50; ++i) {
+    c->Increment(static_cast<uint64_t>(i));  // value = i*(i+1)/2
+    history.SampleOnce();
+    fake.clock()->Advance(1000000);
+  }
+
+  EXPECT_EQ(history.samples_taken(), 50u);
+  EXPECT_LT(history.num_samples(), 50u);  // must actually have evicted
+  EXPECT_GT(history.num_samples(), 0u);
+  EXPECT_LE(history.resident_bytes(), history.ring_byte_budget());
+
+  // The retained suffix must decode to the true counter trajectory:
+  // sample at t=(i-1)s carries value i*(i+1)/2.
+  std::vector<MetricsHistory::Series> series =
+      history.Query("rased_test_evict_total", 0, NowMicros());
+  ASSERT_EQ(series.size(), 1u);
+  ASSERT_EQ(series[0].points.size(), history.num_samples());
+  for (const MetricsHistory::Point& point : series[0].points) {
+    const int64_t i = point.t_micros / 1000000 + 1;
+    ASSERT_EQ(point.values.size(), 1u);
+    EXPECT_EQ(point.values[0], static_cast<uint64_t>(i * (i + 1) / 2))
+        << "at t=" << point.t_micros;
+  }
+  // Newest sample is always retained.
+  EXPECT_EQ(series[0].points.back().t_micros, 49000000);
+  EXPECT_EQ(series[0].points.back().values[0], 50u * 51u / 2u);
+}
+
+TEST(MetricsHistoryTest, LayoutChangeResetsRing) {
+  ScopedFakeClock fake(0);
+  MetricsRegistry registry;
+  registry.GetCounter("rased_test_one_total", "first");
+
+  MetricsHistory history(&registry);
+  history.SampleOnce();
+  fake.clock()->Advance(1000000);
+  history.SampleOnce();
+  EXPECT_EQ(history.num_samples(), 2u);
+
+  // A newly registered series changes the flat layout: the ring resets
+  // to the next sample rather than mixing incompatible encodings.
+  registry.GetCounter("rased_test_two_total", "second");
+  fake.clock()->Advance(1000000);
+  history.SampleOnce();
+  EXPECT_EQ(history.num_samples(), 1u);
+  EXPECT_EQ(history.samples_taken(), 3u);
+
+  std::vector<MetricsHistory::Series> series =
+      history.Query("rased_test_two_total", 0, NowMicros());
+  ASSERT_EQ(series.size(), 1u);
+  ASSERT_EQ(series[0].points.size(), 1u);
+  EXPECT_EQ(series[0].points[0].t_micros, 2000000);
+}
+
+TEST(MetricsHistoryTest, StartSamplerTakesOneImmediateSample) {
+  ScopedFakeClock fake(0);
+  MetricsRegistry registry;
+  registry.GetCounter("rased_test_total", "t");
+
+  MetricsHistory history(&registry);
+  history.StartSampler();
+  // The first sample is synchronous, so a started history is never
+  // empty; fake time never advances, so no further samples fall due.
+  EXPECT_EQ(history.num_samples(), 1u);
+  history.StopSampler();
+  EXPECT_EQ(history.num_samples(), 1u);
+}
+
+TEST(MetricsHistoryTest, PostSampleHookSeesSampleTimestamp) {
+  ScopedFakeClock fake(5000000);
+  MetricsRegistry registry;
+  registry.GetCounter("rased_test_total", "t");
+
+  MetricsHistory history(&registry);
+  std::vector<int64_t> stamps;
+  history.SetPostSampleHook(
+      [&stamps](int64_t now_micros) { stamps.push_back(now_micros); });
+  history.SampleOnce();
+  fake.clock()->Advance(1000000);
+  history.SampleOnce();
+  EXPECT_EQ(stamps, (std::vector<int64_t>{5000000, 6000000}));
+}
+
+}  // namespace
+}  // namespace rased

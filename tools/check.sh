@@ -22,8 +22,10 @@
 #      trajectory at the repo root; never skips)
 #  10. metrics smoke: boots a tiny synthetic instance, asserts the
 #      Prometheus exposition (rased metrics + live GET /metrics) covers
-#      every serving-path family and /api/trace returns spans, and
-#      writes a "metrics_snapshot" line to BENCH_metrics_smoke.json
+#      every serving-path family and /api/trace returns spans, checks
+#      /healthz, /readyz, and /api/selfstats, gates the selfstats
+#      sampler (ring within byte budget, <= 1% duty cycle), and writes
+#      BENCH_metrics_smoke.json + BENCH_selfstats.json trajectories
 #  11. ASan+UBSan build + full ctest (deadlock detector enabled)
 #  12. TSan build + concurrency-focused ctest (dashboard/cache/collect/
 #      index/warehouse/hotpath/codec/kernel/observability suites)
@@ -299,13 +301,64 @@ if [ -x "${RASED_BIN}" ]; then
       done
       curl -fsS "http://127.0.0.1:${PORT}/api/trace" \
         | grep -q '"spans"' || HTTP_OK=0
+      # Self-monitoring surface: health endpoints, the selfstats time
+      # series, and the SLO/selfstats families in the live exposition.
+      curl -fsS "http://127.0.0.1:${PORT}/healthz" | grep -q '^ok$' \
+        || { fail "metrics smoke: /healthz not ok"; HTTP_OK=0; }
+      curl -fsS "http://127.0.0.1:${PORT}/readyz" \
+        | grep -q '"ready":true' \
+        || { fail "metrics smoke: /readyz not ready"; HTTP_OK=0; }
+      curl -fsS "http://127.0.0.1:${PORT}/api/selfstats" \
+        | grep -q '"series"' \
+        || { fail "metrics smoke: /api/selfstats has no series"; HTTP_OK=0; }
+      for family in rased_slo_status rased_slo_burn_rate \
+          rased_selfstats_samples_total rased_selfstats_resident_bytes; do
+        if ! printf '%s\n' "${HTTP_METRICS}" | grep -q "^${family}"; then
+          fail "metrics smoke: family ${family} missing from GET /metrics"
+          HTTP_OK=0
+        fi
+      done
+      # Sampler budget gates from the TSV meta line: the ring must honor
+      # its byte budget, and the average sample cost must stay under 1%
+      # of the sampling interval (duty-cycle proxy for "overhead <= 1%").
+      SELFSTATS_TSV="${SMOKE_DIR}/selfstats.tsv"
+      if curl -fsS "http://127.0.0.1:${PORT}/api/selfstats?format=tsv" \
+          > "${SELFSTATS_TSV}" \
+          && head -n 1 "${SELFSTATS_TSV}" | grep -q '^#selfstats '; then
+        if head -n 1 "${SELFSTATS_TSV}" | awk '{
+              for (i = 2; i <= NF; ++i) {
+                split($i, kv, "="); meta[kv[1]] = kv[2]
+              }
+              ok = 1
+              if (meta["resident_bytes"] > meta["byte_budget"]) ok = 0
+              if (meta["samples_total"] > 0 &&
+                  100 * meta["cost_micros_total"] / meta["samples_total"] \
+                    > meta["interval_micros"]) ok = 0
+              printf "{\"bench\":\"selfstats\",\"samples_total\":%d," \
+                     "\"samples_retained\":%d,\"resident_bytes\":%d," \
+                     "\"byte_budget\":%d,\"cost_micros_total\":%d," \
+                     "\"interval_micros\":%d}\n", meta["samples_total"], \
+                     meta["samples"], meta["resident_bytes"], \
+                     meta["byte_budget"], meta["cost_micros_total"], \
+                     meta["interval_micros"] > "BENCH_selfstats.json"
+              exit ok ? 0 : 1
+            }'; then
+          pass "metrics smoke: selfstats budget gates (BENCH_selfstats.json)"
+        else
+          fail "metrics smoke: selfstats over byte budget or >1% duty cycle"
+          HTTP_OK=0
+        fi
+      else
+        fail "metrics smoke: /api/selfstats?format=tsv fetch failed"
+        HTTP_OK=0
+      fi
     fi
     kill "${SERVE_PID}" 2>/dev/null
     wait "${SERVE_PID}" 2>/dev/null
     if [ "${HTTP_OK}" -eq 1 ]; then
-      pass "metrics smoke: GET /metrics + GET /api/trace"
+      pass "metrics smoke: GET /metrics + health + selfstats + /api/trace"
     else
-      fail "metrics smoke: live GET /metrics + GET /api/trace check"
+      fail "metrics smoke: live GET /metrics + health + selfstats check"
     fi
   elif [ "${SMOKE_OK}" -eq 1 ]; then
     skip "curl not installed (live /metrics check)"
@@ -322,7 +375,7 @@ run_matrix_entry "asan+ubsan" "${PREFIX}-asan" "" \
 # observability suites (registry hammer, trace ring, /metrics endpoint);
 # a race anywhere in them must surface here.
 run_matrix_entry "tsan" "${PREFIX}-tsan" \
-  "-R (Dashboard|Concurrent|HttpServer|CubeCache|CubeCodec|AggKernels|LegacyFormat|Replication|TemporalIndex|Warehouse|Hotpath|Ingest|Compression|Metrics|Trace)" \
+  "-R (Dashboard|Concurrent|HttpServer|CubeCache|CubeCodec|AggKernels|LegacyFormat|Replication|TemporalIndex|Warehouse|Hotpath|Ingest|Compression|Metrics|Trace|Slo|RequestContext)" \
   "-DRASED_SANITIZE=thread"
 
 # ----------------------------------------------------------------- gate ---

@@ -53,6 +53,10 @@ const std::vector<RuleInfo> kRules = {
      "vendor SIMD intrinsics (immintrin.h, _mm*/__m* identifiers) outside "
      "src/cube/agg_kernels_avx2.cc; keep intrinsics behind the kernel "
      "dispatch table (cube/agg_kernels.h)"},
+    {"RL014", "raw-wallclock",
+     "raw std::chrono clock (system_clock / steady_clock / "
+     "high_resolution_clock) outside src/util/clock.h; use NowMicros / "
+     "NowWallMicros so a FakeClock can script time in tests"},
 };
 
 const RuleInfo& Rule(const char* id) {
@@ -863,6 +867,30 @@ void CheckVendorIntrinsics(Ctx* ctx) {
   }
 }
 
+// --------------------------------------------------------------------------
+// RL014 raw-wallclock
+// --------------------------------------------------------------------------
+
+/// Every time read outside src/util/clock.h must go through NowMicros /
+/// NowWallMicros so SetClockForTesting makes it scriptable. The named
+/// std::chrono clocks are how code escapes that seam, so the identifiers
+/// themselves are banned (durations like std::chrono::seconds stay fine —
+/// sleeping for a duration is not reading a clock).
+void CheckRawWallClock(Ctx* ctx) {
+  if (ctx->InRepo("src/util/clock.h")) return;
+
+  for (const Token& tok : ctx->code) {
+    if (tok.kind != TokKind::kIdent) continue;
+    if (tok.text == "system_clock" || tok.text == "steady_clock" ||
+        tok.text == "high_resolution_clock") {
+      ctx->Emit(tok.line, "RL014",
+                "raw clock '" + tok.text +
+                    "' outside src/util/clock.h; use NowMicros() / "
+                    "NowWallMicros() (fake-clock testable)");
+    }
+  }
+}
+
 }  // namespace
 
 // --------------------------------------------------------------------------
@@ -897,6 +925,7 @@ std::vector<Finding> LintFile(const std::string& display_path,
   CheckHeaderGuard(&ctx);
   CheckSnapshotMember(&ctx);
   CheckVendorIntrinsics(&ctx);
+  CheckRawWallClock(&ctx);
   std::sort(ctx.findings.begin(), ctx.findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;
