@@ -17,6 +17,7 @@
 #include "dashboard/dashboard_service.h"
 #include "dashboard/render.h"
 #include "io/env.h"
+#include "obs/profiler.h"
 #include "obs/request_context.h"
 #include "obs/slo.h"
 #include "query/sql_parser.h"
@@ -70,6 +71,12 @@ commands:
   top           live self-monitoring view against a running dashboard
                   port=N [host=127.0.0.1] [window=SEC] [interval=SEC]
                   [iterations=N (0 = forever; 1 prints one frame and exits)]
+  profile       fetch a CPU profile from a running dashboard
+                  port=N [host=127.0.0.1]
+                  [seconds=N (capture the next N seconds, default 5)]
+                  [window=N (instead: merge retained always-on windows)]
+                  [top=20] [format=table|folded]
+                  (folded output pipes into flamegraph.pl or speedscope)
   help          show this message
 )";
 
@@ -794,7 +801,65 @@ int CmdTop(const Config& config) {
   return 0;
 }
 
+/// Renders top-N frames of a folded profile as self/cumulative tables —
+/// the quick look before reaching for a flamegraph.
+int CmdProfile(const Config& config) {
+  const int port = static_cast<int>(config.GetInt("port", 0));
+  if (port <= 0) return FailUsage("profile needs port=");
+  const std::string host = config.GetString("host", "127.0.0.1");
+  std::string target;
+  if (config.Has("window")) {
+    target = StrFormat("/api/profile?window=%lld&format=folded",
+                       static_cast<long long>(config.GetInt("window", 60)));
+  } else {
+    target = StrFormat("/api/profile?seconds=%lld&format=folded",
+                       static_cast<long long>(config.GetInt("seconds", 5)));
+  }
+  auto body = HttpGetBody(host, port, target);
+  if (!body.ok()) return Fail(body.status());
+
+  const std::string format = config.GetString("format", "table");
+  if (format == "folded") {
+    // Verbatim pass-through: `rased profile ... format=folded |
+    // flamegraph.pl > flame.svg`.
+    std::printf("%s", body.value().c_str());
+    return 0;
+  }
+  if (format != "table") {
+    return FailUsage("profile format= must be table or folded");
+  }
+
+  auto folded = ParseFolded(body.value());
+  if (!folded.ok()) return Fail(folded.status());
+  uint64_t total = 0;
+  for (const auto& [stack, count] : folded.value()) total += count;
+  if (total == 0) {
+    std::printf("profile: 0 samples (idle instance or capture too short)\n");
+    return 0;
+  }
+  const size_t top_n = static_cast<size_t>(config.GetInt("top", 20));
+  const std::vector<FrameTotals> frames = TopFrames(folded.value(), top_n);
+  auto pct = [total](uint64_t n) {
+    return 100.0 * static_cast<double>(n) / static_cast<double>(total);
+  };
+  std::printf("profile: %llu samples, %zu unique stacks\n",
+              static_cast<unsigned long long>(total), folded.value().size());
+  std::printf("%10s %7s %10s %7s  %s\n", "cum", "cum%", "self", "self%",
+              "frame");
+  for (const FrameTotals& frame : frames) {
+    std::printf("%10llu %6.2f%% %10llu %6.2f%%  %s\n",
+                static_cast<unsigned long long>(frame.cumulative),
+                pct(frame.cumulative),
+                static_cast<unsigned long long>(frame.self), pct(frame.self),
+                frame.name.c_str());
+  }
+  return 0;
+}
+
 int CmdServe(const Config& config) {
+  // The serve main thread mostly sleeps, but registering it keeps any CPU
+  // it does burn attributable alongside the HTTP workers.
+  ProfilerThreadScope profiler_scope("serve-main");
   auto rased = OpenInstance(config, /*warm_cache=*/true);
   if (!rased.ok()) return Fail(rased.status());
   DashboardService service(rased.value().get());
@@ -841,6 +906,7 @@ int RunCli(int argc, const char* const* argv) {
   if (command == "metrics") return CmdMetrics(config);
   if (command == "serve") return CmdServe(config);
   if (command == "top") return CmdTop(config);
+  if (command == "profile") return CmdProfile(config);
   return FailUsage("unknown command '" + command + "'");
 }
 

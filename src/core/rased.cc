@@ -1,6 +1,8 @@
 #include "core/rased.h"
 
+#include "cube/agg_kernels.h"
 #include "io/env.h"
+#include "obs/build_info.h"
 #include "util/logging.h"
 #include "util/str_util.h"
 
@@ -151,6 +153,11 @@ Status Rased::InitComponents(bool create) {
     metrics_ = owned_metrics_.get();
   }
   traces_ = std::make_unique<TraceRecorder>(options_.trace, metrics_);
+  // Build identity on /metrics from boot: which exact binary (and kernel
+  // dispatch state) produced every number this instance exports.
+  RegisterBuildInfoGauge(
+      metrics_, MakeBuildInfo(Avx2DispatchLabel(kernels::Avx2CompiledIn(),
+                                                kernels::Avx2Active())));
   ingest_metrics_.records = metrics_->GetCounter(
       "rased_ingest_records_total", "UpdateList tuples ingested");
   ingest_metrics_.days =

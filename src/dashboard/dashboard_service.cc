@@ -1,9 +1,14 @@
 #include "dashboard/dashboard_service.h"
 
+#include <algorithm>
+
+#include "cube/agg_kernels.h"
 #include "dashboard/json_writer.h"
+#include "obs/build_info.h"
 #include "obs/request_context.h"
 #include "query/sql_parser.h"
 #include "util/clock.h"
+#include "util/logging.h"
 #include "util/str_util.h"
 
 namespace rased {
@@ -85,6 +90,27 @@ void WriteError(const Status& status, HttpResponse* response) {
   response->body = std::move(w).Finish();
 }
 
+/// The SLO set actually tracked: the configured objectives (or the
+/// defaults) plus, when the profiler runs, a sample drop-rate objective —
+/// the profiler is SLO-gated like any serving path: if it drops more than
+/// 1% of its samples it shows up in /readyz before anyone trusts a
+/// profile from it.
+SloOptions SloWithProfilerObjective(const DashboardOptions& options) {
+  SloOptions slo = options.slo;
+  if (!options.start_profiler) return slo;
+  if (slo.objectives.empty()) {
+    slo.objectives = SloTracker::DefaultObjectives();
+  }
+  SloObjective drops;
+  drops.name = "profiler_drops";
+  drops.kind = SloObjective::Kind::kRatio;
+  drops.family = "rased_profiler_samples_total";
+  drops.bad_family = "rased_profiler_samples_dropped_total";
+  drops.target = 0.99;
+  slo.objectives.push_back(drops);
+  return slo;
+}
+
 }  // namespace
 
 DashboardService::DashboardService(Rased* rased,
@@ -92,7 +118,7 @@ DashboardService::DashboardService(Rased* rased,
     : rased_(rased),
       options_(options),
       history_(rased->metrics(), options.selfstats),
-      slo_(&history_, rased->metrics(), options.slo) {
+      slo_(&history_, rased->metrics(), SloWithProfilerObjective(options)) {
   // Keep the SLO gauges fresh without a dedicated thread: re-evaluate
   // right after every selfstats sample, so the next sample (and any
   // /metrics scrape) sees current burn rates.
@@ -120,6 +146,9 @@ DashboardService::DashboardService(Rased* rased,
   });
   server_.Route("/api/trace", [this](const HttpRequest& q, HttpResponse* r) {
     HandleTrace(q, r);
+  });
+  server_.Route("/api/profile", [this](const HttpRequest& q, HttpResponse* r) {
+    HandleProfile(q, r);
   });
   server_.Route("/metrics", [this](const HttpRequest& q, HttpResponse* r) {
     HandleMetrics(q, r);
@@ -173,7 +202,28 @@ DashboardService::DashboardService(Rased* rased,
 Status DashboardService::Start(int port, int num_workers) {
   RASED_RETURN_IF_ERROR(server_.Start(port, num_workers));
   if (options_.start_sampler) history_.StartSampler();
+  if (options_.start_profiler) {
+    ProfilerOptions popts = options_.profiler;
+    if (popts.metrics == nullptr) popts.metrics = rased_->metrics();
+    Status status = Profiler::Global()->Start(popts);
+    if (status.ok()) {
+      profiler_started_ = true;
+    } else {
+      // Profiling is observability, not serving: degrade, don't fail.
+      RASED_LOG(Warning) << "continuous profiler unavailable: "
+                         << status.ToString();
+    }
+  }
   return Status::OK();
+}
+
+void DashboardService::Stop() {
+  history_.StopSampler();
+  server_.Stop();
+  if (profiler_started_) {
+    Profiler::Global()->Stop();
+    profiler_started_ = false;
+  }
 }
 
 Result<AnalysisQuery> DashboardService::ParseQueryParams(
@@ -320,6 +370,9 @@ void DashboardService::ExecuteAndRender(const AnalysisQuery& query,
   trace.read_ops = value.stats.io.read_ops;
   trace.bytes_read = value.stats.io.bytes_read;
   trace.epoch = value.stats.epoch;
+  trace.alloc_bytes = value.stats.alloc_bytes;
+  trace.alloc_ops = value.stats.alloc_ops;
+  trace.peak_alloc_bytes = value.stats.peak_alloc_bytes;
   trace.spans = value.spans;
   trace.spans.push_back({"render", render_micros, 0});
   rased_->traces()->Record(std::move(trace));
@@ -445,8 +498,12 @@ void DashboardService::HandleStats(const HttpRequest&,
   response->body = std::move(w).Finish();
 }
 
-void DashboardService::HandleTrace(const HttpRequest&,
+void DashboardService::HandleTrace(const HttpRequest& request,
                                    HttpResponse* response) {
+  if (request.Param("worst") == "1") {
+    HandleWorstTraces(response);
+    return;
+  }
   TraceRecorder* recorder = rased_->traces();
   std::vector<QueryTrace> traces = recorder->Snapshot();
   JsonWriter w;
@@ -472,6 +529,9 @@ void DashboardService::HandleTrace(const HttpRequest&,
     w.KV("read_ops", t.read_ops);
     w.KV("bytes_read", t.bytes_read);
     w.KV("epoch", t.epoch);
+    w.KV("alloc_bytes", t.alloc_bytes);
+    w.KV("alloc_ops", t.alloc_ops);
+    w.KV("peak_alloc_bytes", t.peak_alloc_bytes);
     w.Key("spans");
     w.BeginArray();
     for (const TraceSpan& span : t.spans) {
@@ -487,6 +547,107 @@ void DashboardService::HandleTrace(const HttpRequest&,
   w.EndArray();
   w.EndObject();
   response->body = std::move(w).Finish();
+}
+
+void DashboardService::HandleWorstTraces(HttpResponse* response) {
+  // The executor's latency histogram remembers the worst observation (and
+  // its trace id) per bucket; draining resets the slots, so each response
+  // covers "since the last ?worst=1 drain".
+  Histogram* latency = rased_->metrics()->GetHistogram(
+      "rased_query_cpu_micros",
+      "Per-query wall time of planning + aggregation (microseconds)");
+  std::vector<HistogramExemplar> exemplars = latency->DrainExemplars();
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("histogram", "rased_query_cpu_micros");
+  w.KV("tracks_exemplars", latency->tracks_exemplars());
+  w.Key("worst");
+  w.BeginArray();
+  for (const HistogramExemplar& e : exemplars) {
+    w.BeginObject();
+    w.KV("bucket", static_cast<int64_t>(e.bucket));
+    const std::string le = e.bound < 0 ? "+Inf" : std::to_string(e.bound);
+    w.KV("le", std::string_view(le));
+    w.KV("worst_micros", e.value);
+    const std::string trace_hex =
+        e.trace_id == 0 ? std::string() : FormatTraceId(e.trace_id);
+    w.KV("trace_id", std::string_view(trace_hex));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  response->body = std::move(w).Finish();
+}
+
+void DashboardService::HandleProfile(const HttpRequest& request,
+                                     HttpResponse* response) {
+  Profiler* profiler = Profiler::Global();
+  if (!profiler->running()) {
+    WriteError(Status::FailedPrecondition(
+                   "profiler is not running on this instance"),
+               response);
+    return;
+  }
+  const std::string format = request.Param("format");
+  if (!format.empty() && format != "folded" && format != "json") {
+    WriteError(Status::InvalidArgument("unknown format '" + format + "'"),
+               response);
+    return;
+  }
+
+  Result<ProfileReport> report = Status::Internal("unreachable");
+  if (request.HasParam("window")) {
+    auto seconds = ParseUint(request.Param("window"));
+    if (!seconds.ok()) {
+      WriteError(Status::InvalidArgument("bad window= (want seconds)"),
+                 response);
+      return;
+    }
+    report = profiler->RetainedReport(static_cast<int64_t>(seconds.value()) *
+                                      1000000);
+  } else {
+    // On-demand capture of the next N seconds (default 5, capped at 30 so
+    // a typo cannot pin an HTTP worker for minutes).
+    int64_t seconds = 5;
+    if (request.HasParam("seconds")) {
+      auto parsed = ParseUint(request.Param("seconds"));
+      if (!parsed.ok() || parsed.value() == 0) {
+        WriteError(Status::InvalidArgument("bad seconds= (want 1..30)"),
+                   response);
+        return;
+      }
+      seconds = std::min<int64_t>(static_cast<int64_t>(parsed.value()), 30);
+    }
+    report = profiler->CollectFor(seconds * 1000000);
+  }
+  if (!report.ok()) {
+    WriteError(report.status(), response);
+    return;
+  }
+  const ProfileReport& value = report.value();
+
+  if (format == "json") {
+    JsonWriter w;
+    w.BeginObject();
+    w.KV("duration_micros", value.duration_micros);
+    w.KV("samples", value.samples);
+    w.KV("dropped", value.dropped);
+    w.Key("stacks");
+    w.BeginArray();
+    for (const auto& [stack, count] : value.folded) {
+      w.BeginObject();
+      w.KV("stack", std::string_view(stack));
+      w.KV("count", count);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    response->body = std::move(w).Finish();
+    return;
+  }
+  // Default: folded stacks, ready for flamegraph.pl / speedscope.
+  response->content_type = "text/plain; charset=utf-8";
+  response->body = RenderFolded(value.folded);
 }
 
 void DashboardService::HandleMetrics(const HttpRequest&,
@@ -671,6 +832,18 @@ void DashboardService::HandleReadyz(const HttpRequest&,
   w.EndObject();
   w.KV("epoch", epoch);
   w.KV("ingest_lag_sequences", lag);
+  // Build identity detail: which exact binary (and kernel dispatch state)
+  // answered this probe — the same labels as the rased_build_info gauge.
+  const BuildInfo build =
+      MakeBuildInfo(
+          Avx2DispatchLabel(kernels::Avx2CompiledIn(), kernels::Avx2Active()));
+  w.Key("build");
+  w.BeginObject();
+  w.KV("version", std::string_view(build.version));
+  w.KV("git_sha", std::string_view(build.git_sha));
+  w.KV("compiler", std::string_view(build.compiler));
+  w.KV("avx2", std::string_view(build.avx2));
+  w.EndObject();
   w.Key("slo");
   w.BeginArray();
   for (const SloTracker::ObjectiveState& state : slo_states) {

@@ -8,6 +8,7 @@
 #include "core/rased.h"
 #include "dashboard/http_server.h"
 #include "dashboard/render.h"
+#include "obs/profiler.h"
 #include "obs/slo.h"
 #include "obs/timeseries.h"
 #include "util/thread_annotations.h"
@@ -26,6 +27,13 @@ struct DashboardOptions {
   int64_t max_ingest_idle_micros = 15 * 60 * 1000000LL;
   /// Start() launches the background selfstats sampler.
   bool start_sampler = true;
+  /// Always-on CPU profiler (obs/profiler.h): Start() joins the
+  /// process-wide profiler with these options (refcounted, so several
+  /// services share one profiler) and registers its rased_profiler_*
+  /// series plus a sample drop-rate SLO objective. Tests that want a
+  /// signal-free process set start_profiler = false.
+  ProfilerOptions profiler;
+  bool start_profiler = true;
 };
 
 /// The RASED web dashboard: a REST API plus a self-contained HTML page,
@@ -48,7 +56,15 @@ struct DashboardOptions {
 ///       ?changeset=<id>  |  ?min_lat=..&min_lon=..&max_lat=..&max_lon=..&n=100
 ///   GET /api/zones         the Country dimension (id, name, kind, size)
 ///   GET /api/stats         index/cache/storage statistics
-///   GET /api/trace         recent query traces (per-span wall + device time)
+///   GET /api/trace         recent query traces (per-span wall + device time,
+///                          exact per-query heap attribution)
+///       ?worst=1           instead: worst trace id per latency bucket since
+///                          the last drain (histogram exemplars)
+///   GET /api/profile       CPU profile, folded stacks or JSON
+///       ?seconds=5         on-demand capture of the next N seconds (<=30)
+///       ?window=60         instead: merge retained always-on windows
+///                          covering the trailing N seconds
+///       &format=folded|json
 ///   GET /api/selfstats     retained metric history (obs/timeseries.h)
 ///       ?family=rased_queries_total      (empty = all series)
 ///       &window=3600                     (seconds back from now; 0 = all)
@@ -71,10 +87,7 @@ class DashboardService {
   /// `num_workers` HTTP threads handling requests concurrently, and (per
   /// options) the background selfstats sampler.
   Status Start(int port, int num_workers = 8);
-  void Stop() {
-    history_.StopSampler();
-    server_.Stop();
-  }
+  void Stop();
   int port() const { return server_.port(); }
 
   /// Self-monitoring internals (exposed for tests and `rased top`).
@@ -97,6 +110,8 @@ class DashboardService {
   void HandleZones(const HttpRequest& request, HttpResponse* response);
   void HandleStats(const HttpRequest& request, HttpResponse* response);
   void HandleTrace(const HttpRequest& request, HttpResponse* response);
+  void HandleWorstTraces(HttpResponse* response);
+  void HandleProfile(const HttpRequest& request, HttpResponse* response);
   void HandleMetrics(const HttpRequest& request, HttpResponse* response);
   void HandleSelfstats(const HttpRequest& request, HttpResponse* response);
   void HandleHealthz(const HttpRequest& request, HttpResponse* response);
@@ -118,6 +133,8 @@ class DashboardService {
   /// every /readyz probe.
   MetricsHistory history_;
   SloTracker slo_;
+  /// Whether Start() joined the process profiler (so Stop() leaves it).
+  bool profiler_started_ = false;
 
   /// Readiness handles (registered here if the ingestor has not yet):
   /// lag in sequences and the NowMicros stamp of the last CatchUp.

@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/profiler.h"
 #include "obs/request_context.h"
 #include "util/clock.h"
 #include "util/logging.h"
@@ -169,6 +170,9 @@ void HttpServer::Stop() {
 }
 
 void HttpServer::AcceptLoop() {
+  // HTTP workers are where queries burn CPU, so they are the threads the
+  // continuous profiler samples (no-op while the profiler is stopped).
+  ProfilerThreadScope profiler_scope("http-worker");
   // Several workers accept() on the same listening socket; the kernel
   // hands each incoming connection to exactly one of them.
   while (running_.load()) {

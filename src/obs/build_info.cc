@@ -1,0 +1,53 @@
+#include "obs/build_info.h"
+
+namespace rased {
+
+namespace {
+
+#ifndef RASED_VERSION_STRING
+#define RASED_VERSION_STRING "dev"
+#endif
+#ifndef RASED_GIT_SHA
+#define RASED_GIT_SHA "unknown"
+#endif
+
+const char* CompilerString() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+std::string Avx2DispatchLabel(bool compiled_in, bool active) {
+  if (!compiled_in) return "not-compiled";
+  return active ? "active" : "compiled-disabled";
+}
+
+BuildInfo MakeBuildInfo(std::string_view avx2_label) {
+  BuildInfo info;
+  info.version = RASED_VERSION_STRING;
+  info.git_sha = RASED_GIT_SHA;
+  info.compiler = CompilerString();
+  info.avx2 = std::string(avx2_label);
+  return info;
+}
+
+void RegisterBuildInfoGauge(MetricsRegistry* metrics, const BuildInfo& info) {
+  if (metrics == nullptr) return;
+  MetricLabels labels{{"version", info.version},
+                      {"git_sha", info.git_sha},
+                      {"compiler", info.compiler},
+                      {"avx2", info.avx2}};
+  Gauge* gauge = metrics->GetGauge(
+      "rased_build_info",
+      "Build identity (constant 1; the information is in the labels)",
+      labels);
+  gauge->Set(1);
+}
+
+}  // namespace rased

@@ -1,0 +1,35 @@
+#ifndef RASED_OBS_BUILD_INFO_H_
+#define RASED_OBS_BUILD_INFO_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics_registry.h"
+
+namespace rased {
+
+/// Identity of the running build, so profiles, benches, and incident
+/// traces are attributable to an exact binary.
+struct BuildInfo {
+  std::string version;   ///< project version (CMake), "dev" when unset
+  std::string git_sha;   ///< short commit sha at configure time
+  std::string compiler;  ///< compiler id + version string
+  std::string avx2;      ///< AVX2 dispatch state label (see below)
+};
+
+/// Canonical label for the AVX2 kernel dispatch state, shared by the
+/// /metrics gauge and the /readyz detail: "active", "compiled-disabled"
+/// (built but CPU/flag gated it off), or "not-compiled".
+std::string Avx2DispatchLabel(bool compiled_in, bool active);
+
+/// Build identity with the given dispatch label. Version/sha/compiler are
+/// baked in at compile time (RASED_VERSION_STRING / RASED_GIT_SHA).
+BuildInfo MakeBuildInfo(std::string_view avx2_label);
+
+/// Registers the `rased_build_info` gauge: constant value 1, the build
+/// identity carried entirely in labels (the Prometheus _info convention).
+void RegisterBuildInfoGauge(MetricsRegistry* metrics, const BuildInfo& info);
+
+}  // namespace rased
+
+#endif  // RASED_OBS_BUILD_INFO_H_

@@ -1,0 +1,222 @@
+#include "obs/heap_stats.h"
+
+#if defined(__linux__)
+#include <malloc.h>
+#endif
+
+#include <cstdlib>
+#include <new>
+
+// Allocation accounting via global operator new/delete interposition.
+//
+// Every replaceable allocation/deallocation function is defined in this
+// translation unit, so any binary that links it (everything that runs a
+// QueryExecutor does, via ResourceScope) charges all C++ heap traffic to
+// the per-thread counters below. The hot path is branch-light: two
+// thread-local integer adds plus one malloc_usable_size call; no locks, no
+// per-allocation stacks, no global state. Sizes are the allocator's usable
+// size on BOTH sides, so alloc/free totals cancel exactly for matched
+// pairs under glibc and under the ASan/TSan allocators alike.
+//
+// The thread-local state is a zero-initialized POD: it needs no dynamic
+// initializer and no destructor, so the hooks are safe during static init
+// and thread teardown, when interposed allocation calls still arrive.
+
+namespace rased {
+
+namespace heap_internal {
+
+namespace {
+
+struct ThreadState {
+  uint64_t alloc_bytes;
+  uint64_t alloc_ops;
+  uint64_t free_bytes;
+  uint64_t free_ops;
+  ResourceScope* innermost;
+};
+
+thread_local ThreadState g_thread_state;
+
+std::size_t UsableSize(void* p) noexcept {
+#if defined(__linux__)
+  return malloc_usable_size(p);
+#else
+  (void)p;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+void NoteAlloc(std::size_t bytes) noexcept {
+  ThreadState& ts = g_thread_state;
+  ts.alloc_bytes += bytes;
+  ts.alloc_ops += 1;
+  ResourceScope* scope = ts.innermost;
+  if (scope != nullptr) {
+    const int64_t live = static_cast<int64_t>(ts.alloc_bytes) -
+                         static_cast<int64_t>(ts.free_bytes);
+    if (live > scope->max_live_) scope->max_live_ = live;
+  }
+}
+
+void NoteFree(std::size_t bytes) noexcept {
+  ThreadState& ts = g_thread_state;
+  ts.free_bytes += bytes;
+  ts.free_ops += 1;
+}
+
+}  // namespace heap_internal
+
+ThreadAllocCounters ThreadAllocTotals() {
+  const heap_internal::ThreadState& ts = heap_internal::g_thread_state;
+  ThreadAllocCounters out;
+  out.alloc_bytes = ts.alloc_bytes;
+  out.alloc_ops = ts.alloc_ops;
+  out.free_bytes = ts.free_bytes;
+  out.free_ops = ts.free_ops;
+  return out;
+}
+
+ResourceScope::ResourceScope() {
+  heap_internal::ThreadState& ts = heap_internal::g_thread_state;
+  parent_ = ts.innermost;
+  alloc_bytes_at_start_ = ts.alloc_bytes;
+  alloc_ops_at_start_ = ts.alloc_ops;
+  free_bytes_at_start_ = ts.free_bytes;
+  free_ops_at_start_ = ts.free_ops;
+  live_at_start_ = static_cast<int64_t>(ts.alloc_bytes) -
+                   static_cast<int64_t>(ts.free_bytes);
+  max_live_ = live_at_start_;
+  ts.innermost = this;
+}
+
+ResourceScope::~ResourceScope() {
+  heap_internal::ThreadState& ts = heap_internal::g_thread_state;
+  ts.innermost = parent_;
+  if (parent_ != nullptr) {
+    // The child's window is part of the parent's, so its high-water and
+    // any cross-thread merges belong to the parent once the child closes.
+    if (max_live_ > parent_->max_live_) parent_->max_live_ = max_live_;
+    parent_->merged_ += merged_;
+  }
+}
+
+ResourceUsage ResourceScope::Usage() const {
+  const heap_internal::ThreadState& ts = heap_internal::g_thread_state;
+  ResourceUsage usage = merged_;
+  usage.allocated_bytes += ts.alloc_bytes - alloc_bytes_at_start_;
+  usage.alloc_ops += ts.alloc_ops - alloc_ops_at_start_;
+  usage.freed_bytes += ts.free_bytes - free_bytes_at_start_;
+  usage.free_ops += ts.free_ops - free_ops_at_start_;
+  const int64_t local_peak = max_live_ - live_at_start_;
+  if (local_peak > 0) usage.peak_bytes += local_peak;
+  return usage;
+}
+
+}  // namespace rased
+
+namespace {
+
+void* AllocOrThrow(std::size_t size) {
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  while (p == nullptr) {
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+    p = std::malloc(size);
+  }
+  rased::heap_internal::NoteAlloc(rased::heap_internal::UsableSize(p));
+  return p;
+}
+
+void* AllocAlignedOrThrow(std::size_t size, std::size_t alignment) {
+  if (size == 0) size = 1;
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  void* p = nullptr;
+  while (posix_memalign(&p, alignment, size) != 0) {
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+  rased::heap_internal::NoteAlloc(rased::heap_internal::UsableSize(p));
+  return p;
+}
+
+void FreeAndNote(void* p) noexcept {
+  if (p == nullptr) return;
+  rased::heap_internal::NoteFree(rased::heap_internal::UsableSize(p));
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return AllocOrThrow(size); }
+void* operator new[](std::size_t size) { return AllocOrThrow(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return AllocOrThrow(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return AllocOrThrow(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return AllocAlignedOrThrow(size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return AllocAlignedOrThrow(size, static_cast<std::size_t>(alignment));
+}
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return AllocAlignedOrThrow(size, static_cast<std::size_t>(alignment));
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  try {
+    return AllocAlignedOrThrow(size, static_cast<std::size_t>(alignment));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { FreeAndNote(p); }
+void operator delete[](void* p) noexcept { FreeAndNote(p); }
+void operator delete(void* p, std::size_t) noexcept { FreeAndNote(p); }
+void operator delete[](void* p, std::size_t) noexcept { FreeAndNote(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  FreeAndNote(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  FreeAndNote(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { FreeAndNote(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { FreeAndNote(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  FreeAndNote(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  FreeAndNote(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  FreeAndNote(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  FreeAndNote(p);
+}

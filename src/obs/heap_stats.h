@@ -1,0 +1,94 @@
+#ifndef RASED_OBS_HEAP_STATS_H_
+#define RASED_OBS_HEAP_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rased {
+
+namespace heap_internal {
+/// Allocation hooks called by the global operator new/delete replacements
+/// in heap_stats.cc. `bytes` is the usable size reported by the allocator
+/// (malloc_usable_size), charged symmetrically on allocation and free so
+/// matched pairs cancel exactly, including under ASan/TSan allocators.
+void NoteAlloc(std::size_t bytes) noexcept;
+void NoteFree(std::size_t bytes) noexcept;
+}  // namespace heap_internal
+
+/// Per-thread allocator totals since thread start. Monotonic; free totals
+/// are charged to the *freeing* thread, so cross-thread frees make
+/// (alloc - free) of a single thread an approximation of live bytes.
+struct ThreadAllocCounters {
+  uint64_t alloc_bytes = 0;
+  uint64_t alloc_ops = 0;
+  uint64_t free_bytes = 0;
+  uint64_t free_ops = 0;
+};
+
+/// Totals for the calling thread.
+ThreadAllocCounters ThreadAllocTotals();
+
+/// Allocator usage attributed to one ResourceScope (one query, one
+/// request). Mergeable across threads with operator+= / Merge: byte and
+/// op totals add exactly; peak_bytes adds as a conservative upper bound
+/// (concurrent scopes need not have peaked simultaneously).
+struct ResourceUsage {
+  uint64_t allocated_bytes = 0;
+  uint64_t alloc_ops = 0;
+  uint64_t freed_bytes = 0;
+  uint64_t free_ops = 0;
+  /// High-water mark of (thread live bytes - live bytes at scope start)
+  /// over the scope's lifetime; never negative.
+  int64_t peak_bytes = 0;
+
+  ResourceUsage& operator+=(const ResourceUsage& other) {
+    allocated_bytes += other.allocated_bytes;
+    alloc_ops += other.alloc_ops;
+    freed_bytes += other.freed_bytes;
+    free_ops += other.free_ops;
+    peak_bytes += other.peak_bytes;
+    return *this;
+  }
+};
+
+/// RAII window over the calling thread's allocation counters: everything
+/// the thread allocates or frees between construction and Usage()/
+/// destruction is charged to this scope. Scopes nest (a child's traffic is
+/// part of the parent's, since both read the same thread totals); the
+/// innermost scope additionally tracks the live-byte high-water mark and
+/// propagates it to its parent on destruction. For work handed to another
+/// thread, open a scope there and Merge() its Usage() back into the
+/// originating scope. All methods must be called on the owning thread.
+class ResourceScope {
+ public:
+  ResourceScope();
+  ~ResourceScope();
+
+  ResourceScope(const ResourceScope&) = delete;
+  ResourceScope& operator=(const ResourceScope&) = delete;
+
+  /// Usage charged so far: thread-total deltas since construction plus
+  /// everything Merge()d in from other threads.
+  ResourceUsage Usage() const;
+
+  /// Adds usage measured by a scope on another thread (thread handoff).
+  void Merge(const ResourceUsage& other) { merged_ += other; }
+
+ private:
+  friend void heap_internal::NoteAlloc(std::size_t) noexcept;
+
+  ResourceScope* parent_;
+  uint64_t alloc_bytes_at_start_;
+  uint64_t alloc_ops_at_start_;
+  uint64_t free_bytes_at_start_;
+  uint64_t free_ops_at_start_;
+  int64_t live_at_start_;
+  /// Absolute thread-live high-water seen while this scope (or a nested
+  /// child, folded in at child destruction) was innermost.
+  int64_t max_live_;
+  ResourceUsage merged_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_OBS_HEAP_STATS_H_

@@ -95,6 +95,9 @@ Histogram::Histogram(const HistogramOptions& options) {
   }
   counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
   for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+  if (options.track_exemplars) {
+    exemplars_ = std::make_unique<ExemplarSlot[]>(bounds_.size() + 1);
+  }
 }
 
 void Histogram::Observe(int64_t value) {
@@ -104,6 +107,42 @@ void Histogram::Observe(int64_t value) {
   counts_[idx].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::Observe(int64_t value, uint64_t exemplar_id) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  size_t idx = static_cast<size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  if (exemplars_ == nullptr) return;
+  ExemplarSlot& slot = exemplars_[idx];
+  int64_t cur = slot.worst.load(std::memory_order_relaxed);
+  while (value > cur) {
+    if (slot.worst.compare_exchange_weak(cur, value,
+                                         std::memory_order_relaxed)) {
+      slot.id.store(exemplar_id, std::memory_order_relaxed);
+      break;
+    }
+  }
+}
+
+std::vector<HistogramExemplar> Histogram::DrainExemplars() {
+  std::vector<HistogramExemplar> out;
+  if (exemplars_ == nullptr) return out;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    ExemplarSlot& slot = exemplars_[i];
+    int64_t worst = slot.worst.exchange(kNoExemplar,
+                                        std::memory_order_relaxed);
+    if (worst == kNoExemplar) continue;
+    HistogramExemplar e;
+    e.bucket = static_cast<int>(i);
+    e.bound = i < bounds_.size() ? bounds_[i] : -1;
+    e.value = worst;
+    e.trace_id = slot.id.load(std::memory_order_relaxed);
+    out.push_back(e);
+  }
+  return out;
 }
 
 MetricsRegistry* MetricsRegistry::Global() {

@@ -74,6 +74,24 @@ struct HistogramOptions {
   int64_t first_bound = 1;
   double growth = 2.0;
   int num_buckets = 30;
+  /// When set, the histogram also remembers, per bucket, the worst
+  /// (largest) observation since the last DrainExemplars() together with
+  /// the caller-supplied exemplar id (in practice a trace id). Off by
+  /// default: it costs two extra atomics per bucket and is only useful on
+  /// histograms whose observations carry a trace id.
+  bool track_exemplars = false;
+};
+
+/// One drained exemplar: the worst observation that landed in `bucket`
+/// since the previous drain, plus the id (trace id) it carried. The
+/// value/trace_id pairing is best-effort under concurrent ties — two
+/// racing equal observations may cross-pair — which is fine for the
+/// debugging use ("show me a trace that was this slow").
+struct HistogramExemplar {
+  int bucket = 0;        ///< bucket index; num_finite_buckets() means +Inf
+  int64_t bound = 0;     ///< inclusive upper bound; -1 for the +Inf bucket
+  int64_t value = 0;     ///< the worst observed value in the bucket
+  uint64_t trace_id = 0; ///< exemplar id supplied with that observation
 };
 
 /// Latency/size distribution with atomic per-bucket counts. Observe is
@@ -83,6 +101,18 @@ struct HistogramOptions {
 class Histogram {
  public:
   void Observe(int64_t value);
+
+  /// Observe plus exemplar tracking: when the histogram was created with
+  /// track_exemplars, also CAS-maxes the per-bucket worst-value slot and
+  /// remembers `exemplar_id` for it. Without tracking this is Observe().
+  void Observe(int64_t value, uint64_t exemplar_id);
+
+  /// Returns every bucket's worst observation since the last drain and
+  /// resets the slots ("since last scrape" semantics). Empty when the
+  /// histogram does not track exemplars or nothing was observed.
+  std::vector<HistogramExemplar> DrainExemplars();
+
+  bool tracks_exemplars() const { return exemplars_ != nullptr; }
 
   int num_finite_buckets() const { return static_cast<int>(bounds_.size()); }
   int64_t bucket_bound(int i) const {
@@ -102,8 +132,19 @@ class Histogram {
   friend class MetricsRegistry;
   explicit Histogram(const HistogramOptions& options);
 
+  /// Sentinel meaning "no observation since the last drain". An actual
+  /// INT64_MIN observation is indistinguishable and never installs, which
+  /// is harmless: exemplars exist to surface worst cases, not minima.
+  static constexpr int64_t kNoExemplar = INT64_MIN;
+
+  struct ExemplarSlot {
+    std::atomic<int64_t> worst{kNoExemplar};
+    std::atomic<uint64_t> id{0};
+  };
+
   std::vector<int64_t> bounds_;
   std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::unique_ptr<ExemplarSlot[]> exemplars_;  // null unless tracking
   std::atomic<uint64_t> count_{0};
   std::atomic<int64_t> sum_{0};
 };

@@ -1,8 +1,10 @@
 #include "obs/query_trace.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
+#include "util/clock.h"
 #include "util/logging.h"
 
 namespace rased {
@@ -17,38 +19,74 @@ TraceRecorder::TraceRecorder(const TraceRecorderOptions& options,
     slow_counter_ = metrics->GetCounter(
         "rased_slow_queries_total",
         "Queries whose wall+device time exceeded the slow-query threshold");
+    suppressed_counter_ = metrics->GetCounter(
+        "rased_slow_query_log_suppressed_total",
+        "Slow-query WARN lines dropped by the log rate limiter");
   }
 }
 
 uint64_t TraceRecorder::Record(QueryTrace trace) {
   bool slow = options_.slow_query_micros > 0 &&
               trace.total_micros() > options_.slow_query_micros;
+  bool log_suppressed = false;
   uint64_t id = 0;
   {
     MutexLock lock(&mu_);
     id = next_id_++;
     trace.id = id;
     if (slow) {
-      std::ostringstream line;
-      line << "slow query #" << id << ": total=" << trace.total_micros()
-           << "us (wall=" << trace.wall_micros
-           << "us device=" << trace.device_micros
-           << "us) cubes=" << trace.cubes_total << " ("
-           << trace.cubes_from_cache << " cached, " << trace.cubes_from_disk
-           << " disk) read_ops=" << trace.read_ops
-           << " bytes_read=" << trace.bytes_read;
-      for (const TraceSpan& span : trace.spans) {
-        line << " " << span.name << "=" << span.wall_micros << "+"
-             << span.device_micros << "us";
+      // Token bucket (capacity 1): a slow-query storm logs at most
+      // slow_log_per_sec lines, and each emitted line carries how many
+      // were dropped since the previous one.
+      bool emit = true;
+      if (options_.slow_log_per_sec > 0) {
+        const int64_t now = NowMicros();
+        if (log_refill_micros_ == 0) log_refill_micros_ = now;
+        log_tokens_ =
+            std::min(1.0, log_tokens_ + static_cast<double>(
+                                            now - log_refill_micros_) *
+                                            options_.slow_log_per_sec / 1e6);
+        log_refill_micros_ = now;
+        if (log_tokens_ >= 1.0) {
+          log_tokens_ -= 1.0;
+        } else {
+          emit = false;
+        }
       }
-      line << " query={" << trace.summary << "}";
-      RASED_LOG(Warning) << line.str();
+      if (emit) {
+        std::ostringstream line;
+        line << "slow query #" << id << ": total=" << trace.total_micros()
+             << "us (wall=" << trace.wall_micros
+             << "us device=" << trace.device_micros
+             << "us) cubes=" << trace.cubes_total << " ("
+             << trace.cubes_from_cache << " cached, " << trace.cubes_from_disk
+             << " disk) read_ops=" << trace.read_ops
+             << " bytes_read=" << trace.bytes_read
+             << " alloc_bytes=" << trace.alloc_bytes
+             << " peak_alloc=" << trace.peak_alloc_bytes;
+        for (const TraceSpan& span : trace.spans) {
+          line << " " << span.name << "=" << span.wall_micros << "+"
+               << span.device_micros << "us";
+        }
+        line << " query={" << trace.summary << "}";
+        if (log_suppressed_ > 0) {
+          line << " suppressed=" << log_suppressed_;
+          log_suppressed_ = 0;
+        }
+        RASED_LOG(Warning) << line.str();
+      } else {
+        ++log_suppressed_;
+        log_suppressed = true;
+      }
     }
     ring_.push_back(std::move(trace));
     while (ring_.size() > options_.capacity) ring_.pop_front();
   }
   if (recorded_counter_ != nullptr) recorded_counter_->Increment();
   if (slow && slow_counter_ != nullptr) slow_counter_->Increment();
+  if (log_suppressed && suppressed_counter_ != nullptr) {
+    suppressed_counter_->Increment();
+  }
   return id;
 }
 

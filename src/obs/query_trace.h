@@ -43,6 +43,12 @@ struct QueryTrace {
   uint64_t bytes_read = 0;
   /// Catalog epoch the query was pinned to (MVCC publication counter).
   uint64_t epoch = 0;
+  /// Exact heap attribution from the query's ResourceScope
+  /// (obs/heap_stats.h): bytes/ops allocated while the query executed and
+  /// its high-water mark of net-live bytes above the scope's baseline.
+  uint64_t alloc_bytes = 0;
+  uint64_t alloc_ops = 0;
+  uint64_t peak_alloc_bytes = 0;
   std::vector<TraceSpan> spans;
 
   /// wall + simulated device time: what an end user of the modeled
@@ -57,6 +63,11 @@ struct TraceRecorderOptions {
   /// Queries whose total_micros exceeds this log one WARN line with the
   /// full span breakdown. <= 0 disables slow-query logging.
   int64_t slow_query_micros = 250000;
+  /// Token-bucket rate limit on that WARN line (a slow-query storm must
+  /// not flood the log). At most this many lines per second, burst 1; the
+  /// next emitted line carries a ` suppressed=N` suffix counting the slow
+  /// queries whose lines were dropped since. <= 0 disables the limit.
+  double slow_log_per_sec = 1.0;
 };
 
 /// Bounded ring buffer of recent query traces with slow-query logging.
@@ -90,10 +101,16 @@ class TraceRecorder {
       nullptr;  // rased_traces_recorded_total
   Counter* slow_counter_ RASED_CONST_AFTER_INIT =
       nullptr;  // rased_slow_queries_total
+  Counter* suppressed_counter_ RASED_CONST_AFTER_INIT =
+      nullptr;  // rased_slow_query_log_suppressed_total
 
   mutable Mutex mu_;
   uint64_t next_id_ RASED_GUARDED_BY(mu_) = 1;
   std::deque<QueryTrace> ring_ RASED_GUARDED_BY(mu_);
+  // Slow-query log token bucket (capacity 1, slow_log_per_sec refill).
+  double log_tokens_ RASED_GUARDED_BY(mu_) = 1.0;
+  int64_t log_refill_micros_ RASED_GUARDED_BY(mu_) = 0;
+  uint64_t log_suppressed_ RASED_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace rased

@@ -34,6 +34,11 @@ QueryStats& QueryStats::operator+=(const QueryStats& o) {
   epoch = std::max(epoch, o.epoch);
   io += o.io;
   cpu_micros += o.cpu_micros;
+  alloc_bytes += o.alloc_bytes;
+  alloc_ops += o.alloc_ops;
+  // Peaks don't sum either: concurrent peaks are not additive, so report
+  // the worst single-query high-water mark.
+  peak_alloc_bytes = std::max(peak_alloc_bytes, o.peak_alloc_bytes);
   return *this;
 }
 

@@ -85,6 +85,14 @@ struct QueryStats {
   /// Pure CPU time of planning + in-memory aggregation.
   int64_t cpu_micros = 0;
 
+  /// Exact heap attribution (obs/heap_stats.h ResourceScope): bytes and
+  /// operations allocated on the executing thread while this query ran,
+  /// and the high-water mark of net-live bytes above the scope baseline.
+  /// Allocator usable sizes, so on/off profiling changes nothing here.
+  uint64_t alloc_bytes = 0;
+  uint64_t alloc_ops = 0;
+  uint64_t peak_alloc_bytes = 0;
+
   /// End-to-end response time under the device model:
   /// cpu_micros + io.simulated_device_micros.
   int64_t total_micros() const {

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "cube/cube_codec.h"
+#include "obs/heap_stats.h"
+#include "obs/request_context.h"
 #include "util/clock.h"
 #include "util/logging.h"
 
@@ -27,12 +29,33 @@ QueryExecutor::QueryExecutor(const TemporalIndex* index, CubeCache* cache,
                                           "Analysis queries that failed");
     metrics_.cubes_scanned = metrics->GetCounter(
         "rased_query_cubes_scanned_total", "Cubes aggregated across queries");
+    metrics_.alloc_ops = metrics->GetCounter(
+        "rased_query_alloc_ops_total",
+        "Heap allocation operations charged to query execution");
+    // Exemplar tracking remembers the worst trace id per latency bucket
+    // (served by /api/trace?worst=1). First registration wins, and the
+    // executor registers eagerly, so the option reliably takes effect.
+    HistogramOptions latency_options;
+    latency_options.track_exemplars = true;
     metrics_.cpu_micros = metrics->GetHistogram(
         "rased_query_cpu_micros",
-        "Per-query wall time of planning + aggregation (microseconds)");
+        "Per-query wall time of planning + aggregation (microseconds)",
+        latency_options);
     metrics_.device_micros = metrics->GetHistogram(
         "rased_query_device_micros",
         "Per-query simulated device-model time (microseconds)");
+    // Byte-scaled buckets: 1KiB..2GiB at 2x resolution.
+    HistogramOptions byte_options;
+    byte_options.first_bound = 1024;
+    byte_options.num_buckets = 22;
+    metrics_.alloc_bytes = metrics->GetHistogram(
+        "rased_query_alloc_bytes",
+        "Heap bytes allocated per query (allocator usable sizes)",
+        byte_options);
+    metrics_.alloc_peak_bytes = metrics->GetHistogram(
+        "rased_query_alloc_peak_bytes",
+        "Peak net-live heap bytes per query above its starting baseline",
+        byte_options);
   }
 }
 
@@ -98,6 +121,10 @@ Result<QueryResult> QueryExecutor::Execute(
         "Percentage(*) requires grouping by Country (the denominator is the "
         "country's road-network size)");
   }
+  // Every heap byte this thread touches from here on is charged to the
+  // query (obs/heap_stats.h interposition) — exact, not sampled, and
+  // independent of whether the CPU profiler is running.
+  ResourceScope resources;
   const int64_t t_start = NowMicros();
 
   QueryResult result;
@@ -274,6 +301,11 @@ Result<QueryResult> QueryExecutor::Execute(
   const int64_t t_done = NowMicros();
   result.stats.cpu_micros = t_done - t_start;
 
+  const ResourceUsage heap = resources.Usage();
+  result.stats.alloc_bytes = heap.allocated_bytes;
+  result.stats.alloc_ops = heap.alloc_ops;
+  result.stats.peak_alloc_bytes = static_cast<uint64_t>(heap.peak_bytes);
+
   // Span breakdown for /api/trace. All simulated device time is charged
   // during the batched miss fetch, so only that span carries device
   // micros; the wall components partition cpu_micros exactly.
@@ -287,8 +319,12 @@ Result<QueryResult> QueryExecutor::Execute(
   if (metrics_.queries != nullptr) {
     metrics_.queries->Increment();
     metrics_.cubes_scanned->Increment(result.stats.cubes_total);
-    metrics_.cpu_micros->Observe(result.stats.cpu_micros);
+    metrics_.cpu_micros->Observe(result.stats.cpu_micros, CurrentTraceId());
     metrics_.device_micros->Observe(result.stats.io.simulated_device_micros);
+    metrics_.alloc_ops->Increment(result.stats.alloc_ops);
+    metrics_.alloc_bytes->Observe(
+        static_cast<int64_t>(result.stats.alloc_bytes));
+    metrics_.alloc_peak_bytes->Observe(heap.peak_bytes);
   }
   return result;
 }

@@ -83,8 +83,14 @@ class QueryExecutor {
     Counter* queries = nullptr;
     Counter* errors = nullptr;
     Counter* cubes_scanned = nullptr;
-    Histogram* cpu_micros = nullptr;     // wall time (fake-clock testable)
+    Counter* alloc_ops = nullptr;        // rased_query_alloc_ops_total
+    Histogram* cpu_micros = nullptr;     // wall time (fake-clock testable);
+                                         // tracks per-bucket exemplars so
+                                         // /api/trace?worst=1 can name the
+                                         // worst trace id per latency bucket
     Histogram* device_micros = nullptr;  // deterministic device-model time
+    Histogram* alloc_bytes = nullptr;      // rased_query_alloc_bytes
+    Histogram* alloc_peak_bytes = nullptr; // rased_query_alloc_peak_bytes
   };
   QueryMetrics metrics_;
 };

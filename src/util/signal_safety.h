@@ -1,0 +1,35 @@
+#ifndef RASED_UTIL_SIGNAL_SAFETY_H_
+#define RASED_UTIL_SIGNAL_SAFETY_H_
+
+#include <cerrno>
+
+/// Marks a function that runs in (or is reachable from) an async signal
+/// handler. The marker expands to nothing; its value is the contract it
+/// declares and enforces: rased-lint rule RL015 scans the body of every
+/// function annotated RASED_SIGNAL_HANDLER and rejects calls that are not
+/// async-signal-safe (malloc/free, operator new/delete, stdio, logging,
+/// mutex acquisition). Code inside a marked function may only touch
+/// plain/atomic thread-local or pre-allocated state and the handful of
+/// AS-safe syscalls (clock_gettime, write, ...).
+#define RASED_SIGNAL_HANDLER
+
+namespace rased {
+
+/// Saves errno on construction and restores it on destruction. Every
+/// signal handler must preserve errno for the interrupted code; this is
+/// the first line of each RASED_SIGNAL_HANDLER function.
+class ScopedErrnoRestore {
+ public:
+  ScopedErrnoRestore() : saved_(errno) {}
+  ~ScopedErrnoRestore() { errno = saved_; }
+
+  ScopedErrnoRestore(const ScopedErrnoRestore&) = delete;
+  ScopedErrnoRestore& operator=(const ScopedErrnoRestore&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace rased
+
+#endif  // RASED_UTIL_SIGNAL_SAFETY_H_

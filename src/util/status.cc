@@ -24,6 +24,8 @@ const char* CodeName(Status::Code code) {
       return "AlreadyExists";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kFailedPrecondition:
+      return "FailedPrecondition";
   }
   return "Unknown";
 }

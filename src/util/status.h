@@ -29,6 +29,7 @@ class [[nodiscard]] Status {
     kOutOfRange = 6,
     kAlreadyExists = 7,
     kInternal = 8,
+    kFailedPrecondition = 9,
   };
 
   /// Default-constructed Status is OK.
@@ -65,6 +66,9 @@ class [[nodiscard]] Status {
   static Status Internal(std::string_view msg) {
     return Status(Code::kInternal, msg);
   }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(Code::kFailedPrecondition, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -75,6 +79,9 @@ class [[nodiscard]] Status {
   bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
   bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

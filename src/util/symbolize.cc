@@ -1,0 +1,38 @@
+#include "util/symbolize.h"
+
+#include <cstdlib>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <cxxabi.h>
+#include <dlfcn.h>
+#define RASED_HAVE_DLADDR 1
+#endif
+
+#include "util/str_util.h"
+
+namespace rased {
+
+std::string SymbolizePc(uintptr_t pc) {
+#if RASED_HAVE_DLADDR
+  Dl_info info{};
+  // The sample PC is a return address, i.e. one past the call; subtract
+  // one byte so calls at the end of a function do not resolve to the
+  // function that happens to follow it in the image.
+  if (dladdr(reinterpret_cast<void*>(pc - 1), &info) != 0 &&
+      info.dli_sname != nullptr) {
+    int demangle_status = 0;
+    char* demangled = abi::__cxa_demangle(info.dli_sname, nullptr, nullptr,
+                                          &demangle_status);
+    if (demangle_status == 0 && demangled != nullptr) {
+      std::string name(demangled);
+      std::free(demangled);
+      return name;
+    }
+    if (demangled != nullptr) std::free(demangled);
+    return info.dli_sname;
+  }
+#endif
+  return StrFormat("0x%llx", static_cast<unsigned long long>(pc));
+}
+
+}  // namespace rased

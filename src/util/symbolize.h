@@ -1,0 +1,20 @@
+#ifndef RASED_UTIL_SYMBOLIZE_H_
+#define RASED_UTIL_SYMBOLIZE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rased {
+
+/// Resolves a code address to a human-readable frame name. Uses the
+/// dynamic symbol table (dladdr) and demangles C++ names; executables must
+/// be linked with exported symbols (CMAKE_ENABLE_EXPORTS) for static
+/// binaries to resolve their own functions. Unresolvable addresses render
+/// as "0x<hex>" so folded stacks stay parseable. NOT async-signal-safe:
+/// call from background symbolization threads only, never from a
+/// RASED_SIGNAL_HANDLER context.
+std::string SymbolizePc(uintptr_t pc);
+
+}  // namespace rased
+
+#endif  // RASED_UTIL_SYMBOLIZE_H_

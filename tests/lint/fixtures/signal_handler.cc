@@ -1,0 +1,49 @@
+// RL015 fixture: async-signal-safety of RASED_SIGNAL_HANDLER functions.
+// Banned calls (allocation, stdio, logging, locking) inside an annotated
+// body must be flagged; the same calls in ordinary functions, member
+// calls that merely share a banned name, and AS-safe syscalls must not.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+#include "util/signal_safety.h"
+#include "util/thread_annotations.h"
+
+namespace rased {
+
+struct FakeRing {
+  void free(int) {}  // member named like libc free: calls are fine
+};
+
+extern FakeRing* g_ring;
+extern Mutex g_mu;  // a global at namespace scope is not "inside" a body
+
+RASED_SIGNAL_HANDLER void BadHandler(int signo) {
+  char* buf = static_cast<char*>(malloc(16));  // WANT[RL015]
+  std::printf("signal %d\n", signo);           // WANT[RL015]
+  int* counter = new int(signo);               // WANT[RL015]
+  delete counter;                              // WANT[RL015]
+  MutexLock lock(&g_mu);                       // WANT[RL015]
+  free(buf);                                   // WANT[RL015]
+}
+
+RASED_SIGNAL_HANDLER void GoodHandler(int /*signo*/) {
+  ScopedErrnoRestore errno_guard;
+  timespec now;
+  clock_gettime(CLOCK_MONOTONIC, &now);  // AS-safe syscall
+  g_ring->free(0);                       // member call, not libc free
+}
+
+// A declaration without a body has nothing to scan.
+RASED_SIGNAL_HANDLER void DeclaredOnly(int signo);
+
+void OrdinaryFunction() {
+  // Outside a handler the usual rules apply; none of these are RL015.
+  char* buf = static_cast<char*>(malloc(8));
+  std::printf("not a handler\n");
+  free(buf);
+}
+
+}  // namespace rased

@@ -118,6 +118,10 @@ TEST(RasedLintTest, VendorIntrinsics) {
 
 TEST(RasedLintTest, RawWallClock) { ExpectMatchesMarkers("wall_clock.cc"); }
 
+TEST(RasedLintTest, SignalHandlerSafety) {
+  ExpectMatchesMarkers("signal_handler.cc");
+}
+
 // The one legitimate home of intrinsics is exempt by exact path.
 TEST(RasedLintTest, VendorIntrinsicsAllowedInKernelTu) {
   std::string contents = ReadFixture("vendor_intrinsics.cc");
@@ -159,7 +163,7 @@ TEST(RasedLintTest, RuleTableIsOrderedAndUnique) {
     EXPECT_LT(prev, rule.id);
     prev = rule.id;
   }
-  EXPECT_EQ(ids.size(), 14u);
+  EXPECT_EQ(ids.size(), 15u);
 }
 
 }  // namespace

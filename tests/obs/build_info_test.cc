@@ -1,0 +1,46 @@
+#include "obs/build_info.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics_registry.h"
+
+namespace rased {
+namespace {
+
+TEST(BuildInfoTest, Avx2DispatchLabelCoversAllStates) {
+  EXPECT_EQ(Avx2DispatchLabel(true, true), "active");
+  EXPECT_EQ(Avx2DispatchLabel(true, false), "compiled-disabled");
+  EXPECT_EQ(Avx2DispatchLabel(false, false), "not-compiled");
+}
+
+TEST(BuildInfoTest, MakeBuildInfoBakesInIdentity) {
+  BuildInfo info = MakeBuildInfo("active");
+  EXPECT_FALSE(info.version.empty());
+  EXPECT_FALSE(info.git_sha.empty());
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_EQ(info.avx2, "active");
+}
+
+TEST(BuildInfoTest, GaugeRendersIdentityAsLabels) {
+  MetricsRegistry registry;
+  BuildInfo info;
+  info.version = "1.2.3";
+  info.git_sha = "abc1234";
+  info.compiler = "testcc 9.9";
+  info.avx2 = "not-compiled";
+  RegisterBuildInfoGauge(&registry, info);
+
+  std::string text = registry.RenderPrometheus();
+  // The _info convention: constant 1, identity entirely in labels.
+  EXPECT_NE(text.find("rased_build_info{"), std::string::npos);
+  EXPECT_NE(text.find("version=\"1.2.3\""), std::string::npos);
+  EXPECT_NE(text.find("git_sha=\"abc1234\""), std::string::npos);
+  EXPECT_NE(text.find("compiler=\"testcc 9.9\""), std::string::npos);
+  EXPECT_NE(text.find("avx2=\"not-compiled\""), std::string::npos);
+  EXPECT_NE(text.find("} 1\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rased

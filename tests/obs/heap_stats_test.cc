@@ -1,0 +1,139 @@
+#include "obs/heap_stats.h"
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rased {
+namespace {
+
+// Allocation sizes large enough that allocator size-class rounding cannot
+// make two of them collide, small enough to stay off any mmap path.
+constexpr size_t kBlock = 64 * 1024;
+
+TEST(HeapStatsTest, ScopeChargesMatchedPairExactly) {
+  ResourceScope scope;
+  ResourceUsage before = scope.Usage();
+  {
+    std::unique_ptr<char[]> block(new char[kBlock]);
+    block[0] = 1;  // keep the allocation alive past the optimizer
+  }
+  ResourceUsage after = scope.Usage();
+  EXPECT_EQ(after.alloc_ops - before.alloc_ops, 1u);
+  EXPECT_EQ(after.free_ops - before.free_ops, 1u);
+  EXPECT_GE(after.allocated_bytes - before.allocated_bytes, kBlock);
+  // Usable size is charged symmetrically on both sides, so a matched
+  // new/delete pair cancels exactly.
+  EXPECT_EQ(after.allocated_bytes - before.allocated_bytes,
+            after.freed_bytes - before.freed_bytes);
+}
+
+TEST(HeapStatsTest, PeakTracksLiveHighWaterNotTotals) {
+  ResourceScope scope;
+  {
+    std::unique_ptr<char[]> big(new char[8 * kBlock]);
+    big[0] = 1;
+  }
+  // After the big block is freed, a small allocation must not raise peak.
+  std::unique_ptr<char[]> small(new char[16]);
+  small[0] = 1;
+  ResourceUsage usage = scope.Usage();
+  EXPECT_GE(usage.peak_bytes, static_cast<int64_t>(8 * kBlock));
+  // Peak is a high-water mark, not the sum of all allocations ever.
+  EXPECT_LT(usage.peak_bytes, static_cast<int64_t>(9 * kBlock));
+}
+
+TEST(HeapStatsTest, NestedScopeChargesChildAndParent) {
+  ResourceScope outer;
+  std::unique_ptr<char[]> a(new char[kBlock]);
+  a[0] = 1;
+  ResourceUsage outer_before_inner = outer.Usage();
+  ResourceUsage inner_usage;
+  {
+    ResourceScope inner;
+    std::unique_ptr<char[]> b(new char[2 * kBlock]);
+    b[0] = 1;
+    inner_usage = inner.Usage();
+  }
+  // All assertions after both captures, so the test harness itself cannot
+  // allocate between the two Usage() reads it compares.
+  ResourceUsage outer_usage = outer.Usage();
+  EXPECT_EQ(inner_usage.alloc_ops, 1u);
+  EXPECT_GE(inner_usage.allocated_bytes, 2 * kBlock);
+  // The inner scope never sees the parent's earlier allocation.
+  EXPECT_LT(inner_usage.allocated_bytes, 3 * kBlock);
+  // The child's traffic is part of the parent's: same thread counters.
+  EXPECT_EQ(outer_usage.allocated_bytes - outer_before_inner.allocated_bytes,
+            inner_usage.allocated_bytes);
+  EXPECT_GE(outer_usage.alloc_ops, 2u);
+  // The child's high-water (a + b live at once) folds into the parent.
+  EXPECT_GE(outer_usage.peak_bytes, static_cast<int64_t>(3 * kBlock));
+}
+
+TEST(HeapStatsTest, MergeAddsUsageHandedOffFromAnotherThread) {
+  ResourceScope scope;
+  ResourceUsage worker_usage;
+  std::thread worker([&worker_usage] {
+    ResourceScope worker_scope;
+    std::vector<char> buf(kBlock, 'x');
+    ASSERT_NE(buf[0], 0);
+    worker_usage = worker_scope.Usage();
+  });
+  worker.join();
+  ResourceUsage local_before = scope.Usage();
+  scope.Merge(worker_usage);
+  ResourceUsage merged = scope.Usage();
+  EXPECT_EQ(merged.allocated_bytes,
+            local_before.allocated_bytes + worker_usage.allocated_bytes);
+  EXPECT_EQ(merged.alloc_ops, local_before.alloc_ops + worker_usage.alloc_ops);
+  EXPECT_GE(worker_usage.allocated_bytes, kBlock);
+}
+
+TEST(HeapStatsTest, ThreadTotalsAreMonotoneAndPerThread) {
+  ThreadAllocCounters before = ThreadAllocTotals();
+  std::unique_ptr<char[]> block(new char[kBlock]);
+  block[0] = 1;
+  ThreadAllocCounters after = ThreadAllocTotals();
+  EXPECT_GT(after.alloc_ops, before.alloc_ops);
+  EXPECT_GE(after.alloc_bytes - before.alloc_bytes, kBlock);
+  block.reset();
+  ThreadAllocCounters freed = ThreadAllocTotals();
+  EXPECT_GT(freed.free_ops, after.free_ops);
+}
+
+// Eight threads hammer their own scopes concurrently: every scope's
+// matched pairs must cancel exactly and nothing may bleed across threads.
+// Runs in the TSan suite (check.sh) to prove the thread-local counters
+// and the interposed operators are race-free.
+TEST(HeapStatsTest, EightThreadAllocHammerStaysExact) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<ResourceUsage> usages(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &usages] {
+      ResourceScope scope;
+      for (int i = 0; i < kIters; ++i) {
+        std::unique_ptr<char[]> block(
+            new char[64 + static_cast<size_t>((t * kIters + i) % 512)]);
+        block[0] = static_cast<char>(i);
+      }
+      usages[static_cast<size_t>(t)] = scope.Usage();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    const ResourceUsage& usage = usages[static_cast<size_t>(t)];
+    EXPECT_GE(usage.alloc_ops, static_cast<uint64_t>(kIters)) << t;
+    EXPECT_EQ(usage.alloc_ops, usage.free_ops) << t;
+    EXPECT_EQ(usage.allocated_bytes, usage.freed_bytes) << t;
+    EXPECT_GT(usage.peak_bytes, 0) << t;
+  }
+}
+
+}  // namespace
+}  // namespace rased

@@ -223,5 +223,77 @@ TEST(MetricsRegistryTest, ConcurrentUpdatesFromEightThreadsAreExact) {
   EXPECT_EQ(bucket_total, histogram->count());
 }
 
+TEST(MetricsRegistryTest, ExemplarsTrackWorstObservationPerBucket) {
+  MetricsRegistry registry;
+  HistogramOptions options;
+  options.first_bound = 10;  // buckets: <=10, <=20, <=40, ..., +Inf
+  options.num_buckets = 3;
+  options.track_exemplars = true;
+  Histogram* histogram =
+      registry.GetHistogram("rased_exemplar_micros", "h", options);
+  ASSERT_TRUE(histogram->tracks_exemplars());
+
+  histogram->Observe(5, 101);    // bucket 0
+  histogram->Observe(8, 102);    // bucket 0, worse
+  histogram->Observe(3, 103);    // bucket 0, not worse: id 102 must stay
+  histogram->Observe(15, 201);   // bucket 1
+  histogram->Observe(999, 301);  // +Inf bucket
+
+  std::vector<HistogramExemplar> exemplars = histogram->DrainExemplars();
+  ASSERT_EQ(exemplars.size(), 3u);
+  EXPECT_EQ(exemplars[0].bucket, 0);
+  EXPECT_EQ(exemplars[0].bound, 10);
+  EXPECT_EQ(exemplars[0].value, 8);
+  EXPECT_EQ(exemplars[0].trace_id, 102u);
+  EXPECT_EQ(exemplars[1].bound, 20);
+  EXPECT_EQ(exemplars[1].value, 15);
+  EXPECT_EQ(exemplars[1].trace_id, 201u);
+  EXPECT_EQ(exemplars[2].bound, -1);  // +Inf
+  EXPECT_EQ(exemplars[2].value, 999);
+  EXPECT_EQ(exemplars[2].trace_id, 301u);
+
+  // Drain resets the slots: nothing until the next observation.
+  EXPECT_TRUE(histogram->DrainExemplars().empty());
+  histogram->Observe(7, 401);
+  std::vector<HistogramExemplar> fresh = histogram->DrainExemplars();
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].trace_id, 401u);
+}
+
+TEST(MetricsRegistryTest, ExemplarObservationsStillFeedTheHistogram) {
+  MetricsRegistry registry;
+  HistogramOptions options;
+  options.track_exemplars = true;
+  Histogram* histogram =
+      registry.GetHistogram("rased_exemplar_feed_micros", "h", options);
+  histogram->Observe(3, 1);
+  histogram->Observe(5, 2);
+  EXPECT_EQ(histogram->count(), 2u);
+  EXPECT_EQ(histogram->sum(), 8);
+}
+
+TEST(MetricsRegistryTest, UntrackedHistogramHasNoExemplars) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("rased_plain_micros", "h");
+  EXPECT_FALSE(histogram->tracks_exemplars());
+  histogram->Observe(5);
+  EXPECT_TRUE(histogram->DrainExemplars().empty());
+}
+
+TEST(MetricsRegistryTest, ExemplarsDoNotChangeTheRenderedExposition) {
+  // Deterministic rendering is load-bearing (two equal registries render
+  // byte-identical documents); exemplars live on a side channel only.
+  MetricsRegistry with_exemplars;
+  MetricsRegistry without;
+  HistogramOptions tracked;
+  tracked.track_exemplars = true;
+  Histogram* a =
+      with_exemplars.GetHistogram("rased_render_micros", "h", tracked);
+  Histogram* b = without.GetHistogram("rased_render_micros", "h");
+  a->Observe(17, 42);
+  b->Observe(17);
+  EXPECT_EQ(with_exemplars.RenderPrometheus(), without.RenderPrometheus());
+}
+
 }  // namespace
 }  // namespace rased

@@ -134,5 +134,84 @@ TEST(QueryTraceTest, ConcurrentRecordAndSnapshotStayConsistent) {
   EXPECT_EQ(recorder.Snapshot().size(), options.capacity);
 }
 
+TEST(QueryTraceTest, SlowQueryLogIsTokenBucketRateLimited) {
+  FakeClock clock(1000000);
+  SetClockForTesting(&clock);
+  MetricsRegistry registry;
+  TraceRecorderOptions options;
+  options.slow_query_micros = 100;
+  options.slow_log_per_sec = 1.0;
+  TraceRecorder recorder(options, &registry);
+  Counter* suppressed =
+      registry.GetCounter("rased_slow_query_log_suppressed_total", "");
+
+  // Burst of slow queries at one instant: the first line is emitted (the
+  // bucket starts full), the rest are suppressed and counted.
+  recorder.Record(MakeTrace(500));
+  recorder.Record(MakeTrace(500));
+  recorder.Record(MakeTrace(500));
+  EXPECT_EQ(registry.GetCounter("rased_slow_queries_total", "")->value(), 3u);
+  EXPECT_EQ(suppressed->value(), 2u);
+
+  // Half a second refills half a token: still suppressed.
+  clock.Advance(500000);
+  recorder.Record(MakeTrace(500));
+  EXPECT_EQ(suppressed->value(), 3u);
+
+  // Another half second completes the refill: the next slow query logs
+  // again (carrying the suppressed count) and nothing new is suppressed.
+  clock.Advance(500000);
+  recorder.Record(MakeTrace(500));
+  EXPECT_EQ(suppressed->value(), 3u);
+  EXPECT_EQ(registry.GetCounter("rased_slow_queries_total", "")->value(), 5u);
+  SetClockForTesting(nullptr);
+}
+
+TEST(QueryTraceTest, NonPositiveRateDisablesTheLogLimiter) {
+  FakeClock clock(1000000);
+  SetClockForTesting(&clock);
+  MetricsRegistry registry;
+  TraceRecorderOptions options;
+  options.slow_query_micros = 100;
+  options.slow_log_per_sec = 0;  // unlimited: every slow query logs
+  TraceRecorder recorder(options, &registry);
+  for (int i = 0; i < 5; ++i) recorder.Record(MakeTrace(500));
+  EXPECT_EQ(registry.GetCounter("rased_slow_queries_total", "")->value(), 5u);
+  EXPECT_EQ(
+      registry.GetCounter("rased_slow_query_log_suppressed_total", "")->value(),
+      0u);
+  SetClockForTesting(nullptr);
+}
+
+TEST(QueryTraceTest, FastQueriesNeverTouchTheLimiter) {
+  FakeClock clock(1000000);
+  SetClockForTesting(&clock);
+  MetricsRegistry registry;
+  TraceRecorderOptions options;
+  options.slow_query_micros = 1000;
+  TraceRecorder recorder(options, &registry);
+  // Fast queries consume no tokens; a later slow one still logs first-try.
+  for (int i = 0; i < 10; ++i) recorder.Record(MakeTrace(10));
+  recorder.Record(MakeTrace(5000));
+  EXPECT_EQ(
+      registry.GetCounter("rased_slow_query_log_suppressed_total", "")->value(),
+      0u);
+  SetClockForTesting(nullptr);
+}
+
+TEST(QueryTraceTest, TracesCarryAllocAttribution) {
+  TraceRecorder recorder;
+  QueryTrace trace = MakeTrace(100);
+  trace.alloc_bytes = 4096;
+  trace.alloc_ops = 17;
+  trace.peak_alloc_bytes = 2048;
+  recorder.Record(trace);
+  std::vector<QueryTrace> traces = recorder.Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].alloc_bytes, 4096u);
+  EXPECT_EQ(traces[0].alloc_ops, 17u);
+  EXPECT_EQ(traces[0].peak_alloc_bytes, 2048u);
+}
+
 }  // namespace
 }  // namespace rased

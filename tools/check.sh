@@ -20,15 +20,22 @@
 #      scalar-vs-AVX2, >= 3x bytes_read and page_reads reduction, warm
 #      makespan within 10% of dense; emits the BENCH_cube_compression.json
 #      trajectory at the repo root; never skips)
-#  10. metrics smoke: boots a tiny synthetic instance, asserts the
+#  10. bench_profiler --quick (always-on profiler smoke gate: <= 2%
+#      process-CPU overhead at 99 Hz, < 1% sample drop rate, bit-identical
+#      query rows profiled vs not; emits the BENCH_profiler.json
+#      trajectory at the repo root; never skips)
+#  11. metrics smoke: boots a tiny synthetic instance, asserts the
 #      Prometheus exposition (rased metrics + live GET /metrics) covers
 #      every serving-path family and /api/trace returns spans, checks
-#      /healthz, /readyz, and /api/selfstats, gates the selfstats
-#      sampler (ring within byte budget, <= 1% duty cycle), and writes
-#      BENCH_metrics_smoke.json + BENCH_selfstats.json trajectories
-#  11. ASan+UBSan build + full ctest (deadlock detector enabled)
-#  12. TSan build + concurrency-focused ctest (dashboard/cache/collect/
-#      index/warehouse/hotpath/codec/kernel/observability suites)
+#      /healthz, /readyz (incl. the build object), /api/selfstats,
+#      /api/profile, /api/trace?worst=1, and the `rased profile`
+#      renderer, gates the selfstats sampler (ring within byte budget,
+#      <= 1% duty cycle), and writes BENCH_metrics_smoke.json +
+#      BENCH_selfstats.json trajectories
+#  12. ASan+UBSan build + full ctest (deadlock detector enabled)
+#  13. TSan build + concurrency-focused ctest (dashboard/cache/collect/
+#      index/warehouse/hotpath/codec/kernel/observability/profiler
+#      suites)
 #
 # Exit code 0 means every stage that could run passed. Stages whose tool
 # is missing are reported as SKIP, not failure, so the script works both
@@ -213,6 +220,28 @@ else
   fail "bench_cube_compression not built (plain build failed?)"
 fi
 
+# -------------------------------------------------------- profiler smoke --
+# Quick mode of the continuous-profiler bench: interleaved profiled and
+# unprofiled passes over a warm-cache workload. The bench itself asserts
+# <= 2% process-CPU overhead at 99 Hz, < 1% sample drop rate, a non-empty
+# retained folded report, and bit-identical result rows on vs off. The
+# always-on claim is load-bearing for running the profiler in production,
+# so this gate never skips: a missing binary is a failure, not a SKIP.
+note "bench_profiler --quick"
+if [ -x "${PREFIX}-plain/bench/bench_profiler" ]; then
+  PROFILER_OUT="$("${PREFIX}-plain/bench/bench_profiler" --quick \
+      "bench_dir=${PREFIX}-plain/bench/profiler_bench_data")"
+  if [ $? -eq 0 ]; then
+    printf '%s\n' "${PROFILER_OUT}" \
+      | grep '"bench":"profiler"' > BENCH_profiler.json
+    pass "bench_profiler --quick (trajectory in BENCH_profiler.json)"
+  else
+    fail "bench_profiler --quick"
+  fi
+else
+  fail "bench_profiler not built (plain build failed?)"
+fi
+
 # ----------------------------------------------------------- metrics smoke --
 # End-to-end observability gate: build a tiny synthetic instance with the
 # CLI, then require that (a) `rased metrics probe=1` exposes every
@@ -312,12 +341,44 @@ if [ -x "${RASED_BIN}" ]; then
         | grep -q '"series"' \
         || { fail "metrics smoke: /api/selfstats has no series"; HTTP_OK=0; }
       for family in rased_slo_status rased_slo_burn_rate \
-          rased_selfstats_samples_total rased_selfstats_resident_bytes; do
+          rased_selfstats_samples_total rased_selfstats_resident_bytes \
+          rased_build_info rased_profiler_samples_total \
+          rased_profiler_threads_registered rased_query_alloc_ops_total \
+          rased_query_alloc_bytes_bucket; do
         if ! printf '%s\n' "${HTTP_METRICS}" | grep -q "^${family}"; then
           fail "metrics smoke: family ${family} missing from GET /metrics"
           HTTP_OK=0
         fi
       done
+      # Profiler + attribution surface: /readyz carries the build object,
+      # /api/profile serves an on-demand folded capture (an idle server
+      # may legitimately return zero stacks — CPU-time timers only fire
+      # under load — so the gate is on the endpoints, not the counts),
+      # /api/trace?worst=1 serves per-bucket worst-latency exemplars, and
+      # the CLI renderer round-trips a live capture end to end.
+      curl -fsS "http://127.0.0.1:${PORT}/readyz" \
+        | grep -q '"build"' \
+        || { fail "metrics smoke: /readyz has no build object"; HTTP_OK=0; }
+      curl -fsS \
+        "http://127.0.0.1:${PORT}/api/profile?seconds=1&format=folded" \
+        >/dev/null \
+        || { fail "metrics smoke: /api/profile folded fetch failed"; \
+             HTTP_OK=0; }
+      curl -fsS \
+        "http://127.0.0.1:${PORT}/api/profile?window=1&format=json" \
+        | grep -q '"samples"' \
+        || { fail "metrics smoke: /api/profile json has no samples"; \
+             HTTP_OK=0; }
+      curl -fsS "http://127.0.0.1:${PORT}/api/trace?worst=1" \
+        | grep -q '"worst"' \
+        || { fail "metrics smoke: /api/trace?worst=1 has no worst"; \
+             HTTP_OK=0; }
+      if "${RASED_BIN}" profile "port=${PORT}" seconds=1 >/dev/null; then
+        pass "metrics smoke: rased profile round-trips /api/profile"
+      else
+        fail "metrics smoke: rased profile failed"
+        HTTP_OK=0
+      fi
       # Sampler budget gates from the TSV meta line: the ring must honor
       # its byte budget, and the average sample cost must stay under 1%
       # of the sampling interval (duty-cycle proxy for "overhead <= 1%").
@@ -375,7 +436,7 @@ run_matrix_entry "asan+ubsan" "${PREFIX}-asan" "" \
 # observability suites (registry hammer, trace ring, /metrics endpoint);
 # a race anywhere in them must surface here.
 run_matrix_entry "tsan" "${PREFIX}-tsan" \
-  "-R (Dashboard|Concurrent|HttpServer|CubeCache|CubeCodec|AggKernels|LegacyFormat|Replication|TemporalIndex|Warehouse|Hotpath|Ingest|Compression|Metrics|Trace|Slo|RequestContext)" \
+  "-R (Dashboard|Concurrent|HttpServer|CubeCache|CubeCodec|AggKernels|LegacyFormat|Replication|TemporalIndex|Warehouse|Hotpath|Ingest|Compression|Metrics|Trace|Slo|RequestContext|Profiler|HeapStats)" \
   "-DRASED_SANITIZE=thread"
 
 # ----------------------------------------------------------------- gate ---

@@ -57,6 +57,10 @@ const std::vector<RuleInfo> kRules = {
      "raw std::chrono clock (system_clock / steady_clock / "
      "high_resolution_clock) outside src/util/clock.h; use NowMicros / "
      "NowWallMicros so a FakeClock can script time in tests"},
+    {"RL015", "signal-unsafe",
+     "non-async-signal-safe call inside a RASED_SIGNAL_HANDLER function "
+     "(allocation, stdio, logging, mutex acquisition); handlers may only "
+     "touch atomics, pre-allocated state, and AS-safe syscalls"},
 };
 
 const RuleInfo& Rule(const char* id) {
@@ -891,6 +895,92 @@ void CheckRawWallClock(Ctx* ctx) {
   }
 }
 
+// --------------------------------------------------------------------------
+// RL015 signal-unsafe
+// --------------------------------------------------------------------------
+
+/// RASED_SIGNAL_HANDLER (util/signal_safety.h) marks functions that run in
+/// an async signal handler. POSIX allows only the AS-safe function list
+/// there: no malloc/free or operator new/delete (the heap lock may be held
+/// by the interrupted thread), no stdio or logging (buffered, locking), no
+/// mutex acquisition (self-deadlock). The checker scans each annotated
+/// function's body for banned call identifiers, lock-holder RAII types,
+/// and the new/delete keywords.
+void CheckSignalHandlerSafety(Ctx* ctx) {
+  // Call-shape bans: the identifier must be followed by '(' and not be a
+  // member access (x.free() is a different function).
+  static const std::set<std::string> kBannedCalls = {
+      // Allocation.
+      "malloc", "calloc", "realloc", "free", "posix_memalign", "aligned_alloc",
+      // Stdio: buffered and lock-taking.
+      "printf", "fprintf", "vfprintf", "snprintf", "vsnprintf", "sprintf",
+      "puts", "fputs", "putc", "putchar", "fwrite", "fread", "fopen",
+      "fclose", "fflush",
+      // Logging allocates and locks.
+      "RASED_LOG", "RASED_CHECK",
+      // Raw pthread locking.
+      "pthread_mutex_lock", "pthread_mutex_trylock", "pthread_rwlock_rdlock",
+      "pthread_rwlock_wrlock", "pthread_cond_wait", "pthread_cond_signal",
+      "pthread_cond_broadcast",
+      // Misc AS-unsafe libc.
+      "exit", "abort_handler", "syslog", "backtrace", "backtrace_symbols",
+      "dladdr", "dlopen", "dlsym"};
+  // RAII lock holders are banned on sight — `MutexLock lock(&mu_);` is an
+  // acquisition even though the type name is never followed by '('.
+  static const std::set<std::string> kBannedIdents = {
+      "MutexLock", "WriterMutexLock", "ReaderMutexLock", "Mutex",
+      "SharedMutex", "CondVar"};
+  const std::vector<Token>& toks = ctx->code;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "RASED_SIGNAL_HANDLER")) continue;
+    // The annotation precedes a function definition; its body is the first
+    // '{' before any top-level ';' (a bare ';' means declaration only).
+    size_t open = std::string::npos;
+    int paren = 0;
+    for (size_t j = i + 1; j < toks.size(); ++j) {
+      if (IsPunct(toks[j], '(')) ++paren;
+      if (IsPunct(toks[j], ')')) --paren;
+      if (paren > 0) continue;
+      if (IsPunct(toks[j], ';')) break;
+      if (IsPunct(toks[j], '{')) {
+        open = j;
+        break;
+      }
+    }
+    if (open == std::string::npos) continue;
+    size_t end = SkipBalanced(toks, open, '{', '}');
+    for (size_t k = open + 1; k + 1 < end; ++k) {
+      const Token& tok = toks[k];
+      if (tok.kind != TokKind::kIdent) continue;
+      if (tok.text == "new" || tok.text == "delete") {
+        ctx->Emit(tok.line, "RL015",
+                  "'" + tok.text +
+                      "' inside a RASED_SIGNAL_HANDLER body; the heap lock "
+                      "may be held by the interrupted thread");
+        continue;
+      }
+      const bool member_call =
+          k > 0 && (IsPunct(toks[k - 1], '.') || IsPunct(toks[k - 1], '>'));
+      if (!member_call && kBannedCalls.count(tok.text) != 0 &&
+          IsPunct(toks[k + 1], '(')) {
+        ctx->Emit(tok.line, "RL015",
+                  "'" + tok.text +
+                      "' is not async-signal-safe; RASED_SIGNAL_HANDLER code "
+                      "may only use atomics, pre-allocated buffers, and "
+                      "AS-safe syscalls (write, clock_gettime, ...)");
+        continue;
+      }
+      if (kBannedIdents.count(tok.text) != 0) {
+        ctx->Emit(tok.line, "RL015",
+                  "'" + tok.text +
+                      "' acquires a lock inside a RASED_SIGNAL_HANDLER body; "
+                      "a handler interrupting the lock holder self-deadlocks");
+      }
+    }
+    i = end;
+  }
+}
+
 }  // namespace
 
 // --------------------------------------------------------------------------
@@ -926,6 +1016,7 @@ std::vector<Finding> LintFile(const std::string& display_path,
   CheckSnapshotMember(&ctx);
   CheckVendorIntrinsics(&ctx);
   CheckRawWallClock(&ctx);
+  CheckSignalHandlerSafety(&ctx);
   std::sort(ctx.findings.begin(), ctx.findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;
